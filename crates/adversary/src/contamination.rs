@@ -1,0 +1,208 @@
+//! The contamination analysis of Theorem 4.3 (periodic shared memory).
+//!
+//! The theorem's lower bound `⌊log_{2b−1}(2n−1)⌋ · c_min` rests on an
+//! information-flow argument: slow one port process `p'` down and compare
+//! the perturbed computation `α'` against the original round-robin
+//! computation `α`, subround by subround. A variable is *contaminated* once
+//! its value diverges from `α`; a process is contaminated once it reads a
+//! contaminated variable. Lemma 4.4 bounds the spread:
+//! `|P(t)| ≤ P_t = ((2b−1)^t − 1) / 2`, so after fewer than
+//! `⌊log_{2b−1}(2n−1)⌋` subrounds some port process is still uncontaminated
+//! — it behaves exactly as in `α` and idles before `p'` ever steps.
+//!
+//! This module runs both computations side by side (using the engines'
+//! scripted execution and exact value comparison), computes the
+//! contaminated sets, and checks the lemma's bound — executing the proof
+//! rather than merely citing it.
+
+use std::collections::BTreeSet;
+
+use session_smm::SmEngine;
+use session_types::{ProcessId, Result, Time, VarId};
+
+/// `P_t = ((2b−1)^t − 1) / 2`, the Lemma 4.4 bound on the number of
+/// contaminated processes after `t` subrounds.
+pub fn lemma_bound(t: u32, b: usize) -> u128 {
+    let base = (2 * b - 1) as u128;
+    (base.pow(t) - 1) / 2
+}
+
+/// The contamination state after one subround.
+#[derive(Clone, Debug)]
+pub struct SubroundContamination {
+    /// The subround index (1-based `t`).
+    pub subround: u32,
+    /// Variables whose values first diverged from `α` in this subround.
+    pub newly_contaminated_vars: BTreeSet<VarId>,
+    /// All processes contaminated by the end of this subround.
+    pub contaminated_processes: BTreeSet<ProcessId>,
+}
+
+/// The full analysis.
+#[derive(Clone, Debug)]
+pub struct ContaminationReport {
+    /// Per-subround contamination, in order.
+    pub subrounds: Vec<SubroundContamination>,
+    /// Whether `|P(t)| <= ((2b−1)^t − 1)/2` held at every subround.
+    pub lemma_holds: bool,
+    /// Port processes (other than the slowed one) never contaminated
+    /// within the analyzed window.
+    pub uncontaminated_ports: BTreeSet<ProcessId>,
+    /// The fan-in bound used for the lemma.
+    pub b: usize,
+}
+
+/// Runs the original round-robin computation and the perturbation in which
+/// `slow` takes **no** steps within the analyzed window (the extreme of the
+/// paper's slowed period `⌊log_{2b−1}(2n−1)⌋ · c_min`), tracking value
+/// divergence for `subrounds` subrounds.
+///
+/// `factory` must build the same initial system each time; `n_ports` is the
+/// number of port processes (ids `p0 .. p(n_ports-1)`).
+///
+/// # Errors
+///
+/// Propagates engine construction/execution errors.
+pub fn contamination_analysis<F>(
+    factory: F,
+    n_ports: usize,
+    slow: ProcessId,
+    subrounds: u32,
+    b: usize,
+) -> Result<ContaminationReport>
+where
+    F: Fn() -> Result<SmEngine<session_smm::Knowledge>>,
+{
+    let mut original = factory()?;
+    let mut perturbed = factory()?;
+    let num_processes = original.num_processes();
+
+    let mut contaminated_vars: BTreeSet<VarId> = BTreeSet::new();
+    let mut contaminated_procs: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut report = Vec::with_capacity(subrounds as usize);
+    let mut lemma_holds = true;
+
+    for t in 1..=subrounds {
+        let now = Time::from_int(t as i128);
+        let mut newly: BTreeSet<VarId> = BTreeSet::new();
+        for i in 0..num_processes {
+            let p = ProcessId::new(i);
+            // α: everyone steps, including the (not yet slowed) process.
+            let var_a = original.process(p).target();
+            original.run_scripted(&[(now, p)])?;
+            let value_a = original.memory().value(var_a).clone();
+
+            if p == slow {
+                // α': p' does not step in this window. Its leaf variable
+                // diverges the moment α would have had it write: mark it.
+                if perturbed.memory().value(var_a) != &value_a
+                    && contaminated_vars.insert(var_a)
+                {
+                    newly.insert(var_a);
+                }
+                continue;
+            }
+            // α': p steps on its own target.
+            let var_b = perturbed.process(p).target();
+            if contaminated_vars.contains(&var_b) {
+                contaminated_procs.insert(p);
+            }
+            perturbed.run_scripted(&[(now, p)])?;
+            let value_b = perturbed.memory().value(var_b).clone();
+            // Divergence from α (same process, same subround).
+            let diverged = var_a != var_b || value_b != value_a;
+            if diverged && contaminated_vars.insert(var_b) {
+                newly.insert(var_b);
+            }
+        }
+        if contaminated_procs.len() as u128 > lemma_bound(t, b) {
+            lemma_holds = false;
+        }
+        report.push(SubroundContamination {
+            subround: t,
+            newly_contaminated_vars: newly,
+            contaminated_processes: contaminated_procs.clone(),
+        });
+    }
+
+    let uncontaminated_ports = (0..n_ports)
+        .map(ProcessId::new)
+        .filter(|p| *p != slow && !contaminated_procs.contains(p))
+        .collect();
+
+    Ok(ContaminationReport {
+        subrounds: report,
+        lemma_holds,
+        uncontaminated_ports,
+        b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_core::system::build_sm_system;
+    use session_types::{Dur, KnownBounds, SessionSpec};
+
+    #[test]
+    fn lemma_bound_values() {
+        // b = 2: base 3. P_1 = 1, P_2 = 4, P_3 = 13.
+        assert_eq!(lemma_bound(1, 2), 1);
+        assert_eq!(lemma_bound(2, 2), 4);
+        assert_eq!(lemma_bound(3, 2), 13);
+        // b = 3: base 5. P_2 = 12.
+        assert_eq!(lemma_bound(2, 3), 12);
+        assert_eq!(lemma_bound(0, 2), 0);
+    }
+
+    #[test]
+    fn contamination_spread_respects_lemma_bound() {
+        // A(p) over an 8-leaf binary tree; slow p7; analyze 6 subrounds.
+        let spec = SessionSpec::new(3, 8, 2).unwrap();
+        let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
+        let factory = || build_sm_system(&spec, &bounds);
+        let report =
+            contamination_analysis(factory, 8, ProcessId::new(7), 6, spec.b()).unwrap();
+        assert!(report.lemma_holds, "Lemma 4.4 bound violated: {report:#?}");
+        // Contamination monotonically grows.
+        for w in report.subrounds.windows(2) {
+            assert!(
+                w[0].contaminated_processes.len() <= w[1].contaminated_processes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn early_subrounds_leave_some_port_uncontaminated() {
+        // n = 8, b = 2: contamination depth floor(log3 15) = 2. In 1
+        // subround at most P_1 = 1 process is contaminated, so at least 6
+        // of the 7 other ports are clean.
+        let spec = SessionSpec::new(2, 8, 2).unwrap();
+        let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
+        let factory = || build_sm_system(&spec, &bounds);
+        let report =
+            contamination_analysis(factory, 8, ProcessId::new(0), 1, spec.b()).unwrap();
+        assert!(
+            !report.uncontaminated_ports.is_empty(),
+            "some port must still behave as in α"
+        );
+        assert!(report.subrounds[0].contaminated_processes.len() <= 1);
+    }
+
+    #[test]
+    fn contamination_eventually_reaches_ports() {
+        // Given enough subrounds the divergence must spread beyond p'
+        // (A(p) announces counters that relays flood).
+        let spec = SessionSpec::new(3, 4, 2).unwrap();
+        let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
+        let factory = || build_sm_system(&spec, &bounds);
+        let report =
+            contamination_analysis(factory, 4, ProcessId::new(3), 20, spec.b()).unwrap();
+        assert!(report.lemma_holds);
+        let final_contaminated = &report.subrounds.last().unwrap().contaminated_processes;
+        assert!(
+            !final_contaminated.is_empty(),
+            "the slowed process's silence must eventually be observable"
+        );
+    }
+}

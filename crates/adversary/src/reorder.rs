@@ -1,0 +1,275 @@
+//! The round-reordering adversary of Arjomandi–Fischer–Lynch \[2\] for the
+//! **asynchronous** shared-memory model — the foundation the paper's
+//! Theorem 5.1 builds on (its proof "follows the proof of Theorem 1
+//! in \[2\]").
+//!
+//! In the asynchronous model *any* reordering consistent with the
+//! step-dependency order `≤_β` is an admissible computation. If an
+//! algorithm terminates within fewer than `(s−1)·⌊log_b n⌋` rounds, split
+//! its round-robin computation into blocks of `B = ⌊log_b n⌋` rounds; in
+//! each block information from the previous block's port `y_{k−1}` cannot
+//! have reached every port (fan-in `b`), so some port `y_k` has its last
+//! access independent of `y_{k−1}`'s first access. Pulling the
+//! `σ_k`-ancestors to the front of each block yields `β' = φ_1ψ_1…φ_mψ_m`
+//! with no `y_{k−1}` access in `φ_k` and no `y_k` access in `ψ_k` — at
+//! most one session per block, hence fewer than `s` sessions.
+//!
+//! Unlike Theorem 5.1 there is no retiming to verify: the adversary's
+//! output is checked by re-executing the reordered steps (same global
+//! state — Claim 5.2's executable content) and recounting sessions.
+
+use session_core::verify::count_sessions;
+use session_smm::{Knowledge, SmEngine};
+use session_sim::{FixedPeriods, RunLimits, StepKind, Trace};
+use session_types::{Dur, Error, ProcessId, Result, SessionSpec, Time, VarId};
+
+use crate::retime::DependencyGraph;
+
+/// What the reordering adversary produced.
+#[derive(Clone, Debug)]
+#[must_use = "check defeated() before drawing conclusions"]
+pub struct ReorderOutcome {
+    /// `B = ⌊log_b n⌋`, the block length in rounds.
+    pub block_rounds: u64,
+    /// Number of blocks the recorded computation decomposed into.
+    pub blocks: usize,
+    /// Rounds the recorded computation took (the quantity \[2\] bounds).
+    pub recorded_rounds: u64,
+    /// Sessions in the reordered, re-executed computation.
+    pub sessions: u64,
+    /// The required number of sessions.
+    pub s: u64,
+    /// Whether re-execution reached the same global state as the original.
+    pub same_global_state: bool,
+}
+
+impl ReorderOutcome {
+    /// Returns `true` if the adversary succeeded: a state-equivalent
+    /// reordering with fewer than `s` sessions.
+    pub fn defeated(&self) -> bool {
+        self.same_global_state && self.sessions < self.s
+    }
+}
+
+/// Runs the \[2\] construction against the algorithm produced by `factory`.
+///
+/// `factory` must build the same initial system on each call (it is called
+/// twice: recording and replay).
+///
+/// # Errors
+///
+/// * [`Error::InvalidParams`] if `⌊log_b n⌋ < 2` (the decomposition needs
+///   nontrivial blocks) or the algorithm takes no steps.
+/// * [`Error::LimitExceeded`] if the recorded run does not terminate.
+/// * [`Error::Inadmissible`] if no port with the independence property
+///   exists in some block (would contradict the fan-in argument).
+pub fn afl_reorder_attack<F>(
+    factory: F,
+    spec: &SessionSpec,
+    limits: RunLimits,
+) -> Result<ReorderOutcome>
+where
+    F: Fn() -> Result<SmEngine<Knowledge>>,
+{
+    let b_rounds = spec.log_b_n_floor() as u64;
+    if b_rounds < 2 {
+        return Err(Error::invalid_params(
+            "AFL reordering requires floor(log_b n) >= 2",
+        ));
+    }
+
+    // Record the round-robin computation (unit period — times are labels
+    // only; the asynchronous model has no timing constraints).
+    let mut recorder = factory()?;
+    let num_processes = recorder.num_processes();
+    let mut schedule = FixedPeriods::uniform(num_processes, Dur::ONE)?;
+    let outcome = recorder.run(&mut schedule, limits)?;
+    if !outcome.terminated {
+        return Err(Error::LimitExceeded {
+            steps: outcome.steps,
+        });
+    }
+    let events = outcome.trace.events();
+    if events.is_empty() {
+        return Err(Error::invalid_params("algorithm took no steps"));
+    }
+
+    let round_of: Vec<u64> = events
+        .iter()
+        .map(|e| (e.time - Time::ZERO).as_ratio().numer() as u64)
+        .collect();
+    let total_rounds = *round_of.last().expect("nonempty");
+    let deps = DependencyGraph::new(events)?;
+    let var_of: Vec<VarId> = events
+        .iter()
+        .map(|e| match e.kind {
+            StepKind::VarAccess { var, .. } => var,
+            _ => unreachable!("checked by DependencyGraph::new"),
+        })
+        .collect();
+
+    let num_blocks = total_rounds.div_ceil(b_rounds) as usize;
+    let block_of = |step: usize| ((round_of[step] - 1) / b_rounds) as usize;
+
+    // Build the reordered index sequence block by block.
+    let mut order: Vec<usize> = Vec::with_capacity(events.len());
+    let mut y_prev = VarId::new(0);
+    for k in 0..num_blocks {
+        let steps: Vec<usize> = (0..events.len()).filter(|&i| block_of(i) == k).collect();
+        if steps.is_empty() {
+            continue;
+        }
+        // A port untouched in this block makes φ_k empty.
+        let mut accessed = vec![false; spec.n()];
+        for &i in &steps {
+            if var_of[i].index() < spec.n() {
+                accessed[var_of[i].index()] = true;
+            }
+        }
+        if let Some(free) = (0..spec.n()).position(|y| !accessed[y]) {
+            y_prev = VarId::new(free);
+            order.extend(&steps);
+            continue;
+        }
+        let tau = *steps
+            .iter()
+            .find(|&&i| var_of[i] == y_prev)
+            .expect("every port accessed");
+        let tau_desc = deps.descendants(tau);
+        let mut chosen = None;
+        for y in 0..spec.n() {
+            let var = VarId::new(y);
+            let sigma = *steps
+                .iter()
+                .rev()
+                .find(|&&i| var_of[i] == var)
+                .expect("every port accessed");
+            if !tau_desc[sigma] {
+                chosen = Some((var, sigma));
+                break;
+            }
+        }
+        let (y_k, sigma) = chosen.ok_or_else(|| {
+            Error::inadmissible(format!(
+                "no independent port in block {k}: B may exceed the propagation depth"
+            ))
+        })?;
+        let ancestors = deps.ancestors(sigma);
+        // φ_k: σ_k's ancestors in original order; ψ_k: the rest. No
+        // non-ancestor can precede an ancestor in ≤_β (it would itself be
+        // an ancestor), so this is a valid linear extension.
+        order.extend(steps.iter().copied().filter(|&i| ancestors[i]));
+        order.extend(steps.iter().copied().filter(|&i| !ancestors[i]));
+        y_prev = y_k;
+    }
+
+    // Replay with fresh unit times (asynchronous: any labels do).
+    let script: Vec<(Time, ProcessId)> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| (Time::from_int(pos as i128 + 1), events[i].process))
+        .collect();
+    let mut replayer = factory()?;
+    let replay = replayer.run_scripted(&script)?;
+    let sessions = count_sessions(&replay.trace, spec.n(), |_| None);
+    let same_global_state = recorder.global_state() == replayer.global_state();
+
+    Ok(ReorderOutcome {
+        block_rounds: b_rounds,
+        blocks: num_blocks,
+        recorded_rounds: count_recorded_rounds(&outcome.trace, num_processes),
+        sessions,
+        s: spec.s(),
+        same_global_state,
+    })
+}
+
+fn count_recorded_rounds(trace: &Trace, num_processes: usize) -> u64 {
+    session_core::verify::count_rounds(trace, num_processes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_sm_system;
+    use session_core::system::build_sm_system;
+    use session_types::KnownBounds;
+
+    #[test]
+    fn afl_reordering_defeats_the_silent_witness() {
+        // n = 16, b = 2: B = 4. The witness finishes in s = 3 rounds,
+        // far below (s-1)*B = 8.
+        let spec = SessionSpec::new(3, 16, 2).unwrap();
+        let outcome = afl_reorder_attack(
+            || naive_sm_system(&spec, spec.s()),
+            &spec,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(outcome.same_global_state);
+        assert!(
+            outcome.sessions < 3,
+            "expected a deficit, got {} sessions over {} blocks",
+            outcome.sessions,
+            outcome.blocks
+        );
+        assert!(outcome.defeated());
+        assert_eq!(outcome.block_rounds, 4);
+        assert!(outcome.recorded_rounds <= 3);
+    }
+
+    #[test]
+    fn afl_reordering_cannot_defeat_the_communicating_algorithm() {
+        // The asynchronous algorithm pays a flood per session and survives:
+        // the reordering is a legal asynchronous computation of a correct
+        // algorithm, so it must still contain s sessions.
+        let spec = SessionSpec::new(3, 16, 2).unwrap();
+        let bounds = KnownBounds::asynchronous();
+        let outcome = afl_reorder_attack(
+            || build_sm_system(&spec, &bounds),
+            &spec,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(outcome.same_global_state);
+        assert!(
+            outcome.sessions >= 3,
+            "correct algorithm lost sessions: {}",
+            outcome.sessions
+        );
+        assert!(!outcome.defeated());
+    }
+
+    #[test]
+    fn afl_reordering_rejects_small_instances() {
+        // floor(log2 2) = 1 < 2.
+        let spec = SessionSpec::new(3, 2, 2).unwrap();
+        assert!(afl_reorder_attack(
+            || naive_sm_system(&spec, spec.s()),
+            &spec,
+            RunLimits::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn afl_reordering_across_sizes() {
+        for (s, n, b) in [(2u64, 9usize, 3usize), (4, 16, 2), (3, 27, 2)] {
+            let spec = SessionSpec::new(s, n, b).unwrap();
+            if spec.log_b_n_floor() < 2 {
+                continue;
+            }
+            let outcome = afl_reorder_attack(
+                || naive_sm_system(&spec, spec.s()),
+                &spec,
+                RunLimits::default(),
+            )
+            .unwrap();
+            assert!(
+                outcome.defeated(),
+                "s={s}, n={n}, b={b}: {} sessions",
+                outcome.sessions
+            );
+        }
+    }
+}

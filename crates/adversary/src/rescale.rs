@@ -1,0 +1,362 @@
+//! The rescale-and-retime construction of Theorem 6.5 (sporadic message
+//! passing).
+//!
+//! The proof takes the round-robin computation with step period
+//! `K = 2·d2·c1 / (d2 − u/2)` and all delays exactly `d2`, compresses time
+//! by `2c1/K` (making every step gap exactly `2c1` and every delay exactly
+//! `d2 − u/2`), and then, block by block (`B = ⌊u/4c1⌋` rounds each),
+//! shifts the chosen process `p_{i_k}` (and the deliveries to it) halfway
+//! toward the block start and `p_{i_{k−1}}` halfway toward the block end.
+//! Every shift is at most `u/4`, so delays stay within `[d2 − u, d2] ⊆
+//! [d1, d2]` and step gaps stay `≥ c1`; yet within each block all of
+//! `p_{i_k}`'s steps now precede all of `p_{i_{k−1}}`'s, which caps the
+//! computation at one session per block.
+//!
+//! This module performs the construction **at trace level**: it takes a
+//! recorded trace (Lemma 6.7 establishes the retimed sequence is a
+//! computation reaching the same global state — per-process and
+//! per-message orders are preserved, which we assert), rebuilds the timed
+//! trace with the new times, certifies it admissible with the independent
+//! checker, and recounts its sessions.
+
+use std::collections::BTreeMap;
+
+use session_core::verify::{check_admissible, count_sessions};
+use session_sim::{StepKind, Trace, TraceEvent};
+use session_types::{
+    Dur, Error, KnownBounds, MsgId, PortId, ProcessId, Ratio, Result, SessionSpec, Time,
+};
+
+/// What the rescaling adversary produced.
+#[derive(Clone, Debug)]
+#[must_use = "check defeated()/admissible before drawing conclusions"]
+pub struct RescaleOutcome {
+    /// The step period `K = 2·d2·c1/(d2 − u/2)` the input computation must
+    /// have used.
+    pub k_period: Dur,
+    /// `B = ⌊u/4c1⌋`, the block length in rounds.
+    pub block_rounds: u64,
+    /// Number of blocks in the decomposition.
+    pub blocks: usize,
+    /// Sessions in the retimed trace.
+    pub sessions: u64,
+    /// The required number of sessions.
+    pub s: u64,
+    /// Whether the retimed trace passed the sporadic admissibility check
+    /// (gaps `≥ c1`, delays within `[d1, d2]`).
+    pub admissible: bool,
+}
+
+impl RescaleOutcome {
+    /// Returns `true` if the adversary succeeded: an admissible retiming
+    /// with fewer than `s` sessions.
+    pub fn defeated(&self) -> bool {
+        self.admissible && self.sessions < self.s
+    }
+}
+
+/// The step period `K` the input computation must be recorded at.
+///
+/// Returns an error when `d2 <= 0` (no meaningful delay window).
+pub fn k_period(c1: Dur, d1: Dur, d2: Dur) -> Result<Dur> {
+    if !d2.is_positive() {
+        return Err(Error::invalid_params("K requires d2 > 0"));
+    }
+    let u = d2 - d1;
+    let denominator = d2 - u / 2;
+    Ok(d2 * c1.as_ratio() * Ratio::from_int(2) / denominator.as_ratio())
+}
+
+/// Applies the Theorem 6.5 construction to `trace`, which must be a
+/// message-passing computation recorded under round-robin steps of period
+/// exactly [`k_period`] and constant delays `d2`.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParams`] if the sporadic constants are degenerate
+///   (`c1 <= 0`, `d1 > d2`, `B = ⌊u/4c1⌋ < 1`, or `n < 2`).
+/// * [`Error::Inadmissible`] if the input trace does not have the required
+///   round structure.
+pub fn rescaling_attack(
+    trace: &Trace,
+    spec: &SessionSpec,
+    c1: Dur,
+    d1: Dur,
+    d2: Dur,
+) -> Result<RescaleOutcome> {
+    if !c1.is_positive() || d1.is_negative() || d1 > d2 {
+        return Err(Error::invalid_params("invalid sporadic constants"));
+    }
+    if spec.n() < 2 {
+        return Err(Error::invalid_params(
+            "the construction needs at least two processes",
+        ));
+    }
+    let u = d2 - d1;
+    let b_rounds = u.div_floor(c1 * 4);
+    if b_rounds < 1 {
+        return Err(Error::invalid_params(
+            "rescaling attack requires ⌊u/4c1⌋ >= 1",
+        ));
+    }
+    let b_rounds = b_rounds as u64;
+    let k = k_period(c1, d1, d2)?;
+    let scale = (c1 * 2).div_exact(k); // 2c1 / K
+
+    let events = trace.events();
+    if events.is_empty() {
+        return Err(Error::invalid_params("empty trace"));
+    }
+
+    // T'' = T * 2c1/K for every event.
+    let rescaled: Vec<Time> = events
+        .iter()
+        .map(|e| Time::from_ratio((e.time - Time::ZERO).as_ratio() * scale))
+        .collect();
+
+    // Block boundaries: t_j = B * 2c1 * j. Block of a rescaled time t is
+    // the smallest j with t <= t_j (half-open (t_{j-1}, t_j]).
+    let block_len = c1 * 2 * b_rounds as i128;
+    let block_of = |t: Time| -> usize {
+        let q = (t - Time::ZERO).div_exact(block_len);
+        // ceil(q) with exact arithmetic; time 0 belongs to block 1.
+        let ceil = q.ceil();
+        (ceil.max(1)) as usize
+    };
+    let last_block = block_of(*rescaled.iter().max().expect("nonempty"));
+
+    // Choose i_k != i_{k-1}, arbitrarily.
+    let mut chosen = Vec::with_capacity(last_block + 1);
+    chosen.push(ProcessId::new(0)); // i_0
+    for k_idx in 1..=last_block {
+        let candidate = ProcessId::new(k_idx % spec.n());
+        let prev = chosen[k_idx - 1];
+        let pick = if candidate == prev {
+            ProcessId::new((k_idx + 1) % spec.n())
+        } else {
+            candidate
+        };
+        chosen.push(pick);
+    }
+
+    // Retime: within block k, p_{i_k} (steps and deliveries to it) move
+    // halfway toward t_{k-1}; p_{i_{k-1}} halfway toward t_k.
+    let mut new_time = rescaled.clone();
+    for (idx, event) in events.iter().enumerate() {
+        let t = rescaled[idx];
+        let k_idx = block_of(t);
+        let t_lo = Time::ZERO + block_len * (k_idx as i128 - 1);
+        let t_hi = Time::ZERO + block_len * k_idx as i128;
+        let actor = event.process; // recipient for deliveries
+        if actor == chosen[k_idx] {
+            new_time[idx] = t_lo + (t - t_lo) / 2;
+        } else if actor == chosen[k_idx - 1] {
+            new_time[idx] = t_hi - (t_hi - t) / 2;
+        }
+    }
+
+    // Per-process step order must be preserved (Lemma 6.7 applies to the
+    // construction only under that invariant).
+    let mut last_seen: BTreeMap<ProcessId, Time> = BTreeMap::new();
+    for (idx, event) in events.iter().enumerate() {
+        if !event.kind.is_process_step() {
+            continue;
+        }
+        if let Some(&prev) = last_seen.get(&event.process) {
+            if new_time[idx] < prev {
+                return Err(Error::inadmissible(
+                    "retiming reordered a process's own steps",
+                ));
+            }
+        }
+        last_seen.insert(event.process, new_time[idx]);
+    }
+
+    // Rebuild a timed trace with the new times, remapping messages.
+    let order = {
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&i| (new_time[i], i));
+        order
+    };
+    // Original messages grouped by their sending step (process, time).
+    let mut sends_by_step: BTreeMap<(ProcessId, Time), Vec<MsgId>> = BTreeMap::new();
+    for record in trace.messages() {
+        sends_by_step
+            .entry((record.from, record.sent_at))
+            .or_default()
+            .push(record.msg);
+    }
+    let mut new_trace = Trace::new(trace.num_processes());
+    let mut msg_map: BTreeMap<MsgId, MsgId> = BTreeMap::new();
+    for &idx in &order {
+        let event = &events[idx];
+        let t = new_time[idx];
+        match event.kind {
+            StepKind::MpStep { broadcast, .. } => {
+                if broadcast {
+                    if let Some(originals) =
+                        sends_by_step.get(&(event.process, event.time))
+                    {
+                        for &orig in originals {
+                            let record = trace.message(orig).expect("recorded");
+                            let new_id = new_trace.record_send(record.from, record.to, t);
+                            msg_map.insert(orig, new_id);
+                        }
+                    }
+                }
+                new_trace.push(TraceEvent {
+                    time: t,
+                    ..event.clone()
+                });
+            }
+            StepKind::Deliver { msg } => {
+                let new_id = *msg_map.get(&msg).ok_or_else(|| {
+                    Error::inadmissible("delivery retimed before its send")
+                })?;
+                new_trace.record_delivery(new_id, t);
+                new_trace.push(TraceEvent {
+                    time: t,
+                    process: event.process,
+                    kind: StepKind::Deliver { msg: new_id },
+                    idle_after: event.idle_after,
+                });
+            }
+            StepKind::VarAccess { .. } => {
+                return Err(Error::invalid_params(
+                    "rescaling attack applies to message-passing traces",
+                ))
+            }
+        }
+    }
+
+    let bounds = KnownBounds::sporadic(c1, d1, d2)?;
+    let admissible = check_admissible(&new_trace, &bounds).is_ok();
+    let n = spec.n();
+    let sessions = count_sessions(&new_trace, n, move |p: ProcessId| {
+        (p.index() < n).then(|| PortId::new(p.index()))
+    });
+
+    Ok(RescaleOutcome {
+        k_period: k,
+        block_rounds: b_rounds,
+        blocks: last_block,
+        sessions,
+        s: spec.s(),
+        admissible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveMpPort;
+    use session_core::report::{run_mp, MpConfig};
+    use session_core::system::port_of;
+    use session_mpm::{MpEngine, MpProcess};
+    use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+    use session_types::TimingModel;
+
+    fn d(x: i128) -> Dur {
+        Dur::from_int(x)
+    }
+
+    #[test]
+    fn k_period_matches_derivation() {
+        // d1 = 0: u = d2, K = 2*d2*c1/(d2/2) = 4*c1.
+        assert_eq!(k_period(d(2), d(0), d(100)).unwrap(), d(8));
+        // d1 = d2: u = 0, K = 2*c1.
+        assert_eq!(k_period(d(3), d(10), d(10)).unwrap(), d(6));
+        assert!(k_period(d(1), d(0), d(0)).is_err());
+    }
+
+    /// Record the naive witness (s silent steps, no messages) at period K
+    /// and apply the construction: the retiming must be admissible and
+    /// contain < s sessions.
+    #[test]
+    fn rescaling_defeats_the_naive_witness() {
+        let spec = SessionSpec::new(4, 3, 2).unwrap();
+        let c1 = d(1);
+        let d1 = d(0);
+        let d2 = d(16); // u = 16, B = 4, K = 4*c1 = 4
+        let k = k_period(c1, d1, d2).unwrap();
+
+        let processes: Vec<Box<dyn MpProcess<session_core::SessionMsg>>> = (0..3)
+            .map(|_| Box::new(NaiveMpPort::new(4)) as Box<_>)
+            .collect();
+        let ports = (0..3)
+            .map(|i| (ProcessId::new(i), PortId::new(i)))
+            .collect();
+        let mut engine = MpEngine::new(processes, ports).unwrap();
+        let mut sched = FixedPeriods::uniform(3, k).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let outcome = engine
+            .run(&mut sched, &mut delays, RunLimits::default())
+            .unwrap();
+        assert!(outcome.terminated);
+        // Sanity: in the unperturbed round-robin run the witness *does*
+        // produce s sessions — that is exactly why it looks plausible.
+        assert_eq!(count_sessions(&outcome.trace, 3, port_of(&spec)), 4);
+
+        let result = rescaling_attack(&outcome.trace, &spec, c1, d1, d2).unwrap();
+        assert!(result.admissible, "retimed trace must be admissible");
+        assert!(
+            result.sessions < 4,
+            "retiming must destroy sessions: got {}",
+            result.sessions
+        );
+        assert!(result.defeated());
+    }
+
+    /// The correct A(sp), recorded at period K with delays d2, survives:
+    /// the construction still yields an admissible trace (delays in
+    /// [d2-u, d2]), but does not drop below s sessions because A(sp) keeps
+    /// stepping until it has proof.
+    #[test]
+    fn rescaling_does_not_defeat_a_sp() {
+        let spec = SessionSpec::new(3, 2, 2).unwrap();
+        let c1 = d(1);
+        let d1 = d(0);
+        let d2 = d(16);
+        let k = k_period(c1, d1, d2).unwrap();
+        let bounds = KnownBounds::sporadic(c1, d1, d2).unwrap();
+
+        let mut sched = FixedPeriods::uniform(2, k).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Sporadic,
+                spec,
+                bounds,
+            },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(report.terminated);
+
+        let result = rescaling_attack(&report.trace, &spec, c1, d1, d2).unwrap();
+        assert!(
+            result.admissible,
+            "delays must remain within [d2-u, d2] ⊆ [d1, d2]"
+        );
+        assert!(
+            result.sessions >= 3,
+            "A(sp) took enough steps that even the retimed order has s sessions: {}",
+            result.sessions
+        );
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let spec = SessionSpec::new(2, 2, 2).unwrap();
+        let trace = Trace::new(2);
+        // u too small for a block.
+        assert!(rescaling_attack(&trace, &spec, d(1), d(0), d(3)).is_err());
+        // n = 1.
+        let solo = SessionSpec::new(2, 1, 2).unwrap();
+        assert!(rescaling_attack(&trace, &solo, d(1), d(0), d(16)).is_err());
+        // Empty trace with valid constants.
+        assert!(rescaling_attack(&trace, &spec, d(1), d(0), d(16)).is_err());
+    }
+}

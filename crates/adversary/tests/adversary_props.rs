@@ -1,0 +1,132 @@
+//! Property-based sweeps of the lower-bound adversaries: across random
+//! instance shapes, each construction must keep succeeding against its
+//! witness (and the paper's algorithms must keep surviving).
+
+use proptest::prelude::*;
+use session_adversary::contamination::contamination_analysis;
+use session_adversary::naive::{naive_sm_system, periodic_sm_demo, NaiveMpPort};
+use session_adversary::rescale::{k_period, rescaling_attack};
+use session_adversary::retime::{block_constant, retiming_attack};
+use session_core::system::{build_sm_system, port_of};
+use session_core::verify::count_sessions;
+use session_mpm::{MpEngine, MpProcess};
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_types::{Dur, KnownBounds, PortId, ProcessId, SessionSpec};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 5.1 across sizes: whenever the construction applies
+    /// (B >= 2), it defeats the silent witness with an admissible,
+    /// state-equivalent computation.
+    #[test]
+    fn retiming_always_defeats_the_witness(
+        s in 2u64..5,
+        n_exp in 2u32..5,        // n = 2^k so log2 n is nontrivial
+        c2 in 8i128..=20,
+    ) {
+        let n = 1usize << n_exp;
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let c1 = d(1);
+        let c2 = d(c2);
+        prop_assume!(block_constant(&spec, c1, c2) >= 2);
+        let outcome = retiming_attack(
+            || naive_sm_system(&spec, spec.s()),
+            &spec,
+            c1,
+            c2,
+            RunLimits::default(),
+        )
+        .unwrap();
+        prop_assert!(outcome.admissible, "inadmissible retiming at s={s}, n={n}");
+        prop_assert!(outcome.same_global_state, "state drift at s={s}, n={n}");
+        prop_assert!(
+            outcome.sessions < s,
+            "no deficit at s={s}, n={n}: {} sessions",
+            outcome.sessions
+        );
+    }
+
+    /// Theorem 6.5 across delay windows: the rescaling keeps destroying the
+    /// witness's sessions while staying admissible.
+    #[test]
+    fn rescaling_always_defeats_the_witness(
+        s in 2u64..6,
+        n in 2usize..5,
+        u_blocks in 1i128..5, // u = 4 * c1 * u_blocks so B = u_blocks
+    ) {
+        let c1 = d(1);
+        let d1 = d(0);
+        let d2 = d(4 * u_blocks);
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        // The theorem perturbs algorithms running in time < B·K·(s−1);
+        // the silent witness takes s·K, so it only qualifies when
+        // s < B·(s−1).
+        prop_assume!(s < u_blocks as u64 * (s - 1));
+        let k = k_period(c1, d1, d2).unwrap();
+        let processes: Vec<Box<dyn MpProcess<session_core::SessionMsg>>> = (0..n)
+            .map(|_| Box::new(NaiveMpPort::new(s)) as Box<_>)
+            .collect();
+        let ports = (0..n).map(|i| (ProcessId::new(i), PortId::new(i))).collect();
+        let mut engine = MpEngine::new(processes, ports).unwrap();
+        let mut sched = FixedPeriods::uniform(n, k).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let outcome = engine.run(&mut sched, &mut delays, RunLimits::default()).unwrap();
+        prop_assert!(outcome.terminated);
+        // Unperturbed, the witness looks fine:
+        prop_assert_eq!(count_sessions(&outcome.trace, n, port_of(&spec)), s);
+        let result = rescaling_attack(&outcome.trace, &spec, c1, d1, d2).unwrap();
+        prop_assert!(result.admissible, "inadmissible rescale at s={s}, n={n}, B={u_blocks}");
+        prop_assert!(
+            result.sessions < s,
+            "no deficit at s={s}, n={n}, B={u_blocks}: {} sessions",
+            result.sessions
+        );
+    }
+
+    /// Lemma 4.4 across shapes: contamination never outruns
+    /// ((2b-1)^t - 1)/2 for any slowed process and any window length.
+    #[test]
+    fn contamination_lemma_never_violated(
+        n in 2usize..12,
+        b in 2usize..5,
+        slow in 0usize..12,
+        subrounds in 1u32..10,
+    ) {
+        let slow = slow % n;
+        let spec = SessionSpec::new(2, n, b).unwrap();
+        let bounds = KnownBounds::periodic(d(1)).unwrap();
+        let report = contamination_analysis(
+            || build_sm_system(&spec, &bounds),
+            n,
+            ProcessId::new(slow),
+            subrounds,
+            b,
+        )
+        .unwrap();
+        prop_assert!(report.lemma_holds, "n={n}, b={b}, slow={slow}, t={subrounds}");
+    }
+
+    /// The periodic adversary defeats the silent witness for every slow
+    /// factor that actually slows (>= s makes the witness idle before the
+    /// slow process finishes its first s steps).
+    #[test]
+    fn slowdown_factor_does_not_matter(
+        s in 2u64..5,
+        n in 2usize..7,
+        factor in 8i128..200,
+    ) {
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let demo = periodic_sm_demo(&spec, factor, RunLimits::default()).unwrap();
+        prop_assert!(
+            demo.demonstrates_bound(),
+            "s={s}, n={n}, factor={factor}: naive {} vs correct {}",
+            demo.naive_sessions,
+            demo.correct_sessions
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end runs of the Theorem 5.1 reorder-and-retime adversary.
+
+use session_adversary::naive::naive_sm_system;
+use session_adversary::retime::{block_constant, retiming_attack};
+use session_core::system::build_sm_system;
+use session_sim::RunLimits;
+use session_types::{Dur, KnownBounds, SessionSpec};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+/// The witness: a silent algorithm that takes only `s` port steps —
+/// terminating in `s · c2 < B · c2 · (s − 1)` — is defeated: the
+/// construction yields an *admissible*, state-equivalent semi-synchronous
+/// computation with fewer than `s` sessions.
+#[test]
+fn retiming_defeats_a_too_fast_algorithm() {
+    let spec = SessionSpec::new(3, 8, 2).unwrap(); // floor(log2 8) = 3
+    let c1 = d(1);
+    let c2 = d(8); // B = min(4, 3) = 3
+    assert_eq!(block_constant(&spec, c1, c2), 3);
+
+    let factory = || naive_sm_system(&spec, spec.s());
+    let outcome = retiming_attack(factory, &spec, c1, c2, RunLimits::default()).unwrap();
+
+    assert!(outcome.admissible, "retimed computation must be admissible");
+    assert!(
+        outcome.same_global_state,
+        "Claim 5.2: the reordering reaches the same global state"
+    );
+    assert!(
+        outcome.sessions < spec.s(),
+        "expected a session deficit, got {} of {}",
+        outcome.sessions,
+        spec.s()
+    );
+    assert!(outcome.defeated());
+    assert!(outcome.blocks <= (spec.s() - 1) as usize + 1);
+}
+
+/// The honest semi-synchronous algorithm is slow enough that the very same
+/// construction cannot find a deficit: the retimed computation is a real
+/// admissible computation of a *correct* algorithm, so it must contain `s`
+/// sessions.
+#[test]
+fn retiming_cannot_defeat_the_honest_algorithm() {
+    let spec = SessionSpec::new(3, 8, 2).unwrap();
+    let c1 = d(1);
+    let c2 = d(8);
+    let bounds = KnownBounds::semi_synchronous(c1, c2, d(1)).unwrap();
+
+    let factory = || build_sm_system(&spec, &bounds);
+    let outcome = retiming_attack(factory, &spec, c1, c2, RunLimits::default()).unwrap();
+
+    assert!(outcome.admissible);
+    assert!(outcome.same_global_state);
+    assert!(
+        outcome.sessions >= spec.s(),
+        "a correct algorithm keeps its sessions under any admissible retiming: {} < {}",
+        outcome.sessions,
+        spec.s()
+    );
+    assert!(!outcome.defeated());
+}
+
+/// Larger instances: the deficit persists across sizes.
+#[test]
+fn retiming_defeats_witnesses_across_sizes() {
+    for (s, n, c2) in [(2u64, 8usize, 8i128), (4, 16, 12), (3, 27, 16)] {
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let c1 = d(1);
+        let c2 = d(c2);
+        if block_constant(&spec, c1, c2) < 2 {
+            continue;
+        }
+        let factory = || naive_sm_system(&spec, spec.s());
+        let outcome =
+            retiming_attack(factory, &spec, c1, c2, RunLimits::default()).unwrap();
+        assert!(
+            outcome.defeated(),
+            "s={s}, n={n}: sessions {} of {} (admissible: {}, same state: {})",
+            outcome.sessions,
+            outcome.s,
+            outcome.admissible,
+            outcome.same_global_state
+        );
+    }
+}
+
+/// Degenerate parameters are rejected rather than silently mis-built.
+#[test]
+fn retiming_rejects_degenerate_parameters() {
+    let spec = SessionSpec::new(3, 8, 2).unwrap();
+    let factory = || naive_sm_system(&spec, spec.s());
+    // c2 < 4 c1.
+    assert!(retiming_attack(factory, &spec, d(2), d(6), RunLimits::default()).is_err());
+    // log_b n too small for B >= 2: n = 2, b = 2 => floor(log2 2) = 1.
+    let tiny = SessionSpec::new(3, 2, 2).unwrap();
+    let factory = || naive_sm_system(&tiny, tiny.s());
+    assert!(retiming_attack(factory, &tiny, d(1), d(8), RunLimits::default()).is_err());
+}

@@ -1,0 +1,94 @@
+//! Benches for the lower-bound adversary machinery: the dependency-order
+//! constructions dominate the harness cost, so their scaling matters.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use session_adversary::naive::{naive_sm_system, NaiveMpPort};
+use session_adversary::reorder::afl_reorder_attack;
+use session_adversary::rescale::{k_period, rescaling_attack};
+use session_adversary::retime::retiming_attack;
+use session_mpm::{MpEngine, MpProcess};
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_types::{Dur, PortId, ProcessId, SessionSpec};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn bench_retiming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary/retiming");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let spec = SessionSpec::new(3, n, 2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| {
+                retiming_attack(
+                    || naive_sm_system(spec, spec.s()),
+                    spec,
+                    d(1),
+                    d(8),
+                    RunLimits::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_afl_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary/afl-reorder");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for n in [8usize, 16, 32, 64] {
+        let spec = SessionSpec::new(3, n, 2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| {
+                afl_reorder_attack(
+                    || naive_sm_system(spec, spec.s()),
+                    spec,
+                    RunLimits::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rescaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary/rescaling");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for n in [3usize, 6, 12] {
+        let spec = SessionSpec::new(4, n, 2).unwrap();
+        let c1 = d(1);
+        let d1 = d(0);
+        let d2 = d(16);
+        let k = k_period(c1, d1, d2).unwrap();
+        // Record once outside the measured loop; the attack is the subject.
+        let processes: Vec<Box<dyn MpProcess<session_core::SessionMsg>>> = (0..n)
+            .map(|_| Box::new(NaiveMpPort::new(4)) as Box<_>)
+            .collect();
+        let ports = (0..n)
+            .map(|i| (ProcessId::new(i), PortId::new(i)))
+            .collect();
+        let mut engine = MpEngine::new(processes, ports).unwrap();
+        let mut sched = FixedPeriods::uniform(n, k).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let outcome = engine
+            .run(&mut sched, &mut delays, RunLimits::default())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &outcome, |b, outcome| {
+            b.iter(|| rescaling_attack(&outcome.trace, &spec, c1, d1, d2).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retiming, bench_afl_reorder, bench_rescaling);
+criterion_main!(benches);

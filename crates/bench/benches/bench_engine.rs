@@ -1,0 +1,103 @@
+//! Raw engine throughput: simulated steps per second for both substrates,
+//! independent of any algorithm's semantics.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use session_mpm::{Envelope, MpEngine, MpProcess};
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_smm::{SmEngine, SmProcess};
+use session_types::{Dur, PortId, ProcessId, VarId};
+
+/// A minimal SM process: bumps a counter variable forever.
+#[derive(Debug)]
+struct Spinner(VarId);
+
+impl SmProcess<u64> for Spinner {
+    fn target(&self) -> VarId {
+        self.0
+    }
+    fn step(&mut self, value: &u64) -> u64 {
+        value + 1
+    }
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+fn sm_steps(num_processes: usize, steps: u64) {
+    let processes: Vec<Box<dyn SmProcess<u64>>> = (0..num_processes)
+        .map(|i| Box::new(Spinner(VarId::new(i))) as Box<_>)
+        .collect();
+    let mut engine =
+        SmEngine::new(vec![0u64; num_processes], processes, 2, vec![]).unwrap();
+    let mut sched = FixedPeriods::uniform(num_processes, Dur::from_int(1)).unwrap();
+    let outcome = engine
+        .run(&mut sched, RunLimits::default().with_max_steps(steps))
+        .unwrap();
+    assert_eq!(outcome.steps, steps);
+}
+
+/// A minimal MP process: broadcasts every step, never idles.
+#[derive(Debug)]
+struct Chatter;
+
+impl MpProcess<u8> for Chatter {
+    fn step(&mut self, _inbox: Vec<Envelope<u8>>) -> Option<u8> {
+        Some(0)
+    }
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+fn mp_steps(num_processes: usize, steps: u64) {
+    let processes: Vec<Box<dyn MpProcess<u8>>> =
+        (0..num_processes).map(|_| Box::new(Chatter) as Box<_>).collect();
+    let ports = (0..num_processes)
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect();
+    let mut engine = MpEngine::new(processes, ports).unwrap();
+    let mut sched = FixedPeriods::uniform(num_processes, Dur::from_int(1)).unwrap();
+    let mut delays = ConstantDelay::new(Dur::from_int(2)).unwrap();
+    let outcome = engine
+        .run(
+            &mut sched,
+            &mut delays,
+            RunLimits::default().with_max_steps(steps),
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, steps);
+}
+
+fn bench_sm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/sm-steps");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    const STEPS: u64 = 10_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for n in [2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| sm_steps(n, STEPS));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mp_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/mp-steps");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    const STEPS: u64 = 2_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for n in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| mp_steps(n, STEPS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sm_throughput, bench_mp_throughput);
+criterion_main!(benches);

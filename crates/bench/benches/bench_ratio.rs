@@ -1,0 +1,71 @@
+//! Ablation bench (DESIGN.md §6.1): the cost of exact rational time.
+//!
+//! The simulator's clock is an `i128` rational so that the lower-bound
+//! retimings are exact. This bench quantifies the overhead against raw
+//! `i128` integer-tick arithmetic — the representation a less careful
+//! simulator would use.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use session_types::Ratio;
+use std::hint::black_box;
+
+fn bench_ratio_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time-repr");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    let a = Ratio::new(355, 113);
+    let b = Ratio::new(22, 7);
+    group.bench_function("ratio-add", |bench| {
+        bench.iter(|| black_box(a) + black_box(b));
+    });
+    group.bench_function("ratio-mul", |bench| {
+        bench.iter(|| black_box(a) * black_box(b));
+    });
+    group.bench_function("ratio-cmp", |bench| {
+        bench.iter(|| black_box(a) < black_box(b));
+    });
+    let x: i128 = 355_000;
+    let y: i128 = 113_000;
+    group.bench_function("i128-add", |bench| {
+        bench.iter(|| black_box(x) + black_box(y));
+    });
+    group.bench_function("i128-cmp", |bench| {
+        bench.iter(|| black_box(x) < black_box(y));
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use session_sim::EventQueue;
+    use session_types::Time;
+    let mut group = c.benchmark_group("time-repr/queue");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("push-pop-1000-rational", |bench| {
+        bench.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000i128 {
+                q.push(Time::from_ratio(Ratio::new(i, i % 7 + 1)), i);
+            }
+            while let Some(item) = q.pop() {
+                black_box(item);
+            }
+        });
+    });
+    group.bench_function("push-pop-1000-integer", |bench| {
+        bench.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000i128 {
+                q.push(Time::from_int(i), i);
+            }
+            while let Some(item) = q.pop() {
+                black_box(item);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ratio_ops, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benches for the real-time scheduling substrate (EXT-RT): schedulability
+//! analyses and the uniprocessor scheduler simulator.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use session_rt::sched::{simulate, Policy};
+use session_rt::{analysis, PeriodicTask, TaskSet};
+use session_types::{Dur, Time};
+
+fn task_set(n: usize) -> TaskSet {
+    // Periods 4, 6, 8, …; wcet 1 each: utilization well under 1.
+    TaskSet::periodic(
+        (0..n)
+            .map(|i| {
+                PeriodicTask::new(Dur::from_int(4 + 2 * i as i128), Dur::from_int(1)).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt/analysis");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for n in [4usize, 16, 64] {
+        let tasks = task_set(n);
+        group.bench_with_input(BenchmarkId::new("rta", n), &tasks, |b, tasks| {
+            b.iter(|| analysis::response_times(tasks));
+        });
+        group.bench_with_input(BenchmarkId::new("np-edf", n), &tasks, |b, tasks| {
+            b.iter(|| analysis::np_edf_schedulable(tasks));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt/simulate");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    let tasks = task_set(8);
+    for policy in [Policy::EdfPreemptive, Policy::RmPreemptive, Policy::EdfNonPreemptive] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| simulate(&tasks, policy, Time::from_int(2_000)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches, one group per Table 1 block: wall-clock cost of the
+//! full measurement (build system, simulate, verify) at growing instance
+//! sizes. The *simulated* times these runs produce are reported by the
+//! `table1` binary; these benches track the harness's own performance so
+//! regressions in the engines show up in `cargo bench`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use session_bench::measure;
+use session_types::Dur;
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/synchronous");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for s in [2u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("sm", s), &s, |b, &s| {
+            b.iter(|| measure::sync_sm(s, 8, d(3)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mp", s), &s, |b, &s| {
+            b.iter(|| measure::sync_mp(s, 8, d(3), d(5)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_periodic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/periodic");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sm-upper", n), &n, |b, &n| {
+            b.iter(|| measure::periodic_sm_upper(4, n, 2, d(3)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mp-upper", n), &n, |b, &n| {
+            b.iter(|| measure::periodic_mp_upper(4, n, d(3), d(20)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("sm-lower-adversary", n), &n, |b, &n| {
+            b.iter(|| measure::periodic_sm_lower(4, n, 2).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_semisync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/semisync");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for ratio in [2i128, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("sm-upper", ratio), &ratio, |b, &r| {
+            b.iter(|| measure::semisync_sm_upper(4, 8, 2, d(1), d(r)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mp-upper", ratio), &ratio, |b, &r| {
+            b.iter(|| measure::semisync_mp_upper(4, 8, d(1), d(r), d(20)).unwrap());
+        });
+    }
+    group.bench_function("sm-lower-retiming", |b| {
+        b.iter(|| measure::semisync_sm_lower(3, 8, d(1), d(8)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_sporadic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/sporadic");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for u in [4i128, 12, 24] {
+        group.bench_with_input(BenchmarkId::new("mp-upper", u), &u, |b, &u| {
+            b.iter(|| measure::sporadic_mp_upper(4, 4, d(1), d(0), d(u)).unwrap());
+        });
+    }
+    group.bench_function("mp-lower-rescaling", |b| {
+        b.iter(|| measure::sporadic_mp_lower(4, 3, d(1), d(0), d(16)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/async");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sm-upper", n), &n, |b, &n| {
+            b.iter(|| measure::async_sm_upper(4, n, 2).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mp-upper", n), &n, |b, &n| {
+            b.iter(|| measure::async_mp_upper(4, n, d(2), d(9)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync,
+    bench_periodic,
+    bench_semisync,
+    bench_sporadic,
+    bench_async
+);
+criterion_main!(benches);

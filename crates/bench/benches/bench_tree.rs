@@ -1,0 +1,72 @@
+//! Ablation bench (DESIGN.md §6.2): the tree broadcast network's flood cost
+//! across the fan-in bound `b` and the leaf count `n`. The paper's
+//! `O(log_b n)` communication term is realized with arity `max(2, b − 1)`;
+//! this bench tracks how the choice plays out.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use session_core::report::{run_sm, SmConfig};
+use session_sim::{FixedPeriods, RunLimits};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+/// One full asynchronous run (every session is a flood): the heaviest
+/// consumer of the tree network.
+fn flood_run(n: usize, b: usize) {
+    let spec = SessionSpec::new(3, n, b).unwrap();
+    let tree = TreeSpec::build(n, b);
+    let mut sched =
+        FixedPeriods::uniform(n + tree.num_relays(), Dur::from_int(1)).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds: KnownBounds::asynchronous(),
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+}
+
+fn bench_flood_by_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/flood-by-b");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for b in [2usize, 3, 5, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| flood_run(32, b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/flood-by-n");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for n in [4usize, 16, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| flood_run(n, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/build");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for n in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| TreeSpec::build(n, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood_by_b, bench_flood_by_n, bench_build);
+criterion_main!(benches);

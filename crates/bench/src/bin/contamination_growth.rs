@@ -1,0 +1,58 @@
+//! Lemma 4.4, tabulated: the measured contamination spread after slowing
+//! one port process, against the paper's bound `P_t = ((2b−1)^t − 1)/2`,
+//! across fan-in bounds `b`.
+//!
+//! ```text
+//! cargo run -p session-bench --bin contamination_growth
+//! ```
+
+use session_adversary::contamination::{contamination_analysis, lemma_bound};
+use session_bench::format::{section, Row};
+use session_core::system::build_sm_system;
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec};
+
+fn main() {
+    println!("# Lemma 4.4 — contamination growth vs the paper's bound\n");
+    for (n, b) in [(16usize, 2usize), (16, 3), (25, 4)] {
+        let spec = SessionSpec::new(3, n, b).expect("valid spec");
+        let bounds = KnownBounds::periodic(Dur::from_int(1)).expect("valid bounds");
+        let report = contamination_analysis(
+            || build_sm_system(&spec, &bounds),
+            n,
+            ProcessId::new(n - 1),
+            8,
+            b,
+        )
+        .expect("analysis succeeds");
+        assert!(report.lemma_holds);
+        let rows: Vec<Row> = report
+            .subrounds
+            .iter()
+            .map(|sub| {
+                Row::new([
+                    sub.subround.to_string(),
+                    sub.contaminated_processes.len().to_string(),
+                    lemma_bound(sub.subround, b).to_string(),
+                    sub.newly_contaminated_vars.len().to_string(),
+                ])
+            })
+            .collect();
+        print!(
+            "{}",
+            section(
+                &format!(
+                    "n = {n}, b = {b} (slowed: p{}; contamination depth ⌊log_(2b−1)(2n−1)⌋ = {})",
+                    n - 1,
+                    spec.contamination_depth()
+                ),
+                &["subround t", "|P(t)| measured", "P_t bound", "new contaminated vars"],
+                &rows,
+            )
+        );
+    }
+    println!(
+        "Every measured |P(t)| sits at or below the bound; until t reaches the\n\
+         contamination depth some port process remains untouched — the paper's\n\
+         lower-bound mechanism, visible."
+    );
+}

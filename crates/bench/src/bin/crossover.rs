@@ -1,0 +1,63 @@
+//! FIG-A: the semi-synchronous strategy crossover.
+//!
+//! Sweeps `c2/c1` and measures both arms of the semi-synchronous algorithm
+//! (step counting vs tree communication). The paper's §1 discussion
+//! predicts: "if the time for one communication is less than that for one
+//! step multiplied by the ratio of c2 and c1, the model behaves like the
+//! asynchronous; otherwise it behaves like the synchronous".
+//!
+//! ```text
+//! cargo run -p session-bench --bin crossover
+//! ```
+
+use session_bench::format::{section, Row};
+use session_bench::sweeps::semisync_crossover;
+use session_types::{Dur, SessionSpec};
+
+fn main() {
+    let ratios = [2, 4, 8, 12, 16, 24, 32, 48, 64];
+    println!("# FIG-A — Semi-synchronous strategy crossover\n");
+    for (n, b) in [(8usize, 2usize), (16, 2), (16, 3)] {
+        let spec = SessionSpec::new(4, n, b).expect("valid spec");
+        match semisync_crossover(&spec, Dur::from_int(1), &ratios) {
+            Ok(points) => {
+                let rows: Vec<Row> = points
+                    .iter()
+                    .map(|p| {
+                        Row::new([
+                            format!("{}", p.ratio),
+                            p.silent_time.to_string(),
+                            p.talking_time.to_string(),
+                            format!("{:?}", p.predicted),
+                            format!("{:?}", p.measured_winner),
+                            if p.predicted == p.measured_winner {
+                                "✓".to_owned()
+                            } else {
+                                "✗".to_owned()
+                            },
+                        ])
+                    })
+                    .collect();
+                print!(
+                    "{}",
+                    section(
+                        &format!("n = {n}, b = {b}, s = 4, c1 = 1"),
+                        &[
+                            "c2/c1",
+                            "step-counting time",
+                            "communication time",
+                            "predicted winner",
+                            "measured winner",
+                            "agree",
+                        ],
+                        &rows,
+                    )
+                );
+            }
+            Err(err) => {
+                eprintln!("crossover sweep failed for n={n}, b={b}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! FIG-C: periodic vs semi-synchronous efficiency.
+//!
+//! §1: "the periodic model is more efficient than the semi-synchronous
+//! system when c_max = c2, 2c1 < c2 and n is constant relative to s."
+//! Sweep `c2` with both systems driven at actual speed `c2`.
+//!
+//! ```text
+//! cargo run -p session-bench --bin periodic_vs_semisync
+//! ```
+
+use session_bench::format::{section, Row};
+use session_bench::sweeps::periodic_vs_semisync;
+use session_types::{Dur, SessionSpec};
+
+fn main() {
+    println!("# FIG-C — Periodic vs semi-synchronous running time\n");
+    let c2_values = [2, 4, 8, 16, 32];
+    for (s, n) in [(4u64, 4usize), (8, 4), (4, 16)] {
+        let spec = SessionSpec::new(s, n, 2).expect("valid spec");
+        match periodic_vs_semisync(&spec, Dur::from_int(1), &c2_values) {
+            Ok(points) => {
+                let rows: Vec<Row> = points
+                    .iter()
+                    .map(|p| {
+                        Row::new([
+                            p.c2.to_string(),
+                            p.periodic_time.to_string(),
+                            p.semisync_time.to_string(),
+                            p.periodic_bound.to_string(),
+                            p.semisync_bound.to_string(),
+                            if p.periodic_time < p.semisync_time {
+                                "periodic".to_owned()
+                            } else {
+                                "semi-sync".to_owned()
+                            },
+                        ])
+                    })
+                    .collect();
+                print!(
+                    "{}",
+                    section(
+                        &format!("s = {s}, n = {n}, b = 2, c1 = 1, c_max = c2"),
+                        &[
+                            "c2",
+                            "periodic A(p) time",
+                            "semi-sync time",
+                            "periodic bound",
+                            "semi-sync bound",
+                            "winner",
+                        ],
+                        &rows,
+                    )
+                );
+            }
+            Err(err) => {
+                eprintln!("dominance sweep failed for s={s}, n={n}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

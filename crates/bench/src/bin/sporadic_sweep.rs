@@ -1,0 +1,60 @@
+//! FIG-B: the sporadic model interpolates between synchronous and
+//! asynchronous behaviour as the delay window narrows.
+//!
+//! With `d2` fixed, sweep `d1` from 0 to `d2`. §1: "As the message delay
+//! approaches a constant (d1 → d2), the per-session time becomes c1 … As
+//! the message delay fluctuates within a bigger interval (d1 → 0), the
+//! per-session time becomes d2".
+//!
+//! ```text
+//! cargo run -p session-bench --bin sporadic_sweep
+//! ```
+
+use session_bench::format::{section, Row};
+use session_bench::sweeps::sporadic_interpolation;
+use session_types::{Dur, SessionSpec};
+
+fn main() {
+    println!("# FIG-B — Sporadic delay-uncertainty interpolation\n");
+    let d2 = 48i128;
+    let d1_values = [0, 8, 16, 24, 32, 40, 48];
+    for (s, n) in [(4u64, 3usize), (8, 4)] {
+        let spec = SessionSpec::new(s, n, 2).expect("valid spec");
+        match sporadic_interpolation(&spec, Dur::from_int(1), Dur::from_int(d2), &d1_values) {
+            Ok(points) => {
+                let rows: Vec<Row> = points
+                    .iter()
+                    .map(|p| {
+                        Row::new([
+                            p.d1.to_string(),
+                            p.u.to_string(),
+                            p.lower.to_string(),
+                            p.measured.to_string(),
+                            p.max_session_gap.to_string(),
+                            p.upper.to_string(),
+                        ])
+                    })
+                    .collect();
+                print!(
+                    "{}",
+                    section(
+                        &format!("s = {s}, n = {n}, c1 = 1, d2 = {d2}"),
+                        &[
+                            "d1",
+                            "u = d2-d1",
+                            "lower bound",
+                            "measured A(sp)",
+                            "max per-session",
+                            "upper bound",
+                        ],
+                        &rows,
+                    )
+                );
+            }
+            Err(err) => {
+                eprintln!("sporadic sweep failed for s={s}, n={n}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Markdown rendering for experiment reports.
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Cell values, one per column.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from anything displayable.
+    pub fn new<I, S>(cells: I) -> Row
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Row {
+            cells: cells.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// Renders a GitHub-flavoured markdown table.
+///
+/// # Examples
+///
+/// ```
+/// use session_bench::format::{markdown_table, Row};
+///
+/// let table = markdown_table(
+///     &["model", "bound", "measured"],
+///     &[Row::new(["sync", "12", "12"])],
+/// );
+/// assert!(table.contains("| sync | 12 | 12 |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.cells.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Renders a section with a title and a table.
+pub fn section(title: &str, headers: &[&str], rows: &[Row]) -> String {
+    format!("## {title}\n\n{}\n", markdown_table(headers, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(&["a", "b"], &[Row::new(["1", "2"]), Row::new(["3", "4"])]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[3], "| 3 | 4 |");
+    }
+
+    #[test]
+    fn section_includes_title() {
+        let s = section("Sync", &["x"], &[Row::new(["y"])]);
+        assert!(s.starts_with("## Sync"));
+        assert!(s.contains("| y |"));
+    }
+}

@@ -1,0 +1,20 @@
+//! The benchmark harness: everything needed to regenerate the paper's
+//! evaluation artifacts.
+//!
+//! * [`measure`] — one measurement function per Table 1 row (upper bounds:
+//!   worst-case-oriented schedules, measured simulated running time vs the
+//!   closed-form bound; lower bounds: the executable adversary experiments
+//!   from `session-adversary`).
+//! * [`sweeps`] — the derived figures: the semi-synchronous strategy
+//!   crossover (FIG-A), the sporadic `d1 → d2` interpolation (FIG-B) and
+//!   the periodic-vs-semi-synchronous dominance comparison (FIG-C).
+//! * [`format`](mod@format) — markdown rendering shared by the `table1`, `crossover`,
+//!   `sporadic_sweep` and `periodic_vs_semisync` binaries (whose outputs
+//!   are recorded in `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod measure;
+pub mod sweeps;

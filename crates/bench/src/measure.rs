@@ -1,0 +1,611 @@
+//! One measurement per Table 1 row.
+//!
+//! Upper-bound rows (`U`): build the paper's algorithm, drive it with a
+//! worst-case-oriented admissible schedule, measure the simulated running
+//! time from the trace (sessions recounted by the independent verifier) and
+//! compare against the closed-form bound. Our substrate constants differ
+//! from the paper's `O(·)` terms only where documented (`+slack` columns).
+//!
+//! Lower-bound rows (`L`): run the corresponding executable adversary from
+//! `session-adversary` — the naive witness that beats the bound is shown to
+//! produce `< s` sessions while the paper's algorithm survives the same
+//! adversary.
+
+use session_adversary::naive::{
+    naive_sm_system, periodic_mp_demo, periodic_sm_demo, semisync_sm_step_counting_demo,
+    sporadic_mp_demo, NaiveMpPort,
+};
+use session_adversary::reorder::afl_reorder_attack;
+use session_adversary::rescale::{k_period, rescaling_attack};
+use session_adversary::retime::retiming_attack;
+use session_core::report::{run_mp, run_sm, MpConfig, RunReport, SmConfig};
+use session_core::{bounds, system::port_of, verify::count_sessions};
+use session_mpm::{MpEngine, MpProcess};
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_smm::TreeSpec;
+use session_types::{Dur, Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel};
+
+/// Which side of the bound a row reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundKind {
+    /// A lower-bound (adversary) experiment.
+    Lower,
+    /// An upper-bound (running time) experiment.
+    Upper,
+}
+
+impl BoundKind {
+    /// Table label, matching the paper's `L`/`U`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundKind::Lower => "L",
+            BoundKind::Upper => "U",
+        }
+    }
+}
+
+/// One measured Table 1 cell.
+#[derive(Clone, Debug)]
+pub struct RowMeasurement {
+    /// Timing model name.
+    pub model: &'static str,
+    /// Communication substrate name.
+    pub comm: &'static str,
+    /// Lower or upper bound.
+    pub kind: BoundKind,
+    /// The instance parameters.
+    pub params: String,
+    /// The paper's bound, evaluated.
+    pub paper_bound: String,
+    /// What the experiment measured.
+    pub measured: String,
+    /// Whether the measurement is consistent with the bound.
+    pub ok: bool,
+}
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn rt(report: &RunReport) -> Dur {
+    report
+        .running_time
+        .map(|t| t - Time::ZERO)
+        .unwrap_or(Dur::ZERO)
+}
+
+/// Synchronous shared memory, upper (= lower) bound `s · c2`.
+pub fn sync_sm(s: u64, n: usize, c2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let kb = KnownBounds::synchronous(c2, d(1))?;
+    let tree = TreeSpec::build(n, 2);
+    let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2)?;
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Synchronous,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::sync_time(s, c2);
+    Ok(RowMeasurement {
+        model: "synchronous",
+        comm: "SM",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, c2={c2}"),
+        paper_bound: format!("s·c2 = {bound}"),
+        measured: format!("{} ({} sessions)", rt(&report), report.sessions),
+        ok: report.solves(&spec) && rt(&report) == bound,
+    })
+}
+
+/// Synchronous message passing, upper (= lower) bound `s · c2`.
+pub fn sync_mp(s: u64, n: usize, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let kb = KnownBounds::synchronous(c2, d2)?;
+    let mut sched = FixedPeriods::uniform(n, c2)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Synchronous,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::sync_time(s, c2);
+    Ok(RowMeasurement {
+        model: "synchronous",
+        comm: "MP",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, c2={c2}, d2={d2}"),
+        paper_bound: format!("s·c2 = {bound}"),
+        measured: format!("{} ({} sessions)", rt(&report), report.sessions),
+        ok: report.solves(&spec) && rt(&report) == bound,
+    })
+}
+
+/// Periodic shared memory, upper bound `s·c_max + O(log_b n)·c_max`.
+pub fn periodic_sm_upper(s: u64, n: usize, b: usize, c_max: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, b)?;
+    let kb = KnownBounds::periodic(d(1))?;
+    let tree = TreeSpec::build(n, b);
+    // Worst case: every process at the largest period.
+    let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c_max)?;
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Periodic,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::periodic_sm_upper(&spec, c_max, tree.flood_rounds_bound());
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "periodic",
+        comm: "SM",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, b={b}, c_max={c_max}"),
+        paper_bound: format!(
+            "s·c_max + flood·c_max = {bound} (flood = {} rounds)",
+            tree.flood_rounds_bound()
+        ),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound + c_max * 2,
+    })
+}
+
+/// Periodic shared memory, lower bound
+/// `max(s·c_max, ⌊log_{2b−1}(2n−1)⌋·c_min)`: slowed-process adversary.
+pub fn periodic_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, b)?;
+    let demo = periodic_sm_demo(&spec, 64, RunLimits::default())?;
+    let bound = bounds::periodic_sm_lower(&spec, d(1), d(64));
+    Ok(RowMeasurement {
+        model: "periodic",
+        comm: "SM",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, b={b}, slow×64"),
+        paper_bound: format!("max(s·c_max, ⌊log_(2b-1)(2n-1)⌋·c_min) = {bound}"),
+        measured: format!(
+            "naive: {}/{} sessions; A(p): {}/{} in {}",
+            demo.naive_sessions,
+            s,
+            demo.correct_sessions,
+            s,
+            demo.correct_running_time
+                .map(|t| (t - Time::ZERO).to_string())
+                .unwrap_or_else(|| "∞".into()),
+        ),
+        ok: demo.demonstrates_bound()
+            && demo
+                .correct_running_time
+                .is_some_and(|t| (t - Time::ZERO) >= bound),
+    })
+}
+
+/// Periodic message passing, upper bound `s·c_max + d2`.
+pub fn periodic_mp_upper(s: u64, n: usize, c_max: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let kb = KnownBounds::periodic(d2)?;
+    let mut sched = FixedPeriods::uniform(n, c_max)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Periodic,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::periodic_mp_upper(s, c_max, d2);
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "periodic",
+        comm: "MP",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, c_max={c_max}, d2={d2}"),
+        paper_bound: format!("s·c_max + d2 = {bound}"),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound + c_max * 2,
+    })
+}
+
+/// Periodic message passing, lower bound `max(s·c_max, d2)`:
+/// slowed-process adversary.
+pub fn periodic_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let demo = periodic_mp_demo(&spec, 64, d2, RunLimits::default())?;
+    let bound = bounds::periodic_mp_lower(s, d(64), d2);
+    Ok(RowMeasurement {
+        model: "periodic",
+        comm: "MP",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, d2={d2}, slow×64"),
+        paper_bound: format!("max(s·c_max, d2) = {bound}"),
+        measured: format!(
+            "naive: {}/{} sessions; A(p): {}/{}",
+            demo.naive_sessions, s, demo.correct_sessions, s
+        ),
+        ok: demo.demonstrates_bound()
+            && demo
+                .correct_running_time
+                .is_some_and(|t| (t - Time::ZERO) >= bound),
+    })
+}
+
+/// Semi-synchronous shared memory, upper bound
+/// `min(⌊c2/c1⌋+1, O(log_b n))·c2·(s−1) + c2`.
+pub fn semisync_sm_upper(s: u64, n: usize, b: usize, c1: Dur, c2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, b)?;
+    let kb = KnownBounds::semi_synchronous(c1, c2, d(1))?;
+    let tree = TreeSpec::build(n, b);
+    let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2)?;
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::SemiSynchronous,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::semisync_sm_upper(s, c1, c2, tree.flood_rounds_bound());
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "semi-sync",
+        comm: "SM",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, b={b}, c1={c1}, c2={c2}"),
+        paper_bound: format!("min(⌊c2/c1⌋+1, flood)·c2·(s−1)+c2 = {bound}"),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound + c2 * 2,
+    })
+}
+
+/// Semi-synchronous shared memory, lower bound
+/// `min(⌊c2/2c1⌋, ⌊log_b n⌋)·c2·(s−1)`: the Theorem 5.1
+/// reorder-and-retime adversary.
+pub fn semisync_sm_lower(s: u64, n: usize, c1: Dur, c2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let factory = || naive_sm_system(&spec, spec.s());
+    let attack = retiming_attack(factory, &spec, c1, c2, RunLimits::default())?;
+    let bound = bounds::semisync_sm_lower(&spec, c1, c2);
+    // Also the direct step-counting witness with a plain schedule.
+    let step_demo = semisync_sm_step_counting_demo(&spec, c1, c2, RunLimits::default())?;
+    Ok(RowMeasurement {
+        model: "semi-sync",
+        comm: "SM",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, b=2, c1={c1}, c2={c2}, B={}", attack.block_rounds),
+        paper_bound: format!("min(⌊c2/2c1⌋, ⌊log_b n⌋)·c2·(s−1) = {bound}"),
+        measured: format!(
+            "retimed witness: {}/{} sessions (admissible: {}, state-equal: {}); cheat-block witness: {}/{}",
+            attack.sessions,
+            s,
+            attack.admissible,
+            attack.same_global_state,
+            step_demo.naive_sessions,
+            s
+        ),
+        ok: attack.defeated() && step_demo.demonstrates_bound(),
+    })
+}
+
+/// Semi-synchronous message passing, upper bound
+/// `min((⌊c2/c1⌋+1)·c2, d2+c2)·(s−1) + c2` (from \[4\], converted).
+pub fn semisync_mp_upper(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let kb = KnownBounds::semi_synchronous(c1, c2, d2)?;
+    let mut sched = FixedPeriods::uniform(n, c2)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::SemiSynchronous,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::semisync_mp_upper(s, c1, c2, d2);
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "semi-sync",
+        comm: "MP",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, c1={c1}, c2={c2}, d2={d2}"),
+        paper_bound: format!("min((⌊c2/c1⌋+1)·c2, d2+c2)·(s−1)+c2 = {bound}"),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound + c2 * 2,
+    })
+}
+
+/// Semi-synchronous message passing, lower bound
+/// `min(⌊c2/2c1⌋·c2, d2+c2)·(s−1)`: the step-counting cheat witness.
+pub fn semisync_mp_lower(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    // The witness is substrate-independent (it never communicates); the SM
+    // demo's schedule argument applies verbatim to MP port processes.
+    let demo = semisync_sm_step_counting_demo(&spec, c1, c2, RunLimits::default())?;
+    let bound = bounds::semisync_mp_lower(s, c1, c2, d2);
+    Ok(RowMeasurement {
+        model: "semi-sync",
+        comm: "MP",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, c1={c1}, c2={c2}, d2={d2}"),
+        paper_bound: format!("min(⌊c2/2c1⌋·c2, d2+c2)·(s−1) = {bound}"),
+        measured: format!(
+            "cheat-block witness: {}/{} sessions; honest: {}/{}",
+            demo.naive_sessions, s, demo.correct_sessions, s
+        ),
+        ok: demo.demonstrates_bound(),
+    })
+}
+
+/// Sporadic message passing, upper bound
+/// `min((⌊u/c1⌋+3)·γ + u, d2+γ)·(s−1) + γ` — `A(sp)` measured.
+pub fn sporadic_mp_upper(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let kb = KnownBounds::sporadic(c1, d1, d2)?;
+    let mut sched = FixedPeriods::uniform(n, c1 * 2)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Sporadic,
+            spec,
+            bounds: kb,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    let gamma = report.gamma;
+    let bound = bounds::sporadic_mp_upper(s, c1, d1, d2, gamma);
+    let slack = d2 + gamma * 2; // Theorem 6.1's raw first-session term
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "sporadic",
+        comm: "MP",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, c1={c1}, d1={d1}, d2={d2}, γ={gamma}"),
+        paper_bound: format!("min((⌊u/c1⌋+3)γ+u, d2+γ)(s−1)+γ = {bound} (+{slack} first session)"),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound + slack,
+    })
+}
+
+/// Sporadic message passing, lower bound `max(⌊u/4c1⌋·K, c1)·(s−1)`:
+/// the Theorem 6.5 rescale-and-retime adversary plus the unbounded-pause
+/// witness.
+pub fn sporadic_mp_lower(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let k = k_period(c1, d1, d2)?;
+    // Record the naive witness at period K, delays d2 — exactly the
+    // computation Theorem 6.5 perturbs.
+    let processes: Vec<Box<dyn MpProcess<session_core::SessionMsg>>> = (0..n)
+        .map(|_| Box::new(NaiveMpPort::new(s)) as Box<_>)
+        .collect();
+    let ports = (0..n)
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect();
+    let mut engine = MpEngine::new(processes, ports)?;
+    let mut sched = FixedPeriods::uniform(n, k)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let outcome = engine.run(&mut sched, &mut delays, RunLimits::default())?;
+    if !outcome.terminated {
+        return Err(Error::LimitExceeded {
+            steps: outcome.steps,
+        });
+    }
+    let original_sessions = count_sessions(&outcome.trace, n, port_of(&spec));
+    let attack = rescaling_attack(&outcome.trace, &spec, c1, d1, d2)?;
+    let pause_demo = sporadic_mp_demo(d2, RunLimits::default())?;
+    let bound = bounds::sporadic_mp_lower(s, c1, d1, d2);
+    Ok(RowMeasurement {
+        model: "sporadic",
+        comm: "MP",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, c1={c1}, d1={d1}, d2={d2}, K={k}, B={}", attack.block_rounds),
+        paper_bound: format!("max(⌊u/4c1⌋·K, c1)·(s−1) = {bound}"),
+        measured: format!(
+            "witness: {original_sessions}→{} sessions after retiming (admissible: {}); pause witness: {}/{}",
+            attack.sessions, attack.admissible, pause_demo.naive_sessions, pause_demo.s
+        ),
+        ok: attack.defeated() && pause_demo.demonstrates_bound(),
+    })
+}
+
+/// Asynchronous shared memory, upper bound `(s−1)·O(log_b n)` rounds.
+pub fn async_sm_upper(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, b)?;
+    let tree = TreeSpec::build(n, b);
+    let mut sched = FixedPeriods::uniform(n + tree.num_relays(), d(1))?;
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds: KnownBounds::asynchronous(),
+        },
+        &mut sched,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::async_sm_upper_rounds(s, tree.flood_rounds_bound());
+    Ok(RowMeasurement {
+        model: "asynchronous",
+        comm: "SM",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, b={b}"),
+        paper_bound: format!("(s−1)·flood = {bound} rounds (flood = {})", tree.flood_rounds_bound()),
+        measured: format!("{} rounds ({} sessions)", report.rounds, report.sessions),
+        ok: report.solves(&spec) && report.rounds <= bound + tree.flood_rounds_bound() + 2,
+    })
+}
+
+/// Asynchronous shared memory, lower bound `(s−1)·⌊log_b n⌋` rounds (\[2\]):
+/// the Arjomandi–Fischer–Lynch round-reordering adversary, executed.
+pub fn async_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, b)?;
+    let attack = afl_reorder_attack(
+        || naive_sm_system(&spec, spec.s()),
+        &spec,
+        RunLimits::default(),
+    )?;
+    let bound = bounds::async_sm_lower_rounds(&spec);
+    Ok(RowMeasurement {
+        model: "asynchronous",
+        comm: "SM",
+        kind: BoundKind::Lower,
+        params: format!(
+            "s={s}, n={n}, b={b}, B={} rounds/block",
+            attack.block_rounds
+        ),
+        paper_bound: format!("(s−1)·⌊log_b n⌋ = {bound} rounds"),
+        measured: format!(
+            "witness in {} rounds reordered to {}/{} sessions (state-equal: {})",
+            attack.recorded_rounds, attack.sessions, s, attack.same_global_state
+        ),
+        ok: attack.defeated() && attack.recorded_rounds < bound,
+    })
+}
+
+/// Asynchronous message passing, upper bound `(s−1)(d2+c2)+c2` (from \[4\]).
+pub fn async_mp_upper(s: u64, n: usize, period: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let mut sched = FixedPeriods::uniform(n, period)?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds: KnownBounds::asynchronous(),
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    let gamma = report.gamma;
+    let bound = bounds::async_mp_upper(s, gamma, d2);
+    let measured = rt(&report);
+    Ok(RowMeasurement {
+        model: "asynchronous",
+        comm: "MP",
+        kind: BoundKind::Upper,
+        params: format!("s={s}, n={n}, step={period}, d2={d2}"),
+        paper_bound: format!("(s−1)(d2+γ)+γ = {bound} (γ = {gamma})"),
+        measured: format!("{measured} ({} sessions)", report.sessions),
+        ok: report.solves(&spec) && measured <= bound,
+    })
+}
+
+/// Asynchronous message passing, lower bound `(s−1)·d2` (\[4\]): witnessed by
+/// the silent algorithm's defeat under a slowed process.
+pub fn async_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
+    let spec = SessionSpec::new(s, n, 2)?;
+    let demo = periodic_mp_demo(&spec, 64, d2, RunLimits::default())?;
+    let bound = bounds::async_mp_lower(s, d2);
+    Ok(RowMeasurement {
+        model: "asynchronous",
+        comm: "MP",
+        kind: BoundKind::Lower,
+        params: format!("s={s}, n={n}, d2={d2}"),
+        paper_bound: format!("(s−1)·d2 = {bound}"),
+        measured: format!(
+            "silent witness: {}/{} sessions; communicating algorithm: {}/{}",
+            demo.naive_sessions, s, demo.correct_sessions, s
+        ),
+        ok: demo.demonstrates_bound(),
+    })
+}
+
+/// Every Table 1 row at the default instance sizes.
+///
+/// # Errors
+///
+/// Propagates the first experiment failure.
+pub fn full_table1() -> Result<Vec<RowMeasurement>> {
+    Ok(vec![
+        sync_sm(4, 8, d(3))?,
+        sync_mp(4, 8, d(3), d(5))?,
+        periodic_sm_upper(4, 8, 2, d(3))?,
+        periodic_sm_lower(4, 8, 2)?,
+        periodic_mp_upper(4, 8, d(3), d(20))?,
+        periodic_mp_lower(4, 8, d(20))?,
+        semisync_sm_upper(4, 8, 2, d(1), d(6))?,
+        semisync_sm_lower(3, 8, d(1), d(8))?,
+        semisync_mp_upper(4, 8, d(1), d(6), d(20))?,
+        semisync_mp_lower(4, 8, d(1), d(8), d(20))?,
+        sporadic_mp_upper(4, 4, d(1), d(0), d(12))?,
+        sporadic_mp_lower(4, 3, d(1), d(0), d(16))?,
+        async_sm_upper(4, 8, 2)?,
+        async_sm_lower(4, 16, 2)?,
+        async_mp_upper(4, 6, d(2), d(9))?,
+        async_mp_lower(4, 6, d(9))?,
+    ])
+}
+
+/// Renders [`full_table1`] as markdown.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn table1_markdown() -> Result<String> {
+    use crate::format::{markdown_table, Row};
+    let rows: Vec<Row> = full_table1()?
+        .into_iter()
+        .map(|m| {
+            Row::new([
+                m.model.to_owned(),
+                m.comm.to_owned(),
+                m.kind.label().to_owned(),
+                m.params,
+                m.paper_bound,
+                m.measured,
+                if m.ok { "✓".to_owned() } else { "✗".to_owned() },
+            ])
+        })
+        .collect();
+    Ok(markdown_table(
+        &["model", "comm", "L/U", "instance", "paper bound", "measured", "ok"],
+        &rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table1_row_is_consistent() {
+        let rows = full_table1().unwrap();
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            assert!(
+                row.ok,
+                "row {} {} {} failed: bound {}, measured {}",
+                row.model,
+                row.comm,
+                row.kind.label(),
+                row.paper_bound,
+                row.measured
+            );
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_models() {
+        let md = table1_markdown().unwrap();
+        for model in ["synchronous", "periodic", "semi-sync", "sporadic", "asynchronous"] {
+            assert!(md.contains(model), "missing {model} in:\n{md}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The derived figures: parameter sweeps whose *shape* the paper's §1
+//! discussion predicts.
+
+use session_core::algorithms::{SemiSyncSmPort, SmStrategy};
+use session_core::analysis::analyze;
+use session_core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_core::system::port_of;
+use session_core::{bounds, verify::count_sessions};
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_smm::{Knowledge, PortBinding, SmEngine, SmProcess, TreeSpec};
+use session_types::{
+    Dur, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel,
+};
+
+/// One point of the semi-synchronous strategy crossover (FIG-A).
+#[derive(Clone, Debug)]
+pub struct CrossoverPoint {
+    /// The ratio `c2 / c1`.
+    pub ratio: i128,
+    /// Running time of the step-counting arm.
+    pub silent_time: Dur,
+    /// Running time of the communicating arm.
+    pub talking_time: Dur,
+    /// Which arm the known-constants chooser would pick.
+    pub predicted: SmStrategy,
+    /// Which arm actually measured faster.
+    pub measured_winner: SmStrategy,
+}
+
+fn semisync_engine_with_strategy(
+    spec: &SessionSpec,
+    c1: Dur,
+    c2: Dur,
+    strategy: SmStrategy,
+) -> Result<SmEngine<Knowledge>> {
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let mut processes: Vec<Box<dyn SmProcess<Knowledge>>> = Vec::new();
+    for i in 0..spec.n() {
+        processes.push(Box::new(SemiSyncSmPort::with_strategy(
+            ProcessId::new(i),
+            tree.leaf_var(i),
+            spec.s(),
+            spec.n(),
+            c1,
+            c2,
+            strategy,
+        )?));
+    }
+    for relay in tree.relay_processes() {
+        processes.push(Box::new(relay));
+    }
+    let bindings = (0..spec.n())
+        .map(|i| PortBinding {
+            port: PortId::new(i),
+            var: tree.leaf_var(i),
+            process: ProcessId::new(i),
+        })
+        .collect();
+    SmEngine::new(
+        vec![Knowledge::new(); tree.num_nodes()],
+        processes,
+        spec.b(),
+        bindings,
+    )
+}
+
+fn measure_strategy(
+    spec: &SessionSpec,
+    c1: Dur,
+    c2: Dur,
+    strategy: SmStrategy,
+) -> Result<Dur> {
+    let mut engine = semisync_engine_with_strategy(spec, c1, c2, strategy)?;
+    let num = engine.num_processes();
+    let mut sched = FixedPeriods::uniform(num, c2)?; // worst-case speeds
+    let outcome = engine.run(&mut sched, RunLimits::default())?;
+    let sessions = count_sessions(&outcome.trace, spec.n(), |_| None);
+    assert!(
+        outcome.terminated && sessions >= spec.s(),
+        "strategy {strategy:?} failed: terminated={}, sessions={sessions}",
+        outcome.terminated
+    );
+    let end = outcome
+        .trace
+        .all_idle_time((0..spec.n()).map(ProcessId::new))
+        .expect("terminated");
+    Ok(end - Time::ZERO)
+}
+
+/// FIG-A: sweep `c2/c1` and measure both semi-synchronous arms. The §1
+/// prediction: step counting wins while `⌊c2/c1⌋ + 1` is below the
+/// communication cost (`O(log_b n)` rounds), communication wins beyond.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn semisync_crossover(
+    spec: &SessionSpec,
+    c1: Dur,
+    ratios: &[i128],
+) -> Result<Vec<CrossoverPoint>> {
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let mut points = Vec::with_capacity(ratios.len());
+    for &ratio in ratios {
+        let c2 = c1 * ratio;
+        let silent_time = measure_strategy(spec, c1, c2, SmStrategy::StepCounting)?;
+        let talking_time = measure_strategy(spec, c1, c2, SmStrategy::Communicating)?;
+        let chooser = SemiSyncSmPort::new(
+            ProcessId::new(0),
+            session_types::VarId::new(0),
+            spec.s(),
+            spec.n(),
+            c1,
+            c2,
+            tree.flood_rounds_bound(),
+        )?;
+        points.push(CrossoverPoint {
+            ratio,
+            silent_time,
+            talking_time,
+            predicted: chooser.strategy(),
+            measured_winner: if silent_time <= talking_time {
+                SmStrategy::StepCounting
+            } else {
+                SmStrategy::Communicating
+            },
+        });
+    }
+    Ok(points)
+}
+
+/// One point of the sporadic interpolation (FIG-B).
+#[derive(Clone, Debug)]
+pub struct SporadicPoint {
+    /// The delay lower bound `d1` (with `d2` fixed).
+    pub d1: Dur,
+    /// The delay uncertainty `u = d2 − d1`.
+    pub u: Dur,
+    /// Measured running time of `A(sp)`.
+    pub measured: Dur,
+    /// The largest measured *per-session* time — the quantity the paper's
+    /// §6 bounds are stated per `(s − 1)` of.
+    pub max_session_gap: Dur,
+    /// The paper's lower bound at these constants.
+    pub lower: Dur,
+    /// The paper's upper bound at these constants (using the measured `γ`).
+    pub upper: Dur,
+}
+
+/// FIG-B: fix `d2` and sweep `d1` from 0 to `d2`. The §1 prediction: as
+/// `d1 → d2` the per-session cost collapses toward the synchronous
+/// behaviour; as `d1 → 0` it approaches the asynchronous `d2`-per-session
+/// behaviour.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn sporadic_interpolation(
+    spec: &SessionSpec,
+    c1: Dur,
+    d2: Dur,
+    d1_values: &[i128],
+) -> Result<Vec<SporadicPoint>> {
+    let mut points = Vec::with_capacity(d1_values.len());
+    for &d1_raw in d1_values {
+        let d1 = Dur::from_int(d1_raw);
+        let kb = KnownBounds::sporadic(c1, d1, d2)?;
+        let mut sched = FixedPeriods::uniform(spec.n(), c1 * 2)?;
+        let mut delays = ConstantDelay::new(d2)?;
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Sporadic,
+                spec: *spec,
+                bounds: kb,
+            },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )?;
+        assert!(report.solves(spec), "A(sp) failed at d1={d1}");
+        let measured = report.running_time.expect("terminated") - Time::ZERO;
+        let analysis = analyze(&report.trace, spec.n(), port_of(spec));
+        points.push(SporadicPoint {
+            d1,
+            u: d2 - d1,
+            measured,
+            max_session_gap: analysis.max_session_gap().unwrap_or(Dur::ZERO),
+            lower: bounds::sporadic_mp_lower(spec.s(), c1, d1, d2),
+            upper: bounds::sporadic_mp_upper(spec.s(), c1, d1, d2, report.gamma)
+                + d2
+                + report.gamma * 2,
+        });
+    }
+    Ok(points)
+}
+
+/// One point of the periodic-vs-semi-synchronous comparison (FIG-C).
+#[derive(Clone, Debug)]
+pub struct DominancePoint {
+    /// The step-time upper bound `c2` (= the periodic `c_max`).
+    pub c2: Dur,
+    /// Measured running time of `A(p)` in the periodic model.
+    pub periodic_time: Dur,
+    /// Measured running time of the semi-synchronous algorithm.
+    pub semisync_time: Dur,
+    /// The periodic upper bound.
+    pub periodic_bound: Dur,
+    /// The semi-synchronous upper bound.
+    pub semisync_bound: Dur,
+}
+
+/// FIG-C: the §1 claim that the periodic model is *more efficient* than the
+/// semi-synchronous one when `c_max = c2`, `2c1 < c2` and `n` is constant
+/// relative to `s`: sweep `c2` with both systems driven at speed `c2`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn periodic_vs_semisync(
+    spec: &SessionSpec,
+    c1: Dur,
+    c2_values: &[i128],
+) -> Result<Vec<DominancePoint>> {
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let num = spec.n() + tree.num_relays();
+    let mut points = Vec::with_capacity(c2_values.len());
+    for &c2_raw in c2_values {
+        let c2 = Dur::from_int(c2_raw);
+        // Periodic: hidden constant periods all equal to c2.
+        let mut sched = FixedPeriods::uniform(num, c2)?;
+        let periodic = run_sm(
+            SmConfig {
+                model: TimingModel::Periodic,
+                spec: *spec,
+                bounds: KnownBounds::periodic(Dur::from_int(1))?,
+            },
+            &mut sched,
+            RunLimits::default(),
+        )?;
+        assert!(periodic.solves(spec));
+        // Semi-synchronous: the same speeds, but the algorithm only knows
+        // [c1, c2].
+        let mut sched = FixedPeriods::uniform(num, c2)?;
+        let semisync = run_sm(
+            SmConfig {
+                model: TimingModel::SemiSynchronous,
+                spec: *spec,
+                bounds: KnownBounds::semi_synchronous(c1, c2, Dur::from_int(1))?,
+            },
+            &mut sched,
+            RunLimits::default(),
+        )?;
+        assert!(semisync.solves(spec));
+        points.push(DominancePoint {
+            c2,
+            periodic_time: periodic.running_time.expect("terminated") - Time::ZERO,
+            semisync_time: semisync.running_time.expect("terminated") - Time::ZERO,
+            periodic_bound: bounds::periodic_sm_upper(spec, c2, tree.flood_rounds_bound()),
+            semisync_bound: bounds::semisync_sm_upper(
+                spec.s(),
+                c1,
+                c2,
+                tree.flood_rounds_bound(),
+            ),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_prediction_matches_measurement_at_the_extremes() {
+        let spec = SessionSpec::new(3, 8, 2).unwrap();
+        let points = semisync_crossover(&spec, Dur::from_int(1), &[2, 64]).unwrap();
+        // Tiny ratio: counting wins; huge ratio: communication wins.
+        assert_eq!(points[0].measured_winner, SmStrategy::StepCounting);
+        assert_eq!(points[1].measured_winner, SmStrategy::Communicating);
+        assert_eq!(points[0].predicted, points[0].measured_winner);
+        assert_eq!(points[1].predicted, points[1].measured_winner);
+    }
+
+    #[test]
+    fn sporadic_interpolation_is_monotone_in_shape() {
+        let spec = SessionSpec::new(4, 3, 2).unwrap();
+        let points =
+            sporadic_interpolation(&spec, Dur::from_int(1), Dur::from_int(16), &[0, 8, 16])
+                .unwrap();
+        // Measured time within bounds and non-increasing as d1 grows
+        // (the algorithm waits less when the delay window narrows).
+        for p in &points {
+            assert!(p.measured <= p.upper, "{p:?}");
+        }
+        assert!(points[0].measured >= points[2].measured, "{points:?}");
+        // Lower bound shape: ~d2 at u = d2, ~c1 at u = 0.
+        assert!(points[0].lower > points[2].lower);
+    }
+
+    #[test]
+    fn periodic_dominates_semisync_for_large_c2_over_c1() {
+        let spec = SessionSpec::new(4, 4, 2).unwrap();
+        let points = periodic_vs_semisync(&spec, Dur::from_int(1), &[4, 32]).unwrap();
+        // With 2c1 < c2, A(p) should beat the semi-synchronous algorithm
+        // (which must either count many steps or communicate per session).
+        let big = &points[1];
+        assert!(
+            big.periodic_time < big.semisync_time,
+            "periodic {} vs semisync {}",
+            big.periodic_time,
+            big.semisync_time
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The session algorithms, one per cell of Table 1.
+//!
+//! | Timing model | Shared memory | Message passing |
+//! |---|---|---|
+//! | Synchronous | [`SyncSmPort`] | [`SyncMpPort`] |
+//! | Periodic | [`PeriodicSmPort`] (the paper's `A(p)`) | [`PeriodicMpPort`] (`A(p)`) |
+//! | Semi-synchronous | [`SemiSyncSmPort`] | [`SemiSyncMpPort`] |
+//! | Sporadic | [`SporadicSmPort`] (≡ asynchronous, §1) | [`SporadicMpPort`] (the paper's `A(sp)`) |
+//! | Asynchronous | [`AsyncSmPort`] | [`AsyncMpPort`] |
+//!
+//! Every type here implements a *port process*; the surrounding system
+//! (tree network for shared memory, broadcast network for message passing)
+//! is assembled by [`crate::system`]. None of the algorithms ever sees a
+//! clock: their inputs are their own state, what they read or receive, and
+//! the model constants of [`session_types::KnownBounds`].
+
+mod mp_async;
+mod mp_periodic;
+mod mp_semisync;
+mod mp_sporadic;
+mod mp_sync;
+mod sm_async;
+mod sm_periodic;
+mod sm_semisync;
+mod sm_sync;
+
+pub use mp_async::AsyncMpPort;
+pub use mp_periodic::PeriodicMpPort;
+pub use mp_semisync::{MpStrategy, SemiSyncMpPort, StepCountingMpPort};
+pub use mp_sporadic::SporadicMpPort;
+pub use mp_sync::SyncMpPort;
+pub use sm_async::AsyncSmPort;
+pub use sm_periodic::PeriodicSmPort;
+pub use sm_semisync::{SemiSyncSmPort, SmStrategy, StepCountingSmPort};
+pub use sm_sync::SyncSmPort;
+
+/// The sporadic shared-memory model is "essentially equal to the
+/// asynchronous shared memory model" (§1) — the sporadic constraint adds a
+/// lower bound on step time but no upper bound and no messages, so nothing
+/// a shared-memory algorithm could exploit. The paper's Table 1 says
+/// "See Async. SM"; so do we.
+pub type SporadicSmPort = AsyncSmPort;

@@ -1,0 +1,260 @@
+//! Whole-trace analysis: everything the paper measures about a
+//! computation, in one pass.
+
+use std::collections::BTreeMap;
+
+use session_sim::{StepKind, Trace};
+use session_types::{Dur, PortId, ProcessId, Time};
+
+use crate::verify::{count_rounds, session_boundaries};
+
+/// Summary of one process's behaviour in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessSummary {
+    /// Process steps taken (network deliveries excluded).
+    pub steps: usize,
+    /// Port steps among them (pre-idle steps on the process's port).
+    pub port_steps: usize,
+    /// When the process first entered an idle state, if it did.
+    pub idle_at: Option<Time>,
+    /// The smallest gap between consecutive steps (including from time 0
+    /// to the first step); `None` if the process never stepped.
+    pub min_gap: Option<Dur>,
+    /// The largest such gap.
+    pub max_gap: Option<Dur>,
+}
+
+/// Everything measured about one recorded computation.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// Disjoint sessions (greedy count, idle steps excluded).
+    pub sessions: u64,
+    /// The times at which each session closed.
+    pub session_close_times: Vec<Time>,
+    /// Disjoint rounds over all processes.
+    pub rounds: u64,
+    /// Per-process summaries, in process order.
+    pub per_process: BTreeMap<ProcessId, ProcessSummary>,
+    /// Total (message, recipient) instances sent.
+    pub messages_sent: usize,
+    /// How many were delivered within the trace.
+    pub messages_delivered: usize,
+    /// The smallest delivered delay, if any message was delivered.
+    pub min_delay: Option<Dur>,
+    /// The largest delivered delay.
+    pub max_delay: Option<Dur>,
+    /// The largest step gap over all processes (§2.3's `γ`).
+    pub gamma: Dur,
+    /// The time of the last event.
+    pub end_time: Option<Time>,
+}
+
+impl TraceAnalysis {
+    /// The spans between consecutive session closes (the first measured
+    /// from time 0): the paper's *per-session time*, the quantity the §6
+    /// bounds are stated per `(s − 1)` of.
+    pub fn session_gaps(&self) -> Vec<Dur> {
+        let mut prev = Time::ZERO;
+        self.session_close_times
+            .iter()
+            .map(|&t| {
+                let gap = t - prev;
+                prev = t;
+                gap
+            })
+            .collect()
+    }
+
+    /// The largest per-session time, if any session closed.
+    pub fn max_session_gap(&self) -> Option<Dur> {
+        self.session_gaps().into_iter().max()
+    }
+}
+
+/// Analyzes `trace` for the `(s, n)`-session problem with `n` ports, using
+/// `port_of` to map message-passing port processes to their ports (pass
+/// `|_| None` for shared-memory traces, whose port steps are tagged in the
+/// trace itself).
+pub fn analyze<F>(trace: &Trace, n: usize, port_of: F) -> TraceAnalysis
+where
+    F: Fn(ProcessId) -> Option<PortId>,
+{
+    let boundaries = session_boundaries(trace, n, &port_of);
+    let session_close_times = boundaries
+        .iter()
+        .map(|&i| trace.events()[i].time)
+        .collect::<Vec<_>>();
+
+    let mut per_process: BTreeMap<ProcessId, ProcessSummary> = BTreeMap::new();
+    let mut last_step: BTreeMap<ProcessId, Time> = BTreeMap::new();
+    let mut idle: BTreeMap<ProcessId, bool> = BTreeMap::new();
+    for event in trace.events() {
+        if !event.kind.is_process_step() {
+            continue;
+        }
+        let summary = per_process.entry(event.process).or_insert(ProcessSummary {
+            steps: 0,
+            port_steps: 0,
+            idle_at: None,
+            min_gap: None,
+            max_gap: None,
+        });
+        summary.steps += 1;
+        let was_idle = idle.get(&event.process).copied().unwrap_or(false);
+        let is_port_step = match &event.kind {
+            StepKind::VarAccess { port, .. } => port.is_some(),
+            StepKind::MpStep { .. } => port_of(event.process).is_some(),
+            StepKind::Deliver { .. } => false,
+        };
+        if is_port_step && !was_idle {
+            summary.port_steps += 1;
+        }
+        if event.idle_after {
+            idle.insert(event.process, true);
+        }
+        let prev = last_step
+            .get(&event.process)
+            .copied()
+            .unwrap_or(Time::ZERO);
+        let gap = event.time - prev;
+        summary.min_gap = Some(summary.min_gap.map_or(gap, |g| g.min(gap)));
+        summary.max_gap = Some(summary.max_gap.map_or(gap, |g| g.max(gap)));
+        last_step.insert(event.process, event.time);
+    }
+    for (p, summary) in &mut per_process {
+        summary.idle_at = trace.idle_time(*p);
+    }
+
+    let mut min_delay = None;
+    let mut max_delay = None;
+    let mut delivered = 0usize;
+    for record in trace.messages() {
+        if let Some(delay) = record.delay() {
+            delivered += 1;
+            min_delay = Some(min_delay.map_or(delay, |d: Dur| d.min(delay)));
+            max_delay = Some(max_delay.map_or(delay, |d: Dur| d.max(delay)));
+        }
+    }
+
+    TraceAnalysis {
+        sessions: boundaries.len() as u64,
+        session_close_times,
+        rounds: count_rounds(trace, trace.num_processes()),
+        per_process,
+        messages_sent: trace.messages().len(),
+        messages_delivered: delivered,
+        min_delay,
+        max_delay,
+        gamma: trace.gamma(),
+        end_time: trace.end_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::TraceEvent;
+    use session_types::VarId;
+
+    fn sm_event(t: i128, p: usize, port: Option<usize>, idle: bool) -> TraceEvent {
+        TraceEvent {
+            time: Time::from_int(t),
+            process: ProcessId::new(p),
+            kind: StepKind::VarAccess {
+                var: VarId::new(p),
+                port: port.map(PortId::new),
+            },
+            idle_after: idle,
+        }
+    }
+
+    #[test]
+    fn analysis_of_a_small_sm_trace() {
+        let mut trace = Trace::new(2);
+        trace.push(sm_event(1, 0, Some(0), false));
+        trace.push(sm_event(1, 1, Some(1), false)); // session 1 closes
+        trace.push(sm_event(3, 0, Some(0), true));
+        trace.push(sm_event(4, 1, Some(1), true)); // session 2 closes
+        let a = analyze(&trace, 2, |_| None);
+        assert_eq!(a.sessions, 2);
+        assert_eq!(
+            a.session_close_times,
+            vec![Time::from_int(1), Time::from_int(4)]
+        );
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.gamma, Dur::from_int(3)); // p1: 1 -> 4
+        let p0 = &a.per_process[&ProcessId::new(0)];
+        assert_eq!(p0.steps, 2);
+        assert_eq!(p0.port_steps, 2);
+        assert_eq!(p0.idle_at, Some(Time::from_int(3)));
+        assert_eq!(p0.min_gap, Some(Dur::from_int(1)));
+        assert_eq!(p0.max_gap, Some(Dur::from_int(2)));
+        assert_eq!(a.messages_sent, 0);
+        assert_eq!(a.end_time, Some(Time::from_int(4)));
+    }
+
+    #[test]
+    fn post_idle_port_steps_are_not_counted() {
+        let mut trace = Trace::new(1);
+        trace.push(sm_event(1, 0, Some(0), true)); // idling step: counts
+        trace.push(sm_event(2, 0, Some(0), true)); // post-idle: not
+        let a = analyze(&trace, 1, |_| None);
+        let p0 = &a.per_process[&ProcessId::new(0)];
+        assert_eq!(p0.steps, 2);
+        assert_eq!(p0.port_steps, 1);
+        assert_eq!(a.sessions, 1);
+    }
+
+    #[test]
+    fn session_gaps_measure_per_session_time() {
+        let mut trace = Trace::new(2);
+        trace.push(sm_event(1, 0, Some(0), false));
+        trace.push(sm_event(2, 1, Some(1), false)); // session 1 closes at 2
+        trace.push(sm_event(5, 0, Some(0), false));
+        trace.push(sm_event(9, 1, Some(1), false)); // session 2 closes at 9
+        let a = analyze(&trace, 2, |_| None);
+        assert_eq!(a.session_gaps(), vec![Dur::from_int(2), Dur::from_int(7)]);
+        assert_eq!(a.max_session_gap(), Some(Dur::from_int(7)));
+        let empty = analyze(&Trace::new(1), 1, |_| None);
+        assert!(empty.session_gaps().is_empty());
+        assert_eq!(empty.max_session_gap(), None);
+    }
+
+    #[test]
+    fn message_statistics() {
+        let mut trace = Trace::new(2);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(0),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: true,
+            },
+            idle_after: false,
+        });
+        let m1 = trace.record_send(ProcessId::new(0), ProcessId::new(1), Time::from_int(1));
+        let _m2 = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        trace.push(TraceEvent {
+            time: Time::from_int(4),
+            process: ProcessId::new(1),
+            kind: StepKind::Deliver { msg: m1 },
+            idle_after: false,
+        });
+        trace.record_delivery(m1, Time::from_int(4));
+        let a = analyze(&trace, 2, |p| Some(PortId::new(p.index())));
+        assert_eq!(a.messages_sent, 2);
+        assert_eq!(a.messages_delivered, 1);
+        assert_eq!(a.min_delay, Some(Dur::from_int(3)));
+        assert_eq!(a.max_delay, Some(Dur::from_int(3)));
+    }
+
+    #[test]
+    fn empty_trace_analysis() {
+        let a = analyze(&Trace::new(3), 3, |_| None);
+        assert_eq!(a.sessions, 0);
+        assert_eq!(a.rounds, 0);
+        assert!(a.per_process.is_empty());
+        assert_eq!(a.end_time, None);
+        assert_eq!(a.min_delay, None);
+    }
+}

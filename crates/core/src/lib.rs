@@ -1,0 +1,66 @@
+//! The `(s, n)`-session problem under five timing models — the primary
+//! contribution of *"The Impact of Time on the Session Problem"*
+//! (Rhee & Welch, PODC 1992).
+//!
+//! # What this crate provides
+//!
+//! * **Algorithms** ([`algorithms`]): one session algorithm per cell of the
+//!   paper's Table 1 —
+//!   synchronous / periodic (`A(p)`) / semi-synchronous / sporadic (`A(sp)`)
+//!   / asynchronous, in both the shared-memory and message-passing models.
+//! * **System assembly** ([`system`]): wiring an algorithm into a runnable
+//!   [`session_smm::SmEngine`] (port processes + §3 tree network) or
+//!   [`session_mpm::MpEngine`].
+//! * **Verification** ([`verify`]): an *independent* checker layer — greedy
+//!   disjoint-session counting (with a brute-force reference in tests),
+//!   round counting, and per-model admissibility checks over recorded
+//!   traces. Algorithms are never trusted: every experiment recounts
+//!   sessions from the trace.
+//! * **Bounds** ([`bounds`]): the closed-form Table 1 expressions, used by
+//!   the benchmark harness to print paper-vs-measured tables.
+//! * **Reports** ([`report`]): a one-call façade that runs a model ×
+//!   communication-substrate configuration under a schedule and returns
+//!   sessions, rounds, running time and `γ`.
+//! * **Analysis** ([`analysis`]): a one-pass whole-trace summary (session
+//!   close times, per-process step statistics, message delays).
+//!
+//! # Example: the periodic algorithm `A(p)` over message passing
+//!
+//! ```
+//! use session_core::report::{run_mp, MpConfig};
+//! use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+//! use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+//!
+//! # fn main() -> Result<(), session_types::Error> {
+//! let spec = SessionSpec::new(4, 3, 2)?; // 4 sessions, 3 ports
+//! let bounds = KnownBounds::periodic(Dur::from_int(10))?;
+//! // Hidden periods (unknown to the processes): 2, 3 and 5.
+//! let mut schedule = FixedPeriods::new(vec![
+//!     Dur::from_int(2), Dur::from_int(3), Dur::from_int(5),
+//! ])?;
+//! let mut delays = ConstantDelay::new(Dur::from_int(10))?;
+//! let report = run_mp(
+//!     MpConfig { model: TimingModel::Periodic, spec, bounds },
+//!     &mut schedule,
+//!     &mut delays,
+//!     RunLimits::default(),
+//! )?;
+//! assert!(report.terminated);
+//! assert!(report.sessions >= 4, "the paper's correctness condition");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod bounds;
+pub mod report;
+pub mod system;
+pub mod verify;
+
+mod msg;
+
+pub use msg::SessionMsg;

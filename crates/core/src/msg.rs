@@ -1,0 +1,44 @@
+//! The message vocabulary of the message-passing algorithms.
+
+use std::fmt;
+
+/// The paper's message `m(i, V)`: the sender `i` travels in the envelope;
+/// `V` is a progress counter in `[0, s-1]` whose meaning is fixed by the
+/// algorithm (completed sessions for `A(sp)` and the asynchronous and
+/// semi-synchronous algorithms; completed port steps for `A(p)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionMsg {
+    /// The announced progress counter.
+    pub value: u64,
+}
+
+impl SessionMsg {
+    /// Creates a message announcing `value`.
+    pub const fn new(value: u64) -> SessionMsg {
+        SessionMsg { value }
+    }
+}
+
+impl fmt::Display for SessionMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m(*, {})", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let m = SessionMsg::new(3);
+        assert_eq!(m.value, 3);
+        assert_eq!(m.to_string(), "m(*, 3)");
+        assert_eq!(SessionMsg::default(), SessionMsg::new(0));
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(SessionMsg::new(1) < SessionMsg::new(2));
+    }
+}

@@ -1,0 +1,214 @@
+//! Assembling runnable systems from an algorithm family, a problem spec and
+//! the known timing constants.
+
+use session_mpm::MpEngine;
+use session_smm::{Knowledge, PortBinding, SmEngine, SmProcess, TreeSpec};
+use session_types::{
+    Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, TimingModel, VarId,
+};
+
+use crate::algorithms::{
+    AsyncMpPort, AsyncSmPort, PeriodicMpPort, PeriodicSmPort, SemiSyncMpPort, SemiSyncSmPort,
+    SporadicMpPort, SyncMpPort, SyncSmPort,
+};
+use crate::msg::SessionMsg;
+
+/// The process ids of the port processes: always `p0 .. p(n-1)` in systems
+/// assembled by this module (relays, if any, come after).
+pub fn port_processes(spec: &SessionSpec) -> impl Iterator<Item = ProcessId> {
+    (0..spec.n()).map(ProcessId::new)
+}
+
+/// The port realized by a process in assembled systems: process `i` is port
+/// process of port `i` for `i < n`.
+pub fn port_of(spec: &SessionSpec) -> impl Fn(ProcessId) -> Option<PortId> {
+    let n = spec.n();
+    move |p: ProcessId| (p.index() < n).then(|| PortId::new(p.index()))
+}
+
+/// Builds the shared-memory system solving `spec` under the timing model of
+/// `bounds`: `n` port processes of the model's algorithm on the leaves of
+/// the §3 tree network, plus its relay processes.
+///
+/// Layout: variables `x0 .. x(n-1)` are the ports (tree leaves), followed
+/// by the internal tree variables; processes `p0 .. p(n-1)` are the port
+/// processes, followed by the relays.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if the model's required constants are
+/// missing from `bounds` (cannot happen for bounds built via the
+/// [`KnownBounds`] constructors) or invalid.
+pub fn build_sm_system(
+    spec: &SessionSpec,
+    bounds: &KnownBounds,
+) -> Result<SmEngine<Knowledge>> {
+    let n = spec.n();
+    let s = spec.s();
+    let tree = TreeSpec::build(n, spec.b());
+    let mut processes: Vec<Box<dyn SmProcess<Knowledge>>> = Vec::with_capacity(tree.num_nodes());
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        let var = tree.leaf_var(i);
+        let process: Box<dyn SmProcess<Knowledge>> = match bounds.model() {
+            TimingModel::Synchronous => Box::new(SyncSmPort::new(var, s)),
+            TimingModel::Periodic => Box::new(PeriodicSmPort::new(id, var, s, n)),
+            TimingModel::SemiSynchronous => {
+                let c1 = bounds
+                    .c1()
+                    .ok_or_else(|| Error::invalid_params("semi-synchronous SM requires c1"))?;
+                let c2 = bounds
+                    .c2()
+                    .ok_or_else(|| Error::invalid_params("semi-synchronous SM requires c2"))?;
+                Box::new(SemiSyncSmPort::new(
+                    id,
+                    var,
+                    s,
+                    n,
+                    c1,
+                    c2,
+                    tree.flood_rounds_bound(),
+                )?)
+            }
+            // The sporadic SM model is the asynchronous SM model (§1).
+            TimingModel::Sporadic | TimingModel::Asynchronous => {
+                Box::new(AsyncSmPort::new(id, var, s, n))
+            }
+        };
+        processes.push(process);
+    }
+    for relay in tree.relay_processes() {
+        processes.push(Box::new(relay));
+    }
+    let bindings = (0..n)
+        .map(|i| PortBinding {
+            port: PortId::new(i),
+            var: VarId::new(i),
+            process: ProcessId::new(i),
+        })
+        .collect();
+    SmEngine::new(
+        vec![Knowledge::new(); tree.num_nodes()],
+        processes,
+        spec.b(),
+        bindings,
+    )
+}
+
+/// Builds the message-passing system solving `spec` under the timing model
+/// of `bounds`: `n` port processes of the model's algorithm, each of whose
+/// buffers is a port.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if the model's required constants are
+/// missing from `bounds` or invalid.
+pub fn build_mp_system(
+    spec: &SessionSpec,
+    bounds: &KnownBounds,
+) -> Result<MpEngine<SessionMsg>> {
+    let n = spec.n();
+    let s = spec.s();
+    let mut processes: Vec<Box<dyn session_mpm::MpProcess<SessionMsg>>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        let process: Box<dyn session_mpm::MpProcess<SessionMsg>> = match bounds.model() {
+            TimingModel::Synchronous => Box::new(SyncMpPort::new(s)),
+            TimingModel::Periodic => Box::new(PeriodicMpPort::new(s, n)),
+            TimingModel::SemiSynchronous => {
+                let c1 = bounds
+                    .c1()
+                    .ok_or_else(|| Error::invalid_params("semi-synchronous MP requires c1"))?;
+                let c2 = bounds
+                    .c2()
+                    .ok_or_else(|| Error::invalid_params("semi-synchronous MP requires c2"))?;
+                let d2 = bounds
+                    .d2()
+                    .ok_or_else(|| Error::invalid_params("semi-synchronous MP requires d2"))?;
+                Box::new(SemiSyncMpPort::new(s, n, c1, c2, d2)?)
+            }
+            TimingModel::Sporadic => {
+                let c1 = bounds
+                    .c1()
+                    .ok_or_else(|| Error::invalid_params("sporadic MP requires c1"))?;
+                let d1 = bounds
+                    .d1()
+                    .ok_or_else(|| Error::invalid_params("sporadic MP requires d1"))?;
+                let d2 = bounds
+                    .d2()
+                    .ok_or_else(|| Error::invalid_params("sporadic MP requires d2"))?;
+                Box::new(SporadicMpPort::new(id, s, n, c1, d1, d2)?)
+            }
+            TimingModel::Asynchronous => Box::new(AsyncMpPort::new(s, n)),
+        };
+        processes.push(process);
+    }
+    let ports = (0..n)
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect();
+    MpEngine::new(processes, ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_types::Dur;
+
+    fn spec(s: u64, n: usize, b: usize) -> SessionSpec {
+        SessionSpec::new(s, n, b).unwrap()
+    }
+
+    #[test]
+    fn sm_system_has_ports_plus_relays() {
+        let sp = spec(3, 8, 2);
+        let bounds = KnownBounds::periodic(Dur::from_int(5)).unwrap();
+        let engine = build_sm_system(&sp, &bounds).unwrap();
+        let tree = TreeSpec::build(8, 2);
+        assert_eq!(engine.num_processes(), 8 + tree.num_relays());
+        assert_eq!(engine.port_bindings().len(), 8);
+        assert_eq!(engine.memory().len(), tree.num_nodes());
+    }
+
+    #[test]
+    fn every_model_builds_in_both_substrates() {
+        let sp = spec(2, 4, 2);
+        let all_bounds = [
+            KnownBounds::synchronous(Dur::from_int(2), Dur::from_int(5)).unwrap(),
+            KnownBounds::periodic(Dur::from_int(5)).unwrap(),
+            KnownBounds::semi_synchronous(Dur::from_int(1), Dur::from_int(3), Dur::from_int(5))
+                .unwrap(),
+            KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(5)).unwrap(),
+            KnownBounds::asynchronous(),
+        ];
+        for bounds in &all_bounds {
+            assert!(
+                build_sm_system(&sp, bounds).is_ok(),
+                "SM build failed for {:?}",
+                bounds.model()
+            );
+            assert!(
+                build_mp_system(&sp, bounds).is_ok(),
+                "MP build failed for {:?}",
+                bounds.model()
+            );
+        }
+    }
+
+    #[test]
+    fn mp_system_is_ports_only() {
+        let sp = spec(2, 5, 2);
+        let engine = build_mp_system(&sp, &KnownBounds::asynchronous()).unwrap();
+        assert_eq!(engine.num_processes(), 5);
+        assert_eq!(engine.port_of(ProcessId::new(4)), Some(PortId::new(4)));
+    }
+
+    #[test]
+    fn port_helpers_agree_with_layout() {
+        let sp = spec(2, 3, 2);
+        let ids: Vec<usize> = port_processes(&sp).map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let f = port_of(&sp);
+        assert_eq!(f(ProcessId::new(2)), Some(PortId::new(2)));
+        assert_eq!(f(ProcessId::new(3)), None);
+    }
+}

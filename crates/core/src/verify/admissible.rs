@@ -1,0 +1,280 @@
+//! Checking that a recorded trace is an admissible timed computation of its
+//! timing model (§2.2).
+//!
+//! The check is uniform across models thanks to
+//! [`session_types::KnownBounds`]: step gaps must lie within `[c1, c2]`
+//! (where known), message delays within `[d1, d2]` (where known), and the
+//! periodic model additionally requires each process's gaps to be a
+//! per-process constant. All comparisons are exact — time is rational.
+
+use std::collections::BTreeMap;
+
+use session_sim::Trace;
+use session_types::{Dur, Error, KnownBounds, ProcessId, Result, Time, TimingModel};
+
+/// Verifies that `trace` satisfies every timing constraint of `bounds`.
+///
+/// Checks, in order:
+///
+/// 1. **Step gaps**: for every process, the time from 0 to its first step
+///    and between consecutive steps is `>= c1` and `<= c2` (where known).
+///    The paper's Table 1 conversion note (3) applies: the *first* step is
+///    constrained exactly like every other step.
+/// 2. **Periodicity** (periodic model only): each process's gaps all equal
+///    its first gap — the hidden constant `c_i`.
+/// 3. **Message delays**: every delivered message's delay lies in
+///    `[d1, d2]`; every undelivered message is younger than `d2` at the end
+///    of the trace (otherwise no admissible extension could deliver it in
+///    time).
+///
+/// # Errors
+///
+/// Returns [`Error::Inadmissible`] describing the first violation found.
+pub fn check_admissible(trace: &Trace, bounds: &KnownBounds) -> Result<()> {
+    check_step_gaps(trace, bounds)?;
+    if bounds.model() == TimingModel::Periodic {
+        check_constant_gaps(trace)?;
+    }
+    check_delays(trace, bounds)?;
+    Ok(())
+}
+
+fn for_each_gap<F>(trace: &Trace, mut f: F) -> Result<()>
+where
+    F: FnMut(ProcessId, usize, Dur) -> Result<()>,
+{
+    let mut last_step: BTreeMap<ProcessId, (usize, Time)> = BTreeMap::new();
+    for event in trace.events() {
+        if !event.kind.is_process_step() {
+            continue;
+        }
+        let (index, prev) = last_step
+            .get(&event.process)
+            .copied()
+            .unwrap_or((0, Time::ZERO));
+        f(event.process, index, event.time - prev)?;
+        last_step.insert(event.process, (index + 1, event.time));
+    }
+    Ok(())
+}
+
+fn check_step_gaps(trace: &Trace, bounds: &KnownBounds) -> Result<()> {
+    let c1 = bounds.c1();
+    let c2 = bounds.c2();
+    if c1.is_none() && c2.is_none() {
+        return Ok(());
+    }
+    for_each_gap(trace, |p, i, gap| {
+        if let Some(c1) = c1 {
+            if gap < c1 {
+                return Err(Error::inadmissible(format!(
+                    "step {i} of {p}: gap {gap} below c1 = {c1}"
+                )));
+            }
+        }
+        if let Some(c2) = c2 {
+            if gap > c2 {
+                return Err(Error::inadmissible(format!(
+                    "step {i} of {p}: gap {gap} above c2 = {c2}"
+                )));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn check_constant_gaps(trace: &Trace) -> Result<()> {
+    let mut period: BTreeMap<ProcessId, Dur> = BTreeMap::new();
+    for_each_gap(trace, |p, i, gap| {
+        if !gap.is_positive() {
+            return Err(Error::inadmissible(format!(
+                "step {i} of {p}: periodic model requires positive period, got {gap}"
+            )));
+        }
+        match period.get(&p) {
+            None => {
+                period.insert(p, gap);
+                Ok(())
+            }
+            Some(&c_i) if c_i == gap => Ok(()),
+            Some(&c_i) => Err(Error::inadmissible(format!(
+                "step {i} of {p}: gap {gap} differs from its period {c_i}"
+            ))),
+        }
+    })
+}
+
+fn check_delays(trace: &Trace, bounds: &KnownBounds) -> Result<()> {
+    let d1 = bounds.d1();
+    let d2 = bounds.d2();
+    if d1.is_none() && d2.is_none() {
+        return Ok(());
+    }
+    let end = trace.end_time().unwrap_or(Time::ZERO);
+    for record in trace.messages() {
+        match record.delay() {
+            Some(delay) => {
+                if let Some(d1) = d1 {
+                    if delay < d1 {
+                        return Err(Error::inadmissible(format!(
+                            "message {} delay {delay} below d1 = {d1}",
+                            record.msg
+                        )));
+                    }
+                }
+                if let Some(d2) = d2 {
+                    if delay > d2 {
+                        return Err(Error::inadmissible(format!(
+                            "message {} delay {delay} above d2 = {d2}",
+                            record.msg
+                        )));
+                    }
+                }
+            }
+            None => {
+                if let Some(d2) = d2 {
+                    let age = end - record.sent_at;
+                    if age > d2 {
+                        return Err(Error::inadmissible(format!(
+                            "message {} undelivered after {age} > d2 = {d2}",
+                            record.msg
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::{StepKind, TraceEvent};
+    use session_types::VarId;
+
+    fn step_trace(times: &[(i128, usize)]) -> Trace {
+        let mut trace = Trace::new(times.iter().map(|&(_, p)| p + 1).max().unwrap_or(1));
+        for &(t, p) in times {
+            trace.push(TraceEvent {
+                time: Time::from_int(t),
+                process: ProcessId::new(p),
+                kind: StepKind::VarAccess {
+                    var: VarId::new(0),
+                    port: None,
+                },
+                idle_after: false,
+            });
+        }
+        trace
+    }
+
+    fn semi_sync(c1: i128, c2: i128, d2: i128) -> KnownBounds {
+        KnownBounds::semi_synchronous(Dur::from_int(c1), Dur::from_int(c2), Dur::from_int(d2))
+            .unwrap()
+    }
+
+    #[test]
+    fn gaps_within_bounds_pass() {
+        let trace = step_trace(&[(1, 0), (2, 1), (3, 0), (4, 0)]);
+        assert!(check_admissible(&trace, &semi_sync(1, 2, 10)).is_ok());
+    }
+
+    #[test]
+    fn first_step_is_constrained_from_time_zero() {
+        // First step at t = 3 violates c2 = 2.
+        let trace = step_trace(&[(3, 0)]);
+        let err = check_admissible(&trace, &semi_sync(1, 2, 10)).unwrap_err();
+        assert!(err.to_string().contains("above c2"));
+        // And a first step at t = 0 (gap 0) violates c1 = 1... use t below c1.
+        let trace = step_trace(&[(1, 0), (1, 1)]);
+        assert!(check_admissible(&trace, &semi_sync(2, 5, 10)).is_err());
+    }
+
+    #[test]
+    fn gap_below_c1_is_caught() {
+        let trace = step_trace(&[(2, 0), (3, 0)]);
+        let err = check_admissible(&trace, &semi_sync(2, 5, 10)).unwrap_err();
+        assert!(err.to_string().contains("below c1"));
+    }
+
+    #[test]
+    fn synchronous_requires_exact_gaps() {
+        let bounds = KnownBounds::synchronous(Dur::from_int(2), Dur::from_int(5)).unwrap();
+        let good = step_trace(&[(2, 0), (4, 0), (6, 0)]);
+        assert!(check_admissible(&good, &bounds).is_ok());
+        let bad = step_trace(&[(2, 0), (5, 0)]);
+        assert!(check_admissible(&bad, &bounds).is_err());
+    }
+
+    #[test]
+    fn periodic_requires_constant_per_process_gaps() {
+        let bounds = KnownBounds::periodic(Dur::from_int(100)).unwrap();
+        // p0 at period 2, p1 at period 3: fine.
+        let good = step_trace(&[(2, 0), (3, 1), (4, 0), (6, 0), (6, 1)]);
+        assert!(check_admissible(&good, &bounds).is_ok());
+        // p0 changes period from 2 to 3.
+        let bad = step_trace(&[(2, 0), (4, 0), (7, 0)]);
+        let err = check_admissible(&bad, &bounds).unwrap_err();
+        assert!(err.to_string().contains("differs from its period"));
+    }
+
+    #[test]
+    fn sporadic_has_no_upper_step_bound() {
+        let bounds =
+            KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(10)).unwrap();
+        let trace = step_trace(&[(1, 0), (1_000_000, 0)]);
+        assert!(check_admissible(&trace, &bounds).is_ok());
+    }
+
+    #[test]
+    fn asynchronous_accepts_anything() {
+        let trace = step_trace(&[(1, 0), (1, 0), (1, 0)]);
+        assert!(check_admissible(&trace, &KnownBounds::asynchronous()).is_ok());
+    }
+
+    #[test]
+    fn delivered_delays_are_checked() {
+        let bounds =
+            KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(4)).unwrap();
+        let mut trace = step_trace(&[(1, 0), (9, 0)]);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        trace.record_delivery(msg, Time::from_int(4)); // delay 3 in [2, 4]
+        assert!(check_admissible(&trace, &bounds).is_ok());
+
+        let mut trace = step_trace(&[(1, 0), (9, 0)]);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        trace.record_delivery(msg, Time::from_int(2)); // delay 1 < d1
+        assert!(check_admissible(&trace, &bounds).is_err());
+
+        let mut trace = step_trace(&[(1, 0), (9, 0)]);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        trace.record_delivery(msg, Time::from_int(8)); // delay 7 > d2
+        assert!(check_admissible(&trace, &bounds).is_err());
+    }
+
+    #[test]
+    fn undelivered_messages_must_be_young() {
+        let bounds =
+            KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(4)).unwrap();
+        // Message sent at t = 1, trace ends at t = 9: 8 > d2 = 4.
+        let mut trace = step_trace(&[(1, 0), (9, 0)]);
+        let _ = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        let err = check_admissible(&trace, &bounds).unwrap_err();
+        assert!(err.to_string().contains("undelivered"));
+        // Sent at t = 8: age 1 <= 4, fine.
+        let mut trace = step_trace(&[(1, 0), (9, 0)]);
+        let _ = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(8));
+        assert!(check_admissible(&trace, &bounds).is_ok());
+    }
+
+    #[test]
+    fn empty_trace_is_admissible_under_every_model() {
+        let trace = Trace::new(1);
+        assert!(check_admissible(&trace, &semi_sync(1, 2, 3)).is_ok());
+        assert!(check_admissible(&trace, &KnownBounds::asynchronous()).is_ok());
+        assert!(
+            check_admissible(&trace, &KnownBounds::periodic(Dur::from_int(1)).unwrap()).is_ok()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Independent verification of recorded computations.
+//!
+//! Nothing in this module trusts an algorithm's own bookkeeping: sessions,
+//! rounds and admissibility are all recomputed from the raw
+//! [`session_sim::Trace`]. Every experiment in the workspace goes through
+//! these checkers, and the lower-bound adversaries use them to certify that
+//! their perturbed computations are admissible yet contain too few sessions.
+
+mod admissible;
+mod rounds;
+mod sessions;
+
+pub use admissible::check_admissible;
+pub use rounds::count_rounds;
+pub use sessions::{count_sessions, session_boundaries};

@@ -1,0 +1,127 @@
+//! Counting rounds in a trace.
+//!
+//! A *round* is a minimal-length computation fragment in which every process
+//! takes at least one step (§2.3). Rounds are the running-time measure for
+//! the models without real-time step bounds (asynchronous, and sporadic
+//! shared memory). Like sessions, the maximal disjoint decomposition is
+//! computed greedily, which is optimal for minimal-fragment decompositions.
+
+use std::collections::BTreeSet;
+
+use session_sim::Trace;
+use session_types::ProcessId;
+
+/// The maximum number of disjoint rounds in the trace, over the processes
+/// `p0 .. p(num_processes - 1)`.
+///
+/// Unlike session counting, *all* process steps count — an idle process
+/// keeps taking steps in the formal model, and those steps still complete
+/// rounds. Network deliveries are not process steps.
+///
+/// # Examples
+///
+/// ```
+/// use session_core::verify::count_rounds;
+/// use session_sim::{StepKind, Trace, TraceEvent};
+/// use session_types::{ProcessId, Time, VarId};
+///
+/// let mut trace = Trace::new(2);
+/// for (t, p) in [(1, 0), (1, 1), (2, 0), (3, 0), (3, 1)] {
+///     trace.push(TraceEvent {
+///         time: Time::from_int(t),
+///         process: ProcessId::new(p),
+///         kind: StepKind::VarAccess { var: VarId::new(0), port: None },
+///         idle_after: false,
+///     });
+/// }
+/// // {p0 p1} {p0 p0 p1}: 2 rounds.
+/// assert_eq!(count_rounds(&trace, 2), 2);
+/// ```
+pub fn count_rounds(trace: &Trace, num_processes: usize) -> u64 {
+    if num_processes == 0 {
+        return 0;
+    }
+    let mut rounds = 0;
+    let mut covered: BTreeSet<ProcessId> = BTreeSet::new();
+    for event in trace.events() {
+        if !event.kind.is_process_step() {
+            continue;
+        }
+        if event.process.index() < num_processes {
+            covered.insert(event.process);
+            if covered.len() >= num_processes {
+                rounds += 1;
+                covered.clear();
+            }
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::{StepKind, TraceEvent};
+    use session_types::{Time, VarId};
+
+    fn trace_of(num: usize, procs: &[usize]) -> Trace {
+        let mut trace = Trace::new(num);
+        for (i, &p) in procs.iter().enumerate() {
+            trace.push(TraceEvent {
+                time: Time::from_int(i as i128 + 1),
+                process: ProcessId::new(p),
+                kind: StepKind::VarAccess {
+                    var: VarId::new(0),
+                    port: None,
+                },
+                idle_after: false,
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn round_robin_gives_one_round_per_pass() {
+        let trace = trace_of(3, &[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(count_rounds(&trace, 3), 3);
+    }
+
+    #[test]
+    fn skewed_interleavings_count_minimal_fragments() {
+        // p0 p0 p0 p1 | p1 p0 -> 2 rounds over 2 processes.
+        let trace = trace_of(2, &[0, 0, 0, 1, 1, 0]);
+        assert_eq!(count_rounds(&trace, 2), 2);
+    }
+
+    #[test]
+    fn missing_process_means_zero_rounds() {
+        let trace = trace_of(3, &[0, 1, 0, 1, 0, 1]);
+        assert_eq!(count_rounds(&trace, 3), 0);
+    }
+
+    #[test]
+    fn zero_processes_is_zero_rounds() {
+        let trace = trace_of(1, &[0]);
+        assert_eq!(count_rounds(&trace, 0), 0);
+    }
+
+    #[test]
+    fn deliveries_are_not_steps() {
+        let mut trace = Trace::new(1);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::ZERO);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(0),
+            kind: StepKind::Deliver { msg },
+            idle_after: false,
+        });
+        assert_eq!(count_rounds(&trace, 1), 0);
+    }
+
+    #[test]
+    fn processes_outside_range_are_ignored() {
+        // Process 5 steps but only processes 0..2 are counted.
+        let trace = trace_of(6, &[0, 5, 1]);
+        assert_eq!(count_rounds(&trace, 2), 1);
+    }
+}

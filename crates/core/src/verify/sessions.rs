@@ -1,0 +1,293 @@
+//! Counting disjoint sessions in a trace.
+//!
+//! A *session* is a minimal-length computation fragment containing at least
+//! one port step for each of the `n` ports (§2.3). The maximum number of
+//! disjoint sessions in a computation is computed greedily: scan the port
+//! steps in time order, close a session as soon as every port has been seen,
+//! and start over. Greedy is optimal for this minimal-fragment
+//! decomposition: closing a session at the earliest possible point leaves
+//! the longest possible suffix for the remaining sessions (certified against
+//! a brute-force reference in the test suite).
+//!
+//! **Idle steps do not count.** Once a port process has entered an idle
+//! state, its later steps no longer constitute port steps for counting
+//! purposes. This is the reading required by the paper's lower-bound
+//! arguments ("at least one port process ... is in an idle state, but `p'`
+//! has not taken a step yet; thus the computation contains less than `s`
+//! sessions"): if idle steps kept producing sessions, those arguments — and
+//! the problem itself — would be vacuous.
+
+use std::collections::BTreeSet;
+
+use session_sim::Trace;
+use session_types::{PortId, ProcessId};
+
+/// The event indices at which each disjoint session closes, in order.
+///
+/// `port_of` maps a process to the port it realizes, for the
+/// message-passing model where every (pre-idle) step of a port process is a
+/// port step; shared-memory port steps are identified by the trace itself.
+/// `n` is the number of ports that must all appear in each session.
+pub fn session_boundaries<F>(trace: &Trace, n: usize, port_of: F) -> Vec<usize>
+where
+    F: Fn(ProcessId) -> Option<PortId>,
+{
+    let mut boundaries = Vec::new();
+    if n == 0 {
+        return boundaries;
+    }
+    let mut idle: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut covered: BTreeSet<PortId> = BTreeSet::new();
+    // Pair each event index with its port (if it is a countable port step).
+    let port_steps: Vec<(usize, ProcessId, PortId, bool)> = trace
+        .events()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let port = match &e.kind {
+                session_sim::StepKind::VarAccess { port, .. } => *port,
+                session_sim::StepKind::MpStep { .. } => port_of(e.process),
+                session_sim::StepKind::Deliver { .. } => None,
+            };
+            port.map(|y| (i, e.process, y, e.idle_after))
+        })
+        .collect();
+    for (i, process, port, idle_after) in port_steps {
+        let was_idle = idle.contains(&process);
+        if idle_after {
+            idle.insert(process);
+        }
+        if was_idle {
+            continue; // idle steps are not port steps
+        }
+        covered.insert(port);
+        if covered.len() >= n {
+            boundaries.push(i);
+            covered.clear();
+        }
+    }
+    boundaries
+}
+
+/// The maximum number of disjoint sessions in the trace.
+///
+/// # Examples
+///
+/// ```
+/// use session_core::verify::count_sessions;
+/// use session_sim::{StepKind, Trace, TraceEvent};
+/// use session_types::{PortId, ProcessId, Time, VarId};
+///
+/// let mut trace = Trace::new(2);
+/// for (t, p) in [(1, 0), (1, 1), (2, 1), (3, 0)] {
+///     trace.push(TraceEvent {
+///         time: Time::from_int(t),
+///         process: ProcessId::new(p),
+///         kind: StepKind::VarAccess { var: VarId::new(p), port: Some(PortId::new(p)) },
+///         idle_after: false,
+///     });
+/// }
+/// // {p0, p1} then {p1, p0}: two disjoint sessions over n = 2 ports.
+/// assert_eq!(count_sessions(&trace, 2, |_| None), 2);
+/// ```
+pub fn count_sessions<F>(trace: &Trace, n: usize, port_of: F) -> u64
+where
+    F: Fn(ProcessId) -> Option<PortId>,
+{
+    session_boundaries(trace, n, port_of).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::{StepKind, TraceEvent};
+    use session_types::{Time, VarId};
+
+    /// Builds an SM trace from (time, process, port, idle_after) tuples.
+    fn sm_trace(n: usize, steps: &[(i128, usize, usize, bool)]) -> Trace {
+        let mut trace = Trace::new(n);
+        for &(t, p, y, idle) in steps {
+            trace.push(TraceEvent {
+                time: Time::from_int(t),
+                process: ProcessId::new(p),
+                kind: StepKind::VarAccess {
+                    var: VarId::new(y),
+                    port: Some(PortId::new(y)),
+                },
+                idle_after: idle,
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn empty_trace_has_no_sessions() {
+        let trace = Trace::new(2);
+        assert_eq!(count_sessions(&trace, 2, |_| None), 0);
+    }
+
+    #[test]
+    fn single_full_coverage_is_one_session() {
+        let trace = sm_trace(3, &[(1, 0, 0, false), (1, 1, 1, false), (1, 2, 2, false)]);
+        assert_eq!(count_sessions(&trace, 3, |_| None), 1);
+    }
+
+    #[test]
+    fn incomplete_coverage_is_zero_sessions() {
+        let trace = sm_trace(3, &[(1, 0, 0, false), (1, 1, 1, false), (2, 0, 0, false)]);
+        assert_eq!(count_sessions(&trace, 3, |_| None), 0);
+    }
+
+    #[test]
+    fn greedy_closes_sessions_as_early_as_possible() {
+        // p0 p1 | p1 p0 | p0 p1 -> 3 sessions over 2 ports.
+        let trace = sm_trace(
+            2,
+            &[
+                (1, 0, 0, false),
+                (1, 1, 1, false),
+                (2, 1, 1, false),
+                (2, 0, 0, false),
+                (3, 0, 0, false),
+                (3, 1, 1, false),
+            ],
+        );
+        let b = session_boundaries(&trace, 2, |_| None);
+        assert_eq!(b, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn repeated_steps_of_one_port_do_not_advance() {
+        let trace = sm_trace(
+            2,
+            &[
+                (1, 0, 0, false),
+                (2, 0, 0, false),
+                (3, 0, 0, false),
+                (4, 1, 1, false),
+            ],
+        );
+        assert_eq!(count_sessions(&trace, 2, |_| None), 1);
+    }
+
+    #[test]
+    fn idle_steps_are_excluded() {
+        // p1 idles at its first step; its later steps cannot form sessions.
+        let trace = sm_trace(
+            2,
+            &[
+                (1, 1, 1, true),  // p1's idling step still counts (pre-idle)
+                (1, 0, 0, false), // closes session 1
+                (2, 1, 1, true),  // idle: ignored
+                (2, 0, 0, false),
+                (3, 1, 1, true),  // idle: ignored
+                (3, 0, 0, false),
+            ],
+        );
+        assert_eq!(count_sessions(&trace, 2, |_| None), 1);
+    }
+
+    #[test]
+    fn the_idling_step_itself_counts() {
+        // Both processes idle on their very first (and only) port step.
+        let trace = sm_trace(2, &[(1, 0, 0, true), (1, 1, 1, true)]);
+        assert_eq!(count_sessions(&trace, 2, |_| None), 1);
+    }
+
+    #[test]
+    fn mp_steps_use_the_port_map() {
+        let mut trace = Trace::new(2);
+        for (t, p) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            trace.push(TraceEvent {
+                time: Time::from_int(t),
+                process: ProcessId::new(p),
+                kind: StepKind::MpStep {
+                    received: 0,
+                    broadcast: false,
+                },
+                idle_after: false,
+            });
+        }
+        let port_of = |p: ProcessId| Some(PortId::new(p.index()));
+        assert_eq!(count_sessions(&trace, 2, port_of), 2);
+        // Processes without a port contribute nothing.
+        assert_eq!(count_sessions(&trace, 2, |_| None), 0);
+    }
+
+    #[test]
+    fn deliveries_never_count() {
+        let mut trace = Trace::new(2);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(1), Time::ZERO);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(1),
+            kind: StepKind::Deliver { msg },
+            idle_after: false,
+        });
+        assert_eq!(
+            count_sessions(&trace, 1, |p| Some(PortId::new(p.index()))),
+            0
+        );
+    }
+
+    #[test]
+    fn n_zero_yields_no_sessions() {
+        let trace = sm_trace(1, &[(1, 0, 0, false)]);
+        assert_eq!(count_sessions(&trace, 0, |_| None), 0);
+    }
+
+    /// Brute-force reference: maximum number of disjoint consecutive
+    /// fragments, each containing all ports, trying *every* closing
+    /// position for each session.
+    fn brute_force(ports: &[usize], n: usize) -> u64 {
+        fn go(ports: &[usize], n: usize, start: usize) -> u64 {
+            let mut covered = BTreeSet::new();
+            let mut best = 0;
+            for (offset, &y) in ports[start..].iter().enumerate() {
+                covered.insert(y);
+                if covered.len() >= n {
+                    // Close the session here (or anywhere later; closing
+                    // later can only waste steps, but we try all anyway).
+                    let rest = go(ports, n, start + offset + 1);
+                    best = best.max(1 + rest);
+                }
+            }
+            best
+        }
+        if n == 0 {
+            return 0;
+        }
+        go(ports, n, 0)
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_exhaustive_small_inputs() {
+        // All port sequences of length <= 7 over 2 ports, and length <= 5
+        // over 3 ports.
+        for n in [2usize, 3] {
+            let max_len = if n == 2 { 7 } else { 5 };
+            for len in 0..=max_len {
+                let total = n.pow(len as u32);
+                for code in 0..total {
+                    let mut seq = Vec::with_capacity(len);
+                    let mut c = code;
+                    for _ in 0..len {
+                        seq.push(c % n);
+                        c /= n;
+                    }
+                    let steps: Vec<(i128, usize, usize, bool)> = seq
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &y)| (i as i128 + 1, y, y, false))
+                        .collect();
+                    let trace = sm_trace(n, &steps);
+                    assert_eq!(
+                        count_sessions(&trace, n, |_| None),
+                        brute_force(&seq, n),
+                        "sequence {seq:?} over {n} ports"
+                    );
+                }
+            }
+        }
+    }
+}

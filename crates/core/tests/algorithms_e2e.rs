@@ -1,0 +1,407 @@
+//! End-to-end checks of every Table 1 algorithm: correctness (≥ s disjoint
+//! sessions, counted independently from the trace), admissibility of the
+//! generated computations, and running times within the upper-bound shapes.
+
+use session_core::bounds;
+use session_core::report::{run_mp, run_sm, MpConfig, RunReport, SmConfig};
+use session_core::verify::check_admissible;
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits, SlowProcess, UniformDelay};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn spec(s: u64, n: usize, b: usize) -> SessionSpec {
+    SessionSpec::new(s, n, b).unwrap()
+}
+
+fn assert_solves(report: &RunReport, spec: &SessionSpec, label: &str) {
+    assert!(report.terminated, "{label}: did not terminate");
+    assert!(
+        report.sessions >= spec.s(),
+        "{label}: only {} sessions, needed {}",
+        report.sessions,
+        spec.s()
+    );
+}
+
+#[test]
+fn synchronous_sm_exact_running_time() {
+    for (s, n) in [(1, 2), (3, 4), (6, 9)] {
+        let sp = spec(s, n, 2);
+        let c2 = d(4);
+        let bounds_k = KnownBounds::synchronous(c2, d(1)).unwrap();
+        let tree = TreeSpec::build(n, 2);
+        let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2).unwrap();
+        let report = run_sm(
+            SmConfig {
+                model: TimingModel::Synchronous,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "sync SM");
+        check_admissible(&report.trace, &bounds_k).unwrap();
+        let expected = Time::ZERO + bounds::sync_time(s, c2);
+        assert_eq!(report.running_time, Some(expected), "s={s}, n={n}");
+    }
+}
+
+#[test]
+fn synchronous_mp_exact_running_time() {
+    let sp = spec(5, 4, 2);
+    let c2 = d(3);
+    let bounds_k = KnownBounds::synchronous(c2, d(2)).unwrap();
+    let mut sched = FixedPeriods::uniform(4, c2).unwrap();
+    let mut delays = ConstantDelay::new(d(2)).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Synchronous,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "sync MP");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+    assert_eq!(
+        report.running_time,
+        Some(Time::ZERO + bounds::sync_time(5, c2))
+    );
+}
+
+#[test]
+fn periodic_sm_heterogeneous_periods() {
+    // Periods unknown to the algorithm; delays do not exist in SM.
+    for (s, n, b) in [(2, 3, 2), (4, 6, 2), (3, 9, 3)] {
+        let sp = spec(s, n, b);
+        let bounds_k = KnownBounds::periodic(d(1)).unwrap();
+        let tree = TreeSpec::build(n, b);
+        let num = n + tree.num_relays();
+        // Hidden periods 1..=num (port process i gets period i+1).
+        let periods: Vec<Dur> = (0..num).map(|i| d(i as i128 % 5 + 1)).collect();
+        let c_max = periods.iter().copied().fold(Dur::ZERO, Dur::max);
+        let mut sched = FixedPeriods::new(periods).unwrap();
+        let report = run_sm(
+            SmConfig {
+                model: TimingModel::Periodic,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "periodic SM");
+        check_admissible(&report.trace, &bounds_k).unwrap();
+        // Shape check: s*c_max + (flood + slack)*c_max.
+        let budget = c_max * (s as i128 + tree.flood_rounds_bound() as i128 + 3);
+        let rt = report.running_time.unwrap() - Time::ZERO;
+        assert!(
+            rt <= budget,
+            "periodic SM (s={s}, n={n}, b={b}): {rt} > {budget}"
+        );
+    }
+}
+
+#[test]
+fn periodic_sm_survives_a_slowed_port_process() {
+    // The Theorem 4.3 adversary schedule: one port process much slower.
+    let sp = spec(3, 4, 2);
+    let bounds_k = KnownBounds::periodic(d(1)).unwrap();
+    let mut sched = SlowProcess::new(d(1), ProcessId::new(2), d(50)).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Periodic,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "periodic SM with slow process");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+    // The slow process dominates: at least s of its steps are needed.
+    let rt = report.running_time.unwrap() - Time::ZERO;
+    assert!(rt >= d(50) * 3, "must wait for the slow process: {rt}");
+}
+
+#[test]
+fn periodic_mp_within_upper_bound_shape() {
+    for (s, n) in [(1, 2), (4, 3), (6, 5)] {
+        let sp = spec(s, n, 2);
+        let d2 = d(20);
+        let bounds_k = KnownBounds::periodic(d2).unwrap();
+        let periods: Vec<Dur> = (0..n).map(|i| d(i as i128 + 2)).collect();
+        let c_max = periods.iter().copied().fold(Dur::ZERO, Dur::max);
+        let mut sched = FixedPeriods::new(periods).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Periodic,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "periodic MP");
+        check_admissible(&report.trace, &bounds_k).unwrap();
+        // Paper: s*c_max + d2; our variant takes up to two extra steps
+        // (message pickup + the explicit extra port step).
+        let budget = bounds::periodic_mp_upper(s, c_max, d2) + c_max * 2;
+        let rt = report.running_time.unwrap() - Time::ZERO;
+        assert!(rt <= budget, "periodic MP (s={s}, n={n}): {rt} > {budget}");
+    }
+}
+
+#[test]
+fn semisync_sm_step_counting_arm_is_exact() {
+    // c2/c1 small => silent arm; running time is exactly steps * period
+    // when the schedule runs every process at c2.
+    let sp = spec(4, 4, 2);
+    let c1 = d(2);
+    let c2 = d(5);
+    let bounds_k = KnownBounds::semi_synchronous(c1, c2, d(10)).unwrap();
+    let tree = TreeSpec::build(4, 2);
+    let mut sched = FixedPeriods::uniform(4 + tree.num_relays(), c2).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::SemiSynchronous,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "semisync SM");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+    // B = floor(5/2)+1 = 3; steps = 3*3+1 = 10; at period c2 = 5: t = 50.
+    let upper = bounds::semisync_sm_upper(4, c1, c2, tree.flood_rounds_bound());
+    let rt = report.running_time.unwrap() - Time::ZERO;
+    assert_eq!(rt, d(50));
+    assert!(rt <= upper);
+}
+
+#[test]
+fn semisync_sm_communicating_arm_solves() {
+    // c2/c1 huge => communication arm through the tree.
+    let sp = spec(3, 8, 2);
+    let c1 = d(1);
+    let c2 = d(1000);
+    let bounds_k = KnownBounds::semi_synchronous(c1, c2, d(10)).unwrap();
+    let tree = TreeSpec::build(8, 2);
+    // Run everyone fast (c1): the communication arm should finish long
+    // before the step-counting arm would have.
+    let mut sched = FixedPeriods::uniform(8 + tree.num_relays(), c1).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::SemiSynchronous,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "semisync SM talking");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+    let rt = report.running_time.unwrap() - Time::ZERO;
+    // Far below the silent arm's (s-1)*(floor(c2/c1)+1)*c1 = 2002 steps.
+    assert!(rt < d(2002), "communication arm should win: {rt}");
+}
+
+#[test]
+fn semisync_mp_both_arms_within_bound() {
+    let s = 4;
+    let n = 3;
+    let sp = spec(s, n, 2);
+    // Arm 1: counting wins (d2 huge).
+    let c1 = d(2);
+    let c2 = d(4);
+    let d2 = d(100);
+    let bounds_k = KnownBounds::semi_synchronous(c1, c2, d2).unwrap();
+    let mut sched = FixedPeriods::uniform(n, c2).unwrap();
+    let mut delays = ConstantDelay::new(d2).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::SemiSynchronous,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "semisync MP counting");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+    let rt = report.running_time.unwrap() - Time::ZERO;
+    assert!(rt <= bounds::semisync_mp_upper(s, c1, c2, d2));
+
+    // Arm 2: communication wins (d2 tiny).
+    let d2 = d(1);
+    let bounds_k = KnownBounds::semi_synchronous(d(1), d(50), d2).unwrap();
+    let mut sched = FixedPeriods::uniform(n, d(1)).unwrap();
+    let mut delays = ConstantDelay::new(d2).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::SemiSynchronous,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "semisync MP talking");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+}
+
+#[test]
+fn sporadic_mp_constant_delay_runs() {
+    for (s, n, d1v, d2v) in [(2, 2, 0, 8), (4, 3, 2, 8), (3, 4, 8, 8)] {
+        let sp = spec(s, n, 2);
+        let c1 = d(1);
+        let bounds_k = KnownBounds::sporadic(c1, d(d1v), d(d2v)).unwrap();
+        let mut sched = FixedPeriods::uniform(n, d(2)).unwrap(); // gaps 2 >= c1
+        let mut delays = UniformDelay::new(d(d1v), d(d2v), 11).unwrap();
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Sporadic,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "sporadic MP");
+        check_admissible(&report.trace, &bounds_k).unwrap();
+        // Theorem 6.1 raw form: min{...}(s-2) + d2 + 2γ; allow the full
+        // slack of the first session.
+        let budget = bounds::sporadic_mp_upper(s, c1, d(d1v), d(d2v), report.gamma)
+            + d(d2v)
+            + report.gamma * 2;
+        let rt = report.running_time.unwrap() - Time::ZERO;
+        assert!(
+            rt <= budget,
+            "sporadic MP (s={s}, n={n}, d1={d1v}, d2={d2v}): {rt} > {budget}"
+        );
+    }
+}
+
+#[test]
+fn async_sm_round_complexity() {
+    for (s, n, b) in [(2, 4, 2), (4, 8, 2), (3, 9, 3)] {
+        let sp = spec(s, n, b);
+        let bounds_k = KnownBounds::asynchronous();
+        let tree = TreeSpec::build(n, b);
+        let mut sched = FixedPeriods::uniform(n + tree.num_relays(), d(1)).unwrap();
+        let report = run_sm(
+            SmConfig {
+                model: TimingModel::Asynchronous,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "async SM");
+        // Round budget: one flood per wave plus slack.
+        let budget = (s + 1) * tree.flood_rounds_bound() + 2;
+        assert!(
+            report.rounds <= budget,
+            "async SM (s={s}, n={n}, b={b}): {} rounds > {budget}",
+            report.rounds
+        );
+    }
+}
+
+#[test]
+fn async_mp_within_upper_bound_shape() {
+    for (s, n) in [(2, 2), (5, 4)] {
+        let sp = spec(s, n, 2);
+        let bounds_k = KnownBounds::asynchronous();
+        let period = d(3);
+        let d2 = d(7);
+        let mut sched = FixedPeriods::uniform(n, period).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Asynchronous,
+                spec: sp,
+                bounds: bounds_k,
+            },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_solves(&report, &sp, "async MP");
+        // (s-1)(d2 + γ) + γ with γ = the actual max gap.
+        let gamma = report.gamma;
+        let budget = (d2 + gamma) * (s as i128 - 1) + gamma;
+        let rt = report.running_time.unwrap() - Time::ZERO;
+        assert!(rt <= budget, "async MP (s={s}, n={n}): {rt} > {budget}");
+    }
+}
+
+#[test]
+fn sporadic_sm_is_the_async_algorithm() {
+    let sp = spec(3, 4, 2);
+    let bounds_k = KnownBounds::sporadic(d(1), d(0), d(5)).unwrap();
+    let tree = TreeSpec::build(4, 2);
+    let mut sched = FixedPeriods::uniform(4 + tree.num_relays(), d(2)).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Sporadic,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "sporadic SM");
+    check_admissible(&report.trace, &bounds_k).unwrap();
+}
+
+#[test]
+fn running_time_never_below_trivial_lower_bound() {
+    // Every correct run needs at least s port steps from the slowest
+    // process: running time >= s * (its period) for periodic schedules.
+    let sp = spec(4, 3, 2);
+    let bounds_k = KnownBounds::periodic(d(5)).unwrap();
+    let mut sched = FixedPeriods::new(vec![d(2), d(3), d(7)]).unwrap();
+    let mut delays = ConstantDelay::new(d(5)).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Periodic,
+            spec: sp,
+            bounds: bounds_k,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_solves(&report, &sp, "periodic MP trivial lower bound");
+    let rt = report.running_time.unwrap() - Time::ZERO;
+    assert!(rt >= d(7) * 4, "{rt} < s * c_max");
+}

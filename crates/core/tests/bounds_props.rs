@@ -1,0 +1,106 @@
+//! Property-based sanity of the Table 1 closed forms: lower bounds never
+//! exceed upper bounds, and each formula is monotone in the parameters the
+//! paper's discussion says it should be.
+
+use proptest::prelude::*;
+use session_core::bounds;
+use session_types::{Dur, SessionSpec};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+proptest! {
+    /// Every row's L <= U at matching parameters (with a generous concrete
+    /// flood constant for the O(log) terms and γ >= the slowest step).
+    #[test]
+    fn lower_bounds_never_exceed_upper_bounds(
+        s in 1u64..12,
+        n in 1usize..64,
+        b in 2usize..6,
+        c1 in 1i128..6,
+        extra in 0i128..12,
+        d1 in 0i128..8,
+        du in 0i128..12,
+    ) {
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let c2 = d(c1 + extra);
+        let c1 = d(c1);
+        let d2v = d(d1 + du);
+        let d1v = d(d1);
+        // A concrete flood bound at least as large as the paper's floor-log
+        // term, as the tree construction guarantees.
+        let flood = (2 * (b as u64) * (spec.log_b_n_floor() as u64 + 1)).max(2);
+
+        prop_assert!(bounds::periodic_sm_lower(&spec, c1, c2)
+            <= bounds::periodic_sm_upper(&spec, c2, flood) + c2 * 2);
+        prop_assert!(bounds::periodic_mp_lower(s, c2, d2v)
+            <= bounds::periodic_mp_upper(s, c2, d2v));
+        prop_assert!(bounds::semisync_sm_lower(&spec, c1, c2)
+            <= bounds::semisync_sm_upper(s, c1, c2, flood));
+        prop_assert!(bounds::semisync_mp_lower(s, c1, c2, d2v)
+            <= bounds::semisync_mp_upper(s, c1, c2, d2v));
+        // Sporadic: γ can be as small as the actual slowest gap; with γ = c1
+        // the upper bound is the tightest meaningful instantiation... the
+        // paper's L uses K <= 2c1·d2/(d2/2) <= 4c1, so compare with γ = 4c1
+        // to stay within the regime where the forms are comparable.
+        let gamma = c1 * 4;
+        prop_assert!(
+            bounds::sporadic_mp_lower(s, c1, d1v, d2v)
+                <= bounds::sporadic_mp_upper(s, c1, d1v, d2v, gamma) + d2v + gamma * 2,
+            "sporadic L > U at s={s}, c1={c1}, d1={d1v}, d2={d2v}"
+        );
+        prop_assert!(bounds::async_sm_lower_rounds(&spec)
+            <= bounds::async_sm_upper_rounds(s, flood));
+        prop_assert!(bounds::async_mp_lower(s, d2v)
+            <= bounds::async_mp_upper(s, c2, d2v));
+    }
+
+    /// Monotonicity in s: more sessions never cost less.
+    #[test]
+    fn bounds_are_monotone_in_s(
+        s in 1u64..12,
+        n in 1usize..32,
+        c1 in 1i128..4,
+        extra in 0i128..8,
+        d2 in 0i128..12,
+    ) {
+        let c2 = d(c1 + extra);
+        let c1 = d(c1);
+        let d2v = d(d2);
+        let spec_a = SessionSpec::new(s, n, 2).unwrap();
+        let spec_b = SessionSpec::new(s + 1, n, 2).unwrap();
+        prop_assert!(bounds::sync_time(s, c2) <= bounds::sync_time(s + 1, c2));
+        prop_assert!(bounds::periodic_mp_upper(s, c2, d2v)
+            <= bounds::periodic_mp_upper(s + 1, c2, d2v));
+        prop_assert!(bounds::periodic_sm_lower(&spec_a, c1, c2)
+            <= bounds::periodic_sm_lower(&spec_b, c1, c2));
+        prop_assert!(bounds::semisync_mp_upper(s, c1, c2, d2v)
+            <= bounds::semisync_mp_upper(s + 1, c1, c2, d2v));
+        prop_assert!(bounds::sporadic_mp_lower(s, c1, Dur::ZERO, d2v)
+            <= bounds::sporadic_mp_lower(s + 1, c1, Dur::ZERO, d2v));
+        prop_assert!(bounds::async_mp_lower(s, d2v) <= bounds::async_mp_lower(s + 1, d2v));
+    }
+
+    /// The sporadic lower bound interpolates monotonically in the delay
+    /// uncertainty: growing u (shrinking d1 at fixed d2) never lowers it.
+    #[test]
+    fn sporadic_lower_is_monotone_in_uncertainty(
+        s in 2u64..8,
+        c1 in 1i128..4,
+        d2 in 4i128..32,
+        d1a in 0i128..32,
+        d1b in 0i128..32,
+    ) {
+        let (lo, hi) = if d1a <= d1b { (d1a, d1b) } else { (d1b, d1a) };
+        prop_assume!(hi <= d2);
+        let c1 = d(c1);
+        // Smaller d1 (= larger u) => bound at least as large.
+        let more_uncertain = bounds::sporadic_mp_lower(s, c1, d(lo), d(d2));
+        let less_uncertain = bounds::sporadic_mp_lower(s, c1, d(hi), d(d2));
+        prop_assert!(
+            more_uncertain >= less_uncertain,
+            "u larger but bound smaller: d1={lo} gives {more_uncertain}, d1={hi} gives {less_uncertain}"
+        );
+    }
+}

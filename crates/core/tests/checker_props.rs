@@ -1,0 +1,250 @@
+//! Differential testing of the admissibility checker: random timed traces
+//! are judged both by `verify::check_admissible` and by an independent,
+//! naively-written reference implementation; the verdicts must agree.
+//! A second suite mutates genuinely admissible recorded computations and
+//! asserts the checker notices every violation it should.
+
+use proptest::prelude::*;
+use session_core::report::{run_sm, SmConfig};
+use session_core::verify::check_admissible;
+use session_sim::{FixedPeriods, RunLimits, StepKind, Trace, TraceEvent};
+use session_smm::TreeSpec;
+use session_types::{
+    Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel, VarId,
+};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+/// The reference judge, written as plainly as possible.
+fn reference_admissible(trace: &Trace, bounds: &KnownBounds) -> bool {
+    // Step gaps.
+    let mut last: std::collections::BTreeMap<ProcessId, Time> = Default::default();
+    let mut first_gap: std::collections::BTreeMap<ProcessId, Dur> = Default::default();
+    for e in trace.events() {
+        if !e.kind.is_process_step() {
+            continue;
+        }
+        let prev = last.get(&e.process).copied().unwrap_or(Time::ZERO);
+        let gap = e.time - prev;
+        if let Some(c1) = bounds.c1() {
+            if gap < c1 {
+                return false;
+            }
+        }
+        if let Some(c2) = bounds.c2() {
+            if gap > c2 {
+                return false;
+            }
+        }
+        if bounds.model() == TimingModel::Periodic {
+            if gap <= Dur::ZERO {
+                return false;
+            }
+            match first_gap.get(&e.process) {
+                None => {
+                    first_gap.insert(e.process, gap);
+                }
+                Some(&period) => {
+                    if period != gap {
+                        return false;
+                    }
+                }
+            }
+        }
+        last.insert(e.process, e.time);
+    }
+    // Delays.
+    let end = trace.end_time().unwrap_or(Time::ZERO);
+    for m in trace.messages() {
+        match m.delay() {
+            Some(delay) => {
+                if let Some(d1) = bounds.d1() {
+                    if delay < d1 {
+                        return false;
+                    }
+                }
+                if let Some(d2) = bounds.d2() {
+                    if delay > d2 {
+                        return false;
+                    }
+                }
+            }
+            None => {
+                if let Some(d2) = bounds.d2() {
+                    if end - m.sent_at > d2 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Random step-only traces: per process, a list of strictly increasing
+/// times drawn from a coarse grid so that violations are common but not
+/// universal.
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    let per_process = proptest::collection::vec(1i128..=6, 0..8);
+    proptest::collection::vec(per_process, 1..4).prop_map(|gaps_per_proc| {
+        let mut events = Vec::new();
+        for (p, gaps) in gaps_per_proc.iter().enumerate() {
+            let mut t = Time::ZERO;
+            for &g in gaps {
+                t += Dur::from_int(g);
+                events.push(TraceEvent {
+                    time: t,
+                    process: ProcessId::new(p),
+                    kind: StepKind::VarAccess {
+                        var: VarId::new(p),
+                        port: None,
+                    },
+                    idle_after: false,
+                });
+            }
+        }
+        Trace::from_unsorted_events(gaps_per_proc.len(), events)
+    })
+}
+
+fn arbitrary_bounds() -> impl Strategy<Value = KnownBounds> {
+    prop_oneof![
+        (1i128..=4, 0i128..=4).prop_map(|(c2, dd)| {
+            KnownBounds::synchronous(d(c2), d(dd)).unwrap()
+        }),
+        (0i128..=5).prop_map(|dd| KnownBounds::periodic(d(dd)).unwrap()),
+        (1i128..=3, 0i128..=4, 0i128..=5).prop_map(|(c1, extra, dd)| {
+            KnownBounds::semi_synchronous(d(c1), d(c1 + extra), d(dd)).unwrap()
+        }),
+        (1i128..=3, 0i128..=2, 0i128..=4).prop_map(|(c1, d1, du)| {
+            KnownBounds::sporadic(d(c1), d(d1), d(d1 + du)).unwrap()
+        }),
+        Just(KnownBounds::asynchronous()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The checker and the reference judge always agree.
+    #[test]
+    fn checker_matches_reference(trace in arbitrary_trace(), bounds in arbitrary_bounds()) {
+        let checker = check_admissible(&trace, &bounds).is_ok();
+        let reference = reference_admissible(&trace, &bounds);
+        prop_assert_eq!(checker, reference, "bounds: {:?}", bounds);
+    }
+}
+
+/// Records one genuinely admissible semi-synchronous computation.
+fn recorded_admissible_trace(c1: Dur, c2: Dur) -> (Trace, KnownBounds) {
+    let spec = SessionSpec::new(3, 4, 2).unwrap();
+    let bounds = KnownBounds::semi_synchronous(c1, c2, d(5)).unwrap();
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let mut sched = FixedPeriods::uniform(spec.n() + tree.num_relays(), c2).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::SemiSynchronous,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.terminated);
+    check_admissible(&report.trace, &bounds).unwrap();
+    (report.trace, bounds)
+}
+
+/// Rebuilds a trace with event `idx` moved to `new_time`.
+fn with_moved_event(trace: &Trace, idx: usize, new_time: Time) -> Trace {
+    let mut events: Vec<TraceEvent> = trace.events().to_vec();
+    events[idx].time = new_time;
+    Trace::from_unsorted_events(trace.num_processes(), events)
+}
+
+#[test]
+fn mutations_that_shrink_a_gap_below_c1_are_caught() {
+    let c1 = d(2);
+    let c2 = d(4);
+    let (trace, bounds) = recorded_admissible_trace(c1, c2);
+    // Find some process's second step and pull it to within c1 of its
+    // first: the checker must reject.
+    let p0 = ProcessId::new(0);
+    let steps: Vec<usize> = trace
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.process == p0 && e.kind.is_process_step())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(steps.len() >= 2);
+    let first_time = trace.events()[steps[0]].time;
+    let mutated = with_moved_event(&trace, steps[1], first_time + d(1)); // gap 1 < c1
+    assert!(check_admissible(&mutated, &bounds).is_err());
+}
+
+#[test]
+fn mutations_that_stretch_a_gap_beyond_c2_are_caught() {
+    let c1 = d(2);
+    let c2 = d(4);
+    let (trace, bounds) = recorded_admissible_trace(c1, c2);
+    // Push the last step of some process far into the future.
+    let last_idx = trace.events().len() - 1;
+    let far = trace.end_time().unwrap() + d(100);
+    let mutated = with_moved_event(&trace, last_idx, far);
+    assert!(check_admissible(&mutated, &bounds).is_err());
+}
+
+#[test]
+fn every_single_event_shift_by_half_c2_is_caught_or_harmless() {
+    // Exhaustive single-event mutations: shifting any one step by +c2
+    // either keeps the trace admissible (never true here: it always breaks
+    // the shifted process's next gap or its own) or is caught. What must
+    // NEVER happen is a panic or a wrong "ok" verdict vs the reference.
+    let c1 = d(2);
+    let c2 = d(4);
+    let (trace, bounds) = recorded_admissible_trace(c1, c2);
+    for idx in 0..trace.events().len() {
+        let t = trace.events()[idx].time;
+        let mutated = with_moved_event(&trace, idx, t + c2);
+        let verdict = check_admissible(&mutated, &bounds).is_ok();
+        let reference = reference_admissible(&mutated, &bounds);
+        assert_eq!(verdict, reference, "event {idx}");
+    }
+}
+
+#[test]
+fn periodic_checker_rejects_any_drift() {
+    // An exactly periodic trace stays admissible; drifting any single
+    // non-final step breaks the constant-gap requirement.
+    let mut events = Vec::new();
+    for k in 1..=6i128 {
+        events.push(TraceEvent {
+            time: Time::from_int(3 * k),
+            process: ProcessId::new(0),
+            kind: StepKind::VarAccess {
+                var: VarId::new(0),
+                port: None,
+            },
+            idle_after: false,
+        });
+    }
+    let trace = Trace::from_unsorted_events(1, events.clone());
+    let bounds = KnownBounds::periodic(d(5)).unwrap();
+    assert!(check_admissible(&trace, &bounds).is_ok());
+    for (idx, event) in events.iter().enumerate().take(events.len() - 1) {
+        let mutated = with_moved_event(&trace, idx, event.time + d(1));
+        assert!(
+            check_admissible(&mutated, &bounds).is_err(),
+            "drift at step {idx} must break periodicity"
+        );
+    }
+    // Moving only the FINAL step changes that gap and the previous one...
+    // there is no following gap, so it still breaks the preceding period.
+    let last = events.len() - 1;
+    let mutated = with_moved_event(&trace, last, events[last].time + d(1));
+    assert!(check_admissible(&mutated, &bounds).is_err());
+}

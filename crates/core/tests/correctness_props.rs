@@ -1,0 +1,216 @@
+//! The paper's correctness condition as a property: for every algorithm and
+//! every (randomly drawn) admissible timed computation, the trace contains
+//! at least `s` disjoint sessions and the computation is admissible for its
+//! model. This is the single most important invariant in the workspace.
+
+use proptest::prelude::*;
+use session_core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_core::verify::check_admissible;
+use session_sim::{
+    ConstantDelay, FixedPeriods, JitterSchedule, RunLimits, SporadicBursts, UniformDelay,
+};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn small_instance() -> impl Strategy<Value = (u64, usize, usize)> {
+    (1u64..=5, 1usize..=6, 2usize..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn periodic_sm_always_solves(
+        (s, n, b) in small_instance(),
+        period_seeds in proptest::collection::vec(1i128..=6, 1..40),
+    ) {
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let bounds = KnownBounds::periodic(d(1)).unwrap();
+        let tree = TreeSpec::build(n, b);
+        let num = n + tree.num_relays();
+        let periods: Vec<Dur> = (0..num)
+            .map(|i| d(period_seeds[i % period_seeds.len()]))
+            .collect();
+        let mut sched = FixedPeriods::new(periods).unwrap();
+        let report = run_sm(
+            SmConfig { model: TimingModel::Periodic, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated, "did not terminate");
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+
+    #[test]
+    fn periodic_mp_always_solves(
+        (s, n, _b) in small_instance(),
+        period_seeds in proptest::collection::vec(1i128..=6, 1..12),
+        d2 in 0i128..=15,
+        delay_seed in any::<u64>(),
+    ) {
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let bounds = KnownBounds::periodic(d(d2)).unwrap();
+        let periods: Vec<Dur> = (0..n)
+            .map(|i| d(period_seeds[i % period_seeds.len()]))
+            .collect();
+        let mut sched = FixedPeriods::new(periods).unwrap();
+        let mut delays = UniformDelay::new(Dur::ZERO, d(d2), delay_seed).unwrap();
+        let report = run_mp(
+            MpConfig { model: TimingModel::Periodic, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated);
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+
+    #[test]
+    fn semisync_sm_always_solves(
+        (s, n, b) in small_instance(),
+        c1 in 1i128..=3,
+        extra in 0i128..=9,
+        seed in any::<u64>(),
+    ) {
+        let c2 = c1 + extra;
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let bounds = KnownBounds::semi_synchronous(d(c1), d(c2), d(5)).unwrap();
+        let mut sched = JitterSchedule::new(d(c1), d(c2), seed).unwrap();
+        let report = run_sm(
+            SmConfig { model: TimingModel::SemiSynchronous, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated);
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+
+    #[test]
+    fn semisync_mp_always_solves(
+        (s, n, _b) in small_instance(),
+        c1 in 1i128..=3,
+        extra in 0i128..=9,
+        d2 in 0i128..=15,
+        seed in any::<u64>(),
+    ) {
+        let c2 = c1 + extra;
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let bounds = KnownBounds::semi_synchronous(d(c1), d(c2), d(d2)).unwrap();
+        let mut sched = JitterSchedule::new(d(c1), d(c2), seed).unwrap();
+        let mut delays = UniformDelay::new(Dur::ZERO, d(d2), seed ^ 0xabcd).unwrap();
+        let report = run_mp(
+            MpConfig { model: TimingModel::SemiSynchronous, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated);
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+
+    #[test]
+    fn sporadic_mp_always_solves(
+        (s, n, _b) in small_instance(),
+        c1 in 1i128..=3,
+        d1 in 0i128..=6,
+        du in 0i128..=10,
+        pause in 0u8..=40,
+        seed in any::<u64>(),
+    ) {
+        let d2 = d1 + du;
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let bounds = KnownBounds::sporadic(d(c1), d(d1), d(d2)).unwrap();
+        let mut sched = SporadicBursts::new(d(c1), 8, pause, seed).unwrap();
+        let mut delays = UniformDelay::new(d(d1), d(d2), seed ^ 0x1234).unwrap();
+        let report = run_mp(
+            MpConfig { model: TimingModel::Sporadic, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated, "A(sp) must terminate");
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+
+    #[test]
+    fn async_sm_always_solves(
+        (s, n, b) in small_instance(),
+        period_seeds in proptest::collection::vec(1i128..=5, 1..40),
+    ) {
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let bounds = KnownBounds::asynchronous();
+        let tree = TreeSpec::build(n, b);
+        let num = n + tree.num_relays();
+        let periods: Vec<Dur> = (0..num)
+            .map(|i| d(period_seeds[i % period_seeds.len()]))
+            .collect();
+        let mut sched = FixedPeriods::new(periods).unwrap();
+        let report = run_sm(
+            SmConfig { model: TimingModel::Asynchronous, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated);
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+    }
+
+    #[test]
+    fn async_mp_always_solves(
+        (s, n, _b) in small_instance(),
+        period in 1i128..=5,
+        d2 in 0i128..=12,
+        seed in any::<u64>(),
+    ) {
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let bounds = KnownBounds::asynchronous();
+        let mut sched = FixedPeriods::uniform(n, d(period)).unwrap();
+        let mut delays = UniformDelay::new(Dur::ZERO, d(d2), seed).unwrap();
+        let report = run_mp(
+            MpConfig { model: TimingModel::Asynchronous, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.terminated);
+        prop_assert!(report.sessions >= s, "{} < {s} sessions", report.sessions);
+    }
+
+    #[test]
+    fn synchronous_both_models_always_solve(
+        (s, n, b) in small_instance(),
+        c2 in 1i128..=5,
+        d2 in 0i128..=5,
+    ) {
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let bounds = KnownBounds::synchronous(d(c2), d(d2)).unwrap();
+        let tree = TreeSpec::build(n, b);
+        let mut sched = FixedPeriods::uniform(n + tree.num_relays(), d(c2)).unwrap();
+        let report = run_sm(
+            SmConfig { model: TimingModel::Synchronous, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.sessions >= s);
+        check_admissible(&report.trace, &bounds).unwrap();
+
+        let mut sched = FixedPeriods::uniform(n, d(c2)).unwrap();
+        let mut delays = ConstantDelay::new(d(d2)).unwrap();
+        let report = run_mp(
+            MpConfig { model: TimingModel::Synchronous, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        ).unwrap();
+        prop_assert!(report.sessions >= s);
+        check_admissible(&report.trace, &bounds).unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+//! Representation independence of the session counter: the same abstract
+//! sequence of port steps must count identically whether it is encoded as a
+//! shared-memory trace (port tags on `VarAccess` events) or a
+//! message-passing trace (`MpStep` events plus the port map).
+
+use proptest::prelude::*;
+use session_core::verify::{count_sessions, session_boundaries};
+use session_sim::{StepKind, Trace, TraceEvent};
+use session_types::{PortId, ProcessId, Time, VarId};
+
+/// The abstract computation: a sequence of (port index, idles-after) steps,
+/// where port `i` is taken by port process `i`.
+fn encode_sm(steps: &[(usize, bool)], n: usize) -> Trace {
+    let mut trace = Trace::new(n);
+    for (k, &(port, idle)) in steps.iter().enumerate() {
+        trace.push(TraceEvent {
+            time: Time::from_int(k as i128 + 1),
+            process: ProcessId::new(port),
+            kind: StepKind::VarAccess {
+                var: VarId::new(port),
+                port: Some(PortId::new(port)),
+            },
+            idle_after: idle,
+        });
+    }
+    trace
+}
+
+fn encode_mp(steps: &[(usize, bool)], n: usize) -> Trace {
+    let mut trace = Trace::new(n);
+    for (k, &(port, idle)) in steps.iter().enumerate() {
+        trace.push(TraceEvent {
+            time: Time::from_int(k as i128 + 1),
+            process: ProcessId::new(port),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: false,
+            },
+            idle_after: idle,
+        });
+    }
+    trace
+}
+
+/// Idle flags must be absorbing for the encoding to be a legal computation.
+fn make_idle_absorbing(steps: &mut [(usize, bool)]) {
+    let mut idle = std::collections::BTreeSet::new();
+    for (port, flag) in steps.iter_mut() {
+        if idle.contains(port) {
+            *flag = true;
+        } else if *flag {
+            idle.insert(*port);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sm_and_mp_encodings_count_identically(
+        n in 1usize..5,
+        raw in proptest::collection::vec((0usize..5, proptest::bool::weighted(0.15)), 0..30),
+    ) {
+        let mut steps: Vec<(usize, bool)> =
+            raw.into_iter().map(|(p, idle)| (p % n, idle)).collect();
+        make_idle_absorbing(&mut steps);
+
+        let sm = encode_sm(&steps, n);
+        let mp = encode_mp(&steps, n);
+        let port_of = move |p: ProcessId| (p.index() < n).then(|| PortId::new(p.index()));
+
+        let sm_count = count_sessions(&sm, n, |_| None);
+        let mp_count = count_sessions(&mp, n, port_of);
+        prop_assert_eq!(sm_count, mp_count, "steps: {:?}", steps);
+
+        let sm_bounds = session_boundaries(&sm, n, |_| None);
+        let mp_bounds = session_boundaries(&mp, n, port_of);
+        prop_assert_eq!(sm_bounds, mp_bounds);
+    }
+}

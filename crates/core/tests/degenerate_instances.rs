@@ -1,0 +1,124 @@
+//! Degenerate problem instances: `s = 1` (a single session), `n = 1` (a
+//! single port), and both at once, across every model and substrate. These
+//! are where off-by-one errors in "broadcast at the (s−1)-th step" style
+//! logic live.
+
+use session_core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_core::verify::check_admissible;
+use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn bounds_for(model: TimingModel, c1: Dur, c2: Dur, d2: Dur) -> KnownBounds {
+    match model {
+        TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
+        TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
+        TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d2).unwrap(),
+        TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap(),
+        TimingModel::Asynchronous => KnownBounds::asynchronous(),
+    }
+}
+
+#[test]
+fn every_model_solves_every_degenerate_instance() {
+    let c1 = d(1);
+    let c2 = d(2);
+    let d2 = d(3);
+    for (s, n) in [(1u64, 1usize), (1, 4), (4, 1), (1, 2), (2, 1)] {
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        for model in TimingModel::ALL {
+            let bounds = bounds_for(model, c1, c2, d2);
+            // Shared memory.
+            let tree = TreeSpec::build(n, 2);
+            let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2).unwrap();
+            let sm = run_sm(
+                SmConfig { model, spec, bounds },
+                &mut sched,
+                RunLimits::default(),
+            )
+            .unwrap();
+            assert!(
+                sm.solves(&spec),
+                "{model} SM failed at s={s}, n={n}: {} sessions, terminated={}",
+                sm.sessions,
+                sm.terminated
+            );
+            check_admissible(&sm.trace, &bounds).unwrap();
+
+            // Message passing.
+            let mut sched = FixedPeriods::uniform(n, c2).unwrap();
+            let mut delays = ConstantDelay::new(d2).unwrap();
+            let mp = run_mp(
+                MpConfig { model, spec, bounds },
+                &mut sched,
+                &mut delays,
+                RunLimits::default(),
+            )
+            .unwrap();
+            assert!(
+                mp.solves(&spec),
+                "{model} MP failed at s={s}, n={n}: {} sessions, terminated={}",
+                mp.sessions,
+                mp.terminated
+            );
+            check_admissible(&mp.trace, &bounds).unwrap();
+        }
+    }
+}
+
+#[test]
+fn single_port_needs_no_real_communication() {
+    // n = 1: the only port process must still take s port steps, but no
+    // other process exists to wait for. Running time ~ s steps.
+    let spec = SessionSpec::new(5, 1, 2).unwrap();
+    let bounds = KnownBounds::periodic(d(100)).unwrap();
+    let mut sched = FixedPeriods::uniform(1, d(2)).unwrap();
+    let mut delays = ConstantDelay::new(d(100)).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Periodic,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    // A(p) for n = 1 still waits to *hear* its own announcement (delivered
+    // through the network at delay <= d2), so the time is s·c + d2-ish,
+    // never the d2-free synchronous time — check it terminated well within
+    // the bound rather than pinning the exact constant.
+    let rt = report.running_time.unwrap() - session_types::Time::ZERO;
+    assert!(rt <= d(2) * 5 + d(100) + d(2) * 2, "{rt}");
+}
+
+#[test]
+fn minimal_synchronous_instance_is_exact() {
+    // s = 1, n = 1, synchronous: exactly one step at c2.
+    let spec = SessionSpec::new(1, 1, 2).unwrap();
+    let c2 = d(7);
+    let bounds = KnownBounds::synchronous(c2, d(1)).unwrap();
+    let mut sched = FixedPeriods::uniform(1, c2).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Synchronous,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(report.sessions, 1);
+    assert_eq!(
+        report.running_time,
+        Some(session_types::Time::from_int(7))
+    );
+    assert_eq!(report.steps, 1);
+}

@@ -1,0 +1,116 @@
+//! Structural invariants every engine-produced trace must satisfy,
+//! regardless of model or algorithm: nondecreasing times (enforced by
+//! construction), absorbing idleness, deliveries after sends, and
+//! receive-after-delivery ordering.
+
+use proptest::prelude::*;
+use session_core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_sim::{FixedPeriods, RunLimits, StepKind, Trace, UniformDelay};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, TimingModel};
+use std::collections::BTreeMap;
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn assert_invariants(trace: &Trace) {
+    // Times nondecreasing.
+    for pair in trace.events().windows(2) {
+        assert!(pair[0].time <= pair[1].time);
+    }
+    // Idle is absorbing per process (over process steps).
+    let mut idle: BTreeMap<ProcessId, bool> = BTreeMap::new();
+    for e in trace.events() {
+        if !e.kind.is_process_step() {
+            continue;
+        }
+        let was = idle.get(&e.process).copied().unwrap_or(false);
+        assert!(
+            !was || e.idle_after,
+            "{} left an idle state at {}",
+            e.process,
+            e.time
+        );
+        idle.insert(e.process, e.idle_after);
+    }
+    // Deliveries never precede their sends; delivery events match records.
+    for m in trace.messages() {
+        if let Some(at) = m.delivered_at {
+            assert!(at >= m.sent_at, "{} delivered before sent", m.msg);
+        }
+    }
+    for e in trace.events() {
+        if let StepKind::Deliver { msg } = e.kind {
+            let record = trace.message(msg).expect("delivery references a send");
+            assert_eq!(record.delivered_at, Some(e.time));
+            assert_eq!(record.to, e.process);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn invariants_hold_for_every_model_mp(
+        model_idx in 0usize..5,
+        s in 1u64..4,
+        n in 1usize..5,
+        d2 in 0i128..8,
+        seed in any::<u64>(),
+    ) {
+        let model = TimingModel::ALL[model_idx];
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let c1 = d(1);
+        let c2 = d(3);
+        let bounds = match model {
+            TimingModel::Synchronous => KnownBounds::synchronous(c2, d(d2)).unwrap(),
+            TimingModel::Periodic => KnownBounds::periodic(d(d2)).unwrap(),
+            TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d(d2)).unwrap(),
+            TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d(d2)).unwrap(),
+            TimingModel::Asynchronous => KnownBounds::asynchronous(),
+        };
+        let mut sched = FixedPeriods::uniform(n, c2).unwrap();
+        let mut delays = UniformDelay::new(Dur::ZERO, d(d2), seed).unwrap();
+        let report = run_mp(
+            MpConfig { model, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        prop_assert!(report.terminated);
+        assert_invariants(&report.trace);
+    }
+
+    #[test]
+    fn invariants_hold_for_every_model_sm(
+        model_idx in 0usize..5,
+        s in 1u64..4,
+        n in 1usize..6,
+        b in 2usize..4,
+    ) {
+        let model = TimingModel::ALL[model_idx];
+        let spec = SessionSpec::new(s, n, b).unwrap();
+        let c1 = d(1);
+        let c2 = d(3);
+        let bounds = match model {
+            TimingModel::Synchronous => KnownBounds::synchronous(c2, d(1)).unwrap(),
+            TimingModel::Periodic => KnownBounds::periodic(d(1)).unwrap(),
+            TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d(1)).unwrap(),
+            TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d(1)).unwrap(),
+            TimingModel::Asynchronous => KnownBounds::asynchronous(),
+        };
+        let tree = TreeSpec::build(n, b);
+        let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2).unwrap();
+        let report = run_sm(
+            SmConfig { model, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        prop_assert!(report.terminated);
+        assert_invariants(&report.trace);
+    }
+}

@@ -1,0 +1,253 @@
+//! Classic uniprocessor schedulability analyses.
+
+use session_types::{Dur, Ratio};
+
+use crate::task::TaskSet;
+
+/// The Liu–Layland rate-monotonic utilization bound `n(2^{1/n} − 1)` \[11\].
+///
+/// Any set of `n` implicit-deadline periodic tasks with utilization at or
+/// below this bound is RM-schedulable. (The bound is irrational, so this is
+/// the one place the crate returns `f64`; the exact response-time analysis
+/// below should be preferred for decisions near the boundary.)
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn rm_utilization_bound(n: usize) -> f64 {
+    assert!(n > 0, "bound is defined for n >= 1 tasks");
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// The sufficient Liu–Layland test: `U <= n(2^{1/n} − 1)`.
+pub fn rm_utilization_test(tasks: &TaskSet) -> bool {
+    tasks.utilization().to_f64() <= rm_utilization_bound(tasks.len()) + 1e-12
+}
+
+/// Exact response-time analysis for an arbitrary fixed-priority order
+/// (highest priority first): iterate
+/// `R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j` to a fixed point; the set
+/// is schedulable under that order iff every `R_i <= D_i`.
+///
+/// Returns the response time per task (indexed by task id), or `None` for
+/// a task whose iteration exceeds its deadline.
+pub fn response_times_with_order(
+    tasks: &TaskSet,
+    order: &[crate::TaskId],
+) -> Vec<Option<Dur>> {
+    let mut results = vec![None; tasks.len()];
+    for (rank, &id) in order.iter().enumerate() {
+        let task = tasks.task(id);
+        let mut response = task.wcet();
+        loop {
+            let mut demand = task.wcet();
+            for &hp in &order[..rank] {
+                let hp_task = tasks.task(hp);
+                let jobs = response.div_exact(hp_task.period()).ceil();
+                demand += hp_task.wcet() * jobs;
+            }
+            if demand == response {
+                results[id.index()] = Some(response);
+                break;
+            }
+            if demand > task.deadline() {
+                results[id.index()] = None;
+                break;
+            }
+            response = demand;
+        }
+    }
+    results
+}
+
+/// Exact response-time analysis under rate-monotonic priorities.
+pub fn response_times(tasks: &TaskSet) -> Vec<Option<Dur>> {
+    response_times_with_order(tasks, &tasks.rm_priority_order())
+}
+
+/// Exact response-time analysis under deadline-monotonic priorities.
+pub fn dm_response_times(tasks: &TaskSet) -> Vec<Option<Dur>> {
+    response_times_with_order(tasks, &tasks.dm_priority_order())
+}
+
+/// Exact DM schedulability: every response time exists and meets its
+/// deadline under deadline-monotonic priorities.
+pub fn dm_schedulable(tasks: &TaskSet) -> bool {
+    dm_response_times(tasks)
+        .iter()
+        .zip(tasks.iter())
+        .all(|(r, (_, t))| r.is_some_and(|r| r <= t.deadline()))
+}
+
+/// Exact RM schedulability: every response time exists and meets its
+/// deadline.
+pub fn rm_schedulable(tasks: &TaskSet) -> bool {
+    response_times(tasks)
+        .iter()
+        .zip(tasks.iter())
+        .all(|(r, (_, t))| r.is_some_and(|r| r <= t.deadline()))
+}
+
+/// EDF schedulability for implicit-deadline periodic tasks: `U <= 1`
+/// (necessary and sufficient, Liu & Layland \[11\]).
+pub fn edf_schedulable(tasks: &TaskSet) -> bool {
+    tasks.utilization() <= Ratio::ONE
+}
+
+/// The Jeffay–Stanat–Martel conditions for **non-preemptive** EDF of
+/// periodic/sporadic tasks with integral parameters \[10\], necessary and
+/// sufficient (tasks sorted by period `T_1 <= … <= T_n`):
+///
+/// 1. `U <= 1`;
+/// 2. for every task `i` and every integer `L` with `T_1 < L < T_i`:
+///    `L >= C_i + Σ_{j < i} ⌊(L − 1)/T_j⌋ · C_j`.
+///
+/// # Panics
+///
+/// Panics if any period or cost is not an integer (the theorem is stated
+/// over integral time; all experiments here use integral parameters).
+pub fn np_edf_schedulable(tasks: &TaskSet) -> bool {
+    if tasks.utilization() > Ratio::ONE {
+        return false;
+    }
+    let order = tasks.rm_priority_order(); // sorted by period
+    let as_int = |d: Dur| -> i128 {
+        let r = d.as_ratio();
+        assert!(r.is_integer(), "non-preemptive analysis needs integral times");
+        r.numer()
+    };
+    let t1 = as_int(tasks.task(order[0]).period());
+    for (rank, &id) in order.iter().enumerate() {
+        let ti = as_int(tasks.task(id).period());
+        let ci = as_int(tasks.task(id).wcet());
+        let mut l = t1 + 1;
+        while l < ti {
+            let mut demand = ci;
+            for &shorter in &order[..rank] {
+                let tj = as_int(tasks.task(shorter).period());
+                let cj = as_int(tasks.task(shorter).wcet());
+                demand += ((l - 1) / tj) * cj;
+            }
+            if l < demand {
+                return false;
+            }
+            l += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn d(x: i128) -> Dur {
+        Dur::from_int(x)
+    }
+
+    fn ts(tasks: &[(i128, i128)]) -> TaskSet {
+        TaskSet::periodic(
+            tasks
+                .iter()
+                .map(|&(t, c)| PeriodicTask::new(d(t), d(c)).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn liu_layland_bound_values() {
+        assert!((rm_utilization_bound(1) - 1.0).abs() < 1e-12);
+        assert!((rm_utilization_bound(2) - 0.8284271247461903).abs() < 1e-9);
+        // Approaches ln 2 as n grows.
+        assert!((rm_utilization_bound(10_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rm_utilization_test_accepts_and_rejects() {
+        assert!(rm_utilization_test(&ts(&[(4, 1), (6, 2)]))); // 7/12 ≈ 0.58
+        assert!(!rm_utilization_test(&ts(&[(4, 2), (6, 3)]))); // 1.0 > 0.828
+    }
+
+    #[test]
+    fn response_time_analysis_classic_example() {
+        // T = (4,1), (6,2), (12,3): R = 1, 3, 10 — all within deadlines.
+        let tasks = ts(&[(4, 1), (6, 2), (12, 3)]);
+        let r = response_times(&tasks);
+        assert_eq!(r[0], Some(d(1)));
+        assert_eq!(r[1], Some(d(3)));
+        assert_eq!(r[2], Some(d(10)));
+        assert!(rm_schedulable(&tasks));
+    }
+
+    #[test]
+    fn rta_catches_rm_infeasible_but_edf_feasible_sets() {
+        // U = 34/35: EDF fine, RM fails for the long task
+        // (R iterates 4 -> 6 -> 8 > D = 7).
+        let tasks = ts(&[(5, 2), (7, 4)]);
+        assert!(edf_schedulable(&tasks));
+        let r = response_times(&tasks);
+        assert_eq!(r[0], Some(d(2)));
+        assert_eq!(r[1], None, "RM cannot fit the second task");
+        assert!(!rm_schedulable(&tasks));
+    }
+
+    #[test]
+    fn harmonic_full_utilization_is_rm_schedulable() {
+        // Harmonic periods at U = 1: RM fits exactly (R2 = D2 = 8).
+        let tasks = ts(&[(4, 2), (8, 4)]);
+        let r = response_times(&tasks);
+        assert_eq!(r[1], Some(d(8)));
+        assert!(rm_schedulable(&tasks));
+    }
+
+    #[test]
+    fn edf_requires_u_at_most_one() {
+        assert!(edf_schedulable(&ts(&[(2, 1), (4, 2)]))); // U = 1
+        assert!(!edf_schedulable(&ts(&[(2, 1), (4, 3)]))); // U = 5/4
+    }
+
+    #[test]
+    fn dm_beats_rm_on_constrained_deadlines() {
+        // τ1 = (T=10, C=3, D=5), τ2 = (T=8, C=3, D=8): RM (by period) puts
+        // τ2 first and τ1 misses (R = 6 > 5); DM (by deadline) puts τ1
+        // first and both fit.
+        let tasks = TaskSet::periodic(vec![
+            PeriodicTask::with_deadline(d(10), d(3), d(5)).unwrap(),
+            PeriodicTask::new(d(8), d(3)).unwrap(),
+        ])
+        .unwrap();
+        assert!(!rm_schedulable(&tasks));
+        assert!(dm_schedulable(&tasks));
+        let r = dm_response_times(&tasks);
+        assert_eq!(r[0], Some(d(3)));
+        assert_eq!(r[1], Some(d(6)));
+    }
+
+    #[test]
+    fn dm_equals_rm_for_implicit_deadlines() {
+        let tasks = ts(&[(4, 1), (6, 2), (12, 3)]);
+        assert_eq!(response_times(&tasks), dm_response_times(&tasks));
+        assert_eq!(rm_schedulable(&tasks), dm_schedulable(&tasks));
+    }
+
+    #[test]
+    fn np_edf_conditions() {
+        // Jeffay et al.'s style example: non-preemptive feasible set.
+        assert!(np_edf_schedulable(&ts(&[(5, 1), (10, 2), (20, 4)])));
+        // A long job that blocks a short period: condition 2 fails.
+        // T1 = 3, C1 = 1; T2 = 100, C2 = 50: at L = 4 the demand is
+        // 50 + floor(3/3)*1 = 51 > 4.
+        assert!(!np_edf_schedulable(&ts(&[(3, 1), (100, 50)])));
+        // Over-utilized sets fail condition 1.
+        assert!(!np_edf_schedulable(&ts(&[(2, 1), (4, 3)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn bound_for_zero_tasks_panics() {
+        let _ = rm_utilization_bound(0);
+    }
+}

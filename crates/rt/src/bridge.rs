@@ -1,0 +1,135 @@
+//! From real-time schedules back to session-problem step schedules.
+//!
+//! The paper motivates its timing models with real-time workloads (§1): a
+//! process that acts on every *job completion* of a periodic task steps at
+//! (roughly) constant intervals — the **periodic** model; one driven by
+//! sporadic jobs has a minimum but no maximum step gap — the **sporadic**
+//! model. This module makes the connection executable: simulate a task set,
+//! extract each task's completion times, and package them as a
+//! [`session_sim::StepSchedule`] that a session algorithm can run under.
+
+use std::collections::BTreeMap;
+
+use session_sim::ExplicitSchedule;
+use session_types::{Dur, Error, ProcessId, Result, Time};
+
+use crate::sched::ScheduleOutcome;
+use crate::task::{TaskId, TaskSet};
+
+/// Builds a step schedule in which process `i` steps at every completion of
+/// task `i` recorded in `outcome`, continuing at `tail_period` beyond the
+/// simulated horizon.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if any task has no completions (the
+/// session processes must take infinitely many steps, so every driver task
+/// needs at least one job in the window), or if `tail_period <= 0`.
+pub fn completion_step_schedule(
+    tasks: &TaskSet,
+    outcome: &ScheduleOutcome,
+    tail_period: Dur,
+) -> Result<ExplicitSchedule> {
+    let mut scripted: BTreeMap<ProcessId, Vec<Time>> = BTreeMap::new();
+    for (id, _) in tasks.iter() {
+        let mut completions = outcome.completions_of(id);
+        completions.sort();
+        completions.dedup();
+        if completions.is_empty() {
+            return Err(Error::invalid_params(format!(
+                "task {id} completed no jobs within the horizon"
+            )));
+        }
+        scripted.insert(ProcessId::new(id.index()), completions);
+    }
+    ExplicitSchedule::new(scripted, tail_period)
+}
+
+/// The smallest and largest gaps between consecutive completions of `task`
+/// (including the gap from time 0 to its first completion): the empirical
+/// `[c1, c2]` window this task would present to a session algorithm.
+///
+/// Returns `None` if the task completed no jobs.
+pub fn completion_gap_window(outcome: &ScheduleOutcome, task: TaskId) -> Option<(Dur, Dur)> {
+    let completions = outcome.completions_of(task);
+    let first = *completions.first()?;
+    let mut min_gap = first - Time::ZERO;
+    let mut max_gap = min_gap;
+    for pair in completions.windows(2) {
+        let gap = pair[1] - pair[0];
+        min_gap = min_gap.min(gap);
+        max_gap = max_gap.max(gap);
+    }
+    Some((min_gap, max_gap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{simulate, Policy};
+    use crate::task::PeriodicTask;
+    use session_sim::StepSchedule;
+
+    fn d(x: i128) -> Dur {
+        Dur::from_int(x)
+    }
+
+    fn ts(tasks: &[(i128, i128)]) -> TaskSet {
+        TaskSet::periodic(
+            tasks
+                .iter()
+                .map(|&(t, c)| PeriodicTask::new(d(t), d(c)).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_task_completions_are_periodic() {
+        // One task alone completes exactly one period apart: its step
+        // schedule is periodic in the paper's sense.
+        let tasks = ts(&[(3, 1)]);
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(30)).unwrap();
+        let (min_gap, max_gap) = completion_gap_window(&out, TaskId::new(0)).unwrap();
+        // First completion at C = 1, then every T = 3.
+        assert_eq!(max_gap, d(3));
+        assert_eq!(min_gap, d(1));
+        let gaps_after_first = out.completions_of(TaskId::new(0));
+        for pair in gaps_after_first.windows(2) {
+            assert_eq!(pair[1] - pair[0], d(3));
+        }
+    }
+
+    #[test]
+    fn schedule_replays_completions_then_tails() {
+        let tasks = ts(&[(3, 1), (5, 1)]);
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(15)).unwrap();
+        let mut sched = completion_step_schedule(&tasks, &out, d(4)).unwrap();
+        let p0 = ProcessId::new(0);
+        let first = sched.first_step(p0);
+        assert_eq!(first, Time::from_int(1)); // completion of the first job
+        let second = sched.next_step(p0, first);
+        assert!(second > first);
+    }
+
+    #[test]
+    fn interference_bounds_the_gap_window() {
+        // Two tasks: the longer one's completions jitter within a window
+        // determined by interference — the semi-synchronous picture.
+        let tasks = ts(&[(4, 1), (6, 2)]);
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(120)).unwrap();
+        assert!(out.all_deadlines_met());
+        let (min_gap, max_gap) = completion_gap_window(&out, TaskId::new(1)).unwrap();
+        assert!(min_gap.is_positive());
+        assert!(max_gap <= d(6) + d(2), "bounded by period + interference");
+        assert!(min_gap <= max_gap);
+    }
+
+    #[test]
+    fn missing_completions_are_an_error() {
+        let tasks = ts(&[(100, 10)]);
+        // Horizon shorter than the first completion.
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(5)).unwrap();
+        assert!(completion_step_schedule(&tasks, &out, d(1)).is_err());
+    }
+}

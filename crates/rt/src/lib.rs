@@ -1,0 +1,56 @@
+//! Real-time task scheduling substrate for the session-problem
+//! reproduction.
+//!
+//! The paper's periodic and sporadic timing constraints are "inspired by
+//! constraints with the same names commonly used in many real-time
+//! problems, especially in scheduling of real time tasks for a
+//! uniprocessor" (§1, citing Liu & Layland \[11\] and Jeffay et al. \[9, 10\]):
+//! periodic constraints model continual sampling (avionics, process
+//! control); sporadic constraints model event-driven processing with a
+//! minimum separation but no maximum.
+//!
+//! This crate reproduces that context:
+//!
+//! * [`PeriodicTask`] / [`SporadicTask`] / [`TaskSet`] — the task models;
+//! * [`analysis`] — classic schedulability tests: total utilization, the
+//!   Liu–Layland rate-monotonic bound `n(2^{1/n} − 1)`, exact
+//!   response-time analysis for fixed priorities, the EDF utilization
+//!   criterion `U ≤ 1`, and Jeffay–Stanat–Martel's necessary-and-sufficient
+//!   conditions for *non-preemptive* EDF;
+//! * [`sched`] — an event-driven uniprocessor scheduler simulator (EDF and
+//!   rate-monotonic, preemptive and non-preemptive) producing job
+//!   completion traces and deadline-miss reports;
+//! * [`bridge`] — the connection back to the session problem: a
+//!   schedulable task set's job stream yields exactly the *periodic* /
+//!   *sporadic* step schedules of `session-sim`, so a session algorithm
+//!   can run "on top of" a simulated real-time workload.
+//!
+//! # Examples
+//!
+//! ```
+//! use session_rt::{analysis, PeriodicTask, TaskSet};
+//! use session_types::Dur;
+//!
+//! # fn main() -> Result<(), session_types::Error> {
+//! let tasks = TaskSet::periodic(vec![
+//!     PeriodicTask::new(Dur::from_int(4), Dur::from_int(1))?,
+//!     PeriodicTask::new(Dur::from_int(6), Dur::from_int(2))?,
+//! ])?;
+//! // U = 1/4 + 2/6 = 7/12 <= 1: EDF schedulable.
+//! assert!(analysis::edf_schedulable(&tasks));
+//! // And under the Liu–Layland RM bound for n = 2 (~0.828).
+//! assert!(analysis::rm_utilization_test(&tasks));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bridge;
+pub mod sched;
+
+mod task;
+
+pub use task::{PeriodicTask, SporadicTask, TaskId, TaskSet};

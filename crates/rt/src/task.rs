@@ -1,0 +1,328 @@
+//! Task models: periodic and sporadic uniprocessor tasks.
+
+use std::fmt;
+
+use session_types::{Dur, Error, Ratio, Result};
+
+/// Identifies a task within a [`TaskSet`] (dense, zero-based).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates the identifier with the given dense index.
+    pub const fn new(index: usize) -> TaskId {
+        TaskId(index)
+    }
+
+    /// The dense zero-based index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A periodic task: a job of cost `wcet` is released every `period`, due by
+/// the next release (implicit deadline) or an explicit earlier `deadline`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeriodicTask {
+    period: Dur,
+    wcet: Dur,
+    deadline: Dur,
+}
+
+impl PeriodicTask {
+    /// Creates a task with an implicit deadline (= period).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `period <= 0`, `wcet <= 0` or
+    /// `wcet > period`.
+    pub fn new(period: Dur, wcet: Dur) -> Result<PeriodicTask> {
+        PeriodicTask::with_deadline(period, wcet, period)
+    }
+
+    /// Creates a task with an explicit (constrained) deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] unless
+    /// `0 < wcet <= deadline <= period`.
+    pub fn with_deadline(period: Dur, wcet: Dur, deadline: Dur) -> Result<PeriodicTask> {
+        if !period.is_positive() || !wcet.is_positive() {
+            return Err(Error::invalid_params(
+                "periodic task requires period > 0 and wcet > 0",
+            ));
+        }
+        if wcet > deadline || deadline > period {
+            return Err(Error::invalid_params(
+                "periodic task requires wcet <= deadline <= period",
+            ));
+        }
+        Ok(PeriodicTask {
+            period,
+            wcet,
+            deadline,
+        })
+    }
+
+    /// The release period `T`.
+    pub fn period(&self) -> Dur {
+        self.period
+    }
+
+    /// The worst-case execution time `C`.
+    pub fn wcet(&self) -> Dur {
+        self.wcet
+    }
+
+    /// The relative deadline `D`.
+    pub fn deadline(&self) -> Dur {
+        self.deadline
+    }
+
+    /// The utilization `C / T`.
+    pub fn utilization(&self) -> Ratio {
+        self.wcet.div_exact(self.period)
+    }
+}
+
+/// A sporadic task: consecutive releases are at least `min_separation`
+/// apart, with no upper bound — the event-driven pattern the paper's
+/// sporadic timing constraint models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SporadicTask {
+    min_separation: Dur,
+    wcet: Dur,
+    deadline: Dur,
+}
+
+impl SporadicTask {
+    /// Creates a task with an implicit deadline (= minimum separation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `min_separation <= 0`,
+    /// `wcet <= 0` or `wcet > min_separation`.
+    pub fn new(min_separation: Dur, wcet: Dur) -> Result<SporadicTask> {
+        if !min_separation.is_positive() || !wcet.is_positive() {
+            return Err(Error::invalid_params(
+                "sporadic task requires min_separation > 0 and wcet > 0",
+            ));
+        }
+        if wcet > min_separation {
+            return Err(Error::invalid_params(
+                "sporadic task requires wcet <= min_separation",
+            ));
+        }
+        Ok(SporadicTask {
+            min_separation,
+            wcet,
+            deadline: min_separation,
+        })
+    }
+
+    /// The minimum inter-release separation `p`.
+    pub fn min_separation(&self) -> Dur {
+        self.min_separation
+    }
+
+    /// The worst-case execution time `C`.
+    pub fn wcet(&self) -> Dur {
+        self.wcet
+    }
+
+    /// The relative deadline `D`.
+    pub fn deadline(&self) -> Dur {
+        self.deadline
+    }
+
+    /// The worst-case utilization `C / p` (releases as fast as allowed).
+    pub fn utilization(&self) -> Ratio {
+        self.wcet.div_exact(self.min_separation)
+    }
+
+    /// The worst-case periodic task equivalent: releases every
+    /// `min_separation` exactly. Schedulability of this periodic task set
+    /// is sufficient for the sporadic set (the classical reduction).
+    pub fn worst_case_periodic(&self) -> PeriodicTask {
+        PeriodicTask {
+            period: self.min_separation,
+            wcet: self.wcet,
+            deadline: self.deadline,
+        }
+    }
+}
+
+/// A set of periodic tasks (sporadic sets are analyzed through their
+/// worst-case periodic equivalents).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a set of periodic tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if the set is empty.
+    pub fn periodic(tasks: Vec<PeriodicTask>) -> Result<TaskSet> {
+        if tasks.is_empty() {
+            return Err(Error::invalid_params("task set must be nonempty"));
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Creates a set from sporadic tasks via their worst-case periodic
+    /// equivalents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if the set is empty.
+    pub fn sporadic(tasks: Vec<SporadicTask>) -> Result<TaskSet> {
+        TaskSet::periodic(tasks.iter().map(SporadicTask::worst_case_periodic).collect())
+    }
+
+    /// The number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set has no tasks (never: construction forbids
+    /// it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &PeriodicTask {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over `(id, task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &PeriodicTask)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::new(i), t))
+    }
+
+    /// Total utilization `U = Σ C_i / T_i` (exact).
+    pub fn utilization(&self) -> Ratio {
+        self.tasks
+            .iter()
+            .map(PeriodicTask::utilization)
+            .fold(Ratio::ZERO, |acc, u| acc + u)
+    }
+
+    /// Task ids sorted by rate-monotonic priority (shorter period first,
+    /// ties by index).
+    pub fn rm_priority_order(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = (0..self.tasks.len()).map(TaskId::new).collect();
+        ids.sort_by_key(|id| (self.tasks[id.index()].period(), id.index()));
+        ids
+    }
+
+    /// Task ids sorted by deadline-monotonic priority (shorter relative
+    /// deadline first, ties by index) — the optimal fixed-priority
+    /// assignment for constrained deadlines (`D <= T`).
+    pub fn dm_priority_order(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = (0..self.tasks.len()).map(TaskId::new).collect();
+        ids.sort_by_key(|id| (self.tasks[id.index()].deadline(), id.index()));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: i128) -> Dur {
+        Dur::from_int(x)
+    }
+
+    #[test]
+    fn periodic_task_validation() {
+        assert!(PeriodicTask::new(d(4), d(1)).is_ok());
+        assert!(PeriodicTask::new(d(0), d(1)).is_err());
+        assert!(PeriodicTask::new(d(4), d(0)).is_err());
+        assert!(PeriodicTask::new(d(4), d(5)).is_err());
+        assert!(PeriodicTask::with_deadline(d(4), d(2), d(3)).is_ok());
+        assert!(PeriodicTask::with_deadline(d(4), d(2), d(1)).is_err());
+        assert!(PeriodicTask::with_deadline(d(4), d(2), d(5)).is_err());
+    }
+
+    #[test]
+    fn sporadic_task_validation_and_reduction() {
+        let t = SporadicTask::new(d(10), d(3)).unwrap();
+        assert_eq!(t.utilization(), session_types::Ratio::new(3, 10));
+        let p = t.worst_case_periodic();
+        assert_eq!(p.period(), d(10));
+        assert_eq!(p.wcet(), d(3));
+        assert!(SporadicTask::new(d(2), d(3)).is_err());
+    }
+
+    #[test]
+    fn utilization_is_exact() {
+        let ts = TaskSet::periodic(vec![
+            PeriodicTask::new(d(3), d(1)).unwrap(),
+            PeriodicTask::new(d(6), d(2)).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(ts.utilization(), session_types::Ratio::new(2, 3));
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        assert!(TaskSet::periodic(vec![]).is_err());
+        assert!(TaskSet::sporadic(vec![]).is_err());
+    }
+
+    #[test]
+    fn rm_order_is_by_period() {
+        let ts = TaskSet::periodic(vec![
+            PeriodicTask::new(d(10), d(1)).unwrap(),
+            PeriodicTask::new(d(4), d(1)).unwrap(),
+            PeriodicTask::new(d(10), d(2)).unwrap(),
+        ])
+        .unwrap();
+        let order = ts.rm_priority_order();
+        assert_eq!(order, vec![TaskId::new(1), TaskId::new(0), TaskId::new(2)]);
+        assert_eq!(ts.task(TaskId::new(1)).period(), d(4));
+    }
+
+    #[test]
+    fn dm_order_is_by_deadline() {
+        let ts = TaskSet::periodic(vec![
+            PeriodicTask::with_deadline(d(10), d(1), d(5)).unwrap(),
+            PeriodicTask::new(d(8), d(1)).unwrap(), // D = 8
+        ])
+        .unwrap();
+        assert_eq!(ts.rm_priority_order(), vec![TaskId::new(1), TaskId::new(0)]);
+        assert_eq!(ts.dm_priority_order(), vec![TaskId::new(0), TaskId::new(1)]);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId::new(2).to_string(), "τ2");
+        assert_eq!(format!("{:?}", TaskId::new(2)), "τ2");
+        assert_eq!(TaskId::new(2).index(), 2);
+    }
+}

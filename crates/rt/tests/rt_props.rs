@@ -1,0 +1,115 @@
+//! Property-based tests for the real-time substrate: the analytic
+//! schedulability verdicts versus what the simulated processor actually
+//! does, across random task sets.
+
+use proptest::prelude::*;
+use session_rt::sched::{simulate, Policy};
+use session_rt::{analysis, PeriodicTask, TaskSet};
+use session_types::{Dur, Ratio, Time};
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    a / gcd(a, b) * b
+}
+
+/// Random task sets over a small period menu so hyperperiods stay tiny.
+fn task_sets() -> impl Strategy<Value = TaskSet> {
+    let menu = [2i128, 3, 4, 5, 6, 8, 10, 12];
+    proptest::collection::vec((0usize..menu.len(), 1i128..4), 1..5).prop_map(move |raw| {
+        let tasks = raw
+            .into_iter()
+            .map(|(pi, c)| {
+                let t = menu[pi];
+                let c = c.min(t);
+                PeriodicTask::new(Dur::from_int(t), Dur::from_int(c)).unwrap()
+            })
+            .collect();
+        TaskSet::periodic(tasks).unwrap()
+    })
+}
+
+fn hyperperiod(tasks: &TaskSet) -> i128 {
+    tasks
+        .iter()
+        .map(|(_, t)| t.period().as_ratio().numer())
+        .fold(1, lcm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// EDF is optimal: U <= 1 implies no deadline misses over two
+    /// hyperperiods (and synchronous periodic behaviour repeats, so two
+    /// hyperperiods decide forever).
+    #[test]
+    fn edf_meets_deadlines_iff_u_at_most_one(tasks in task_sets()) {
+        let horizon = Time::from_int(2 * hyperperiod(&tasks));
+        let outcome = simulate(&tasks, Policy::EdfPreemptive, horizon).unwrap();
+        if tasks.utilization() <= Ratio::ONE {
+            prop_assert!(outcome.all_deadlines_met(),
+                "U = {} <= 1 but EDF missed {} deadlines", tasks.utilization(), outcome.misses);
+        } else {
+            prop_assert!(!outcome.all_deadlines_met(),
+                "U = {} > 1 but EDF missed nothing over {horizon}", tasks.utilization());
+        }
+    }
+
+    /// The exact response-time analysis agrees with the simulated
+    /// rate-monotonic scheduler (critical instant at t = 0, D = T).
+    #[test]
+    fn rta_agrees_with_rm_simulation(tasks in task_sets()) {
+        let horizon = Time::from_int(2 * hyperperiod(&tasks));
+        let outcome = simulate(&tasks, Policy::RmPreemptive, horizon).unwrap();
+        prop_assert_eq!(
+            analysis::rm_schedulable(&tasks),
+            outcome.all_deadlines_met(),
+            "U = {} misses = {}", tasks.utilization(), outcome.misses
+        );
+    }
+
+    /// The Liu–Layland bound is sound: sets under the bound are
+    /// RM-schedulable both analytically and in simulation.
+    #[test]
+    fn liu_layland_bound_is_sound(tasks in task_sets()) {
+        if analysis::rm_utilization_test(&tasks) {
+            prop_assert!(analysis::rm_schedulable(&tasks));
+            let horizon = Time::from_int(2 * hyperperiod(&tasks));
+            let outcome = simulate(&tasks, Policy::RmPreemptive, horizon).unwrap();
+            prop_assert!(outcome.all_deadlines_met());
+        }
+    }
+
+    /// The Jeffay–Stanat–Martel conditions are sufficient for the
+    /// simulated non-preemptive EDF scheduler.
+    #[test]
+    fn np_edf_conditions_are_sufficient(tasks in task_sets()) {
+        if analysis::np_edf_schedulable(&tasks) {
+            let horizon = Time::from_int(2 * hyperperiod(&tasks));
+            let outcome = simulate(&tasks, Policy::EdfNonPreemptive, horizon).unwrap();
+            prop_assert!(
+                outcome.all_deadlines_met(),
+                "JSM-feasible set missed {} deadlines (U = {})",
+                outcome.misses, tasks.utilization()
+            );
+        }
+    }
+
+    /// Preemption never hurts EDF: if non-preemptive EDF meets all
+    /// deadlines, so does preemptive EDF (U <= 1 by JSM condition 1 and
+    /// EDF optimality).
+    #[test]
+    fn preemptive_edf_dominates_np_feasible_sets(tasks in task_sets()) {
+        if analysis::np_edf_schedulable(&tasks) {
+            let horizon = Time::from_int(2 * hyperperiod(&tasks));
+            let p = simulate(&tasks, Policy::EdfPreemptive, horizon).unwrap();
+            prop_assert!(p.all_deadlines_met());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use session_types::Time;
+
+/// A min-heap of `(Time, payload)` pairs with FIFO tie-breaking.
+///
+/// Events pushed at equal times pop in insertion order, which makes every
+/// simulation in this workspace fully deterministic: the "round robin order"
+/// computations used by the paper's lower-bound proofs are obtained simply by
+/// seeding the queue with processes in index order.
+///
+/// # Examples
+///
+/// ```
+/// use session_sim::EventQueue;
+/// use session_types::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_int(5), 'x');
+/// q.push(Time::from_int(3), 'y');
+/// assert_eq!(q.peek_time(), Some(Time::from_int(3)));
+/// assert_eq!(q.pop(), Some((Time::from_int(3), 'y')));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    time: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Entry<T>) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Entry<T>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Entry<T>) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (smallest time, then smallest sequence number) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: Time, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> EventQueue<T> {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_int(3), 3);
+        q.push(Time::from_int(1), 1);
+        q.push(Time::from_int(2), 2);
+        assert_eq!(q.pop(), Some((Time::from_int(1), 1)));
+        assert_eq!(q.pop(), Some((Time::from_int(2), 2)));
+        assert_eq!(q.pop(), Some((Time::from_int(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Time::from_int(7), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((Time::from_int(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_int(1), "a");
+        q.push(Time::from_int(1), "b");
+        assert_eq!(q.pop(), Some((Time::from_int(1), "a")));
+        q.push(Time::from_int(1), "c");
+        assert_eq!(q.pop(), Some((Time::from_int(1), "b")));
+        assert_eq!(q.pop(), Some((Time::from_int(1), "c")));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_int(4), ());
+        q.push(Time::from_int(2), ());
+        assert_eq!(q.peek_time(), Some(Time::from_int(2)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rational_times_are_ordered_exactly() {
+        use session_types::Ratio;
+        let mut q = EventQueue::new();
+        q.push(Time::from_ratio(Ratio::new(1, 3)), "third");
+        q.push(Time::from_ratio(Ratio::new(1, 4)), "quarter");
+        q.push(Time::from_ratio(Ratio::new(5, 12)), "five-twelfths");
+        assert_eq!(q.pop().unwrap().1, "quarter");
+        assert_eq!(q.pop().unwrap().1, "third");
+        assert_eq!(q.pop().unwrap().1, "five-twelfths");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+}

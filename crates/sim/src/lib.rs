@@ -1,0 +1,74 @@
+//! Discrete-event simulation primitives for the reproduction of *"The Impact
+//! of Time on the Session Problem"* (Rhee & Welch, PODC 1992).
+//!
+//! The paper's objects of study are **timed computations**: sequences of
+//! steps together with a nondecreasing mapping to real time (§2.1). This
+//! crate provides the machinery the shared-memory and message-passing
+//! engines use to *generate* timed computations:
+//!
+//! * [`EventQueue`] — a deterministic time-ordered queue with FIFO
+//!   tie-breaking, so identical seeds give identical computations;
+//! * [`Trace`] — the recorded timed computation: every step, every message
+//!   send/delivery, and the time each process entered an idle state;
+//! * [`StepSchedule`] implementations — the adversary's choice of *when*
+//!   each process steps, one implementation per timing-model family
+//!   (fixed periods, bounded jitter, sporadic bursts, a slowed process,
+//!   fully scripted prefixes);
+//! * [`DelayPolicy`] implementations — the adversary's choice of message
+//!   delays within `[d1, d2]`;
+//! * [`RunLimits`] — budgets that detect non-terminating algorithms.
+//!
+//! Schedules and delay policies are *hidden* information: algorithms only
+//! ever see the constants in `session_types::KnownBounds`. The pairing of an
+//! algorithm with a schedule family is what produces the running-time
+//! measurements of Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use session_sim::{EventQueue, FixedPeriods, StepSchedule};
+//! use session_types::{Dur, ProcessId, Time};
+//!
+//! # fn main() -> Result<(), session_types::Error> {
+//! // Three processes stepping at constant period 2 (a periodic-model run).
+//! let mut sched = FixedPeriods::uniform(3, Dur::from_int(2))?;
+//! let p0 = ProcessId::new(0);
+//! let first = sched.first_step(p0);
+//! assert_eq!(first, Time::from_int(2));
+//! assert_eq!(sched.next_step(p0, first), Time::from_int(4));
+//!
+//! // The queue orders events by time with FIFO tie-breaking.
+//! let mut q = EventQueue::new();
+//! q.push(Time::from_int(2), "b");
+//! q.push(Time::from_int(1), "a");
+//! q.push(Time::from_int(2), "c");
+//! assert_eq!(q.pop(), Some((Time::from_int(1), "a")));
+//! assert_eq!(q.pop(), Some((Time::from_int(2), "b")));
+//! assert_eq!(q.pop(), Some((Time::from_int(2), "c")));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod event;
+mod limits;
+mod render;
+mod rng;
+mod schedule;
+mod topology;
+mod trace;
+
+pub use delay::{ConstantDelay, DelayPolicy, ScriptedDelay, TargetedDelay, UniformDelay};
+pub use event::EventQueue;
+pub use limits::RunLimits;
+pub use render::{process_stats, render_timeline, to_csv, ProcessStats};
+pub use rng::{ratio_in_range, seeded_rng};
+pub use schedule::{
+    ExplicitSchedule, FixedPeriods, JitterSchedule, PerProcess, SlowProcess, SporadicBursts,
+    StepSchedule,
+};
+pub use topology::HopDelay;
+pub use trace::{MessageRecord, RunOutcome, StepKind, Trace, TraceEvent};

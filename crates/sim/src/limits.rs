@@ -1,0 +1,116 @@
+//! Simulation budgets.
+
+use session_types::Time;
+
+/// Budgets bounding a single simulation run.
+///
+/// Correct session algorithms terminate, but the test suite also runs
+/// deliberately broken algorithms (the lower-bound witnesses) and algorithms
+/// under adversarial schedules; limits turn a livelock into a reported
+/// non-termination instead of a hung test.
+///
+/// # Examples
+///
+/// ```
+/// use session_sim::RunLimits;
+/// use session_types::Time;
+///
+/// let limits = RunLimits::default().with_max_steps(10_000);
+/// assert_eq!(limits.max_steps(), 10_000);
+/// assert!(limits.allows(100, Time::from_int(5)));
+/// assert!(!limits.allows(10_000, Time::from_int(5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimits {
+    max_steps: u64,
+    max_time: Option<Time>,
+}
+
+impl RunLimits {
+    /// Creates limits with the given step budget and no time budget.
+    pub fn new(max_steps: u64) -> RunLimits {
+        RunLimits {
+            max_steps,
+            max_time: None,
+        }
+    }
+
+    /// Replaces the step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> RunLimits {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Adds a simulated-time budget: events after `max_time` are not
+    /// executed.
+    pub fn with_max_time(mut self, max_time: Time) -> RunLimits {
+        self.max_time = Some(max_time);
+        self
+    }
+
+    /// The step budget.
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// The simulated-time budget, if any.
+    pub fn max_time(&self) -> Option<Time> {
+        self.max_time
+    }
+
+    /// Returns `true` if a run that has executed `steps` steps may execute
+    /// another event at `now`.
+    pub fn allows(&self, steps: u64, now: Time) -> bool {
+        if steps >= self.max_steps {
+            return false;
+        }
+        match self.max_time {
+            Some(t) => now <= t,
+            None => true,
+        }
+    }
+}
+
+impl Default for RunLimits {
+    /// One million steps, no time budget — generous for every experiment in
+    /// this workspace while still failing fast on livelock.
+    fn default() -> RunLimits {
+        RunLimits::new(1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget() {
+        let l = RunLimits::default();
+        assert_eq!(l.max_steps(), 1_000_000);
+        assert_eq!(l.max_time(), None);
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let l = RunLimits::new(3);
+        assert!(l.allows(2, Time::ZERO));
+        assert!(!l.allows(3, Time::ZERO));
+        assert!(!l.allows(4, Time::ZERO));
+    }
+
+    #[test]
+    fn time_budget_enforced() {
+        let l = RunLimits::new(100).with_max_time(Time::from_int(10));
+        assert!(l.allows(0, Time::from_int(10)));
+        assert!(!l.allows(0, Time::from_int(11)));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let l = RunLimits::default()
+            .with_max_steps(5)
+            .with_max_time(Time::from_int(2));
+        assert_eq!(l.max_steps(), 5);
+        assert_eq!(l.max_time(), Some(Time::from_int(2)));
+    }
+}

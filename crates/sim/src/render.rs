@@ -1,0 +1,247 @@
+//! Human-readable rendering of recorded computations.
+//!
+//! Debugging a timing-model experiment means staring at interleavings; this
+//! module renders a [`Trace`] as a per-process timeline so session
+//! structure, idling and message flow are visible at a glance.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use session_types::ProcessId;
+
+use crate::trace::{StepKind, Trace};
+
+/// Renders a textual timeline of `trace`: one line per instant with the
+/// steps taken at it, capped at `max_lines` lines (rendering an unbounded
+/// trace should never OOM a test log).
+///
+/// Step notation: `p3→x1*` is process 3 accessing variable 1 (`*` marks a
+/// port step), `p2!` a broadcasting message-passing step, `p2.` a silent
+/// one, `p2<-m7` a network delivery, and a trailing `zZ` marks the step
+/// after which the process was idle.
+///
+/// # Examples
+///
+/// ```
+/// use session_sim::{render_timeline, StepKind, Trace, TraceEvent};
+/// use session_types::{PortId, ProcessId, Time, VarId};
+///
+/// let mut trace = Trace::new(1);
+/// trace.push(TraceEvent {
+///     time: Time::from_int(2),
+///     process: ProcessId::new(0),
+///     kind: StepKind::VarAccess { var: VarId::new(0), port: Some(PortId::new(0)) },
+///     idle_after: true,
+/// });
+/// let text = render_timeline(&trace, 10);
+/// assert!(text.contains("t=2"));
+/// assert!(text.contains("p0→x0*zZ"));
+/// ```
+pub fn render_timeline(trace: &Trace, max_lines: usize) -> String {
+    let mut out = String::new();
+    let mut lines = 0usize;
+    let mut i = 0usize;
+    let events = trace.events();
+    while i < events.len() && lines < max_lines {
+        let t = events[i].time;
+        let mut cells = Vec::new();
+        while i < events.len() && events[i].time == t {
+            let e = &events[i];
+            let mut cell = match &e.kind {
+                StepKind::VarAccess { var, port } => format!(
+                    "{}→{}{}",
+                    e.process,
+                    var,
+                    if port.is_some() { "*" } else { "" }
+                ),
+                StepKind::MpStep { broadcast, .. } => {
+                    format!("{}{}", e.process, if *broadcast { "!" } else { "." })
+                }
+                StepKind::Deliver { msg } => format!("{}<-{}", e.process, msg),
+            };
+            if e.idle_after && e.kind.is_process_step() {
+                cell.push_str("zZ");
+            }
+            cells.push(cell);
+            i += 1;
+        }
+        let _ = writeln!(out, "t={:<8} {}", t.to_string(), cells.join("  "));
+        lines += 1;
+    }
+    if i < events.len() {
+        let _ = writeln!(out, "… {} more events", events.len() - i);
+    }
+    out
+}
+
+
+/// Renders the trace as two CSV blocks (events, then messages), for
+/// external plotting or spreadsheet inspection.
+///
+/// Event columns: `time,process,kind,detail,idle_after`; message columns:
+/// `msg,from,to,sent_at,delivered_at` (empty when undelivered).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("time,process,kind,detail,idle_after\n");
+    for e in trace.events() {
+        let (kind, detail) = match &e.kind {
+            StepKind::VarAccess { var, port } => (
+                "access",
+                match port {
+                    Some(p) => format!("{var}:{p}"),
+                    None => var.to_string(),
+                },
+            ),
+            StepKind::MpStep { received, broadcast } => (
+                "step",
+                format!("recv={received};bcast={broadcast}"),
+            ),
+            StepKind::Deliver { msg } => ("deliver", msg.to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{kind},{detail},{}",
+            e.time, e.process, e.idle_after
+        );
+    }
+    out.push_str("\nmsg,from,to,sent_at,delivered_at\n");
+    for m in trace.messages() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            m.msg,
+            m.from,
+            m.to,
+            m.sent_at,
+            m.delivered_at.map(|t| t.to_string()).unwrap_or_default()
+        );
+    }
+    out
+}
+
+/// Per-process step statistics of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Process steps taken (deliveries excluded).
+    pub steps: usize,
+    /// Port steps among them (shared-memory tagging only; message-passing
+    /// port steps need the port map and are counted by the verifier).
+    pub port_steps: usize,
+    /// Whether (and when) the process entered an idle state.
+    pub idle_at: Option<session_types::Time>,
+}
+
+/// Summarizes a trace: step counts per process, in process order.
+pub fn process_stats(trace: &Trace) -> BTreeMap<ProcessId, ProcessStats> {
+    let mut stats: BTreeMap<ProcessId, ProcessStats> = BTreeMap::new();
+    for e in trace.events() {
+        if !e.kind.is_process_step() {
+            continue;
+        }
+        let entry = stats.entry(e.process).or_insert(ProcessStats {
+            steps: 0,
+            port_steps: 0,
+            idle_at: None,
+        });
+        entry.steps += 1;
+        if matches!(e.kind, StepKind::VarAccess { port: Some(_), .. }) {
+            entry.port_steps += 1;
+        }
+    }
+    for (p, entry) in &mut stats {
+        entry.idle_at = trace.idle_time(*p);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use session_types::{PortId, Time, VarId};
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new(2);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(0),
+            kind: StepKind::VarAccess {
+                var: VarId::new(0),
+                port: Some(PortId::new(0)),
+            },
+            idle_after: false,
+        });
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(1),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: true,
+            },
+            idle_after: false,
+        });
+        let msg = trace.record_send(ProcessId::new(1), ProcessId::new(0), Time::from_int(1));
+        trace.push(TraceEvent {
+            time: Time::from_int(2),
+            process: ProcessId::new(0),
+            kind: StepKind::Deliver { msg },
+            idle_after: false,
+        });
+        trace.record_delivery(msg, Time::from_int(2));
+        trace.push(TraceEvent {
+            time: Time::from_int(3),
+            process: ProcessId::new(0),
+            kind: StepKind::VarAccess {
+                var: VarId::new(0),
+                port: None,
+            },
+            idle_after: true,
+        });
+        trace
+    }
+
+    #[test]
+    fn timeline_groups_by_instant() {
+        let text = render_timeline(&sample_trace(), 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("p0→x0*"));
+        assert!(lines[0].contains("p1!"));
+        assert!(lines[1].contains("p0<-m0"));
+        assert!(lines[2].contains("p0→x0zZ"));
+    }
+
+    #[test]
+    fn timeline_truncates() {
+        let text = render_timeline(&sample_trace(), 1);
+        assert!(text.contains("more events"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn stats_count_steps_and_ports() {
+        let stats = process_stats(&sample_trace());
+        let p0 = &stats[&ProcessId::new(0)];
+        assert_eq!(p0.steps, 2); // delivery excluded
+        assert_eq!(p0.port_steps, 1);
+        assert_eq!(p0.idle_at, Some(Time::from_int(3)));
+        let p1 = &stats[&ProcessId::new(1)];
+        assert_eq!(p1.steps, 1);
+        assert_eq!(p1.idle_at, None);
+    }
+
+    #[test]
+    fn csv_export_contains_both_blocks() {
+        let csv = to_csv(&sample_trace());
+        assert!(csv.starts_with("time,process,kind,detail,idle_after"));
+        assert!(csv.contains("1,p0,access,x0:y0,false"));
+        assert!(csv.contains("2,p0,deliver,m0,false"));
+        assert!(csv.contains("msg,from,to,sent_at,delivered_at"));
+        assert!(csv.contains("m0,p1,p0,1,2"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_timeline(&Trace::new(1), 5), "");
+        assert!(process_stats(&Trace::new(1)).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Point-to-point network topologies as delay policies.
+//!
+//! The paper's message-passing model subsumes the network diameter into
+//! `d2` ("that paper considers point-to-point networks; thus the results
+//! include a factor of the network diameter. In our model, d2 subsumes the
+//! diameter factor" — Table 1 conversion note (1)). This module restores
+//! the original \[4\] formulation for the diameter experiments: a message
+//! from `p` to `q` takes `hops(p, q) · per_hop`, so the effective `d2` of a
+//! topology is `diameter · per_hop`.
+
+use session_types::{Dur, Error, ProcessId, Result, Time};
+
+use crate::delay::DelayPolicy;
+
+/// A delay policy driven by a hop-count matrix: the delay of a message from
+/// `p` to `q` is `hops[p][q] · per_hop`.
+///
+/// # Examples
+///
+/// ```
+/// use session_sim::{DelayPolicy, HopDelay};
+/// use session_types::{Dur, ProcessId, Time};
+///
+/// # fn main() -> Result<(), session_types::Error> {
+/// let mut ring = HopDelay::ring(5, Dur::from_int(3))?;
+/// assert_eq!(ring.diameter(), 2);
+/// assert_eq!(ring.max_delay(), Dur::from_int(6)); // the effective d2
+/// // Two hops around the 5-ring from p0 to p2:
+/// let d = ring.delay(ProcessId::new(0), ProcessId::new(2), Time::ZERO);
+/// assert_eq!(d, Dur::from_int(6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct HopDelay {
+    hops: Vec<Vec<u32>>,
+    per_hop: Dur,
+}
+
+impl HopDelay {
+    /// Creates a policy from an explicit hop matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if the matrix is empty or not
+    /// square, any diagonal entry is nonzero (self-delivery is local), or
+    /// `per_hop < 0`.
+    pub fn new(hops: Vec<Vec<u32>>, per_hop: Dur) -> Result<HopDelay> {
+        let n = hops.len();
+        if n == 0 {
+            return Err(Error::invalid_params("hop matrix must be nonempty"));
+        }
+        if hops.iter().any(|row| row.len() != n) {
+            return Err(Error::invalid_params("hop matrix must be square"));
+        }
+        if (0..n).any(|i| hops[i][i] != 0) {
+            return Err(Error::invalid_params(
+                "hop matrix diagonal must be zero (self-delivery is local)",
+            ));
+        }
+        if per_hop.is_negative() {
+            return Err(Error::invalid_params("per_hop must be nonnegative"));
+        }
+        Ok(HopDelay { hops, per_hop })
+    }
+
+    /// A bidirectional ring of `n` processes: `hops(p, q)` is the shorter
+    /// way around, diameter `⌊n/2⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `n == 0` or `per_hop < 0`.
+    pub fn ring(n: usize, per_hop: Dur) -> Result<HopDelay> {
+        if n == 0 {
+            return Err(Error::invalid_params("ring requires n >= 1"));
+        }
+        let hops = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let forward = (j + n - i) % n;
+                        let backward = (i + n - j) % n;
+                        forward.min(backward) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        HopDelay::new(hops, per_hop)
+    }
+
+    /// A line `p0 — p1 — … — p(n-1)`: `hops(p, q) = |p − q|`, diameter
+    /// `n − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `n == 0` or `per_hop < 0`.
+    pub fn line(n: usize, per_hop: Dur) -> Result<HopDelay> {
+        if n == 0 {
+            return Err(Error::invalid_params("line requires n >= 1"));
+        }
+        let hops = (0..n)
+            .map(|i| (0..n).map(|j| i.abs_diff(j) as u32).collect())
+            .collect();
+        HopDelay::new(hops, per_hop)
+    }
+
+    /// A star centered at `p0`: diameter 2 (leaf to leaf through the hub).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `n == 0` or `per_hop < 0`.
+    pub fn star(n: usize, per_hop: Dur) -> Result<HopDelay> {
+        if n == 0 {
+            return Err(Error::invalid_params("star requires n >= 1"));
+        }
+        let hops = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            0
+                        } else if i == 0 || j == 0 {
+                            1
+                        } else {
+                            2
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        HopDelay::new(hops, per_hop)
+    }
+
+    /// The complete graph: every pair one hop apart, diameter 1 (0 for a
+    /// single process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `n == 0` or `per_hop < 0`.
+    pub fn complete(n: usize, per_hop: Dur) -> Result<HopDelay> {
+        if n == 0 {
+            return Err(Error::invalid_params("complete graph requires n >= 1"));
+        }
+        let hops = (0..n)
+            .map(|i| (0..n).map(|j| u32::from(i != j)).collect())
+            .collect();
+        HopDelay::new(hops, per_hop)
+    }
+
+    /// The largest hop count in the matrix.
+    pub fn diameter(&self) -> u32 {
+        self.hops
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The effective delay bound `d2 = diameter · per_hop`.
+    pub fn max_delay(&self) -> Dur {
+        self.per_hop * self.diameter() as i128
+    }
+
+    /// The per-hop latency.
+    pub fn per_hop(&self) -> Dur {
+        self.per_hop
+    }
+}
+
+impl DelayPolicy for HopDelay {
+    fn delay(&mut self, from: ProcessId, to: ProcessId, _sent_at: Time) -> Dur {
+        let hops = self.hops[from.index()][to.index()];
+        self.per_hop * hops as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn ring_hops_take_the_short_way() {
+        let mut ring = HopDelay::ring(6, Dur::from_int(1)).unwrap();
+        assert_eq!(ring.delay(p(0), p(1), Time::ZERO), Dur::from_int(1));
+        assert_eq!(ring.delay(p(0), p(5), Time::ZERO), Dur::from_int(1)); // backwards
+        assert_eq!(ring.delay(p(0), p(3), Time::ZERO), Dur::from_int(3)); // antipode
+        assert_eq!(ring.diameter(), 3);
+    }
+
+    #[test]
+    fn line_diameter_is_n_minus_1() {
+        let line = HopDelay::line(5, Dur::from_int(2)).unwrap();
+        assert_eq!(line.diameter(), 4);
+        assert_eq!(line.max_delay(), Dur::from_int(8));
+    }
+
+    #[test]
+    fn star_and_complete_have_small_diameter() {
+        assert_eq!(HopDelay::star(9, Dur::ONE).unwrap().diameter(), 2);
+        assert_eq!(HopDelay::complete(9, Dur::ONE).unwrap().diameter(), 1);
+        assert_eq!(HopDelay::complete(1, Dur::ONE).unwrap().diameter(), 0);
+        let mut star = HopDelay::star(4, Dur::from_int(5)).unwrap();
+        assert_eq!(star.delay(p(0), p(3), Time::ZERO), Dur::from_int(5)); // hub out
+        assert_eq!(star.delay(p(2), p(3), Time::ZERO), Dur::from_int(10)); // via hub
+    }
+
+    #[test]
+    fn self_delivery_is_free() {
+        let mut ring = HopDelay::ring(4, Dur::from_int(7)).unwrap();
+        assert_eq!(ring.delay(p(2), p(2), Time::ZERO), Dur::ZERO);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HopDelay::new(vec![], Dur::ONE).is_err());
+        assert!(HopDelay::new(vec![vec![0, 1]], Dur::ONE).is_err()); // not square
+        assert!(HopDelay::new(vec![vec![1]], Dur::ONE).is_err()); // diag nonzero
+        assert!(HopDelay::new(vec![vec![0]], Dur::from_int(-1)).is_err());
+        assert!(HopDelay::ring(0, Dur::ONE).is_err());
+        assert!(HopDelay::line(0, Dur::ONE).is_err());
+        assert!(HopDelay::star(0, Dur::ONE).is_err());
+        assert!(HopDelay::complete(0, Dur::ONE).is_err());
+    }
+
+    #[test]
+    fn per_hop_accessor() {
+        let ring = HopDelay::ring(3, Dur::from_int(4)).unwrap();
+        assert_eq!(ring.per_hop(), Dur::from_int(4));
+    }
+}

@@ -1,0 +1,509 @@
+//! Recorded timed computations.
+//!
+//! A [`Trace`] is the executable analogue of the paper's *timed computation*
+//! `(α, T)` (§2.1): the sequence of steps in execution order together with
+//! the real time of each step, plus the message send/delivery bookkeeping
+//! needed to check delay bounds, and the time each process entered an idle
+//! state. Verifiers (session counting, round counting, admissibility) consume
+//! traces; engines and adversaries produce them.
+
+use std::collections::BTreeMap;
+
+use session_types::{Dur, MsgId, PortId, ProcessId, Time, VarId};
+
+/// What a single recorded step did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// Shared memory: the process atomically read-modified-wrote `var`.
+    /// `port` is set when `var` is one of the distinguished ports, making
+    /// this a *port step* (§2.3).
+    VarAccess {
+        /// The variable accessed.
+        var: VarId,
+        /// The port this variable realizes, if any.
+        port: Option<PortId>,
+    },
+    /// Message passing: a regular process consumed its delivery buffer and
+    /// possibly broadcast. In the message-passing model every step of a port
+    /// process involves its buffer and is therefore a port step.
+    MpStep {
+        /// How many messages were received (i.e. were in the buffer).
+        received: usize,
+        /// Whether the step broadcast a message to all regular processes.
+        broadcast: bool,
+    },
+    /// Message passing: the network delivered message `msg` to the process
+    /// recorded in the event (the paper's step of the network process `N`).
+    Deliver {
+        /// The delivered (message, recipient) instance.
+        msg: MsgId,
+    },
+}
+
+impl StepKind {
+    /// Returns `true` if this is a computation step of a (regular) process,
+    /// as opposed to a delivery step of the network.
+    pub fn is_process_step(&self) -> bool {
+        !matches!(self, StepKind::Deliver { .. })
+    }
+}
+
+/// One recorded step with its real time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the step occurred.
+    pub time: Time,
+    /// The process that took the step (for deliveries: the recipient).
+    pub process: ProcessId,
+    /// What the step did.
+    pub kind: StepKind,
+    /// Whether the process was in an idle state immediately after this step.
+    pub idle_after: bool,
+}
+
+/// The lifecycle of one (message, recipient) pair in the message-passing
+/// model.
+///
+/// The paper defines the delay of a message as the time between the step
+/// that adds it to `net` and the step of `N` that removes it from `net`
+/// (delivery into `buf_q`); time spent in the buffer before the recipient's
+/// next step does **not** count (§2.1.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Identifier of this (message, recipient) instance.
+    pub msg: MsgId,
+    /// The sender.
+    pub from: ProcessId,
+    /// The recipient.
+    pub to: ProcessId,
+    /// Time of the sending step.
+    pub sent_at: Time,
+    /// Time of the delivery step of `N`, if it has occurred.
+    pub delivered_at: Option<Time>,
+}
+
+impl MessageRecord {
+    /// The message delay, if delivered.
+    pub fn delay(&self) -> Option<Dur> {
+        self.delivered_at.map(|d| d - self.sent_at)
+    }
+}
+
+/// A recorded timed computation.
+///
+/// Events must be pushed in nondecreasing time order (the mapping `T` of a
+/// timed computation is nondecreasing by definition).
+///
+/// # Examples
+///
+/// ```
+/// use session_sim::{StepKind, Trace, TraceEvent};
+/// use session_types::{PortId, ProcessId, Time, VarId};
+///
+/// let mut trace = Trace::new(2);
+/// trace.push(TraceEvent {
+///     time: Time::from_int(1),
+///     process: ProcessId::new(0),
+///     kind: StepKind::VarAccess { var: VarId::new(0), port: Some(PortId::new(0)) },
+///     idle_after: false,
+/// });
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.end_time(), Some(Time::from_int(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    messages: Vec<MessageRecord>,
+    idle_at: BTreeMap<ProcessId, Time>,
+    num_processes: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace for a system of `num_processes` processes
+    /// (network deliveries do not count as a process).
+    pub fn new(num_processes: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            messages: Vec::new(),
+            idle_at: BTreeMap::new(),
+            num_processes,
+        }
+    }
+
+    /// The number of processes in the recorded system.
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event.time` is earlier than the previous event's time —
+    /// the time mapping of a timed computation must be nondecreasing.
+    pub fn push(&mut self, event: TraceEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                event.time >= last.time,
+                "trace times must be nondecreasing: {:?} after {:?}",
+                event.time,
+                last.time
+            );
+        }
+        if event.idle_after {
+            self.idle_at.entry(event.process).or_insert(event.time);
+        }
+        self.events.push(event);
+    }
+
+    /// Builds a trace from events in arbitrary order by stable-sorting them
+    /// by time (used by the lower-bound adversaries, which construct
+    /// reorderings of existing computations).
+    pub fn from_unsorted_events(num_processes: usize, mut events: Vec<TraceEvent>) -> Trace {
+        events.sort_by_key(|e| e.time);
+        let mut trace = Trace::new(num_processes);
+        for event in events {
+            trace.push(event);
+        }
+        trace
+    }
+
+    /// Registers a message sent at `sent_at` from `from` to `to`, returning
+    /// its fresh identifier.
+    pub fn record_send(&mut self, from: ProcessId, to: ProcessId, sent_at: Time) -> MsgId {
+        let msg = MsgId::new(self.messages.len() as u64);
+        self.messages.push(MessageRecord {
+            msg,
+            from,
+            to,
+            sent_at,
+            delivered_at: None,
+        });
+        msg
+    }
+
+    /// Marks message `msg` as delivered at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg` was not recorded by [`Trace::record_send`] or was
+    /// already delivered.
+    pub fn record_delivery(&mut self, msg: MsgId, at: Time) {
+        let record = &mut self.messages[msg.seq() as usize];
+        assert!(
+            record.delivered_at.is_none(),
+            "message {msg} delivered twice"
+        );
+        record.delivered_at = Some(at);
+    }
+
+    /// All recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// All recorded message instances, in send order.
+    pub fn messages(&self) -> &[MessageRecord] {
+        &self.messages
+    }
+
+    /// The record for message `msg`.
+    pub fn message(&self, msg: MsgId) -> Option<&MessageRecord> {
+        self.messages.get(msg.seq() as usize)
+    }
+
+    /// The number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last recorded event.
+    pub fn end_time(&self) -> Option<Time> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// The times of all *process* steps (excluding network deliveries) taken
+    /// by `process`, in order.
+    pub fn step_times(&self, process: ProcessId) -> Vec<Time> {
+        self.events
+            .iter()
+            .filter(|e| e.process == process && e.kind.is_process_step())
+            .map(|e| e.time)
+            .collect()
+    }
+
+    /// The number of process steps taken by `process`.
+    pub fn step_count(&self, process: ProcessId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.process == process && e.kind.is_process_step())
+            .count()
+    }
+
+    /// The time at which `process` first entered an idle state, if ever.
+    pub fn idle_time(&self, process: ProcessId) -> Option<Time> {
+        self.idle_at.get(&process).copied()
+    }
+
+    /// The time by which *all* of `processes` were idle: the maximum of
+    /// their idle-entry times, or `None` if any never became idle.
+    ///
+    /// This is the paper's running-time measure: "an algorithm runs in time
+    /// `t` if every process is in an idle state by time `t`" (§2.3).
+    pub fn all_idle_time<I>(&self, processes: I) -> Option<Time>
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        let mut latest = Time::ZERO;
+        for p in processes {
+            latest = latest.max(self.idle_time(p)?);
+        }
+        Some(latest)
+    }
+
+    /// The largest step time (gap between consecutive steps of one process,
+    /// or from time 0 to a first step) over all process steps in the trace:
+    /// the paper's per-computation parameter `γ` (§2.3).
+    pub fn gamma(&self) -> Dur {
+        let mut last_step: BTreeMap<ProcessId, Time> = BTreeMap::new();
+        let mut gamma = Dur::ZERO;
+        for e in &self.events {
+            if !e.kind.is_process_step() {
+                continue;
+            }
+            let prev = last_step.get(&e.process).copied().unwrap_or(Time::ZERO);
+            gamma = gamma.max(e.time - prev);
+            last_step.insert(e.process, e.time);
+        }
+        gamma
+    }
+
+    /// Iterates over the port steps of the trace, in time order, yielding
+    /// `(index in events, port)`.
+    ///
+    /// For shared memory these are the [`StepKind::VarAccess`] events with a
+    /// port; message-passing engines tag port-process steps via the supplied
+    /// `port_of` mapping (every step of a port process is a port step in the
+    /// message-passing model).
+    pub fn port_steps<'a, F>(&'a self, port_of: F) -> impl Iterator<Item = (usize, PortId)> + 'a
+    where
+        F: Fn(ProcessId) -> Option<PortId> + 'a,
+    {
+        self.events.iter().enumerate().filter_map(move |(i, e)| {
+            match &e.kind {
+                StepKind::VarAccess { port, .. } => port.map(|p| (i, p)),
+                StepKind::MpStep { .. } => port_of(e.process).map(|p| (i, p)),
+                StepKind::Deliver { .. } => None,
+            }
+        })
+    }
+}
+
+/// The result of running an engine to completion or budget exhaustion.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The recorded timed computation.
+    pub trace: Trace,
+    /// `true` if all port processes entered idle states within budget.
+    pub terminated: bool,
+    /// Total process steps executed (excluding network deliveries).
+    pub steps: u64,
+}
+
+impl RunOutcome {
+    /// The running time: the time by which all of `port_processes` were
+    /// idle. `None` if the run did not terminate.
+    pub fn running_time<I>(&self, port_processes: I) -> Option<Time>
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        if !self.terminated {
+            return None;
+        }
+        self.trace.all_idle_time(port_processes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var_event(t: i128, p: usize, port: Option<usize>, idle: bool) -> TraceEvent {
+        TraceEvent {
+            time: Time::from_int(t),
+            process: ProcessId::new(p),
+            kind: StepKind::VarAccess {
+                var: VarId::new(p),
+                port: port.map(PortId::new),
+            },
+            idle_after: idle,
+        }
+    }
+
+    #[test]
+    fn push_records_in_order() {
+        let mut trace = Trace::new(2);
+        trace.push(var_event(1, 0, Some(0), false));
+        trace.push(var_event(1, 1, Some(1), false));
+        trace.push(var_event(2, 0, Some(0), true));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.end_time(), Some(Time::from_int(2)));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn push_rejects_decreasing_times() {
+        let mut trace = Trace::new(1);
+        trace.push(var_event(2, 0, None, false));
+        trace.push(var_event(1, 0, None, false));
+    }
+
+    #[test]
+    fn from_unsorted_sorts_stably() {
+        let events = vec![
+            var_event(3, 0, None, false),
+            var_event(1, 1, None, false),
+            var_event(3, 1, None, false),
+            var_event(2, 0, None, false),
+        ];
+        let trace = Trace::from_unsorted_events(2, events);
+        let times: Vec<i128> = trace
+            .events()
+            .iter()
+            .map(|e| e.time.since_origin().as_ratio().numer())
+            .collect();
+        assert_eq!(times, vec![1, 2, 3, 3]);
+        // Stable: among the two time-3 events, process 0 (pushed first) stays first.
+        assert_eq!(trace.events()[2].process, ProcessId::new(0));
+    }
+
+    #[test]
+    fn idle_times_are_first_idle_entry() {
+        let mut trace = Trace::new(2);
+        trace.push(var_event(1, 0, None, true));
+        trace.push(var_event(2, 0, None, true)); // still idle; must not move the time
+        trace.push(var_event(3, 1, None, true));
+        assert_eq!(trace.idle_time(ProcessId::new(0)), Some(Time::from_int(1)));
+        assert_eq!(trace.idle_time(ProcessId::new(1)), Some(Time::from_int(3)));
+        let all = trace.all_idle_time([ProcessId::new(0), ProcessId::new(1)]);
+        assert_eq!(all, Some(Time::from_int(3)));
+    }
+
+    #[test]
+    fn all_idle_requires_every_process() {
+        let mut trace = Trace::new(2);
+        trace.push(var_event(1, 0, None, true));
+        assert_eq!(
+            trace.all_idle_time([ProcessId::new(0), ProcessId::new(1)]),
+            None
+        );
+    }
+
+    #[test]
+    fn step_times_and_counts_exclude_deliveries() {
+        let mut trace = Trace::new(2);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(0),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: true,
+            },
+            idle_after: false,
+        });
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(1), Time::from_int(1));
+        trace.push(TraceEvent {
+            time: Time::from_int(2),
+            process: ProcessId::new(1),
+            kind: StepKind::Deliver { msg },
+            idle_after: false,
+        });
+        trace.record_delivery(msg, Time::from_int(2));
+        trace.push(TraceEvent {
+            time: Time::from_int(3),
+            process: ProcessId::new(1),
+            kind: StepKind::MpStep {
+                received: 1,
+                broadcast: false,
+            },
+            idle_after: false,
+        });
+        assert_eq!(trace.step_count(ProcessId::new(1)), 1);
+        assert_eq!(trace.step_times(ProcessId::new(1)), vec![Time::from_int(3)]);
+        assert_eq!(
+            trace.message(msg).unwrap().delay(),
+            Some(Dur::from_int(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_panics() {
+        let mut trace = Trace::new(2);
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(1), Time::ZERO);
+        trace.record_delivery(msg, Time::from_int(1));
+        trace.record_delivery(msg, Time::from_int(2));
+    }
+
+    #[test]
+    fn gamma_is_max_gap_including_start() {
+        let mut trace = Trace::new(2);
+        trace.push(var_event(4, 0, None, false)); // gap 4 from origin
+        trace.push(var_event(5, 0, None, false)); // gap 1
+        trace.push(var_event(5, 1, None, false)); // gap 5 from origin
+        assert_eq!(trace.gamma(), Dur::from_int(5));
+    }
+
+    #[test]
+    fn gamma_of_empty_trace_is_zero() {
+        assert_eq!(Trace::new(3).gamma(), Dur::ZERO);
+    }
+
+    #[test]
+    fn port_steps_cover_both_models() {
+        let mut trace = Trace::new(2);
+        trace.push(var_event(1, 0, Some(0), false));
+        trace.push(TraceEvent {
+            time: Time::from_int(2),
+            process: ProcessId::new(1),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: false,
+            },
+            idle_after: false,
+        });
+        // Process 1 realizes port 1 in the message-passing sense.
+        let ports: Vec<PortId> = trace
+            .port_steps(|p| (p == ProcessId::new(1)).then(|| PortId::new(1)))
+            .map(|(_, port)| port)
+            .collect();
+        assert_eq!(ports, vec![PortId::new(0), PortId::new(1)]);
+    }
+
+    #[test]
+    fn running_time_of_outcome() {
+        let mut trace = Trace::new(1);
+        trace.push(var_event(2, 0, None, true));
+        let outcome = RunOutcome {
+            trace,
+            terminated: true,
+            steps: 1,
+        };
+        assert_eq!(
+            outcome.running_time([ProcessId::new(0)]),
+            Some(Time::from_int(2))
+        );
+        let failed = RunOutcome {
+            trace: Trace::new(1),
+            terminated: false,
+            steps: 0,
+        };
+        assert_eq!(failed.running_time([ProcessId::new(0)]), None);
+    }
+}

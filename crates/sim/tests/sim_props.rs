@@ -1,0 +1,125 @@
+//! Property-based tests for the simulation primitives: every schedule
+//! generator must emit gaps inside its model's constraint window, the
+//! event queue must agree with a stable sort, and topology delays must be
+//! consistent with their hop structure.
+
+use proptest::prelude::*;
+use session_sim::{
+    DelayPolicy, EventQueue, FixedPeriods, HopDelay, JitterSchedule, SporadicBursts,
+    StepSchedule, UniformDelay,
+};
+use session_types::{Dur, ProcessId, Ratio, Time};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+proptest! {
+    /// The queue pops exactly the stable sort of what was pushed.
+    #[test]
+    fn queue_agrees_with_stable_sort(times in proptest::collection::vec((0i128..20, 1i128..5), 0..64)) {
+        let mut queue = EventQueue::new();
+        let mut reference: Vec<(Time, usize)> = Vec::new();
+        for (i, &(num, den)) in times.iter().enumerate() {
+            let t = Time::from_ratio(Ratio::new(num, den));
+            queue.push(t, i);
+            reference.push((t, i));
+        }
+        reference.sort_by_key(|&(t, i)| (t, i)); // index order = insertion order
+        let mut popped = Vec::new();
+        while let Some(item) = queue.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Fixed periods: the k-th step of process p is exactly k * period_p.
+    #[test]
+    fn fixed_periods_are_exact(periods in proptest::collection::vec(1i128..10, 1..6), steps in 1usize..20) {
+        let durs: Vec<Dur> = periods.iter().map(|&p| d(p)).collect();
+        let mut sched = FixedPeriods::new(durs).unwrap();
+        for (i, &period) in periods.iter().enumerate() {
+            let p = ProcessId::new(i);
+            let mut t = sched.first_step(p);
+            prop_assert_eq!(t, Time::from_int(period));
+            for k in 2..=steps as i128 {
+                t = sched.next_step(p, t);
+                prop_assert_eq!(t, Time::from_int(period * k));
+            }
+        }
+    }
+
+    /// Jitter schedules stay within [c1, c2] over long horizons.
+    #[test]
+    fn jitter_stays_in_window(c1 in 1i128..5, extra in 0i128..8, seed in any::<u64>()) {
+        let c1 = d(c1);
+        let c2 = c1 + d(extra);
+        let mut sched = JitterSchedule::new(c1, c2, seed).unwrap();
+        let p = ProcessId::new(0);
+        let mut last = Time::ZERO;
+        for i in 0..100 {
+            let next = if i == 0 { sched.first_step(p) } else { sched.next_step(p, last) };
+            let gap = next - last;
+            prop_assert!(gap >= c1 && gap <= c2);
+            last = next;
+        }
+    }
+
+    /// Sporadic bursts never violate the c1 floor and are strictly
+    /// increasing.
+    #[test]
+    fn sporadic_gaps_respect_floor(
+        c1 in 1i128..5,
+        factor in 2u32..10,
+        percent in 0u8..=100,
+        seed in any::<u64>(),
+    ) {
+        let c1 = d(c1);
+        let mut sched = SporadicBursts::new(c1, factor, percent, seed).unwrap();
+        let p = ProcessId::new(0);
+        let mut last = Time::ZERO;
+        for i in 0..100 {
+            let next = if i == 0 { sched.first_step(p) } else { sched.next_step(p, last) };
+            prop_assert!(next - last >= c1);
+            prop_assert!(next > last);
+            last = next;
+        }
+    }
+
+    /// Uniform delays stay within [d1, d2].
+    #[test]
+    fn uniform_delay_in_window(d1 in 0i128..5, du in 0i128..8, seed in any::<u64>()) {
+        let lo = d(d1);
+        let hi = lo + d(du);
+        let mut policy = UniformDelay::new(lo, hi, seed).unwrap();
+        for i in 0..100usize {
+            let delay = policy.delay(ProcessId::new(i % 3), ProcessId::new(i % 5), Time::ZERO);
+            prop_assert!(delay >= lo && delay <= hi);
+        }
+    }
+
+    /// Hop delays: symmetric constructors give symmetric delays, zero on
+    /// the diagonal, and never exceed diameter * per_hop.
+    #[test]
+    fn hop_delay_structure(n in 1usize..12, per_hop in 0i128..6, which in 0usize..4) {
+        let per_hop = d(per_hop);
+        let mut topo = match which {
+            0 => HopDelay::ring(n, per_hop).unwrap(),
+            1 => HopDelay::line(n, per_hop).unwrap(),
+            2 => HopDelay::star(n, per_hop).unwrap(),
+            _ => HopDelay::complete(n, per_hop).unwrap(),
+        };
+        let max = topo.max_delay();
+        for i in 0..n {
+            for j in 0..n {
+                let dij = topo.delay(ProcessId::new(i), ProcessId::new(j), Time::ZERO);
+                let dji = topo.delay(ProcessId::new(j), ProcessId::new(i), Time::ZERO);
+                prop_assert_eq!(dij, dji, "symmetry");
+                prop_assert!(dij <= max);
+                if i == j {
+                    prop_assert_eq!(dij, Dur::ZERO);
+                }
+            }
+        }
+    }
+}

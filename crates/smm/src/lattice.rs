@@ -1,0 +1,233 @@
+//! The knowledge join-semilattice flowing through the tree network.
+//!
+//! Broadcast in the `b`-bounded shared-memory model is relaying (§3). All the
+//! information our algorithms relay is *monotone* — "process `i` has
+//! completed at least `k` port steps / sessions" — so a value type with a
+//! join (least upper bound) makes relaying trivially correct: every relay
+//! simply joins what it reads into what it knows and writes the result back;
+//! no information is ever lost regardless of interleaving.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use session_types::ProcessId;
+
+/// A join-semilattice: a partial order with least upper bounds.
+///
+/// Laws (checked by property tests):
+///
+/// * idempotence: `x.join(x) == x`
+/// * commutativity: `x.join(y) == y.join(x)`
+/// * associativity: `(x.join(y)).join(z) == x.join(y.join(z))`
+/// * `bottom()` is the identity: `x.join(bottom()) == x`
+/// * `x.leq(y)` iff `y == x.join(y)`
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// The least element.
+    fn bottom() -> Self;
+
+    /// Replaces `self` with the least upper bound of `self` and `other`.
+    fn join(&mut self, other: &Self);
+
+    /// Returns `true` if `self` is below-or-equal `other` in the lattice
+    /// order.
+    fn leq(&self, other: &Self) -> bool {
+        let mut joined = self.clone();
+        joined.join(other);
+        joined == *other
+    }
+}
+
+/// What a process knows about every process's announced progress counter:
+/// a map `ProcessId -> u64` ordered pointwise, joined by pointwise maximum.
+///
+/// Algorithms announce monotonically increasing counters (completed port
+/// steps for the periodic algorithm `A(p)`, completed session numbers for
+/// the asynchronous and semi-synchronous algorithms); the tree network of
+/// [`crate::RelayProcess`]es floods these maps in both directions.
+///
+/// # Examples
+///
+/// ```
+/// use session_smm::{JoinSemiLattice, Knowledge};
+/// use session_types::ProcessId;
+///
+/// let mut a = Knowledge::new();
+/// a.announce(ProcessId::new(0), 3);
+/// let mut b = Knowledge::new();
+/// b.announce(ProcessId::new(0), 1);
+/// b.announce(ProcessId::new(1), 2);
+///
+/// a.join(&b);
+/// assert_eq!(a.get(ProcessId::new(0)), 3); // pointwise max
+/// assert_eq!(a.get(ProcessId::new(1)), 2);
+/// assert!(a.all_at_least((0..2).map(ProcessId::new), 2));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Knowledge {
+    counters: BTreeMap<ProcessId, u64>,
+}
+
+impl Knowledge {
+    /// Creates empty knowledge (the lattice bottom).
+    pub fn new() -> Knowledge {
+        Knowledge::default()
+    }
+
+    /// Raises the counter recorded for `p` to at least `value`.
+    ///
+    /// Counters never decrease: announcing a smaller value than already
+    /// known is a no-op, keeping the type monotone by construction.
+    pub fn announce(&mut self, p: ProcessId, value: u64) {
+        match self.counters.entry(p) {
+            Entry::Vacant(e) => {
+                e.insert(value);
+            }
+            Entry::Occupied(mut e) => {
+                if *e.get() < value {
+                    e.insert(value);
+                }
+            }
+        }
+    }
+
+    /// The counter known for `p` (0 if nothing was ever announced).
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.counters.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if an announcement has been recorded for `p`.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.counters.contains_key(&p)
+    }
+
+    /// Returns `true` if every process in `processes` has a known counter
+    /// `>= threshold`.
+    ///
+    /// Note that with `threshold == 0` this still requires an explicit
+    /// announcement from each process (an empty map knows *nothing*, which
+    /// is weaker than knowing "at least 0").
+    pub fn all_at_least<I>(&self, processes: I, threshold: u64) -> bool
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        processes
+            .into_iter()
+            .all(|p| self.counters.get(&p).is_some_and(|&v| v >= threshold))
+    }
+
+    /// The number of processes with recorded announcements.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if nothing has been announced.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates over `(process, counter)` pairs in process order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
+        self.counters.iter().map(|(&p, &v)| (p, v))
+    }
+}
+
+impl JoinSemiLattice for Knowledge {
+    fn bottom() -> Knowledge {
+        Knowledge::new()
+    }
+
+    fn join(&mut self, other: &Knowledge) {
+        for (&p, &v) in &other.counters {
+            self.announce(p, v);
+        }
+    }
+}
+
+impl FromIterator<(ProcessId, u64)> for Knowledge {
+    fn from_iter<I: IntoIterator<Item = (ProcessId, u64)>>(iter: I) -> Knowledge {
+        let mut k = Knowledge::new();
+        for (p, v) in iter {
+            k.announce(p, v);
+        }
+        k
+    }
+}
+
+impl Extend<(ProcessId, u64)> for Knowledge {
+    fn extend<I: IntoIterator<Item = (ProcessId, u64)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.announce(p, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn announce_is_monotone() {
+        let mut k = Knowledge::new();
+        k.announce(p(0), 5);
+        k.announce(p(0), 3); // lower: ignored
+        assert_eq!(k.get(p(0)), 5);
+        k.announce(p(0), 7);
+        assert_eq!(k.get(p(0)), 7);
+    }
+
+    #[test]
+    fn get_defaults_to_zero_but_contains_is_precise() {
+        let k = Knowledge::new();
+        assert_eq!(k.get(p(9)), 0);
+        assert!(!k.contains(p(9)));
+        let k: Knowledge = [(p(9), 0)].into_iter().collect();
+        assert!(k.contains(p(9)));
+        assert_eq!(k.get(p(9)), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a: Knowledge = [(p(0), 1), (p(1), 5)].into_iter().collect();
+        let b: Knowledge = [(p(0), 4), (p(2), 2)].into_iter().collect();
+        a.join(&b);
+        assert_eq!(a.get(p(0)), 4);
+        assert_eq!(a.get(p(1)), 5);
+        assert_eq!(a.get(p(2)), 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn all_at_least_requires_explicit_announcements() {
+        let k: Knowledge = [(p(0), 2), (p(1), 3)].into_iter().collect();
+        assert!(k.all_at_least([p(0), p(1)], 2));
+        assert!(!k.all_at_least([p(0), p(1)], 3));
+        // p(2) never announced: even threshold 0 fails.
+        assert!(!k.all_at_least([p(0), p(1), p(2)], 0));
+    }
+
+    #[test]
+    fn leq_matches_pointwise_order() {
+        let small: Knowledge = [(p(0), 1)].into_iter().collect();
+        let big: Knowledge = [(p(0), 2), (p(1), 1)].into_iter().collect();
+        assert!(small.leq(&big));
+        assert!(!big.leq(&small));
+        assert!(Knowledge::bottom().leq(&small));
+        let incomparable: Knowledge = [(p(1), 9)].into_iter().collect();
+        assert!(!small.leq(&incomparable));
+        assert!(!incomparable.leq(&small));
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut k = Knowledge::new();
+        k.extend([(p(1), 4), (p(0), 2)]);
+        let pairs: Vec<(ProcessId, u64)> = k.iter().collect();
+        assert_eq!(pairs, vec![(p(0), 2), (p(1), 4)]);
+        assert!(!k.is_empty());
+        assert!(Knowledge::new().is_empty());
+    }
+}

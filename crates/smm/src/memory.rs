@@ -1,0 +1,190 @@
+//! The shared-variable store with `b`-bound enforcement.
+
+use std::collections::BTreeSet;
+
+use session_types::{Error, ProcessId, Result, VarId};
+
+/// The set `X` of shared variables of a shared-memory system, together with
+/// the dynamic enforcement of the fan-in bound `b`: at most `b` *distinct*
+/// processes may ever access any single variable (§2.1.1).
+///
+/// The bound is enforced at access time rather than at wiring time so that
+/// even dynamically misbehaving algorithms (e.g. a process that suddenly
+/// targets a foreign variable) are caught — this is the substrate's
+/// failure-injection surface, exercised by negative tests.
+///
+/// # Examples
+///
+/// ```
+/// use session_smm::SharedMemory;
+/// use session_types::{ProcessId, VarId};
+///
+/// # fn main() -> Result<(), session_types::Error> {
+/// let mut mem = SharedMemory::new(vec![0u32, 10], 2);
+/// let x0 = VarId::new(0);
+/// mem.access(ProcessId::new(0), x0, |v| *v += 1)?;
+/// mem.access(ProcessId::new(1), x0, |v| *v += 1)?;
+/// assert_eq!(mem.value(x0), &2);
+/// // A third distinct accessor violates b = 2:
+/// assert!(mem.access(ProcessId::new(2), x0, |_| ()).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedMemory<V> {
+    values: Vec<V>,
+    accessors: Vec<BTreeSet<ProcessId>>,
+    b: usize,
+}
+
+impl<V> SharedMemory<V> {
+    /// Creates a store with the given initial values and fan-in bound `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < 2`; with fewer than two accessors per variable no two
+    /// processes could ever communicate.
+    pub fn new(initial_values: Vec<V>, b: usize) -> SharedMemory<V> {
+        assert!(b >= 2, "shared memory requires b >= 2");
+        let accessors = initial_values.iter().map(|_| BTreeSet::new()).collect();
+        SharedMemory {
+            values: initial_values,
+            accessors,
+            b,
+        }
+    }
+
+    /// The number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the store has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The fan-in bound `b`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The current value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: VarId) -> &V {
+        &self.values[var.index()]
+    }
+
+    /// All current values, in variable order.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// The set of processes that have accessed `var` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn accessors(&self, var: VarId) -> &BTreeSet<ProcessId> {
+        &self.accessors[var.index()]
+    }
+
+    /// Performs one atomic read-modify-write of `var` by `process`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownId`] if `var` does not exist.
+    /// * [`Error::BBoundViolation`] if `process` would become the
+    ///   `(b + 1)`-th distinct accessor of `var`; the variable is not
+    ///   modified in that case.
+    pub fn access<F>(&mut self, process: ProcessId, var: VarId, f: F) -> Result<()>
+    where
+        F: FnOnce(&mut V),
+    {
+        let idx = var.index();
+        if idx >= self.values.len() {
+            return Err(Error::unknown_id(format!("variable {var}")));
+        }
+        let accessors = &mut self.accessors[idx];
+        if !accessors.contains(&process) {
+            if accessors.len() >= self.b {
+                return Err(Error::BBoundViolation {
+                    var,
+                    bound: self.b,
+                    process,
+                });
+            }
+            accessors.insert(process);
+        }
+        f(&mut self.values[idx]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn read_modify_write_is_atomic_per_call() {
+        let mut mem = SharedMemory::new(vec![1u64], 2);
+        mem.access(p(0), VarId::new(0), |v| *v = *v * 10 + 3).unwrap();
+        assert_eq!(mem.value(VarId::new(0)), &13);
+    }
+
+    #[test]
+    fn b_bound_counts_distinct_processes_only() {
+        let mut mem = SharedMemory::new(vec![0u8], 2);
+        let x = VarId::new(0);
+        for _ in 0..5 {
+            mem.access(p(0), x, |v| *v += 1).unwrap(); // repeats are fine
+        }
+        mem.access(p(1), x, |v| *v += 1).unwrap();
+        let err = mem.access(p(2), x, |v| *v += 1).unwrap_err();
+        assert!(matches!(err, Error::BBoundViolation { bound: 2, .. }));
+        // The rejected access must not have modified the value.
+        assert_eq!(mem.value(x), &6);
+        assert_eq!(mem.accessors(x).len(), 2);
+    }
+
+    #[test]
+    fn larger_b_allows_more_accessors() {
+        let mut mem = SharedMemory::new(vec![0u8], 3);
+        let x = VarId::new(0);
+        for i in 0..3 {
+            mem.access(p(i), x, |v| *v += 1).unwrap();
+        }
+        assert!(mem.access(p(3), x, |v| *v += 1).is_err());
+        assert_eq!(mem.b(), 3);
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let mut mem = SharedMemory::new(vec![0u8], 2);
+        let err = mem.access(p(0), VarId::new(5), |_| ()).unwrap_err();
+        assert!(matches!(err, Error::UnknownId { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "b >= 2")]
+    fn b_below_two_panics() {
+        let _ = SharedMemory::new(vec![0u8], 1);
+    }
+
+    #[test]
+    fn len_and_values() {
+        let mem = SharedMemory::new(vec![7u8, 8, 9], 2);
+        assert_eq!(mem.len(), 3);
+        assert!(!mem.is_empty());
+        assert_eq!(mem.values(), &[7, 8, 9]);
+        let empty: SharedMemory<u8> = SharedMemory::new(vec![], 2);
+        assert!(empty.is_empty());
+    }
+}

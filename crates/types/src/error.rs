@@ -1,0 +1,137 @@
+//! The workspace error type.
+
+use std::error;
+use std::fmt;
+
+use crate::ids::{ProcessId, VarId};
+
+/// A convenient alias for results carrying [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the session-problem workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A constructor received parameters that violate a model or problem
+    /// precondition.
+    InvalidParams {
+        /// What was violated.
+        reason: String,
+    },
+    /// More than `b` distinct processes attempted to access one shared
+    /// variable (§2.1.1).
+    BBoundViolation {
+        /// The oversubscribed variable.
+        var: VarId,
+        /// The configured bound `b`.
+        bound: usize,
+        /// The process whose access exceeded the bound.
+        process: ProcessId,
+    },
+    /// A timed computation violates the timing constraints of its model
+    /// (§2.2) — produced by the admissibility checkers.
+    Inadmissible {
+        /// Human-readable description of the first violation found.
+        reason: String,
+    },
+    /// A simulation exceeded its step or time budget without all port
+    /// processes reaching idle states.
+    LimitExceeded {
+        /// Number of steps executed before giving up.
+        steps: u64,
+    },
+    /// An engine was asked about a process or variable that does not exist.
+    UnknownId {
+        /// Description of the missing identifier.
+        what: String,
+    },
+}
+
+impl Error {
+    /// Creates an [`Error::InvalidParams`] with the given reason.
+    pub fn invalid_params(reason: impl Into<String>) -> Error {
+        Error::InvalidParams {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`Error::Inadmissible`] with the given reason.
+    pub fn inadmissible(reason: impl Into<String>) -> Error {
+        Error::Inadmissible {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`Error::UnknownId`] with the given description.
+    pub fn unknown_id(what: impl Into<String>) -> Error {
+        Error::UnknownId { what: what.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            Error::BBoundViolation {
+                var,
+                bound,
+                process,
+            } => write!(
+                f,
+                "variable {var} already has {bound} accessors; {process} may not access it"
+            ),
+            Error::Inadmissible { reason } => write!(f, "timed computation inadmissible: {reason}"),
+            Error::LimitExceeded { steps } => write!(
+                f,
+                "simulation budget exhausted after {steps} steps without termination"
+            ),
+            Error::UnknownId { what } => write!(f, "unknown identifier: {what}"),
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_descriptive() {
+        let e = Error::invalid_params("s must be positive");
+        assert_eq!(e.to_string(), "invalid parameters: s must be positive");
+
+        let e = Error::BBoundViolation {
+            var: VarId::new(3),
+            bound: 2,
+            process: ProcessId::new(7),
+        };
+        assert!(e.to_string().contains("x3"));
+        assert!(e.to_string().contains("p7"));
+
+        let e = Error::inadmissible("step gap below c1");
+        assert!(e.to_string().contains("inadmissible"));
+
+        let e = Error::LimitExceeded { steps: 10 };
+        assert!(e.to_string().contains("10 steps"));
+
+        let e = Error::unknown_id("process p9");
+        assert!(e.to_string().contains("p9"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+
+    #[test]
+    fn errors_compare_equal_structurally() {
+        assert_eq!(
+            Error::invalid_params("x"),
+            Error::InvalidParams {
+                reason: "x".to_owned()
+            }
+        );
+    }
+}

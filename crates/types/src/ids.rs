@@ -1,0 +1,138 @@
+//! Identifier newtypes.
+//!
+//! The paper's systems are finite sets of processes `P` and shared variables
+//! `X` (§2.1); ports `Y ⊆ X` are distinguished variables (§2.3). Distinct
+//! newtypes keep "the 3rd process" and "the 3rd variable" from being confused
+//! at compile time.
+
+use std::fmt;
+
+/// Identifies a process within a system (dense, zero-based).
+///
+/// # Examples
+///
+/// ```
+/// use session_types::ProcessId;
+///
+/// let p = ProcessId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+/// Identifies a shared variable within a shared-memory system (dense,
+/// zero-based).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(usize);
+
+/// Identifies a port: the `k`-th of the `n` distinguished ports of the
+/// `(s, n)`-session problem (dense, zero-based).
+///
+/// In the shared-memory model a port maps to a [`VarId`]; in the
+/// message-passing model it maps to a process's delivery buffer.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(usize);
+
+/// Identifies a single (message, recipient) delivery in the message-passing
+/// model; unique within one computation.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(u64);
+
+macro_rules! impl_usize_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates the identifier with the given dense index.
+            pub const fn new(index: usize) -> $ty {
+                $ty(index)
+            }
+
+            /// The dense zero-based index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $ty {
+            fn from(index: usize) -> $ty {
+                $ty(index)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_usize_id!(ProcessId, "p");
+impl_usize_id!(VarId, "x");
+impl_usize_id!(PortId, "y");
+
+impl MsgId {
+    /// Creates the identifier with the given sequence number.
+    pub const fn new(seq: u64) -> MsgId {
+        MsgId(seq)
+    }
+
+    /// The sequence number.
+    pub const fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(ProcessId::new(7).index(), 7);
+        assert_eq!(VarId::new(7).index(), 7);
+        assert_eq!(PortId::new(7).index(), 7);
+        assert_eq!(MsgId::new(7).seq(), 7);
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(ProcessId::from(3), ProcessId::new(3));
+        assert_eq!(VarId::from(3), VarId::new(3));
+        assert_eq!(PortId::from(3), PortId::new(3));
+    }
+
+    #[test]
+    fn display_prefixes_distinguish_kinds() {
+        assert_eq!(ProcessId::new(1).to_string(), "p1");
+        assert_eq!(VarId::new(1).to_string(), "x1");
+        assert_eq!(PortId::new(1).to_string(), "y1");
+        assert_eq!(MsgId::new(1).to_string(), "m1");
+    }
+
+    #[test]
+    fn ordering_supports_sorted_collections() {
+        let set: BTreeSet<ProcessId> = [2, 0, 1].into_iter().map(ProcessId::new).collect();
+        let sorted: Vec<usize> = set.into_iter().map(ProcessId::index).collect();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,517 @@
+//! The paper's model taxonomy (§2.2) and the `(s, n)`-session problem
+//! statement (§2.3).
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::time::Dur;
+
+/// The five real-time constraint families of §2.2.
+///
+/// Each model constrains the time between consecutive steps of every process
+/// and (in message passing) the delay of every message:
+///
+/// | Model | step time | message delay | known constants |
+/// |---|---|---|---|
+/// | Synchronous | exactly `c2` | exactly `d2` | `c2`, `d2` |
+/// | Periodic | exactly `c_i` per process `p_i`, unknown | `[0, d2]` | `d2` |
+/// | Semi-synchronous | `[c1, c2]`, `c1 > 0` | `[0, d2]` | `c1`, `c2`, `d2` |
+/// | Sporadic | `>= c1 > 0`, no upper bound | `[d1, d2]` | `c1`, `d1`, `d2` |
+/// | Asynchronous | unbounded (finite) | unbounded (finite) | none |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimingModel {
+    /// Lock-step: every step takes exactly `c2`, every delay exactly `d2`.
+    Synchronous,
+    /// Each process steps at its own constant, *unknown* period.
+    Periodic,
+    /// Step time within known `[c1, c2]`; delays within `[0, d2]`.
+    SemiSynchronous,
+    /// Step time at least `c1` with no upper bound; delays within `[d1, d2]`.
+    Sporadic,
+    /// No timing information at all; running time is measured in rounds.
+    Asynchronous,
+}
+
+impl TimingModel {
+    /// All five models, in the order of the paper's Table 1.
+    pub const ALL: [TimingModel; 5] = [
+        TimingModel::Synchronous,
+        TimingModel::Periodic,
+        TimingModel::SemiSynchronous,
+        TimingModel::Sporadic,
+        TimingModel::Asynchronous,
+    ];
+
+    /// Returns `true` if running time under this model is measured in real
+    /// time; `false` if it is measured in rounds (asynchronous and sporadic
+    /// shared memory — see §2.3).
+    pub fn measures_real_time(self) -> bool {
+        !matches!(self, TimingModel::Asynchronous)
+    }
+}
+
+impl fmt::Display for TimingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TimingModel::Synchronous => "synchronous",
+            TimingModel::Periodic => "periodic",
+            TimingModel::SemiSynchronous => "semi-synchronous",
+            TimingModel::Sporadic => "sporadic",
+            TimingModel::Asynchronous => "asynchronous",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The two interprocess communication models of §2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommModel {
+    /// Processes communicate through `b`-bounded shared variables (§2.1.1).
+    SharedMemory,
+    /// Processes broadcast messages through a reliable network (§2.1.2).
+    MessagePassing,
+}
+
+impl CommModel {
+    /// Both communication models, shared memory first (Table 1 column order).
+    pub const ALL: [CommModel; 2] = [CommModel::SharedMemory, CommModel::MessagePassing];
+}
+
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CommModel::SharedMemory => "shared memory",
+            CommModel::MessagePassing => "message passing",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The timing constants *known to the processes* under a given model.
+///
+/// Algorithms may consult only these values (§2.2: "Thus `c1`, `c2` and `d2`
+/// are known"). Schedule generators, in contrast, may use additional hidden
+/// parameters (e.g. the actual periods `c_i` of the periodic model), which
+/// live in `session-sim`, not here.
+///
+/// # Examples
+///
+/// ```
+/// use session_types::{Dur, KnownBounds, TimingModel};
+///
+/// # fn main() -> Result<(), session_types::Error> {
+/// let sporadic = KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2),
+///                                      Dur::from_int(10))?;
+/// assert_eq!(sporadic.model(), TimingModel::Sporadic);
+/// // u = d2 - d1, the delay uncertainty of §6.
+/// assert_eq!(sporadic.delay_uncertainty(), Some(Dur::from_int(8)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KnownBounds {
+    model: TimingModel,
+    c1: Option<Dur>,
+    c2: Option<Dur>,
+    d1: Option<Dur>,
+    d2: Option<Dur>,
+}
+
+impl KnownBounds {
+    /// Synchronous model: step time exactly `c2`, message delay exactly `d2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `c2 <= 0` or `d2 < 0`.
+    pub fn synchronous(c2: Dur, d2: Dur) -> Result<KnownBounds> {
+        if !c2.is_positive() {
+            return Err(Error::invalid_params("synchronous model requires c2 > 0"));
+        }
+        if d2.is_negative() {
+            return Err(Error::invalid_params("synchronous model requires d2 >= 0"));
+        }
+        Ok(KnownBounds {
+            model: TimingModel::Synchronous,
+            c1: Some(c2),
+            c2: Some(c2),
+            d1: Some(d2),
+            d2: Some(d2),
+        })
+    }
+
+    /// Periodic model: per-process constant periods, unknown to the
+    /// processes; message delay within `[0, d2]` with `d2` known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `d2 < 0`.
+    pub fn periodic(d2: Dur) -> Result<KnownBounds> {
+        if d2.is_negative() {
+            return Err(Error::invalid_params("periodic model requires d2 >= 0"));
+        }
+        Ok(KnownBounds {
+            model: TimingModel::Periodic,
+            c1: None,
+            c2: None,
+            d1: Some(Dur::ZERO),
+            d2: Some(d2),
+        })
+    }
+
+    /// Semi-synchronous model: step time within known `[c1, c2]` with
+    /// `c1 > 0`; message delay within `[0, d2]` with `d2` known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `c1 <= 0`, `c1 > c2` or `d2 < 0`.
+    pub fn semi_synchronous(c1: Dur, c2: Dur, d2: Dur) -> Result<KnownBounds> {
+        if !c1.is_positive() {
+            return Err(Error::invalid_params(
+                "semi-synchronous model requires c1 > 0",
+            ));
+        }
+        if c1 > c2 {
+            return Err(Error::invalid_params(
+                "semi-synchronous model requires c1 <= c2",
+            ));
+        }
+        if d2.is_negative() {
+            return Err(Error::invalid_params(
+                "semi-synchronous model requires d2 >= 0",
+            ));
+        }
+        Ok(KnownBounds {
+            model: TimingModel::SemiSynchronous,
+            c1: Some(c1),
+            c2: Some(c2),
+            d1: Some(Dur::ZERO),
+            d2: Some(d2),
+        })
+    }
+
+    /// Sporadic model: step time at least `c1 > 0` with no upper bound;
+    /// message delay within known `[d1, d2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `c1 <= 0`, `d1 < 0` or `d1 > d2`.
+    pub fn sporadic(c1: Dur, d1: Dur, d2: Dur) -> Result<KnownBounds> {
+        if !c1.is_positive() {
+            return Err(Error::invalid_params("sporadic model requires c1 > 0"));
+        }
+        if d1.is_negative() {
+            return Err(Error::invalid_params("sporadic model requires d1 >= 0"));
+        }
+        if d1 > d2 {
+            return Err(Error::invalid_params("sporadic model requires d1 <= d2"));
+        }
+        Ok(KnownBounds {
+            model: TimingModel::Sporadic,
+            c1: Some(c1),
+            c2: None,
+            d1: Some(d1),
+            d2: Some(d2),
+        })
+    }
+
+    /// Asynchronous model: nothing is known; every process takes infinitely
+    /// many steps and every message is eventually delivered.
+    pub fn asynchronous() -> KnownBounds {
+        KnownBounds {
+            model: TimingModel::Asynchronous,
+            c1: None,
+            c2: None,
+            d1: None,
+            d2: None,
+        }
+    }
+
+    /// The timing model these bounds belong to.
+    pub fn model(&self) -> TimingModel {
+        self.model
+    }
+
+    /// The known lower bound on step time, if any.
+    pub fn c1(&self) -> Option<Dur> {
+        self.c1
+    }
+
+    /// The known upper bound on step time, if any.
+    pub fn c2(&self) -> Option<Dur> {
+        self.c2
+    }
+
+    /// The known lower bound on message delay, if any.
+    pub fn d1(&self) -> Option<Dur> {
+        self.d1
+    }
+
+    /// The known upper bound on message delay, if any.
+    pub fn d2(&self) -> Option<Dur> {
+        self.d2
+    }
+
+    /// `u = d2 - d1`, the message-delay uncertainty central to §6, when both
+    /// bounds are known.
+    pub fn delay_uncertainty(&self) -> Option<Dur> {
+        match (self.d1, self.d2) {
+            (Some(d1), Some(d2)) => Some(d2 - d1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KnownBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.model)?;
+        let mut wrote_any = false;
+        let mut item = |f: &mut fmt::Formatter<'_>, name: &str, value: Option<Dur>| {
+            if let Some(v) = value {
+                let sep = if wrote_any { ", " } else { " (" };
+                wrote_any = true;
+                write!(f, "{sep}{name} = {v}")
+            } else {
+                Ok(())
+            }
+        };
+        item(f, "c1", self.c1)?;
+        item(f, "c2", self.c2)?;
+        item(f, "d1", self.d1)?;
+        item(f, "d2", self.d2)?;
+        if wrote_any {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The statement of the `(s, n)`-session problem (§2.3) plus the
+/// shared-memory fan-in constant `b` (§2.1.1).
+///
+/// An algorithm solving the problem must guarantee, in every admissible timed
+/// computation, at least `s` disjoint sessions — a *session* being a minimal
+/// fragment containing a port step for each of the `n` ports — after which
+/// every port process is idle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionSpec {
+    s: u64,
+    n: usize,
+    b: usize,
+}
+
+impl SessionSpec {
+    /// Creates a spec for the `(s, n)`-session problem with at most `b`
+    /// processes allowed to access any shared variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `s == 0`, `n == 0` or `b < 2`
+    /// (with `b < 2` no two processes could ever communicate through a
+    /// variable).
+    pub fn new(s: u64, n: usize, b: usize) -> Result<SessionSpec> {
+        if s == 0 {
+            return Err(Error::invalid_params("session spec requires s >= 1"));
+        }
+        if n == 0 {
+            return Err(Error::invalid_params("session spec requires n >= 1"));
+        }
+        if b < 2 {
+            return Err(Error::invalid_params("session spec requires b >= 2"));
+        }
+        Ok(SessionSpec { s, n, b })
+    }
+
+    /// The required number of disjoint sessions.
+    pub fn s(&self) -> u64 {
+        self.s
+    }
+
+    /// The number of distinguished ports (and port processes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The maximum number of processes that may access one shared variable.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Iterates over all port identifiers `y0 .. y(n-1)`.
+    pub fn ports(&self) -> impl Iterator<Item = crate::PortId> {
+        (0..self.n).map(crate::PortId::new)
+    }
+
+    /// `⌊log_b n⌋`, the communication-cost factor of the shared-memory rows
+    /// of Table 1.
+    pub fn log_b_n_floor(&self) -> u32 {
+        ilog(self.b as u128, self.n as u128)
+    }
+
+    /// `⌊log_{2b-1}(2n - 1)⌋`, the contamination-spread factor of
+    /// Theorem 4.3.
+    pub fn contamination_depth(&self) -> u32 {
+        ilog((2 * self.b - 1) as u128, (2 * self.n - 1) as u128)
+    }
+}
+
+impl fmt::Display for SessionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})-session problem, b = {}", self.s, self.n, self.b)
+    }
+}
+
+/// `⌊log_base(value)⌋` for integer `base >= 2` and `value >= 1`.
+fn ilog(base: u128, value: u128) -> u32 {
+    debug_assert!(base >= 2 && value >= 1);
+    let mut power = base;
+    let mut log = 0;
+    while power <= value {
+        log += 1;
+        match power.checked_mul(base) {
+            Some(next) => power = next,
+            None => break,
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_validation() {
+        assert!(KnownBounds::synchronous(Dur::from_int(1), Dur::from_int(0)).is_ok());
+        assert!(KnownBounds::synchronous(Dur::ZERO, Dur::from_int(1)).is_err());
+        assert!(KnownBounds::synchronous(Dur::from_int(1), Dur::from_int(-1)).is_err());
+    }
+
+    #[test]
+    fn synchronous_pins_c1_to_c2() {
+        let b = KnownBounds::synchronous(Dur::from_int(3), Dur::from_int(5)).unwrap();
+        assert_eq!(b.c1(), Some(Dur::from_int(3)));
+        assert_eq!(b.c2(), Some(Dur::from_int(3)));
+        assert_eq!(b.d1(), Some(Dur::from_int(5)));
+        assert_eq!(b.d2(), Some(Dur::from_int(5)));
+    }
+
+    #[test]
+    fn periodic_knows_only_d2() {
+        let b = KnownBounds::periodic(Dur::from_int(9)).unwrap();
+        assert_eq!(b.model(), TimingModel::Periodic);
+        assert_eq!(b.c1(), None);
+        assert_eq!(b.c2(), None);
+        assert_eq!(b.d2(), Some(Dur::from_int(9)));
+        assert!(KnownBounds::periodic(Dur::from_int(-1)).is_err());
+    }
+
+    #[test]
+    fn semi_synchronous_validation() {
+        assert!(
+            KnownBounds::semi_synchronous(Dur::from_int(1), Dur::from_int(4), Dur::from_int(9))
+                .is_ok()
+        );
+        assert!(
+            KnownBounds::semi_synchronous(Dur::ZERO, Dur::from_int(4), Dur::from_int(9)).is_err()
+        );
+        assert!(
+            KnownBounds::semi_synchronous(Dur::from_int(5), Dur::from_int(4), Dur::from_int(9))
+                .is_err()
+        );
+        assert!(
+            KnownBounds::semi_synchronous(Dur::from_int(1), Dur::from_int(4), Dur::from_int(-9))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn sporadic_validation_and_uncertainty() {
+        let b = KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(10))
+            .unwrap();
+        assert_eq!(b.delay_uncertainty(), Some(Dur::from_int(8)));
+        assert_eq!(b.c2(), None);
+        assert!(KnownBounds::sporadic(Dur::ZERO, Dur::ZERO, Dur::from_int(1)).is_err());
+        assert!(
+            KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(3), Dur::from_int(2)).is_err()
+        );
+        assert!(
+            KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(-1), Dur::from_int(2)).is_err()
+        );
+    }
+
+    #[test]
+    fn asynchronous_knows_nothing() {
+        let b = KnownBounds::asynchronous();
+        assert_eq!(b.model(), TimingModel::Asynchronous);
+        assert_eq!(b.c1(), None);
+        assert_eq!(b.c2(), None);
+        assert_eq!(b.d1(), None);
+        assert_eq!(b.d2(), None);
+        assert_eq!(b.delay_uncertainty(), None);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(SessionSpec::new(1, 1, 2).is_ok());
+        assert!(SessionSpec::new(0, 4, 2).is_err());
+        assert!(SessionSpec::new(4, 0, 2).is_err());
+        assert!(SessionSpec::new(4, 4, 1).is_err());
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let spec = SessionSpec::new(3, 8, 2).unwrap();
+        assert_eq!(spec.s(), 3);
+        assert_eq!(spec.n(), 8);
+        assert_eq!(spec.b(), 2);
+        assert_eq!(spec.ports().count(), 8);
+        assert_eq!(spec.to_string(), "(3, 8)-session problem, b = 2");
+    }
+
+    #[test]
+    fn log_b_n_floor_values() {
+        let spec = SessionSpec::new(2, 8, 2).unwrap();
+        assert_eq!(spec.log_b_n_floor(), 3); // log2 8 = 3
+        let spec = SessionSpec::new(2, 9, 3).unwrap();
+        assert_eq!(spec.log_b_n_floor(), 2); // log3 9 = 2
+        let spec = SessionSpec::new(2, 10, 3).unwrap();
+        assert_eq!(spec.log_b_n_floor(), 2); // floor(log3 10) = 2
+        let spec = SessionSpec::new(2, 1, 2).unwrap();
+        assert_eq!(spec.log_b_n_floor(), 0);
+    }
+
+    #[test]
+    fn contamination_depth_values() {
+        // b = 2 => base 3; n = 5 => 2n-1 = 9 => log3 9 = 2.
+        let spec = SessionSpec::new(2, 5, 2).unwrap();
+        assert_eq!(spec.contamination_depth(), 2);
+        // b = 3 => base 5; n = 13 => 2n-1 = 25 => log5 25 = 2.
+        let spec = SessionSpec::new(2, 13, 3).unwrap();
+        assert_eq!(spec.contamination_depth(), 2);
+    }
+
+    #[test]
+    fn known_bounds_display() {
+        let b = KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(9))
+            .unwrap();
+        assert_eq!(b.to_string(), "sporadic (c1 = 1, d1 = 2, d2 = 9)");
+        assert_eq!(KnownBounds::asynchronous().to_string(), "asynchronous");
+        let b = KnownBounds::periodic(Dur::from_int(5)).unwrap();
+        assert_eq!(b.to_string(), "periodic (d1 = 0, d2 = 5)");
+    }
+
+    #[test]
+    fn model_display_names() {
+        assert_eq!(TimingModel::SemiSynchronous.to_string(), "semi-synchronous");
+        assert_eq!(CommModel::SharedMemory.to_string(), "shared memory");
+        assert_eq!(TimingModel::ALL.len(), 5);
+        assert_eq!(CommModel::ALL.len(), 2);
+    }
+
+    #[test]
+    fn real_time_vs_rounds() {
+        assert!(TimingModel::Synchronous.measures_real_time());
+        assert!(TimingModel::Sporadic.measures_real_time());
+        assert!(!TimingModel::Asynchronous.measures_real_time());
+    }
+}

@@ -1,0 +1,407 @@
+//! Instants and durations of simulated real time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::ratio::Ratio;
+
+/// An instant of simulated real time, measured from the start of the
+/// computation at time 0 (the paper assumes all processes start at time 0 and
+/// that *every* step, including the first, obeys the timing constraints
+/// measured from time 0).
+///
+/// # Examples
+///
+/// ```
+/// use session_types::{Dur, Time};
+///
+/// let t = Time::ZERO + Dur::from_int(3);
+/// assert_eq!(t - Time::from_int(1), Dur::from_int(2));
+/// assert!(t > Time::ZERO);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(Ratio);
+
+/// A (possibly negative) span of simulated real time.
+///
+/// Negative durations appear transiently inside the lower-bound retiming
+/// machinery (steps may be retimed earlier); the admissibility checkers
+/// enforce non-negativity wherever the models require it.
+///
+/// # Examples
+///
+/// ```
+/// use session_types::{Dur, Ratio};
+///
+/// let c1 = Dur::from_int(2);
+/// let c2 = Dur::from_int(7);
+/// // The step-counting constant floor(c2 / c1) used throughout the paper:
+/// assert_eq!(c2.div_floor(c1), 3);
+/// assert_eq!((c2 - c1).as_ratio(), Ratio::from_int(5));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dur(Ratio);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(Ratio::ZERO);
+
+    /// Creates an instant `value` time units after the origin.
+    pub const fn from_int(value: i128) -> Time {
+        Time(Ratio::from_int(value))
+    }
+
+    /// Creates an instant from an exact rational offset from the origin.
+    pub const fn from_ratio(value: Ratio) -> Time {
+        Time(value)
+    }
+
+    /// The exact rational offset from the origin.
+    pub const fn as_ratio(self) -> Ratio {
+        self.0
+    }
+
+    /// The duration from the origin to this instant.
+    pub const fn since_origin(self) -> Dur {
+        Dur(self.0)
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Approximates the offset from the origin as `f64` (reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.0.to_f64()
+    }
+}
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(Ratio::ZERO);
+    /// One time unit.
+    pub const ONE: Dur = Dur(Ratio::ONE);
+
+    /// Creates a duration of `value` time units.
+    pub const fn from_int(value: i128) -> Dur {
+        Dur(Ratio::from_int(value))
+    }
+
+    /// Creates a duration from an exact rational number of time units.
+    pub const fn from_ratio(value: Ratio) -> Dur {
+        Dur(value)
+    }
+
+    /// The exact rational number of time units.
+    pub const fn as_ratio(self) -> Ratio {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` if this duration is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0.is_positive()
+    }
+
+    /// Returns `true` if this duration is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0.is_negative()
+    }
+
+    /// `⌊self / other⌋`, the floored quotient used pervasively by the paper
+    /// (e.g. `⌊c2/c1⌋`, `⌊u/4c1⌋`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_floor(self, other: Dur) -> i128 {
+        (self.0 / other.0).floor()
+    }
+
+    /// The exact rational quotient `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_exact(self, other: Dur) -> Ratio {
+        self.0 / other.0
+    }
+
+    /// The shorter of two durations.
+    pub fn min(self, other: Dur) -> Dur {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The longer of two durations.
+    pub fn max(self, other: Dur) -> Dur {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The absolute value of this duration.
+    pub fn abs(self) -> Dur {
+        Dur(self.0.abs())
+    }
+
+    /// Approximates the duration as `f64` (reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.0.to_f64()
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0 - d.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = Dur;
+
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl SubAssign<Dur> for Time {
+    fn sub_assign(&mut self, d: Dur) {
+        self.0 -= d.0;
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0 + other.0)
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+
+    fn sub(self, other: Dur) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, other: Dur) {
+        self.0 += other.0;
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, other: Dur) {
+        self.0 -= other.0;
+    }
+}
+
+impl Neg for Dur {
+    type Output = Dur;
+
+    fn neg(self) -> Dur {
+        Dur(-self.0)
+    }
+}
+
+impl Mul<i128> for Dur {
+    type Output = Dur;
+
+    fn mul(self, k: i128) -> Dur {
+        Dur(self.0 * Ratio::from_int(k))
+    }
+}
+
+impl Mul<Ratio> for Dur {
+    type Output = Dur;
+
+    fn mul(self, k: Ratio) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+
+impl Div<i128> for Dur {
+    type Output = Dur;
+
+    fn div(self, k: i128) -> Dur {
+        Dur(self.0 / Ratio::from_int(k))
+    }
+}
+
+impl Div<Ratio> for Dur {
+    type Output = Dur;
+
+    fn div(self, k: Ratio) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl From<Ratio> for Dur {
+    fn from(value: Ratio) -> Dur {
+        Dur(value)
+    }
+}
+
+impl From<Ratio> for Time {
+    fn from(value: Ratio) -> Time {
+        Time(value)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ{}", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_and_dur_arithmetic() {
+        let t = Time::from_int(10);
+        let d = Dur::from_int(4);
+        assert_eq!(t + d, Time::from_int(14));
+        assert_eq!(t - d, Time::from_int(6));
+        assert_eq!(Time::from_int(14) - t, d);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Time::ZERO;
+        t += Dur::from_int(5);
+        t -= Dur::from_int(2);
+        assert_eq!(t, Time::from_int(3));
+
+        let mut d = Dur::from_int(5);
+        d += Dur::from_int(1);
+        d -= Dur::from_int(3);
+        assert_eq!(d, Dur::from_int(3));
+    }
+
+    #[test]
+    fn dur_scaling() {
+        let d = Dur::from_int(6);
+        assert_eq!(d * 2, Dur::from_int(12));
+        assert_eq!(d / 4, Dur::from_ratio(Ratio::new(3, 2)));
+        assert_eq!(d * Ratio::new(1, 3), Dur::from_int(2));
+        assert_eq!(d / Ratio::new(1, 2), Dur::from_int(12));
+    }
+
+    #[test]
+    fn div_floor_matches_paper_usage() {
+        // floor(c2 / c1) with c2 = 7, c1 = 2 is 3.
+        assert_eq!(Dur::from_int(7).div_floor(Dur::from_int(2)), 3);
+        // floor(u / 4c1) with u = 10, c1 = 1: floor(10/4) = 2.
+        assert_eq!(Dur::from_int(10).div_floor(Dur::from_int(4)), 2);
+        assert_eq!(
+            Dur::from_int(7).div_exact(Dur::from_int(2)),
+            Ratio::new(7, 2)
+        );
+    }
+
+    #[test]
+    fn negative_durations() {
+        let d = Dur::from_int(2) - Dur::from_int(5);
+        assert!(d.is_negative());
+        assert_eq!(-d, Dur::from_int(3));
+        assert_eq!(d.abs(), Dur::from_int(3));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Time::from_int(1) < Time::from_int(2));
+        assert_eq!(Time::from_int(1).max(Time::from_int(2)), Time::from_int(2));
+        assert_eq!(Dur::from_int(1).min(Dur::from_int(2)), Dur::from_int(1));
+        assert_eq!(Dur::from_int(1).max(Dur::from_int(2)), Dur::from_int(2));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = (1..=4).map(Dur::from_int).sum();
+        assert_eq!(total, Dur::from_int(10));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Time::from_int(3).to_string(), "3");
+        assert_eq!(format!("{:?}", Time::from_int(3)), "t=3");
+        assert_eq!(Dur::from_ratio(Ratio::new(1, 2)).to_string(), "1/2");
+        assert_eq!(format!("{:?}", Dur::from_int(2)), "Δ2");
+    }
+
+    #[test]
+    fn since_origin_roundtrip() {
+        let t = Time::from_ratio(Ratio::new(7, 3));
+        assert_eq!(Time::ZERO + t.since_origin(), t);
+        assert_eq!(t.as_ratio(), Ratio::new(7, 3));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the model-parameter types: the integer
+//! logarithms behind Table 1's communication terms, and the per-model
+//! validation of `KnownBounds`.
+
+use proptest::prelude::*;
+use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+proptest! {
+    /// `⌊log_b n⌋` is the true integer logarithm: `b^log <= n < b^(log+1)`.
+    #[test]
+    fn log_b_n_floor_is_exact(n in 1usize..100_000, b in 2usize..12) {
+        let spec = SessionSpec::new(1, n, b).unwrap();
+        let log = spec.log_b_n_floor();
+        let pow = (b as u128).pow(log);
+        prop_assert!(pow <= n as u128, "b^{log} = {pow} > {n}");
+        prop_assert!((b as u128).pow(log + 1) > n as u128);
+    }
+
+    /// `⌊log_{2b-1}(2n-1)⌋` likewise.
+    #[test]
+    fn contamination_depth_is_exact(n in 1usize..100_000, b in 2usize..12) {
+        let spec = SessionSpec::new(1, n, b).unwrap();
+        let depth = spec.contamination_depth();
+        let base = (2 * b - 1) as u128;
+        let target = (2 * n - 1) as u128;
+        prop_assert!(base.pow(depth) <= target);
+        prop_assert!(base.pow(depth + 1) > target);
+    }
+
+    /// Every valid constructor round-trips its constants, and
+    /// `delay_uncertainty` is consistent.
+    #[test]
+    fn known_bounds_roundtrip(c1 in 1i128..10, extra in 0i128..10, d1 in 0i128..10, du in 0i128..10) {
+        let c1d = Dur::from_int(c1);
+        let c2d = Dur::from_int(c1 + extra);
+        let d1d = Dur::from_int(d1);
+        let d2d = Dur::from_int(d1 + du);
+
+        let sync = KnownBounds::synchronous(c2d, d2d).unwrap();
+        prop_assert_eq!(sync.c1(), Some(c2d));
+        prop_assert_eq!(sync.c2(), Some(c2d));
+        prop_assert_eq!(sync.delay_uncertainty(), Some(Dur::ZERO));
+
+        let periodic = KnownBounds::periodic(d2d).unwrap();
+        prop_assert_eq!(periodic.model(), TimingModel::Periodic);
+        prop_assert_eq!(periodic.d2(), Some(d2d));
+
+        let semi = KnownBounds::semi_synchronous(c1d, c2d, d2d).unwrap();
+        prop_assert_eq!(semi.c1(), Some(c1d));
+        prop_assert_eq!(semi.c2(), Some(c2d));
+        prop_assert_eq!(semi.d1(), Some(Dur::ZERO));
+
+        let sporadic = KnownBounds::sporadic(c1d, d1d, d2d).unwrap();
+        prop_assert_eq!(sporadic.delay_uncertainty(), Some(Dur::from_int(du)));
+        prop_assert_eq!(sporadic.c2(), None);
+    }
+
+    /// Invalid orderings are always rejected.
+    #[test]
+    fn inverted_windows_are_rejected(lo in 1i128..10, gap in 1i128..10) {
+        let small = Dur::from_int(lo);
+        let big = Dur::from_int(lo + gap);
+        prop_assert!(KnownBounds::semi_synchronous(big, small, Dur::ZERO).is_err());
+        prop_assert!(KnownBounds::sporadic(small, big, small).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! The lower bounds, live: watch each adversary defeat a plausible-looking
+//! algorithm that is faster than the paper allows — and fail to defeat the
+//! paper's algorithm under identical conditions.
+//!
+//! ```text
+//! cargo run --example adversary_demo
+//! ```
+
+use session_problem::adversary::contamination::{contamination_analysis, lemma_bound};
+use session_problem::adversary::naive::{naive_sm_system, periodic_sm_demo, sporadic_mp_demo};
+use session_problem::adversary::retime::retiming_attack;
+use session_problem::core::system::build_sm_system;
+use session_problem::sim::RunLimits;
+use session_problem::types::{Dur, Error, KnownBounds, ProcessId, SessionSpec};
+
+fn main() -> Result<(), Error> {
+    // --- Theorem 4.2/4.3: the periodic model needs communication. ----
+    let spec = SessionSpec::new(3, 8, 2)?;
+    println!("== Periodic SM (Theorems 4.2/4.3) ==");
+    println!("Witness: take s = 3 port steps silently, then idle.");
+    let demo = periodic_sm_demo(&spec, 100, RunLimits::default())?;
+    println!(
+        "Adversary slows one port process 100×: witness achieves {}/{} sessions;",
+        demo.naive_sessions, demo.s
+    );
+    println!(
+        "A(p) under the same schedule: {}/{} sessions by t = {}.",
+        demo.correct_sessions,
+        demo.s,
+        demo.correct_running_time.expect("terminates")
+    );
+    assert!(demo.demonstrates_bound());
+
+    // The information-flow side (Lemma 4.4): contamination spreads at
+    // most (2b-1)-fold per subround.
+    let bounds = KnownBounds::periodic(Dur::from_int(1))?;
+    let report = contamination_analysis(
+        || build_sm_system(&spec, &bounds),
+        spec.n(),
+        ProcessId::new(7),
+        5,
+        spec.b(),
+    )?;
+    println!("\nContamination after slowing p7 (b = 2, bound P_t = (3^t - 1)/2):");
+    for sub in &report.subrounds {
+        println!(
+            "  subround {}: {} contaminated processes (lemma allows {})",
+            sub.subround,
+            sub.contaminated_processes.len(),
+            lemma_bound(sub.subround, spec.b()),
+        );
+    }
+    assert!(report.lemma_holds);
+
+    // --- Theorem 5.1: the semi-synchronous retiming adversary. --------
+    println!("\n== Semi-synchronous SM (Theorem 5.1) ==");
+    let c1 = Dur::from_int(1);
+    let c2 = Dur::from_int(8);
+    println!("Witness: s silent steps; terminates in s·c2 = 24 < B·c2·(s−1) = 48.");
+    let attack = retiming_attack(
+        || naive_sm_system(&spec, spec.s()),
+        &spec,
+        c1,
+        c2,
+        RunLimits::default(),
+    )?;
+    println!(
+        "Reorder-and-retime (B = {} rounds/block, {} blocks): {} sessions of {},",
+        attack.block_rounds, attack.blocks, attack.sessions, attack.s
+    );
+    println!(
+        "retimed computation admissible: {}, same global state: {}.",
+        attack.admissible, attack.same_global_state
+    );
+    assert!(attack.defeated());
+
+    // --- The sporadic model's unbounded step gaps. --------------------
+    println!("\n== Sporadic MP (§6) ==");
+    let pause_demo = sporadic_mp_demo(Dur::from_int(10), RunLimits::default())?;
+    println!(
+        "Pausing one process indefinitely: witness {}/{} sessions; A(sp) {}/{}.",
+        pause_demo.naive_sessions, pause_demo.s, pause_demo.correct_sessions, pause_demo.s
+    );
+    assert!(pause_demo.demonstrates_bound());
+
+    println!("\nEvery deficit above was counted by the independent verifier on an");
+    println!("admissibility-checked trace — the proofs, executed.");
+    Ok(())
+}

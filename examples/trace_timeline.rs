@@ -1,0 +1,70 @@
+//! Looking inside a computation: record a run, render its timeline, and
+//! print the full trace analysis — the debugging workflow for timing-model
+//! experiments.
+//!
+//! ```text
+//! cargo run --example trace_timeline
+//! ```
+
+use session_problem::core::analysis::analyze;
+use session_problem::core::report::{run_mp, MpConfig};
+use session_problem::core::system::port_of;
+use session_problem::sim::{render_timeline, ConstantDelay, FixedPeriods, RunLimits};
+use session_problem::types::{Dur, Error, KnownBounds, SessionSpec, TimingModel};
+
+fn main() -> Result<(), Error> {
+    let spec = SessionSpec::new(3, 3, 2)?;
+    let d2 = Dur::from_int(4);
+    let bounds = KnownBounds::asynchronous();
+    let mut schedule = FixedPeriods::new([2, 3, 5].map(Dur::from_int).to_vec())?;
+    let mut delays = ConstantDelay::new(d2)?;
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds,
+        },
+        &mut schedule,
+        &mut delays,
+        RunLimits::default(),
+    )?;
+    assert!(report.solves(&spec));
+
+    println!("== Timeline (p! = broadcast, p. = silent, p<-m = delivery, zZ = idle) ==\n");
+    print!("{}", render_timeline(&report.trace, 40));
+
+    println!("\n== Analysis ==\n");
+    let analysis = analyze(&report.trace, spec.n(), port_of(&spec));
+    println!(
+        "sessions: {} (close times: {})",
+        analysis.sessions,
+        analysis
+            .session_close_times
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("rounds: {}, γ = {}", analysis.rounds, analysis.gamma);
+    println!(
+        "messages: {} sent, {} delivered, delays in [{}, {}]",
+        analysis.messages_sent,
+        analysis.messages_delivered,
+        analysis.min_delay.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        analysis.max_delay.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+    );
+    for (p, summary) in &analysis.per_process {
+        println!(
+            "{p}: {} steps ({} port steps), gaps in [{}, {}], idle at {}",
+            summary.steps,
+            summary.port_steps,
+            summary.min_gap.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            summary.max_gap.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            summary
+                .idle_at
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into()),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact recorded in EXPERIMENTS.md.
+# Usage: scripts/regen-experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-experiments-out}"
+mkdir -p "$out"
+echo "== Table 1 =="
+cargo run -q -p session-bench --bin table1 | tee "$out/table1.md"
+echo "== FIG-A: semi-synchronous crossover =="
+cargo run -q -p session-bench --bin crossover | tee "$out/crossover.md"
+echo "== FIG-B: sporadic interpolation =="
+cargo run -q -p session-bench --bin sporadic_sweep | tee "$out/sporadic_sweep.md"
+echo "== FIG-C: periodic vs semi-synchronous =="
+cargo run -q -p session-bench --bin periodic_vs_semisync | tee "$out/periodic_vs_semisync.md"
+echo "== Lemma 4.4: contamination growth =="
+cargo run -q -p session-bench --bin contamination_growth | tee "$out/contamination_growth.md"
+echo "== EXT-DIAM: point-to-point diameter factor =="
+cargo run -q -p session-bench --bin diameter_sweep | tee "$out/diameter_sweep.md"
+echo
+echo "Artifacts written to $out/"

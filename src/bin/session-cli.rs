@@ -1,0 +1,19 @@
+//! Command-line front end: run any session-problem configuration and print
+//! the verified report. See `session_problem::cli::CliConfig::USAGE`.
+
+use session_problem::cli::CliConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        println!("{}", CliConfig::USAGE);
+        return;
+    }
+    match CliConfig::parse(&args).and_then(|config| config.execute()) {
+        Ok(report) => print!("{report}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

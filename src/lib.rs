@@ -1,0 +1,71 @@
+//! # session-problem
+//!
+//! A comprehensive Rust reproduction of *"The Impact of Time on the Session
+//! Problem"* (Injong Rhee & Jennifer L. Welch, PODC 1992).
+//!
+//! The `(s, n)`-session problem is an abstraction of the synchronization
+//! needed by many distributed algorithms: guarantee `s` disjoint *sessions*
+//! — minimal computation fragments in which each of `n` distinguished port
+//! processes takes a port step — and then have every port process enter an
+//! idle state. The paper charts how the time complexity of this problem
+//! changes across five timing models (synchronous, periodic,
+//! semi-synchronous, sporadic, asynchronous) in two communication
+//! substrates (`b`-bounded shared memory and broadcast message passing),
+//! summarized by its Table 1.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `session-types` | exact rational [`types::Time`], identifiers, [`types::KnownBounds`], [`types::SessionSpec`] |
+//! | [`sim`] | `session-sim` | event queue, traces, step schedules, delay policies |
+//! | [`smm`] | `session-smm` | `b`-bounded shared variables, tree broadcast network |
+//! | [`mpm`] | `session-mpm` | broadcast network with bounded delays |
+//! | [`core`] | `session-core` | the ten session algorithms, verification, Table 1 bounds |
+//! | [`adversary`] | `session-adversary` | executable lower-bound constructions |
+//! | [`rt`] | `session-rt` | real-time task scheduling substrate (§1 motivation) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use session_problem::core::report::{run_mp, MpConfig};
+//! use session_problem::sim::{ConstantDelay, FixedPeriods, RunLimits};
+//! use session_problem::types::{Dur, KnownBounds, SessionSpec, TimingModel};
+//!
+//! # fn main() -> Result<(), session_problem::types::Error> {
+//! // Solve the (5, 4)-session problem in the periodic message-passing
+//! // model: processes step at constant but unknown rates.
+//! let spec = SessionSpec::new(5, 4, 2)?;
+//! let bounds = KnownBounds::periodic(Dur::from_int(8))?;
+//! let mut schedule = FixedPeriods::new(
+//!     [2, 3, 5, 7].map(Dur::from_int).to_vec(),
+//! )?;
+//! let mut delays = ConstantDelay::new(Dur::from_int(8))?;
+//! let report = run_mp(
+//!     MpConfig { model: TimingModel::Periodic, spec, bounds },
+//!     &mut schedule,
+//!     &mut delays,
+//!     RunLimits::default(),
+//! )?;
+//! assert!(report.solves(&spec));
+//! println!("{} sessions by t = {}", report.sessions,
+//!          report.running_time.unwrap());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment inventory and reproduction results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use session_adversary as adversary;
+pub use session_core as core;
+pub use session_mpm as mpm;
+pub use session_rt as rt;
+pub use session_sim as sim;
+pub use session_smm as smm;
+pub use session_types as types;

@@ -1,0 +1,104 @@
+//! The paper's communication hierarchy, measured in messages.
+//!
+//! §1: "no communication is needed at all in the synchronous case, but it
+//! is needed for every session in the asynchronous case", and the periodic
+//! model "requires one communication", falling "in between the synchronous
+//! and asynchronous models, which require no and s−1 communications
+//! respectively." Broadcast counts in the message-passing substrate make
+//! this hierarchy directly observable.
+
+use session_problem::core::report::{run_mp, MpConfig};
+use session_problem::sim::{ConstantDelay, FixedPeriods, RunLimits, StepKind};
+use session_problem::types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+/// Runs a model and returns the number of broadcasting steps.
+fn broadcasts(model: TimingModel, s: u64, n: usize, c2: Dur, d2: Dur) -> usize {
+    let spec = SessionSpec::new(s, n, 2).unwrap();
+    let bounds = match model {
+        TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
+        TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
+        TimingModel::SemiSynchronous => {
+            KnownBounds::semi_synchronous(d(1), c2, d2).unwrap()
+        }
+        TimingModel::Sporadic => KnownBounds::sporadic(d(1), Dur::ZERO, d2).unwrap(),
+        TimingModel::Asynchronous => KnownBounds::asynchronous(),
+    };
+    let mut sched = FixedPeriods::uniform(n, c2).unwrap();
+    let mut delays = ConstantDelay::new(d2).unwrap();
+    let report = run_mp(
+        MpConfig { model, spec, bounds },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec), "{model} failed");
+    report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, StepKind::MpStep { broadcast: true, .. }))
+        .count()
+}
+
+#[test]
+fn synchronous_needs_zero_communications() {
+    assert_eq!(broadcasts(TimingModel::Synchronous, 6, 5, d(2), d(3)), 0);
+}
+
+#[test]
+fn periodic_needs_exactly_one_communication_per_process() {
+    // A(p) broadcasts once per process — at the (s-1)-th step — regardless
+    // of s.
+    for s in [2u64, 4, 9] {
+        let n = 5;
+        assert_eq!(
+            broadcasts(TimingModel::Periodic, s, n, d(2), d(3)),
+            n,
+            "A(p) must broadcast exactly once per process at s = {s}"
+        );
+    }
+}
+
+#[test]
+fn semisync_step_counting_arm_is_silent() {
+    // With c2/c1 small the chooser picks step counting: zero messages.
+    assert_eq!(
+        broadcasts(TimingModel::SemiSynchronous, 5, 5, d(2), d(50)),
+        0
+    );
+}
+
+#[test]
+fn asynchronous_needs_one_communication_per_session_per_process() {
+    // The wave protocol broadcasts exactly once per committed wave: n·s
+    // broadcasting steps in total.
+    for (s, n) in [(2u64, 3usize), (5, 4)] {
+        assert_eq!(
+            broadcasts(TimingModel::Asynchronous, s, n, d(2), d(3)),
+            n * s as usize,
+            "one broadcast per wave per process"
+        );
+    }
+}
+
+#[test]
+fn the_hierarchy_is_strict() {
+    // 0 (synchronous) < n (periodic) < n·s (asynchronous), and A(sp)
+    // broadcasts every step (the price of having no step-time upper bound).
+    let (s, n) = (4u64, 4usize);
+    let sync = broadcasts(TimingModel::Synchronous, s, n, d(2), d(3));
+    let periodic = broadcasts(TimingModel::Periodic, s, n, d(2), d(3));
+    let asynchronous = broadcasts(TimingModel::Asynchronous, s, n, d(2), d(3));
+    let sporadic = broadcasts(TimingModel::Sporadic, s, n, d(2), d(3));
+    assert!(sync < periodic, "{sync} < {periodic}");
+    assert!(periodic < asynchronous, "{periodic} < {asynchronous}");
+    assert!(
+        asynchronous <= sporadic,
+        "A(sp) broadcasts at every step: {asynchronous} <= {sporadic}"
+    );
+}

@@ -1,0 +1,180 @@
+//! Workspace-level integration: the complete paper pipeline — build a
+//! system for every (model × substrate) cell, run it under an admissible
+//! schedule, verify the trace independently, and confirm the measured
+//! running time respects the Table 1 shape; then run every adversary.
+
+use session_problem::adversary::contamination::contamination_analysis;
+use session_problem::adversary::naive::{
+    naive_sm_system, periodic_mp_demo, periodic_sm_demo, semisync_sm_step_counting_demo,
+    sporadic_mp_demo,
+};
+use session_problem::adversary::retime::retiming_attack;
+use session_problem::core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_problem::core::system::build_sm_system;
+use session_problem::core::verify::check_admissible;
+use session_problem::sim::{ConstantDelay, FixedPeriods, RunLimits};
+use session_problem::smm::TreeSpec;
+use session_problem::types::{Dur, KnownBounds, ProcessId, SessionSpec, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+#[test]
+fn all_ten_table1_cells_solve_and_verify() {
+    let spec = SessionSpec::new(4, 6, 2).unwrap();
+    let c1 = d(1);
+    let c2 = d(4);
+    let d2 = d(10);
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let sm_procs = spec.n() + tree.num_relays();
+
+    for model in TimingModel::ALL {
+        let bounds = match model {
+            TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
+            TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
+            TimingModel::SemiSynchronous => {
+                KnownBounds::semi_synchronous(c1, c2, d2).unwrap()
+            }
+            TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap(),
+            TimingModel::Asynchronous => KnownBounds::asynchronous(),
+        };
+        // Shared memory.
+        let mut sched = FixedPeriods::uniform(sm_procs, c2).unwrap();
+        let sm = run_sm(
+            SmConfig { model, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(sm.solves(&spec), "{model} SM failed: {} sessions", sm.sessions);
+        check_admissible(&sm.trace, &bounds)
+            .unwrap_or_else(|e| panic!("{model} SM inadmissible: {e}"));
+
+        // Message passing.
+        let mut sched = FixedPeriods::uniform(spec.n(), c2).unwrap();
+        let mut delays = ConstantDelay::new(d2).unwrap();
+        let mp = run_mp(
+            MpConfig { model, spec, bounds },
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(mp.solves(&spec), "{model} MP failed: {} sessions", mp.sessions);
+        check_admissible(&mp.trace, &bounds)
+            .unwrap_or_else(|e| panic!("{model} MP inadmissible: {e}"));
+    }
+}
+
+#[test]
+fn model_hierarchy_orders_running_times() {
+    // At identical actual speeds (everyone at c2), knowing less costs more:
+    // the synchronous algorithm is at least as fast as every other model's.
+    let spec = SessionSpec::new(5, 8, 2).unwrap();
+    let c1 = d(1);
+    let c2 = d(4);
+    let d2 = d(12);
+    let tree = TreeSpec::build(spec.n(), spec.b());
+    let sm_procs = spec.n() + tree.num_relays();
+
+    let mut times = Vec::new();
+    for model in TimingModel::ALL {
+        let bounds = match model {
+            TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
+            TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
+            TimingModel::SemiSynchronous => {
+                KnownBounds::semi_synchronous(c1, c2, d2).unwrap()
+            }
+            TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap(),
+            TimingModel::Asynchronous => KnownBounds::asynchronous(),
+        };
+        let mut sched = FixedPeriods::uniform(sm_procs, c2).unwrap();
+        let report = run_sm(
+            SmConfig { model, spec, bounds },
+            &mut sched,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(report.solves(&spec));
+        times.push((model, report.running_time.unwrap()));
+    }
+    let sync_time = times[0].1;
+    for &(model, t) in &times[1..] {
+        assert!(
+            sync_time <= t,
+            "synchronous ({sync_time}) should be fastest, but {model} took {t}"
+        );
+    }
+    // The periodic model (one communication) beats the asynchronous model
+    // (one communication per session) once s > 1.
+    let periodic = times[1].1;
+    let asynchronous = times[4].1;
+    assert!(
+        periodic <= asynchronous,
+        "periodic {periodic} vs asynchronous {asynchronous}"
+    );
+}
+
+#[test]
+fn every_lower_bound_adversary_succeeds() {
+    let spec = SessionSpec::new(3, 8, 2).unwrap();
+
+    let demo = periodic_sm_demo(&spec, 50, RunLimits::default()).unwrap();
+    assert!(demo.demonstrates_bound(), "periodic SM adversary");
+
+    let demo = periodic_mp_demo(&spec, 50, d(8), RunLimits::default()).unwrap();
+    assert!(demo.demonstrates_bound(), "periodic MP adversary");
+
+    let demo =
+        semisync_sm_step_counting_demo(&spec, d(1), d(8), RunLimits::default()).unwrap();
+    assert!(demo.demonstrates_bound(), "semi-sync step-counting adversary");
+
+    let attack = retiming_attack(
+        || naive_sm_system(&spec, spec.s()),
+        &spec,
+        d(1),
+        d(8),
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(attack.defeated(), "Theorem 5.1 retiming adversary");
+
+    let demo = sporadic_mp_demo(d(10), RunLimits::default()).unwrap();
+    assert!(demo.demonstrates_bound(), "sporadic pause adversary");
+}
+
+#[test]
+fn contamination_lemma_holds_across_shapes() {
+    for (n, b) in [(4usize, 2usize), (8, 2), (9, 3), (16, 5)] {
+        let spec = SessionSpec::new(2, n, b).unwrap();
+        let bounds = KnownBounds::periodic(d(1)).unwrap();
+        let report = contamination_analysis(
+            || build_sm_system(&spec, &bounds),
+            n,
+            ProcessId::new(n - 1),
+            8,
+            b,
+        )
+        .unwrap();
+        assert!(report.lemma_holds, "Lemma 4.4 violated for n={n}, b={b}");
+    }
+}
+
+#[test]
+fn bench_harness_table_is_fully_consistent() {
+    // The same artifact the `table1` binary prints: all 16 rows must hold.
+    let rows = session_bench::measure::full_table1().unwrap();
+    assert_eq!(rows.len(), 16);
+    for row in rows {
+        assert!(
+            row.ok,
+            "Table 1 row {} {} {}: bound {}, measured {}",
+            row.model,
+            row.comm,
+            row.kind.label(),
+            row.paper_bound,
+            row.measured
+        );
+    }
+}

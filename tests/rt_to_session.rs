@@ -1,0 +1,129 @@
+//! Integration of the real-time substrate with the session layer: the
+//! paper's claim that periodic/sporadic task systems *are* the source of
+//! its timing models, made executable end to end.
+
+use session_problem::core::system::{build_mp_system, port_of};
+use session_problem::core::verify::count_sessions;
+use session_problem::rt::bridge::{completion_gap_window, completion_step_schedule};
+use session_problem::rt::sched::{simulate, simulate_releases, Policy};
+use session_problem::rt::{analysis, PeriodicTask, SporadicTask, TaskId, TaskSet};
+use session_problem::sim::{ConstantDelay, RunLimits};
+use session_problem::types::{Dur, KnownBounds, ProcessId, SessionSpec, Time};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+#[test]
+fn edf_completions_drive_a_periodic_session_layer() {
+    let tasks = TaskSet::periodic(vec![
+        PeriodicTask::new(d(6), d(1)).unwrap(),
+        PeriodicTask::new(d(8), d(2)).unwrap(),
+        PeriodicTask::new(d(12), d(3)).unwrap(),
+    ])
+    .unwrap();
+    assert!(analysis::edf_schedulable(&tasks));
+    let outcome = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(600)).unwrap();
+    assert!(outcome.all_deadlines_met());
+
+    let spec = SessionSpec::new(5, 3, 2).unwrap();
+    let d2 = d(4);
+    let bounds = KnownBounds::periodic(d2).unwrap();
+    let mut engine = build_mp_system(&spec, &bounds).unwrap();
+    let mut schedule = completion_step_schedule(&tasks, &outcome, d(12)).unwrap();
+    let mut delays = ConstantDelay::new(d2).unwrap();
+    let run = engine
+        .run(&mut schedule, &mut delays, RunLimits::default())
+        .unwrap();
+    assert!(run.terminated);
+    let sessions = count_sessions(&run.trace, spec.n(), port_of(&spec));
+    assert!(
+        sessions >= spec.s(),
+        "session layer got {sessions} of {} sessions",
+        spec.s()
+    );
+}
+
+#[test]
+fn schedulability_analyses_agree_with_simulation() {
+    // A deterministic sweep of small task sets: the analytic verdicts must
+    // match what actually happens on the simulated processor.
+    let candidates: &[&[(i128, i128)]] = &[
+        &[(4, 1), (6, 2)],
+        &[(4, 2), (6, 3)],
+        &[(2, 1), (4, 2)],
+        &[(5, 2), (7, 4)],
+        &[(4, 1), (6, 2), (12, 3)],
+        &[(3, 1), (100, 50)],
+        &[(5, 1), (10, 2), (20, 4)],
+    ];
+    for &set in candidates {
+        let tasks = TaskSet::periodic(
+            set.iter()
+                .map(|&(t, c)| PeriodicTask::new(d(t), d(c)).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let horizon = Time::from_int(
+            set.iter().map(|&(t, _)| t).product::<i128>().min(5_000) * 2,
+        );
+        if analysis::edf_schedulable(&tasks) {
+            let edf = simulate(&tasks, Policy::EdfPreemptive, horizon).unwrap();
+            assert!(edf.all_deadlines_met(), "EDF missed on {set:?}");
+        }
+        let rm = simulate(&tasks, Policy::RmPreemptive, horizon).unwrap();
+        assert_eq!(
+            analysis::rm_schedulable(&tasks),
+            rm.all_deadlines_met(),
+            "RTA vs RM simulation disagree on {set:?}"
+        );
+        let np = simulate(&tasks, Policy::EdfNonPreemptive, horizon).unwrap();
+        if analysis::np_edf_schedulable(&tasks) {
+            assert!(np.all_deadlines_met(), "NP-EDF missed on feasible {set:?}");
+        }
+    }
+}
+
+#[test]
+fn sporadic_releases_produce_sporadic_step_gaps() {
+    // Releases separated by at least p but sometimes much more: the
+    // completion stream has a positive minimum gap and a large maximum gap
+    // — exactly the paper's sporadic constraint.
+    let tasks = TaskSet::sporadic(vec![SporadicTask::new(d(5), d(1)).unwrap()]).unwrap();
+    let releases = vec![vec![
+        Time::ZERO,
+        Time::from_int(5),
+        Time::from_int(40), // long pause
+        Time::from_int(45),
+    ]];
+    let outcome =
+        simulate_releases(&tasks, &releases, Policy::EdfPreemptive, Time::from_int(60))
+            .unwrap();
+    assert!(outcome.all_deadlines_met());
+    let (min_gap, max_gap) = completion_gap_window(&outcome, TaskId::new(0)).unwrap();
+    assert!(min_gap >= d(1), "gaps bounded below (c1-like): {min_gap}");
+    assert!(max_gap >= d(30), "long pauses survive to the step stream");
+}
+
+#[test]
+fn session_layer_processes_map_one_to_one_to_tasks() {
+    let tasks = TaskSet::periodic(vec![
+        PeriodicTask::new(d(4), d(1)).unwrap(),
+        PeriodicTask::new(d(5), d(1)).unwrap(),
+    ])
+    .unwrap();
+    let outcome = simulate(&tasks, Policy::RmPreemptive, Time::from_int(100)).unwrap();
+    let mut schedule = completion_step_schedule(&tasks, &outcome, d(5)).unwrap();
+    use session_problem::sim::StepSchedule;
+    // Process 0's first step is task 0's first completion (t = 1).
+    assert_eq!(
+        schedule.first_step(ProcessId::new(0)),
+        Time::from_int(1)
+    );
+    // Process 1's first step is task 1's first completion (preempted by
+    // task 0, so t = 2).
+    assert_eq!(
+        schedule.first_step(ProcessId::new(1)),
+        Time::from_int(2)
+    );
+}

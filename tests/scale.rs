@@ -1,0 +1,106 @@
+//! Moderate-scale integration runs: the engines and verifiers must stay
+//! correct (and fast enough for CI) well beyond the unit-test sizes.
+
+use session_problem::core::report::{run_mp, run_sm, MpConfig, SmConfig};
+use session_problem::core::verify::check_admissible;
+use session_problem::sim::{ConstantDelay, FixedPeriods, JitterSchedule, RunLimits};
+use session_problem::smm::TreeSpec;
+use session_problem::types::{Dur, KnownBounds, SessionSpec, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+#[test]
+fn async_sm_with_64_ports() {
+    let spec = SessionSpec::new(4, 64, 2).unwrap();
+    let tree = TreeSpec::build(64, 2);
+    let mut sched = FixedPeriods::uniform(64 + tree.num_relays(), d(1)).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds: KnownBounds::asynchronous(),
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    let budget = (spec.s() + 1) * tree.flood_rounds_bound() + 2;
+    assert!(
+        report.rounds <= budget,
+        "{} rounds > {budget} for n = 64",
+        report.rounds
+    );
+}
+
+#[test]
+fn periodic_mp_with_100_ports() {
+    let spec = SessionSpec::new(6, 100, 2).unwrap();
+    let d2 = d(10);
+    let bounds = KnownBounds::periodic(d2).unwrap();
+    let periods: Vec<Dur> = (0..100).map(|i| d(i % 7 + 1)).collect();
+    let c_max = d(7);
+    let mut sched = FixedPeriods::new(periods).unwrap();
+    let mut delays = ConstantDelay::new(d2).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Periodic,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    check_admissible(&report.trace, &bounds).unwrap();
+    let rt = report.running_time.unwrap() - session_problem::types::Time::ZERO;
+    let budget = c_max * spec.s() as i128 + d2 + c_max * 2;
+    assert!(rt <= budget, "{rt} > {budget} for n = 100");
+}
+
+#[test]
+fn semisync_sm_with_32_ports_under_jitter() {
+    let spec = SessionSpec::new(8, 32, 3).unwrap();
+    let c1 = d(1);
+    let c2 = d(3);
+    let bounds = KnownBounds::semi_synchronous(c1, c2, d(5)).unwrap();
+    let mut sched = JitterSchedule::new(c1, c2, 2024).unwrap();
+    let report = run_sm(
+        SmConfig {
+            model: TimingModel::SemiSynchronous,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    check_admissible(&report.trace, &bounds).unwrap();
+}
+
+#[test]
+fn sporadic_mp_with_many_sessions() {
+    // Deep s stresses A(sp)'s bookkeeping (msg_buf keyed by value).
+    let spec = SessionSpec::new(64, 3, 2).unwrap();
+    let bounds = KnownBounds::sporadic(d(1), d(0), d(4)).unwrap();
+    let mut sched = FixedPeriods::uniform(3, d(1)).unwrap();
+    let mut delays = ConstantDelay::new(d(2)).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Sporadic,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        &mut delays,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec), "{} of 64 sessions", report.sessions);
+    check_admissible(&report.trace, &bounds).unwrap();
+}

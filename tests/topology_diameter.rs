@@ -1,0 +1,136 @@
+//! EXT-DIAM: restoring the point-to-point formulation of \[4\].
+//!
+//! The paper's Table 1 conversion note (1) says its `d2` subsumes the
+//! network-diameter factor of Attiya–Mavronicolas's point-to-point model.
+//! Here we undo the conversion: run the asynchronous and sporadic
+//! message-passing algorithms over explicit topologies (ring, line, star,
+//! complete) where a message takes `hops · per_hop`, and check that the
+//! measured running time scales with the diameter exactly as the original
+//! formulation predicts.
+
+use session_problem::core::report::{run_mp, MpConfig};
+use session_problem::core::verify::check_admissible;
+use session_problem::sim::{FixedPeriods, HopDelay, RunLimits};
+use session_problem::types::{Dur, KnownBounds, SessionSpec, Time, TimingModel};
+
+fn d(x: i128) -> Dur {
+    Dur::from_int(x)
+}
+
+fn async_time_on(topology: &mut HopDelay, s: u64, n: usize, period: Dur) -> Dur {
+    let spec = SessionSpec::new(s, n, 2).unwrap();
+    let mut sched = FixedPeriods::uniform(n, period).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Asynchronous,
+            spec,
+            bounds: KnownBounds::asynchronous(),
+        },
+        &mut sched,
+        topology,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    report.running_time.unwrap() - Time::ZERO
+}
+
+#[test]
+fn async_running_time_scales_with_diameter() {
+    let n = 8;
+    let s = 6;
+    let per_hop = d(5);
+    let period = d(1);
+
+    let mut complete = HopDelay::complete(n, per_hop).unwrap();
+    let mut star = HopDelay::star(n, per_hop).unwrap();
+    let mut ring = HopDelay::ring(n, per_hop).unwrap();
+    let mut line = HopDelay::line(n, per_hop).unwrap();
+
+    let t_complete = async_time_on(&mut complete, s, n, period);
+    let t_star = async_time_on(&mut star, s, n, period);
+    let t_ring = async_time_on(&mut ring, s, n, period);
+    let t_line = async_time_on(&mut line, s, n, period);
+
+    // Diameters: 1 < 2 < 4 < 7 — running times must follow.
+    assert!(
+        t_complete <= t_star && t_star <= t_ring && t_ring <= t_line,
+        "complete {t_complete}, star {t_star}, ring {t_ring}, line {t_line}"
+    );
+    // And the diameter factor is roughly multiplicative: the line (diam 7)
+    // must cost at least 3x the complete graph (diam 1) at s = 6.
+    assert!(
+        t_line.as_ratio() >= (t_complete * 3).as_ratio(),
+        "line {t_line} vs complete {t_complete}"
+    );
+}
+
+#[test]
+fn diameter_bound_matches_the_converted_formula() {
+    // With d2 := diameter * per_hop, the converted (s-1)(d2+γ)+γ bound of
+    // Table 1 must still hold on explicit topologies.
+    let n = 6;
+    let s = 4;
+    let per_hop = d(3);
+    let period = d(2);
+    for mk in [
+        HopDelay::complete as fn(usize, Dur) -> _,
+        HopDelay::star,
+        HopDelay::ring,
+        HopDelay::line,
+    ] {
+        let mut topology = mk(n, per_hop).unwrap();
+        let d2 = topology.max_delay();
+        let spec = SessionSpec::new(s, n, 2).unwrap();
+        let mut sched = FixedPeriods::uniform(n, period).unwrap();
+        let report = run_mp(
+            MpConfig {
+                model: TimingModel::Asynchronous,
+                spec,
+                bounds: KnownBounds::asynchronous(),
+            },
+            &mut sched,
+            &mut topology,
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(report.solves(&spec));
+        let gamma = report.gamma;
+        let bound = (d2 + gamma) * (s as i128 - 1) + gamma;
+        let measured = report.running_time.unwrap() - Time::ZERO;
+        assert!(
+            measured <= bound,
+            "diameter {}: measured {measured} > bound {bound}",
+            topology.diameter()
+        );
+    }
+}
+
+#[test]
+fn sporadic_model_sound_on_explicit_topologies() {
+    // A(sp) with d1 = 0 and d2 = diameter * per_hop remains correct and
+    // admissible when the delays come from hop counts instead of an
+    // abstract window.
+    let n = 5;
+    let s = 4;
+    let per_hop = d(4);
+    let mut ring = HopDelay::ring(n, per_hop).unwrap();
+    let d2 = ring.max_delay();
+    let c1 = d(1);
+    let bounds = KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap();
+    let spec = SessionSpec::new(s, n, 2).unwrap();
+    let mut sched = FixedPeriods::uniform(n, d(2)).unwrap();
+    let report = run_mp(
+        MpConfig {
+            model: TimingModel::Sporadic,
+            spec,
+            bounds,
+        },
+        &mut sched,
+        &mut ring,
+        RunLimits::default(),
+    )
+    .unwrap();
+    assert!(report.solves(&spec));
+    check_admissible(&report.trace, &bounds).unwrap();
+}
