@@ -95,9 +95,7 @@ where
             if p == slow {
                 // α': p' does not step in this window. Its leaf variable
                 // diverges the moment α would have had it write: mark it.
-                if perturbed.memory().value(var_a) != &value_a
-                    && contaminated_vars.insert(var_a)
-                {
+                if perturbed.memory().value(var_a) != &value_a && contaminated_vars.insert(var_a) {
                     newly.insert(var_a);
                 }
                 continue;
@@ -161,14 +159,11 @@ mod tests {
         let spec = SessionSpec::new(3, 8, 2).unwrap();
         let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
         let factory = || build_sm_system(&spec, &bounds);
-        let report =
-            contamination_analysis(factory, 8, ProcessId::new(7), 6, spec.b()).unwrap();
+        let report = contamination_analysis(factory, 8, ProcessId::new(7), 6, spec.b()).unwrap();
         assert!(report.lemma_holds, "Lemma 4.4 bound violated: {report:#?}");
         // Contamination monotonically grows.
         for w in report.subrounds.windows(2) {
-            assert!(
-                w[0].contaminated_processes.len() <= w[1].contaminated_processes.len()
-            );
+            assert!(w[0].contaminated_processes.len() <= w[1].contaminated_processes.len());
         }
     }
 
@@ -180,8 +175,7 @@ mod tests {
         let spec = SessionSpec::new(2, 8, 2).unwrap();
         let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
         let factory = || build_sm_system(&spec, &bounds);
-        let report =
-            contamination_analysis(factory, 8, ProcessId::new(0), 1, spec.b()).unwrap();
+        let report = contamination_analysis(factory, 8, ProcessId::new(0), 1, spec.b()).unwrap();
         assert!(
             !report.uncontaminated_ports.is_empty(),
             "some port must still behave as in α"
@@ -196,8 +190,7 @@ mod tests {
         let spec = SessionSpec::new(3, 4, 2).unwrap();
         let bounds = KnownBounds::periodic(Dur::from_int(1)).unwrap();
         let factory = || build_sm_system(&spec, &bounds);
-        let report =
-            contamination_analysis(factory, 4, ProcessId::new(3), 20, spec.b()).unwrap();
+        let report = contamination_analysis(factory, 4, ProcessId::new(3), 20, spec.b()).unwrap();
         assert!(report.lemma_holds);
         let final_contaminated = &report.subrounds.last().unwrap().contaminated_processes;
         assert!(

@@ -9,15 +9,13 @@
 //! *correct* algorithm under the same adversary and confirms it still
 //! produces `s` sessions.
 
-use session_core::algorithms::SporadicMpPort;
+use session_core::algorithms::{SporadicMpPort, StepCountingSmPort};
 use session_core::system::{build_mp_system, build_sm_system, port_of};
 use session_core::verify::{check_admissible, count_sessions};
 use session_mpm::{Envelope, MpEngine, MpProcess};
-use session_smm::{JoinSemiLattice, Knowledge, PortBinding, SmEngine, SmProcess, TreeSpec};
 use session_sim::{FixedPeriods, RunLimits, SlowProcess};
-use session_types::{
-    Dur, Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, VarId,
-};
+use session_smm::{JoinSemiLattice, Knowledge, PortBinding, SmEngine, SmProcess, TreeSpec};
+use session_types::{Dur, Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, VarId};
 
 use crate::retime::block_constant;
 
@@ -94,6 +92,42 @@ impl MpProcess<session_core::SessionMsg> for NaiveMpPort {
     }
 }
 
+/// The `NaivePeriodicSm` analyzer witness: a port process that takes `s`
+/// silent steps in the periodic model and idles without ever hearing from
+/// anyone. A slower port process defeats it (Theorem 4.3); the analyzer
+/// flags the resulting session deficit as `SA001`.
+pub fn naive_periodic_sm_port(port_var: VarId, s: u64) -> NaiveSmPort {
+    NaiveSmPort::new(port_var, s)
+}
+
+/// The `NaiveSemiSyncSm` analyzer witness: a step-counting port process
+/// whose block constant is computed as if steps were at least `2·c1` apart
+/// — i.e. `⌊c2/2c1⌋ + 1` instead of the honest `⌊c2/c1⌋ + 1`. Run under
+/// the true `[c1, c2]` bounds it certifies sessions its own steps have not
+/// actually spanned (the step-counting arm of Theorem 5.1); the analyzer
+/// flags the deficit as `SA001`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if `c1 <= 0` or `2·c1 > c2`.
+pub fn naive_semisync_sm_port(
+    port_var: VarId,
+    s: u64,
+    c1: Dur,
+    c2: Dur,
+) -> Result<StepCountingSmPort> {
+    StepCountingSmPort::new(port_var, s, c1 * 2, c2)
+}
+
+/// The `NaiveSporadicMp` analyzer witness: `A(sp)` with its waiting
+/// constant overridden to `B = 0`, so condition 2 trusts "freshness"
+/// evidence without waiting out the delay uncertainty `u = d2 − d1`. An
+/// adversarial delay assignment makes it certify sessions that never
+/// happened; the analyzer flags the phantom certification as `SA003`.
+pub fn naive_sporadic_mp_port(id: ProcessId, s: u64, n: usize) -> SporadicMpPort {
+    SporadicMpPort::with_wait_override(id, s, n, 0)
+}
+
 /// The outcome of one lower-bound experiment: the same adversary applied to
 /// the naive witness and to the paper's correct algorithm.
 #[derive(Clone, Debug)]
@@ -122,10 +156,7 @@ impl LowerBoundDemo {
 /// Assembles the shared-memory system in which every port process is a
 /// [`NaiveSmPort`] taking `steps_to_take` steps, over the usual tree
 /// network — the standard system the adversaries attack.
-pub fn naive_sm_system(
-    spec: &SessionSpec,
-    steps_to_take: u64,
-) -> Result<SmEngine<Knowledge>> {
+pub fn naive_sm_system(spec: &SessionSpec, steps_to_take: u64) -> Result<SmEngine<Knowledge>> {
     let tree = TreeSpec::build(spec.n(), spec.b());
     let mut processes: Vec<Box<dyn SmProcess<Knowledge>>> = Vec::new();
     for i in 0..spec.n() {
@@ -266,9 +297,7 @@ pub fn semisync_sm_step_counting_demo(
 ) -> Result<LowerBoundDemo> {
     let half_block = c2.div_floor(c1 * 2);
     if half_block < 1 {
-        return Err(Error::invalid_params(
-            "cheating demo requires c2 >= 2*c1",
-        ));
+        return Err(Error::invalid_params("cheating demo requires c2 >= 2*c1"));
     }
     let cheat_block = half_block as u64;
     let honest_block = c2.div_floor(c1) as u64 + 1;
@@ -417,8 +446,7 @@ mod tests {
     #[test]
     fn periodic_mp_lower_bound_demonstrated() {
         let spec = SessionSpec::new(3, 3, 2).unwrap();
-        let demo =
-            periodic_mp_demo(&spec, 100, Dur::from_int(5), RunLimits::default()).unwrap();
+        let demo = periodic_mp_demo(&spec, 100, Dur::from_int(5), RunLimits::default()).unwrap();
         assert!(
             demo.demonstrates_bound(),
             "naive {} vs correct {}",

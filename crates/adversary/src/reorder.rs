@@ -19,8 +19,8 @@
 //! state — Claim 5.2's executable content) and recounting sessions.
 
 use session_core::verify::count_sessions;
-use session_smm::{Knowledge, SmEngine};
 use session_sim::{FixedPeriods, RunLimits, StepKind, Trace};
+use session_smm::{Knowledge, SmEngine};
 use session_types::{Dur, Error, ProcessId, Result, SessionSpec, Time, VarId};
 
 use crate::retime::DependencyGraph;

@@ -194,9 +194,7 @@ pub fn rescaling_attack(
         match event.kind {
             StepKind::MpStep { broadcast, .. } => {
                 if broadcast {
-                    if let Some(originals) =
-                        sends_by_step.get(&(event.process, event.time))
-                    {
+                    if let Some(originals) = sends_by_step.get(&(event.process, event.time)) {
                         for &orig in originals {
                             let record = trace.message(orig).expect("recorded");
                             let new_id = new_trace.record_send(record.from, record.to, t);
@@ -210,9 +208,9 @@ pub fn rescaling_attack(
                 });
             }
             StepKind::Deliver { msg } => {
-                let new_id = *msg_map.get(&msg).ok_or_else(|| {
-                    Error::inadmissible("delivery retimed before its send")
-                })?;
+                let new_id = *msg_map
+                    .get(&msg)
+                    .ok_or_else(|| Error::inadmissible("delivery retimed before its send"))?;
                 new_trace.record_delivery(new_id, t);
                 new_trace.push(TraceEvent {
                     time: t,

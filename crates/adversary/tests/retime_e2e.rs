@@ -75,8 +75,7 @@ fn retiming_defeats_witnesses_across_sizes() {
             continue;
         }
         let factory = || naive_sm_system(&spec, spec.s());
-        let outcome =
-            retiming_attack(factory, &spec, c1, c2, RunLimits::default()).unwrap();
+        let outcome = retiming_attack(factory, &spec, c1, c2, RunLimits::default()).unwrap();
         assert!(
             outcome.defeated(),
             "s={s}, n={n}: sessions {} of {} (admissible: {}, same state: {})",

@@ -1,0 +1,23 @@
+//! Scope-tuning probe: times each target's exploration separately.
+//!
+//! Usage: `cargo run --release -p session-analyzer --example probe [name]`
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    for name in session_analyzer::TARGET_NAMES {
+        if let Some(f) = &filter {
+            if f != name {
+                continue;
+            }
+        }
+        let start = std::time::Instant::now();
+        let report = session_analyzer::analyze_target(name).expect("known target");
+        let elapsed = start.elapsed();
+        let codes: Vec<String> = report.findings.iter().map(|d| d.code.to_string()).collect();
+        println!(
+            "{name}: states={} findings=[{}] elapsed={elapsed:?}",
+            report.targets[0].1,
+            codes.join(", ")
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Lint codes, severities, per-rule configuration and report rendering.
+//!
+//! Every finding the checker can produce carries one of five stable codes
+//! (`SA001`–`SA005`). Codes never change meaning; new rules get new codes.
+//! Reports render as GitHub-flavored markdown tables (the same dialect as
+//! `session-bench`'s experiment reports) or as CSV.
+
+use std::fmt;
+
+/// The stable lint codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `SA001 session-deficit`: an admissible schedule reaches quiescence
+    /// with fewer than `s` sessions.
+    SessionDeficit,
+    /// `SA002 b-bound-violation`: more than `b` distinct processes access
+    /// one shared variable.
+    BBoundViolation,
+    /// `SA003 stale-evidence`: a process's claimed session count exceeds
+    /// the number of sessions that actually happened (phantom
+    /// certification from stale freshness evidence).
+    StaleEvidence,
+    /// `SA004 inadmissible-step`: the execution violates the timing
+    /// model's admissibility conditions, un-idles an idle process, or
+    /// diverges from the reference engine under replay.
+    InadmissibleStep,
+    /// `SA005 non-termination`: an admissible schedule loops without ever
+    /// reaching quiescence (a lasso), or exploration exhausts its depth
+    /// budget before quiescence.
+    NonTermination,
+}
+
+/// All codes, in code order.
+pub const ALL_CODES: [LintCode; 5] = [
+    LintCode::SessionDeficit,
+    LintCode::BBoundViolation,
+    LintCode::StaleEvidence,
+    LintCode::InadmissibleStep,
+    LintCode::NonTermination,
+];
+
+impl LintCode {
+    /// The stable `SAxxx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::SessionDeficit => "SA001",
+            LintCode::BBoundViolation => "SA002",
+            LintCode::StaleEvidence => "SA003",
+            LintCode::InadmissibleStep => "SA004",
+            LintCode::NonTermination => "SA005",
+        }
+    }
+
+    /// The short kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::SessionDeficit => "session-deficit",
+            LintCode::BBoundViolation => "b-bound-violation",
+            LintCode::StaleEvidence => "stale-evidence",
+            LintCode::InadmissibleStep => "inadmissible-step",
+            LintCode::NonTermination => "non-termination",
+        }
+    }
+
+    /// The default severity: every rule denies by default — each one
+    /// witnesses a violated theorem, not a style preference.
+    pub fn default_severity(self) -> Severity {
+        Severity::Deny
+    }
+
+    /// Parses `"SA001"` or `"session-deficit"` (case-insensitive).
+    pub fn parse(text: &str) -> Option<LintCode> {
+        let lower = text.to_ascii_lowercase();
+        ALL_CODES
+            .into_iter()
+            .find(|c| c.code().to_ascii_lowercase() == lower || c.name() == lower)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// How a finding is treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed entirely: not reported, does not affect the exit status.
+    Allow,
+    /// Reported, but does not make the run fail.
+    Warn,
+    /// Reported and makes the run fail.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Per-rule severity overrides.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    overrides: Vec<(LintCode, Severity)>,
+}
+
+impl LintConfig {
+    /// The default configuration (every rule at its default severity).
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Sets `code` to `severity`, replacing any earlier override.
+    pub fn set(&mut self, code: LintCode, severity: Severity) {
+        self.overrides.retain(|(c, _)| *c != code);
+        self.overrides.push((code, severity));
+    }
+
+    /// The effective severity of `code`.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map_or_else(|| code.default_severity(), |&(_, sev)| sev)
+    }
+}
+
+/// One finding: a rule fired against a target at a scope, with a
+/// deterministic reproduction.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: LintCode,
+    /// The analysis target (e.g. `"NaivePeriodicSm"`).
+    pub target: String,
+    /// One-line description of the violation.
+    pub message: String,
+    /// The scope line (`n`, `s`, `b`, menus) the violation was found at.
+    pub scope: String,
+    /// Deterministic reproduction: the branch-choice path from the initial
+    /// state, so the exact counterexample can be replayed.
+    pub repro: String,
+    /// The counterexample rendered as a timeline (empty when the rule has
+    /// no trace to show).
+    pub counterexample: String,
+}
+
+/// The outcome of analyzing one or more targets.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Targets analyzed, in order, with the number of states each
+    /// exploration visited.
+    pub targets: Vec<(String, u64)>,
+    /// Findings, in discovery order.
+    pub findings: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Appends another report.
+    pub fn merge(&mut self, other: Report) {
+        self.targets.extend(other.targets);
+        self.findings.extend(other.findings);
+    }
+
+    /// Findings at the given severity or above under `config`, counting
+    /// only rules that are not allowed.
+    pub fn reported<'a>(&'a self, config: &'a LintConfig) -> impl Iterator<Item = &'a Diagnostic> {
+        self.findings
+            .iter()
+            .filter(|d| config.severity(d.code) != Severity::Allow)
+    }
+
+    /// Returns `true` if any reported finding is deny-severity.
+    pub fn has_denials(&self, config: &LintConfig) -> bool {
+        self.findings
+            .iter()
+            .any(|d| config.severity(d.code) == Severity::Deny)
+    }
+
+    /// Renders the report as GitHub-flavored markdown (the bench-report
+    /// dialect: `## section`, `| a | b |` tables).
+    pub fn to_markdown(&self, config: &LintConfig) -> String {
+        let mut out = String::from("## Analyzer report\n\n");
+        out.push_str("| target | states explored | findings |\n|---|---|---|\n");
+        for (target, states) in &self.targets {
+            let count = self
+                .reported(config)
+                .filter(|d| &d.target == target)
+                .count();
+            out.push_str(&format!("| {target} | {states} | {count} |\n"));
+        }
+        let reported: Vec<&Diagnostic> = self.reported(config).collect();
+        if reported.is_empty() {
+            out.push_str("\nNo findings.\n");
+            return out;
+        }
+        out.push_str("\n## Findings\n\n");
+        out.push_str("| code | severity | target | message |\n|---|---|---|---|\n");
+        for d in &reported {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                d.code,
+                config.severity(d.code),
+                d.target,
+                d.message
+            ));
+        }
+        for d in &reported {
+            out.push_str(&format!(
+                "\n### {} on {}\n\n{}\n\nScope: {}\n\nRepro (branch choices from the initial state): `{}`\n",
+                d.code, d.target, d.message, d.scope, d.repro
+            ));
+            if !d.counterexample.is_empty() {
+                out.push_str(&format!("\n```text\n{}\n```\n", d.counterexample));
+            }
+        }
+        out
+    }
+
+    /// Renders the findings as CSV (`code,severity,target,scope,message`).
+    pub fn to_csv(&self, config: &LintConfig) -> String {
+        let mut out = String::from("code,severity,target,scope,message\n");
+        for d in self.reported(config) {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                d.code.code(),
+                config.severity(d.code),
+                d.target,
+                csv_escape(&d.scope),
+                csv_escape(&d.message)
+            ));
+        }
+        out
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_parse() {
+        for code in ALL_CODES {
+            assert_eq!(LintCode::parse(code.code()), Some(code));
+            assert_eq!(LintCode::parse(code.name()), Some(code));
+            assert_eq!(LintCode::parse(&code.code().to_lowercase()), Some(code));
+        }
+        assert_eq!(LintCode::parse("SA999"), None);
+    }
+
+    #[test]
+    fn config_overrides_win() {
+        let mut config = LintConfig::new();
+        assert_eq!(config.severity(LintCode::SessionDeficit), Severity::Deny);
+        config.set(LintCode::SessionDeficit, Severity::Allow);
+        assert_eq!(config.severity(LintCode::SessionDeficit), Severity::Allow);
+        config.set(LintCode::SessionDeficit, Severity::Warn);
+        assert_eq!(config.severity(LintCode::SessionDeficit), Severity::Warn);
+    }
+
+    fn sample_report() -> Report {
+        Report {
+            targets: vec![("T".to_string(), 42)],
+            findings: vec![Diagnostic {
+                code: LintCode::SessionDeficit,
+                target: "T".to_string(),
+                message: "only 1 of 2 sessions".to_string(),
+                scope: "n=2 s=2".to_string(),
+                repro: "0.1.0".to_string(),
+                counterexample: "p0 | x".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn allow_suppresses_findings_and_exit() {
+        let report = sample_report();
+        let mut config = LintConfig::new();
+        assert!(report.has_denials(&config));
+        config.set(LintCode::SessionDeficit, Severity::Allow);
+        assert!(!report.has_denials(&config));
+        assert_eq!(report.reported(&config).count(), 0);
+        assert!(report.to_markdown(&config).contains("No findings."));
+    }
+
+    #[test]
+    fn warn_reports_without_denying() {
+        let report = sample_report();
+        let mut config = LintConfig::new();
+        config.set(LintCode::SessionDeficit, Severity::Warn);
+        assert!(!report.has_denials(&config));
+        assert_eq!(report.reported(&config).count(), 1);
+    }
+
+    #[test]
+    fn markdown_includes_tables_and_counterexample() {
+        let report = sample_report();
+        let config = LintConfig::new();
+        let md = report.to_markdown(&config);
+        assert!(md.contains("| target | states explored | findings |"));
+        assert!(md.contains("| SA001 session-deficit | deny | T | only 1 of 2 sessions |"));
+        assert!(md.contains("```text\np0 | x\n```"));
+        assert!(md.contains("Repro (branch choices from the initial state): `0.1.0`"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut report = sample_report();
+        report.findings[0].message = "a, \"b\"".to_string();
+        let csv = report.to_csv(&LintConfig::new());
+        assert!(csv.contains("SA001,deny,T,n=2 s=2,\"a, \"\"b\"\"\""));
+    }
+}

@@ -1,0 +1,384 @@
+//! Memoized depth-first exploration of a machine's complete reachable
+//! state space, with the session counter and the lint triggers.
+//!
+//! The explorer walks every branch of [`AnyMachine`]'s choice menu. Along
+//! each path it maintains an incremental copy of the greedy session
+//! counter (`session_core::verify::count_sessions` semantics, verified
+//! equivalent in the test suite), because the session count is
+//! history-dependent: two paths can reach the same machine state having
+//! closed different numbers of sessions. The memo key therefore combines
+//! the machine state with the counter state — pruning on machine state
+//! alone would be unsound.
+//!
+//! Triggers:
+//! * quiescent leaf with fewer than `s` sessions → `SA001`;
+//! * a step pushing a variable past its `b`-bound → `SA002`;
+//! * any process claiming more sessions than counted → `SA003`;
+//! * an idle process un-idling → `SA004`;
+//! * a state repeating on the current path (an admissible lasso that
+//!   never quiesces) or the depth budget running out → `SA005`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+use crate::diag::LintCode;
+use crate::machine::{MpMachine, SmMachine, StepInfo};
+
+/// Either machine, so the explorer and replayer are substrate-agnostic.
+#[derive(Clone, Debug)]
+pub enum AnyMachine {
+    /// Shared memory.
+    Sm(SmMachine),
+    /// Message passing.
+    Mp(MpMachine),
+}
+
+impl AnyMachine {
+    /// See [`SmMachine::choice_count`].
+    pub fn choice_count(&self) -> usize {
+        match self {
+            AnyMachine::Sm(m) => m.choice_count(),
+            AnyMachine::Mp(m) => m.choice_count(),
+        }
+    }
+
+    /// See [`SmMachine::apply`].
+    pub fn apply(&mut self, choice: usize, trace: Option<&mut session_sim::Trace>) -> StepInfo {
+        match self {
+            AnyMachine::Sm(m) => m.apply(choice, trace),
+            AnyMachine::Mp(m) => m.apply(choice, trace),
+        }
+    }
+
+    /// See [`SmMachine::is_quiescent`].
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            AnyMachine::Sm(m) => m.is_quiescent(),
+            AnyMachine::Mp(m) => m.is_quiescent(),
+        }
+    }
+
+    /// See [`SmMachine::state_hash`].
+    pub fn state_hash(&self) -> u64 {
+        match self {
+            AnyMachine::Sm(m) => m.state_hash(),
+            AnyMachine::Mp(m) => m.state_hash(),
+        }
+    }
+
+    /// See [`MpMachine::claimed_sessions_max`] (`None` for shared memory).
+    pub fn claimed_sessions_max(&self) -> Option<u64> {
+        match self {
+            AnyMachine::Sm(_) => None,
+            AnyMachine::Mp(m) => m.claimed_sessions_max(),
+        }
+    }
+}
+
+/// Incremental greedy session counter, mirroring
+/// `session_core::verify::count_sessions` step for step: only port steps
+/// are visible; the step on which a process idles still counts; later
+/// steps of an idle process never do.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct SessionCounter {
+    n: usize,
+    /// Sessions closed so far, saturated at `s` (further sessions cannot
+    /// change any verdict, and saturating keeps the memo key space finite).
+    sessions: u64,
+    saturate_at: u64,
+    covered: BTreeSet<usize>,
+    idle: BTreeSet<usize>,
+}
+
+impl SessionCounter {
+    /// A fresh counter for `n` ports, saturating at `s`.
+    pub fn new(n: usize, s: u64) -> SessionCounter {
+        SessionCounter {
+            n,
+            sessions: 0,
+            saturate_at: s,
+            covered: BTreeSet::new(),
+            idle: BTreeSet::new(),
+        }
+    }
+
+    /// Sessions closed so far (saturated at `s`).
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Feeds one applied transition.
+    pub fn observe(&mut self, info: &StepInfo) {
+        let Some(port) = info.port else { return };
+        let p = info.process.index();
+        let was_idle = self.idle.contains(&p);
+        if info.idle_after {
+            self.idle.insert(p);
+        }
+        if was_idle {
+            return;
+        }
+        self.covered.insert(port.index());
+        if self.covered.len() >= self.n {
+            self.sessions = (self.sessions + 1).min(self.saturate_at);
+            self.covered.clear();
+        }
+    }
+}
+
+/// A lint rule fired during exploration.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// Which rule.
+    pub code: LintCode,
+    /// One-line description.
+    pub message: String,
+    /// The branch choices leading from the root to the violation —
+    /// replaying them through a clone of the root machine reproduces it
+    /// exactly.
+    pub path: Vec<usize>,
+    /// Index of the root (first-step / period assignment) the violation
+    /// was found under.
+    pub root: usize,
+}
+
+/// The result of exploring one target.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Distinct states visited across all roots.
+    pub states: u64,
+    /// The violations found: the first witness of each distinct lint code
+    /// (exploration prunes below a violation but keeps searching the rest
+    /// of the space, so one target can exhibit several codes — e.g. a
+    /// phantom-certifying algorithm both claims too much on some schedules
+    /// and under-delivers on others).
+    pub violations: Vec<FoundViolation>,
+}
+
+/// Exhaustively explores every root machine, sharing the memo across
+/// roots. `s` is the required session count, `n` the number of ports,
+/// `max_depth` the per-path event budget.
+pub fn explore(roots: &[AnyMachine], n: usize, s: u64, max_depth: usize) -> Exploration {
+    let mut explorer = Explorer {
+        memo: HashSet::new(),
+        on_path: HashSet::new(),
+        violations: Vec::new(),
+        states: 0,
+        current_root: 0,
+        s,
+        max_depth,
+    };
+    for (root_index, root) in roots.iter().enumerate() {
+        explorer.current_root = root_index;
+        let counter = SessionCounter::new(n, s);
+        let mut path = Vec::new();
+        explorer.dfs(root.clone(), counter, &mut path);
+    }
+    Exploration {
+        states: explorer.states,
+        violations: explorer.violations,
+    }
+}
+
+struct Explorer {
+    /// States (machine × counter) already fully explored (and, for clean
+    /// targets, thereby proven to quiesce with enough sessions on every
+    /// continuation).
+    memo: HashSet<u64>,
+    /// States on the current DFS path, for lasso detection.
+    on_path: HashSet<u64>,
+    /// First witness per lint code.
+    violations: Vec<FoundViolation>,
+    states: u64,
+    current_root: usize,
+    s: u64,
+    max_depth: usize,
+}
+
+impl Explorer {
+    fn key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        machine.state_hash().hash(&mut hasher);
+        counter.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn record(&mut self, code: LintCode, message: String, path: &[usize]) {
+        if self.violations.iter().any(|v| v.code == code) {
+            return;
+        }
+        self.violations.push(FoundViolation {
+            code,
+            message,
+            path: path.to_vec(),
+            root: self.current_root,
+        });
+    }
+
+    fn dfs(&mut self, machine: AnyMachine, counter: SessionCounter, path: &mut Vec<usize>) {
+        if machine.is_quiescent() {
+            if counter.sessions() < self.s {
+                let message = format!(
+                    "admissible schedule reaches quiescence with {} of {} required sessions",
+                    counter.sessions(),
+                    self.s
+                );
+                self.record(LintCode::SessionDeficit, message, path);
+            }
+            return;
+        }
+        let key = Explorer::key(&machine, &counter);
+        if self.on_path.contains(&key) {
+            self.record(
+                LintCode::NonTermination,
+                "admissible schedule loops without reaching quiescence (lasso)".to_string(),
+                path,
+            );
+            return;
+        }
+        if self.memo.contains(&key) {
+            return;
+        }
+        if path.len() >= self.max_depth {
+            self.record(
+                LintCode::NonTermination,
+                format!(
+                    "no quiescence within the depth budget of {} events",
+                    self.max_depth
+                ),
+                path,
+            );
+            return;
+        }
+        self.states += 1;
+        self.on_path.insert(key);
+        self.expand(&machine, &counter, path);
+        self.on_path.remove(&key);
+        self.memo.insert(key);
+    }
+
+    fn expand(&mut self, machine: &AnyMachine, counter: &SessionCounter, path: &mut Vec<usize>) {
+        let choices = machine.choice_count();
+        debug_assert!(choices > 0, "non-quiescent machine must have events");
+        for choice in 0..choices {
+            path.push(choice);
+            let mut next = machine.clone();
+            let info = next.apply(choice, None);
+            let mut next_counter = counter.clone();
+            next_counter.observe(&info);
+            match Explorer::check_step(&info, &next, &next_counter) {
+                Some((code, message)) => self.record(code, message, path),
+                None => self.dfs(next, next_counter, path),
+            }
+            path.pop();
+        }
+    }
+
+    /// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle).
+    fn check_step(
+        info: &StepInfo,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+    ) -> Option<(LintCode, String)> {
+        if let Some(var) = info.b_violation {
+            return Some((
+                LintCode::BBoundViolation,
+                format!(
+                    "variable {var} accessed by more than b distinct processes (process {} was one too many)",
+                    info.process
+                ),
+            ));
+        }
+        if info.is_process_step && info.was_idle && !info.idle_after {
+            return Some((
+                LintCode::InadmissibleStep,
+                format!(
+                    "process {} un-idled: idle states must be closed under steps",
+                    info.process
+                ),
+            ));
+        }
+        if let Some(claimed) = machine.claimed_sessions_max() {
+            if claimed > counter.sessions() {
+                return Some((
+                    LintCode::StaleEvidence,
+                    format!(
+                        "a process claims {claimed} sessions but only {} actually happened",
+                        counter.sessions()
+                    ),
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_types::{PortId, ProcessId, Time};
+
+    fn port_step(p: usize, port: usize, idle_after: bool) -> StepInfo {
+        StepInfo {
+            time: Time::ZERO,
+            process: ProcessId::new(p),
+            port: Some(PortId::new(port)),
+            was_idle: false,
+            idle_after,
+            is_process_step: true,
+            b_violation: None,
+        }
+    }
+
+    #[test]
+    fn counter_counts_simple_sessions() {
+        let mut counter = SessionCounter::new(2, 10);
+        counter.observe(&port_step(0, 0, false));
+        assert_eq!(counter.sessions(), 0);
+        counter.observe(&port_step(1, 1, false));
+        assert_eq!(counter.sessions(), 1, "both ports covered closes a session");
+        counter.observe(&port_step(0, 0, false));
+        counter.observe(&port_step(0, 0, false));
+        assert_eq!(counter.sessions(), 1, "one port alone cannot close another");
+        counter.observe(&port_step(1, 1, false));
+        assert_eq!(counter.sessions(), 2);
+    }
+
+    #[test]
+    fn counter_idling_step_counts_but_later_steps_do_not() {
+        let mut counter = SessionCounter::new(2, 10);
+        // p0's idling step still covers port 0…
+        counter.observe(&port_step(0, 0, true));
+        counter.observe(&port_step(1, 1, false));
+        assert_eq!(counter.sessions(), 1);
+        // …but its steps after idling never cover again.
+        counter.observe(&port_step(0, 0, true));
+        counter.observe(&port_step(1, 1, false));
+        assert_eq!(counter.sessions(), 1);
+    }
+
+    #[test]
+    fn counter_ignores_deliveries() {
+        let mut counter = SessionCounter::new(1, 10);
+        counter.observe(&StepInfo {
+            time: Time::ZERO,
+            process: ProcessId::new(0),
+            port: None,
+            was_idle: false,
+            idle_after: false,
+            is_process_step: false,
+            b_violation: None,
+        });
+        assert_eq!(counter.sessions(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_at_s() {
+        let mut counter = SessionCounter::new(1, 2);
+        for _ in 0..5 {
+            counter.observe(&port_step(0, 0, false));
+        }
+        assert_eq!(counter.sessions(), 2);
+    }
+}

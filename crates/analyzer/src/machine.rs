@@ -1,0 +1,835 @@
+//! Cloneable state machines mirroring the engines, with an enumerated
+//! branch menu at every state.
+//!
+//! The real engines ([`session_smm::SmEngine`], [`session_mpm::MpEngine`])
+//! execute *one* schedule chosen by a [`session_sim::StepSchedule`]. The
+//! checker instead needs, at every reachable state, the *set* of admissible
+//! next transitions. [`SmMachine`] and [`MpMachine`] reimplement the
+//! engines' exact step semantics (variable access and port tagging for
+//! shared memory; delivery buffering, broadcast fan-out and event ordering
+//! for message passing) over cloneable process values, exposing a flat
+//! `0..choice_count()` menu whose entries enumerate: which eligible event
+//! fires next (equal-time events may fire in any order), which admissible
+//! gap the stepping process's *next* step is scheduled after, and — for a
+//! broadcasting message-passing step — which admissible delay each
+//! recipient's copy is assigned.
+//!
+//! Fidelity to the engines is not taken on faith: `replay` re-executes
+//! counterexample paths through the real `SmEngine` and compares global
+//! states, and the test suite runs differential machine-vs-engine checks.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use session_adversary::naive::{NaiveMpPort, NaiveSmPort};
+use session_core::algorithms::{
+    AsyncMpPort, AsyncSmPort, PeriodicMpPort, PeriodicSmPort, SemiSyncMpPort, SemiSyncSmPort,
+    SporadicMpPort, StepCountingMpPort, StepCountingSmPort, SyncMpPort, SyncSmPort,
+};
+use session_core::SessionMsg;
+use session_mpm::{Envelope, MpProcess};
+use session_smm::{Knowledge, RelayProcess, SmProcess, TreeSpec};
+use session_types::{Dur, MsgId, PortId, ProcessId, Time, VarId};
+
+/// Every shared-memory process the checker can host, as a cloneable value.
+///
+/// (The engines take `Box<dyn SmProcess>`, which cannot be cloned; the
+/// checker needs cloning to fork a state per branch.)
+#[derive(Clone, Debug)]
+pub enum SmAlgo {
+    /// `A(syn)`: `s` silent steps.
+    Sync(SyncSmPort),
+    /// `A(p)`: announce step counts, wait to hear everyone.
+    Periodic(PeriodicSmPort),
+    /// `A(ss)`: step counting or waves, whichever is cheaper.
+    SemiSync(SemiSyncSmPort),
+    /// `A(a)` (also the sporadic-model algorithm): the wave protocol.
+    Async(AsyncSmPort),
+    /// A tree-network relay (never idles).
+    Relay(RelayProcess),
+    /// The silent naive witness.
+    Naive(NaiveSmPort),
+    /// The step-counting witness with a cheated (halved) block constant.
+    CheatStepCounting(StepCountingSmPort),
+}
+
+impl SmProcess<Knowledge> for SmAlgo {
+    fn target(&self) -> VarId {
+        match self {
+            SmAlgo::Sync(p) => p.target(),
+            SmAlgo::Periodic(p) => p.target(),
+            SmAlgo::SemiSync(p) => p.target(),
+            SmAlgo::Async(p) => p.target(),
+            SmAlgo::Relay(p) => p.target(),
+            SmAlgo::Naive(p) => p.target(),
+            SmAlgo::CheatStepCounting(p) => p.target(),
+        }
+    }
+
+    fn step(&mut self, value: &Knowledge) -> Knowledge {
+        match self {
+            SmAlgo::Sync(p) => p.step(value),
+            SmAlgo::Periodic(p) => p.step(value),
+            SmAlgo::SemiSync(p) => p.step(value),
+            SmAlgo::Async(p) => p.step(value),
+            SmAlgo::Relay(p) => p.step(value),
+            SmAlgo::Naive(p) => p.step(value),
+            SmAlgo::CheatStepCounting(p) => p.step(value),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        match self {
+            SmAlgo::Sync(p) => p.is_idle(),
+            SmAlgo::Periodic(p) => p.is_idle(),
+            SmAlgo::SemiSync(p) => p.is_idle(),
+            SmAlgo::Async(p) => p.is_idle(),
+            SmAlgo::Relay(p) => p.is_idle(),
+            SmAlgo::Naive(p) => p.is_idle(),
+            SmAlgo::CheatStepCounting(p) => p.is_idle(),
+        }
+    }
+}
+
+/// Every message-passing process the checker can host, as a cloneable
+/// value.
+#[derive(Clone, Debug)]
+pub enum MpAlgo {
+    /// `A(syn)`: `s` silent steps.
+    Sync(SyncMpPort),
+    /// `A(p)`: announce step counts, wait to hear everyone.
+    Periodic(PeriodicMpPort),
+    /// `A(ss)`: step counting or the wave protocol.
+    SemiSync(SemiSyncMpPort),
+    /// `A(sp)`: freshness evidence with the waiting constant `B`.
+    Sporadic(SporadicMpPort),
+    /// `A(a)`: the wave protocol.
+    Async(AsyncMpPort),
+    /// The silent naive witness.
+    Naive(NaiveMpPort),
+    /// The silent step-counting arm on its own.
+    StepCounting(StepCountingMpPort),
+}
+
+impl MpProcess<SessionMsg> for MpAlgo {
+    fn step(&mut self, inbox: Vec<Envelope<SessionMsg>>) -> Option<SessionMsg> {
+        match self {
+            MpAlgo::Sync(p) => p.step(inbox),
+            MpAlgo::Periodic(p) => p.step(inbox),
+            MpAlgo::SemiSync(p) => p.step(inbox),
+            MpAlgo::Sporadic(p) => p.step(inbox),
+            MpAlgo::Async(p) => p.step(inbox),
+            MpAlgo::Naive(p) => p.step(inbox),
+            MpAlgo::StepCounting(p) => p.step(inbox),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        match self {
+            MpAlgo::Sync(p) => p.is_idle(),
+            MpAlgo::Periodic(p) => p.is_idle(),
+            MpAlgo::SemiSync(p) => p.is_idle(),
+            MpAlgo::Sporadic(p) => p.is_idle(),
+            MpAlgo::Async(p) => p.is_idle(),
+            MpAlgo::Naive(p) => p.is_idle(),
+            MpAlgo::StepCounting(p) => p.is_idle(),
+        }
+    }
+}
+
+impl MpAlgo {
+    /// The number of sessions this process *claims* have happened, when the
+    /// algorithm maintains such a counter (`A(sp)`'s `session` variable).
+    /// The `SA003` invariant: the claim may never exceed the sessions the
+    /// independent counter has actually observed (Lemma 6.3).
+    pub fn claimed_sessions(&self) -> Option<u64> {
+        match self {
+            MpAlgo::Sporadic(p) => Some(p.session()),
+            _ => None,
+        }
+    }
+}
+
+/// How step gaps are chosen.
+#[derive(Clone, Debug)]
+pub enum GapMode {
+    /// Each step independently picks any gap from the scope menu
+    /// (synchronous/semi-synchronous/sporadic/asynchronous models; the
+    /// synchronous menu has one entry, so the choice is forced).
+    PerStep(Vec<Dur>),
+    /// Every process was assigned one fixed period at the root of the
+    /// exploration (the periodic model: gaps must be one constant per
+    /// process).
+    FixedPerProcess(Vec<Dur>),
+}
+
+impl GapMode {
+    fn menu_len(&self) -> usize {
+        match self {
+            GapMode::PerStep(menu) => menu.len(),
+            GapMode::FixedPerProcess(_) => 1,
+        }
+    }
+
+    fn gap(&self, process: usize, index: usize) -> Dur {
+        match self {
+            GapMode::PerStep(menu) => menu[index],
+            GapMode::FixedPerProcess(periods) => periods[process],
+        }
+    }
+}
+
+/// What one applied transition did, for the explorer's session counter and
+/// lint rules.
+#[derive(Clone, Debug)]
+pub struct StepInfo {
+    /// When the event fired.
+    pub time: Time,
+    /// The process that stepped (or received the delivery).
+    pub process: ProcessId,
+    /// The port tag of the step, exactly as the engine's trace would tag
+    /// it (`None` for relays and deliveries).
+    pub port: Option<PortId>,
+    /// Whether the process was idle before the event.
+    pub was_idle: bool,
+    /// Whether the process is idle after the event.
+    pub idle_after: bool,
+    /// `true` for a process step, `false` for a delivery.
+    pub is_process_step: bool,
+    /// A shared-variable fan-in violation (`SA002`): more than `b` distinct
+    /// processes have now accessed this variable.
+    pub b_violation: Option<VarId>,
+}
+
+/// The exhaustive shared-memory machine: mirrors [`session_smm::SmEngine`]
+/// over cloneable [`SmAlgo`] processes.
+#[derive(Clone, Debug)]
+pub struct SmMachine {
+    algos: Vec<SmAlgo>,
+    memory: Vec<Knowledge>,
+    /// Lifetime accessor set per variable (the `b`-bound is on *distinct
+    /// processes ever accessing* a variable, as in `SharedMemory`).
+    accessors: Vec<BTreeSet<usize>>,
+    /// Next pending step time per process (each process always has exactly
+    /// one pending step).
+    due: Vec<Time>,
+    gaps: GapMode,
+    b: usize,
+    n_ports: usize,
+}
+
+impl SmMachine {
+    /// Builds the machine over the standard tree-network layout (port
+    /// process `i` ↔ variable `i` ↔ port `i`, as `build_sm_system` wires
+    /// it). `first_steps` are the initial step times (branched over at the
+    /// exploration root); `num_vars` is the tree's node count.
+    pub fn new(
+        algos: Vec<SmAlgo>,
+        num_vars: usize,
+        b: usize,
+        n_ports: usize,
+        gaps: GapMode,
+        first_steps: Vec<Time>,
+    ) -> SmMachine {
+        assert_eq!(algos.len(), first_steps.len());
+        SmMachine {
+            memory: vec![Knowledge::new(); num_vars],
+            accessors: vec![BTreeSet::new(); num_vars],
+            due: first_steps,
+            algos,
+            gaps,
+            b,
+            n_ports,
+        }
+    }
+
+    /// The processes, for rebuilding a real engine in replay.
+    pub fn algos(&self) -> &[SmAlgo] {
+        &self.algos
+    }
+
+    /// Current variable values (replay compares these against the real
+    /// engine's global state).
+    pub fn memory(&self) -> &[Knowledge] {
+        &self.memory
+    }
+
+    /// Per-process fingerprints, comparable with the engine's.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.algos.iter().map(SmProcess::fingerprint).collect()
+    }
+
+    /// The fan-in bound `b`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The number of ports.
+    pub fn n_ports(&self) -> usize {
+        self.n_ports
+    }
+
+    fn t_min(&self) -> Time {
+        *self.due.iter().min().expect("machine has >= 1 process")
+    }
+
+    fn eligible(&self) -> Vec<usize> {
+        let t = self.t_min();
+        (0..self.due.len()).filter(|&p| self.due[p] == t).collect()
+    }
+
+    /// Every port process idle (relays never are, and never count).
+    pub fn is_quiescent(&self) -> bool {
+        (0..self.n_ports).all(|p| self.algos[p].is_idle())
+    }
+
+    /// The number of admissible transitions from this state.
+    pub fn choice_count(&self) -> usize {
+        self.eligible().len() * self.gaps.menu_len()
+    }
+
+    /// Applies transition `choice` (must be `< choice_count()`). When
+    /// `trace` is given, records the step exactly as the engine would.
+    pub fn apply(&mut self, choice: usize, trace: Option<&mut session_sim::Trace>) -> StepInfo {
+        let now = self.t_min();
+        let per = self.gaps.menu_len();
+        let eligible = self.eligible();
+        let p = eligible[choice / per];
+        let gap_index = choice % per;
+
+        let was_idle = self.algos[p].is_idle();
+        let var = self.algos[p].target();
+        self.accessors[var.index()].insert(p);
+        let b_violation = (self.accessors[var.index()].len() > self.b).then_some(var);
+        let new_value = self.algos[p].step(&self.memory[var.index()]);
+        self.memory[var.index()] = new_value;
+        let idle_after = self.algos[p].is_idle();
+        self.due[p] = now + self.gaps.gap(p, gap_index);
+
+        // Port tag, exactly as the engine computes it: the access counts as
+        // a port step only when the variable is a port *and* the stepping
+        // process is its bound port process.
+        let port =
+            (var.index() < self.n_ports && p == var.index()).then(|| PortId::new(var.index()));
+
+        if let Some(trace) = trace {
+            trace.push(session_sim::TraceEvent {
+                time: now,
+                process: ProcessId::new(p),
+                kind: session_sim::StepKind::VarAccess { var, port },
+                idle_after,
+            });
+        }
+
+        StepInfo {
+            time: now,
+            process: ProcessId::new(p),
+            port,
+            was_idle,
+            idle_after,
+            is_process_step: true,
+            b_violation,
+        }
+    }
+
+    /// A hash of the machine state with times made relative to the next
+    /// event, so states that differ only by a time shift coincide.
+    pub fn state_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        let t = self.t_min();
+        for algo in &self.algos {
+            algo.fingerprint().hash(&mut hasher);
+        }
+        for value in &self.memory {
+            value.hash(&mut hasher);
+        }
+        for set in &self.accessors {
+            set.hash(&mut hasher);
+        }
+        for &due in &self.due {
+            (due - t).hash(&mut hasher);
+        }
+        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+            periods.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+/// The standard tree-network shared-memory system for `n` ports with
+/// fan-in `b`: the given port algorithms (one per port) plus the tree's
+/// relay processes, exactly as `session_core::system::build_sm_system`
+/// assembles it. Returns the machine's process list and the node count.
+pub fn sm_system_algos(port_algos: Vec<SmAlgo>, n: usize, b: usize) -> (Vec<SmAlgo>, usize) {
+    assert_eq!(port_algos.len(), n);
+    let tree = TreeSpec::build(n, b);
+    let mut algos = port_algos;
+    for relay in tree.relay_processes() {
+        algos.push(SmAlgo::Relay(relay));
+    }
+    (algos, tree.num_nodes())
+}
+
+/// One pending message-passing event, mirroring the engine's queue entry.
+#[derive(Clone, Debug)]
+struct Pending {
+    time: Time,
+    /// Insertion sequence — only used to keep enumeration order stable
+    /// (the engine's FIFO tie-break is itself one of the branched orders).
+    seq: u64,
+    kind: PendingKind,
+}
+
+#[derive(Clone, Debug)]
+enum PendingKind {
+    Step(usize),
+    Deliver {
+        to: usize,
+        from: usize,
+        value: u64,
+        /// The trace message id, assigned in send order during replay so
+        /// deliveries can be recorded against the right send.
+        msg: Option<MsgId>,
+    },
+}
+
+/// The exhaustive message-passing machine: mirrors
+/// [`session_mpm::MpEngine`] over cloneable [`MpAlgo`] processes. All `n`
+/// processes are port processes (`p`'s buffer is port `p`), as
+/// `build_mp_system` wires it.
+#[derive(Clone, Debug)]
+pub struct MpMachine {
+    algos: Vec<MpAlgo>,
+    inboxes: Vec<Vec<Envelope<SessionMsg>>>,
+    pending: Vec<Pending>,
+    next_seq: u64,
+    gaps: GapMode,
+    delays: Vec<Dur>,
+    n: usize,
+}
+
+impl MpMachine {
+    /// Builds the machine; `first_steps` are the initial step times
+    /// (branched over at the exploration root).
+    pub fn new(
+        algos: Vec<MpAlgo>,
+        gaps: GapMode,
+        delays: Vec<Dur>,
+        first_steps: Vec<Time>,
+    ) -> MpMachine {
+        assert!(!delays.is_empty(), "delay menu must be nonempty");
+        let n = algos.len();
+        assert_eq!(n, first_steps.len());
+        let pending = first_steps
+            .iter()
+            .enumerate()
+            .map(|(p, &time)| Pending {
+                time,
+                seq: p as u64,
+                kind: PendingKind::Step(p),
+            })
+            .collect();
+        MpMachine {
+            inboxes: vec![Vec::new(); n],
+            pending,
+            next_seq: n as u64,
+            algos,
+            gaps,
+            delays,
+            n,
+        }
+    }
+
+    /// Per-process fingerprints.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.algos.iter().map(MpProcess::fingerprint).collect()
+    }
+
+    /// The largest session count any process currently claims, if any
+    /// process maintains one.
+    pub fn claimed_sessions_max(&self) -> Option<u64> {
+        self.algos.iter().filter_map(MpAlgo::claimed_sessions).max()
+    }
+
+    /// Every (port) process idle.
+    pub fn is_quiescent(&self) -> bool {
+        self.algos.iter().all(MpProcess::is_idle)
+    }
+
+    fn t_min(&self) -> Time {
+        self.pending
+            .iter()
+            .map(|e| e.time)
+            .min()
+            .expect("each process always has a pending step")
+    }
+
+    /// Indices into `pending` of the events eligible to fire now, in
+    /// stable (insertion) order.
+    fn eligible(&self) -> Vec<usize> {
+        let t = self.t_min();
+        let mut indices: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| self.pending[i].time == t)
+            .collect();
+        indices.sort_by_key(|&i| self.pending[i].seq);
+        indices
+    }
+
+    fn delay_combos(&self) -> usize {
+        self.delays.len().pow(self.n as u32)
+    }
+
+    /// Whether stepping `p` with its current inbox would broadcast
+    /// (determines how many delay choices the step carries). Probed on a
+    /// scratch clone; `apply` then performs the step for real.
+    fn would_broadcast(&self, p: usize) -> bool {
+        let mut scratch = self.algos[p].clone();
+        scratch.step(self.inboxes[p].clone()).is_some()
+    }
+
+    fn event_weight(&self, pending_index: usize) -> usize {
+        match self.pending[pending_index].kind {
+            PendingKind::Deliver { .. } => 1,
+            PendingKind::Step(p) => {
+                let gaps = self.gaps.menu_len();
+                if self.would_broadcast(p) {
+                    gaps * self.delay_combos()
+                } else {
+                    gaps
+                }
+            }
+        }
+    }
+
+    /// The number of admissible transitions from this state.
+    pub fn choice_count(&self) -> usize {
+        self.eligible().iter().map(|&i| self.event_weight(i)).sum()
+    }
+
+    /// Applies transition `choice` (must be `< choice_count()`). When
+    /// `trace` is given, records the event exactly as the engine would
+    /// (sends in recipient order before the step event, delivery records
+    /// on arrival).
+    pub fn apply(&mut self, choice: usize, mut trace: Option<&mut session_sim::Trace>) -> StepInfo {
+        let now = self.t_min();
+        let (pending_index, sub) = {
+            let mut remaining = choice;
+            let mut found = None;
+            for i in self.eligible() {
+                let weight = self.event_weight(i);
+                if remaining < weight {
+                    found = Some((i, remaining));
+                    break;
+                }
+                remaining -= weight;
+            }
+            found.expect("choice < choice_count()")
+        };
+
+        match self.pending[pending_index].kind {
+            PendingKind::Deliver {
+                to,
+                from,
+                value,
+                msg,
+            } => {
+                self.pending.swap_remove(pending_index);
+                self.inboxes[to].push(Envelope::new(ProcessId::new(from), SessionMsg::new(value)));
+                let idle = self.algos[to].is_idle();
+                if let Some(trace) = trace.as_deref_mut() {
+                    let msg = msg.expect("traced replay assigns message ids at send time");
+                    trace.record_delivery(msg, now);
+                    trace.push(session_sim::TraceEvent {
+                        time: now,
+                        process: ProcessId::new(to),
+                        kind: session_sim::StepKind::Deliver { msg },
+                        idle_after: idle,
+                    });
+                }
+                StepInfo {
+                    time: now,
+                    process: ProcessId::new(to),
+                    port: None,
+                    was_idle: idle,
+                    idle_after: idle,
+                    is_process_step: false,
+                    b_violation: None,
+                }
+            }
+            PendingKind::Step(p) => {
+                let gaps_len = self.gaps.menu_len();
+                let (gap_index, combo) = if self.would_broadcast(p) {
+                    (sub / self.delay_combos(), sub % self.delay_combos())
+                } else {
+                    (sub, 0)
+                };
+                self.pending.swap_remove(pending_index);
+
+                let inbox = std::mem::take(&mut self.inboxes[p]);
+                let received = inbox.len();
+                let was_idle = self.algos[p].is_idle();
+                let outgoing = self.algos[p].step(inbox);
+                let idle_after = self.algos[p].is_idle();
+                debug_assert!(gap_index < gaps_len);
+
+                // Deliveries are enqueued before the process's own next
+                // step, in recipient order — the engine's exact order.
+                if let Some(payload) = outgoing {
+                    let mut combo_rest = combo;
+                    for q in 0..self.n {
+                        let delay = self.delays[combo_rest % self.delays.len()];
+                        combo_rest /= self.delays.len();
+                        let msg = trace
+                            .as_deref_mut()
+                            .map(|t| t.record_send(ProcessId::new(p), ProcessId::new(q), now));
+                        self.pending.push(Pending {
+                            time: now + delay,
+                            seq: self.next_seq,
+                            kind: PendingKind::Deliver {
+                                to: q,
+                                from: p,
+                                value: payload.value,
+                                msg,
+                            },
+                        });
+                        self.next_seq += 1;
+                    }
+                }
+                if let Some(trace) = trace {
+                    trace.push(session_sim::TraceEvent {
+                        time: now,
+                        process: ProcessId::new(p),
+                        kind: session_sim::StepKind::MpStep {
+                            received,
+                            broadcast: outgoing.is_some(),
+                        },
+                        idle_after,
+                    });
+                }
+                self.pending.push(Pending {
+                    time: now + self.gaps.gap(p, gap_index),
+                    seq: self.next_seq,
+                    kind: PendingKind::Step(p),
+                });
+                self.next_seq += 1;
+
+                StepInfo {
+                    time: now,
+                    process: ProcessId::new(p),
+                    port: Some(PortId::new(p)),
+                    was_idle,
+                    idle_after,
+                    is_process_step: true,
+                    b_violation: None,
+                }
+            }
+        }
+    }
+
+    /// A hash of the machine state with times made relative to the next
+    /// event. Pending events are hashed in canonical order (their
+    /// insertion sequence is an enumeration artifact, not state).
+    pub fn state_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        let t = self.t_min();
+        for algo in &self.algos {
+            algo.fingerprint().hash(&mut hasher);
+        }
+        // Inboxes are hashed as multisets: every hosted algorithm consumes
+        // its inbox as a commutative join (set inserts / lattice joins), so
+        // arrival-order permutations are semantically equivalent states.
+        // Hashing them apart would make delivery interleavings that
+        // converge semantically never converge in the memo.
+        for inbox in &self.inboxes {
+            let mut entries: Vec<(usize, u64)> = inbox
+                .iter()
+                .map(|env| (env.from.index(), env.payload.value))
+                .collect();
+            entries.sort_unstable();
+            entries.hash(&mut hasher);
+        }
+        let mut canonical: Vec<(Dur, u8, usize, usize, u64)> = self
+            .pending
+            .iter()
+            .map(|e| match e.kind {
+                PendingKind::Step(p) => (e.time - t, 0u8, p, 0, 0),
+                PendingKind::Deliver {
+                    to, from, value, ..
+                } => (e.time - t, 1u8, to, from, value),
+            })
+            .collect();
+        canonical.sort();
+        canonical.hash(&mut hasher);
+        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+            periods.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+/// All `menu.len()^k` assignment vectors of menu entries to `k` slots —
+/// the root branches for first-step times and for periodic period
+/// assignments.
+pub fn assignments(menu: &[Dur], k: usize) -> Vec<Vec<Dur>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..k {
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                menu.iter().map(move |&d| {
+                    let mut next = prefix.clone();
+                    next.push(d);
+                    next
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_enumerate_the_cartesian_power() {
+        let menu = [Dur::from_int(1), Dur::from_int(2)];
+        let all = assignments(&menu, 3);
+        assert_eq!(all.len(), 8);
+        let distinct: BTreeSet<Vec<Dur>> = all.into_iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    fn sync_sm_machine(n: usize, s: u64) -> SmMachine {
+        let ports: Vec<SmAlgo> = (0..n)
+            .map(|i| SmAlgo::Sync(SyncSmPort::new(VarId::new(i), s)))
+            .collect();
+        let (algos, num_vars) = sm_system_algos(ports, n, 2);
+        let k = algos.len();
+        let gap = Dur::from_int(1);
+        SmMachine::new(
+            algos,
+            num_vars,
+            2,
+            n,
+            GapMode::PerStep(vec![gap]),
+            vec![Time::ZERO + gap; k],
+        )
+    }
+
+    #[test]
+    fn sm_machine_steps_and_quiesces() {
+        let mut machine = sync_sm_machine(2, 1);
+        assert!(!machine.is_quiescent());
+        // One gap, all processes due together: one choice per process.
+        assert_eq!(machine.choice_count(), machine.algos().len());
+        let info = machine.apply(0, None);
+        assert!(info.is_process_step);
+        assert_eq!(info.port, Some(PortId::new(0)));
+        assert!(info.idle_after, "s = 1: one step and the port idles");
+        let info = machine.apply(0, None);
+        assert_eq!(info.port, Some(PortId::new(1)));
+        assert!(machine.is_quiescent(), "both ports idle");
+    }
+
+    #[test]
+    fn sm_relay_steps_are_not_port_steps() {
+        let mut machine = sync_sm_machine(2, 1);
+        let relay_choice = machine
+            .eligible()
+            .iter()
+            .position(|&p| p >= 2)
+            .expect("tree has a relay");
+        let info = machine.apply(relay_choice, None);
+        assert_eq!(info.port, None);
+        assert!(!info.idle_after, "relays never idle");
+    }
+
+    #[test]
+    fn sm_state_hash_is_time_shift_invariant() {
+        let a = sync_sm_machine(2, 2);
+        let mut b = sync_sm_machine(2, 2);
+        for due in &mut b.due {
+            *due += Dur::from_int(5);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    fn sporadic_mp_machine(s: u64) -> MpMachine {
+        let c1 = Dur::from_int(1);
+        let algos: Vec<MpAlgo> = (0..2)
+            .map(|i| {
+                MpAlgo::Sporadic(
+                    SporadicMpPort::new(ProcessId::new(i), s, 2, c1, Dur::ZERO, Dur::from_int(2))
+                        .expect("valid params"),
+                )
+            })
+            .collect();
+        MpMachine::new(
+            algos,
+            GapMode::PerStep(vec![c1, Dur::from_int(7)]),
+            vec![Dur::ZERO, Dur::from_int(2)],
+            vec![Time::ZERO + c1; 2],
+        )
+    }
+
+    #[test]
+    fn mp_broadcasting_step_fans_out_gap_and_delay_choices() {
+        let machine = sporadic_mp_machine(3);
+        // Both processes due at t=1, each broadcasts: 2 gaps × 2² delay
+        // combos = 8 choices each.
+        assert_eq!(machine.choice_count(), 16);
+    }
+
+    #[test]
+    fn mp_apply_creates_deliveries_then_next_step() {
+        let mut machine = sporadic_mp_machine(3);
+        let info = machine.apply(0, None);
+        assert!(info.is_process_step);
+        assert_eq!(info.port, Some(PortId::new(0)));
+        // p0 stepped and broadcast to both: 2 deliveries + p0's next step
+        // + p1's pending first step.
+        assert_eq!(machine.pending.len(), 4);
+        assert_eq!(machine.claimed_sessions_max(), Some(0));
+    }
+
+    #[test]
+    fn mp_delivery_fills_inbox() {
+        let mut machine = sporadic_mp_machine(3);
+        // Fire p0's step with delay combo 0 (both deliveries at delay 0,
+        // i.e. due immediately).
+        let _ = machine.apply(0, None);
+        let deliveries: Vec<usize> = machine
+            .eligible()
+            .into_iter()
+            .filter(|&i| matches!(machine.pending[i].kind, PendingKind::Deliver { .. }))
+            .collect();
+        assert_eq!(deliveries.len(), 2, "delay 0 deliveries due at once");
+        // Flat choice for the first delivery: skip past the weights of the
+        // eligible events before it (p1's own first step broadcasts, so it
+        // carries 2 gaps × 4 delay combos = 8 choices).
+        let first_delivery = machine
+            .eligible()
+            .into_iter()
+            .take_while(|&i| !matches!(machine.pending[i].kind, PendingKind::Deliver { .. }))
+            .map(|i| machine.event_weight(i))
+            .sum::<usize>();
+        let info = machine.apply(first_delivery, None);
+        assert!(!info.is_process_step);
+        assert_eq!(machine.inboxes.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn mp_state_hash_ignores_insertion_sequence() {
+        let mut a = sporadic_mp_machine(3);
+        let mut b = sporadic_mp_machine(3);
+        let _ = a.apply(0, None);
+        let _ = b.apply(0, None);
+        // Renumber b's sequences: the hash must not change.
+        for pending in &mut b.pending {
+            pending.seq += 1000;
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+}

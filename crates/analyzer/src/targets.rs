@@ -1,0 +1,509 @@
+//! The thirteen named analysis targets: the paper's ten algorithms (five
+//! timing models × two substrates) plus the three naive cheating
+//! witnesses from `session-adversary`.
+//!
+//! Each target fixes a small scope — system size, required sessions, and
+//! finite menus of admissible step gaps and message delays derived from
+//! the timing parameters — and a set of exploration roots (one per
+//! first-step assignment, and for the periodic model one per period
+//! assignment). [`analyze_target`] explores the complete reachable state
+//! space of every root, reconstructs a rendered counterexample for each
+//! violation found, and self-checks the counterexample against the
+//! reference admissibility checker, the reference session counter and (for
+//! shared memory) a replay through the real engine.
+//!
+//! Menu choices follow the lower-bound adversaries of the paper: each menu
+//! contains the fastest admissible gap and a much slower one (for the
+//! sporadic model a pause long enough to outlive the waiting constant
+//! `B`), and the delay menus contain the extremes `d1` and `d2`. For the
+//! models with no upper bound on gaps (sporadic, asynchronous) the slow
+//! menu entry plays the role of a bounded-unfairness window: exhaustive at
+//! this scope, representative beyond it.
+
+use session_adversary::naive::{
+    naive_periodic_sm_port, naive_semisync_sm_port, naive_sporadic_mp_port,
+};
+use session_core::algorithms::{
+    AsyncMpPort, AsyncSmPort, PeriodicMpPort, PeriodicSmPort, SemiSyncMpPort, SemiSyncSmPort,
+    SporadicMpPort, SyncMpPort, SyncSmPort,
+};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, ProcessId, Time, TimingModel, VarId};
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use crate::explore::{explore, AnyMachine, SessionCounter};
+use crate::machine::{assignments, sm_system_algos, GapMode, MpAlgo, MpMachine, SmAlgo, SmMachine};
+use crate::replay;
+use crate::scope::Scope;
+
+/// Maximum timeline lines rendered into a diagnostic.
+const RENDER_LINES: usize = 60;
+
+/// The names of all analysis targets, in report order: the ten algorithms
+/// of the paper first, then the three naive witnesses.
+pub const TARGET_NAMES: [&str; 13] = [
+    "SyncSm",
+    "PeriodicSm",
+    "SemiSyncSm",
+    "SporadicSm",
+    "AsyncSm",
+    "SyncMp",
+    "PeriodicMp",
+    "SemiSyncMp",
+    "SporadicMp",
+    "AsyncMp",
+    "NaivePeriodicSm",
+    "NaiveSemiSyncSm",
+    "NaiveSporadicMp",
+];
+
+/// The names of all analysis targets.
+pub fn target_names() -> &'static [&'static str] {
+    &TARGET_NAMES
+}
+
+/// A target ready to explore: its scope, the timing bounds counterexample
+/// traces must satisfy, and the exploration roots.
+struct BuiltTarget {
+    scope: Scope,
+    bounds: KnownBounds,
+    roots: Vec<AnyMachine>,
+}
+
+fn dur(value: i64) -> Dur {
+    Dur::from_int(value.into())
+}
+
+/// Shared-memory roots, one per assignment of first step times from the
+/// gap menu (every later step re-picks its gap from the same menu).
+fn sm_per_step_roots(ports: Vec<SmAlgo>, n: usize, b: usize, gaps: &[Dur]) -> Vec<AnyMachine> {
+    let (algos, num_vars) = sm_system_algos(ports, n, b);
+    let k = algos.len();
+    assignments(gaps, k)
+        .into_iter()
+        .map(|firsts| {
+            AnyMachine::Sm(SmMachine::new(
+                algos.clone(),
+                num_vars,
+                b,
+                n,
+                GapMode::PerStep(gaps.to_vec()),
+                firsts.into_iter().map(|g| Time::ZERO + g).collect(),
+            ))
+        })
+        .collect()
+}
+
+/// Shared-memory roots for the periodic model, one per assignment of a
+/// fixed period to every process (the period is also the first step time).
+fn sm_periodic_roots(ports: Vec<SmAlgo>, n: usize, b: usize, periods: &[Dur]) -> Vec<AnyMachine> {
+    let (algos, num_vars) = sm_system_algos(ports, n, b);
+    let k = algos.len();
+    assignments(periods, k)
+        .into_iter()
+        .map(|assigned| {
+            let firsts = assigned.iter().map(|&p| Time::ZERO + p).collect();
+            AnyMachine::Sm(SmMachine::new(
+                algos.clone(),
+                num_vars,
+                b,
+                n,
+                GapMode::FixedPerProcess(assigned),
+                firsts,
+            ))
+        })
+        .collect()
+}
+
+/// Message-passing roots, one per assignment of first step times from
+/// `firsts` (usually the gap menu itself; the sporadic targets use a
+/// separate first-step menu because the stale-evidence schedules need a
+/// first step that is neither the fastest gap nor the pause).
+fn mp_per_step_roots(
+    algos: Vec<MpAlgo>,
+    firsts: &[Dur],
+    gaps: &[Dur],
+    delays: &[Dur],
+) -> Vec<AnyMachine> {
+    let k = algos.len();
+    assignments(firsts, k)
+        .into_iter()
+        .map(|firsts| {
+            AnyMachine::Mp(MpMachine::new(
+                algos.clone(),
+                GapMode::PerStep(gaps.to_vec()),
+                delays.to_vec(),
+                firsts.into_iter().map(|g| Time::ZERO + g).collect(),
+            ))
+        })
+        .collect()
+}
+
+/// Message-passing roots for the periodic model, one per period
+/// assignment.
+fn mp_periodic_roots(algos: Vec<MpAlgo>, periods: &[Dur], delays: &[Dur]) -> Vec<AnyMachine> {
+    let k = algos.len();
+    assignments(periods, k)
+        .into_iter()
+        .map(|assigned| {
+            let firsts = assigned.iter().map(|&p| Time::ZERO + p).collect();
+            AnyMachine::Mp(MpMachine::new(
+                algos.clone(),
+                GapMode::FixedPerProcess(assigned),
+                delays.to_vec(),
+                firsts,
+            ))
+        })
+        .collect()
+}
+
+fn scope(
+    n: usize,
+    s: u64,
+    b: usize,
+    model: TimingModel,
+    gaps: &[Dur],
+    delays: &[Dur],
+    max_depth: usize,
+) -> Scope {
+    Scope {
+        n,
+        s,
+        b,
+        model,
+        gaps: gaps.to_vec(),
+        delays: delays.to_vec(),
+        max_depth,
+    }
+}
+
+/// Builds the named target, or `None` for an unknown name.
+#[allow(clippy::too_many_lines)]
+fn build_target(name: &str) -> Option<BuiltTarget> {
+    let expect_bounds = "scope constants are valid bounds";
+    let expect_algo = "scope constants are valid algorithm parameters";
+    match name {
+        // A(syn), shared memory: s silent steps each; gap forced to c2.
+        "SyncSm" => {
+            let (n, s, b) = (4, 3, 2);
+            let gaps = [dur(1)];
+            let ports = (0..n)
+                .map(|i| SmAlgo::Sync(SyncSmPort::new(VarId::new(i), s)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::Synchronous, &gaps, &[], 40),
+                bounds: KnownBounds::synchronous(dur(1), dur(1)).expect(expect_bounds),
+                roots: sm_per_step_roots(ports, n, b, &gaps),
+            })
+        }
+        // A(p), shared memory: announce step counts over the tree; each
+        // process runs at one of the candidate periods.
+        "PeriodicSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let periods = [dur(1), dur(2)];
+            let ports = (0..n)
+                .map(|i| {
+                    SmAlgo::Periodic(PeriodicSmPort::new(ProcessId::new(i), VarId::new(i), s, n))
+                })
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], 160),
+                bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
+                roots: sm_periodic_roots(ports, n, b, &periods),
+            })
+        }
+        // A(ss), shared memory: at c1=1, c2=3 the step-counting arm wins
+        // (block 4 <= the tree flood bound); gaps range over {c1, c2}.
+        "SemiSyncSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let (c1, c2) = (dur(1), dur(3));
+            let gaps = [c1, c2];
+            let comm_rounds = TreeSpec::build(n, b).flood_rounds_bound();
+            let ports = (0..n)
+                .map(|i| {
+                    SmAlgo::SemiSync(
+                        SemiSyncSmPort::new(
+                            ProcessId::new(i),
+                            VarId::new(i),
+                            s,
+                            n,
+                            c1,
+                            c2,
+                            comm_rounds,
+                        )
+                        .expect(expect_algo),
+                    )
+                })
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::SemiSynchronous, &gaps, &[], 100),
+                bounds: KnownBounds::semi_synchronous(c1, c2, dur(1)).expect(expect_bounds),
+                roots: sm_per_step_roots(ports, n, b, &gaps),
+            })
+        }
+        // Sporadic shared memory runs the wave protocol A(a) (only c1 is
+        // known); the slow gap is the bounded-unfairness window.
+        "SporadicSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let gaps = [dur(1), dur(3)];
+            let ports = (0..n)
+                .map(|i| SmAlgo::Async(AsyncSmPort::new(ProcessId::new(i), VarId::new(i), s, n)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::Sporadic, &gaps, &[], 160),
+                bounds: KnownBounds::sporadic(dur(1), Dur::ZERO, dur(1)).expect(expect_bounds),
+                roots: sm_per_step_roots(ports, n, b, &gaps),
+            })
+        }
+        // A(a), shared memory: the wave protocol with nothing known.
+        "AsyncSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let gaps = [dur(1), dur(3)];
+            let ports = (0..n)
+                .map(|i| SmAlgo::Async(AsyncSmPort::new(ProcessId::new(i), VarId::new(i), s, n)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::Asynchronous, &gaps, &[], 160),
+                bounds: KnownBounds::asynchronous(),
+                roots: sm_per_step_roots(ports, n, b, &gaps),
+            })
+        }
+        // A(syn), message passing: silent; gap and delay both forced.
+        "SyncMp" => {
+            let (n, s) = (4, 3);
+            let gaps = [dur(1)];
+            let delays = [dur(1)];
+            let algos = (0..n).map(|_| MpAlgo::Sync(SyncMpPort::new(s))).collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::Synchronous, &gaps, &delays, 40),
+                bounds: KnownBounds::synchronous(dur(1), dur(1)).expect(expect_bounds),
+                roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
+            })
+        }
+        // A(p), message passing: broadcast the (s-1)-th step.
+        "PeriodicMp" => {
+            let (n, s) = (2, 2);
+            let periods = [dur(1), dur(2)];
+            let delays = [Dur::ZERO, dur(1)];
+            let algos = (0..n)
+                .map(|_| MpAlgo::Periodic(PeriodicMpPort::new(s, n)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::Periodic, &periods, &delays, 120),
+                bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
+                roots: mp_periodic_roots(algos, &periods, &delays),
+            })
+        }
+        // A(ss), message passing: at c1=1, c2=2, d2=1 the communicating
+        // arm wins (c2·block = 6 > d2 + c2 = 3).
+        "SemiSyncMp" => {
+            let (n, s) = (2, 2);
+            let (c1, c2, d2) = (dur(1), dur(2), dur(1));
+            let gaps = [c1, c2];
+            let delays = [Dur::ZERO, d2];
+            let algos = (0..n)
+                .map(|_| {
+                    MpAlgo::SemiSync(SemiSyncMpPort::new(s, n, c1, c2, d2).expect(expect_algo))
+                })
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::SemiSynchronous, &gaps, &delays, 120),
+                bounds: KnownBounds::semi_synchronous(c1, c2, d2).expect(expect_bounds),
+                roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
+            })
+        }
+        // A(sp): freshness evidence with B = floor(u/c1) + 1 = 2; the slow
+        // gap (3 > d2 + c1) lets one process outwait the other's in-flight
+        // evidence, which is exactly what conditions 1/2 must survive.
+        "SporadicMp" => {
+            let (n, s) = (2, 2);
+            let (c1, d1, d2) = (dur(1), Dur::ZERO, dur(1));
+            let firsts = [c1, dur(2)];
+            let gaps = [c1, dur(3)];
+            let delays = [d1, d2];
+            let algos = (0..n)
+                .map(|i| {
+                    MpAlgo::Sporadic(
+                        SporadicMpPort::new(ProcessId::new(i), s, n, c1, d1, d2)
+                            .expect(expect_algo),
+                    )
+                })
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, 80),
+                bounds: KnownBounds::sporadic(c1, d1, d2).expect(expect_bounds),
+                roots: mp_per_step_roots(algos, &firsts, &gaps, &delays),
+            })
+        }
+        // A(a), message passing: the wave protocol with nothing known.
+        "AsyncMp" => {
+            let (n, s) = (2, 2);
+            let gaps = [dur(1), dur(3)];
+            let delays = [Dur::ZERO, dur(2)];
+            let algos = (0..n)
+                .map(|_| MpAlgo::Async(AsyncMpPort::new(s, n)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::Asynchronous, &gaps, &delays, 120),
+                bounds: KnownBounds::asynchronous(),
+                roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
+            })
+        }
+        // Witness: s silent steps under the periodic model, ignoring that
+        // other processes may run at a different period → SA001.
+        "NaivePeriodicSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let periods = [dur(1), dur(2)];
+            let ports = (0..n)
+                .map(|i| SmAlgo::Naive(naive_periodic_sm_port(VarId::new(i), s)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], 160),
+                bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
+                roots: sm_periodic_roots(ports, n, b, &periods),
+            })
+        }
+        // Witness: step counting with a halved block constant: at c1=1,
+        // c2=3 the cheat needs 3 steps where 5 are required → SA001. (At
+        // c2=2 the halved block happens to still suffice for n=2 — the
+        // borderline the analyzer itself surfaced.)
+        "NaiveSemiSyncSm" => {
+            let (n, s, b) = (2, 2, 2);
+            let (c1, c2) = (dur(1), dur(3));
+            let gaps = [c1, c2];
+            let ports = (0..n)
+                .map(|i| {
+                    SmAlgo::CheatStepCounting(
+                        naive_semisync_sm_port(VarId::new(i), s, c1, c2).expect(expect_algo),
+                    )
+                })
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, b, TimingModel::SemiSynchronous, &gaps, &[], 100),
+                bounds: KnownBounds::semi_synchronous(c1, c2, dur(1)).expect(expect_bounds),
+                roots: sm_per_step_roots(ports, n, b, &gaps),
+            })
+        }
+        // Witness: A(sp) with the waiting constant overridden to B = 0,
+        // certifying sessions from stale evidence → SA003.
+        "NaiveSporadicMp" => {
+            let (n, s) = (2, 3);
+            let (c1, d1, d2) = (dur(1), Dur::ZERO, dur(2));
+            let firsts = [c1, dur(2)];
+            let gaps = [c1, dur(3)];
+            // A single-delay menu keeps the space tractable; the staleness
+            // schedule only needs a delivery ordered after the claiming
+            // step at the same instant, not a delay spread.
+            let delays = [d2];
+            let algos = (0..n)
+                .map(|i| MpAlgo::Sporadic(naive_sporadic_mp_port(ProcessId::new(i), s, n)))
+                .collect();
+            Some(BuiltTarget {
+                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, 60),
+                bounds: KnownBounds::sporadic(c1, d1, d2).expect(expect_bounds),
+                roots: mp_per_step_roots(algos, &firsts, &gaps, &delays),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Recomputes the incremental session count along `path`, for
+/// cross-checking against the reference counter in the self-check.
+fn incremental_sessions(root: &AnyMachine, path: &[usize], n: usize, s: u64) -> u64 {
+    let mut machine = root.clone();
+    let mut counter = SessionCounter::new(n, s);
+    for &choice in path {
+        let info = machine.apply(choice, None);
+        counter.observe(&info);
+    }
+    counter.sessions()
+}
+
+/// Analyzes one named target: explores its complete state space at scope,
+/// reconstructs and self-checks a counterexample for every violation, and
+/// returns the report. `None` for an unknown target name.
+pub fn analyze_target(name: &str) -> Option<Report> {
+    let built = build_target(name)?;
+    let exploration = explore(
+        &built.roots,
+        built.scope.n,
+        built.scope.s,
+        built.scope.max_depth,
+    );
+    let mut report = Report::default();
+    report.targets.push((name.to_string(), exploration.states));
+    for violation in &exploration.violations {
+        let root = &built.roots[violation.root];
+        let counterexample = replay::replay(root, &violation.path);
+        // The explorer's count is only the full-trace count at a quiescent
+        // leaf; mid-path violations skip the counter cross-check.
+        let expected = (violation.code == LintCode::SessionDeficit)
+            .then(|| incremental_sessions(root, &violation.path, built.scope.n, built.scope.s));
+        let problems = replay::self_check(root, &counterexample, &built.bounds, expected);
+        let repro = replay::repro_string(violation.root, &violation.path);
+        report.findings.push(Diagnostic {
+            code: violation.code,
+            target: name.to_string(),
+            message: violation.message.clone(),
+            scope: built.scope.describe(),
+            repro: repro.clone(),
+            counterexample: replay::render(&counterexample, RENDER_LINES),
+        });
+        // A failed self-check means the checker's model drifted from the
+        // system itself: report it loudly rather than trusting the finding.
+        for problem in problems {
+            report.findings.push(Diagnostic {
+                code: LintCode::InadmissibleStep,
+                target: name.to_string(),
+                message: format!("counterexample self-check failed: {problem}"),
+                scope: built.scope.describe(),
+                repro: repro.clone(),
+                counterexample: String::new(),
+            });
+        }
+    }
+    Some(report)
+}
+
+/// Analyzes every target in [`TARGET_NAMES`] order and merges the reports.
+pub fn analyze_all() -> Report {
+    let mut report = Report::default();
+    for name in TARGET_NAMES {
+        let target_report = analyze_target(name).expect("TARGET_NAMES entries are buildable");
+        report.merge(target_report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds() {
+        for name in TARGET_NAMES {
+            assert!(build_target(name).is_some(), "{name} must build");
+        }
+        assert!(build_target("NoSuchTarget").is_none());
+    }
+
+    #[test]
+    fn root_counts_stay_small() {
+        for name in TARGET_NAMES {
+            let built = build_target(name).expect("known name");
+            assert!(
+                (1..=8).contains(&built.roots.len()),
+                "{name} has {} roots",
+                built.roots.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sync_sm_is_clean() {
+        let report = analyze_target("SyncSm").expect("known name");
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+        assert!(report.targets[0].1 > 0, "must have explored states");
+    }
+}

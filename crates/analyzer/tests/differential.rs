@@ -1,0 +1,127 @@
+//! Differential testing of the checker's machines against the real
+//! engines: random admissible schedules are walked through the branch
+//! menu, replayed with trace recording, and cross-checked with
+//! [`session_analyzer::replay::self_check`] — which verifies the rebuilt
+//! trace against the timing model with `check_admissible`, recounts
+//! sessions with the reference greedy counter, and (for shared memory)
+//! replays the step script through the real `SmEngine` and compares
+//! global states. Any drift between the checker's model and the system
+//! itself shows up as a reported problem.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use session_analyzer::explore::AnyMachine;
+use session_analyzer::machine::{sm_system_algos, GapMode, MpAlgo, MpMachine, SmAlgo, SmMachine};
+use session_analyzer::replay::{replay, self_check};
+use session_core::algorithms::{SemiSyncSmPort, SporadicMpPort, SyncSmPort};
+use session_smm::TreeSpec;
+use session_types::{Dur, KnownBounds, ProcessId, Time, VarId};
+
+const WALKS: u64 = 40;
+const MAX_EVENTS: usize = 60;
+
+/// Walks `root` with uniformly random branch choices until quiescence or
+/// `MAX_EVENTS`, returning the choice path.
+fn random_walk(root: &AnyMachine, rng: &mut StdRng) -> Vec<usize> {
+    let mut machine = root.clone();
+    let mut path = Vec::new();
+    for _ in 0..MAX_EVENTS {
+        let choices = machine.choice_count();
+        if choices == 0 {
+            break;
+        }
+        let choice = rng.random_range(0..choices);
+        machine.apply(choice, None);
+        path.push(choice);
+    }
+    path
+}
+
+fn assert_walks_agree(root: &AnyMachine, bounds: &KnownBounds, label: &str) {
+    for seed in 0..WALKS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = random_walk(root, &mut rng);
+        let counterexample = replay(root, &path);
+        let problems = self_check(root, &counterexample, bounds, None);
+        assert!(
+            problems.is_empty(),
+            "{label} seed {seed}: machine and reference disagree: {problems:?}"
+        );
+    }
+}
+
+/// `A(syn)` over shared memory: every random schedule replays through the
+/// real `SmEngine` to the same global state.
+#[test]
+fn sync_sm_machine_agrees_with_engine_on_random_schedules() {
+    let n = 3;
+    let ports: Vec<SmAlgo> = (0..n)
+        .map(|i| SmAlgo::Sync(SyncSmPort::new(VarId::new(i), 2)))
+        .collect();
+    let (algos, num_vars) = sm_system_algos(ports, n, 2);
+    let k = algos.len();
+    let gap = Dur::from_int(1);
+    let root = AnyMachine::Sm(SmMachine::new(
+        algos,
+        num_vars,
+        2,
+        n,
+        GapMode::PerStep(vec![gap]),
+        vec![Time::ZERO + gap; k],
+    ));
+    let bounds =
+        KnownBounds::synchronous(Dur::from_int(1), Dur::from_int(2)).expect("valid bounds");
+    assert_walks_agree(&root, &bounds, "SyncSm");
+}
+
+/// `A(ss)` over shared memory, the algorithm with the richest port state.
+#[test]
+fn semisync_sm_machine_agrees_with_engine_on_random_schedules() {
+    let n = 2;
+    let (c1, c2) = (Dur::from_int(1), Dur::from_int(3));
+    let comm_rounds = TreeSpec::build(n, 2).flood_rounds_bound();
+    let ports: Vec<SmAlgo> = (0..n)
+        .map(|i| {
+            SmAlgo::SemiSync(
+                SemiSyncSmPort::new(ProcessId::new(i), VarId::new(i), 2, n, c1, c2, comm_rounds)
+                    .expect("valid semi-synchronous parameters"),
+            )
+        })
+        .collect();
+    let (algos, num_vars) = sm_system_algos(ports, n, 2);
+    let k = algos.len();
+    let root = AnyMachine::Sm(SmMachine::new(
+        algos,
+        num_vars,
+        2,
+        n,
+        GapMode::PerStep(vec![c1, c2]),
+        vec![Time::ZERO + c1; k],
+    ));
+    let bounds = KnownBounds::semi_synchronous(c1, c2, Dur::from_int(1)).expect("valid bounds");
+    assert_walks_agree(&root, &bounds, "SemiSyncSm");
+}
+
+/// `A(sp)` over message passing: every random schedule rebuilds an
+/// admissible trace whose greedy session count matches the reference.
+#[test]
+fn sporadic_mp_machine_rebuilds_admissible_traces() {
+    let n = 2;
+    let (c1, d1, d2) = (Dur::from_int(1), Dur::ZERO, Dur::from_int(1));
+    let algos: Vec<MpAlgo> = (0..n)
+        .map(|i| {
+            MpAlgo::Sporadic(
+                SporadicMpPort::new(ProcessId::new(i), 2, n, c1, d1, d2)
+                    .expect("valid sporadic parameters"),
+            )
+        })
+        .collect();
+    let root = AnyMachine::Mp(MpMachine::new(
+        algos,
+        GapMode::PerStep(vec![c1, Dur::from_int(2)]),
+        vec![d1, d2],
+        vec![Time::ZERO + c1; n],
+    ));
+    let bounds = KnownBounds::sporadic(c1, d1, d2).expect("valid bounds");
+    assert_walks_agree(&root, &bounds, "SporadicMp");
+}

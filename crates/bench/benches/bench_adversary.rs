@@ -1,7 +1,6 @@
 //! Benches for the lower-bound adversary machinery: the dependency-order
 //! constructions dominate the harness cost, so their scaling matters.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use session_adversary::naive::{naive_sm_system, NaiveMpPort};
 use session_adversary::reorder::afl_reorder_attack;
@@ -10,6 +9,7 @@ use session_adversary::retime::retiming_attack;
 use session_mpm::{MpEngine, MpProcess};
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_types::{Dur, PortId, ProcessId, SessionSpec};
+use std::time::Duration;
 
 fn d(x: i128) -> Dur {
     Dur::from_int(x)

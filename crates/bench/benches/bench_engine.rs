@@ -1,12 +1,12 @@
 //! Raw engine throughput: simulated steps per second for both substrates,
 //! independent of any algorithm's semantics.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use session_mpm::{Envelope, MpEngine, MpProcess};
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_smm::{SmEngine, SmProcess};
 use session_types::{Dur, PortId, ProcessId, VarId};
+use std::time::Duration;
 
 /// A minimal SM process: bumps a counter variable forever.
 #[derive(Debug)]
@@ -28,8 +28,7 @@ fn sm_steps(num_processes: usize, steps: u64) {
     let processes: Vec<Box<dyn SmProcess<u64>>> = (0..num_processes)
         .map(|i| Box::new(Spinner(VarId::new(i))) as Box<_>)
         .collect();
-    let mut engine =
-        SmEngine::new(vec![0u64; num_processes], processes, 2, vec![]).unwrap();
+    let mut engine = SmEngine::new(vec![0u64; num_processes], processes, 2, vec![]).unwrap();
     let mut sched = FixedPeriods::uniform(num_processes, Dur::from_int(1)).unwrap();
     let outcome = engine
         .run(&mut sched, RunLimits::default().with_max_steps(steps))
@@ -51,8 +50,9 @@ impl MpProcess<u8> for Chatter {
 }
 
 fn mp_steps(num_processes: usize, steps: u64) {
-    let processes: Vec<Box<dyn MpProcess<u8>>> =
-        (0..num_processes).map(|_| Box::new(Chatter) as Box<_>).collect();
+    let processes: Vec<Box<dyn MpProcess<u8>>> = (0..num_processes)
+        .map(|_| Box::new(Chatter) as Box<_>)
+        .collect();
     let ports = (0..num_processes)
         .map(|i| (ProcessId::new(i), PortId::new(i)))
         .collect();

@@ -5,10 +5,10 @@
 //! `i128` integer-tick arithmetic — the representation a less careful
 //! simulator would use.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use session_types::Ratio;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_ratio_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("time-repr");

@@ -1,19 +1,17 @@
 //! Benches for the real-time scheduling substrate (EXT-RT): schedulability
 //! analyses and the uniprocessor scheduler simulator.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use session_rt::sched::{simulate, Policy};
 use session_rt::{analysis, PeriodicTask, TaskSet};
 use session_types::{Dur, Time};
+use std::time::Duration;
 
 fn task_set(n: usize) -> TaskSet {
     // Periods 4, 6, 8, …; wcet 1 each: utilization well under 1.
     TaskSet::periodic(
         (0..n)
-            .map(|i| {
-                PeriodicTask::new(Dur::from_int(4 + 2 * i as i128), Dur::from_int(1)).unwrap()
-            })
+            .map(|i| PeriodicTask::new(Dur::from_int(4 + 2 * i as i128), Dur::from_int(1)).unwrap())
             .collect(),
     )
     .unwrap()
@@ -41,7 +39,11 @@ fn bench_simulation(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(1200));
     group.sample_size(20);
     let tasks = task_set(8);
-    for policy in [Policy::EdfPreemptive, Policy::RmPreemptive, Policy::EdfNonPreemptive] {
+    for policy in [
+        Policy::EdfPreemptive,
+        Policy::RmPreemptive,
+        Policy::EdfNonPreemptive,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
             &policy,

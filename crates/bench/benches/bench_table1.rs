@@ -4,10 +4,10 @@
 //! `table1` binary; these benches track the harness's own performance so
 //! regressions in the engines show up in `cargo bench`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use session_bench::measure;
 use session_types::Dur;
+use std::time::Duration;
 
 fn d(x: i128) -> Dur {
     Dur::from_int(x)

@@ -3,20 +3,19 @@
 //! `O(log_b n)` communication term is realized with arity `max(2, b − 1)`;
 //! this bench tracks how the choice plays out.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use session_core::report::{run_sm, SmConfig};
 use session_sim::{FixedPeriods, RunLimits};
 use session_smm::TreeSpec;
 use session_types::{Dur, KnownBounds, SessionSpec, TimingModel};
+use std::time::Duration;
 
 /// One full asynchronous run (every session is a flood): the heaviest
 /// consumer of the tree network.
 fn flood_run(n: usize, b: usize) {
     let spec = SessionSpec::new(3, n, b).unwrap();
     let tree = TreeSpec::build(n, b);
-    let mut sched =
-        FixedPeriods::uniform(n + tree.num_relays(), Dur::from_int(1)).unwrap();
+    let mut sched = FixedPeriods::uniform(n + tree.num_relays(), Dur::from_int(1)).unwrap();
     let report = run_sm(
         SmConfig {
             model: TimingModel::Asynchronous,

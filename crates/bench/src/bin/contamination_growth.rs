@@ -45,7 +45,12 @@ fn main() {
                     n - 1,
                     spec.contamination_depth()
                 ),
-                &["subround t", "|P(t)| measured", "P_t bound", "new contaminated vars"],
+                &[
+                    "subround t",
+                    "|P(t)| measured",
+                    "P_t bound",
+                    "new contaminated vars"
+                ],
                 &rows,
             )
         );

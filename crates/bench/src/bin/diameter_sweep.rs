@@ -61,7 +61,13 @@ fn main() {
         "{}",
         section(
             &format!("asynchronous MP, s = {s}, n = {n}, per_hop = {per_hop}, step = {period}"),
-            &["topology", "diameter", "effective d2", "measured", "(s−1)(d2+γ)+γ"],
+            &[
+                "topology",
+                "diameter",
+                "effective d2",
+                "measured",
+                "(s−1)(d2+γ)+γ"
+            ],
             &rows,
         )
     );

@@ -23,7 +23,9 @@ use session_core::{bounds, system::port_of, verify::count_sessions};
 use session_mpm::{MpEngine, MpProcess};
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_smm::TreeSpec;
-use session_types::{Dur, Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel};
+use session_types::{
+    Dur, Error, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel,
+};
 
 /// Which side of the bound a row reports.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,10 +70,7 @@ fn d(x: i128) -> Dur {
 }
 
 fn rt(report: &RunReport) -> Dur {
-    report
-        .running_time
-        .map(|t| t - Time::ZERO)
-        .unwrap_or(Dur::ZERO)
+    report.running_time.map_or(Dur::ZERO, |t| t - Time::ZERO)
 }
 
 /// Synchronous shared memory, upper (= lower) bound `s · c2`.
@@ -180,8 +179,7 @@ pub fn periodic_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
             demo.correct_sessions,
             s,
             demo.correct_running_time
-                .map(|t| (t - Time::ZERO).to_string())
-                .unwrap_or_else(|| "∞".into()),
+                .map_or_else(|| "∞".into(), |t| (t - Time::ZERO).to_string()),
         ),
         ok: demo.demonstrates_bound()
             && demo
@@ -445,7 +443,10 @@ pub fn async_sm_upper(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
         comm: "SM",
         kind: BoundKind::Upper,
         params: format!("s={s}, n={n}, b={b}"),
-        paper_bound: format!("(s−1)·flood = {bound} rounds (flood = {})", tree.flood_rounds_bound()),
+        paper_bound: format!(
+            "(s−1)·flood = {bound} rounds (flood = {})",
+            tree.flood_rounds_bound()
+        ),
         measured: format!("{} rounds ({} sessions)", report.rounds, report.sessions),
         ok: report.solves(&spec) && report.rounds <= bound + tree.flood_rounds_bound() + 2,
     })
@@ -570,12 +571,24 @@ pub fn table1_markdown() -> Result<String> {
                 m.params,
                 m.paper_bound,
                 m.measured,
-                if m.ok { "✓".to_owned() } else { "✗".to_owned() },
+                if m.ok {
+                    "✓".to_owned()
+                } else {
+                    "✗".to_owned()
+                },
             ])
         })
         .collect();
     Ok(markdown_table(
-        &["model", "comm", "L/U", "instance", "paper bound", "measured", "ok"],
+        &[
+            "model",
+            "comm",
+            "L/U",
+            "instance",
+            "paper bound",
+            "measured",
+            "ok",
+        ],
         &rows,
     ))
 }
@@ -604,7 +617,13 @@ mod tests {
     #[test]
     fn markdown_contains_all_models() {
         let md = table1_markdown().unwrap();
-        for model in ["synchronous", "periodic", "semi-sync", "sporadic", "asynchronous"] {
+        for model in [
+            "synchronous",
+            "periodic",
+            "semi-sync",
+            "sporadic",
+            "asynchronous",
+        ] {
             assert!(md.contains(model), "missing {model} in:\n{md}");
         }
     }

@@ -8,9 +8,7 @@ use session_core::system::port_of;
 use session_core::{bounds, verify::count_sessions};
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_smm::{Knowledge, PortBinding, SmEngine, SmProcess, TreeSpec};
-use session_types::{
-    Dur, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel,
-};
+use session_types::{Dur, KnownBounds, PortId, ProcessId, Result, SessionSpec, Time, TimingModel};
 
 /// One point of the semi-synchronous strategy crossover (FIG-A).
 #[derive(Clone, Debug)]
@@ -64,12 +62,7 @@ fn semisync_engine_with_strategy(
     )
 }
 
-fn measure_strategy(
-    spec: &SessionSpec,
-    c1: Dur,
-    c2: Dur,
-    strategy: SmStrategy,
-) -> Result<Dur> {
+fn measure_strategy(spec: &SessionSpec, c1: Dur, c2: Dur, strategy: SmStrategy) -> Result<Dur> {
     let mut engine = semisync_engine_with_strategy(spec, c1, c2, strategy)?;
     let num = engine.num_processes();
     let mut sched = FixedPeriods::uniform(num, c2)?; // worst-case speeds
@@ -256,12 +249,7 @@ pub fn periodic_vs_semisync(
             periodic_time: periodic.running_time.expect("terminated") - Time::ZERO,
             semisync_time: semisync.running_time.expect("terminated") - Time::ZERO,
             periodic_bound: bounds::periodic_sm_upper(spec, c2, tree.flood_rounds_bound()),
-            semisync_bound: bounds::semisync_sm_upper(
-                spec.s(),
-                c1,
-                c2,
-                tree.flood_rounds_bound(),
-            ),
+            semisync_bound: bounds::semisync_sm_upper(spec.s(), c1, c2, tree.flood_rounds_bound()),
         });
     }
     Ok(points)

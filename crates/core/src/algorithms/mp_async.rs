@@ -90,7 +90,7 @@ mod tests {
     fn higher_values_satisfy_lower_waves() {
         let mut p = AsyncMpPort::new(3, 2);
         let _ = p.step(vec![]); // commit 1
-        // Hearing wave 5 from both: covers every wave requirement.
+                                // Hearing wave 5 from both: covers every wave requirement.
         let _ = p.step(vec![wave(0, 5), wave(1, 5)]);
         assert_eq!(p.committed(), 2);
         let _ = p.step(vec![]);

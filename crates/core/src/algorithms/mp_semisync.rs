@@ -107,9 +107,7 @@ impl SemiSyncMpPort {
         strategy: MpStrategy,
     ) -> Result<SemiSyncMpPort> {
         Ok(match strategy {
-            MpStrategy::StepCounting => {
-                SemiSyncMpPort::Silent(StepCountingMpPort::new(s, c1, c2)?)
-            }
+            MpStrategy::StepCounting => SemiSyncMpPort::Silent(StepCountingMpPort::new(s, c1, c2)?),
             MpStrategy::Communicating => SemiSyncMpPort::Talking(AsyncMpPort::new(s, n)),
         })
     }
@@ -173,8 +171,7 @@ mod tests {
 
     #[test]
     fn explicit_strategy_is_respected() {
-        let p =
-            SemiSyncMpPort::with_strategy(3, 2, d(4), d(4), MpStrategy::Communicating).unwrap();
+        let p = SemiSyncMpPort::with_strategy(3, 2, d(4), d(4), MpStrategy::Communicating).unwrap();
         assert_eq!(p.strategy(), MpStrategy::Communicating);
     }
 

@@ -40,6 +40,10 @@ pub struct SporadicMpPort {
     msg_buf: BTreeMap<u64, BTreeSet<ProcessId>>,
     /// `temp_buf`: senders heard from while `count > B`.
     temp_buf: BTreeSet<ProcessId>,
+    /// When true, reproduces the paper's pseudocode verbatim: the
+    /// condition-1 branch does *not* clear `temp_buf` (the erratum below).
+    /// Only `paper_verbatim` sets this.
+    verbatim: bool,
 }
 
 impl SporadicMpPort {
@@ -50,7 +54,14 @@ impl SporadicMpPort {
     ///
     /// Returns [`Error::InvalidParams`] if `c1 <= 0`, `d1 < 0` or
     /// `d1 > d2`.
-    pub fn new(id: ProcessId, s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<SporadicMpPort> {
+    pub fn new(
+        id: ProcessId,
+        s: u64,
+        n: usize,
+        c1: Dur,
+        d1: Dur,
+        d2: Dur,
+    ) -> Result<SporadicMpPort> {
         if !c1.is_positive() {
             return Err(Error::invalid_params("A(sp) requires c1 > 0"));
         }
@@ -69,7 +80,33 @@ impl SporadicMpPort {
             steps: 0,
             msg_buf: BTreeMap::new(),
             temp_buf: BTreeSet::new(),
+            verbatim: false,
         })
+    }
+
+    /// Creates `A(sp)` exactly as printed in the paper's §6 pseudocode,
+    /// i.e. *without* the condition-1 `temp_buf` clear that [`new`]
+    /// applies (see the erratum comment in `step`). Stale freshness
+    /// evidence can then certify sessions that never happened; the
+    /// analyzer flags this as `SA003 stale-evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Same parameter validation as [`new`].
+    ///
+    /// [`new`]: SporadicMpPort::new
+    #[cfg(feature = "paper-verbatim")]
+    pub fn paper_verbatim(
+        id: ProcessId,
+        s: u64,
+        n: usize,
+        c1: Dur,
+        d1: Dur,
+        d2: Dur,
+    ) -> Result<SporadicMpPort> {
+        let mut port = SporadicMpPort::new(id, s, n, c1, d1, d2)?;
+        port.verbatim = true;
+        Ok(port)
     }
 
     /// This process's identifier (the `i` of `m(i, V)`).
@@ -96,6 +133,7 @@ impl SporadicMpPort {
             steps: 0,
             msg_buf: BTreeMap::new(),
             temp_buf: BTreeSet::new(),
+            verbatim: false,
         }
     }
 
@@ -144,8 +182,11 @@ impl MpProcess<SessionMsg> for SporadicMpPort {
             // never happened (reproduced by the regression test below).
             // Lemma 6.3's proof assumes temp_buf only holds messages
             // received since the last update, which is what this line
-            // restores.
-            self.temp_buf.clear();
+            // restores. (`paper_verbatim` disables the fix to reproduce
+            // the original behavior.)
+            if !self.verbatim {
+                self.temp_buf.clear();
+            }
         } else if self.count > self.big_b {
             // temp_buf := temp_buf ∪ M
             for env in &inbox {
@@ -197,8 +238,9 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(SporadicMpPort::new(ProcessId::new(0), 2, 2, Dur::ZERO, Dur::ZERO, Dur::ONE)
-            .is_err());
+        assert!(
+            SporadicMpPort::new(ProcessId::new(0), 2, 2, Dur::ZERO, Dur::ZERO, Dur::ONE).is_err()
+        );
         assert!(SporadicMpPort::new(
             ProcessId::new(0),
             2,
@@ -246,7 +288,7 @@ mod tests {
     #[test]
     fn temp_buf_ignores_messages_before_the_wait() {
         let mut p = port(3, 2, 1, 0, 4); // B = 5
-        // Early messages (count <= B) do not enter temp_buf.
+                                         // Early messages (count <= B) do not enter temp_buf.
         let _ = p.step(vec![msg(1, 7)]);
         let _ = p.step(vec![msg(0, 7)]);
         for _ in 0..5 {
@@ -291,8 +333,8 @@ mod tests {
     #[test]
     fn condition1_clears_stale_freshness_evidence() {
         let mut p = port(5, 2, 1, 5, 5); // u = 0 => B = 1
-        // Build up temp_buf while count > B (condition 1 blocked: no
-        // m(0, 0) yet).
+                                         // Build up temp_buf while count > B (condition 1 blocked: no
+                                         // m(0, 0) yet).
         let _ = p.step(vec![]);
         let _ = p.step(vec![]);
         let _ = p.step(vec![msg(1, 7)]); // count > B: p1 enters temp_buf
@@ -318,7 +360,7 @@ mod tests {
     #[test]
     fn count_resets_on_session_update() {
         let mut p = port(5, 1, 1, 0, 3); // B = 4
-        // n = 1: every step with own message advances via condition 1.
+                                         // n = 1: every step with own message advances via condition 1.
         let _ = p.step(vec![msg(0, 0)]);
         assert_eq!(p.session(), 1);
         // count was reset; condition 2 can't fire for a while.

@@ -211,12 +211,12 @@ mod tests {
     #[test]
     fn strategy_choice_follows_the_min() {
         // Small c2/c1: step counting wins against a 10-round flood.
-        let p = SemiSyncSmPort::new(ProcessId::new(0), VarId::new(0), 2, 4, d(1), d(3), 10)
-            .unwrap();
+        let p =
+            SemiSyncSmPort::new(ProcessId::new(0), VarId::new(0), 2, 4, d(1), d(3), 10).unwrap();
         assert_eq!(p.strategy(), SmStrategy::StepCounting);
         // Huge c2/c1: communication wins.
-        let p = SemiSyncSmPort::new(ProcessId::new(0), VarId::new(0), 2, 4, d(1), d(100), 10)
-            .unwrap();
+        let p =
+            SemiSyncSmPort::new(ProcessId::new(0), VarId::new(0), 2, 4, d(1), d(100), 10).unwrap();
         assert_eq!(p.strategy(), SmStrategy::Communicating);
     }
 

@@ -87,7 +87,9 @@ mod tests {
     #[test]
     fn writes_value_back_unchanged() {
         let mut p = SyncSmPort::new(VarId::new(0), 1);
-        let input: Knowledge = [(session_types::ProcessId::new(7), 9)].into_iter().collect();
+        let input: Knowledge = [(session_types::ProcessId::new(7), 9)]
+            .into_iter()
+            .collect();
         let output = p.step(&input);
         assert_eq!(output, input);
     }

@@ -112,10 +112,7 @@ where
         if event.idle_after {
             idle.insert(event.process, true);
         }
-        let prev = last_step
-            .get(&event.process)
-            .copied()
-            .unwrap_or(Time::ZERO);
+        let prev = last_step.get(&event.process).copied().unwrap_or(Time::ZERO);
         let gap = event.time - prev;
         summary.min_gap = Some(summary.min_gap.map_or(gap, |g| g.min(gap)));
         summary.max_gap = Some(summary.max_gap.map_or(gap, |g| g.max(gap)));

@@ -185,8 +185,8 @@ mod tests {
         // floor(8 / (2*4)) = 1 < floor(log2 256) = 8.
         let sp = spec(3, 256, 2);
         assert_eq!(semisync_sm_lower(&sp, d(4), d(8)), d(16)); // 8 * min-term 1 * (s-1)=2
-        // Communication cheap: c2/c1 huge.
-        // floor(1000/2) = 500 > 8 => min is 8.
+                                                               // Communication cheap: c2/c1 huge.
+                                                               // floor(1000/2) = 500 > 8 => min is 8.
         assert_eq!(semisync_sm_lower(&sp, d(1), d(1000)), d(1000 * 8 * 2));
 
         // MP: d2 + c2 vs (floor(c2/c1)+1)*c2.
@@ -215,7 +215,7 @@ mod tests {
     fn sporadic_lower_interpolates_between_sync_and_async() {
         let c1 = d(1);
         let s = 2; // (s-1) = 1: per-session cost directly
-        // d1 -> d2: per-session cost collapses to c1 (synchronous-like).
+                   // d1 -> d2: per-session cost collapses to c1 (synchronous-like).
         assert_eq!(sporadic_mp_lower(s, c1, d(10), d(10)), c1);
         // d1 -> 0: per-session cost ~ d2 (asynchronous-like).
         // u = 16, floor(16/4) = 4, K = 2*16/(16-8) = 4 => 4*4 = 16 = d2.
@@ -228,10 +228,7 @@ mod tests {
         // d1 = d2 = 10: min(3*gamma + 0, d2+gamma) = min(6, 12) = 6.
         assert_eq!(sporadic_mp_upper(2, d(1), d(10), d(10), gamma), d(6 + 2));
         // d1 = 0, d2 = 100: direct term d2 + gamma wins.
-        assert_eq!(
-            sporadic_mp_upper(2, d(1), d(0), d(100), gamma),
-            d(102 + 2)
-        );
+        assert_eq!(sporadic_mp_upper(2, d(1), d(0), d(100), gamma), d(102 + 2));
     }
 
     #[test]

@@ -39,10 +39,7 @@ pub fn port_of(spec: &SessionSpec) -> impl Fn(ProcessId) -> Option<PortId> {
 /// Returns [`Error::InvalidParams`] if the model's required constants are
 /// missing from `bounds` (cannot happen for bounds built via the
 /// [`KnownBounds`] constructors) or invalid.
-pub fn build_sm_system(
-    spec: &SessionSpec,
-    bounds: &KnownBounds,
-) -> Result<SmEngine<Knowledge>> {
+pub fn build_sm_system(spec: &SessionSpec, bounds: &KnownBounds) -> Result<SmEngine<Knowledge>> {
     let n = spec.n();
     let s = spec.s();
     let tree = TreeSpec::build(n, spec.b());
@@ -103,10 +100,7 @@ pub fn build_sm_system(
 ///
 /// Returns [`Error::InvalidParams`] if the model's required constants are
 /// missing from `bounds` or invalid.
-pub fn build_mp_system(
-    spec: &SessionSpec,
-    bounds: &KnownBounds,
-) -> Result<MpEngine<SessionMsg>> {
+pub fn build_mp_system(spec: &SessionSpec, bounds: &KnownBounds) -> Result<MpEngine<SessionMsg>> {
     let n = spec.n();
     let s = spec.s();
     let mut processes: Vec<Box<dyn session_mpm::MpProcess<SessionMsg>>> = Vec::with_capacity(n);
@@ -205,7 +199,7 @@ mod tests {
     #[test]
     fn port_helpers_agree_with_layout() {
         let sp = spec(2, 3, 2);
-        let ids: Vec<usize> = port_processes(&sp).map(|p| p.index()).collect();
+        let ids: Vec<usize> = port_processes(&sp).map(ProcessId::index).collect();
         assert_eq!(ids, vec![0, 1, 2]);
         let f = port_of(&sp);
         assert_eq!(f(ProcessId::new(2)), Some(PortId::new(2)));

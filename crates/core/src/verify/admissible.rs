@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn sporadic_has_no_upper_step_bound() {
-        let bounds =
-            KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(10)).unwrap();
+        let bounds = KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(10)).unwrap();
         let trace = step_trace(&[(1, 0), (1_000_000, 0)]);
         assert!(check_admissible(&trace, &bounds).is_ok());
     }
@@ -255,8 +254,7 @@ mod tests {
 
     #[test]
     fn undelivered_messages_must_be_young() {
-        let bounds =
-            KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(4)).unwrap();
+        let bounds = KnownBounds::sporadic(Dur::from_int(1), Dur::ZERO, Dur::from_int(4)).unwrap();
         // Message sent at t = 1, trace ends at t = 9: 8 > d2 = 4.
         let mut trace = step_trace(&[(1, 0), (9, 0)]);
         let _ = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));

@@ -180,7 +180,7 @@ mod tests {
                 (1, 0, 0, false), // closes session 1
                 (2, 1, 1, true),  // idle: ignored
                 (2, 0, 0, false),
-                (3, 1, 1, true),  // idle: ignored
+                (3, 1, 1, true), // idle: ignored
                 (3, 0, 0, false),
             ],
         );

@@ -9,9 +9,7 @@ use session_core::report::{run_sm, SmConfig};
 use session_core::verify::check_admissible;
 use session_sim::{FixedPeriods, RunLimits, StepKind, Trace, TraceEvent};
 use session_smm::TreeSpec;
-use session_types::{
-    Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel, VarId,
-};
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel, VarId};
 
 fn d(x: i128) -> Dur {
     Dur::from_int(x)
@@ -111,16 +109,14 @@ fn arbitrary_trace() -> impl Strategy<Value = Trace> {
 
 fn arbitrary_bounds() -> impl Strategy<Value = KnownBounds> {
     prop_oneof![
-        (1i128..=4, 0i128..=4).prop_map(|(c2, dd)| {
-            KnownBounds::synchronous(d(c2), d(dd)).unwrap()
-        }),
+        (1i128..=4, 0i128..=4)
+            .prop_map(|(c2, dd)| { KnownBounds::synchronous(d(c2), d(dd)).unwrap() }),
         (0i128..=5).prop_map(|dd| KnownBounds::periodic(d(dd)).unwrap()),
         (1i128..=3, 0i128..=4, 0i128..=5).prop_map(|(c1, extra, dd)| {
             KnownBounds::semi_synchronous(d(c1), d(c1 + extra), d(dd)).unwrap()
         }),
-        (1i128..=3, 0i128..=2, 0i128..=4).prop_map(|(c1, d1, du)| {
-            KnownBounds::sporadic(d(c1), d(d1), d(d1 + du)).unwrap()
-        }),
+        (1i128..=3, 0i128..=2, 0i128..=4)
+            .prop_map(|(c1, d1, du)| { KnownBounds::sporadic(d(c1), d(d1), d(d1 + du)).unwrap() }),
         Just(KnownBounds::asynchronous()),
     ]
 }

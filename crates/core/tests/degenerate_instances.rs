@@ -36,7 +36,11 @@ fn every_model_solves_every_degenerate_instance() {
             let tree = TreeSpec::build(n, 2);
             let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2).unwrap();
             let sm = run_sm(
-                SmConfig { model, spec, bounds },
+                SmConfig {
+                    model,
+                    spec,
+                    bounds,
+                },
                 &mut sched,
                 RunLimits::default(),
             )
@@ -53,7 +57,11 @@ fn every_model_solves_every_degenerate_instance() {
             let mut sched = FixedPeriods::uniform(n, c2).unwrap();
             let mut delays = ConstantDelay::new(d2).unwrap();
             let mp = run_mp(
-                MpConfig { model, spec, bounds },
+                MpConfig {
+                    model,
+                    spec,
+                    bounds,
+                },
                 &mut sched,
                 &mut delays,
                 RunLimits::default(),
@@ -116,9 +124,6 @@ fn minimal_synchronous_instance_is_exact() {
     )
     .unwrap();
     assert_eq!(report.sessions, 1);
-    assert_eq!(
-        report.running_time,
-        Some(session_types::Time::from_int(7))
-    );
+    assert_eq!(report.running_time, Some(session_types::Time::from_int(7)));
     assert_eq!(report.steps, 1);
 }

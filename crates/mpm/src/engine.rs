@@ -147,7 +147,14 @@ impl<M: Clone> MpEngine<M> {
             queue.push(schedule.first_step(p), Event::Step(p));
         }
         let mut steps = 0u64;
+        #[cfg(feature = "strict-invariants")]
+        let mut last_time = session_types::Time::ZERO;
         while let Some((now, event)) = queue.pop() {
+            #[cfg(feature = "strict-invariants")]
+            {
+                debug_assert!(now >= last_time, "event times must be nondecreasing");
+                last_time = now;
+            }
             match event {
                 Event::Deliver { to, envelope, msg } => {
                     self.bufs[to.index()].push(envelope);
@@ -169,7 +176,14 @@ impl<M: Clone> MpEngine<M> {
                     }
                     let inbox = std::mem::take(&mut self.bufs[p.index()]);
                     let received = inbox.len();
+                    #[cfg(feature = "strict-invariants")]
+                    let was_idle = self.processes[p.index()].is_idle();
                     let outgoing = self.processes[p.index()].step(inbox);
+                    #[cfg(feature = "strict-invariants")]
+                    debug_assert!(
+                        !was_idle || self.processes[p.index()].is_idle(),
+                        "idle states must be closed under steps (process {p} un-idled)"
+                    );
                     let broadcast = outgoing.is_some();
                     if let Some(payload) = outgoing {
                         for q in 0..n {
@@ -363,8 +377,7 @@ mod tests {
     fn scripted_delays_apply_in_send_order() {
         let mut engine = MpEngine::new(chatters(1, 1000), all_ports(1)).unwrap();
         let mut sched = FixedPeriods::uniform(1, Dur::from_int(1)).unwrap();
-        let mut delays =
-            ScriptedDelay::new(vec![Dur::from_int(9)], Dur::from_int(1)).unwrap();
+        let mut delays = ScriptedDelay::new(vec![Dur::from_int(9)], Dur::from_int(1)).unwrap();
         let outcome = engine
             .run(
                 &mut sched,

@@ -36,7 +36,9 @@ fn once(idle_after_steps: u64) -> Box<dyn MpProcess<u32>> {
 }
 
 fn ports(n: usize) -> Vec<(ProcessId, PortId)> {
-    (0..n).map(|i| (ProcessId::new(i), PortId::new(i))).collect()
+    (0..n)
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect()
 }
 
 #[test]
@@ -76,15 +78,12 @@ fn deliveries_between_steps_accumulate_in_the_buffer() {
         .trace
         .events()
         .iter()
-        .find(|e| {
-            e.process == ProcessId::new(1)
-                && matches!(e.kind, StepKind::MpStep { .. })
-        })
+        .find(|e| e.process == ProcessId::new(1) && matches!(e.kind, StepKind::MpStep { .. }))
         .expect("p1 stepped");
     assert_eq!(p1_step.time, Time::from_int(50));
     match p1_step.kind {
         StepKind::MpStep { received, .. } => {
-            assert_eq!(received, 1, "p0's broadcast waited in the buffer")
+            assert_eq!(received, 1, "p0's broadcast waited in the buffer");
         }
         _ => unreachable!(),
     }
@@ -112,9 +111,11 @@ fn single_process_system_self_delivers() {
     assert_eq!(m.from, m.to);
     assert_eq!(m.delay(), Some(Dur::ONE));
     // Received at the step after delivery.
-    let received_any = outcome.trace.events().iter().any(
-        |e| matches!(e.kind, StepKind::MpStep { received, .. } if received > 0),
-    );
+    let received_any = outcome
+        .trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, StepKind::MpStep { received, .. } if received > 0));
     assert!(received_any);
 }
 
@@ -145,11 +146,7 @@ fn zero_delay_messages_arrive_at_the_next_step_not_the_same_one() {
 #[test]
 fn port_of_unassigned_processes_is_none() {
     // 3 processes, only 2 ports: the third is infrastructure.
-    let engine = MpEngine::new(
-        vec![once(1), once(1), once(1)],
-        ports(2),
-    )
-    .unwrap();
+    let engine = MpEngine::new(vec![once(1), once(1), once(1)], ports(2)).unwrap();
     assert_eq!(engine.port_of(ProcessId::new(0)), Some(PortId::new(0)));
     assert_eq!(engine.port_of(ProcessId::new(2)), None);
 }
@@ -168,11 +165,7 @@ fn quiescence_watches_only_port_processes() {
             false
         }
     }
-    let mut engine = MpEngine::new(
-        vec![once(1), once(1), Box::new(Forever)],
-        ports(2),
-    )
-    .unwrap();
+    let mut engine = MpEngine::new(vec![once(1), once(1), Box::new(Forever)], ports(2)).unwrap();
     let mut sched = FixedPeriods::uniform(3, Dur::ONE).unwrap();
     let mut delays = ConstantDelay::new(Dur::ZERO).unwrap();
     let outcome = engine

@@ -32,10 +32,7 @@ pub fn rm_utilization_test(tasks: &TaskSet) -> bool {
 ///
 /// Returns the response time per task (indexed by task id), or `None` for
 /// a task whose iteration exceeds its deadline.
-pub fn response_times_with_order(
-    tasks: &TaskSet,
-    order: &[crate::TaskId],
-) -> Vec<Option<Dur>> {
+pub fn response_times_with_order(tasks: &TaskSet, order: &[crate::TaskId]) -> Vec<Option<Dur>> {
     let mut results = vec![None; tasks.len()];
     for (rank, &id) in order.iter().enumerate() {
         let task = tasks.task(id);
@@ -114,7 +111,10 @@ pub fn np_edf_schedulable(tasks: &TaskSet) -> bool {
     let order = tasks.rm_priority_order(); // sorted by period
     let as_int = |d: Dur| -> i128 {
         let r = d.as_ratio();
-        assert!(r.is_integer(), "non-preemptive analysis needs integral times");
+        assert!(
+            r.is_integer(),
+            "non-preemptive analysis needs integral times"
+        );
         r.numer()
     };
     let t1 = as_int(tasks.task(order[0]).period());

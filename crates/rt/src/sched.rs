@@ -205,7 +205,10 @@ pub fn simulate_releases(
         }
     }
     // Jobs unfinished past their deadline at the horizon are misses.
-    misses += ready.iter().filter(|j| j.deadline < now.max(horizon)).count();
+    misses += ready
+        .iter()
+        .filter(|j| j.deadline < now.max(horizon))
+        .count();
 
     Ok(ScheduleOutcome {
         completions,
@@ -213,7 +216,6 @@ pub fn simulate_releases(
         horizon,
     })
 }
-
 
 /// Generates a random admissible sporadic release pattern: the first
 /// release at time 0, consecutive releases at least `min_separation` apart,
@@ -338,13 +340,8 @@ mod tests {
             vec![Time::ZERO, Time::from_int(9), Time::from_int(30)],
             vec![Time::from_int(1), Time::from_int(11)],
         ];
-        let out = simulate_releases(
-            &tasks,
-            &releases,
-            Policy::EdfPreemptive,
-            Time::from_int(50),
-        )
-        .unwrap();
+        let out = simulate_releases(&tasks, &releases, Policy::EdfPreemptive, Time::from_int(50))
+            .unwrap();
         assert!(out.all_deadlines_met());
         assert_eq!(out.completions.len(), 5);
     }
@@ -367,8 +364,7 @@ mod tests {
     #[test]
     fn generated_sporadic_releases_respect_separation() {
         let min_sep = d(4);
-        let releases =
-            generate_sporadic_releases(min_sep, Time::from_int(500), 6, 30, 99).unwrap();
+        let releases = generate_sporadic_releases(min_sep, Time::from_int(500), 6, 30, 99).unwrap();
         assert_eq!(releases[0], Time::ZERO);
         let mut saw_pause = false;
         for pair in releases.windows(2) {
@@ -383,9 +379,8 @@ mod tests {
     #[test]
     fn generated_releases_drive_the_simulator() {
         let tasks = ts(&[(6, 2)]);
-        let releases = vec![
-            generate_sporadic_releases(d(6), Time::from_int(200), 4, 25, 5).unwrap(),
-        ];
+        let releases =
+            vec![generate_sporadic_releases(d(6), Time::from_int(200), 4, 25, 5).unwrap()];
         let out = simulate_releases(
             &tasks,
             &releases,
@@ -410,9 +405,7 @@ mod tests {
     fn validation() {
         let tasks = ts(&[(2, 1)]);
         assert!(simulate(&tasks, Policy::EdfPreemptive, Time::ZERO).is_err());
-        assert!(
-            simulate_releases(&tasks, &[], Policy::EdfPreemptive, Time::from_int(10)).is_err()
-        );
+        assert!(simulate_releases(&tasks, &[], Policy::EdfPreemptive, Time::from_int(10)).is_err());
     }
 
     #[test]

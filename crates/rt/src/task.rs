@@ -191,7 +191,12 @@ impl TaskSet {
     ///
     /// Returns [`Error::InvalidParams`] if the set is empty.
     pub fn sporadic(tasks: Vec<SporadicTask>) -> Result<TaskSet> {
-        TaskSet::periodic(tasks.iter().map(SporadicTask::worst_case_periodic).collect())
+        TaskSet::periodic(
+            tasks
+                .iter()
+                .map(SporadicTask::worst_case_periodic)
+                .collect(),
+        )
     }
 
     /// The number of tasks.

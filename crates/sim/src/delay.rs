@@ -134,7 +134,12 @@ impl TargetedDelay {
     /// # Errors
     ///
     /// Returns [`Error::InvalidParams`] if `delay < 0`.
-    pub fn with_edge(mut self, from: ProcessId, to: ProcessId, delay: Dur) -> Result<TargetedDelay> {
+    pub fn with_edge(
+        mut self,
+        from: ProcessId,
+        to: ProcessId,
+        delay: Dur,
+    ) -> Result<TargetedDelay> {
         if delay.is_negative() {
             return Err(Error::invalid_params("TargetedDelay requires delay >= 0"));
         }
@@ -146,7 +151,12 @@ impl TargetedDelay {
     ///
     /// Applied after construction by recording a per-recipient override; an
     /// explicit per-edge override takes precedence.
-    pub fn with_recipient(mut self, to: ProcessId, delay: Dur, senders: usize) -> Result<TargetedDelay> {
+    pub fn with_recipient(
+        mut self,
+        to: ProcessId,
+        delay: Dur,
+        senders: usize,
+    ) -> Result<TargetedDelay> {
         if delay.is_negative() {
             return Err(Error::invalid_params("TargetedDelay requires delay >= 0"));
         }
@@ -262,11 +272,8 @@ mod tests {
 
     #[test]
     fn scripted_delay_replays_then_falls_back() {
-        let mut d = ScriptedDelay::new(
-            vec![Dur::from_int(5), Dur::from_int(1)],
-            Dur::from_int(2),
-        )
-        .unwrap();
+        let mut d =
+            ScriptedDelay::new(vec![Dur::from_int(5), Dur::from_int(1)], Dur::from_int(2)).unwrap();
         assert_eq!(d.delay(p(0), p(1), Time::ZERO), Dur::from_int(5));
         assert_eq!(d.delay(p(0), p(1), Time::ZERO), Dur::from_int(1));
         assert_eq!(d.delay(p(0), p(1), Time::ZERO), Dur::from_int(2));

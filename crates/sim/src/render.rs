@@ -74,7 +74,6 @@ pub fn render_timeline(trace: &Trace, max_lines: usize) -> String {
     out
 }
 
-
 /// Renders the trace as two CSV blocks (events, then messages), for
 /// external plotting or spreadsheet inspection.
 ///
@@ -91,10 +90,10 @@ pub fn to_csv(trace: &Trace) -> String {
                     None => var.to_string(),
                 },
             ),
-            StepKind::MpStep { received, broadcast } => (
-                "step",
-                format!("recv={received};bcast={broadcast}"),
-            ),
+            StepKind::MpStep {
+                received,
+                broadcast,
+            } => ("step", format!("recv={received};bcast={broadcast}")),
             StepKind::Deliver { msg } => ("deliver", msg.to_string()),
         };
         let _ = writeln!(

@@ -365,7 +365,6 @@ impl StepSchedule for ExplicitSchedule {
     }
 }
 
-
 /// Composes different schedules per process: process `i` follows
 /// `schedules[i]` (the last schedule serves any overflow ids). This is the
 /// general adversary combinator — e.g. one process on [`SporadicBursts`]
@@ -447,8 +446,7 @@ mod tests {
 
     #[test]
     fn fixed_periods_steps() {
-        let mut s =
-            FixedPeriods::new(vec![Dur::from_int(2), Dur::from_int(5)]).unwrap();
+        let mut s = FixedPeriods::new(vec![Dur::from_int(2), Dur::from_int(5)]).unwrap();
         let p0 = ProcessId::new(0);
         let p1 = ProcessId::new(1);
         assert_eq!(s.first_step(p0), Time::from_int(2));
@@ -528,12 +526,8 @@ mod tests {
 
     #[test]
     fn slow_process_slows_only_target() {
-        let mut s = SlowProcess::new(
-            Dur::from_int(1),
-            ProcessId::new(2),
-            Dur::from_int(10),
-        )
-        .unwrap();
+        let mut s =
+            SlowProcess::new(Dur::from_int(1), ProcessId::new(2), Dur::from_int(10)).unwrap();
         assert_eq!(s.first_step(ProcessId::new(0)), Time::from_int(1));
         assert_eq!(s.first_step(ProcessId::new(2)), Time::from_int(10));
         assert_eq!(

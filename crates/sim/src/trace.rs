@@ -294,13 +294,14 @@ impl Trace {
     where
         F: Fn(ProcessId) -> Option<PortId> + 'a,
     {
-        self.events.iter().enumerate().filter_map(move |(i, e)| {
-            match &e.kind {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| match &e.kind {
                 StepKind::VarAccess { port, .. } => port.map(|p| (i, p)),
                 StepKind::MpStep { .. } => port_of(e.process).map(|p| (i, p)),
                 StepKind::Deliver { .. } => None,
-            }
-        })
+            })
     }
 }
 
@@ -436,10 +437,7 @@ mod tests {
         });
         assert_eq!(trace.step_count(ProcessId::new(1)), 1);
         assert_eq!(trace.step_times(ProcessId::new(1)), vec![Time::from_int(3)]);
-        assert_eq!(
-            trace.message(msg).unwrap().delay(),
-            Some(Dur::from_int(1))
-        );
+        assert_eq!(trace.message(msg).unwrap().delay(), Some(Dur::from_int(1)));
     }
 
     #[test]

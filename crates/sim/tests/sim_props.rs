@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use session_sim::{
-    DelayPolicy, EventQueue, FixedPeriods, HopDelay, JitterSchedule, SporadicBursts,
-    StepSchedule, UniformDelay,
+    DelayPolicy, EventQueue, FixedPeriods, HopDelay, JitterSchedule, SporadicBursts, StepSchedule,
+    UniformDelay,
 };
 use session_types::{Dur, ProcessId, Ratio, Time};
 

@@ -195,7 +195,14 @@ impl<V> SmEngine<V> {
             queue.push(schedule.first_step(p), p);
         }
         let mut steps = 0u64;
+        #[cfg(feature = "strict-invariants")]
+        let mut last_time = Time::ZERO;
         while let Some((now, p)) = queue.pop() {
+            #[cfg(feature = "strict-invariants")]
+            {
+                debug_assert!(now >= last_time, "event times must be nondecreasing");
+                last_time = now;
+            }
             if !limits.allows(steps, now) {
                 return Ok(RunOutcome {
                     trace,
@@ -254,11 +261,18 @@ impl<V> SmEngine<V> {
             return Err(Error::unknown_id(format!("process {p}")));
         }
         let process = &mut self.processes[p.index()];
+        #[cfg(feature = "strict-invariants")]
+        let was_idle = process.is_idle();
         let var = process.target();
         self.memory.access(p, var, |value| {
             let new_value = process.step(value);
             *value = new_value;
         })?;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            !was_idle || self.processes[p.index()].is_idle(),
+            "idle states must be closed under steps (process {p} un-idled)"
+        );
         let port = self
             .port_by_var
             .get(&var)
@@ -314,15 +328,21 @@ mod tests {
 
     #[test]
     fn run_terminates_when_watched_processes_idle() {
-        let mut engine =
-            SmEngine::new(vec![0u64, 0], vec![countdown(0, 3), countdown(1, 1)], 2, vec![])
-                .unwrap();
+        let mut engine = SmEngine::new(
+            vec![0u64, 0],
+            vec![countdown(0, 3), countdown(1, 1)],
+            2,
+            vec![],
+        )
+        .unwrap();
         let mut sched = FixedPeriods::uniform(2, Dur::from_int(2)).unwrap();
         let outcome = engine.run(&mut sched, RunLimits::default()).unwrap();
         assert!(outcome.terminated);
         // p0 needs 3 steps at period 2 => idle at t=6; p1 idle at t=2.
         assert_eq!(
-            outcome.trace.all_idle_time([ProcessId::new(0), ProcessId::new(1)]),
+            outcome
+                .trace
+                .all_idle_time([ProcessId::new(0), ProcessId::new(1)]),
             Some(Time::from_int(6))
         );
         assert_eq!(engine.memory().value(VarId::new(0)), &3);
@@ -418,8 +438,13 @@ mod tests {
 
     #[test]
     fn scripted_run_follows_script_exactly() {
-        let mut engine =
-            SmEngine::new(vec![0u64], vec![countdown(0, 2), countdown(0, 2)], 2, vec![]).unwrap();
+        let mut engine = SmEngine::new(
+            vec![0u64],
+            vec![countdown(0, 2), countdown(0, 2)],
+            2,
+            vec![],
+        )
+        .unwrap();
         let script = vec![
             (Time::from_int(1), ProcessId::new(1)),
             (Time::from_int(1), ProcessId::new(0)),
@@ -441,7 +466,13 @@ mod tests {
         // the same global state (the executable content of Claim 5.2 for
         // independent steps).
         let build = || {
-            SmEngine::new(vec![0u64, 0], vec![countdown(0, 2), countdown(1, 2)], 2, vec![]).unwrap()
+            SmEngine::new(
+                vec![0u64, 0],
+                vec![countdown(0, 2), countdown(1, 2)],
+                2,
+                vec![],
+            )
+            .unwrap()
         };
         let mut a = build();
         let mut b = build();
@@ -471,11 +502,13 @@ mod tests {
             process: ProcessId::new(process),
         };
         // Missing variable.
-        assert!(SmEngine::new(vec![0u64], vec![countdown(0, 1)], 2, vec![mk_bind(0, 3, 0)])
-            .is_err());
+        assert!(
+            SmEngine::new(vec![0u64], vec![countdown(0, 1)], 2, vec![mk_bind(0, 3, 0)]).is_err()
+        );
         // Missing process.
-        assert!(SmEngine::new(vec![0u64], vec![countdown(0, 1)], 2, vec![mk_bind(0, 0, 3)])
-            .is_err());
+        assert!(
+            SmEngine::new(vec![0u64], vec![countdown(0, 1)], 2, vec![mk_bind(0, 0, 3)]).is_err()
+        );
         // Duplicate port.
         assert!(SmEngine::new(
             vec![0u64, 0],

@@ -135,7 +135,8 @@ mod tests {
     #[test]
     fn read_modify_write_is_atomic_per_call() {
         let mut mem = SharedMemory::new(vec![1u64], 2);
-        mem.access(p(0), VarId::new(0), |v| *v = *v * 10 + 3).unwrap();
+        mem.access(p(0), VarId::new(0), |v| *v = *v * 10 + 3)
+            .unwrap();
         assert_eq!(mem.value(VarId::new(0)), &13);
     }
 

@@ -349,13 +349,8 @@ mod tests {
                 processes.push(Box::new(relay));
             }
             let num_processes = processes.len();
-            let mut engine = SmEngine::new(
-                vec![Knowledge::new(); num_vars],
-                processes,
-                b,
-                vec![],
-            )
-            .unwrap();
+            let mut engine =
+                SmEngine::new(vec![Knowledge::new(); num_vars], processes, b, vec![]).unwrap();
             // Watch only the leaves: wrap by giving ports? Simpler: watch
             // defaults to all processes, but relays never idle, so script
             // rounds manually and check leaf idleness.

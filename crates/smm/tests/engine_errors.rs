@@ -1,8 +1,8 @@
 //! Failure-injection tests for the shared-memory engine: every misuse must
 //! surface as a structured error, never as silent corruption.
 
-use session_smm::{JoinSemiLattice, Knowledge, PortBinding, SmEngine, SmProcess};
 use session_sim::{FixedPeriods, RunLimits};
+use session_smm::{JoinSemiLattice, Knowledge, PortBinding, SmEngine, SmProcess};
 use session_types::{Dur, Error, PortId, ProcessId, Time, VarId};
 
 /// A process that can be configured to misbehave by targeting any variable.
@@ -36,8 +36,7 @@ fn boxed(target: usize) -> Box<dyn SmProcess<Knowledge>> {
 
 #[test]
 fn scripted_step_for_unknown_process_errors() {
-    let mut engine =
-        SmEngine::new(vec![Knowledge::new()], vec![boxed(0)], 2, vec![]).unwrap();
+    let mut engine = SmEngine::new(vec![Knowledge::new()], vec![boxed(0)], 2, vec![]).unwrap();
     let err = engine
         .run_scripted(&[(Time::from_int(1), ProcessId::new(7))])
         .unwrap_err();
@@ -46,8 +45,7 @@ fn scripted_step_for_unknown_process_errors() {
 
 #[test]
 fn targeting_a_missing_variable_errors() {
-    let mut engine =
-        SmEngine::new(vec![Knowledge::new()], vec![boxed(5)], 2, vec![]).unwrap();
+    let mut engine = SmEngine::new(vec![Knowledge::new()], vec![boxed(5)], 2, vec![]).unwrap();
     let mut sched = FixedPeriods::uniform(1, Dur::ONE).unwrap();
     let err = engine.run(&mut sched, RunLimits::default()).unwrap_err();
     assert!(matches!(err, Error::UnknownId { .. }), "{err}");
@@ -65,7 +63,11 @@ fn b_bound_error_names_the_offender() {
     let mut sched = FixedPeriods::uniform(3, Dur::ONE).unwrap();
     let err = engine.run(&mut sched, RunLimits::default()).unwrap_err();
     match err {
-        Error::BBoundViolation { var, bound, process } => {
+        Error::BBoundViolation {
+            var,
+            bound,
+            process,
+        } => {
             assert_eq!(var, VarId::new(0));
             assert_eq!(bound, 2);
             assert_eq!(process, ProcessId::new(2), "FIFO order: p2 is third");
@@ -112,8 +114,7 @@ fn port_binding_to_variable_owned_by_wrong_process_is_structural() {
 
 #[test]
 fn zero_step_budget_reports_nontermination_immediately() {
-    let mut engine =
-        SmEngine::new(vec![Knowledge::new()], vec![boxed(0)], 2, vec![]).unwrap();
+    let mut engine = SmEngine::new(vec![Knowledge::new()], vec![boxed(0)], 2, vec![]).unwrap();
     let mut sched = FixedPeriods::uniform(1, Dur::ONE).unwrap();
     let outcome = engine
         .run(&mut sched, RunLimits::default().with_max_steps(0))

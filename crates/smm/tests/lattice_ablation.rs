@@ -67,11 +67,7 @@ impl SmProcess<Knowledge> for Announcer {
     }
 }
 
-fn build_system(
-    n: usize,
-    b: usize,
-    overwriting: bool,
-) -> (SmEngine<Knowledge>, TreeSpec) {
+fn build_system(n: usize, b: usize, overwriting: bool) -> (SmEngine<Knowledge>, TreeSpec) {
     let tree = TreeSpec::build(n, b);
     let mut processes: Vec<Box<dyn SmProcess<Knowledge>>> = Vec::new();
     for i in 0..n {
@@ -86,8 +82,7 @@ fn build_system(
         if overwriting {
             // Rebuild the same target cycle, but with overwrite semantics.
             let v = n + node;
-            let mut targets: Vec<VarId> =
-                tree.children(v).iter().map(|&c| VarId::new(c)).collect();
+            let mut targets: Vec<VarId> = tree.children(v).iter().map(|&c| VarId::new(c)).collect();
             targets.push(VarId::new(v));
             processes.push(Box::new(OverwritingRelay::new(targets)));
         } else {
@@ -109,12 +104,11 @@ fn build_system(
 /// so an overwriting relay forgets what it learned.
 fn adversarial_script(num_processes: usize, rounds: usize) -> Vec<(Time, ProcessId)> {
     let mut script = Vec::new();
-    let mut t = 1i128;
-    for _ in 0..rounds {
+    for round in 0..rounds {
+        let t = Time::from_int(round as i128 + 1);
         for p in 0..num_processes {
-            script.push((Time::from_int(t), ProcessId::new(p)));
+            script.push((t, ProcessId::new(p)));
         }
-        t += 1;
     }
     script
 }

@@ -356,7 +356,11 @@ impl SessionSpec {
 
 impl fmt::Display for SessionSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})-session problem, b = {}", self.s, self.n, self.b)
+        write!(
+            f,
+            "({}, {})-session problem, b = {}",
+            self.s, self.n, self.b
+        )
     }
 }
 
@@ -407,27 +411,33 @@ mod tests {
 
     #[test]
     fn semi_synchronous_validation() {
-        assert!(
-            KnownBounds::semi_synchronous(Dur::from_int(1), Dur::from_int(4), Dur::from_int(9))
-                .is_ok()
-        );
+        assert!(KnownBounds::semi_synchronous(
+            Dur::from_int(1),
+            Dur::from_int(4),
+            Dur::from_int(9)
+        )
+        .is_ok());
         assert!(
             KnownBounds::semi_synchronous(Dur::ZERO, Dur::from_int(4), Dur::from_int(9)).is_err()
         );
-        assert!(
-            KnownBounds::semi_synchronous(Dur::from_int(5), Dur::from_int(4), Dur::from_int(9))
-                .is_err()
-        );
-        assert!(
-            KnownBounds::semi_synchronous(Dur::from_int(1), Dur::from_int(4), Dur::from_int(-9))
-                .is_err()
-        );
+        assert!(KnownBounds::semi_synchronous(
+            Dur::from_int(5),
+            Dur::from_int(4),
+            Dur::from_int(9)
+        )
+        .is_err());
+        assert!(KnownBounds::semi_synchronous(
+            Dur::from_int(1),
+            Dur::from_int(4),
+            Dur::from_int(-9)
+        )
+        .is_err());
     }
 
     #[test]
     fn sporadic_validation_and_uncertainty() {
-        let b = KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(10))
-            .unwrap();
+        let b =
+            KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(10)).unwrap();
         assert_eq!(b.delay_uncertainty(), Some(Dur::from_int(8)));
         assert_eq!(b.c2(), None);
         assert!(KnownBounds::sporadic(Dur::ZERO, Dur::ZERO, Dur::from_int(1)).is_err());
@@ -492,8 +502,8 @@ mod tests {
 
     #[test]
     fn known_bounds_display() {
-        let b = KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(9))
-            .unwrap();
+        let b =
+            KnownBounds::sporadic(Dur::from_int(1), Dur::from_int(2), Dur::from_int(9)).unwrap();
         assert_eq!(b.to_string(), "sporadic (c1 = 1, d1 = 2, d2 = 9)");
         assert_eq!(KnownBounds::asynchronous().to_string(), "asynchronous");
         let b = KnownBounds::periodic(Dur::from_int(5)).unwrap();

@@ -168,7 +168,7 @@ impl Ratio {
         let base = if exp < 0 { self.recip() } else { self };
         let mut result = Ratio::ONE;
         for _ in 0..exp.unsigned_abs() {
-            result = result * base;
+            result *= base;
         }
         result
     }

@@ -15,8 +15,8 @@
 //! ```
 
 use session_problem::core::system::build_mp_system;
-use session_problem::core::verify::count_sessions;
 use session_problem::core::system::port_of;
+use session_problem::core::verify::count_sessions;
 use session_problem::rt::bridge::{completion_gap_window, completion_step_schedule};
 use session_problem::rt::sched::{simulate, Policy};
 use session_problem::rt::{analysis, PeriodicTask, TaskSet};

@@ -13,9 +13,9 @@
 //! cargo run --example event_driven_sporadic
 //! ```
 
+use session_problem::core::bounds;
 use session_problem::core::report::{run_mp, MpConfig};
 use session_problem::core::verify::check_admissible;
-use session_problem::core::bounds;
 use session_problem::sim::{RunLimits, SporadicBursts, UniformDelay};
 use session_problem::types::{Dur, Error, KnownBounds, SessionSpec, TimingModel};
 
@@ -49,8 +49,7 @@ fn main() -> Result<(), Error> {
         check_admissible(&report.trace, &kb)?;
         assert!(report.solves(&spec));
         let gamma = report.gamma;
-        let upper =
-            bounds::sporadic_mp_upper(spec.s(), c1, d1, d2, gamma) + d2 + gamma * 2;
+        let upper = bounds::sporadic_mp_upper(spec.s(), c1, d1, d2, gamma) + d2 + gamma * 2;
         println!(
             "  seed {seed:>4}: {} sessions by t = {} (γ = {gamma}, bound ≤ {upper})",
             report.sessions,

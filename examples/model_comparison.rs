@@ -35,7 +35,11 @@ fn main() -> Result<(), Error> {
         };
         let mut sm_sched = FixedPeriods::uniform(sm_procs, c2)?;
         let sm = run_sm(
-            SmConfig { model, spec, bounds },
+            SmConfig {
+                model,
+                spec,
+                bounds,
+            },
             &mut sm_sched,
             RunLimits::default(),
         )?;
@@ -43,7 +47,11 @@ fn main() -> Result<(), Error> {
         let mut mp_sched = FixedPeriods::uniform(spec.n(), c2)?;
         let mut delays = ConstantDelay::new(d2)?;
         let mp = run_mp(
-            MpConfig { model, spec, bounds },
+            MpConfig {
+                model,
+                spec,
+                bounds,
+            },
             &mut mp_sched,
             &mut delays,
             RunLimits::default(),

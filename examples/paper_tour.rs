@@ -87,13 +87,8 @@ fn main() -> Result<(), Error> {
     // ------------------------------------------------------------------
     heading("Theorem 4.3: slow one process and silent algorithms die (Lemma 4.4)");
     let kb = KnownBounds::periodic(d(1))?;
-    let analysis = contamination_analysis(
-        || build_sm_system(&spec, &kb),
-        8,
-        ProcessId::new(7),
-        4,
-        2,
-    )?;
+    let analysis =
+        contamination_analysis(|| build_sm_system(&spec, &kb), 8, ProcessId::new(7), 4, 2)?;
     for sub in &analysis.subrounds {
         println!(
             "  subround {}: |P(t)| = {} ≤ (3^t−1)/2 = {}",
@@ -177,9 +172,7 @@ fn main() -> Result<(), Error> {
     let k = k_period(c1, Dur::ZERO, d(16))?;
     let naive: Vec<Box<dyn session_problem::mpm::MpProcess<session_problem::core::SessionMsg>>> =
         (0..3)
-            .map(|_| {
-                Box::new(session_problem::adversary::naive::NaiveMpPort::new(4)) as Box<_>
-            })
+            .map(|_| Box::new(session_problem::adversary::naive::NaiveMpPort::new(4)) as Box<_>)
             .collect();
     let ports = (0..3)
         .map(|i| (ProcessId::new(i), PortId::new(i)))

@@ -32,9 +32,16 @@ fn main() -> Result<(), Error> {
         RunLimits::default(),
     )?;
     check_admissible(&report.trace, &bounds)?;
-    println!("periodic MP  : {} sessions (needed {}) by t = {}", report.sessions, spec.s(),
-             report.running_time.expect("terminated"));
-    println!("               {} steps, {} rounds, γ = {}", report.steps, report.rounds, report.gamma);
+    println!(
+        "periodic MP  : {} sessions (needed {}) by t = {}",
+        report.sessions,
+        spec.s(),
+        report.running_time.expect("terminated")
+    );
+    println!(
+        "               {} steps, {} rounds, γ = {}",
+        report.steps, report.rounds, report.gamma
+    );
 
     // --- Semi-synchronous shared memory over the tree network. -------
     let c1 = Dur::from_int(1);
@@ -52,10 +59,17 @@ fn main() -> Result<(), Error> {
         RunLimits::default(),
     )?;
     check_admissible(&report.trace, &bounds)?;
-    println!("semi-sync SM : {} sessions (needed {}) by t = {}", report.sessions, spec.s(),
-             report.running_time.expect("terminated"));
-    println!("               tree: {} relays, flood bound {} rounds",
-             tree.num_relays(), tree.flood_rounds_bound());
+    println!(
+        "semi-sync SM : {} sessions (needed {}) by t = {}",
+        report.sessions,
+        spec.s(),
+        report.running_time.expect("terminated")
+    );
+    println!(
+        "               tree: {} relays, flood bound {} rounds",
+        tree.num_relays(),
+        tree.flood_rounds_bound()
+    );
 
     println!("\nBoth traces re-verified: sessions recounted greedily, timing");
     println!("constraints checked exactly (rational time, no tolerances).");

@@ -41,7 +41,7 @@ fn main() -> Result<(), Error> {
         analysis
             .session_close_times
             .iter()
-            .map(|t| t.to_string())
+            .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -50,20 +50,27 @@ fn main() -> Result<(), Error> {
         "messages: {} sent, {} delivered, delays in [{}, {}]",
         analysis.messages_sent,
         analysis.messages_delivered,
-        analysis.min_delay.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-        analysis.max_delay.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        analysis
+            .min_delay
+            .map_or_else(|| "-".into(), |d| d.to_string()),
+        analysis
+            .max_delay
+            .map_or_else(|| "-".into(), |d| d.to_string()),
     );
     for (p, summary) in &analysis.per_process {
         println!(
             "{p}: {} steps ({} port steps), gaps in [{}, {}], idle at {}",
             summary.steps,
             summary.port_steps,
-            summary.min_gap.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            summary.max_gap.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            summary
+                .min_gap
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            summary
+                .max_gap
+                .map_or_else(|| "-".into(), |d| d.to_string()),
             summary
                 .idle_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "never".into()),
+                .map_or_else(|| "never".into(), |t| t.to_string()),
         );
     }
     Ok(())

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The workspace's static-analysis gate, run by CI and locally before
+# merging:
+#
+#   1. rustfmt          -- formatting is canonical
+#   2. clippy           -- the workspace lint policy, warnings are errors
+#   3. analyzer (release tests) -- including the #[ignore]d large
+#      explorations that are too slow under the debug profile
+#   4. session-cli analyze -- the ten paper algorithms must explore clean,
+#      and the three naive witnesses must be flagged with their exact
+#      codes and make the run exit non-zero
+#
+# Usage: scripts/static-analysis.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== analyzer test suite (release, including large explorations) =="
+cargo test -p session-analyzer --release -- --include-ignored
+
+echo "== building session-cli =="
+cargo build -q --release --bin session-cli
+
+echo "== analyze: the ten paper algorithms must be clean =="
+./target/release/session-cli analyze \
+    SyncSm PeriodicSm SemiSyncSm SporadicSm AsyncSm \
+    SyncMp PeriodicMp SemiSyncMp SporadicMp AsyncMp \
+    | tee /tmp/analyze-clean.md
+grep -q "No findings." /tmp/analyze-clean.md
+
+echo "== analyze --all: the witnesses must be flagged and fail the run =="
+# The full run must exit 1 (deny findings present) -- invert the check.
+if ./target/release/session-cli analyze --all > /tmp/analyze-all.md; then
+    echo "ERROR: analyze --all exited 0, the naive witnesses were not flagged" >&2
+    exit 1
+fi
+grep -q "SA001 session-deficit | deny | NaivePeriodicSm" /tmp/analyze-all.md
+grep -q "SA001 session-deficit | deny | NaiveSemiSyncSm" /tmp/analyze-all.md
+grep -q "SA003 stale-evidence | deny | NaiveSporadicMp" /tmp/analyze-all.md
+
+echo "static analysis: OK"

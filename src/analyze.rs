@@ -1,0 +1,222 @@
+//! The `session-cli analyze` subcommand: run the exhaustive small-scope
+//! model checker over named targets (or all of them) and print a lint
+//! report.
+//!
+//! ```text
+//! session-cli analyze --all
+//! session-cli analyze NaivePeriodicSm format=csv
+//! session-cli analyze --all allow=SA005 warn=SA003
+//! session-cli analyze --list
+//! ```
+//!
+//! Exit status (returned by [`AnalyzeConfig::execute`], applied by the
+//! binary): `0` when no deny-severity finding fired, `1` when at least one
+//! did, `2` on usage errors.
+
+use session_analyzer::{analyze_target, target_names, LintCode, LintConfig, Report, Severity};
+use session_types::{Error, Result};
+
+/// Output format for the report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalyzeFormat {
+    /// GitHub-flavored markdown tables (the bench-report dialect).
+    Markdown,
+    /// `code,severity,target,scope,message` rows.
+    Csv,
+}
+
+/// A fully parsed `analyze` command line.
+#[derive(Clone, Debug)]
+pub struct AnalyzeConfig {
+    /// Targets to analyze, in registry order.
+    pub targets: Vec<String>,
+    /// Output format.
+    pub format: AnalyzeFormat,
+    /// Per-rule severity overrides.
+    pub lints: LintConfig,
+    /// When true, print the target registry and exit.
+    pub list: bool,
+}
+
+impl AnalyzeConfig {
+    /// The usage string printed on parse errors.
+    pub const USAGE: &'static str = "\
+usage: session-cli analyze [--all | TARGET ...] [key=value ...]
+  --all                 analyze every registered target
+  --list                print the registered target names and exit
+  format=md|csv         report format (default md)
+  allow=CODE[,CODE...]  suppress rules (SAxxx code or rule name)
+  warn=CODE[,CODE...]   report rules without failing
+  deny=CODE[,CODE...]   restore rules to failing (the default)
+targets: the ten paper algorithms (clean) and three naive witnesses
+(flagged); run `session-cli analyze --list` for the names.";
+
+    /// Parses the arguments after the `analyze` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] (carrying a usage hint) on unknown
+    /// targets, codes, formats or options, and when no target is selected.
+    pub fn parse<I, S>(args: I) -> Result<AnalyzeConfig>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", AnalyzeConfig::USAGE));
+        let mut all = false;
+        let mut list = false;
+        let mut targets: Vec<String> = Vec::new();
+        let mut format = AnalyzeFormat::Markdown;
+        let mut lints = LintConfig::new();
+
+        let set_codes = |lints: &mut LintConfig, value: &str, severity: Severity| {
+            for part in value.split(',') {
+                let code = LintCode::parse(part)
+                    .ok_or_else(|| bad(&format!("unknown lint code `{part}`")))?;
+                lints.set(code, severity);
+            }
+            Ok::<(), Error>(())
+        };
+
+        for arg in args {
+            let arg = arg.as_ref();
+            match arg.split_once('=') {
+                Some(("format", value)) => {
+                    format = match value {
+                        "md" | "markdown" => AnalyzeFormat::Markdown,
+                        "csv" => AnalyzeFormat::Csv,
+                        other => return Err(bad(&format!("unknown format `{other}`"))),
+                    }
+                }
+                Some(("allow", value)) => set_codes(&mut lints, value, Severity::Allow)?,
+                Some(("warn", value)) => set_codes(&mut lints, value, Severity::Warn)?,
+                Some(("deny", value)) => set_codes(&mut lints, value, Severity::Deny)?,
+                Some((other, _)) => return Err(bad(&format!("unknown option `{other}`"))),
+                None if arg == "--all" => all = true,
+                None if arg == "--list" => list = true,
+                None => {
+                    if !target_names().contains(&arg) {
+                        return Err(bad(&format!("unknown target `{arg}`")));
+                    }
+                    targets.push(arg.to_string());
+                }
+            }
+        }
+
+        if all {
+            targets = target_names().iter().map(ToString::to_string).collect();
+        } else if targets.is_empty() && !list {
+            return Err(bad("select targets by name or pass --all"));
+        }
+        Ok(AnalyzeConfig {
+            targets,
+            format,
+            lints,
+            list,
+        })
+    }
+
+    /// Runs the selected explorations and renders the report. The second
+    /// component is `true` when a deny-severity finding fired (the binary
+    /// exits `1`).
+    pub fn execute(&self) -> (String, bool) {
+        if self.list {
+            let mut out = String::new();
+            for name in target_names() {
+                out.push_str(name);
+                out.push('\n');
+            }
+            return (out, false);
+        }
+        let mut report = Report::default();
+        for name in &self.targets {
+            let target = analyze_target(name).expect("parse validated the target names");
+            report.merge(target);
+        }
+        let rendered = match self.format {
+            AnalyzeFormat::Markdown => report.to_markdown(&self.lints),
+            AnalyzeFormat::Csv => report.to_csv(&self.lints),
+        };
+        (rendered, report.has_denials(&self.lints))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_the_whole_registry() {
+        let config = AnalyzeConfig::parse(["--all"]).unwrap();
+        assert_eq!(config.targets.len(), 13);
+        assert_eq!(config.format, AnalyzeFormat::Markdown);
+    }
+
+    #[test]
+    fn named_targets_and_format_parse() {
+        let config = AnalyzeConfig::parse(["NaivePeriodicSm", "SyncSm", "format=csv"]).unwrap();
+        assert_eq!(config.targets, vec!["NaivePeriodicSm", "SyncSm"]);
+        assert_eq!(config.format, AnalyzeFormat::Csv);
+    }
+
+    #[test]
+    fn severity_overrides_parse_by_code_and_name() {
+        let config = AnalyzeConfig::parse(["--all", "allow=SA005", "warn=stale-evidence"]).unwrap();
+        assert_eq!(
+            config.lints.severity(LintCode::NonTermination),
+            Severity::Allow
+        );
+        assert_eq!(
+            config.lints.severity(LintCode::StaleEvidence),
+            Severity::Warn
+        );
+        assert_eq!(
+            config.lints.severity(LintCode::SessionDeficit),
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected_with_usage() {
+        for bad in ["NoSuchTarget", "format=xml", "allow=SA999", "frobnicate=1"] {
+            let err = AnalyzeConfig::parse([bad]).unwrap_err();
+            assert!(
+                err.to_string().contains("usage: session-cli analyze"),
+                "`{bad}` should fail with usage, got: {err}"
+            );
+        }
+        assert!(AnalyzeConfig::parse(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn list_prints_the_registry_without_exploring() {
+        let config = AnalyzeConfig::parse(["--list"]).unwrap();
+        let (out, deny) = config.execute();
+        assert!(out.contains("NaiveSporadicMp"));
+        assert!(!deny);
+    }
+
+    #[test]
+    fn analyzing_a_witness_denies_and_allow_suppresses() {
+        let config = AnalyzeConfig::parse(["NaivePeriodicSm"]).unwrap();
+        let (out, deny) = config.execute();
+        assert!(deny, "the witness must fail the run");
+        assert!(out.contains("SA001"), "{out}");
+        let config = AnalyzeConfig::parse(["NaivePeriodicSm", "allow=SA001,SA005"]).unwrap();
+        let (out, deny) = config.execute();
+        assert!(!deny, "allow must clear the exit status");
+        assert!(out.contains("No findings."), "{out}");
+    }
+
+    #[test]
+    fn clean_target_renders_markdown_summary() {
+        let config = AnalyzeConfig::parse(["SyncSm"]).unwrap();
+        let (out, deny) = config.execute();
+        assert!(!deny);
+        assert!(
+            out.contains("| target | states explored | findings |"),
+            "{out}"
+        );
+        assert!(out.contains("| SyncSm |"), "{out}");
+    }
+}

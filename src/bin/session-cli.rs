@@ -1,12 +1,35 @@
 //! Command-line front end: run any session-problem configuration and print
-//! the verified report. See `session_problem::cli::CliConfig::USAGE`.
+//! the verified report, or run the static analyzer over the algorithm
+//! registry. See `session_problem::cli::CliConfig::USAGE` and
+//! `session_problem::analyze::AnalyzeConfig::USAGE`.
 
+use session_problem::analyze::AnalyzeConfig;
 use session_problem::cli::CliConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+    if args.first().is_some_and(|a| a == "analyze") {
+        match AnalyzeConfig::parse(&args[1..]) {
+            Ok(config) => {
+                let (report, denied) = config.execute();
+                print!("{report}");
+                if denied {
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
         println!("{}", CliConfig::USAGE);
+        println!("\nsubcommands:\n  analyze   exhaustive small-scope model checking (see `session-cli analyze --list`)");
         return;
     }
     match CliConfig::parse(&args).and_then(|config| config.execute()) {

@@ -16,8 +16,8 @@ use session_core::report::{run_mp, run_sm, MpConfig, RunReport, SmConfig};
 use session_core::system::port_of;
 use session_core::verify::check_admissible;
 use session_sim::{
-    render_timeline, ConstantDelay, DelayPolicy, FixedPeriods, HopDelay, JitterSchedule,
-    RunLimits, SporadicBursts, StepSchedule, UniformDelay,
+    render_timeline, ConstantDelay, DelayPolicy, FixedPeriods, HopDelay, JitterSchedule, RunLimits,
+    SporadicBursts, StepSchedule, UniformDelay,
 };
 use session_smm::TreeSpec;
 use session_types::{CommModel, Dur, Error, KnownBounds, Result, SessionSpec, TimingModel};
@@ -151,17 +151,18 @@ usage: session-cli [key=value ...]
                 "timeline" => {
                     timeline = value
                         .parse()
-                        .map_err(|_| bad("timeline must be true or false"))?
+                        .map_err(|_| bad("timeline must be true or false"))?;
                 }
                 "max-steps" => {
                     max_steps = value
                         .parse()
-                        .map_err(|_| bad("max-steps must be an integer"))?
+                        .map_err(|_| bad("max-steps must be an integer"))?;
                 }
                 "schedule" => {
                     schedule = Some(match value.split_once(':') {
                         Some(("uniform", p)) => ScheduleSpec::Uniform(
-                            p.parse().map_err(|_| bad("uniform period must be an integer"))?,
+                            p.parse()
+                                .map_err(|_| bad("uniform period must be an integer"))?,
                         ),
                         Some(("periods", list)) => {
                             let periods: std::result::Result<Vec<i128>, _> =
@@ -173,12 +174,13 @@ usage: session-cli [key=value ...]
                         None if value == "jitter" => ScheduleSpec::Jitter,
                         None if value == "bursts" => ScheduleSpec::Bursts,
                         _ => return Err(bad(&format!("unknown schedule `{value}`"))),
-                    })
+                    });
                 }
                 "delay" => {
                     delay = Some(match value.split_once(':') {
                         Some(("const", x)) => DelaySpec::Constant(
-                            x.parse().map_err(|_| bad("const delay must be an integer"))?,
+                            x.parse()
+                                .map_err(|_| bad("const delay must be an integer"))?,
                         ),
                         Some(("ring", h)) => DelaySpec::Ring(
                             h.parse().map_err(|_| bad("per-hop must be an integer"))?,
@@ -191,7 +193,7 @@ usage: session-cli [key=value ...]
                         ),
                         None if value == "uniform" => DelaySpec::Uniform,
                         _ => return Err(bad(&format!("unknown delay `{value}`"))),
-                    })
+                    });
                 }
                 other => return Err(bad(&format!("unknown option `{other}`"))),
             }
@@ -239,9 +241,7 @@ usage: session-cli [key=value ...]
             ScheduleSpec::Jitter => {
                 Box::new(JitterSchedule::new(d(self.c1), d(self.c2), self.seed)?)
             }
-            ScheduleSpec::Bursts => {
-                Box::new(SporadicBursts::new(d(self.c1), 10, 25, self.seed)?)
-            }
+            ScheduleSpec::Bursts => Box::new(SporadicBursts::new(d(self.c1), 10, 25, self.seed)?),
         })
     }
 
@@ -250,9 +250,7 @@ usage: session-cli [key=value ...]
         let n = self.spec.n();
         Ok(match &self.delay {
             DelaySpec::Constant(x) => Box::new(ConstantDelay::new(d(*x))?),
-            DelaySpec::Uniform => {
-                Box::new(UniformDelay::new(d(self.d1), d(self.d2), self.seed)?)
-            }
+            DelaySpec::Uniform => Box::new(UniformDelay::new(d(self.d1), d(self.d2), self.seed)?),
             DelaySpec::Ring(h) => Box::new(HopDelay::ring(n, d(*h))?),
             DelaySpec::Line(h) => Box::new(HopDelay::line(n, d(*h))?),
             DelaySpec::Star(h) => Box::new(HopDelay::star(n, d(*h))?),
@@ -270,8 +268,7 @@ usage: session-cli [key=value ...]
         let report: RunReport = match self.comm {
             CommModel::SharedMemory => {
                 let tree = TreeSpec::build(self.spec.n(), self.spec.b());
-                let mut schedule =
-                    self.build_schedule(self.spec.n() + tree.num_relays())?;
+                let mut schedule = self.build_schedule(self.spec.n() + tree.num_relays())?;
                 run_sm(
                     SmConfig {
                         model: self.model,
@@ -299,11 +296,7 @@ usage: session-cli [key=value ...]
         };
 
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{} / {} — {}",
-            self.model, self.comm, self.spec
-        );
+        let _ = writeln!(out, "{} / {} — {}", self.model, self.comm, self.spec);
         let admissible = check_admissible(&report.trace, &bounds).is_ok();
         let _ = writeln!(
             out,
@@ -318,8 +311,7 @@ usage: session-cli [key=value ...]
             "running time: {}   steps: {}   γ: {}",
             report
                 .running_time
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "(did not terminate)".into()),
+                .map_or_else(|| "(did not terminate)".into(), |t| t.to_string()),
             report.steps,
             report.gamma
         );

@@ -24,6 +24,7 @@
 //! | [`core`] | `session-core` | the ten session algorithms, verification, Table 1 bounds |
 //! | [`adversary`] | `session-adversary` | executable lower-bound constructions |
 //! | [`rt`] | `session-rt` | real-time task scheduling substrate (§1 motivation) |
+//! | [`analyzer`] | `session-analyzer` | exhaustive small-scope model checker with `SA`-coded lints |
 //!
 //! # Quickstart
 //!
@@ -60,9 +61,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cli;
 
 pub use session_adversary as adversary;
+pub use session_analyzer as analyzer;
 pub use session_core as core;
 pub use session_mpm as mpm;
 pub use session_rt as rt;

@@ -21,16 +21,18 @@ fn broadcasts(model: TimingModel, s: u64, n: usize, c2: Dur, d2: Dur) -> usize {
     let bounds = match model {
         TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
         TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
-        TimingModel::SemiSynchronous => {
-            KnownBounds::semi_synchronous(d(1), c2, d2).unwrap()
-        }
+        TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(d(1), c2, d2).unwrap(),
         TimingModel::Sporadic => KnownBounds::sporadic(d(1), Dur::ZERO, d2).unwrap(),
         TimingModel::Asynchronous => KnownBounds::asynchronous(),
     };
     let mut sched = FixedPeriods::uniform(n, c2).unwrap();
     let mut delays = ConstantDelay::new(d2).unwrap();
     let report = run_mp(
-        MpConfig { model, spec, bounds },
+        MpConfig {
+            model,
+            spec,
+            bounds,
+        },
         &mut sched,
         &mut delays,
         RunLimits::default(),
@@ -41,7 +43,15 @@ fn broadcasts(model: TimingModel, s: u64, n: usize, c2: Dur, d2: Dur) -> usize {
         .trace
         .events()
         .iter()
-        .filter(|e| matches!(e.kind, StepKind::MpStep { broadcast: true, .. }))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                StepKind::MpStep {
+                    broadcast: true,
+                    ..
+                }
+            )
+        })
         .count()
 }
 

@@ -33,21 +33,27 @@ fn all_ten_table1_cells_solve_and_verify() {
         let bounds = match model {
             TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
             TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
-            TimingModel::SemiSynchronous => {
-                KnownBounds::semi_synchronous(c1, c2, d2).unwrap()
-            }
+            TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d2).unwrap(),
             TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap(),
             TimingModel::Asynchronous => KnownBounds::asynchronous(),
         };
         // Shared memory.
         let mut sched = FixedPeriods::uniform(sm_procs, c2).unwrap();
         let sm = run_sm(
-            SmConfig { model, spec, bounds },
+            SmConfig {
+                model,
+                spec,
+                bounds,
+            },
             &mut sched,
             RunLimits::default(),
         )
         .unwrap();
-        assert!(sm.solves(&spec), "{model} SM failed: {} sessions", sm.sessions);
+        assert!(
+            sm.solves(&spec),
+            "{model} SM failed: {} sessions",
+            sm.sessions
+        );
         check_admissible(&sm.trace, &bounds)
             .unwrap_or_else(|e| panic!("{model} SM inadmissible: {e}"));
 
@@ -55,13 +61,21 @@ fn all_ten_table1_cells_solve_and_verify() {
         let mut sched = FixedPeriods::uniform(spec.n(), c2).unwrap();
         let mut delays = ConstantDelay::new(d2).unwrap();
         let mp = run_mp(
-            MpConfig { model, spec, bounds },
+            MpConfig {
+                model,
+                spec,
+                bounds,
+            },
             &mut sched,
             &mut delays,
             RunLimits::default(),
         )
         .unwrap();
-        assert!(mp.solves(&spec), "{model} MP failed: {} sessions", mp.sessions);
+        assert!(
+            mp.solves(&spec),
+            "{model} MP failed: {} sessions",
+            mp.sessions
+        );
         check_admissible(&mp.trace, &bounds)
             .unwrap_or_else(|e| panic!("{model} MP inadmissible: {e}"));
     }
@@ -83,15 +97,17 @@ fn model_hierarchy_orders_running_times() {
         let bounds = match model {
             TimingModel::Synchronous => KnownBounds::synchronous(c2, d2).unwrap(),
             TimingModel::Periodic => KnownBounds::periodic(d2).unwrap(),
-            TimingModel::SemiSynchronous => {
-                KnownBounds::semi_synchronous(c1, c2, d2).unwrap()
-            }
+            TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d2).unwrap(),
             TimingModel::Sporadic => KnownBounds::sporadic(c1, Dur::ZERO, d2).unwrap(),
             TimingModel::Asynchronous => KnownBounds::asynchronous(),
         };
         let mut sched = FixedPeriods::uniform(sm_procs, c2).unwrap();
         let report = run_sm(
-            SmConfig { model, spec, bounds },
+            SmConfig {
+                model,
+                spec,
+                bounds,
+            },
             &mut sched,
             RunLimits::default(),
         )
@@ -126,9 +142,11 @@ fn every_lower_bound_adversary_succeeds() {
     let demo = periodic_mp_demo(&spec, 50, d(8), RunLimits::default()).unwrap();
     assert!(demo.demonstrates_bound(), "periodic MP adversary");
 
-    let demo =
-        semisync_sm_step_counting_demo(&spec, d(1), d(8), RunLimits::default()).unwrap();
-    assert!(demo.demonstrates_bound(), "semi-sync step-counting adversary");
+    let demo = semisync_sm_step_counting_demo(&spec, d(1), d(8), RunLimits::default()).unwrap();
+    assert!(
+        demo.demonstrates_bound(),
+        "semi-sync step-counting adversary"
+    );
 
     let attack = retiming_attack(
         || naive_sm_system(&spec, spec.s()),

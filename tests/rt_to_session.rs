@@ -64,9 +64,7 @@ fn schedulability_analyses_agree_with_simulation() {
                 .collect(),
         )
         .unwrap();
-        let horizon = Time::from_int(
-            set.iter().map(|&(t, _)| t).product::<i128>().min(5_000) * 2,
-        );
+        let horizon = Time::from_int(set.iter().map(|&(t, _)| t).product::<i128>().min(5_000) * 2);
         if analysis::edf_schedulable(&tasks) {
             let edf = simulate(&tasks, Policy::EdfPreemptive, horizon).unwrap();
             assert!(edf.all_deadlines_met(), "EDF missed on {set:?}");
@@ -97,8 +95,7 @@ fn sporadic_releases_produce_sporadic_step_gaps() {
         Time::from_int(45),
     ]];
     let outcome =
-        simulate_releases(&tasks, &releases, Policy::EdfPreemptive, Time::from_int(60))
-            .unwrap();
+        simulate_releases(&tasks, &releases, Policy::EdfPreemptive, Time::from_int(60)).unwrap();
     assert!(outcome.all_deadlines_met());
     let (min_gap, max_gap) = completion_gap_window(&outcome, TaskId::new(0)).unwrap();
     assert!(min_gap >= d(1), "gaps bounded below (c1-like): {min_gap}");
@@ -116,14 +113,8 @@ fn session_layer_processes_map_one_to_one_to_tasks() {
     let mut schedule = completion_step_schedule(&tasks, &outcome, d(5)).unwrap();
     use session_problem::sim::StepSchedule;
     // Process 0's first step is task 0's first completion (t = 1).
-    assert_eq!(
-        schedule.first_step(ProcessId::new(0)),
-        Time::from_int(1)
-    );
+    assert_eq!(schedule.first_step(ProcessId::new(0)), Time::from_int(1));
     // Process 1's first step is task 1's first completion (preempted by
     // task 0, so t = 2).
-    assert_eq!(
-        schedule.first_step(ProcessId::new(1)),
-        Time::from_int(2)
-    );
+    assert_eq!(schedule.first_step(ProcessId::new(1)), Time::from_int(2));
 }

@@ -1,0 +1,272 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! This workspace is built in environments with no access to crates.io, so
+//! the benchmark API its benches use is reimplemented as a small wall-clock
+//! harness: each `Bencher::iter` target is warmed up, then timed over a
+//! sample of batches, and the median per-iteration time is printed as
+//!
+//! ```text
+//! group/id                time: [1.234 µs]  thrpt: [810.4 Kelem/s]
+//! ```
+//!
+//! There are no plots, no statistics beyond the median, and no persisted
+//! baselines — the point is that `cargo bench` (and `cargo clippy
+//! --all-targets`) keep working offline with the same bench sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Throughput annotation for a group's measurements.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Annotates measurements with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            median: None,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.median);
+        self
+    }
+
+    /// Runs one benchmark over an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| f(bencher, input))
+    }
+
+    /// Ends the group. (A no-op beyond API compatibility.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, median: Option<Duration>) {
+        let label = format!("{}/{}", self.name, id);
+        match median {
+            Some(median) => {
+                let throughput = match self.throughput {
+                    Some(Throughput::Elements(n)) if !median.is_zero() => {
+                        format!(
+                            "  thrpt: [{:.4} Melem/s]",
+                            n as f64 / median.as_secs_f64() / 1e6
+                        )
+                    }
+                    Some(Throughput::Bytes(n)) if !median.is_zero() => {
+                        format!(
+                            "  thrpt: [{:.4} MiB/s]",
+                            n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+                        )
+                    }
+                    _ => String::new(),
+                };
+                println!("{label:<48} time: [{median:.2?}]{throughput}");
+            }
+            None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Times a closure. Passed to every bench target.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median per-iteration time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost so each sample batch is sized sensibly.
+        let warm_start = Instant::now();
+        let mut iterations: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            iterations += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iterations.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+        }
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a group of bench functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+            .throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("add", 1), |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sm", 4).to_string(), "sm/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,27 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `true` with probability `probability`.
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "weighted probability must be in [0, 1]"
+    );
+    Weighted { probability }
+}
+
+/// See [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.random_unit_f64() < self.probability)
+    }
+}

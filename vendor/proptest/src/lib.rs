@@ -1,0 +1,141 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! This workspace is built in environments with no access to crates.io, so
+//! the slice of `proptest` it uses is reimplemented here:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`] / [`prop_oneof!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `boxed`, [`strategy::Just`], integer-range and tuple strategies,
+//! * [`collection::vec`], [`collection::btree_map`], [`bool::weighted`]
+//!   and [`arbitrary::any`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** On failure the runner prints the failing inputs,
+//!   the per-case replay seed (`cc <16 hex digits>`) and the test name,
+//!   then re-raises the panic. Failures are still exactly reproducible:
+//!   every case derives its own seed from the test's name and index, and
+//!   recorded seeds are replayed from the crate's
+//!   `proptest-regressions/<source-stem>.txt` file before fresh cases run.
+//! * **Deterministic by default.** The base seed is a hash of the test's
+//!   full path, so a run is reproducible without any environment setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+#[allow(clippy::module_inception)]
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in 0u64..10, ys in proptest::collection::vec(0i128..4, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    |__rng: &mut $crate::test_runner::TestRng, __desc: &mut String| {
+                        $(
+                            let $arg = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                                Some(__v) => {
+                                    use ::std::fmt::Write as _;
+                                    let _ = writeln!(__desc, "    {} = {:?}", stringify!($arg), __v);
+                                    __v
+                                }
+                                None => return $crate::test_runner::CaseResult::Reject,
+                            };
+                        )+
+                        $body
+                        $crate::test_runner::CaseResult::Pass
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Discards the current case (it counts as rejected, not failed) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::test_runner::AssumeRejected);
+        }
+    };
+}
+
+/// A strategy choosing uniformly between the given strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,271 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Runner configuration. Mirrors the `proptest::test_runner::ProptestConfig`
+/// fields this workspace touches.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases required for the test to pass.
+    pub cases: u32,
+    /// Give up after this many rejected cases (filters and `prop_assume!`).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator from a case seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform sample from an integer range.
+    pub fn random_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample(&mut self.inner)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn random_unit_f64(&mut self) -> f64 {
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Panic payload used by [`crate::prop_assume!`] to discard a case.
+#[derive(Clone, Copy, Debug)]
+pub struct AssumeRejected;
+
+/// Outcome of one generated case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The case ran to completion.
+    Pass,
+    /// The case was discarded before running (filter or assume).
+    Reject,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn mix(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `<manifest dir>/proptest-regressions/<source file stem>.txt` — the one
+/// place recorded failures are read from (and appended to). Keeping this in
+/// one function pins the layout the repo's regression files must use.
+fn regression_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let stem = Path::new(source_file).file_stem()?;
+    let mut path = PathBuf::from(manifest_dir);
+    path.push("proptest-regressions");
+    path.push(stem);
+    path.set_extension("txt");
+    Some(path)
+}
+
+/// Parses recorded `cc <16 hex digits> [# comment]` lines into case seeds.
+/// Anything else (comments, the upstream sha-based `cc` format) is skipped.
+fn recorded_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            (token.len() == 16).then(|| u64::from_str_radix(token, 16).ok())?
+        })
+        .collect()
+}
+
+fn record_failure(path: &Path, seed: u64, test_name: &str) {
+    // Best effort: failures are still fully reported on stderr if the
+    // source tree is read-only.
+    let header_needed = !path.exists();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            file,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # Format: each line is `cc <16-hex-digit case seed> # comment`."
+        );
+    }
+    let _ = writeln!(file, "cc {seed:016x} # failed case in {test_name}");
+}
+
+/// Runs one property test: replays recorded regression seeds, then runs
+/// fresh deterministic cases until `config.cases` accept.
+///
+/// # Panics
+///
+/// Re-raises the first case failure (after printing the inputs and replay
+/// seed), and panics if too many cases are rejected.
+pub fn run<F>(
+    config: &ProptestConfig,
+    test_name: &str,
+    manifest_dir: &str,
+    source_file: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng, &mut String) -> CaseResult,
+{
+    let regressions = regression_path(manifest_dir, source_file);
+    if let Some(path) = &regressions {
+        for seed in recorded_seeds(path) {
+            let _ = run_one(seed, test_name, None, &mut case);
+        }
+    }
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut index: u64 = 0;
+    while accepted < config.cases {
+        let seed = mix(base_seed, index);
+        index += 1;
+        match run_one(seed, test_name, regressions.as_deref(), &mut case) {
+            CaseResult::Pass => accepted += 1,
+            CaseResult::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest: {test_name} rejected {rejected} cases \
+                     (accepted {accepted}/{} wanted); filters or prop_assume! \
+                     are too strict",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+fn run_one<F>(seed: u64, test_name: &str, record_to: Option<&Path>, case: &mut F) -> CaseResult
+where
+    F: FnMut(&mut TestRng, &mut String) -> CaseResult,
+{
+    let mut rng = TestRng::new(seed);
+    let mut desc = String::new();
+    match catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut desc))) {
+        Ok(result) => result,
+        Err(payload) => {
+            if payload.downcast_ref::<AssumeRejected>().is_some() {
+                return CaseResult::Reject;
+            }
+            eprintln!(
+                "proptest: {test_name} failed (no shrinking in the vendored runner)\n\
+                   replay line: cc {seed:016x}\n\
+                   inputs:\n{desc}"
+            );
+            if let Some(path) = record_to {
+                record_failure(path, seed, test_name);
+            }
+            resume_unwind(payload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_overrides_only_cases() {
+        let config = ProptestConfig::with_cases(7);
+        assert_eq!(config.cases, 7);
+        assert_eq!(
+            config.max_global_rejects,
+            ProptestConfig::default().max_global_rejects
+        );
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        assert_eq!(fnv1a(b"a::b"), fnv1a(b"a::b"));
+        assert_ne!(fnv1a(b"a::b"), fnv1a(b"a::c"));
+        assert_ne!(mix(1, 0), mix(1, 1));
+    }
+
+    #[test]
+    fn recorded_seed_lines_are_parsed_and_junk_is_skipped() {
+        let dir = std::env::temp_dir().join("session-proptest-stub-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("seeds.txt");
+        std::fs::write(
+            &path,
+            "# comment\ncc 00000000000000ff # pinned\ncc a33a774bd1e7af552ccee210cf2c8efd # sha-format, skipped\n",
+        )
+        .unwrap();
+        assert_eq!(recorded_seeds(&path), vec![0xff]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejecting_every_case_gives_up() {
+        let config = ProptestConfig {
+            cases: 4,
+            max_global_rejects: 10,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(&config, "t", "/nonexistent", "x.rs", |_, _| {
+                CaseResult::Reject
+            });
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! This workspace is built in environments with no access to crates.io, so
+//! the tiny slice of `rand` it actually uses is reimplemented here:
+//!
+//! * [`rngs::StdRng`] — a deterministic generator (xoshiro256++ seeded via
+//!   SplitMix64, the same construction the real `rand` uses for
+//!   `seed_from_u64`);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`RngExt::random_range`] over integer ranges.
+//!
+//! Determinism is the only contract the workspace relies on: the same seed
+//! must always produce the same sequence (traces and experiments are
+//! reproducible by seed), and distinct seeds should produce distinct
+//! streams. Statistical quality beyond that is a non-goal, though
+//! xoshiro256++ is a respectable generator in its own right.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64` words. Mirror of `rand::RngCore`, reduced to
+/// the one method everything else can be derived from.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Marker mirroring `rand::Rng`; implemented for every [`RngCore`].
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension trait mirroring `rand::RngExt`: high-level sampling methods.
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`. Panics if the range is empty.
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// A generator constructible from a `u64` seed. Mirror of
+/// `rand::SeedableRng`, reduced to `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// with SplitMix64 seed expansion.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let state = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// A range that knows how to draw a uniform sample from an [`RngCore`].
+/// Mirror of `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one sample. Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Rejection zone keeps the sample exactly uniform.
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if wide <= zone {
+            return wide % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = uniform_below(rng, span);
+                ((self.start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let offset = uniform_below(rng, span);
+                ((start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+// u64 and i128 cover the full i128 arithmetic width, so they get direct
+// implementations instead of the widening macro above.
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = u128::from(self.end) - u128::from(self.start);
+        self.start + uniform_below(rng, span) as u64
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let span = u128::from(end) - u128::from(start) + 1;
+        if span == 0 {
+            return rng.next_u64(); // full u64 range
+        }
+        start + uniform_below(rng, span) as u64
+    }
+}
+
+impl SampleRange<i128> for Range<i128> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> i128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(uniform_below(rng, span) as i128)
+    }
+}
+
+impl SampleRange<i128> for RangeInclusive<i128> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> i128 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let span = end.wrapping_sub(start) as u128;
+        if span == u128::MAX {
+            let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            return wide as i128; // full i128 range
+        }
+        start.wrapping_add(uniform_below(rng, span + 1) as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).all(|_| a.random_range(0..u64::MAX) == b.random_range(0..u64::MAX));
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_hit_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw = [false; 5];
+        for _ in 0..500 {
+            saw[rng.random_range(0..=4usize)] = true;
+        }
+        assert!(saw.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn half_open_range_excludes_end() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let x = rng.random_range(-3i128..3);
+            assert!((-3..3).contains(&x));
+        }
+    }
+}
