@@ -21,6 +21,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashSet};
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use session_obs::{NullRecorder, Recorder};
 
 use crate::diag::LintCode;
 use crate::machine::{MpMachine, SmMachine, StepInfo};
@@ -160,6 +163,22 @@ pub struct Exploration {
 /// roots. `s` is the required session count, `n` the number of ports,
 /// `max_depth` the per-path event budget.
 pub fn explore(roots: &[AnyMachine], n: usize, s: u64, max_depth: usize) -> Exploration {
+    explore_recorded(roots, n, s, max_depth, &mut NullRecorder)
+}
+
+/// [`explore`] with instrumentation: emits `explore.memo_hits` /
+/// `explore.memo_misses` counters, an `explore.frontier_depth` histogram
+/// (DFS path length at each expansion) and final `explore.states` /
+/// `explore.states_per_sec` gauges to `recorder`, timing each root under
+/// an `explore.root` span.
+pub fn explore_recorded(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    recorder: &mut dyn Recorder,
+) -> Exploration {
+    let started = Instant::now();
     let mut explorer = Explorer {
         memo: HashSet::new(),
         on_path: HashSet::new(),
@@ -168,20 +187,30 @@ pub fn explore(roots: &[AnyMachine], n: usize, s: u64, max_depth: usize) -> Expl
         current_root: 0,
         s,
         max_depth,
+        recorder,
     };
     for (root_index, root) in roots.iter().enumerate() {
         explorer.current_root = root_index;
         let counter = SessionCounter::new(n, s);
         let mut path = Vec::new();
+        explorer.recorder.span_start("explore.root");
         explorer.dfs(root.clone(), counter, &mut path);
+        explorer.recorder.span_end();
     }
-    Exploration {
-        states: explorer.states,
-        violations: explorer.violations,
+    let Explorer {
+        states, violations, ..
+    } = explorer;
+    if recorder.is_enabled() {
+        recorder.gauge("explore.states", states as f64);
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
+        }
     }
+    Exploration { states, violations }
 }
 
-struct Explorer {
+struct Explorer<'r> {
     /// States (machine × counter) already fully explored (and, for clean
     /// targets, thereby proven to quiesce with enough sessions on every
     /// continuation).
@@ -194,9 +223,10 @@ struct Explorer {
     current_root: usize,
     s: u64,
     max_depth: usize,
+    recorder: &'r mut dyn Recorder,
 }
 
-impl Explorer {
+impl Explorer<'_> {
     fn key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
         let mut hasher = DefaultHasher::new();
         machine.state_hash().hash(&mut hasher);
@@ -238,8 +268,10 @@ impl Explorer {
             return;
         }
         if self.memo.contains(&key) {
+            self.recorder.counter("explore.memo_hits", 1);
             return;
         }
+        self.recorder.counter("explore.memo_misses", 1);
         if path.len() >= self.max_depth {
             self.record(
                 LintCode::NonTermination,
@@ -261,6 +293,10 @@ impl Explorer {
     fn expand(&mut self, machine: &AnyMachine, counter: &SessionCounter, path: &mut Vec<usize>) {
         let choices = machine.choice_count();
         debug_assert!(choices > 0, "non-quiescent machine must have events");
+        if self.recorder.is_enabled() {
+            self.recorder
+                .observe("explore.frontier_depth", path.len() as f64);
+        }
         for choice in 0..choices {
             path.push(choice);
             let mut next = machine.clone();

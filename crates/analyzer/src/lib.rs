@@ -37,4 +37,6 @@ pub mod targets;
 
 pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity};
 pub use scope::Scope;
-pub use targets::{analyze_all, analyze_target, target_names, TARGET_NAMES};
+pub use targets::{
+    analyze_all, analyze_target, analyze_target_recorded, target_names, TARGET_NAMES,
+};

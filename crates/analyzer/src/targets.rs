@@ -31,7 +31,7 @@ use session_smm::TreeSpec;
 use session_types::{Dur, KnownBounds, ProcessId, Time, TimingModel, VarId};
 
 use crate::diag::{Diagnostic, LintCode, Report};
-use crate::explore::{explore, AnyMachine, SessionCounter};
+use crate::explore::{explore_recorded, AnyMachine, SessionCounter};
 use crate::machine::{assignments, sm_system_algos, GapMode, MpAlgo, MpMachine, SmAlgo, SmMachine};
 use crate::replay;
 use crate::scope::Scope;
@@ -424,12 +424,23 @@ fn incremental_sessions(root: &AnyMachine, path: &[usize], n: usize, s: u64) -> 
 /// reconstructs and self-checks a counterexample for every violation, and
 /// returns the report. `None` for an unknown target name.
 pub fn analyze_target(name: &str) -> Option<Report> {
+    analyze_target_recorded(name, &mut session_obs::NullRecorder)
+}
+
+/// [`analyze_target`] with instrumentation: forwards the explorer's
+/// `explore.*` metrics (memo hit/miss counters, frontier-depth histogram,
+/// states and states/sec gauges) to `recorder`.
+pub fn analyze_target_recorded(
+    name: &str,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Option<Report> {
     let built = build_target(name)?;
-    let exploration = explore(
+    let exploration = explore_recorded(
         &built.roots,
         built.scope.n,
         built.scope.s,
         built.scope.max_depth,
+        recorder,
     );
     let mut report = Report::default();
     report.targets.push((name.to_string(), exploration.states));

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use session_mpm::{Envelope, MpEngine, MpProcess};
+use session_obs::NullRecorder;
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_smm::{SmEngine, SmProcess};
 use session_types::{Dur, PortId, ProcessId, VarId};
@@ -69,6 +70,47 @@ fn mp_steps(num_processes: usize, steps: u64) {
     assert_eq!(outcome.steps, steps);
 }
 
+/// The SM spinner run through the recorded entry point with the null
+/// recorder — measures the cost of the instrumentation seams themselves.
+fn sm_steps_null_recorded(num_processes: usize, steps: u64) {
+    let processes: Vec<Box<dyn SmProcess<u64>>> = (0..num_processes)
+        .map(|i| Box::new(Spinner(VarId::new(i))) as Box<_>)
+        .collect();
+    let mut engine = SmEngine::new(vec![0u64; num_processes], processes, 2, vec![]).unwrap();
+    let mut sched = FixedPeriods::uniform(num_processes, Dur::from_int(1)).unwrap();
+    let outcome = engine
+        .run_recorded(
+            &mut sched,
+            RunLimits::default().with_max_steps(steps),
+            &mut NullRecorder,
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, steps);
+}
+
+/// The MP chatter run through the recorded entry point with the null
+/// recorder.
+fn mp_steps_null_recorded(num_processes: usize, steps: u64) {
+    let processes: Vec<Box<dyn MpProcess<u8>>> = (0..num_processes)
+        .map(|_| Box::new(Chatter) as Box<_>)
+        .collect();
+    let ports = (0..num_processes)
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect();
+    let mut engine = MpEngine::new(processes, ports).unwrap();
+    let mut sched = FixedPeriods::uniform(num_processes, Dur::from_int(1)).unwrap();
+    let mut delays = ConstantDelay::new(Dur::from_int(2)).unwrap();
+    let outcome = engine
+        .run_recorded(
+            &mut sched,
+            &mut delays,
+            RunLimits::default().with_max_steps(steps),
+            &mut NullRecorder,
+        )
+        .unwrap();
+    assert_eq!(outcome.steps, steps);
+}
+
 fn bench_sm_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/sm-steps");
     group.warm_up_time(Duration::from_millis(400));
@@ -99,5 +141,31 @@ fn bench_mp_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sm_throughput, bench_mp_throughput);
+/// `run` vs `run_recorded(NullRecorder)` at the same step budget: the
+/// acceptance bar is no measurable overhead (within noise).
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/null-recorder-overhead");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    const SM_STEPS: u64 = 10_000;
+    const MP_STEPS: u64 = 2_000;
+    const N: usize = 16;
+    group.bench_function("sm/plain", |b| b.iter(|| sm_steps(N, SM_STEPS)));
+    group.bench_function("sm/null-recorder", |b| {
+        b.iter(|| sm_steps_null_recorded(N, SM_STEPS));
+    });
+    group.bench_function("mp/plain", |b| b.iter(|| mp_steps(N, MP_STEPS)));
+    group.bench_function("mp/null-recorder", |b| {
+        b.iter(|| mp_steps_null_recorded(N, MP_STEPS));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sm_throughput,
+    bench_mp_throughput,
+    bench_recorder_overhead
+);
 criterion_main!(benches);

@@ -4,14 +4,25 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin contamination_growth
+//! cargo run -p session-bench --bin contamination_growth -- --json
 //! ```
 
 use session_adversary::contamination::{contamination_analysis, lemma_bound};
 use session_bench::format::{section, Row};
+use session_bench::json_report::{json_flag, JsonReport};
 use session_core::system::build_sm_system;
 use session_types::{Dur, KnownBounds, ProcessId, SessionSpec};
 
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_contamination_growth.json");
+    let headers = [
+        "subround t",
+        "|P(t)| measured",
+        "P_t bound",
+        "new contaminated vars",
+    ];
+    let mut json_sections =
+        JsonReport::new("Lemma 4.4 — contamination growth vs the paper's bound");
     println!("# Lemma 4.4 — contamination growth vs the paper's bound\n");
     for (n, b) in [(16usize, 2usize), (16, 3), (25, 4)] {
         let spec = SessionSpec::new(3, n, b).expect("valid spec");
@@ -37,27 +48,24 @@ fn main() {
                 ])
             })
             .collect();
-        print!(
-            "{}",
-            section(
-                &format!(
-                    "n = {n}, b = {b} (slowed: p{}; contamination depth ⌊log_(2b−1)(2n−1)⌋ = {})",
-                    n - 1,
-                    spec.contamination_depth()
-                ),
-                &[
-                    "subround t",
-                    "|P(t)| measured",
-                    "P_t bound",
-                    "new contaminated vars"
-                ],
-                &rows,
-            )
+        let title = format!(
+            "n = {n}, b = {b} (slowed: p{}; contamination depth ⌊log_(2b−1)(2n−1)⌋ = {})",
+            n - 1,
+            spec.contamination_depth()
         );
+        json_sections.section(&title, &headers, &rows);
+        print!("{}", section(&title, &headers, &rows));
     }
     println!(
         "Every measured |P(t)| sits at or below the bound; until t reaches the\n\
          contamination depth some port process remains untouched — the paper's\n\
          lower-bound mechanism, visible."
     );
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, json_sections.to_json()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
 }

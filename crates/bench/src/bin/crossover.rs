@@ -8,14 +8,26 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin crossover
+//! cargo run -p session-bench --bin crossover -- --json   # BENCH_crossover.json
 //! ```
 
 use session_bench::format::{section, Row};
+use session_bench::json_report::{json_flag, JsonReport};
 use session_bench::sweeps::semisync_crossover;
 use session_types::{Dur, SessionSpec};
 
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_crossover.json");
     let ratios = [2, 4, 8, 12, 16, 24, 32, 48, 64];
+    let headers = [
+        "c2/c1",
+        "step-counting time",
+        "communication time",
+        "predicted winner",
+        "measured winner",
+        "agree",
+    ];
+    let mut report = JsonReport::new("FIG-A — Semi-synchronous strategy crossover");
     println!("# FIG-A — Semi-synchronous strategy crossover\n");
     for (n, b) in [(8usize, 2usize), (16, 2), (16, 3)] {
         let spec = SessionSpec::new(4, n, b).expect("valid spec");
@@ -38,26 +50,21 @@ fn main() {
                         ])
                     })
                     .collect();
-                print!(
-                    "{}",
-                    section(
-                        &format!("n = {n}, b = {b}, s = 4, c1 = 1"),
-                        &[
-                            "c2/c1",
-                            "step-counting time",
-                            "communication time",
-                            "predicted winner",
-                            "measured winner",
-                            "agree",
-                        ],
-                        &rows,
-                    )
-                );
+                let title = format!("n = {n}, b = {b}, s = 4, c1 = 1");
+                report.section(&title, &headers, &rows);
+                print!("{}", section(&title, &headers, &rows));
             }
             Err(err) => {
                 eprintln!("crossover sweep failed for n={n}, b={b}: {err}");
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
 }

@@ -8,14 +8,17 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin diameter_sweep
+//! cargo run -p session-bench --bin diameter_sweep -- --json   # BENCH_diameter_sweep.json
 //! ```
 
 use session_bench::format::{section, Row};
+use session_bench::json_report::{json_flag, JsonReport};
 use session_core::report::{run_mp, MpConfig};
 use session_sim::{FixedPeriods, HopDelay, RunLimits};
 use session_types::{Dur, KnownBounds, SessionSpec, Time, TimingModel};
 
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_diameter_sweep.json");
     let s = 6u64;
     let n = 8usize;
     let per_hop = Dur::from_int(5);
@@ -57,22 +60,27 @@ fn main() {
             bound.to_string(),
         ]));
     }
-    print!(
-        "{}",
-        section(
-            &format!("asynchronous MP, s = {s}, n = {n}, per_hop = {per_hop}, step = {period}"),
-            &[
-                "topology",
-                "diameter",
-                "effective d2",
-                "measured",
-                "(s−1)(d2+γ)+γ"
-            ],
-            &rows,
-        )
-    );
+    let headers = [
+        "topology",
+        "diameter",
+        "effective d2",
+        "measured",
+        "(s−1)(d2+γ)+γ",
+    ];
+    let title = format!("asynchronous MP, s = {s}, n = {n}, per_hop = {per_hop}, step = {period}");
+    print!("{}", section(&title, &headers, &rows));
     println!(
         "The measured column scales with the diameter column — the factor the\n\
          paper folded into d2."
     );
+    if let Some(path) = json_path {
+        let mut report =
+            JsonReport::new("EXT-DIAM — the diameter factor of point-to-point networks");
+        report.section(&title, &headers, &rows);
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
 }

@@ -6,15 +6,27 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin periodic_vs_semisync
+//! cargo run -p session-bench --bin periodic_vs_semisync -- --json
 //! ```
 
 use session_bench::format::{section, Row};
+use session_bench::json_report::{json_flag, JsonReport};
 use session_bench::sweeps::periodic_vs_semisync;
 use session_types::{Dur, SessionSpec};
 
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_periodic_vs_semisync.json");
     println!("# FIG-C — Periodic vs semi-synchronous running time\n");
     let c2_values = [2, 4, 8, 16, 32];
+    let headers = [
+        "c2",
+        "periodic A(p) time",
+        "semi-sync time",
+        "periodic bound",
+        "semi-sync bound",
+        "winner",
+    ];
+    let mut report = JsonReport::new("FIG-C — Periodic vs semi-synchronous running time");
     for (s, n) in [(4u64, 4usize), (8, 4), (4, 16)] {
         let spec = SessionSpec::new(s, n, 2).expect("valid spec");
         match periodic_vs_semisync(&spec, Dur::from_int(1), &c2_values) {
@@ -36,26 +48,21 @@ fn main() {
                         ])
                     })
                     .collect();
-                print!(
-                    "{}",
-                    section(
-                        &format!("s = {s}, n = {n}, b = 2, c1 = 1, c_max = c2"),
-                        &[
-                            "c2",
-                            "periodic A(p) time",
-                            "semi-sync time",
-                            "periodic bound",
-                            "semi-sync bound",
-                            "winner",
-                        ],
-                        &rows,
-                    )
-                );
+                let title = format!("s = {s}, n = {n}, b = 2, c1 = 1, c_max = c2");
+                report.section(&title, &headers, &rows);
+                print!("{}", section(&title, &headers, &rows));
             }
             Err(err) => {
                 eprintln!("dominance sweep failed for s={s}, n={n}: {err}");
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
 }

@@ -8,16 +8,28 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin sporadic_sweep
+//! cargo run -p session-bench --bin sporadic_sweep -- --json   # BENCH_sporadic_sweep.json
 //! ```
 
 use session_bench::format::{section, Row};
+use session_bench::json_report::{json_flag, JsonReport};
 use session_bench::sweeps::sporadic_interpolation;
 use session_types::{Dur, SessionSpec};
 
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_sporadic_sweep.json");
     println!("# FIG-B — Sporadic delay-uncertainty interpolation\n");
     let d2 = 48i128;
     let d1_values = [0, 8, 16, 24, 32, 40, 48];
+    let headers = [
+        "d1",
+        "u = d2-d1",
+        "lower bound",
+        "measured A(sp)",
+        "max per-session",
+        "upper bound",
+    ];
+    let mut report = JsonReport::new("FIG-B — Sporadic delay-uncertainty interpolation");
     for (s, n) in [(4u64, 3usize), (8, 4)] {
         let spec = SessionSpec::new(s, n, 2).expect("valid spec");
         match sporadic_interpolation(&spec, Dur::from_int(1), Dur::from_int(d2), &d1_values) {
@@ -35,26 +47,21 @@ fn main() {
                         ])
                     })
                     .collect();
-                print!(
-                    "{}",
-                    section(
-                        &format!("s = {s}, n = {n}, c1 = 1, d2 = {d2}"),
-                        &[
-                            "d1",
-                            "u = d2-d1",
-                            "lower bound",
-                            "measured A(sp)",
-                            "max per-session",
-                            "upper bound",
-                        ],
-                        &rows,
-                    )
-                );
+                let title = format!("s = {s}, n = {n}, c1 = 1, d2 = {d2}");
+                report.section(&title, &headers, &rows);
+                print!("{}", section(&title, &headers, &rows));
             }
             Err(err) => {
                 eprintln!("sporadic sweep failed for s={s}, n={n}: {err}");
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
 }

@@ -4,9 +4,15 @@
 //!
 //! ```text
 //! cargo run -p session-bench --bin table1
+//! cargo run -p session-bench --bin table1 -- --json            # BENCH_table1.json
+//! cargo run -p session-bench --bin table1 -- --json out.json
 //! ```
 
+use session_bench::json_report::{json_flag, table1_json};
+use session_bench::measure::{full_table1, table1_markdown_of};
+
 fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_table1.json");
     println!("# Table 1 — Bounds for the Session Problem (reproduction)\n");
     println!(
         "Upper bounds (U): the paper's algorithm under a worst-case-oriented\n\
@@ -15,11 +21,19 @@ fn main() {
          algorithm that beats the bound, while the paper's algorithm survives\n\
          the same adversary.\n"
     );
-    match session_bench::measure::table1_markdown() {
-        Ok(table) => println!("{table}"),
+    let rows = match full_table1() {
+        Ok(rows) => rows,
         Err(err) => {
             eprintln!("table generation failed: {err}");
             std::process::exit(1);
         }
+    };
+    println!("{}", table1_markdown_of(&rows));
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, table1_json(&rows)) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
 }

@@ -11,10 +11,14 @@
 //! * [`format`](mod@format) — markdown rendering shared by the `table1`, `crossover`,
 //!   `sporadic_sweep` and `periodic_vs_semisync` binaries (whose outputs
 //!   are recorded in `EXPERIMENTS.md`).
+//! * [`json_report`] — the `--json` mode of every binary: the generic
+//!   section-table serializer plus the rich `BENCH_table1.json` schema
+//!   (numeric bounds, ratios, wall-clock, engine counters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod json_report;
 pub mod measure;
 pub mod sweeps;

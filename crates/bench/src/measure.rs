@@ -18,9 +18,12 @@ use session_adversary::naive::{
 use session_adversary::reorder::afl_reorder_attack;
 use session_adversary::rescale::{k_period, rescaling_attack};
 use session_adversary::retime::retiming_attack;
-use session_core::report::{run_mp, run_sm, MpConfig, RunReport, SmConfig};
+use std::time::Instant;
+
+use session_core::report::{run_mp_recorded, run_sm_recorded, MpConfig, RunReport, SmConfig};
 use session_core::{bounds, system::port_of, verify::count_sessions};
 use session_mpm::{MpEngine, MpProcess};
+use session_obs::InMemoryRecorder;
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
 use session_smm::TreeSpec;
 use session_types::{
@@ -63,6 +66,22 @@ pub struct RowMeasurement {
     pub measured: String,
     /// Whether the measurement is consistent with the bound.
     pub ok: bool,
+    /// The paper bound as a number (in [`RowMeasurement::unit`]), when the
+    /// row's bound is a single value.
+    pub bound_value: Option<f64>,
+    /// The measurement as a number (in [`RowMeasurement::unit`]), when the
+    /// row measures a time or round count (adversary rows measure session
+    /// deficits instead).
+    pub measured_value: Option<f64>,
+    /// The unit of the numeric fields: `"ms"` (simulated time) or
+    /// `"rounds"`.
+    pub unit: &'static str,
+    /// Host wall-clock seconds spent producing this row.
+    pub wall_clock_secs: f64,
+    /// Engine counters recorded during the measured run (upper-bound rows;
+    /// adversary rows drive the engines through their own harnesses and
+    /// record none).
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 fn d(x: i128) -> Dur {
@@ -75,11 +94,13 @@ fn rt(report: &RunReport) -> Dur {
 
 /// Synchronous shared memory, upper (= lower) bound `s · c2`.
 pub fn sync_sm(s: u64, n: usize, c2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let kb = KnownBounds::synchronous(c2, d(1))?;
     let tree = TreeSpec::build(n, 2);
     let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2)?;
-    let report = run_sm(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_sm_recorded(
         SmConfig {
             model: TimingModel::Synchronous,
             spec,
@@ -87,6 +108,7 @@ pub fn sync_sm(s: u64, n: usize, c2: Dur) -> Result<RowMeasurement> {
         },
         &mut sched,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::sync_time(s, c2);
     Ok(RowMeasurement {
@@ -97,16 +119,23 @@ pub fn sync_sm(s: u64, n: usize, c2: Dur) -> Result<RowMeasurement> {
         paper_bound: format!("s·c2 = {bound}"),
         measured: format!("{} ({} sessions)", rt(&report), report.sessions),
         ok: report.solves(&spec) && rt(&report) == bound,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(rt(&report).to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Synchronous message passing, upper (= lower) bound `s · c2`.
 pub fn sync_mp(s: u64, n: usize, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let kb = KnownBounds::synchronous(c2, d2)?;
     let mut sched = FixedPeriods::uniform(n, c2)?;
     let mut delays = ConstantDelay::new(d2)?;
-    let report = run_mp(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_mp_recorded(
         MpConfig {
             model: TimingModel::Synchronous,
             spec,
@@ -115,6 +144,7 @@ pub fn sync_mp(s: u64, n: usize, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
         &mut sched,
         &mut delays,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::sync_time(s, c2);
     Ok(RowMeasurement {
@@ -125,17 +155,24 @@ pub fn sync_mp(s: u64, n: usize, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
         paper_bound: format!("s·c2 = {bound}"),
         measured: format!("{} ({} sessions)", rt(&report), report.sessions),
         ok: report.solves(&spec) && rt(&report) == bound,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(rt(&report).to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Periodic shared memory, upper bound `s·c_max + O(log_b n)·c_max`.
 pub fn periodic_sm_upper(s: u64, n: usize, b: usize, c_max: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, b)?;
     let kb = KnownBounds::periodic(d(1))?;
     let tree = TreeSpec::build(n, b);
     // Worst case: every process at the largest period.
     let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c_max)?;
-    let report = run_sm(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_sm_recorded(
         SmConfig {
             model: TimingModel::Periodic,
             spec,
@@ -143,6 +180,7 @@ pub fn periodic_sm_upper(s: u64, n: usize, b: usize, c_max: Dur) -> Result<RowMe
         },
         &mut sched,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::periodic_sm_upper(&spec, c_max, tree.flood_rounds_bound());
     let measured = rt(&report);
@@ -157,12 +195,18 @@ pub fn periodic_sm_upper(s: u64, n: usize, b: usize, c_max: Dur) -> Result<RowMe
         ),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound + c_max * 2,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Periodic shared memory, lower bound
 /// `max(s·c_max, ⌊log_{2b−1}(2n−1)⌋·c_min)`: slowed-process adversary.
 pub fn periodic_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, b)?;
     let demo = periodic_sm_demo(&spec, 64, RunLimits::default())?;
     let bound = bounds::periodic_sm_lower(&spec, d(1), d(64));
@@ -185,16 +229,23 @@ pub fn periodic_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
             && demo
                 .correct_running_time
                 .is_some_and(|t| (t - Time::ZERO) >= bound),
+        bound_value: Some(bound.to_f64()),
+        measured_value: demo.correct_running_time.map(|t| (t - Time::ZERO).to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Periodic message passing, upper bound `s·c_max + d2`.
 pub fn periodic_mp_upper(s: u64, n: usize, c_max: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let kb = KnownBounds::periodic(d2)?;
     let mut sched = FixedPeriods::uniform(n, c_max)?;
     let mut delays = ConstantDelay::new(d2)?;
-    let report = run_mp(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_mp_recorded(
         MpConfig {
             model: TimingModel::Periodic,
             spec,
@@ -203,6 +254,7 @@ pub fn periodic_mp_upper(s: u64, n: usize, c_max: Dur, d2: Dur) -> Result<RowMea
         &mut sched,
         &mut delays,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::periodic_mp_upper(s, c_max, d2);
     let measured = rt(&report);
@@ -214,12 +266,18 @@ pub fn periodic_mp_upper(s: u64, n: usize, c_max: Dur, d2: Dur) -> Result<RowMea
         paper_bound: format!("s·c_max + d2 = {bound}"),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound + c_max * 2,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Periodic message passing, lower bound `max(s·c_max, d2)`:
 /// slowed-process adversary.
 pub fn periodic_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let demo = periodic_mp_demo(&spec, 64, d2, RunLimits::default())?;
     let bound = bounds::periodic_mp_lower(s, d(64), d2);
@@ -237,17 +295,24 @@ pub fn periodic_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
             && demo
                 .correct_running_time
                 .is_some_and(|t| (t - Time::ZERO) >= bound),
+        bound_value: Some(bound.to_f64()),
+        measured_value: demo.correct_running_time.map(|t| (t - Time::ZERO).to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Semi-synchronous shared memory, upper bound
 /// `min(⌊c2/c1⌋+1, O(log_b n))·c2·(s−1) + c2`.
 pub fn semisync_sm_upper(s: u64, n: usize, b: usize, c1: Dur, c2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, b)?;
     let kb = KnownBounds::semi_synchronous(c1, c2, d(1))?;
     let tree = TreeSpec::build(n, b);
     let mut sched = FixedPeriods::uniform(n + tree.num_relays(), c2)?;
-    let report = run_sm(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_sm_recorded(
         SmConfig {
             model: TimingModel::SemiSynchronous,
             spec,
@@ -255,6 +320,7 @@ pub fn semisync_sm_upper(s: u64, n: usize, b: usize, c1: Dur, c2: Dur) -> Result
         },
         &mut sched,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::semisync_sm_upper(s, c1, c2, tree.flood_rounds_bound());
     let measured = rt(&report);
@@ -266,6 +332,11 @@ pub fn semisync_sm_upper(s: u64, n: usize, b: usize, c1: Dur, c2: Dur) -> Result
         paper_bound: format!("min(⌊c2/c1⌋+1, flood)·c2·(s−1)+c2 = {bound}"),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound + c2 * 2,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
@@ -273,6 +344,7 @@ pub fn semisync_sm_upper(s: u64, n: usize, b: usize, c1: Dur, c2: Dur) -> Result
 /// `min(⌊c2/2c1⌋, ⌊log_b n⌋)·c2·(s−1)`: the Theorem 5.1
 /// reorder-and-retime adversary.
 pub fn semisync_sm_lower(s: u64, n: usize, c1: Dur, c2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let factory = || naive_sm_system(&spec, spec.s());
     let attack = retiming_attack(factory, &spec, c1, c2, RunLimits::default())?;
@@ -295,17 +367,24 @@ pub fn semisync_sm_lower(s: u64, n: usize, c1: Dur, c2: Dur) -> Result<RowMeasur
             s
         ),
         ok: attack.defeated() && step_demo.demonstrates_bound(),
+        bound_value: Some(bound.to_f64()),
+        measured_value: None,
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Semi-synchronous message passing, upper bound
 /// `min((⌊c2/c1⌋+1)·c2, d2+c2)·(s−1) + c2` (from \[4\], converted).
 pub fn semisync_mp_upper(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let kb = KnownBounds::semi_synchronous(c1, c2, d2)?;
     let mut sched = FixedPeriods::uniform(n, c2)?;
     let mut delays = ConstantDelay::new(d2)?;
-    let report = run_mp(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_mp_recorded(
         MpConfig {
             model: TimingModel::SemiSynchronous,
             spec,
@@ -314,6 +393,7 @@ pub fn semisync_mp_upper(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<
         &mut sched,
         &mut delays,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::semisync_mp_upper(s, c1, c2, d2);
     let measured = rt(&report);
@@ -325,12 +405,18 @@ pub fn semisync_mp_upper(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<
         paper_bound: format!("min((⌊c2/c1⌋+1)·c2, d2+c2)·(s−1)+c2 = {bound}"),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound + c2 * 2,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Semi-synchronous message passing, lower bound
 /// `min(⌊c2/2c1⌋·c2, d2+c2)·(s−1)`: the step-counting cheat witness.
 pub fn semisync_mp_lower(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     // The witness is substrate-independent (it never communicates); the SM
     // demo's schedule argument applies verbatim to MP port processes.
@@ -347,17 +433,24 @@ pub fn semisync_mp_lower(s: u64, n: usize, c1: Dur, c2: Dur, d2: Dur) -> Result<
             demo.naive_sessions, s, demo.correct_sessions, s
         ),
         ok: demo.demonstrates_bound(),
+        bound_value: Some(bound.to_f64()),
+        measured_value: None,
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Sporadic message passing, upper bound
 /// `min((⌊u/c1⌋+3)·γ + u, d2+γ)·(s−1) + γ` — `A(sp)` measured.
 pub fn sporadic_mp_upper(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let kb = KnownBounds::sporadic(c1, d1, d2)?;
     let mut sched = FixedPeriods::uniform(n, c1 * 2)?;
     let mut delays = ConstantDelay::new(d2)?;
-    let report = run_mp(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_mp_recorded(
         MpConfig {
             model: TimingModel::Sporadic,
             spec,
@@ -366,6 +459,7 @@ pub fn sporadic_mp_upper(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<
         &mut sched,
         &mut delays,
         RunLimits::default(),
+        &mut rec,
     )?;
     let gamma = report.gamma;
     let bound = bounds::sporadic_mp_upper(s, c1, d1, d2, gamma);
@@ -379,6 +473,11 @@ pub fn sporadic_mp_upper(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<
         paper_bound: format!("min((⌊u/c1⌋+3)γ+u, d2+γ)(s−1)+γ = {bound} (+{slack} first session)"),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound + slack,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
@@ -386,6 +485,7 @@ pub fn sporadic_mp_upper(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<
 /// the Theorem 6.5 rescale-and-retime adversary plus the unbounded-pause
 /// witness.
 pub fn sporadic_mp_lower(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let k = k_period(c1, d1, d2)?;
     // Record the naive witness at period K, delays d2 — exactly the
@@ -420,15 +520,22 @@ pub fn sporadic_mp_lower(s: u64, n: usize, c1: Dur, d1: Dur, d2: Dur) -> Result<
             attack.sessions, attack.admissible, pause_demo.naive_sessions, pause_demo.s
         ),
         ok: attack.defeated() && pause_demo.demonstrates_bound(),
+        bound_value: Some(bound.to_f64()),
+        measured_value: None,
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Asynchronous shared memory, upper bound `(s−1)·O(log_b n)` rounds.
 pub fn async_sm_upper(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, b)?;
     let tree = TreeSpec::build(n, b);
     let mut sched = FixedPeriods::uniform(n + tree.num_relays(), d(1))?;
-    let report = run_sm(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_sm_recorded(
         SmConfig {
             model: TimingModel::Asynchronous,
             spec,
@@ -436,6 +543,7 @@ pub fn async_sm_upper(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
         },
         &mut sched,
         RunLimits::default(),
+        &mut rec,
     )?;
     let bound = bounds::async_sm_upper_rounds(s, tree.flood_rounds_bound());
     Ok(RowMeasurement {
@@ -449,12 +557,18 @@ pub fn async_sm_upper(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
         ),
         measured: format!("{} rounds ({} sessions)", report.rounds, report.sessions),
         ok: report.solves(&spec) && report.rounds <= bound + tree.flood_rounds_bound() + 2,
+        bound_value: Some(bound as f64),
+        measured_value: Some(report.rounds as f64),
+        unit: "rounds",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Asynchronous shared memory, lower bound `(s−1)·⌊log_b n⌋` rounds (\[2\]):
 /// the Arjomandi–Fischer–Lynch round-reordering adversary, executed.
 pub fn async_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, b)?;
     let attack = afl_reorder_attack(
         || naive_sm_system(&spec, spec.s()),
@@ -476,15 +590,22 @@ pub fn async_sm_lower(s: u64, n: usize, b: usize) -> Result<RowMeasurement> {
             attack.recorded_rounds, attack.sessions, s, attack.same_global_state
         ),
         ok: attack.defeated() && attack.recorded_rounds < bound,
+        bound_value: Some(bound as f64),
+        measured_value: Some(attack.recorded_rounds as f64),
+        unit: "rounds",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
 /// Asynchronous message passing, upper bound `(s−1)(d2+c2)+c2` (from \[4\]).
 pub fn async_mp_upper(s: u64, n: usize, period: Dur, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let mut sched = FixedPeriods::uniform(n, period)?;
     let mut delays = ConstantDelay::new(d2)?;
-    let report = run_mp(
+    let mut rec = InMemoryRecorder::new();
+    let report = run_mp_recorded(
         MpConfig {
             model: TimingModel::Asynchronous,
             spec,
@@ -493,6 +614,7 @@ pub fn async_mp_upper(s: u64, n: usize, period: Dur, d2: Dur) -> Result<RowMeasu
         &mut sched,
         &mut delays,
         RunLimits::default(),
+        &mut rec,
     )?;
     let gamma = report.gamma;
     let bound = bounds::async_mp_upper(s, gamma, d2);
@@ -505,12 +627,18 @@ pub fn async_mp_upper(s: u64, n: usize, period: Dur, d2: Dur) -> Result<RowMeasu
         paper_bound: format!("(s−1)(d2+γ)+γ = {bound} (γ = {gamma})"),
         measured: format!("{measured} ({} sessions)", report.sessions),
         ok: report.solves(&spec) && measured <= bound,
+        bound_value: Some(bound.to_f64()),
+        measured_value: Some(measured.to_f64()),
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: rec.into_snapshot().counters().collect(),
     })
 }
 
 /// Asynchronous message passing, lower bound `(s−1)·d2` (\[4\]): witnessed by
 /// the silent algorithm's defeat under a slowed process.
 pub fn async_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
+    let started = Instant::now();
     let spec = SessionSpec::new(s, n, 2)?;
     let demo = periodic_mp_demo(&spec, 64, d2, RunLimits::default())?;
     let bound = bounds::async_mp_lower(s, d2);
@@ -525,6 +653,11 @@ pub fn async_mp_lower(s: u64, n: usize, d2: Dur) -> Result<RowMeasurement> {
             demo.naive_sessions, s, demo.correct_sessions, s
         ),
         ok: demo.demonstrates_bound(),
+        bound_value: Some(bound.to_f64()),
+        measured_value: None,
+        unit: "ms",
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        counters: Vec::new(),
     })
 }
 
@@ -560,9 +693,16 @@ pub fn full_table1() -> Result<Vec<RowMeasurement>> {
 ///
 /// Propagates experiment failures.
 pub fn table1_markdown() -> Result<String> {
+    Ok(table1_markdown_of(&full_table1()?))
+}
+
+/// Renders already-measured Table 1 rows as markdown (shared by the
+/// `table1` binary, which also feeds the same rows to the JSON report).
+pub fn table1_markdown_of(measurements: &[RowMeasurement]) -> String {
     use crate::format::{markdown_table, Row};
-    let rows: Vec<Row> = full_table1()?
-        .into_iter()
+    let rows: Vec<Row> = measurements
+        .iter()
+        .cloned()
         .map(|m| {
             Row::new([
                 m.model.to_owned(),
@@ -579,7 +719,7 @@ pub fn table1_markdown() -> Result<String> {
             ])
         })
         .collect();
-    Ok(markdown_table(
+    markdown_table(
         &[
             "model",
             "comm",
@@ -590,7 +730,7 @@ pub fn table1_markdown() -> Result<String> {
             "ok",
         ],
         &rows,
-    ))
+    )
 }
 
 #[cfg(test)]

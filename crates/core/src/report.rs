@@ -1,6 +1,7 @@
 //! One-call experiment façade: run a configuration, verify it from the
 //! trace, report the measures the paper reports.
 
+use session_obs::{NullRecorder, Recorder};
 use session_sim::{DelayPolicy, RunLimits, StepSchedule, Trace};
 use session_types::{Dur, Error, KnownBounds, Result, SessionSpec, Time, TimingModel};
 
@@ -76,6 +77,7 @@ fn report_from(
     outcome: session_sim::RunOutcome,
     num_processes: usize,
     mp: bool,
+    recorder: &mut dyn Recorder,
 ) -> RunReport {
     let port_map = port_of(spec);
     let sessions = if mp {
@@ -89,6 +91,14 @@ fn report_from(
     } else {
         None
     };
+    if recorder.is_enabled() {
+        recorder.counter("run.sessions_closed", sessions);
+        recorder.counter("run.rounds", rounds);
+        if let Some(t) = running_time {
+            recorder.gauge("run.running_time_ms", t.to_f64());
+        }
+        recorder.gauge("run.gamma_ms", outcome.trace.gamma().to_f64());
+    }
     RunReport {
         terminated: outcome.terminated,
         steps: outcome.steps,
@@ -111,11 +121,33 @@ pub fn run_sm(
     schedule: &mut dyn StepSchedule,
     limits: RunLimits,
 ) -> Result<RunReport> {
+    run_sm_recorded(config, schedule, limits, &mut NullRecorder)
+}
+
+/// [`run_sm`] with instrumentation: forwards engine counters (`sm.*`,
+/// `sched.*`) and adds the verified run measures (`run.sessions_closed`,
+/// `run.rounds`, `run.running_time_ms`, `run.gamma_ms`) to `recorder`.
+///
+/// # Errors
+///
+/// As for [`run_sm`].
+pub fn run_sm_recorded(
+    config: SmConfig,
+    schedule: &mut dyn StepSchedule,
+    limits: RunLimits,
+    recorder: &mut dyn Recorder,
+) -> Result<RunReport> {
     check_model(config.model, &config.bounds)?;
     let mut engine = build_sm_system(&config.spec, &config.bounds)?;
     let num_processes = engine.num_processes();
-    let outcome = engine.run(schedule, limits)?;
-    Ok(report_from(&config.spec, outcome, num_processes, false))
+    let outcome = engine.run_recorded(schedule, limits, recorder)?;
+    Ok(report_from(
+        &config.spec,
+        outcome,
+        num_processes,
+        false,
+        recorder,
+    ))
 }
 
 /// Builds and runs the message-passing system for `config` under `schedule`
@@ -131,11 +163,34 @@ pub fn run_mp(
     delays: &mut dyn DelayPolicy,
     limits: RunLimits,
 ) -> Result<RunReport> {
+    run_mp_recorded(config, schedule, delays, limits, &mut NullRecorder)
+}
+
+/// [`run_mp`] with instrumentation: forwards engine counters (`mp.*`,
+/// `sched.*`) and adds the verified run measures (`run.sessions_closed`,
+/// `run.rounds`, `run.running_time_ms`, `run.gamma_ms`) to `recorder`.
+///
+/// # Errors
+///
+/// As for [`run_mp`].
+pub fn run_mp_recorded(
+    config: MpConfig,
+    schedule: &mut dyn StepSchedule,
+    delays: &mut dyn DelayPolicy,
+    limits: RunLimits,
+    recorder: &mut dyn Recorder,
+) -> Result<RunReport> {
     check_model(config.model, &config.bounds)?;
     let mut engine = build_mp_system(&config.spec, &config.bounds)?;
     let num_processes = engine.num_processes();
-    let outcome = engine.run(schedule, delays, limits)?;
-    Ok(report_from(&config.spec, outcome, num_processes, true))
+    let outcome = engine.run_recorded(schedule, delays, limits, recorder)?;
+    Ok(report_from(
+        &config.spec,
+        outcome,
+        num_processes,
+        true,
+        recorder,
+    ))
 }
 
 #[cfg(test)]
@@ -178,6 +233,35 @@ mod tests {
         assert_eq!(report.sessions, 3);
         assert_eq!(report.running_time, Some(Time::from_int(6)));
         assert_eq!(report.gamma, c2);
+    }
+
+    #[test]
+    fn recorded_run_reports_verified_measures() {
+        let c2 = Dur::from_int(2);
+        let config = MpConfig {
+            model: TimingModel::Synchronous,
+            spec: spec(3, 5),
+            bounds: KnownBounds::synchronous(c2, Dur::from_int(1)).unwrap(),
+        };
+        let mut sched = FixedPeriods::uniform(5, c2).unwrap();
+        let mut delays = ConstantDelay::new(Dur::from_int(1)).unwrap();
+        let mut rec = session_obs::InMemoryRecorder::new();
+        let report = run_mp_recorded(
+            config,
+            &mut sched,
+            &mut delays,
+            RunLimits::default(),
+            &mut rec,
+        )
+        .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("run.sessions_closed"), report.sessions);
+        assert_eq!(snap.counter("run.rounds"), report.rounds);
+        assert_eq!(snap.counter("mp.steps"), report.steps);
+        assert_eq!(
+            snap.gauge("run.running_time_ms"),
+            report.running_time.map(Time::to_f64)
+        );
     }
 
     #[test]

@@ -39,6 +39,29 @@ pub fn check_admissible(trace: &Trace, bounds: &KnownBounds) -> Result<()> {
     Ok(())
 }
 
+/// [`check_admissible`] with instrumentation: times the check under a
+/// `verify.admissibility` span and counts `verify.admissibility_checks`
+/// (and `verify.admissibility_failures` when the check rejects).
+///
+/// # Errors
+///
+/// As for [`check_admissible`].
+pub fn check_admissible_recorded(
+    trace: &Trace,
+    bounds: &KnownBounds,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Result<()> {
+    let result = {
+        let _span = session_obs::Span::enter(recorder, "verify.admissibility");
+        check_admissible(trace, bounds)
+    };
+    recorder.counter("verify.admissibility_checks", 1);
+    if result.is_err() {
+        recorder.counter("verify.admissibility_failures", 1);
+    }
+    result
+}
+
 fn for_each_gap<F>(trace: &Trace, mut f: F) -> Result<()>
 where
     F: FnMut(ProcessId, usize, Dur) -> Result<()>,

@@ -10,6 +10,6 @@ mod admissible;
 mod rounds;
 mod sessions;
 
-pub use admissible::check_admissible;
+pub use admissible::{check_admissible, check_admissible_recorded};
 pub use rounds::count_rounds;
 pub use sessions::{count_sessions, session_boundaries};

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use session_obs::{NullRecorder, Recorder};
 use session_sim::{
     DelayPolicy, EventQueue, RunLimits, RunOutcome, StepKind, StepSchedule, Trace, TraceEvent,
 };
@@ -132,6 +133,26 @@ impl<M: Clone> MpEngine<M> {
         delays: &mut dyn DelayPolicy,
         limits: RunLimits,
     ) -> Result<RunOutcome> {
+        self.run_recorded(schedule, delays, limits, &mut NullRecorder)
+    }
+
+    /// [`MpEngine::run`] with instrumentation: emits `mp.steps`,
+    /// `mp.broadcasts`, `mp.messages_sent`, `mp.messages_delivered` and
+    /// `sched.steps_scheduled` counters, an `mp.buffer_occupancy`
+    /// histogram (messages in the buffer at each process step) and a final
+    /// `mp.end_time_ms` gauge to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MpEngine::run`].
+    #[allow(clippy::too_many_lines)]
+    pub fn run_recorded(
+        &mut self,
+        schedule: &mut dyn StepSchedule,
+        delays: &mut dyn DelayPolicy,
+        limits: RunLimits,
+        recorder: &mut dyn Recorder,
+    ) -> Result<RunOutcome> {
         let n = self.processes.len();
         let mut trace = Trace::new(n);
         if self.is_quiescent() {
@@ -145,8 +166,25 @@ impl<M: Clone> MpEngine<M> {
         for i in 0..n {
             let p = ProcessId::new(i);
             queue.push(schedule.first_step(p), Event::Step(p));
+            recorder.counter("sched.steps_scheduled", 1);
         }
         let mut steps = 0u64;
+        let finish = |trace: Trace, terminated: bool, steps: u64, recorder: &mut dyn Recorder| {
+            if recorder.is_enabled() {
+                recorder.gauge(
+                    "mp.end_time_ms",
+                    trace
+                        .end_time()
+                        .unwrap_or(session_types::Time::ZERO)
+                        .to_f64(),
+                );
+            }
+            Ok(RunOutcome {
+                trace,
+                terminated,
+                steps,
+            })
+        };
         #[cfg(feature = "strict-invariants")]
         let mut last_time = session_types::Time::ZERO;
         while let Some((now, event)) = queue.pop() {
@@ -159,6 +197,7 @@ impl<M: Clone> MpEngine<M> {
                 Event::Deliver { to, envelope, msg } => {
                     self.bufs[to.index()].push(envelope);
                     trace.record_delivery(msg, now);
+                    recorder.counter("mp.messages_delivered", 1);
                     trace.push(TraceEvent {
                         time: now,
                         process: to,
@@ -168,14 +207,13 @@ impl<M: Clone> MpEngine<M> {
                 }
                 Event::Step(p) => {
                     if !limits.allows(steps, now) {
-                        return Ok(RunOutcome {
-                            trace,
-                            terminated: false,
-                            steps,
-                        });
+                        return finish(trace, false, steps, recorder);
                     }
                     let inbox = std::mem::take(&mut self.bufs[p.index()]);
                     let received = inbox.len();
+                    if recorder.is_enabled() {
+                        recorder.observe("mp.buffer_occupancy", received as f64);
+                    }
                     #[cfg(feature = "strict-invariants")]
                     let was_idle = self.processes[p.index()].is_idle();
                     let outgoing = self.processes[p.index()].step(inbox);
@@ -186,6 +224,8 @@ impl<M: Clone> MpEngine<M> {
                     );
                     let broadcast = outgoing.is_some();
                     if let Some(payload) = outgoing {
+                        recorder.counter("mp.broadcasts", 1);
+                        recorder.counter("mp.messages_sent", n as u64);
                         for q in 0..n {
                             let to = ProcessId::new(q);
                             let msg = trace.record_send(p, to, now);
@@ -214,23 +254,18 @@ impl<M: Clone> MpEngine<M> {
                         idle_after: self.processes[p.index()].is_idle(),
                     });
                     steps += 1;
+                    recorder.counter("mp.steps", 1);
                     if self.is_quiescent() {
-                        return Ok(RunOutcome {
-                            trace,
-                            terminated: true,
-                            steps,
-                        });
+                        return finish(trace, true, steps, recorder);
                     }
                     queue.push(schedule.next_step(p, now), Event::Step(p));
+                    recorder.counter("sched.steps_scheduled", 1);
                 }
             }
         }
         // Unreachable in practice: each step re-enqueues its process.
-        Ok(RunOutcome {
-            trace,
-            terminated: self.is_quiescent(),
-            steps,
-        })
+        let terminated = self.is_quiescent();
+        finish(trace, terminated, steps, recorder)
     }
 }
 
@@ -424,6 +459,39 @@ mod tests {
             .unwrap();
         assert!(!outcome.terminated);
         assert_eq!(outcome.steps, 50);
+    }
+
+    #[test]
+    fn run_recorded_tracks_messages_and_buffers() {
+        let mut engine = MpEngine::new(chatters(3, 3), all_ports(3)).unwrap();
+        let mut sched = FixedPeriods::uniform(3, Dur::from_int(1)).unwrap();
+        let mut delays = ConstantDelay::new(Dur::ZERO).unwrap();
+        let mut rec = session_obs::InMemoryRecorder::new();
+        let outcome = engine
+            .run_recorded(&mut sched, &mut delays, RunLimits::default(), &mut rec)
+            .unwrap();
+        assert!(outcome.terminated);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("mp.steps"), outcome.steps);
+        assert_eq!(
+            snap.counter("mp.messages_sent"),
+            outcome.trace.messages().len() as u64
+        );
+        assert_eq!(
+            snap.counter("mp.messages_delivered"),
+            outcome
+                .trace
+                .messages()
+                .iter()
+                .filter(|m| m.delivered_at.is_some())
+                .count() as u64
+        );
+        assert_eq!(
+            snap.counter("mp.broadcasts") * 3,
+            snap.counter("mp.messages_sent")
+        );
+        let occupancy = snap.histogram("mp.buffer_occupancy").unwrap();
+        assert_eq!(occupancy.count(), outcome.steps);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Trace exporters: Chrome trace-event / Perfetto JSON and a structured
+//! JSONL event stream.
+//!
+//! A [`session_sim::Trace`] is the paper's timed computation `(α, T)`;
+//! these exporters turn it into machine-readable artifacts:
+//!
+//! * [`perfetto_json`] — the Chrome trace-event JSON object format
+//!   (`{"traceEvents": [...]}`), loadable in <https://ui.perfetto.dev> or
+//!   `chrome://tracing`. One track per process; process steps and network
+//!   deliveries are instant events; each delivered message is a flow
+//!   arrow from its send to its delivery; each closed session is a
+//!   duration event on a dedicated `sessions` track, and each process's
+//!   pre-idle activity is a duration event nesting its step instants.
+//! * [`trace_jsonl`] — one JSON object per line: a `meta` header, every
+//!   event, every message record and every session close. Exact rational
+//!   times are preserved as strings next to the millisecond floats.
+//!
+//! Both outputs are deterministic functions of the trace and
+//! [`ExportMeta`] — byte-stable across runs for a fixed seed (asserted by
+//! the golden-file tests in `tests/trace_export_golden.rs`).
+//!
+//! Simulated time is unitless in the paper; the exporters render one time
+//! unit as one millisecond (Chrome `ts` is in microseconds, so `t=3`
+//! becomes `ts=3000`).
+
+use session_sim::{StepKind, Trace};
+use session_types::{PortId, Time};
+
+use crate::json::JsonWriter;
+
+/// Everything the exporters need beyond the trace itself.
+///
+/// The trace records *what happened*; the session structure is computed
+/// by the verifiers in `session-core`, which this crate must not depend
+/// on (the engines depend on `session-obs`). Callers therefore pass the
+/// port map and the session close times in.
+#[derive(Clone, Debug, Default)]
+pub struct ExportMeta {
+    /// Trace title (shown as the Perfetto process name).
+    pub title: String,
+    /// The port realized by each process, by process index. Message-
+    /// passing port processes are not tagged in the trace itself; shared-
+    /// memory port steps are (so `ports` may be empty for SM traces).
+    pub ports: Vec<Option<PortId>>,
+    /// The times at which each session closed, in order (from
+    /// `session_core::analysis::analyze`). Empty renders no session
+    /// track.
+    pub session_close_times: Vec<Time>,
+}
+
+impl ExportMeta {
+    /// Metadata with a title and no port/session annotations.
+    pub fn new(title: impl Into<String>) -> ExportMeta {
+        ExportMeta {
+            title: title.into(),
+            ports: Vec::new(),
+            session_close_times: Vec::new(),
+        }
+    }
+
+    /// Sets the per-process port map.
+    #[must_use]
+    pub fn with_ports(mut self, ports: Vec<Option<PortId>>) -> ExportMeta {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the session close times.
+    #[must_use]
+    pub fn with_sessions(mut self, close_times: Vec<Time>) -> ExportMeta {
+        self.session_close_times = close_times;
+        self
+    }
+
+    fn port_of(&self, process: usize) -> Option<PortId> {
+        self.ports.get(process).copied().flatten()
+    }
+}
+
+/// One simulated time unit rendered as this many Chrome trace-event
+/// microseconds (i.e. one millisecond).
+const MICROS_PER_UNIT: f64 = 1000.0;
+
+fn ts(t: Time) -> f64 {
+    t.to_f64() * MICROS_PER_UNIT
+}
+
+/// The synthetic Perfetto `pid` all tracks live under.
+const PID: u64 = 1;
+
+fn event_header(w: &mut JsonWriter, name: &str, ph: &str, tid: u64, at: f64) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("ph", ph);
+    w.field_u64("pid", PID);
+    w.field_u64("tid", tid);
+    w.field_f64("ts", at);
+}
+
+fn thread_name(w: &mut JsonWriter, tid: u64, name: &str) {
+    w.begin_object();
+    w.field_str("name", "thread_name");
+    w.field_str("ph", "M");
+    w.field_u64("pid", PID);
+    w.field_u64("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+/// Renders `trace` in the Chrome trace-event JSON object format.
+///
+/// Tracks (`tid`): one per process (its index), plus a `sessions` track
+/// at `tid = num_processes` when `meta.session_close_times` is nonempty.
+/// Event phases used: `M` (metadata), `X` (durations: per-process active
+/// spans, sessions), `i` (instants: steps, port steps, deliveries),
+/// `s`/`f` (flows: one per delivered message).
+pub fn perfetto_json(trace: &Trace, meta: &ExportMeta) -> String {
+    let n = trace.num_processes();
+    let end = trace.end_time().unwrap_or(Time::ZERO);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Metadata: the process (in the Chrome sense) and one named thread
+    // per simulated process.
+    w.begin_object();
+    w.field_str("name", "process_name");
+    w.field_str("ph", "M");
+    w.field_u64("pid", PID);
+    w.key("args");
+    w.begin_object();
+    w.field_str(
+        "name",
+        if meta.title.is_empty() {
+            "session-problem"
+        } else {
+            &meta.title
+        },
+    );
+    w.end_object();
+    w.end_object();
+    for p in 0..n {
+        let label = match meta.port_of(p) {
+            Some(port) => format!("p{p} ({port})"),
+            None => format!("p{p}"),
+        };
+        thread_name(&mut w, p as u64, &label);
+    }
+    let sessions_tid = n as u64;
+    if !meta.session_close_times.is_empty() {
+        thread_name(&mut w, sessions_tid, "sessions");
+    }
+
+    // Per-process activity spans: from time 0 to the idle-entry time (or
+    // the end of the trace), so the step instants nest inside them.
+    for p in 0..n {
+        let pid = session_types::ProcessId::new(p);
+        if trace.step_count(pid) == 0 {
+            continue;
+        }
+        let until = trace.idle_time(pid).unwrap_or(end);
+        event_header(&mut w, "active", "X", p as u64, 0.0);
+        w.field_f64("dur", ts(until));
+        w.key("args");
+        w.begin_object();
+        w.field_u64("steps", trace.step_count(pid) as u64);
+        w.field_bool("idled", trace.idle_time(pid).is_some());
+        w.end_object();
+        w.end_object();
+    }
+
+    // Session durations: session k spans (close_{k-1}, close_k].
+    let mut prev = Time::ZERO;
+    for (k, &close) in meta.session_close_times.iter().enumerate() {
+        event_header(
+            &mut w,
+            &format!("session {}", k + 1),
+            "X",
+            sessions_tid,
+            ts(prev),
+        );
+        w.field_f64("dur", ts(close) - ts(prev));
+        w.end_object();
+        prev = close;
+    }
+
+    // Step and delivery instants, in trace order.
+    for e in trace.events() {
+        let p = e.process.index();
+        let (name, detail): (&str, Vec<(&str, String)>) = match &e.kind {
+            StepKind::VarAccess { var, port } => (
+                if port.is_some() { "port step" } else { "step" },
+                match port {
+                    Some(port) => {
+                        vec![("var", var.to_string()), ("port", port.to_string())]
+                    }
+                    None => vec![("var", var.to_string())],
+                },
+            ),
+            StepKind::MpStep {
+                received,
+                broadcast,
+            } => (
+                if meta.port_of(p).is_some() {
+                    "port step"
+                } else {
+                    "step"
+                },
+                vec![
+                    ("received", received.to_string()),
+                    ("broadcast", broadcast.to_string()),
+                ],
+            ),
+            StepKind::Deliver { msg } => ("deliver", vec![("msg", msg.to_string())]),
+        };
+        event_header(&mut w, name, "i", p as u64, ts(e.time));
+        w.field_str("s", "t");
+        w.key("args");
+        w.begin_object();
+        for (key, value) in detail {
+            w.field_str(key, &value);
+        }
+        if e.idle_after {
+            w.field_bool("idle_after", true);
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    // Flows: one arrow per delivered message, send -> delivery.
+    for m in trace.messages() {
+        let Some(delivered_at) = m.delivered_at else {
+            continue;
+        };
+        event_header(&mut w, "msg", "s", m.from.index() as u64, ts(m.sent_at));
+        w.field_str("cat", "net");
+        w.field_u64("id", m.msg.seq());
+        w.end_object();
+        event_header(&mut w, "msg", "f", m.to.index() as u64, ts(delivered_at));
+        w.field_str("cat", "net");
+        w.field_u64("id", m.msg.seq());
+        w.field_str("bp", "e");
+        w.end_object();
+    }
+
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Renders `trace` as a structured JSONL event stream: a `meta` header
+/// line, one line per event, one per message record, one per session
+/// close. Exact rational times are preserved in `"t"` strings; `*_ms`
+/// fields carry the millisecond floats.
+pub fn trace_jsonl(trace: &Trace, meta: &ExportMeta) -> String {
+    let mut out = String::new();
+    let mut push = |w: JsonWriter| {
+        out.push_str(&w.finish());
+        out.push('\n');
+    };
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("type", "meta");
+    w.field_str("title", &meta.title);
+    w.field_u64("num_processes", trace.num_processes() as u64);
+    w.field_u64("events", trace.len() as u64);
+    w.field_u64("messages", trace.messages().len() as u64);
+    w.end_object();
+    push(w);
+
+    for (i, e) in trace.events().iter().enumerate() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("type", "event");
+        w.field_u64("seq", i as u64);
+        w.field_str("t", &e.time.to_string());
+        w.field_f64("t_ms", e.time.to_f64());
+        w.field_u64("process", e.process.index() as u64);
+        match &e.kind {
+            StepKind::VarAccess { var, port } => {
+                w.field_str("kind", "access");
+                w.field_u64("var", var.index() as u64);
+                match port {
+                    Some(port) => w.field_u64("port", port.index() as u64),
+                    None => {
+                        w.key("port");
+                        w.value_null();
+                    }
+                }
+            }
+            StepKind::MpStep {
+                received,
+                broadcast,
+            } => {
+                w.field_str("kind", "step");
+                w.field_u64("received", *received as u64);
+                w.field_bool("broadcast", *broadcast);
+                match meta.port_of(e.process.index()) {
+                    Some(port) => w.field_u64("port", port.index() as u64),
+                    None => {
+                        w.key("port");
+                        w.value_null();
+                    }
+                }
+            }
+            StepKind::Deliver { msg } => {
+                w.field_str("kind", "deliver");
+                w.field_u64("msg", msg.seq());
+            }
+        }
+        w.field_bool("idle_after", e.idle_after);
+        w.end_object();
+        push(w);
+    }
+
+    for m in trace.messages() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("type", "message");
+        w.field_u64("msg", m.msg.seq());
+        w.field_u64("from", m.from.index() as u64);
+        w.field_u64("to", m.to.index() as u64);
+        w.field_str("sent_at", &m.sent_at.to_string());
+        match m.delivered_at {
+            Some(at) => {
+                w.field_str("delivered_at", &at.to_string());
+                w.field_f64(
+                    "delay_ms",
+                    m.delay().map_or(f64::NAN, session_types::Dur::to_f64),
+                );
+            }
+            None => {
+                w.key("delivered_at");
+                w.value_null();
+            }
+        }
+        w.end_object();
+        push(w);
+    }
+
+    for (k, &close) in meta.session_close_times.iter().enumerate() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("type", "session");
+        w.field_u64("index", k as u64 + 1);
+        w.field_str("closed_at", &close.to_string());
+        w.field_f64("closed_at_ms", close.to_f64());
+        w.end_object();
+        push(w);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use session_sim::TraceEvent;
+    use session_types::{ProcessId, VarId};
+
+    fn mp_trace() -> (Trace, ExportMeta) {
+        let mut trace = Trace::new(2);
+        trace.push(TraceEvent {
+            time: Time::from_int(1),
+            process: ProcessId::new(0),
+            kind: StepKind::MpStep {
+                received: 0,
+                broadcast: true,
+            },
+            idle_after: false,
+        });
+        let msg = trace.record_send(ProcessId::new(0), ProcessId::new(1), Time::from_int(1));
+        let lost = trace.record_send(ProcessId::new(0), ProcessId::new(0), Time::from_int(1));
+        trace.push(TraceEvent {
+            time: Time::from_int(3),
+            process: ProcessId::new(1),
+            kind: StepKind::Deliver { msg },
+            idle_after: false,
+        });
+        trace.record_delivery(msg, Time::from_int(3));
+        let _ = lost; // never delivered: must not produce a flow
+        trace.push(TraceEvent {
+            time: Time::from_int(4),
+            process: ProcessId::new(1),
+            kind: StepKind::MpStep {
+                received: 1,
+                broadcast: false,
+            },
+            idle_after: true,
+        });
+        let meta = ExportMeta::new("test run")
+            .with_ports(vec![Some(PortId::new(0)), Some(PortId::new(1))])
+            .with_sessions(vec![Time::from_int(4)]);
+        (trace, meta)
+    }
+
+    #[test]
+    fn perfetto_output_is_valid_json_with_expected_tracks() {
+        let (trace, meta) = mp_trace();
+        let out = perfetto_json(&trace, &meta);
+        json::validate(&out).expect("perfetto output must parse as JSON");
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        // One thread_name per process plus the sessions track.
+        assert_eq!(out.matches("\"thread_name\"").count(), 3);
+        assert!(out.contains("\"name\":\"p0 (y0)\""), "{out}");
+        assert!(out.contains("\"name\":\"sessions\""), "{out}");
+        // Session span, step instants, one flow pair.
+        assert!(out.contains("\"name\":\"session 1\""), "{out}");
+        assert!(out.contains("\"name\":\"port step\""), "{out}");
+        assert_eq!(out.matches("\"ph\":\"s\"").count(), 1, "{out}");
+        assert_eq!(out.matches("\"ph\":\"f\"").count(), 1, "{out}");
+        // t=3 renders as ts=3000 (1 unit = 1ms = 1000 Chrome micros).
+        assert!(out.contains("\"ts\":3000"), "{out}");
+    }
+
+    #[test]
+    fn perfetto_sm_traces_use_step_tagging() {
+        let mut trace = Trace::new(1);
+        trace.push(TraceEvent {
+            time: Time::from_int(2),
+            process: ProcessId::new(0),
+            kind: StepKind::VarAccess {
+                var: VarId::new(0),
+                port: Some(PortId::new(0)),
+            },
+            idle_after: true,
+        });
+        let out = perfetto_json(&trace, &ExportMeta::new("sm"));
+        json::validate(&out).unwrap();
+        assert!(out.contains("\"name\":\"port step\""), "{out}");
+        assert!(out.contains("\"var\":\"x0\""), "{out}");
+        assert!(!out.contains("\"name\":\"sessions\""), "{out}");
+    }
+
+    #[test]
+    fn jsonl_lines_cover_events_messages_and_sessions() {
+        let (trace, meta) = mp_trace();
+        let out = trace_jsonl(&trace, &meta);
+        let lines: Vec<&str> = out.lines().collect();
+        // meta + 3 events + 2 messages + 1 session.
+        assert_eq!(lines.len(), 7);
+        for line in &lines {
+            json::validate(line).expect("every JSONL line must parse");
+        }
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[1].contains("\"kind\":\"step\""));
+        assert!(lines[2].contains("\"kind\":\"deliver\""));
+        assert!(lines[4].contains("\"delay_ms\":2"), "{}", lines[4]);
+        assert!(lines[5].contains("\"delivered_at\":null"), "{}", lines[5]);
+        assert!(lines[6].contains("\"type\":\"session\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let (trace, meta) = mp_trace();
+        assert_eq!(perfetto_json(&trace, &meta), perfetto_json(&trace, &meta));
+        assert_eq!(trace_jsonl(&trace, &meta), trace_jsonl(&trace, &meta));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = Trace::new(2);
+        let out = perfetto_json(&trace, &ExportMeta::new("empty"));
+        json::validate(&out).unwrap();
+        let jsonl = trace_jsonl(&trace, &ExportMeta::new("empty"));
+        assert_eq!(jsonl.lines().count(), 1); // just the meta header
+    }
+
+    #[test]
+    fn rational_times_keep_exact_and_float_forms() {
+        let mut trace = Trace::new(1);
+        trace.push(TraceEvent {
+            time: Time::from_ratio(session_types::Ratio::new(7, 2)),
+            process: ProcessId::new(0),
+            kind: StepKind::VarAccess {
+                var: VarId::new(0),
+                port: None,
+            },
+            idle_after: false,
+        });
+        let jsonl = trace_jsonl(&trace, &ExportMeta::new("exact"));
+        assert!(jsonl.contains("\"t\":\"7/2\""), "{jsonl}");
+        assert!(jsonl.contains("\"t_ms\":3.5"), "{jsonl}");
+    }
+}

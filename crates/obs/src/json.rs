@@ -1,0 +1,456 @@
+//! A minimal dependency-free JSON writer.
+//!
+//! The workspace builds without network access, so there is no serde;
+//! this writer is the single JSON emitter shared by the trace exporters,
+//! the JSONL recorder and the bench telemetry (`BENCH_*.json`). Output is
+//! deterministic: field order is the call order, floats use Rust's
+//! shortest-roundtrip formatting, and non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+//!
+//! # Examples
+//!
+//! ```
+//! use session_obs::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.field_str("name", "p0");
+//! w.field_u64("steps", 3);
+//! w.key("delays");
+//! w.begin_array();
+//! w.value_f64(1.5);
+//! w.value_f64(2.0);
+//! w.end_array();
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"p0","steps":3,"delays":[1.5,2]}"#);
+//! ```
+
+/// Escapes `s` for use inside a JSON string literal (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON value (`null` when not finite).
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An incremental JSON writer over a growing string.
+///
+/// Commas are inserted automatically; the caller is responsible for
+/// balancing `begin_*`/`end_*` and for writing exactly one top-level
+/// value.
+#[derive(Clone, Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether the next value/key at each nesting level needs a comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.buf.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes an object (`}`).
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes an array (`]`).
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an object key; the next write is its value.
+    pub fn key(&mut self, name: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+        // The value that follows must not be comma-separated from its key.
+        if let Some(needs) = self.needs_comma.last_mut() {
+            *needs = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, value: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, value: u64) {
+        self.before_value();
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// Writes a float value (`null` when not finite).
+    pub fn value_f64(&mut self, value: f64) {
+        self.before_value();
+        self.buf.push_str(&number(value));
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, value: bool) {
+        self.before_value();
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes a `null`.
+    pub fn value_null(&mut self) {
+        self.before_value();
+        self.buf.push_str("null");
+    }
+
+    /// `key` + [`JsonWriter::value_str`].
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.value_str(value);
+    }
+
+    /// `key` + [`JsonWriter::value_u64`].
+    pub fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        self.value_u64(value);
+    }
+
+    /// `key` + [`JsonWriter::value_f64`].
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        self.value_f64(value);
+    }
+
+    /// `key` + [`JsonWriter::value_bool`].
+    pub fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.value_bool(value);
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Checks that `input` is exactly one well-formed JSON value.
+///
+/// A recursive-descent skimmer used by the exporter tests and the golden
+/// tests to assert that generated output parses (the workspace has no
+/// JSON parsing dependency). It validates structure, string escapes and
+/// number syntax; it does not build a value tree.
+///
+/// # Errors
+///
+/// Returns a description with a byte offset for the first syntax error.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    skim_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", want as char, *pos))
+    }
+}
+
+fn skim_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => skim_object(bytes, pos),
+        Some(b'[') => skim_array(bytes, pos),
+        Some(b'"') => skim_string(bytes, pos),
+        Some(b't') => skim_literal(bytes, pos, "true"),
+        Some(b'f') => skim_literal(bytes, pos, "false"),
+        Some(b'n') => skim_literal(bytes, pos, "null"),
+        Some(b'-' | b'0'..=b'9') => skim_number(bytes, pos),
+        Some(&b) => Err(format!("unexpected {:?} at byte {}", b as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+    }
+}
+
+fn skim_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        skim_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        skim_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn skim_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        skim_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn skim_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match bytes.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = bytes.get(*pos + 2..*pos + 6);
+                    if hex.is_some_and(|h| h.iter().all(u8::is_ascii_hexdigit)) {
+                        *pos += 6;
+                    } else {
+                        return Err(format!("bad \\u escape at byte {}", *pos));
+                    }
+                }
+                _ => return Err(format!("bad escape at byte {}", *pos)),
+            },
+            0x00..=0x1f => return Err(format!("raw control character at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn skim_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {}", *pos))
+    }
+}
+
+fn skim_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| -> bool {
+        let before = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > before
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("π"), "π");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(2.0), "2");
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn nested_structures_get_commas_right() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("a", "1");
+        w.key("b");
+        w.begin_array();
+        w.begin_object();
+        w.field_u64("x", 1);
+        w.end_object();
+        w.begin_object();
+        w.field_bool("y", false);
+        w.end_object();
+        w.end_array();
+        w.key("c");
+        w.value_null();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"a":"1","b":[{"x":1},{"y":false}],"c":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"empty":[]}"#);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_values() {
+        for ok in [
+            r#"{}"#,
+            r#"[]"#,
+            r#"{"a":[1,-2.5,3e4,"x\n",true,false,null],"b":{"c":"é"}}"#,
+            " { \"k\" : [ 1 , 2 ] } ",
+            "42",
+            r#""lone string""#,
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{'a':1}"#,
+            "01x",
+            "1 2",
+            r#""unterminated"#,
+            r#""bad \q escape""#,
+            "nul",
+            "{\"a\":\"\u{1}\"}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn writer_output_always_validates() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "a\"b\\c\nd");
+        w.field_f64("nan", f64::NAN);
+        w.key("arr");
+        w.begin_array();
+        w.value_u64(0);
+        w.end_array();
+        w.end_object();
+        validate(&w.finish()).unwrap();
+    }
+}

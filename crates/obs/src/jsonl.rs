@@ -1,0 +1,178 @@
+//! The streaming JSONL backend.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+use crate::recorder::Recorder;
+
+/// Streams every recording as one JSON object per line to a writer.
+///
+/// Line shapes:
+///
+/// ```text
+/// {"type":"counter","name":"mp.steps","delta":1}
+/// {"type":"gauge","name":"run.sessions","value":3}
+/// {"type":"sample","name":"mp.buffer_occupancy","value":2}
+/// {"type":"span","name":"verify.admissibility","micros":41.2}
+/// ```
+///
+/// Spans are emitted on close with their wall-clock elapsed time. Write
+/// errors are sticky: the first error is kept and returned by
+/// [`JsonlRecorder::finish`], and subsequent recordings are dropped (hot
+/// paths cannot propagate I/O errors).
+///
+/// # Examples
+///
+/// ```
+/// use session_obs::{JsonlRecorder, Recorder};
+///
+/// let mut rec = JsonlRecorder::new(Vec::new());
+/// rec.counter("sm.steps", 2);
+/// let bytes = rec.finish().unwrap();
+/// assert_eq!(
+///     String::from_utf8(bytes).unwrap(),
+///     "{\"type\":\"counter\",\"name\":\"sm.steps\",\"delta\":2}\n"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    span_stack: Vec<(&'static str, Instant)>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps `out` (pass a `BufWriter` for file targets — every recording
+    /// is one `write_all` call).
+    pub fn new(out: W) -> JsonlRecorder<W> {
+        JsonlRecorder {
+            out,
+            span_stack: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn emit(&mut self, line: String) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"));
+        if let Err(err) = result {
+            self.error = Some(err);
+        }
+    }
+
+    fn named_value(&mut self, kind: &str, name: &str, field: &str, value: f64) {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("type", kind);
+        w.field_str("name", name);
+        w.field_f64(field, value);
+        w.end_object();
+        self.emit(w.finish());
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while streaming (later recordings were
+    /// dropped), or the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("type", "counter");
+        w.field_str("name", name);
+        w.field_u64("delta", delta);
+        w.end_object();
+        self.emit(w.finish());
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.named_value("gauge", name, "value", value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.named_value("sample", name, "value", value);
+    }
+
+    fn span_start(&mut self, name: &'static str) {
+        self.span_stack.push((name, Instant::now()));
+    }
+
+    fn span_end(&mut self) {
+        if let Some((name, started)) = self.span_stack.pop() {
+            let micros = started.elapsed().as_secs_f64() * 1e6;
+            self.named_value("span", name, "micros", micros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(rec: JsonlRecorder<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(rec.finish().unwrap())
+            .unwrap()
+            .lines()
+            .map(ToOwned::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn every_recording_is_one_line() {
+        let mut rec = JsonlRecorder::new(Vec::new());
+        rec.counter("c", 1);
+        rec.gauge("g", 2.5);
+        rec.observe("h", 3.0);
+        rec.span_start("s");
+        rec.span_end();
+        let lines = lines(rec);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], r#"{"type":"counter","name":"c","delta":1}"#);
+        assert_eq!(lines[1], r#"{"type":"gauge","name":"g","value":2.5}"#);
+        assert_eq!(lines[2], r#"{"type":"sample","name":"h","value":3}"#);
+        assert!(lines[3].starts_with(r#"{"type":"span","name":"s","micros":"#));
+    }
+
+    /// A writer that fails after the first line.
+    struct FailAfterOne {
+        written: usize,
+    }
+    impl Write for FailAfterOne {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written >= 2 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.written += 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_sticky_and_reported_by_finish() {
+        let mut rec = JsonlRecorder::new(FailAfterOne { written: 0 });
+        rec.counter("a", 1); // line + newline: ok
+        rec.counter("b", 1); // fails, recorded
+        rec.counter("c", 1); // dropped silently
+        assert!(rec.finish().is_err());
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use session_obs::{NullRecorder, Recorder};
 use session_sim::{EventQueue, RunLimits, RunOutcome, StepKind, StepSchedule, Trace, TraceEvent};
 use session_types::{Error, PortId, ProcessId, Result, Time, VarId};
 
@@ -181,6 +182,22 @@ impl<V> SmEngine<V> {
         schedule: &mut dyn StepSchedule,
         limits: RunLimits,
     ) -> Result<RunOutcome> {
+        self.run_recorded(schedule, limits, &mut NullRecorder)
+    }
+
+    /// [`SmEngine::run`] with instrumentation: emits `sm.steps`,
+    /// `sm.port_steps` and `sched.steps_scheduled` counters plus a final
+    /// `sm.end_time_ms` gauge to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SmEngine::run`].
+    pub fn run_recorded(
+        &mut self,
+        schedule: &mut dyn StepSchedule,
+        limits: RunLimits,
+        recorder: &mut dyn Recorder,
+    ) -> Result<RunOutcome> {
         let mut trace = Trace::new(self.processes.len());
         if self.is_quiescent() {
             return Ok(RunOutcome {
@@ -193,10 +210,24 @@ impl<V> SmEngine<V> {
         for i in 0..self.processes.len() {
             let p = ProcessId::new(i);
             queue.push(schedule.first_step(p), p);
+            recorder.counter("sched.steps_scheduled", 1);
         }
         let mut steps = 0u64;
         #[cfg(feature = "strict-invariants")]
         let mut last_time = Time::ZERO;
+        let finish = |trace: Trace, terminated: bool, steps: u64, recorder: &mut dyn Recorder| {
+            if recorder.is_enabled() {
+                recorder.gauge(
+                    "sm.end_time_ms",
+                    trace.end_time().unwrap_or(Time::ZERO).to_f64(),
+                );
+            }
+            Ok(RunOutcome {
+                trace,
+                terminated,
+                steps,
+            })
+        };
         while let Some((now, p)) = queue.pop() {
             #[cfg(feature = "strict-invariants")]
             {
@@ -204,29 +235,23 @@ impl<V> SmEngine<V> {
                 last_time = now;
             }
             if !limits.allows(steps, now) {
-                return Ok(RunOutcome {
-                    trace,
-                    terminated: false,
-                    steps,
-                });
+                return finish(trace, false, steps, recorder);
             }
-            self.execute_step(p, now, &mut trace)?;
+            let was_port_step = self.execute_step(p, now, &mut trace)?;
             steps += 1;
+            recorder.counter("sm.steps", 1);
+            if was_port_step {
+                recorder.counter("sm.port_steps", 1);
+            }
             if self.is_quiescent() {
-                return Ok(RunOutcome {
-                    trace,
-                    terminated: true,
-                    steps,
-                });
+                return finish(trace, true, steps, recorder);
             }
             queue.push(schedule.next_step(p, now), p);
+            recorder.counter("sched.steps_scheduled", 1);
         }
         // Unreachable in practice: each executed step re-enqueues the process.
-        Ok(RunOutcome {
-            trace,
-            terminated: self.is_quiescent(),
-            steps,
-        })
+        let terminated = self.is_quiescent();
+        finish(trace, terminated, steps, recorder)
     }
 
     /// Executes exactly the scripted `(time, process)` steps, in order.
@@ -256,7 +281,8 @@ impl<V> SmEngine<V> {
         })
     }
 
-    fn execute_step(&mut self, p: ProcessId, now: Time, trace: &mut Trace) -> Result<()> {
+    /// Executes one step of `p`, returning whether it was a port step.
+    fn execute_step(&mut self, p: ProcessId, now: Time, trace: &mut Trace) -> Result<bool> {
         if p.index() >= self.processes.len() {
             return Err(Error::unknown_id(format!("process {p}")));
         }
@@ -283,7 +309,7 @@ impl<V> SmEngine<V> {
             kind: StepKind::VarAccess { var, port },
             idle_after: self.processes[p.index()].is_idle(),
         });
-        Ok(())
+        Ok(port.is_some())
     }
 }
 
@@ -519,6 +545,33 @@ mod tests {
         .is_err());
         // No processes at all.
         assert!(SmEngine::<u64>::new(vec![0u64], vec![], 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn run_recorded_counts_steps_and_port_steps() {
+        let bindings = vec![PortBinding {
+            port: PortId::new(0),
+            var: VarId::new(0),
+            process: ProcessId::new(0),
+        }];
+        let mut engine = SmEngine::new(
+            vec![0u64, 0],
+            vec![countdown(0, 3), countdown(1, 2)],
+            2,
+            bindings,
+        )
+        .unwrap();
+        let mut sched = FixedPeriods::uniform(2, Dur::from_int(1)).unwrap();
+        let mut rec = session_obs::InMemoryRecorder::new();
+        let outcome = engine
+            .run_recorded(&mut sched, RunLimits::default(), &mut rec)
+            .unwrap();
+        assert!(outcome.terminated);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("sm.steps"), outcome.steps);
+        assert_eq!(snap.counter("sm.port_steps"), 3);
+        assert!(snap.counter("sched.steps_scheduled") >= outcome.steps);
+        assert!(snap.gauge("sm.end_time_ms").is_some());
     }
 
     #[test]

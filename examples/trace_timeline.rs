@@ -1,16 +1,18 @@
-//! Looking inside a computation: record a run, render its timeline, and
-//! print the full trace analysis — the debugging workflow for timing-model
-//! experiments.
+//! Looking inside a computation: record a run, render its timeline, print
+//! the full trace analysis, and export the same computation as a Perfetto
+//! trace — the debugging workflow for timing-model experiments.
 //!
 //! ```text
 //! cargo run --example trace_timeline
+//! # then open trace_timeline.perfetto.json in https://ui.perfetto.dev
 //! ```
 
 use session_problem::core::analysis::analyze;
 use session_problem::core::report::{run_mp, MpConfig};
 use session_problem::core::system::port_of;
+use session_problem::obs::export::{perfetto_json, ExportMeta};
 use session_problem::sim::{render_timeline, ConstantDelay, FixedPeriods, RunLimits};
-use session_problem::types::{Dur, Error, KnownBounds, SessionSpec, TimingModel};
+use session_problem::types::{Dur, Error, KnownBounds, ProcessId, SessionSpec, TimingModel};
 
 fn main() -> Result<(), Error> {
     let spec = SessionSpec::new(3, 3, 2)?;
@@ -73,5 +75,18 @@ fn main() -> Result<(), Error> {
                 .map_or_else(|| "never".into(), |t| t.to_string()),
         );
     }
+
+    // The same computation as a Perfetto trace: one track per process,
+    // instants for steps and deliveries, flows per message, session spans.
+    let ports = (0..report.trace.num_processes())
+        .map(|i| port_of(&spec)(ProcessId::new(i)))
+        .collect();
+    let meta = ExportMeta::new("trace_timeline example — async MP (3, 3)")
+        .with_ports(ports)
+        .with_sessions(analysis.session_close_times.clone());
+    let path = "trace_timeline.perfetto.json";
+    std::fs::write(path, perfetto_json(&report.trace, &meta))
+        .map_err(|e| Error::invalid_params(format!("cannot write {path}: {e}")))?;
+    println!("\nwrote {path} (open in https://ui.perfetto.dev)");
     Ok(())
 }

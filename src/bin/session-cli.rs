@@ -1,15 +1,27 @@
 //! Command-line front end: run any session-problem configuration and print
-//! the verified report, or run the static analyzer over the algorithm
-//! registry. See `session_problem::cli::CliConfig::USAGE` and
-//! `session_problem::analyze::AnalyzeConfig::USAGE`.
+//! the verified report, run the static analyzer over the algorithm
+//! registry, or export instrumented traces. See
+//! `session_problem::cli::CliConfig::USAGE` and the `USAGE` constants of
+//! the `analyze` / `trace` / `stats` subcommand modules.
 
 use session_problem::analyze::AnalyzeConfig;
 use session_problem::cli::CliConfig;
+use session_problem::stats::StatsConfig;
+use session_problem::trace_cmd::TraceConfig;
+
+fn fail(err: &dyn std::fmt::Display) -> ! {
+    eprintln!("{err}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().is_some_and(|a| a == "analyze") {
-        match AnalyzeConfig::parse(&args[1..]) {
+    let wants_help = |rest: &[String]| {
+        rest.iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    };
+    match args.first().map(String::as_str) {
+        Some("analyze") => match AnalyzeConfig::parse(&args[1..]) {
             Ok(config) => {
                 let (report, denied) = config.execute();
                 print!("{report}");
@@ -17,26 +29,37 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            Err(err) => {
-                eprintln!("{err}");
-                std::process::exit(2);
+            Err(err) => fail(&err),
+        },
+        Some("trace") => {
+            if wants_help(&args[1..]) {
+                println!("{}", TraceConfig::USAGE);
+                return;
+            }
+            match TraceConfig::parse(&args[1..]).and_then(|config| config.execute()) {
+                Ok(summary) => print!("{summary}"),
+                Err(err) => fail(&err),
             }
         }
-        return;
-    }
-    if args
-        .iter()
-        .any(|a| a == "--help" || a == "-h" || a == "help")
-    {
-        println!("{}", CliConfig::USAGE);
-        println!("\nsubcommands:\n  analyze   exhaustive small-scope model checking (see `session-cli analyze --list`)");
-        return;
-    }
-    match CliConfig::parse(&args).and_then(|config| config.execute()) {
-        Ok(report) => print!("{report}"),
-        Err(err) => {
-            eprintln!("{err}");
-            std::process::exit(2);
+        Some("stats") => {
+            if wants_help(&args[1..]) {
+                println!("{}", StatsConfig::USAGE);
+                return;
+            }
+            match StatsConfig::parse(&args[1..]).and_then(|config| config.execute()) {
+                Ok(report) => print!("{report}"),
+                Err(err) => fail(&err),
+            }
+        }
+        _ => {
+            if wants_help(&args) {
+                println!("{}", CliConfig::USAGE);
+                return;
+            }
+            match CliConfig::parse(&args).and_then(|config| config.execute()) {
+                Ok(report) => print!("{report}"),
+                Err(err) => fail(&err),
+            }
         }
     }
 }

@@ -12,9 +12,10 @@
 use std::fmt::Write as _;
 
 use session_core::analysis::analyze;
-use session_core::report::{run_mp, run_sm, MpConfig, RunReport, SmConfig};
+use session_core::report::{run_mp_recorded, run_sm_recorded, MpConfig, RunReport, SmConfig};
 use session_core::system::port_of;
 use session_core::verify::check_admissible;
+use session_obs::{NullRecorder, Recorder};
 use session_sim::{
     render_timeline, ConstantDelay, DelayPolicy, FixedPeriods, HopDelay, JitterSchedule, RunLimits,
     SporadicBursts, StepSchedule, UniformDelay,
@@ -92,7 +93,11 @@ usage: session-cli [key=value ...]
   delay=const:D | uniform | ring:H | line:H | star:H     (default const:d2)
   seed=N                                        (default 42)
   timeline=true|false                           (default false)
-  max-steps=N                                   (default 1000000)";
+  max-steps=N                                   (default 1000000)
+subcommands (own usage via `session-cli SUBCOMMAND --help`):
+  analyze   exhaustive small-scope model checking over named targets
+  trace     run one configuration, export Perfetto JSON / JSONL traces
+  stats     run one configuration, print per-process and engine counters";
 
     /// Parses `key=value` arguments.
     ///
@@ -257,19 +262,22 @@ usage: session-cli [key=value ...]
         })
     }
 
-    /// Runs the configuration and renders the report.
+    /// Runs the configuration, streaming instrumentation to `recorder`,
+    /// and returns the verified report together with the timing bounds it
+    /// ran under. This is the shared engine behind [`CliConfig::execute`]
+    /// and the `trace` / `stats` subcommands.
     ///
     /// # Errors
     ///
     /// Propagates parameter and engine errors.
-    pub fn execute(&self) -> Result<String> {
+    pub fn run_recorded(&self, recorder: &mut dyn Recorder) -> Result<(RunReport, KnownBounds)> {
         let bounds = self.bounds()?;
         let limits = RunLimits::default().with_max_steps(self.max_steps);
         let report: RunReport = match self.comm {
             CommModel::SharedMemory => {
                 let tree = TreeSpec::build(self.spec.n(), self.spec.b());
                 let mut schedule = self.build_schedule(self.spec.n() + tree.num_relays())?;
-                run_sm(
+                run_sm_recorded(
                     SmConfig {
                         model: self.model,
                         spec: self.spec,
@@ -277,12 +285,13 @@ usage: session-cli [key=value ...]
                     },
                     schedule.as_mut(),
                     limits,
+                    recorder,
                 )?
             }
             CommModel::MessagePassing => {
                 let mut schedule = self.build_schedule(self.spec.n())?;
                 let mut delays = self.build_delay()?;
-                run_mp(
+                run_mp_recorded(
                     MpConfig {
                         model: self.model,
                         spec: self.spec,
@@ -291,9 +300,36 @@ usage: session-cli [key=value ...]
                     schedule.as_mut(),
                     delays.as_mut(),
                     limits,
+                    recorder,
                 )?
             }
         };
+        Ok((report, bounds))
+    }
+
+    /// The port realized by each process of this configuration, by process
+    /// index: in message passing, process `i < n` realizes port `i`; in
+    /// shared memory port steps are tagged in the trace itself, so the map
+    /// is empty.
+    pub fn port_labels(&self, num_processes: usize) -> Vec<Option<session_types::PortId>> {
+        match self.comm {
+            CommModel::SharedMemory => Vec::new(),
+            CommModel::MessagePassing => {
+                let map = port_of(&self.spec);
+                (0..num_processes)
+                    .map(|i| map(session_types::ProcessId::new(i)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs the configuration and renders the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and engine errors.
+    pub fn execute(&self) -> Result<String> {
+        let (report, bounds) = self.run_recorded(&mut NullRecorder)?;
 
         let mut out = String::new();
         let _ = writeln!(out, "{} / {} — {}", self.model, self.comm, self.spec);

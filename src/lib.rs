@@ -22,6 +22,7 @@
 //! | [`smm`] | `session-smm` | `b`-bounded shared variables, tree broadcast network |
 //! | [`mpm`] | `session-mpm` | broadcast network with bounded delays |
 //! | [`core`] | `session-core` | the ten session algorithms, verification, Table 1 bounds |
+//! | [`obs`] | `session-obs` | instrumentation recorders, Perfetto / JSONL trace export |
 //! | [`adversary`] | `session-adversary` | executable lower-bound constructions |
 //! | [`rt`] | `session-rt` | real-time task scheduling substrate (§1 motivation) |
 //! | [`analyzer`] | `session-analyzer` | exhaustive small-scope model checker with `SA`-coded lints |
@@ -63,11 +64,14 @@
 
 pub mod analyze;
 pub mod cli;
+pub mod stats;
+pub mod trace_cmd;
 
 pub use session_adversary as adversary;
 pub use session_analyzer as analyzer;
 pub use session_core as core;
 pub use session_mpm as mpm;
+pub use session_obs as obs;
 pub use session_rt as rt;
 pub use session_sim as sim;
 pub use session_smm as smm;

@@ -1,0 +1,190 @@
+//! The `session-cli stats` subcommand: run one configuration with the
+//! in-memory recorder attached and print everything the instrumentation
+//! layer observed — per-process step counts, engine counters and gauges,
+//! and histogram summaries.
+//!
+//! ```text
+//! session-cli stats model=periodic comm=mp s=3 n=3
+//! session-cli stats model=sync comm=sm s=2 n=2 json=stats.json
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use session_core::analysis::analyze;
+use session_core::system::port_of;
+use session_obs::InMemoryRecorder;
+use session_sim::process_stats;
+use session_types::{Error, Result};
+
+use crate::cli::CliConfig;
+
+/// A fully parsed `stats` command line.
+#[derive(Clone, Debug)]
+pub struct StatsConfig {
+    /// The run configuration (everything `session-cli` itself accepts).
+    pub run: CliConfig,
+    /// Where to also write the metrics snapshot as JSON, if requested.
+    pub json: Option<PathBuf>,
+}
+
+impl StatsConfig {
+    /// The usage string printed on parse errors.
+    pub const USAGE: &'static str = "\
+usage: session-cli stats [key=value ...]
+  json=PATH    also write the metrics snapshot as JSON
+plus every `session-cli` run option (model=, comm=, s=, n=, schedule=,
+delay=, seed=, max-steps=, ...).";
+
+    /// Parses the arguments after the `stats` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] (carrying a usage hint) when a run
+    /// option is malformed.
+    pub fn parse<I, S>(args: I) -> Result<StatsConfig>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut json = None;
+        let mut run_args: Vec<String> = Vec::new();
+        for arg in args {
+            let arg = arg.as_ref();
+            match arg.split_once('=') {
+                Some(("json", path)) => json = Some(PathBuf::from(path)),
+                _ => run_args.push(arg.to_string()),
+            }
+        }
+        let run = CliConfig::parse(&run_args)
+            .map_err(|err| Error::invalid_params(format!("{err}\n{}", StatsConfig::USAGE)))?;
+        Ok(StatsConfig { run, json })
+    }
+
+    /// Runs the configuration and renders the report plus the recorded
+    /// metrics, returning the printable report and the snapshot JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and engine errors from the run.
+    pub fn render(&self) -> Result<(String, String)> {
+        let mut recorder = InMemoryRecorder::new();
+        let (report, _bounds) = self.run.run_recorded(&mut recorder)?;
+        let snapshot = recorder.into_snapshot();
+        let spec = self.run.spec;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} / {} — {}", self.run.model, self.run.comm, spec);
+        let _ = writeln!(
+            out,
+            "terminated: {}   sessions: {}/{}   steps: {}",
+            report.terminated,
+            report.sessions,
+            spec.s(),
+            report.steps
+        );
+
+        let analysis = analyze(&report.trace, spec.n(), port_of(&spec));
+        let ports = self.run.port_labels(report.trace.num_processes());
+        // `process_stats` only tags shared-memory port steps; recount via
+        // the port map so message-passing rows are right too.
+        let events = report.trace.events();
+        let mut port_steps = vec![0usize; report.trace.num_processes()];
+        for (i, _port) in report.trace.port_steps(port_of(&spec)) {
+            port_steps[events[i].process.index()] += 1;
+        }
+        let _ = writeln!(out, "\n## per process\n");
+        let _ = writeln!(out, "| process | port | steps | port steps | idle at |");
+        let _ = writeln!(out, "|---|---|---:|---:|---|");
+        for (pid, stats) in process_stats(&report.trace) {
+            let port = ports
+                .get(pid.index())
+                .and_then(|p| p.map(|p| p.to_string()))
+                .unwrap_or_else(|| "-".into());
+            let idle = stats.idle_at.map_or_else(|| "-".into(), |t| t.to_string());
+            let _ = writeln!(
+                out,
+                "| {pid} | {port} | {} | {} | {idle} |",
+                stats.steps,
+                port_steps.get(pid.index()).copied().unwrap_or(0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nmessages: {} sent, {} delivered   sessions closed: {}",
+            analysis.messages_sent,
+            analysis.messages_delivered,
+            analysis.session_close_times.len()
+        );
+        let _ = writeln!(out, "\n## recorded metrics\n");
+        out.push_str(&snapshot.to_markdown());
+        Ok((out, snapshot.to_json()))
+    }
+
+    /// Runs the configuration, writes the JSON snapshot if requested, and
+    /// returns the printable report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run errors and I/O errors (as [`Error::InvalidParams`]
+    /// naming the path).
+    pub fn execute(&self) -> Result<String> {
+        let (mut out, json) = self.render()?;
+        if let Some(path) = &self.json {
+            std::fs::write(path, &json).map_err(|err| {
+                Error::invalid_params(format!("cannot write {}: {err}", path.display()))
+            })?;
+            let _ = writeln!(out, "\nwrote {}", path.display());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_obs::json;
+
+    #[test]
+    fn bad_run_options_carry_the_stats_usage() {
+        let err = StatsConfig::parse(["model=quantum"]).unwrap_err();
+        assert!(err.to_string().contains("usage: session-cli stats"));
+    }
+
+    #[test]
+    fn mp_stats_report_counters_and_per_process_table() {
+        let config = StatsConfig::parse([
+            "model=periodic",
+            "comm=mp",
+            "s=3",
+            "n=3",
+            "d2=8",
+            "schedule=uniform:2",
+            "delay=const:8",
+        ])
+        .unwrap();
+        let (out, snapshot_json) = config.render().unwrap();
+        // Every step of a message-passing port process is a port step, so
+        // the steps and port-steps columns must match (7 each here).
+        assert!(out.contains("| p0 | y0 | 7 | 7 |"), "{out}");
+        assert!(out.contains("| p2 | y2 | 7 | 7 |"), "{out}");
+        assert!(out.contains("mp.steps"), "{out}");
+        assert!(out.contains("mp.messages_delivered"), "{out}");
+        assert!(out.contains("mp.buffer_occupancy"), "{out}");
+        assert!(out.contains("run.sessions_closed"), "{out}");
+        json::validate(&snapshot_json).expect("snapshot must be valid JSON");
+        assert!(
+            snapshot_json.contains("\"mp.messages_sent\""),
+            "{snapshot_json}"
+        );
+    }
+
+    #[test]
+    fn sm_stats_report_sm_counters() {
+        let config = StatsConfig::parse(["model=sync", "comm=sm", "s=2", "n=2"]).unwrap();
+        let (out, _json) = config.render().unwrap();
+        assert!(out.contains("sm.steps"), "{out}");
+        assert!(out.contains("sm.port_steps"), "{out}");
+        assert!(out.contains("sched.steps_scheduled"), "{out}");
+    }
+}

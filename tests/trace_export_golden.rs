@@ -1,0 +1,74 @@
+//! Golden-file tests for the trace exporters: the Perfetto JSON and JSONL
+//! outputs of a fixed configuration must be byte-stable across runs (and
+//! across refactors — regenerate the files deliberately, never silently).
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_export_golden
+//! ```
+
+use session_problem::trace_cmd::TraceConfig;
+
+/// The fixed configuration: deterministic (uniform schedule, constant
+/// delay — the seed is never consulted) periodic message passing.
+const GOLDEN_ARGS: [&str; 9] = [
+    "model=periodic",
+    "comm=mp",
+    "s=3",
+    "n=3",
+    "d2=8",
+    "schedule=uniform:2",
+    "delay=const:8",
+    "out=golden.perfetto.json",
+    "jsonl=golden.jsonl",
+];
+
+fn render() -> (String, String) {
+    let config = TraceConfig::parse(GOLDEN_ARGS).expect("golden config parses");
+    let artifacts = config.render().expect("golden config runs");
+    (
+        artifacts.perfetto.expect("perfetto requested"),
+        artifacts.jsonl.expect("jsonl requested"),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the committed golden file; if the format change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn perfetto_export_is_byte_stable() {
+    let (perfetto, _) = render();
+    check_golden("periodic_mp.perfetto.json", &perfetto);
+}
+
+#[test]
+fn jsonl_export_is_byte_stable() {
+    let (_, jsonl) = render();
+    check_golden("periodic_mp.jsonl", &jsonl);
+}
+
+#[test]
+fn exports_are_identical_across_runs() {
+    let first = render();
+    let second = render();
+    assert_eq!(first, second);
+}
