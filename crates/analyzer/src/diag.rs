@@ -1,7 +1,7 @@
 //! Lint codes, severities, per-rule configuration and report rendering.
 //!
-//! Every finding the checker can produce carries one of five stable codes
-//! (`SA001`–`SA005`). Codes never change meaning; new rules get new codes.
+//! Every finding the checker can produce carries one of six stable codes
+//! (`SA001`–`SA006`). Codes never change meaning; new rules get new codes.
 //! Reports render as GitHub-flavored markdown tables (the same dialect as
 //! `session-bench`'s experiment reports) or as CSV.
 
@@ -28,15 +28,21 @@ pub enum LintCode {
     /// reaching quiescence (a lasso), or exploration exhausts its depth
     /// budget before quiescence.
     NonTermination,
+    /// `SA006 infeasible-timing`: an MP configuration's `[c1, c2]` /
+    /// `[d1, d2]` parameters admit no real-clock pacing — `d2 < d1`,
+    /// `c2 < c1`, or a zero-width sporadic minimum separation. Shared by
+    /// the simulator CLI and the `session-net` config validation.
+    InfeasibleTiming,
 }
 
 /// All codes, in code order.
-pub const ALL_CODES: [LintCode; 5] = [
+pub const ALL_CODES: [LintCode; 6] = [
     LintCode::SessionDeficit,
     LintCode::BBoundViolation,
     LintCode::StaleEvidence,
     LintCode::InadmissibleStep,
     LintCode::NonTermination,
+    LintCode::InfeasibleTiming,
 ];
 
 impl LintCode {
@@ -48,6 +54,7 @@ impl LintCode {
             LintCode::StaleEvidence => "SA003",
             LintCode::InadmissibleStep => "SA004",
             LintCode::NonTermination => "SA005",
+            LintCode::InfeasibleTiming => "SA006",
         }
     }
 
@@ -59,6 +66,7 @@ impl LintCode {
             LintCode::StaleEvidence => "stale-evidence",
             LintCode::InadmissibleStep => "inadmissible-step",
             LintCode::NonTermination => "non-termination",
+            LintCode::InfeasibleTiming => "infeasible-timing",
         }
     }
 

@@ -1,0 +1,187 @@
+//! `SA006 infeasible-timing`: static validation of MP timing parameters.
+//!
+//! A real-clock pacer (`session-net`) must *realize* the timing model: pick
+//! actual step gaps inside `[c1, c2]` and actual message delays inside
+//! `[d1, d2]`. Parameter combinations with empty windows — `c2 < c1`,
+//! `d2 < d1` — or a zero-width sporadic minimum separation (`c1 = 0`, which
+//! collapses the sporadic model's defining constraint) admit no admissible
+//! real execution at all, so they are rejected *before* any thread is
+//! spawned. The simulator CLI shares the same check: a configuration that
+//! cannot run on real clocks is flagged identically when simulated.
+
+use session_types::{Dur, Error, Result, TimingModel};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// The timing parameters a configuration proposes, before they are turned
+/// into [`session_types::KnownBounds`] (whose constructors would reject
+/// some of these outright — this check exists to give every front end the
+/// same `SA006`-coded diagnosis first).
+#[derive(Clone, Copy, Debug)]
+pub struct TimingParams {
+    /// Proposed timing model.
+    pub model: TimingModel,
+    /// Lower step bound / sporadic minimum separation.
+    pub c1: Dur,
+    /// Upper step bound (ignored by models that have none).
+    pub c2: Dur,
+    /// Lower delay bound.
+    pub d1: Dur,
+    /// Upper delay bound.
+    pub d2: Dur,
+}
+
+/// Checks `params` for real-clock feasibility, returning one `SA006`
+/// diagnostic per violated condition (empty means feasible).
+///
+/// Conditions, per model:
+///
+/// * every model with delays: `d1 <= d2` and `d1 >= 0`;
+/// * models with a step window (synchronous, semi-synchronous, and the
+///   pacer windows of periodic/asynchronous runs): `0 < c1 <= c2`;
+/// * sporadic: `c1 > 0` — a zero minimum separation is a zero-width
+///   sporadic constraint, indistinguishable from the asynchronous model
+///   and impossible to pace on a real timer.
+pub fn check_timing(params: &TimingParams) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut flag = |message: String| {
+        findings.push(Diagnostic {
+            code: LintCode::InfeasibleTiming,
+            target: params.model.to_string(),
+            message,
+            scope: format!(
+                "c1={} c2={} d1={} d2={}",
+                params.c1, params.c2, params.d1, params.d2
+            ),
+            repro: String::new(),
+            counterexample: String::new(),
+        });
+    };
+    if params.d1.is_negative() {
+        flag(format!("negative delay lower bound d1 = {}", params.d1));
+    }
+    if params.d2 < params.d1 {
+        flag(format!(
+            "empty delay window: d2 = {} < d1 = {}",
+            params.d2, params.d1
+        ));
+    }
+    match params.model {
+        TimingModel::Sporadic => {
+            if !params.c1.is_positive() {
+                flag(format!(
+                    "zero-width sporadic separation: c1 = {} (must be > 0)",
+                    params.c1
+                ));
+            }
+        }
+        TimingModel::Synchronous
+        | TimingModel::Periodic
+        | TimingModel::SemiSynchronous
+        | TimingModel::Asynchronous => {
+            if !params.c1.is_positive() {
+                flag(format!(
+                    "pacer step window needs c1 > 0, got c1 = {}",
+                    params.c1
+                ));
+            }
+            if params.c2 < params.c1 {
+                flag(format!(
+                    "empty step window: c2 = {} < c1 = {}",
+                    params.c2, params.c1
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// [`check_timing`] as a hard gate: `Err` with an `SA006`-prefixed message
+/// naming every violation, for config validation paths (the `session-cli`
+/// simulator front end and `session-net::RealConfig`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] when any feasibility condition fails.
+pub fn require_feasible(params: &TimingParams) -> Result<()> {
+    let findings = check_timing(params);
+    if findings.is_empty() {
+        return Ok(());
+    }
+    let detail: Vec<String> = findings
+        .iter()
+        .map(|d| format!("{}: {} [{}]", d.code, d.message, d.scope))
+        .collect();
+    Err(Error::invalid_params(detail.join("; ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(model: TimingModel, c1: i128, c2: i128, d1: i128, d2: i128) -> TimingParams {
+        TimingParams {
+            model,
+            c1: Dur::from_int(c1),
+            c2: Dur::from_int(c2),
+            d1: Dur::from_int(d1),
+            d2: Dur::from_int(d2),
+        }
+    }
+
+    #[test]
+    fn feasible_configs_pass_every_model() {
+        for model in session_types::TimingModel::ALL {
+            let p = params(model, 1, 4, 0, 8);
+            assert!(check_timing(&p).is_empty(), "{model} flagged: {p:?}");
+            assert!(require_feasible(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn inverted_delay_window_is_flagged() {
+        let p = params(TimingModel::Periodic, 1, 4, 5, 2);
+        let findings = check_timing(&p);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, LintCode::InfeasibleTiming);
+        assert!(findings[0].message.contains("d2 = 2 < d1 = 5"));
+        let err = require_feasible(&p).unwrap_err().to_string();
+        assert!(err.contains("SA006 infeasible-timing"), "{err}");
+    }
+
+    #[test]
+    fn inverted_step_window_is_flagged() {
+        let p = params(TimingModel::SemiSynchronous, 4, 1, 0, 8);
+        let findings = check_timing(&p);
+        assert!(findings
+            .iter()
+            .any(|d| d.message.contains("c2 = 1 < c1 = 4")));
+    }
+
+    #[test]
+    fn zero_sporadic_separation_is_flagged() {
+        let p = params(TimingModel::Sporadic, 0, 0, 0, 8);
+        let findings = check_timing(&p);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("zero-width sporadic"));
+        // A positive separation is fine even with no upper step bound.
+        assert!(check_timing(&params(TimingModel::Sporadic, 1, 0, 0, 8)).is_empty());
+    }
+
+    #[test]
+    fn negative_d1_is_flagged() {
+        let p = params(TimingModel::Asynchronous, 1, 2, -1, 8);
+        assert!(check_timing(&p)
+            .iter()
+            .any(|d| d.message.contains("negative delay lower bound")));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let p = params(TimingModel::Sporadic, 0, 0, 6, 2);
+        let findings = check_timing(&p);
+        assert_eq!(findings.len(), 2);
+        let err = require_feasible(&p).unwrap_err().to_string();
+        assert!(err.contains("empty delay window") && err.contains("zero-width"));
+    }
+}

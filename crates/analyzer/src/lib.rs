@@ -30,12 +30,14 @@
 
 pub mod diag;
 pub mod explore;
+pub mod feasibility;
 pub mod machine;
 pub mod replay;
 pub mod scope;
 pub mod targets;
 
 pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity};
+pub use feasibility::{check_timing, require_feasible, TimingParams};
 pub use scope::Scope;
 pub use targets::{
     analyze_all, analyze_target, analyze_target_recorded, target_names, TARGET_NAMES,

@@ -1,0 +1,186 @@
+//! Real-clock benchmark: run every MP timing model on OS threads with
+//! real sleeps, verify simulator conformance, and compare the measured
+//! *logical* running time against the paper's closed-form upper bounds.
+//!
+//! ```text
+//! cargo run -p session-bench --bin realclock
+//! cargo run -p session-bench --bin realclock -- --json       # BENCH_realclock.json
+//! cargo run -p session-bench --bin realclock -- --json out.json
+//! ```
+//!
+//! Report schema: `session-bench/realclock/v1` — per row the model, the
+//! timing parameters, the closed-form bound and measured running time (in
+//! logical units), the conformance verdict, and the runtime telemetry
+//! (steps, late packets, physical wall clock).
+
+use std::time::Duration;
+
+use session_bench::json_report::json_flag;
+use session_core::bounds::{
+    async_mp_upper, periodic_mp_upper, semisync_mp_upper, sporadic_mp_upper, sync_time,
+};
+use session_net::{run_real, verify_conformance, RealConfig};
+use session_obs::json::JsonWriter;
+use session_obs::NullRecorder;
+use session_types::{Dur, Result, SessionSpec, TimingModel};
+
+/// The version tag written into every realclock report.
+const SCHEMA: &str = "session-bench/realclock/v1";
+
+struct RealRow {
+    model: TimingModel,
+    params: String,
+    bound_label: String,
+    bound: Dur,
+    measured: Option<Dur>,
+    ok: bool,
+    sessions: u64,
+    steps: u64,
+    late_packets: u64,
+    wall_clock_ms: f64,
+    admissible: bool,
+    solved: bool,
+}
+
+fn measure(model: TimingModel, spec: SessionSpec, unit: Duration) -> Result<RealRow> {
+    let mut config = RealConfig::new(model, spec);
+    config.unit = unit;
+    let bounds = config.bounds()?;
+    let outcome = run_real(&config, &mut NullRecorder)?;
+    let report = verify_conformance(&outcome, &spec, &bounds);
+    let s = spec.s();
+    let (bound_label, bound) = match model {
+        TimingModel::Synchronous => ("s·c2".to_string(), sync_time(s, config.c2)),
+        TimingModel::Periodic => (
+            "(s−1)·(c_max+d2)+c_max".to_string(),
+            periodic_mp_upper(s, config.c2, config.d2),
+        ),
+        TimingModel::SemiSynchronous => (
+            "semisync U".to_string(),
+            semisync_mp_upper(s, config.c1, config.c2, config.d2),
+        ),
+        TimingModel::Sporadic => (
+            "sporadic U (γ observed)".to_string(),
+            sporadic_mp_upper(s, config.c1, config.d1, config.d2, report.gamma),
+        ),
+        TimingModel::Asynchronous => (
+            "s·(c2+d2)".to_string(),
+            async_mp_upper(s, config.c2, config.d2),
+        ),
+    };
+    let measured = report.running_time.map(session_types::Time::since_origin);
+    Ok(RealRow {
+        model,
+        params: format!(
+            "c1={} c2={} d1={} d2={}",
+            config.c1, config.c2, config.d1, config.d2
+        ),
+        bound_label,
+        bound,
+        measured,
+        ok: report.solved && measured.is_some_and(|m| m <= bound),
+        sessions: report.sessions,
+        steps: outcome.steps,
+        late_packets: outcome.late_packets,
+        wall_clock_ms: outcome.wall_clock.as_secs_f64() * 1e3,
+        admissible: report.admissible,
+        solved: report.solved,
+    })
+}
+
+fn to_json(rows: &[RealRow], spec: SessionSpec, unit: Duration) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.field_u64("s", spec.s());
+    w.field_u64("n", spec.n() as u64);
+    w.field_str("transport", "chan");
+    w.field_f64("unit_us", unit.as_secs_f64() * 1e6);
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.field_str("model", &row.model.to_string());
+        w.field_str("params", &row.params);
+        w.field_str("bound", &row.bound_label);
+        w.field_f64("bound_value", row.bound.to_f64());
+        w.key("measured_value");
+        match row.measured {
+            Some(m) => w.value_f64(m.to_f64()),
+            None => w.value_null(),
+        }
+        w.field_bool("ok", row.ok);
+        w.field_u64("sessions", row.sessions);
+        w.field_u64("steps", row.steps);
+        w.field_u64("late_packets", row.late_packets);
+        w.field_f64("wall_clock_ms", row.wall_clock_ms);
+        w.field_bool("admissible", row.admissible);
+        w.field_bool("solved", row.solved);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_realclock.json");
+    let spec = match SessionSpec::new(3, 4, 2) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("bad spec: {err}");
+            std::process::exit(1);
+        }
+    };
+    let unit = Duration::from_micros(500);
+    println!(
+        "# Real-clock runs vs paper upper bounds — ({}, {})-session problem, MP\n",
+        spec.s(),
+        spec.n()
+    );
+    println!(
+        "One OS thread per process, channel transport, {} µs per logical\n\
+         unit. `measured` is the *logical* quiescence time of the verified\n\
+         admissible trace; `bound` the paper's closed-form upper bound.\n",
+        unit.as_micros()
+    );
+    println!("| model | params | bound | bound value | measured | ok | sessions | steps | late | wall clock |");
+    println!("|---|---|---|---:|---:|---|---:|---:|---:|---:|");
+    let mut rows = Vec::new();
+    for model in TimingModel::ALL {
+        match measure(model, spec, unit) {
+            Ok(row) => {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} ms |",
+                    row.model,
+                    row.params,
+                    row.bound_label,
+                    row.bound,
+                    row.measured
+                        .map_or_else(|| "(did not quiesce)".into(), |m| m.to_string()),
+                    if row.ok { "yes" } else { "NO" },
+                    row.sessions,
+                    row.steps,
+                    row.late_packets,
+                    row.wall_clock_ms
+                );
+                rows.push(row);
+            }
+            Err(err) => {
+                eprintln!("{model} real-clock run failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if rows.iter().any(|r| !r.solved || !r.admissible) {
+        eprintln!("\nconformance failure: a real run was inadmissible or unsolved");
+        std::process::exit(1);
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, to_json(&rows, spec, unit)) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -101,6 +101,25 @@ pub fn build_sm_system(spec: &SessionSpec, bounds: &KnownBounds) -> Result<SmEng
 /// Returns [`Error::InvalidParams`] if the model's required constants are
 /// missing from `bounds` or invalid.
 pub fn build_mp_system(spec: &SessionSpec, bounds: &KnownBounds) -> Result<MpEngine<SessionMsg>> {
+    let processes = build_mp_processes(spec, bounds)?;
+    let ports = (0..spec.n())
+        .map(|i| (ProcessId::new(i), PortId::new(i)))
+        .collect();
+    MpEngine::new(processes, ports)
+}
+
+/// Builds just the `n` port processes of the message-passing system for
+/// `spec` under `bounds` — the piece shared by the simulator engine
+/// ([`build_mp_system`]) and the real-clock runtime (`session-net`), which
+/// runs each process on its own OS thread instead of an event queue.
+///
+/// # Errors
+///
+/// As for [`build_mp_system`].
+pub fn build_mp_processes(
+    spec: &SessionSpec,
+    bounds: &KnownBounds,
+) -> Result<Vec<Box<dyn session_mpm::MpProcess<SessionMsg>>>> {
     let n = spec.n();
     let s = spec.s();
     let mut processes: Vec<Box<dyn session_mpm::MpProcess<SessionMsg>>> = Vec::with_capacity(n);
@@ -137,10 +156,7 @@ pub fn build_mp_system(spec: &SessionSpec, bounds: &KnownBounds) -> Result<MpEng
         };
         processes.push(process);
     }
-    let ports = (0..n)
-        .map(|i| (ProcessId::new(i), PortId::new(i)))
-        .collect();
-    MpEngine::new(processes, ports)
+    Ok(processes)
 }
 
 #[cfg(test)]

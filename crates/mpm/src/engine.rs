@@ -8,7 +8,7 @@ use session_sim::{
 };
 use session_types::{Error, MsgId, PortId, ProcessId, Result};
 
-use crate::process::{Envelope, MpProcess};
+use crate::process::{step_process, Envelope, MpProcess};
 
 /// What the event queue schedules: a process step or a network delivery.
 enum Event<M> {
@@ -210,20 +210,13 @@ impl<M: Clone> MpEngine<M> {
                         return finish(trace, false, steps, recorder);
                     }
                     let inbox = std::mem::take(&mut self.bufs[p.index()]);
-                    let received = inbox.len();
                     if recorder.is_enabled() {
-                        recorder.observe("mp.buffer_occupancy", received as f64);
+                        recorder.observe("mp.buffer_occupancy", inbox.len() as f64);
                     }
-                    #[cfg(feature = "strict-invariants")]
-                    let was_idle = self.processes[p.index()].is_idle();
-                    let outgoing = self.processes[p.index()].step(inbox);
-                    #[cfg(feature = "strict-invariants")]
-                    debug_assert!(
-                        !was_idle || self.processes[p.index()].is_idle(),
-                        "idle states must be closed under steps (process {p} un-idled)"
-                    );
-                    let broadcast = outgoing.is_some();
-                    if let Some(payload) = outgoing {
+                    let result = step_process(self.processes[p.index()].as_mut(), inbox);
+                    let received = result.received;
+                    let broadcast = result.broadcast.is_some();
+                    if let Some(payload) = result.broadcast {
                         recorder.counter("mp.broadcasts", 1);
                         recorder.counter("mp.messages_sent", n as u64);
                         for q in 0..n {
@@ -251,7 +244,7 @@ impl<M: Clone> MpEngine<M> {
                             received,
                             broadcast,
                         },
-                        idle_after: self.processes[p.index()].is_idle(),
+                        idle_after: result.idle_after,
                     });
                     steps += 1;
                     recorder.counter("mp.steps", 1);

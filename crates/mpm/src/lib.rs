@@ -74,4 +74,4 @@ mod engine;
 mod process;
 
 pub use engine::MpEngine;
-pub use process::{Envelope, MpProcess};
+pub use process::{step_process, Envelope, MpProcess, StepResult};

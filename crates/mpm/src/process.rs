@@ -32,7 +32,11 @@ impl<M> Envelope<M> {
 ///
 /// Once [`is_idle`](MpProcess::is_idle) returns `true` it must remain `true`
 /// forever (idle states are closed under steps, §2.3).
-pub trait MpProcess<M>: fmt::Debug {
+///
+/// Processes are `Send`: the real-clock runtime (`session-net`) runs each
+/// one on its own OS thread. Every process is plain owned data — the bound
+/// costs nothing in the single-threaded simulator.
+pub trait MpProcess<M>: fmt::Debug + Send {
     /// Executes one step: consumes the buffered messages, returns the
     /// payload to broadcast, if any.
     fn step(&mut self, inbox: Vec<Envelope<M>>) -> Option<M>;
@@ -47,6 +51,46 @@ pub trait MpProcess<M>: fmt::Debug {
         let mut hasher = DefaultHasher::new();
         format!("{self:?}").hash(&mut hasher);
         hasher.finish()
+    }
+}
+
+/// What one algorithm step did: the inputs it consumed, the broadcast it
+/// produced, and whether the process is idle afterwards.
+///
+/// This is the shared vocabulary of the two executors — the discrete-event
+/// simulator ([`crate::MpEngine`]) and the real-clock runtime
+/// (`session-net`) both drive processes exclusively through
+/// [`step_process`], so a process cannot behave differently under the two.
+#[derive(Debug)]
+pub struct StepResult<M> {
+    /// How many messages were in the buffer (all were consumed).
+    pub received: usize,
+    /// The payload broadcast to all regular processes, if any.
+    pub broadcast: Option<M>,
+    /// Whether the process is in an idle state after the step.
+    pub idle_after: bool,
+}
+
+/// Executes one step of `process` on `inbox`: the single algorithm-step
+/// function shared by the simulator engine and the real-clock runtime.
+///
+/// With the `strict-invariants` feature, asserts that idle states are
+/// closed under steps (§2.3).
+pub fn step_process<M>(process: &mut dyn MpProcess<M>, inbox: Vec<Envelope<M>>) -> StepResult<M> {
+    let received = inbox.len();
+    #[cfg(feature = "strict-invariants")]
+    let was_idle = process.is_idle();
+    let broadcast = process.step(inbox);
+    let idle_after = process.is_idle();
+    #[cfg(feature = "strict-invariants")]
+    debug_assert!(
+        !was_idle || idle_after,
+        "idle states must be closed under steps (process un-idled)"
+    );
+    StepResult {
+        received,
+        broadcast,
+        idle_after,
     }
 }
 
@@ -86,6 +130,18 @@ mod tests {
         ]);
         assert_eq!(out, Some(2));
         assert_eq!(p.step(vec![]), None);
+    }
+
+    #[test]
+    fn step_process_reports_received_broadcast_and_idle() {
+        let mut p = Echo { last: None };
+        let result = step_process(&mut p, vec![Envelope::new(ProcessId::new(0), 7)]);
+        assert_eq!(result.received, 1);
+        assert_eq!(result.broadcast, Some(7));
+        assert!(!result.idle_after);
+        let quiet = step_process(&mut p, vec![]);
+        assert_eq!(quiet.received, 0);
+        assert_eq!(quiet.broadcast, None);
     }
 
     #[test]

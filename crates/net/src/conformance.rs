@@ -1,0 +1,94 @@
+//! The simulator-conformance harness.
+//!
+//! A real-clock run is only evidence if it is *the same object* the paper
+//! reasons about: an admissible timed computation achieving `s` sessions.
+//! This module replays a [`RealRunOutcome`]'s reconstructed trace through
+//! exactly the verification stack the simulator uses —
+//! [`session_core::verify::check_admissible`] for the timing model,
+//! [`session_core::verify::count_sessions`] for the session count,
+//! [`session_core::verify::count_rounds`] and the trace's quiescence time
+//! for the paper's cost measures — and reports the verdict.
+//!
+//! Because the runtime records *nominal* pacer and delay times (all drawn
+//! inside the model's windows), a completed run is admissible by
+//! construction; the harness proves it rather than assumes it, so any
+//! runtime or merge bug surfaces as an inadmissibility here.
+
+use session_core::system::{port_of, port_processes};
+use session_core::verify::{check_admissible, count_rounds, count_sessions};
+use session_types::{Dur, KnownBounds, SessionSpec, Time};
+
+use crate::runtime::RealRunOutcome;
+
+/// The harness's verdict on one real run.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// `true` if the reconstructed trace satisfies the timing model's
+    /// admissibility conditions.
+    pub admissible: bool,
+    /// The first admissibility violation, if any.
+    pub violation: Option<String>,
+    /// Sessions the run achieved (§2.1: disjoint minimal session blocks).
+    pub sessions: u64,
+    /// Sessions the spec requires.
+    pub required_sessions: u64,
+    /// Rounds in the run.
+    pub rounds: u64,
+    /// Running time: when every port process had reached an idle state
+    /// (`None` if the run did not quiesce).
+    pub running_time: Option<Time>,
+    /// Largest observed message delay.
+    pub gamma: Dur,
+    /// `true` if the run terminated, is admissible, and achieved at least
+    /// `s` sessions: a verified solution of the `(s, n)`-session problem.
+    pub solved: bool,
+}
+
+impl ConformanceReport {
+    /// Renders the verdict as aligned `key = value` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("admissible    = {}\n", self.admissible));
+        if let Some(v) = &self.violation {
+            out.push_str(&format!("violation     = {v}\n"));
+        }
+        out.push_str(&format!(
+            "sessions      = {} (required {})\n",
+            self.sessions, self.required_sessions
+        ));
+        out.push_str(&format!("rounds        = {}\n", self.rounds));
+        match self.running_time {
+            Some(t) => out.push_str(&format!("running_time  = {t}\n")),
+            None => out.push_str("running_time  = (did not quiesce)\n"),
+        }
+        out.push_str(&format!("gamma         = {}\n", self.gamma));
+        out.push_str(&format!("solved        = {}\n", self.solved));
+        out
+    }
+}
+
+/// Verifies `outcome` against `spec` under `bounds`.
+pub fn verify_conformance(
+    outcome: &RealRunOutcome,
+    spec: &SessionSpec,
+    bounds: &KnownBounds,
+) -> ConformanceReport {
+    let trace = &outcome.trace;
+    let (admissible, violation) = match check_admissible(trace, bounds) {
+        Ok(()) => (true, None),
+        Err(e) => (false, Some(e.to_string())),
+    };
+    let sessions = count_sessions(trace, spec.n(), port_of(spec));
+    let rounds = count_rounds(trace, spec.n());
+    let running_time = trace.all_idle_time(port_processes(spec));
+    ConformanceReport {
+        admissible,
+        violation,
+        sessions,
+        required_sessions: spec.s(),
+        rounds,
+        running_time,
+        gamma: trace.gamma(),
+        solved: outcome.terminated && admissible && sessions >= spec.s(),
+    }
+}

@@ -1,0 +1,254 @@
+//! The pacer: realizes a timing model's step schedule on the real clock.
+//!
+//! Each process thread owns one [`Pacer`]. Per step it (1) advances a
+//! *nominal* logical clock by a gap drawn from the model's rule —
+//! constant `c2` for synchronous, a per-process constant period for
+//! periodic, a fresh sample from `[c1, c2]` for semi-synchronous, a gap
+//! script or `>= c1` sample for sporadic, the configured window for
+//! asynchronous — and (2) sleeps until the wall-clock instant that
+//! nominal time maps to (`origin + nominal * unit`).
+//!
+//! The *nominal* times are what the run records and what the conformance
+//! harness verifies: they are admissible by construction (every gap is
+//! drawn inside the model's window), while the physical wake-up jitter is
+//! reported separately as pacer lag. Recording measured wake-up times
+//! instead would be unverifiable — the periodic model's admissibility
+//! check demands exactly constant gaps, which no OS scheduler delivers.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use session_sim::ratio_in_range;
+use session_types::{Dur, KnownBounds, Time, TimingModel};
+
+use crate::config::RealConfig;
+
+/// Granularity for sampled gaps and delays: all sampled rationals have
+/// denominator dividing 4, so long runs cannot overflow the exact-rational
+/// arithmetic.
+pub const GRANULARITY: u32 = 4;
+
+/// How one process's consecutive step gaps are chosen.
+#[derive(Clone, Debug)]
+pub enum GapRule {
+    /// Every gap is exactly this duration (synchronous `c2`; periodic uses
+    /// a per-process constant sampled once at startup).
+    Constant(Dur),
+    /// Each gap is freshly sampled from `[lo, hi]`.
+    Window {
+        /// Smallest admissible gap.
+        lo: Dur,
+        /// Largest gap the pacer will choose.
+        hi: Dur,
+    },
+    /// Gaps replay a script (e.g. a job-completion stream from
+    /// `session-rt`), then repeat the final gap forever.
+    Script(Vec<Dur>),
+}
+
+impl GapRule {
+    /// The rule `config` prescribes for process `index` under `bounds`.
+    ///
+    /// `rng` is consumed only by the periodic model, which samples each
+    /// process's constant period from the configured `[c1, c2]` window
+    /// once, here.
+    pub fn for_process(
+        config: &RealConfig,
+        bounds: &KnownBounds,
+        index: usize,
+        rng: &mut StdRng,
+    ) -> GapRule {
+        match config.model {
+            TimingModel::Synchronous => {
+                GapRule::Constant(bounds.c2().expect("synchronous bounds have c2"))
+            }
+            TimingModel::Periodic => GapRule::Constant(sample(rng, config.c1, config.c2)),
+            TimingModel::SemiSynchronous => GapRule::Window {
+                lo: bounds.c1().expect("semi-synchronous bounds have c1"),
+                hi: bounds.c2().expect("semi-synchronous bounds have c2"),
+            },
+            TimingModel::Sporadic => {
+                if let Some(script) = config
+                    .sporadic_gaps
+                    .as_ref()
+                    .and_then(|g| g.get(&session_types::ProcessId::new(index)))
+                {
+                    GapRule::Script(script.clone())
+                } else {
+                    GapRule::Window {
+                        lo: config.c1,
+                        hi: config.c2.max(config.c1),
+                    }
+                }
+            }
+            TimingModel::Asynchronous => GapRule::Window {
+                lo: config.c1,
+                hi: config.c2,
+            },
+        }
+    }
+}
+
+/// Draws a duration uniformly from the `GRANULARITY + 1` evenly spaced
+/// points of `[lo, hi]`.
+pub fn sample(rng: &mut StdRng, lo: Dur, hi: Dur) -> Dur {
+    Dur::from_ratio(ratio_in_range(
+        rng,
+        lo.as_ratio(),
+        hi.as_ratio(),
+        GRANULARITY,
+    ))
+}
+
+/// One process's step clock: nominal logical times plus the mapping onto
+/// wall-clock instants.
+#[derive(Debug)]
+pub struct Pacer {
+    rule: GapRule,
+    unit: Duration,
+    origin: Instant,
+    now: Time,
+    steps_taken: usize,
+}
+
+impl Pacer {
+    /// Creates a pacer at nominal time 0 whose wall clock starts at
+    /// `origin`.
+    pub fn new(rule: GapRule, unit: Duration, origin: Instant) -> Pacer {
+        Pacer {
+            rule,
+            unit,
+            origin,
+            now: Time::ZERO,
+            steps_taken: 0,
+        }
+    }
+
+    /// Advances the nominal clock to the next step time and returns it.
+    /// The first step's gap is measured from time 0, matching the
+    /// admissibility checker.
+    pub fn next_time(&mut self, rng: &mut StdRng) -> Time {
+        let gap = match &self.rule {
+            GapRule::Constant(c) => *c,
+            GapRule::Window { lo, hi } => sample(rng, *lo, *hi),
+            GapRule::Script(gaps) => {
+                let i = self.steps_taken.min(gaps.len() - 1);
+                gaps[i]
+            }
+        };
+        self.steps_taken += 1;
+        self.now += gap;
+        self.now
+    }
+
+    /// Sleeps until the wall-clock instant nominal time `t` maps to, and
+    /// returns the pacer lag — how far past the target the thread actually
+    /// woke — in milliseconds.
+    pub fn sleep_until(&self, t: Time) -> f64 {
+        let target = self.origin + Duration::from_secs_f64(t.to_f64() * self.unit.as_secs_f64());
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        Instant::now()
+            .saturating_duration_since(target)
+            .as_secs_f64()
+            * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::seeded_rng;
+    use session_types::SessionSpec;
+
+    fn config(model: TimingModel) -> RealConfig {
+        RealConfig::new(model, SessionSpec::new(2, 2, 2).unwrap())
+    }
+
+    #[test]
+    fn constant_rule_paces_exactly() {
+        let mut pacer = Pacer::new(
+            GapRule::Constant(Dur::from_int(2)),
+            Duration::from_micros(10),
+            Instant::now(),
+        );
+        let mut rng = seeded_rng(1);
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(2));
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(4));
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(6));
+    }
+
+    #[test]
+    fn window_rule_stays_in_bounds() {
+        let lo = Dur::ONE;
+        let hi = Dur::from_int(3);
+        let mut pacer = Pacer::new(
+            GapRule::Window { lo, hi },
+            Duration::from_micros(10),
+            Instant::now(),
+        );
+        let mut rng = seeded_rng(7);
+        let mut prev = Time::ZERO;
+        for _ in 0..50 {
+            let t = pacer.next_time(&mut rng);
+            let gap = t - prev;
+            assert!(gap >= lo && gap <= hi, "gap {gap} outside [{lo}, {hi}]");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn script_rule_replays_then_repeats_the_tail() {
+        let mut pacer = Pacer::new(
+            GapRule::Script(vec![Dur::from_int(3), Dur::ONE]),
+            Duration::from_micros(10),
+            Instant::now(),
+        );
+        let mut rng = seeded_rng(1);
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(3));
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(4));
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(5));
+        assert_eq!(pacer.next_time(&mut rng), Time::from_int(6));
+    }
+
+    #[test]
+    fn periodic_rule_is_constant_per_process_within_the_window() {
+        let cfg = config(TimingModel::Periodic);
+        let bounds = cfg.bounds().unwrap();
+        let mut rng = seeded_rng(3);
+        for index in 0..4 {
+            let rule = GapRule::for_process(&cfg, &bounds, index, &mut rng);
+            let GapRule::Constant(period) = rule else {
+                panic!("periodic rule must be constant");
+            };
+            assert!(period >= cfg.c1 && period <= cfg.c2);
+        }
+    }
+
+    #[test]
+    fn synchronous_rule_pins_the_gap_to_c2() {
+        let cfg = config(TimingModel::Synchronous);
+        let bounds = cfg.bounds().unwrap();
+        let mut rng = seeded_rng(3);
+        let rule = GapRule::for_process(&cfg, &bounds, 0, &mut rng);
+        let GapRule::Constant(gap) = rule else {
+            panic!("synchronous rule must be constant");
+        };
+        assert_eq!(gap, cfg.c2);
+    }
+
+    #[test]
+    fn sleep_until_reaches_the_target() {
+        let origin = Instant::now();
+        let pacer = Pacer::new(
+            GapRule::Constant(Dur::ONE),
+            Duration::from_millis(1),
+            origin,
+        );
+        let lag = pacer.sleep_until(Time::from_int(5));
+        assert!(origin.elapsed() >= Duration::from_millis(5));
+        assert!(lag >= 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The wire between real processes: packets, endpoints, and the in-process
+//! channel transport.
+//!
+//! The runtime injects the timing model's message-delay window at this
+//! layer: a packet carries both its nominal send time and its nominal
+//! delivery time (drawn from `[d1, d2]` by the sender), and the receiving
+//! thread holds drained packets until its first step at or after
+//! `deliver_at`. The transport itself only has to move bytes promptly —
+//! admissible delays are a property of the *nominal* timestamps, not of
+//! how fast the OS moves the packet.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use session_types::{ProcessId, Result, Time};
+
+/// Which transport a [`crate::RealConfig`] selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process `std::sync::mpsc` channels: lossless and deterministic
+    /// enough for the conformance tests.
+    Chan,
+    /// UDP sockets on `127.0.0.1`: real datagrams through the kernel's
+    /// loopback stack.
+    Udp,
+}
+
+impl TransportKind {
+    /// Parses `"chan"` or `"udp"`.
+    pub fn parse(text: &str) -> Option<TransportKind> {
+        match text {
+            "chan" => Some(TransportKind::Chan),
+            "udp" => Some(TransportKind::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::Chan => "chan",
+            TransportKind::Udp => "udp",
+        })
+    }
+}
+
+/// One broadcast message on the wire, stamped with its nominal times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending process.
+    pub from: ProcessId,
+    /// The algorithm payload (`SessionMsg::value`).
+    pub value: u64,
+    /// Nominal (logical-clock) send time.
+    pub sent_at: Time,
+    /// Nominal delivery time, drawn from the model's `[d1, d2]` window by
+    /// the sender.
+    pub deliver_at: Time,
+}
+
+/// A process's handle on the transport: send to any peer, drain whatever
+/// has arrived. Implementations must be [`Send`] — each endpoint moves
+/// into its process's OS thread.
+pub trait Endpoint: Send {
+    /// Enqueues `packet` toward process `to`. Must not block on the
+    /// receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for transport faults (e.g. an I/O error on a
+    /// socket); a peer that has already exited is not an error.
+    fn send(&mut self, to: ProcessId, packet: &Packet) -> Result<()>;
+
+    /// Takes every packet that has arrived so far, without blocking.
+    fn drain(&mut self) -> Vec<Packet>;
+}
+
+/// Builds the `n` per-process endpoints of one network.
+pub trait Transport {
+    /// Creates one connected endpoint per process, indexed by
+    /// [`ProcessId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transport cannot be set up (e.g. socket
+    /// binding fails).
+    fn endpoints(&mut self, n: usize) -> Result<Vec<Box<dyn Endpoint>>>;
+}
+
+/// The in-process channel transport: one `mpsc` channel per process, every
+/// endpoint holding a sender to each peer.
+#[derive(Debug, Default)]
+pub struct ChanTransport;
+
+impl ChanTransport {
+    /// Creates the transport.
+    pub fn new() -> ChanTransport {
+        ChanTransport
+    }
+}
+
+struct ChanEndpoint {
+    peers: BTreeMap<ProcessId, Sender<Packet>>,
+    inbox: Receiver<Packet>,
+}
+
+impl std::fmt::Debug for ChanEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChanEndpoint")
+            .field("peers", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Endpoint for ChanEndpoint {
+    fn send(&mut self, to: ProcessId, packet: &Packet) -> Result<()> {
+        if let Some(tx) = self.peers.get(&to) {
+            // A disconnected peer has already quiesced and exited; the
+            // packet can no longer affect the outcome.
+            let _ = tx.send(*packet);
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(packet) = self.inbox.try_recv() {
+            out.push(packet);
+        }
+        out
+    }
+}
+
+impl Transport for ChanTransport {
+    fn endpoints(&mut self, n: usize) -> Result<Vec<Box<dyn Endpoint>>> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Ok(receivers
+            .into_iter()
+            .map(|inbox| {
+                let peers: BTreeMap<ProcessId, Sender<Packet>> = senders
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tx)| (ProcessId::new(i), tx.clone()))
+                    .collect();
+                Box::new(ChanEndpoint { peers, inbox }) as Box<dyn Endpoint>
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(from: usize, value: u64) -> Packet {
+        Packet {
+            from: ProcessId::new(from),
+            value,
+            sent_at: Time::from_int(1),
+            deliver_at: Time::from_int(2),
+        }
+    }
+
+    #[test]
+    fn chan_transport_routes_between_endpoints() {
+        let mut transport = ChanTransport::new();
+        let mut eps = transport.endpoints(3).unwrap();
+        eps[0].send(ProcessId::new(2), &packet(0, 7)).unwrap();
+        eps[0].send(ProcessId::new(2), &packet(0, 8)).unwrap();
+        eps[1].send(ProcessId::new(0), &packet(1, 9)).unwrap();
+        let at2 = eps[2].drain();
+        assert_eq!(at2.len(), 2);
+        assert_eq!(at2[0].value, 7);
+        assert_eq!(at2[1].value, 8);
+        let at0 = eps[0].drain();
+        assert_eq!(at0.len(), 1);
+        assert_eq!(at0[0].from, ProcessId::new(1));
+        assert!(eps[1].drain().is_empty());
+    }
+
+    #[test]
+    fn send_to_dropped_peer_is_not_an_error() {
+        let mut transport = ChanTransport::new();
+        let mut eps = transport.endpoints(2).unwrap();
+        drop(eps.remove(1));
+        eps[0].send(ProcessId::new(1), &packet(0, 1)).unwrap();
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mut transport = ChanTransport::new();
+        let mut eps = transport.endpoints(1).unwrap();
+        eps[0].send(ProcessId::new(0), &packet(0, 42)).unwrap();
+        let got = eps[0].drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 42);
+    }
+
+    #[test]
+    fn transport_kind_parses() {
+        assert_eq!(TransportKind::parse("chan"), Some(TransportKind::Chan));
+        assert_eq!(TransportKind::parse("udp"), Some(TransportKind::Udp));
+        assert_eq!(TransportKind::parse("tcp"), None);
+        assert_eq!(TransportKind::Chan.to_string(), "chan");
+    }
+}

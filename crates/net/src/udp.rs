@@ -1,0 +1,201 @@
+//! UDP-loopback transport: real datagrams through `127.0.0.1`.
+//!
+//! Each process binds its own socket on an ephemeral loopback port; the
+//! transport hands every endpoint the full address table. Packets are
+//! encoded in a fixed 80-byte big-endian frame carrying the exact rational
+//! timestamps (numerator/denominator as `i128`), so nominal times survive
+//! the wire bit-exactly — the conformance harness depends on that.
+//!
+//! UDP may drop or reorder datagrams. Reordering is harmless (delivery
+//! order is decided by the nominal `deliver_at`, not arrival order); loss
+//! on loopback is rare but possible under buffer pressure, so UDP runs are
+//! smoke-tested rather than used for the deterministic conformance suite.
+
+use std::net::{SocketAddr, UdpSocket};
+
+use session_types::{Error, ProcessId, Ratio, Result, Time};
+
+use crate::transport::{Endpoint, Packet, Transport};
+
+/// Size of one encoded [`Packet`] on the wire.
+pub const FRAME_LEN: usize = 80;
+
+/// Encodes `packet` into the fixed wire frame.
+pub fn encode(packet: &Packet) -> [u8; FRAME_LEN] {
+    let mut buf = [0u8; FRAME_LEN];
+    buf[0..8].copy_from_slice(&(packet.from.index() as u64).to_be_bytes());
+    buf[8..16].copy_from_slice(&packet.value.to_be_bytes());
+    encode_time(&mut buf[16..48], packet.sent_at);
+    encode_time(&mut buf[48..80], packet.deliver_at);
+    buf
+}
+
+fn encode_time(buf: &mut [u8], t: Time) {
+    let r = t.as_ratio();
+    buf[0..16].copy_from_slice(&r.numer().to_be_bytes());
+    buf[16..32].copy_from_slice(&r.denom().to_be_bytes());
+}
+
+/// Decodes one wire frame back into a [`Packet`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if the frame is truncated or encodes a
+/// zero denominator.
+pub fn decode(buf: &[u8]) -> Result<Packet> {
+    if buf.len() < FRAME_LEN {
+        return Err(Error::invalid_params(format!(
+            "short UDP frame: {} bytes, need {FRAME_LEN}",
+            buf.len()
+        )));
+    }
+    let from = u64::from_be_bytes(buf[0..8].try_into().expect("slice length"));
+    let value = u64::from_be_bytes(buf[8..16].try_into().expect("slice length"));
+    Ok(Packet {
+        from: ProcessId::new(
+            usize::try_from(from).map_err(|_| {
+                Error::invalid_params(format!("process index {from} overflows usize"))
+            })?,
+        ),
+        value,
+        sent_at: decode_time(&buf[16..48])?,
+        deliver_at: decode_time(&buf[48..80])?,
+    })
+}
+
+fn decode_time(buf: &[u8]) -> Result<Time> {
+    let numer = i128::from_be_bytes(buf[0..16].try_into().expect("slice length"));
+    let denom = i128::from_be_bytes(buf[16..32].try_into().expect("slice length"));
+    if denom == 0 {
+        return Err(Error::invalid_params(
+            "zero denominator in UDP timestamp".to_string(),
+        ));
+    }
+    Ok(Time::from_ratio(Ratio::new(numer, denom)))
+}
+
+/// The UDP-loopback transport.
+#[derive(Debug, Default)]
+pub struct UdpTransport;
+
+impl UdpTransport {
+    /// Creates the transport.
+    pub fn new() -> UdpTransport {
+        UdpTransport
+    }
+}
+
+#[derive(Debug)]
+struct UdpEndpoint {
+    socket: UdpSocket,
+    addrs: Vec<SocketAddr>,
+}
+
+impl Endpoint for UdpEndpoint {
+    fn send(&mut self, to: ProcessId, packet: &Packet) -> Result<()> {
+        let addr = self
+            .addrs
+            .get(to.index())
+            .ok_or_else(|| Error::invalid_params(format!("no UDP address for process {to}")))?;
+        let frame = encode(packet);
+        match self.socket.send_to(&frame, addr) {
+            Ok(_) => Ok(()),
+            // A full socket buffer shows up as WouldBlock on a nonblocking
+            // socket: treat it as datagram loss, which UDP permits anyway.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(Error::invalid_params(format!("udp send failed: {e}"))),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; FRAME_LEN];
+        while let Ok((len, _)) = self.socket.recv_from(&mut buf) {
+            if let Ok(packet) = decode(&buf[..len]) {
+                out.push(packet);
+            }
+        }
+        out
+    }
+}
+
+impl Transport for UdpTransport {
+    fn endpoints(&mut self, n: usize) -> Result<Vec<Box<dyn Endpoint>>> {
+        let mut sockets = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let socket = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| {
+                Error::invalid_params(format!("binding UDP socket for process {i}: {e}"))
+            })?;
+            socket.set_nonblocking(true).map_err(|e| {
+                Error::invalid_params(format!("setting nonblocking on socket {i}: {e}"))
+            })?;
+            addrs.push(socket.local_addr().map_err(|e| {
+                Error::invalid_params(format!("reading local addr of socket {i}: {e}"))
+            })?);
+            sockets.push(socket);
+        }
+        Ok(sockets
+            .into_iter()
+            .map(|socket| {
+                Box::new(UdpEndpoint {
+                    socket,
+                    addrs: addrs.clone(),
+                }) as Box<dyn Endpoint>
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Packet {
+        Packet {
+            from: ProcessId::new(3),
+            value: 17,
+            sent_at: Time::from_ratio(Ratio::new(7, 4)),
+            deliver_at: Time::from_ratio(Ratio::new(11, 2)),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_bit_exactly() {
+        let p = packet();
+        let frame = encode(&p);
+        assert_eq!(decode(&frame).unwrap(), p);
+    }
+
+    #[test]
+    fn short_frames_are_rejected() {
+        let frame = encode(&packet());
+        assert!(decode(&frame[..FRAME_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn zero_denominator_is_rejected() {
+        let mut frame = encode(&packet());
+        frame[32..48].copy_from_slice(&0i128.to_be_bytes());
+        assert!(decode(&frame).is_err());
+    }
+
+    #[test]
+    fn udp_endpoints_route_on_loopback() {
+        let mut transport = UdpTransport::new();
+        let mut eps = transport.endpoints(2).unwrap();
+        let p = packet();
+        eps[0].send(ProcessId::new(1), &p).unwrap();
+        // Nonblocking receive: poll briefly for the kernel to move the
+        // datagram across loopback.
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got = eps[1].drain();
+            if !got.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(got, vec![p]);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end conformance: every MP timing model runs on real clocks and
+//! the reconstructed trace verifies as an admissible timed computation
+//! achieving at least `s` sessions.
+
+use std::time::Duration;
+
+use session_net::{run_real, verify_conformance, RealConfig, TransportKind};
+use session_obs::{InMemoryRecorder, NullRecorder};
+use session_rt::bridge::sporadic_gap_script;
+use session_rt::sched::{simulate, Policy};
+use session_rt::{PeriodicTask, TaskSet};
+use session_types::{Dur, SessionSpec, Time, TimingModel};
+
+fn fast(mut config: RealConfig) -> RealConfig {
+    // 200 µs per logical unit keeps each run well under a second while
+    // still forcing real sleeps between steps.
+    config.unit = Duration::from_micros(200);
+    config
+}
+
+fn run_and_verify(config: &RealConfig) {
+    let outcome = run_real(config, &mut NullRecorder).expect("run failed");
+    assert!(
+        outcome.terminated,
+        "{} run hit a watchdog instead of quiescing",
+        config.model
+    );
+    let report = verify_conformance(&outcome, &config.spec, &config.bounds().unwrap());
+    assert!(
+        report.admissible,
+        "{} run inadmissible: {:?}",
+        config.model, report.violation
+    );
+    assert!(
+        report.sessions >= config.spec.s(),
+        "{} run achieved {} of {} sessions",
+        config.model,
+        report.sessions,
+        config.spec.s()
+    );
+    assert!(report.solved, "{}", report.render());
+}
+
+#[test]
+fn every_model_solves_s3_n4_over_channels() {
+    let spec = SessionSpec::new(3, 4, 2).unwrap();
+    for model in TimingModel::ALL {
+        run_and_verify(&fast(RealConfig::new(model, spec)));
+    }
+}
+
+#[test]
+fn seeds_vary_the_schedule_but_not_the_verdict() {
+    let spec = SessionSpec::new(2, 3, 2).unwrap();
+    for seed in [1, 7, 1234] {
+        let mut config = fast(RealConfig::new(TimingModel::SemiSynchronous, spec));
+        config.seed = seed;
+        run_and_verify(&config);
+    }
+}
+
+#[test]
+fn sporadic_runs_under_an_rt_gap_script() {
+    // Drive the sporadic pacer with job-completion gaps from an EDF
+    // schedule, the paper's motivating workload (§1).
+    let spec = SessionSpec::new(2, 2, 2).unwrap();
+    let tasks = TaskSet::periodic(vec![
+        PeriodicTask::new(Dur::from_int(3), Dur::ONE).unwrap(),
+        PeriodicTask::new(Dur::from_int(4), Dur::ONE).unwrap(),
+    ])
+    .unwrap();
+    let outcome = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(40)).unwrap();
+    let mut config = fast(RealConfig::new(TimingModel::Sporadic, spec));
+    let scripts = sporadic_gap_script(&tasks, &outcome, config.c1).unwrap();
+    config.sporadic_gaps = Some(scripts);
+    run_and_verify(&config);
+}
+
+#[test]
+fn run_real_forwards_telemetry_to_the_caller() {
+    let spec = SessionSpec::new(2, 2, 2).unwrap();
+    let config = fast(RealConfig::new(TimingModel::Periodic, spec));
+    let mut recorder = InMemoryRecorder::new();
+    let outcome = run_real(&config, &mut recorder).unwrap();
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("net.steps"), outcome.steps);
+    assert!(snap.counter("net.packets_sent") >= snap.counter("net.packets_consumed"));
+    assert!(snap.gauges().any(|(name, _)| name == "net.wall_clock_ms"));
+    // The pacer-lag histogram stays in the outcome's own metrics.
+    assert!(outcome
+        .metrics
+        .histograms()
+        .any(|(name, _)| name == "net.pacer_lag_ms"));
+}
+
+#[test]
+fn udp_loopback_smoke() {
+    // UDP may drop datagrams under pressure, so this is a smoke test at a
+    // small scope rather than part of the deterministic matrix: the run
+    // must quiesce and its nominal trace must stay admissible.
+    let spec = SessionSpec::new(2, 2, 2).unwrap();
+    let mut config = RealConfig::new(TimingModel::Periodic, spec);
+    // Loopback delivery needs real slack: 2 ms per unit.
+    config.unit = Duration::from_millis(2);
+    config.transport = TransportKind::Udp;
+    let outcome = run_real(&config, &mut NullRecorder).expect("udp run failed");
+    assert!(outcome.terminated, "udp run hit a watchdog");
+    let report = verify_conformance(&outcome, &config.spec, &config.bounds().unwrap());
+    assert!(
+        report.admissible,
+        "udp run inadmissible: {:?}",
+        report.violation
+    );
+    assert!(report.solved, "{}", report.render());
+}
+
+#[test]
+fn watchdog_aborts_a_run_that_cannot_quiesce() {
+    // An impossible deadline: the run must abort as failed, not hang.
+    let spec = SessionSpec::new(3, 4, 2).unwrap();
+    let mut config = fast(RealConfig::new(TimingModel::Asynchronous, spec));
+    config.deadline = Duration::from_nanos(1);
+    let outcome = run_real(&config, &mut NullRecorder).unwrap();
+    assert!(!outcome.terminated);
+    let report = verify_conformance(&outcome, &config.spec, &config.bounds().unwrap());
+    assert!(!report.solved, "an aborted run must not count as solved");
+}

@@ -17,6 +17,9 @@
 //!   [`MetricsSnapshot`] for reports (`session-cli stats`, bench JSON).
 //! * [`JsonlRecorder`] — streams every recording as one JSON object per
 //!   line to any [`std::io::Write`].
+//! * [`SharedRecorder`] — a cloneable `Arc<Mutex<_>>` adapter so the
+//!   multi-threaded real-clock runtime (`session-net`) can feed any
+//!   backend from one OS thread per process.
 //! * [`export`] — turns any recorded [`session_sim::Trace`] into Chrome
 //!   trace-event / Perfetto JSON (open in <https://ui.perfetto.dev>) or a
 //!   structured JSONL event stream.
@@ -45,7 +48,9 @@ pub mod json;
 mod jsonl;
 mod memory;
 mod recorder;
+mod sync;
 
 pub use jsonl::JsonlRecorder;
 pub use memory::{Histogram, InMemoryRecorder, MetricsSnapshot};
 pub use recorder::{NullRecorder, Recorder, Span};
+pub use sync::SharedRecorder;

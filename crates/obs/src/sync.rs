@@ -1,0 +1,165 @@
+//! A thread-safe recorder adapter for multi-threaded executors.
+//!
+//! The [`Recorder`] trait takes `&mut self` — single-threaded engines call
+//! it directly with zero synchronization cost. The real-clock runtime
+//! (`session-net`) runs one OS thread per process; [`SharedRecorder`] lets
+//! all of them feed one backend by wrapping it in an `Arc<Mutex<_>>` and
+//! handing each thread a clone.
+//!
+//! Span semantics under concurrency: spans nest *per backend*, not per
+//! thread — interleaved `span_start`/`span_end` calls from different
+//! threads would attribute time to whichever span happens to be innermost.
+//! Multi-threaded callers should therefore restrict themselves to the
+//! order-insensitive instruments (counters, gauges, histograms), which is
+//! what `session-net` does.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::recorder::Recorder;
+
+/// A cloneable, `Send` handle to a shared [`Recorder`] backend.
+///
+/// Lock poisoning is deliberately ignored (`session-obs` records metrics;
+/// a panicking sibling thread must not turn telemetry into a second
+/// panic): a poisoned mutex is re-entered and recording continues.
+///
+/// # Examples
+///
+/// ```
+/// use session_obs::{InMemoryRecorder, Recorder, SharedRecorder};
+///
+/// let shared = SharedRecorder::new(InMemoryRecorder::new());
+/// let mut handles = Vec::new();
+/// for _ in 0..4 {
+///     let mut rec = shared.clone();
+///     handles.push(std::thread::spawn(move || rec.counter("net.steps", 1)));
+/// }
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// let snapshot = shared.into_inner().into_snapshot();
+/// assert_eq!(snapshot.counter("net.steps"), 4);
+/// ```
+#[derive(Debug)]
+pub struct SharedRecorder<R> {
+    inner: Arc<Mutex<R>>,
+}
+
+impl<R> Clone for SharedRecorder<R> {
+    fn clone(&self) -> SharedRecorder<R> {
+        SharedRecorder {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<R> SharedRecorder<R> {
+    /// Wraps `backend` for shared use.
+    pub fn new(backend: R) -> SharedRecorder<R> {
+        SharedRecorder {
+            inner: Arc::new(Mutex::new(backend)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the backend (e.g. to snapshot an
+    /// `InMemoryRecorder` mid-run).
+    pub fn with<T>(&self, f: impl FnOnce(&mut R) -> T) -> T {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Recovers the backend. All clones must have been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other clones of this handle are still alive.
+    pub fn into_inner(self) -> R {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => mutex.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => panic!("SharedRecorder::into_inner with live clones"),
+        }
+    }
+}
+
+impl<R: Recorder> Recorder for SharedRecorder<R> {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.with(|r| r.counter(name, delta));
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.with(|r| r.gauge(name, value));
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.with(|r| r.observe(name, value));
+    }
+
+    fn span_start(&mut self, name: &'static str) {
+        self.with(|r| r.span_start(name));
+    }
+
+    fn span_end(&mut self) {
+        self.with(Recorder::span_end);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.with(|r| r.is_enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryRecorder;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn forwards_every_instrument() {
+        let shared = SharedRecorder::new(InMemoryRecorder::new());
+        let mut handle = shared.clone();
+        handle.counter("c", 2);
+        handle.gauge("g", 1.5);
+        handle.observe("h", 3.0);
+        handle.span_start("s");
+        handle.span_end();
+        assert!(handle.is_enabled());
+        drop(handle);
+        let snap = shared.into_inner().into_snapshot();
+        assert_eq!(snap.counter("c"), 2);
+        assert_eq!(snap.gauge("g"), Some(1.5));
+        assert_eq!(snap.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn enabled_tracks_backend() {
+        let shared = SharedRecorder::new(NullRecorder);
+        assert!(!shared.clone().is_enabled());
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_increments() {
+        let shared = SharedRecorder::new(InMemoryRecorder::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let mut rec = shared.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter("net.steps", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.with(|r| r.snapshot().counter("net.steps")), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "live clones")]
+    fn into_inner_rejects_live_clones() {
+        let shared = SharedRecorder::new(NullRecorder);
+        let _clone = shared.clone();
+        let _ = shared.into_inner();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the dependency-free JSON layer (`session_obs::json`).
+//!
+//! Every exporter and telemetry report in the workspace goes through this
+//! module, so its two safety properties are checked exhaustively here:
+//! string escaping must produce valid JSON for *any* input (including
+//! control characters, quotes and backslashes), and non-finite floats must
+//! never leak into the output (JSON has no NaN/Infinity — they are
+//! rejected by substitution with `null`).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use session_obs::json::{self, JsonWriter};
+
+/// Arbitrary strings biased toward JSON's danger zone: control characters,
+/// quotes, backslashes, plus ordinary ASCII and some multi-byte chars.
+fn wild_string() -> impl Strategy<Value = String> {
+    vec(0u32..0x07FF, 0..=48)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Finite doubles from raw bit patterns (covers subnormals, huge
+/// magnitudes, negative zero).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX)
+        .prop_map(f64::from_bits)
+        .prop_filter("finite", |f| f.is_finite())
+}
+
+/// Undoes [`json::escape`]: parses the body of a JSON string literal.
+fn unescape(escaped: &str) -> String {
+    let mut out = String::new();
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
+                out.push(char::from_u32(code).expect("valid scalar"));
+            }
+            other => panic!("unknown escape \\{other:?}"),
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn escaped_strings_are_valid_json(s in wild_string()) {
+        let literal = format!("\"{}\"", json::escape(&s));
+        prop_assert!(
+            json::validate(&literal).is_ok(),
+            "escape produced invalid JSON for {s:?}: {literal}"
+        );
+    }
+
+    #[test]
+    fn escaping_round_trips(s in wild_string()) {
+        prop_assert_eq!(unescape(&json::escape(&s)), s);
+    }
+
+    #[test]
+    fn escaped_output_has_no_raw_control_chars(s in wild_string()) {
+        let escaped = json::escape(&s);
+        prop_assert!(
+            escaped.chars().all(|c| (c as u32) >= 0x20),
+            "raw control char survived escaping {s:?}: {escaped:?}"
+        );
+    }
+
+    #[test]
+    fn finite_numbers_serialize_and_round_trip(f in finite_f64()) {
+        let text = json::number(f);
+        prop_assert!(json::validate(&text).is_ok(), "invalid number JSON: {text}");
+        let back: f64 = text.parse().expect("numeric text");
+        prop_assert!(back == f || (back == 0.0 && f == 0.0), "{f} → {text} → {back}");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null(mantissa in 0u64..(1u64 << 52), sign in 0u64..2) {
+        // Exponent all-ones: NaN for any nonzero mantissa, ±inf for zero.
+        let bits = (sign << 63) | (0x7FFu64 << 52) | mantissa;
+        let f = f64::from_bits(bits);
+        prop_assert!(!f.is_finite());
+        prop_assert_eq!(json::number(f), "null");
+    }
+
+    #[test]
+    fn writer_documents_survive_wild_keys_and_values(
+        pairs in vec((wild_string(), wild_string()), 0..=12),
+        num in finite_f64(),
+    ) {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        for (i, (_key, value)) in pairs.iter().enumerate() {
+            // Keys must be unique only for strict parsers; the validator
+            // does not mind, but index them anyway for realism.
+            w.key(&format!("k{i}"));
+            w.value_str(value);
+        }
+        w.key("n");
+        w.value_f64(num);
+        w.end_object();
+        let doc = w.finish();
+        prop_assert!(json::validate(&doc).is_ok(), "invalid document: {doc}");
+    }
+}
+
+#[test]
+fn non_finite_specials_are_null() {
+    assert_eq!(json::number(f64::NAN), "null");
+    assert_eq!(json::number(f64::INFINITY), "null");
+    assert_eq!(json::number(f64::NEG_INFINITY), "null");
+}

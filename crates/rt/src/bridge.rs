@@ -45,6 +45,53 @@ pub fn completion_step_schedule(
     ExplicitSchedule::new(scripted, tail_period)
 }
 
+/// Derives per-process *sporadic gap scripts* for the real-clock pacer
+/// (`session-net`): process `i` steps with gaps shaped by the completion
+/// gaps of task `i` in `outcome`, each clamped to at least `c1`.
+///
+/// The clamp is what turns an empirical job stream into an *admissible*
+/// sporadic schedule: EDF interference can squeeze two completions closer
+/// than the task's minimum separation (see [`completion_gap_window`]), but
+/// the sporadic model requires every step gap `>= c1`. Clamping preserves
+/// the stream's burst shape while guaranteeing admissibility, so a pacer
+/// replaying the script on a real timer produces a provably admissible
+/// sporadic computation.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] if `c1 <= 0` (a zero-width sporadic
+/// separation — `SA006`) or any task completed no jobs in the horizon.
+pub fn sporadic_gap_script(
+    tasks: &TaskSet,
+    outcome: &ScheduleOutcome,
+    c1: Dur,
+) -> Result<BTreeMap<ProcessId, Vec<Dur>>> {
+    if !c1.is_positive() {
+        return Err(Error::invalid_params(format!(
+            "sporadic gap script requires c1 > 0, got {c1}"
+        )));
+    }
+    let mut scripts = BTreeMap::new();
+    for (id, _) in tasks.iter() {
+        let mut completions = outcome.completions_of(id);
+        completions.sort();
+        completions.dedup();
+        if completions.is_empty() {
+            return Err(Error::invalid_params(format!(
+                "task {id} completed no jobs within the horizon"
+            )));
+        }
+        let mut gaps = Vec::with_capacity(completions.len());
+        let mut prev = Time::ZERO;
+        for t in completions {
+            gaps.push((t - prev).max(c1));
+            prev = t;
+        }
+        scripts.insert(ProcessId::new(id.index()), gaps);
+    }
+    Ok(scripts)
+}
+
 /// The smallest and largest gaps between consecutive completions of `task`
 /// (including the gap from time 0 to its first completion): the empirical
 /// `[c1, c2]` window this task would present to a session algorithm.
@@ -131,5 +178,30 @@ mod tests {
         // Horizon shorter than the first completion.
         let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(5)).unwrap();
         assert!(completion_step_schedule(&tasks, &out, d(1)).is_err());
+        assert!(sporadic_gap_script(&tasks, &out, d(1)).is_err());
+    }
+
+    #[test]
+    fn gap_scripts_respect_the_minimum_separation() {
+        let tasks = ts(&[(4, 1), (6, 2)]);
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(120)).unwrap();
+        let c1 = d(2);
+        let scripts = sporadic_gap_script(&tasks, &out, c1).unwrap();
+        assert_eq!(scripts.len(), 2);
+        for (p, gaps) in &scripts {
+            assert!(!gaps.is_empty(), "{p} has no gaps");
+            assert!(gaps.iter().all(|&g| g >= c1), "{p} gap below c1");
+        }
+        // Task 0 completes its first job at t = 1 < c1 = 2: the clamp must
+        // have engaged somewhere.
+        let p0_gaps = &scripts[&ProcessId::new(0)];
+        assert_eq!(p0_gaps[0], c1);
+    }
+
+    #[test]
+    fn zero_separation_is_rejected() {
+        let tasks = ts(&[(3, 1)]);
+        let out = simulate(&tasks, Policy::EdfPreemptive, Time::from_int(30)).unwrap();
+        assert!(sporadic_gap_script(&tasks, &out, Dur::ZERO).is_err());
     }
 }

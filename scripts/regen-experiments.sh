@@ -1,20 +1,46 @@
 #!/usr/bin/env bash
 # Regenerates every experiment artifact recorded in EXPERIMENTS.md.
 # Usage: scripts/regen-experiments.sh [output-dir]
-set -euo pipefail
+#
+# Hardened against stale output: `set -euo pipefail` aborts on the first
+# failing step (including a failure on the left side of a `| tee`), all
+# artifacts are generated into a temporary staging directory, and the
+# staging directory is moved into place only after every generator
+# succeeded. A failed run therefore leaves any previous artifacts exactly
+# as they were instead of silently mixing fresh and stale tables.
+set -Eeuo pipefail # -E so the ERR trap fires inside run_step
 out="${1:-experiments-out}"
+stage="$(mktemp -d "${TMPDIR:-/tmp}/regen-experiments.XXXXXX")"
+
+current_step="(startup)"
+on_err() {
+    echo "regen-experiments: FAILED during: $current_step" >&2
+    echo "regen-experiments: $out/ left untouched (partial output discarded: $stage)" >&2
+}
+trap on_err ERR
+trap 'rm -rf "$stage"' EXIT
+
+run_step() {
+    current_step="$1"
+    local bin="$2"
+    local artifact="$3"
+    echo "== $current_step =="
+    cargo run -q -p session-bench --bin "$bin" | tee "$stage/$artifact"
+}
+
+run_step "Table 1"                                  table1                 table1.md
+run_step "FIG-A: semi-synchronous crossover"        crossover              crossover.md
+run_step "FIG-B: sporadic interpolation"            sporadic_sweep         sporadic_sweep.md
+run_step "FIG-C: periodic vs semi-synchronous"      periodic_vs_semisync   periodic_vs_semisync.md
+run_step "Lemma 4.4: contamination growth"          contamination_growth   contamination_growth.md
+run_step "EXT-DIAM: point-to-point diameter factor" diameter_sweep         diameter_sweep.md
+run_step "REAL: real-clock runs vs upper bounds"    realclock              realclock.md
+
+current_step="moving artifacts into place"
 mkdir -p "$out"
-echo "== Table 1 =="
-cargo run -q -p session-bench --bin table1 | tee "$out/table1.md"
-echo "== FIG-A: semi-synchronous crossover =="
-cargo run -q -p session-bench --bin crossover | tee "$out/crossover.md"
-echo "== FIG-B: sporadic interpolation =="
-cargo run -q -p session-bench --bin sporadic_sweep | tee "$out/sporadic_sweep.md"
-echo "== FIG-C: periodic vs semi-synchronous =="
-cargo run -q -p session-bench --bin periodic_vs_semisync | tee "$out/periodic_vs_semisync.md"
-echo "== Lemma 4.4: contamination growth =="
-cargo run -q -p session-bench --bin contamination_growth | tee "$out/contamination_growth.md"
-echo "== EXT-DIAM: point-to-point diameter factor =="
-cargo run -q -p session-bench --bin diameter_sweep | tee "$out/diameter_sweep.md"
+for f in "$stage"/*.md; do
+    mv "$f" "$out/$(basename "$f")"
+done
+
 echo
 echo "Artifacts written to $out/"

@@ -11,21 +11,33 @@
 #      codes and make the run exit non-zero
 #
 # Usage: scripts/static-analysis.sh
-set -euo pipefail
+#
+# `set -euo pipefail` + the ERR trap make every failure loud: the script
+# stops at the first failing step and names it, instead of continuing and
+# reporting a stale "OK".
+set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
+current_step="(startup)"
+trap 'echo "static-analysis: FAILED during: $current_step" >&2' ERR
+
+current_step="rustfmt"
 echo "== rustfmt =="
 cargo fmt --all -- --check
 
+current_step="clippy"
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="
 cargo test -p session-analyzer --release -- --include-ignored
 
+current_step="building session-cli"
 echo "== building session-cli =="
 cargo build -q --release --bin session-cli
 
+current_step="analyze (paper algorithms must be clean)"
 echo "== analyze: the ten paper algorithms must be clean =="
 ./target/release/session-cli analyze \
     SyncSm PeriodicSm SemiSyncSm SporadicSm AsyncSm \
@@ -33,6 +45,7 @@ echo "== analyze: the ten paper algorithms must be clean =="
     | tee /tmp/analyze-clean.md
 grep -q "No findings." /tmp/analyze-clean.md
 
+current_step="analyze --all (witnesses must be flagged)"
 echo "== analyze --all: the witnesses must be flagged and fail the run =="
 # The full run must exit 1 (deny findings present) -- invert the check.
 if ./target/release/session-cli analyze --all > /tmp/analyze-all.md; then

@@ -6,6 +6,7 @@
 
 use session_problem::analyze::AnalyzeConfig;
 use session_problem::cli::CliConfig;
+use session_problem::run_real::RunRealConfig;
 use session_problem::stats::StatsConfig;
 use session_problem::trace_cmd::TraceConfig;
 
@@ -38,6 +39,16 @@ fn main() {
             }
             match TraceConfig::parse(&args[1..]).and_then(|config| config.execute()) {
                 Ok(summary) => print!("{summary}"),
+                Err(err) => fail(&err),
+            }
+        }
+        Some("run-real") => {
+            if wants_help(&args[1..]) {
+                println!("{}", RunRealConfig::USAGE);
+                return;
+            }
+            match RunRealConfig::parse(&args[1..]).and_then(|config| config.execute()) {
+                Ok(report) => print!("{report}"),
                 Err(err) => fail(&err),
             }
         }

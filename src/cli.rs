@@ -9,6 +9,7 @@
 //!             schedule=periods:2,3,5,7 delay=const:8 timeline=true
 //! ```
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use session_core::analysis::analyze;
@@ -97,7 +98,9 @@ usage: session-cli [key=value ...]
 subcommands (own usage via `session-cli SUBCOMMAND --help`):
   analyze   exhaustive small-scope model checking over named targets
   trace     run one configuration, export Perfetto JSON / JSONL traces
-  stats     run one configuration, print per-process and engine counters";
+  stats     run one configuration, print per-process and engine counters
+  run-real  run one MP configuration on real clocks (one OS thread per
+            process) and verify simulator conformance";
 
     /// Parses `key=value` arguments.
     ///
@@ -122,11 +125,15 @@ subcommands (own usage via `session-cli SUBCOMMAND --help`):
 
         let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", CliConfig::USAGE));
 
+        let mut seen = SeenKeys::default();
         for arg in args {
             let arg = arg.as_ref();
             let (key, value) = arg
                 .split_once('=')
                 .ok_or_else(|| bad(&format!("expected key=value, got `{arg}`")))?;
+            if let Some(msg) = seen.duplicate(key) {
+                return Err(bad(&msg));
+            }
             match key {
                 "model" => {
                     model = match value {
@@ -364,6 +371,25 @@ subcommands (own usage via `session-cli SUBCOMMAND --help`):
     }
 }
 
+/// Duplicate-key detection for `key=value` parsers: each key may appear at
+/// most once, and a repeat is reported by name instead of silently letting
+/// the last occurrence win.
+#[derive(Debug, Default)]
+pub(crate) struct SeenKeys(BTreeSet<String>);
+
+impl SeenKeys {
+    /// Records `key`; returns the error message if it was already seen.
+    pub(crate) fn duplicate(&mut self, key: &str) -> Option<String> {
+        if self.0.insert(key.to_string()) {
+            None
+        } else {
+            Some(format!(
+                "duplicate option `{key}` (each key may be given once)"
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +446,21 @@ mod tests {
                 "`{bad}` should fail with usage, got: {err}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_by_name() {
+        let err = CliConfig::parse(["s=3", "n=4", "s=5"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate option `s`"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        let err = CliConfig::parse(["model=sync", "model=sync"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate option `model`"), "{err}");
+        // Distinct keys are of course still fine.
+        CliConfig::parse(["s=3", "n=4", "b=2"]).unwrap();
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | [`adversary`] | `session-adversary` | executable lower-bound constructions |
 //! | [`rt`] | `session-rt` | real-time task scheduling substrate (§1 motivation) |
 //! | [`analyzer`] | `session-analyzer` | exhaustive small-scope model checker with `SA`-coded lints |
+//! | [`net`] | `session-net` | real-clock multi-threaded runtime with simulator-conformance harness |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@
 
 pub mod analyze;
 pub mod cli;
+pub mod run_real;
 pub mod stats;
 pub mod trace_cmd;
 
@@ -71,6 +73,7 @@ pub use session_adversary as adversary;
 pub use session_analyzer as analyzer;
 pub use session_core as core;
 pub use session_mpm as mpm;
+pub use session_net as net;
 pub use session_obs as obs;
 pub use session_rt as rt;
 pub use session_sim as sim;

@@ -1,0 +1,262 @@
+//! The `session-cli run-real` subcommand: run one message-passing
+//! configuration on real clocks — one OS thread per process, channel or
+//! UDP-loopback transport — and verify simulator conformance: the recorded
+//! execution must be an admissible timed computation of its model
+//! achieving at least `s` sessions.
+//!
+//! ```text
+//! session-cli run-real model=periodic comm=mp s=3 n=4 transport=chan
+//! session-cli run-real model=sporadic s=2 n=3 transport=udp json=real.json
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use session_net::{run_real, verify_conformance, RealConfig, TransportKind};
+use session_obs::NullRecorder;
+use session_types::{Dur, Error, Result, SessionSpec, TimingModel};
+
+use crate::cli::SeenKeys;
+
+/// A fully parsed `run-real` command line.
+#[derive(Clone, Debug)]
+pub struct RunRealConfig {
+    /// The real-clock run configuration.
+    pub real: RealConfig,
+    /// Where to also write the run's metrics snapshot as JSON.
+    pub json: Option<PathBuf>,
+}
+
+impl RunRealConfig {
+    /// The usage string printed on parse errors.
+    pub const USAGE: &'static str = "\
+usage: session-cli run-real [key=value ...]
+  model=sync|periodic|semisync|sporadic|async   (default periodic)
+  comm=mp                                       (message passing only)
+  s=N n=N b=N                                   (default 3, 4, 2)
+  c1=X c2=X d1=X d2=X                           (defaults 1, 2, 0, 4)
+  transport=chan|udp                            (default chan)
+  seed=N                                        (default 42)
+  unit-us=N      real microseconds per logical time unit (default 2000)
+  max-steps=N    per-process step watchdog (default 10000)
+  deadline-ms=N  wall-clock watchdog (default 30000)
+  json=PATH      also write the run's metrics snapshot as JSON";
+
+    /// Parses the arguments after the `run-real` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] (carrying a usage hint) on unknown
+    /// or duplicate keys, malformed values, or an infeasible timing
+    /// configuration (`SA006`).
+    pub fn parse<I, S>(args: I) -> Result<RunRealConfig>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut model = TimingModel::Periodic;
+        let (mut s, mut n, mut b) = (3u64, 4usize, 2usize);
+        let (mut c1, mut c2, mut d1, mut d2) = (1i128, 2i128, 0i128, 4i128);
+        let mut transport = TransportKind::Chan;
+        let mut seed = 42u64;
+        let mut unit_us = 2_000u64;
+        let mut max_steps = 10_000u64;
+        let mut deadline_ms = 30_000u64;
+        let mut json = None;
+
+        let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", RunRealConfig::USAGE));
+
+        let mut seen = SeenKeys::default();
+        for arg in args {
+            let arg = arg.as_ref();
+            let (key, value) = arg
+                .split_once('=')
+                .ok_or_else(|| bad(&format!("expected key=value, got `{arg}`")))?;
+            if let Some(msg) = seen.duplicate(key) {
+                return Err(bad(&msg));
+            }
+            match key {
+                "model" => {
+                    model = match value {
+                        "sync" | "synchronous" => TimingModel::Synchronous,
+                        "periodic" => TimingModel::Periodic,
+                        "semisync" | "semi-synchronous" => TimingModel::SemiSynchronous,
+                        "sporadic" => TimingModel::Sporadic,
+                        "async" | "asynchronous" => TimingModel::Asynchronous,
+                        other => return Err(bad(&format!("unknown model `{other}`"))),
+                    }
+                }
+                "comm" => {
+                    if value != "mp" {
+                        return Err(bad(&format!(
+                            "run-real is message passing only (comm=mp), got `{value}`"
+                        )));
+                    }
+                }
+                "s" => s = value.parse().map_err(|_| bad("s must be an integer"))?,
+                "n" => n = value.parse().map_err(|_| bad("n must be an integer"))?,
+                "b" => b = value.parse().map_err(|_| bad("b must be an integer"))?,
+                "c1" => c1 = value.parse().map_err(|_| bad("c1 must be an integer"))?,
+                "c2" => c2 = value.parse().map_err(|_| bad("c2 must be an integer"))?,
+                "d1" => d1 = value.parse().map_err(|_| bad("d1 must be an integer"))?,
+                "d2" => d2 = value.parse().map_err(|_| bad("d2 must be an integer"))?,
+                "seed" => seed = value.parse().map_err(|_| bad("seed must be an integer"))?,
+                "transport" => {
+                    transport = TransportKind::parse(value)
+                        .ok_or_else(|| bad(&format!("unknown transport `{value}`")))?;
+                }
+                "unit-us" => {
+                    unit_us = value
+                        .parse()
+                        .map_err(|_| bad("unit-us must be an integer"))?;
+                }
+                "max-steps" => {
+                    max_steps = value
+                        .parse()
+                        .map_err(|_| bad("max-steps must be an integer"))?;
+                }
+                "deadline-ms" => {
+                    deadline_ms = value
+                        .parse()
+                        .map_err(|_| bad("deadline-ms must be an integer"))?;
+                }
+                "json" => json = Some(PathBuf::from(value)),
+                other => return Err(bad(&format!("unknown option `{other}`"))),
+            }
+        }
+
+        let mut real = RealConfig::new(model, SessionSpec::new(s, n, b)?);
+        real.c1 = Dur::from_int(c1);
+        real.c2 = Dur::from_int(c2);
+        real.d1 = Dur::from_int(d1);
+        real.d2 = Dur::from_int(d2);
+        real.transport = transport;
+        real.seed = seed;
+        real.unit = Duration::from_micros(unit_us);
+        real.max_steps_per_process = max_steps;
+        real.deadline = Duration::from_millis(deadline_ms);
+        real.validate()
+            .map_err(|err| bad(&format!("infeasible configuration: {err}")))?;
+        Ok(RunRealConfig { real, json })
+    }
+
+    /// Runs the configuration on real clocks, verifies conformance, and
+    /// renders the verdict. Returns the printable report and the metrics
+    /// snapshot JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and transport errors from the runtime.
+    pub fn render(&self) -> Result<(String, String)> {
+        let outcome = run_real(&self.real, &mut NullRecorder)?;
+        let bounds = self.real.bounds()?;
+        let report = verify_conformance(&outcome, &self.real.spec, &bounds);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} / mp (real clock, {}) — {}",
+            self.real.model, self.real.transport, self.real.spec
+        );
+        let _ = writeln!(
+            out,
+            "terminated: {}   steps: {}   wall clock: {:.1} ms   late packets: {}",
+            outcome.terminated,
+            outcome.steps,
+            outcome.wall_clock.as_secs_f64() * 1e3,
+            outcome.late_packets
+        );
+        let _ = writeln!(out, "\n## conformance\n");
+        out.push_str(&report.render());
+        Ok((out, outcome.metrics.to_json()))
+    }
+
+    /// Runs the configuration, writes the JSON snapshot if requested, and
+    /// returns the printable report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run errors and I/O errors (as [`Error::InvalidParams`]
+    /// naming the path).
+    pub fn execute(&self) -> Result<String> {
+        let (mut out, json) = self.render()?;
+        if let Some(path) = &self.json {
+            std::fs::write(path, &json).map_err(|err| {
+                Error::invalid_params(format!("cannot write {}: {err}", path.display()))
+            })?;
+            let _ = writeln!(out, "\nwrote {}", path.display());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_obs::json;
+
+    #[test]
+    fn defaults_parse() {
+        let config = RunRealConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(config.real.model, TimingModel::Periodic);
+        assert_eq!(config.real.spec.s(), 3);
+        assert_eq!(config.real.spec.n(), 4);
+        assert_eq!(config.real.transport, TransportKind::Chan);
+        assert_eq!(config.real.unit, Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn bad_arguments_carry_the_run_real_usage() {
+        for bad in [
+            "model=quantum",
+            "comm=sm",
+            "transport=tcp",
+            "unit-us=soon",
+            "frobnicate=1",
+        ] {
+            let err = RunRealConfig::parse([bad]).unwrap_err().to_string();
+            assert!(
+                err.contains("usage: session-cli run-real"),
+                "`{bad}`: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_by_name() {
+        let err = RunRealConfig::parse(["seed=1", "seed=2"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate option `seed`"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_timing_is_rejected_at_parse_time() {
+        let err = RunRealConfig::parse(["model=semisync", "c1=4", "c2=1"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("SA006"), "{err}");
+    }
+
+    #[test]
+    fn execute_runs_and_verifies_the_issue_configuration() {
+        // The acceptance configuration, sped up for tests: model=periodic
+        // comm=mp s=3 n=4 transport=chan.
+        let config = RunRealConfig::parse([
+            "model=periodic",
+            "comm=mp",
+            "s=3",
+            "n=4",
+            "transport=chan",
+            "unit-us=200",
+        ])
+        .unwrap();
+        let (out, snapshot_json) = config.render().unwrap();
+        assert!(out.contains("terminated: true"), "{out}");
+        assert!(out.contains("admissible    = true"), "{out}");
+        assert!(out.contains("solved        = true"), "{out}");
+        json::validate(&snapshot_json).expect("snapshot must be valid JSON");
+        assert!(snapshot_json.contains("\"net.steps\""), "{snapshot_json}");
+    }
+}

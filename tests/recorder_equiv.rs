@@ -1,0 +1,129 @@
+//! `JsonlRecorder` and `InMemoryRecorder` must observe identical event
+//! sequences for the same recorded run: the streaming backend's lines,
+//! aggregated, must reproduce exactly the in-memory backend's snapshot.
+//! A deterministic configuration (fixed seed, fixed schedule) makes the
+//! two runs bit-identical, so any divergence is a recorder bug, not
+//! nondeterminism.
+
+use std::collections::BTreeMap;
+
+use session_problem::cli::CliConfig;
+use session_problem::obs::{InMemoryRecorder, JsonlRecorder};
+
+/// Counters summed, gauges last-write-wins, samples counted — the same
+/// aggregation `InMemoryRecorder` performs.
+#[derive(Debug, Default, PartialEq)]
+struct Aggregated {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    sample_counts: BTreeMap<String, u64>,
+}
+
+/// Pulls `"key":value` out of a single-line JSON object emitted by
+/// `JsonlRecorder` (its writer emits no spaces and no nesting).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+fn aggregate(jsonl: &str) -> Aggregated {
+    let mut agg = Aggregated::default();
+    for line in jsonl.lines() {
+        let kind = field(line, "type").expect("typed line");
+        let name = field(line, "name").expect("named line").to_string();
+        match kind {
+            "counter" => {
+                let delta: u64 = field(line, "delta").unwrap().parse().unwrap();
+                *agg.counters.entry(name).or_default() += delta;
+            }
+            "gauge" => {
+                let value: f64 = field(line, "value").unwrap().parse().unwrap();
+                agg.gauges.insert(name, value);
+            }
+            "sample" => {
+                *agg.sample_counts.entry(name).or_default() += 1;
+            }
+            "span" => {}
+            other => panic!("unknown line type `{other}`: {line}"),
+        }
+    }
+    agg
+}
+
+fn deterministic_config(args: &[&str]) -> CliConfig {
+    CliConfig::parse(args).expect("config parses")
+}
+
+fn assert_equivalent(args: &[&str]) {
+    let config = deterministic_config(args);
+
+    let mut jsonl = JsonlRecorder::new(Vec::new());
+    let (report_a, _) = config.run_recorded(&mut jsonl).expect("jsonl run");
+    let bytes = jsonl.finish().expect("no write errors");
+    let streamed = aggregate(&String::from_utf8(bytes).expect("utf8"));
+
+    let mut memory = InMemoryRecorder::new();
+    let (report_b, _) = config.run_recorded(&mut memory).expect("memory run");
+    let snapshot = memory.into_snapshot();
+
+    // Same run at all: identical verified outcomes.
+    assert_eq!(report_a.sessions, report_b.sessions, "{args:?}");
+    assert_eq!(report_a.steps, report_b.steps, "{args:?}");
+
+    // Identical event sequences: every aggregate the snapshot holds must
+    // be reproduced by the stream, and vice versa.
+    let mem_counters: BTreeMap<String, u64> = snapshot
+        .counters()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    assert_eq!(streamed.counters, mem_counters, "{args:?}");
+
+    let mem_gauges: BTreeMap<String, f64> = snapshot
+        .gauges()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    assert_eq!(streamed.gauges, mem_gauges, "{args:?}");
+
+    let mem_samples: BTreeMap<String, u64> = snapshot
+        .histograms()
+        .map(|(name, h)| (name.to_string(), h.count()))
+        .collect();
+    assert_eq!(streamed.sample_counts, mem_samples, "{args:?}");
+}
+
+#[test]
+fn mp_runs_observe_identical_sequences() {
+    assert_equivalent(&[
+        "model=periodic",
+        "comm=mp",
+        "s=3",
+        "n=3",
+        "schedule=uniform:2",
+        "delay=const:8",
+        "seed=42",
+    ]);
+}
+
+#[test]
+fn sm_runs_observe_identical_sequences() {
+    assert_equivalent(&["model=sync", "comm=sm", "s=2", "n=2", "seed=7"]);
+}
+
+#[test]
+fn randomized_schedules_stay_equivalent_given_the_seed() {
+    assert_equivalent(&[
+        "model=sporadic",
+        "comm=mp",
+        "s=2",
+        "n=3",
+        "schedule=bursts",
+        "delay=uniform",
+        "seed=1234",
+    ]);
+}
