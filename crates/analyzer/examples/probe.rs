@@ -16,7 +16,7 @@ fn main() {
         let codes: Vec<String> = report.findings.iter().map(|d| d.code.to_string()).collect();
         println!(
             "{name}: states={} findings=[{}] elapsed={elapsed:?}",
-            report.targets[0].1,
+            report.targets[0].states,
             codes.join(", ")
         );
     }

@@ -1,9 +1,13 @@
 //! Lint codes, severities, per-rule configuration and report rendering.
 //!
-//! Every finding the checker can produce carries one of six stable codes
-//! (`SA001`–`SA006`). Codes never change meaning; new rules get new codes.
+//! Every finding the checker can produce carries one of nine stable codes
+//! (`SA001`–`SA009`). Codes never change meaning; new rules get new codes.
 //! Reports render as GitHub-flavored markdown tables (the same dialect as
 //! `session-bench`'s experiment reports) or as CSV.
+//!
+//! Each variant's doc comment cites the paper section the rule enforces;
+//! `scripts/static-analysis.sh` fails the build when a variant is added
+//! without a code-string mapping or a `§` paper reference.
 
 use std::fmt;
 
@@ -11,38 +15,61 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// `SA001 session-deficit`: an admissible schedule reaches quiescence
-    /// with fewer than `s` sessions.
+    /// with fewer than `s` sessions (the liveness half of the s-session
+    /// problem, §2).
     SessionDeficit,
     /// `SA002 b-bound-violation`: more than `b` distinct processes access
-    /// one shared variable.
+    /// one shared variable (the b-bounded shared-memory model, §2).
     BBoundViolation,
     /// `SA003 stale-evidence`: a process's claimed session count exceeds
-    /// the number of sessions that actually happened (phantom
-    /// certification from stale freshness evidence).
+    /// the number of sessions that actually happened — phantom
+    /// certification from stale freshness evidence (the sporadic
+    /// message-passing algorithm's counting argument, §6.3).
     StaleEvidence,
     /// `SA004 inadmissible-step`: the execution violates the timing
-    /// model's admissibility conditions, un-idles an idle process, or
-    /// diverges from the reference engine under replay.
+    /// model's admissibility conditions (§2's definition of admissible
+    /// timed computations), un-idles an idle process, or diverges from
+    /// the reference engine under replay.
     InadmissibleStep,
     /// `SA005 non-termination`: an admissible schedule loops without ever
-    /// reaching quiescence (a lasso), or exploration exhausts its depth
-    /// budget before quiescence.
+    /// reaching quiescence (a lasso) — the algorithm never solves the
+    /// problem instance it claims to solve (§2's quiescence requirement).
     NonTermination,
     /// `SA006 infeasible-timing`: an MP configuration's `[c1, c2]` /
-    /// `[d1, d2]` parameters admit no real-clock pacing — `d2 < d1`,
-    /// `c2 < c1`, or a zero-width sporadic minimum separation. Shared by
-    /// the simulator CLI and the `session-net` config validation.
+    /// `[d1, d2]` parameters (§2's timing bounds) admit no real-clock
+    /// pacing — `d2 < d1`, `c2 < c1`, or a zero-width sporadic minimum
+    /// separation. Shared by the simulator CLI and the `session-net`
+    /// config validation.
     InfeasibleTiming,
+    /// `SA007 session-race`: two port steps counted into the same session
+    /// whose recorded order contradicts their happens-before order — the
+    /// session grouping (§2's sessions of a timed computation) rests on a
+    /// timestamp serialization that causality refutes.
+    SessionRace,
+    /// `SA008 unordered-session-close`: a recorded session boundary is not
+    /// dominated by all `n` port clocks — the close is claimed before
+    /// every port provably took a covering step inside the window (§2's
+    /// session-boundary definition).
+    UnorderedSessionClose,
+    /// `SA009 model-mismatch`: the recorded step gaps prove the run was
+    /// driven by a timing model strictly stronger than the one claimed —
+    /// e.g. lockstep-constant gaps under a claimed sporadic config — so
+    /// the run exercises the wrong row of the model hierarchy (§3–§6's
+    /// per-model bounds).
+    ModelMismatch,
 }
 
 /// All codes, in code order.
-pub const ALL_CODES: [LintCode; 6] = [
+pub const ALL_CODES: [LintCode; 9] = [
     LintCode::SessionDeficit,
     LintCode::BBoundViolation,
     LintCode::StaleEvidence,
     LintCode::InadmissibleStep,
     LintCode::NonTermination,
     LintCode::InfeasibleTiming,
+    LintCode::SessionRace,
+    LintCode::UnorderedSessionClose,
+    LintCode::ModelMismatch,
 ];
 
 impl LintCode {
@@ -55,6 +82,9 @@ impl LintCode {
             LintCode::InadmissibleStep => "SA004",
             LintCode::NonTermination => "SA005",
             LintCode::InfeasibleTiming => "SA006",
+            LintCode::SessionRace => "SA007",
+            LintCode::UnorderedSessionClose => "SA008",
+            LintCode::ModelMismatch => "SA009",
         }
     }
 
@@ -67,6 +97,44 @@ impl LintCode {
             LintCode::InadmissibleStep => "inadmissible-step",
             LintCode::NonTermination => "non-termination",
             LintCode::InfeasibleTiming => "infeasible-timing",
+            LintCode::SessionRace => "session-race",
+            LintCode::UnorderedSessionClose => "unordered-session-close",
+            LintCode::ModelMismatch => "model-mismatch",
+        }
+    }
+
+    /// A one-line description, used by `session-cli analyze --list`. Kept
+    /// in sync with the enum by the exhaustive match (adding a variant
+    /// without a description is a compile error).
+    pub fn describe(self) -> &'static str {
+        match self {
+            LintCode::SessionDeficit => {
+                "an admissible schedule reaches quiescence with fewer than s sessions"
+            }
+            LintCode::BBoundViolation => {
+                "more than b distinct processes access one shared variable"
+            }
+            LintCode::StaleEvidence => {
+                "a claimed session count exceeds the sessions that actually happened"
+            }
+            LintCode::InadmissibleStep => {
+                "an execution violates admissibility, un-idles a process, or diverges under replay"
+            }
+            LintCode::NonTermination => {
+                "an admissible schedule loops forever without reaching quiescence"
+            }
+            LintCode::InfeasibleTiming => {
+                "the [c1,c2]/[d1,d2] timing parameters admit no real-clock pacing"
+            }
+            LintCode::SessionRace => {
+                "steps counted into one session in an order their happens-before relation refutes"
+            }
+            LintCode::UnorderedSessionClose => {
+                "a recorded session close is not dominated by all n port clocks"
+            }
+            LintCode::ModelMismatch => {
+                "recorded gaps prove a strictly stronger timing model than the one claimed"
+            }
         }
     }
 
@@ -159,12 +227,46 @@ pub struct Diagnostic {
     pub counterexample: String,
 }
 
+/// One analyzed target's exploration summary, as surfaced in the report's
+/// header table.
+#[derive(Clone, Debug)]
+pub struct TargetSummary {
+    /// The target's registry name (or `trace:<path>` for trace analyses).
+    pub name: String,
+    /// States the exploration visited (events ingested, for traces).
+    pub states: u64,
+    /// Successor choices the reduction layer pruned (0 when reductions
+    /// were off).
+    pub pruned: u64,
+    /// Memo-table hits (revisits of an already-explored state).
+    pub memo_hits: u64,
+    /// `true` when at least one schedule was cut at the depth budget, so
+    /// a clean verdict is partial.
+    pub truncated: bool,
+    /// How many schedules were cut at the depth budget.
+    pub depth_hits: u64,
+}
+
+impl TargetSummary {
+    /// A summary with only a name and a state count (no reductions, no
+    /// truncation) — the common case for trace analyses and tests.
+    pub fn new(name: impl Into<String>, states: u64) -> TargetSummary {
+        TargetSummary {
+            name: name.into(),
+            states,
+            pruned: 0,
+            memo_hits: 0,
+            truncated: false,
+            depth_hits: 0,
+        }
+    }
+}
+
 /// The outcome of analyzing one or more targets.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// Targets analyzed, in order, with the number of states each
-    /// exploration visited.
-    pub targets: Vec<(String, u64)>,
+    /// Targets analyzed, in order, with each exploration's summary.
+    pub targets: Vec<TargetSummary>,
     /// Findings, in discovery order.
     pub findings: Vec<Diagnostic>,
 }
@@ -191,17 +293,47 @@ impl Report {
             .any(|d| config.severity(d.code) == Severity::Deny)
     }
 
+    /// Returns `true` if any target's exploration was cut at the depth
+    /// budget (a clean verdict is then "clean but truncated").
+    pub fn truncated(&self) -> bool {
+        self.targets.iter().any(|t| t.truncated)
+    }
+
     /// Renders the report as GitHub-flavored markdown (the bench-report
     /// dialect: `## section`, `| a | b |` tables).
     pub fn to_markdown(&self, config: &LintConfig) -> String {
         let mut out = String::from("## Analyzer report\n\n");
-        out.push_str("| target | states explored | findings |\n|---|---|---|\n");
-        for (target, states) in &self.targets {
+        out.push_str(
+            "| target | states explored | pruned | memo hits | findings | notes |\n\
+             |---|---|---|---|---|---|\n",
+        );
+        for summary in &self.targets {
             let count = self
                 .reported(config)
-                .filter(|d| &d.target == target)
+                .filter(|d| d.target == summary.name)
                 .count();
-            out.push_str(&format!("| {target} | {states} | {count} |\n"));
+            let notes = if summary.truncated {
+                format!("truncated (depth budget hit {}×)", summary.depth_hits)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {count} | {notes} |\n",
+                summary.name, summary.states, summary.pruned, summary.memo_hits
+            ));
+        }
+        if self.truncated() {
+            let cut: Vec<&str> = self
+                .targets
+                .iter()
+                .filter(|t| t.truncated)
+                .map(|t| t.name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "\n**Warn:** exploration truncated at the depth budget for: {} — \
+                 clean verdicts cover only the explored prefix.\n",
+                cut.join(", ")
+            ));
         }
         let reported: Vec<&Diagnostic> = self.reported(config).collect();
         if reported.is_empty() {
@@ -231,9 +363,25 @@ impl Report {
         out
     }
 
-    /// Renders the findings as CSV (`code,severity,target,scope,message`).
+    /// Renders the report as CSV: a target-summary section
+    /// (`target,states,pruned,memo_hits,truncated,depth_hits`) followed by
+    /// a blank line and the findings section
+    /// (`code,severity,target,scope,message`).
     pub fn to_csv(&self, config: &LintConfig) -> String {
-        let mut out = String::from("code,severity,target,scope,message\n");
+        let mut out = String::from("target,states,pruned,memo_hits,truncated,depth_hits\n");
+        for t in &self.targets {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                csv_escape(&t.name),
+                t.states,
+                t.pruned,
+                t.memo_hits,
+                t.truncated,
+                t.depth_hits
+            ));
+        }
+        out.push('\n');
+        out.push_str("code,severity,target,scope,message\n");
         for d in self.reported(config) {
             out.push_str(&format!(
                 "{},{},{},{},{}\n",
@@ -271,6 +419,14 @@ mod tests {
     }
 
     #[test]
+    fn codes_are_dense_and_ordered() {
+        for (i, code) in ALL_CODES.into_iter().enumerate() {
+            assert_eq!(code.code(), format!("SA{:03}", i + 1));
+            assert!(!code.describe().is_empty());
+        }
+    }
+
+    #[test]
     fn config_overrides_win() {
         let mut config = LintConfig::new();
         assert_eq!(config.severity(LintCode::SessionDeficit), Severity::Deny);
@@ -282,7 +438,7 @@ mod tests {
 
     fn sample_report() -> Report {
         Report {
-            targets: vec![("T".to_string(), 42)],
+            targets: vec![TargetSummary::new("T", 42)],
             findings: vec![Diagnostic {
                 code: LintCode::SessionDeficit,
                 target: "T".to_string(),
@@ -319,10 +475,26 @@ mod tests {
         let report = sample_report();
         let config = LintConfig::new();
         let md = report.to_markdown(&config);
-        assert!(md.contains("| target | states explored | findings |"));
+        assert!(md.contains("| target | states explored | pruned | memo hits | findings | notes |"));
+        assert!(md.contains("| T | 42 | 0 | 0 | 1 |  |"));
         assert!(md.contains("| SA001 session-deficit | deny | T | only 1 of 2 sessions |"));
         assert!(md.contains("```text\np0 | x\n```"));
         assert!(md.contains("Repro (branch choices from the initial state): `0.1.0`"));
+    }
+
+    #[test]
+    fn truncation_is_a_warn_note_in_markdown_and_a_csv_column() {
+        let mut report = sample_report();
+        report.findings.clear();
+        report.targets[0].truncated = true;
+        report.targets[0].depth_hits = 7;
+        assert!(report.truncated());
+        let md = report.to_markdown(&LintConfig::new());
+        assert!(md.contains("truncated (depth budget hit 7×)"), "{md}");
+        assert!(md.contains("**Warn:** exploration truncated"), "{md}");
+        assert!(md.contains("No findings."), "{md}");
+        let csv = report.to_csv(&LintConfig::new());
+        assert!(csv.contains("T,42,0,0,true,7"), "{csv}");
     }
 
     #[test]
@@ -330,6 +502,7 @@ mod tests {
         let mut report = sample_report();
         report.findings[0].message = "a, \"b\"".to_string();
         let csv = report.to_csv(&LintConfig::new());
+        assert!(csv.contains("code,severity,target,scope,message"));
         assert!(csv.contains("SA001,deny,T,n=2 s=2,\"a, \"\"b\"\"\""));
     }
 }

@@ -16,10 +16,26 @@
 //! * any process claiming more sessions than counted → `SA003`;
 //! * an idle process un-idling → `SA004`;
 //! * a state repeating on the current path (an admissible lasso that
-//!   never quiesces) or the depth budget running out → `SA005`.
+//!   never quiesces) → `SA005`.
+//!
+//! Running out of the depth budget is *not* a finding: it is recorded as
+//! [`Exploration::truncated`] (with a cut-path count), so a clean verdict
+//! can be told apart from a clean-but-partial one. A state whose subtree
+//! was cut at the budget is memoized together with the budget it was
+//! explored at — revisiting it through a shorter path (more remaining
+//! budget) re-explores it, while revisits with no more budget are
+//! skipped, which keeps depth-limited exploration polynomial in the
+//! number of reachable states.
+//!
+//! Two optional reduction layers, both off by default
+//! ([`ExploreOpts`]), shrink the explored space without changing any
+//! verdict: [`crate::por`] selects an ample subset of each state's choice
+//! menu, and [`crate::symmetry`] canonicalizes states of identity-free
+//! message-passing targets under process permutation before the memo
+//! lookup. [`Exploration::stats`] reports what they saved.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -27,6 +43,7 @@ use session_obs::{NullRecorder, Recorder};
 
 use crate::diag::LintCode;
 use crate::machine::{MpMachine, SmMachine, StepInfo};
+use crate::{por, symmetry};
 
 /// Either machine, so the explorer and replayer are substrate-agnostic.
 #[derive(Clone, Debug)]
@@ -128,6 +145,35 @@ impl SessionCounter {
             self.covered.clear();
         }
     }
+
+    /// Ports required to close the current session.
+    pub(crate) fn ports_missing(&self) -> usize {
+        self.n - self.covered.len()
+    }
+
+    /// Whether `port` is already covered in the current session window.
+    pub(crate) fn covers(&self, port: usize) -> bool {
+        self.covered.contains(&port)
+    }
+
+    /// Whether the counter has marked process `p` idle (its later port
+    /// steps no longer cover).
+    pub(crate) fn is_idle(&self, p: usize) -> bool {
+        self.idle.contains(&p)
+    }
+
+    /// Hashes the counter as it would look after renaming process/port `i`
+    /// to `sigma[i]` (MP targets only: port ids coincide with process
+    /// ids there, so one permutation renames both).
+    pub(crate) fn hash_permuted<H: Hasher>(&self, sigma: &[usize], hasher: &mut H) {
+        self.n.hash(hasher);
+        self.sessions.hash(hasher);
+        self.saturate_at.hash(hasher);
+        let covered: BTreeSet<usize> = self.covered.iter().map(|&p| sigma[p]).collect();
+        covered.hash(hasher);
+        let idle: BTreeSet<usize> = self.idle.iter().map(|&p| sigma[p]).collect();
+        idle.hash(hasher);
+    }
 }
 
 /// A lint rule fired during exploration.
@@ -146,6 +192,41 @@ pub struct FoundViolation {
     pub root: usize,
 }
 
+/// Which reduction layers the explorer applies. Both default to off, so
+/// every historical verdict is reproduced bit for bit unless a caller
+/// opts in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreOpts {
+    /// Partial-order reduction: expand only an ample subset of each
+    /// state's choice menu (see [`crate::por`]).
+    pub por: bool,
+    /// Symmetry reduction: canonicalize identity-free MP states under
+    /// process permutation before the memo lookup (see
+    /// [`crate::symmetry`]).
+    pub symmetry: bool,
+}
+
+impl ExploreOpts {
+    /// Every reduction on.
+    pub fn reduced() -> ExploreOpts {
+        ExploreOpts {
+            por: true,
+            symmetry: true,
+        }
+    }
+}
+
+/// What the reduction layers saved during one exploration. All zeros when
+/// both layers are off (the memo-hit counter is tracked either way).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Successor choices skipped by the ample-set selector.
+    pub pruned: u64,
+    /// Memo-table hits (revisits of an already fully explored state —
+    /// with symmetry on, of any state in its orbit).
+    pub memo_hits: u64,
+}
+
 /// The result of exploring one target.
 #[derive(Clone, Debug)]
 pub struct Exploration {
@@ -157,6 +238,13 @@ pub struct Exploration {
     /// phantom-certifying algorithm both claims too much on some schedules
     /// and under-delivers on others).
     pub violations: Vec<FoundViolation>,
+    /// `true` when at least one path was cut at the depth budget: a clean
+    /// verdict then covers only the explored prefix of the space.
+    pub truncated: bool,
+    /// How many paths were cut at the depth budget.
+    pub depth_hits: u64,
+    /// What the reduction layers saved.
+    pub stats: ReductionStats,
 }
 
 /// Exhaustively explores every root machine, sharing the memo across
@@ -164,6 +252,17 @@ pub struct Exploration {
 /// `max_depth` the per-path event budget.
 pub fn explore(roots: &[AnyMachine], n: usize, s: u64, max_depth: usize) -> Exploration {
     explore_recorded(roots, n, s, max_depth, &mut NullRecorder)
+}
+
+/// [`explore`] with reduction layers enabled per `opts`.
+pub fn explore_with_opts(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+) -> Exploration {
+    explore_recorded_opts(roots, n, s, max_depth, opts, &mut NullRecorder)
 }
 
 /// [`explore`] with instrumentation: emits `explore.memo_hits` /
@@ -178,15 +277,33 @@ pub fn explore_recorded(
     max_depth: usize,
     recorder: &mut dyn Recorder,
 ) -> Exploration {
+    explore_recorded_opts(roots, n, s, max_depth, ExploreOpts::default(), recorder)
+}
+
+/// [`explore_recorded`] with reduction layers enabled per `opts`. Adds an
+/// `explore.pruned_choices` counter when partial-order reduction skips
+/// successors.
+pub fn explore_recorded_opts(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    recorder: &mut dyn Recorder,
+) -> Exploration {
     let started = Instant::now();
     let mut explorer = Explorer {
-        memo: HashSet::new(),
+        memo: HashMap::new(),
         on_path: HashSet::new(),
         violations: Vec::new(),
         states: 0,
+        pruned: 0,
+        memo_hit_count: 0,
+        depth_hits: 0,
         current_root: 0,
         s,
         max_depth,
+        opts,
         recorder,
     };
     for (root_index, root) in roots.iter().enumerate() {
@@ -198,7 +315,12 @@ pub fn explore_recorded(
         explorer.recorder.span_end();
     }
     let Explorer {
-        states, violations, ..
+        states,
+        violations,
+        pruned,
+        memo_hit_count,
+        depth_hits,
+        ..
     } = explorer;
     if recorder.is_enabled() {
         recorder.gauge("explore.states", states as f64);
@@ -207,31 +329,76 @@ pub fn explore_recorded(
             recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
         }
     }
-    Exploration { states, violations }
+    Exploration {
+        states,
+        violations,
+        truncated: depth_hits > 0,
+        depth_hits,
+        stats: ReductionStats {
+            pruned,
+            memo_hits: memo_hit_count,
+        },
+    }
 }
 
+/// What a `dfs` call reports back to its parent expansion.
+#[derive(Clone, Copy)]
+struct SubtreeOutcome {
+    /// `false` when the depth budget cut something below this state — the
+    /// state must then not be memoized, so a shallower revisit gets to
+    /// finish the job.
+    complete: bool,
+    /// `true` when this state itself closed a cycle on the DFS stack.
+    /// Feeds the ample selector's cycle proviso: an ample successor that
+    /// loops straight back onto the stack could postpone the pruned
+    /// events forever, so the parent falls back to full expansion.
+    closed_cycle: bool,
+}
+
+/// Memo value marking a subtree explored with no depth cut below it —
+/// nothing on any continuation remains unseen, at any budget.
+const MEMO_COMPLETE: usize = usize::MAX;
+
 struct Explorer<'r> {
-    /// States (machine × counter) already fully explored (and, for clean
-    /// targets, thereby proven to quiesce with enough sessions on every
-    /// continuation).
-    memo: HashSet<u64>,
+    /// States (machine × counter) already explored, mapped to the largest
+    /// remaining-depth budget that exploration had: [`MEMO_COMPLETE`] for
+    /// fully explored subtrees, otherwise the budget a truncated
+    /// exploration ran with. A revisit with no more budget than a stored
+    /// entry cannot reach anything new (every violation within the
+    /// smaller budget was already recorded), so only strictly deeper
+    /// revisits re-expand — this is what keeps depth-limited exploration
+    /// of wide spaces from re-walking truncated subtrees exponentially.
+    memo: HashMap<u64, usize>,
     /// States on the current DFS path, for lasso detection.
     on_path: HashSet<u64>,
     /// First witness per lint code.
     violations: Vec<FoundViolation>,
     states: u64,
+    pruned: u64,
+    memo_hit_count: u64,
+    depth_hits: u64,
     current_root: usize,
     s: u64,
     max_depth: usize,
+    opts: ExploreOpts,
     recorder: &'r mut dyn Recorder,
 }
 
 impl Explorer<'_> {
-    fn key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
+    fn plain_key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
         let mut hasher = DefaultHasher::new();
         machine.state_hash().hash(&mut hasher);
         counter.hash(&mut hasher);
         hasher.finish()
+    }
+
+    fn key(&self, machine: &AnyMachine, counter: &SessionCounter) -> u64 {
+        if self.opts.symmetry {
+            if let Some(canonical) = symmetry::canonical_key(machine, counter) {
+                return canonical;
+            }
+        }
+        Explorer::plain_key(machine, counter)
     }
 
     fn record(&mut self, code: LintCode, message: String, path: &[usize]) {
@@ -246,7 +413,16 @@ impl Explorer<'_> {
         });
     }
 
-    fn dfs(&mut self, machine: AnyMachine, counter: SessionCounter, path: &mut Vec<usize>) {
+    fn dfs(
+        &mut self,
+        machine: AnyMachine,
+        counter: SessionCounter,
+        path: &mut Vec<usize>,
+    ) -> SubtreeOutcome {
+        let done = SubtreeOutcome {
+            complete: true,
+            closed_cycle: false,
+        };
         if machine.is_quiescent() {
             if counter.sessions() < self.s {
                 let message = format!(
@@ -256,59 +432,135 @@ impl Explorer<'_> {
                 );
                 self.record(LintCode::SessionDeficit, message, path);
             }
-            return;
+            return done;
         }
-        let key = Explorer::key(&machine, &counter);
+        let key = self.key(&machine, &counter);
         if self.on_path.contains(&key) {
             self.record(
                 LintCode::NonTermination,
                 "admissible schedule loops without reaching quiescence (lasso)".to_string(),
                 path,
             );
-            return;
+            return SubtreeOutcome {
+                complete: true,
+                closed_cycle: true,
+            };
         }
-        if self.memo.contains(&key) {
-            self.recorder.counter("explore.memo_hits", 1);
-            return;
+        let remaining = self.max_depth.saturating_sub(path.len());
+        if let Some(&budget) = self.memo.get(&key) {
+            if budget >= remaining {
+                self.memo_hit_count += 1;
+                self.recorder.counter("explore.memo_hits", 1);
+                if budget == MEMO_COMPLETE {
+                    return done;
+                }
+                // The stored exploration was cut at a budget at least as
+                // large as this one, so this revisit would be cut too.
+                self.depth_hits += 1;
+                return SubtreeOutcome {
+                    complete: false,
+                    closed_cycle: false,
+                };
+            }
         }
         self.recorder.counter("explore.memo_misses", 1);
         if path.len() >= self.max_depth {
-            self.record(
-                LintCode::NonTermination,
-                format!(
-                    "no quiescence within the depth budget of {} events",
-                    self.max_depth
-                ),
-                path,
-            );
-            return;
+            self.depth_hits += 1;
+            return SubtreeOutcome {
+                complete: false,
+                closed_cycle: false,
+            };
         }
         self.states += 1;
         self.on_path.insert(key);
-        self.expand(&machine, &counter, path);
+        let complete = self.expand(&machine, &counter, path);
         self.on_path.remove(&key);
-        self.memo.insert(key);
+        let explored_budget = if complete { MEMO_COMPLETE } else { remaining };
+        let entry = self.memo.entry(key).or_insert(explored_budget);
+        *entry = (*entry).max(explored_budget);
+        SubtreeOutcome {
+            complete,
+            closed_cycle: false,
+        }
     }
 
-    fn expand(&mut self, machine: &AnyMachine, counter: &SessionCounter, path: &mut Vec<usize>) {
+    /// Expands one choice and recurses; returns the child's outcome
+    /// (`complete` when the edge was pruned at a step-level violation —
+    /// pruning below a witness is deliberate, not a budget cut).
+    fn explore_choice(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        choice: usize,
+        path: &mut Vec<usize>,
+    ) -> SubtreeOutcome {
+        path.push(choice);
+        let mut next = machine.clone();
+        let info = next.apply(choice, None);
+        let mut next_counter = counter.clone();
+        next_counter.observe(&info);
+        let outcome = match Explorer::check_step(&info, &next, &next_counter) {
+            Some((code, message)) => {
+                self.record(code, message, path);
+                SubtreeOutcome {
+                    complete: true,
+                    closed_cycle: false,
+                }
+            }
+            None => self.dfs(next, next_counter, path),
+        };
+        path.pop();
+        outcome
+    }
+
+    /// Expands a state's successors — the ample subset when partial-order
+    /// reduction is on and finds one, the full menu otherwise. Returns
+    /// `false` when any explored subtree was cut at the depth budget.
+    fn expand(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        path: &mut Vec<usize>,
+    ) -> bool {
         let choices = machine.choice_count();
         debug_assert!(choices > 0, "non-quiescent machine must have events");
         if self.recorder.is_enabled() {
             self.recorder
                 .observe("explore.frontier_depth", path.len() as f64);
         }
-        for choice in 0..choices {
-            path.push(choice);
-            let mut next = machine.clone();
-            let info = next.apply(choice, None);
-            let mut next_counter = counter.clone();
-            next_counter.observe(&info);
-            match Explorer::check_step(&info, &next, &next_counter) {
-                Some((code, message)) => self.record(code, message, path),
-                None => self.dfs(next, next_counter, path),
+        let ample = if self.opts.por {
+            por::select_ample(machine, counter)
+        } else {
+            None
+        };
+        let Some(ample) = ample else {
+            let mut complete = true;
+            for choice in 0..choices {
+                complete &= self.explore_choice(machine, counter, choice, path).complete;
             }
-            path.pop();
+            return complete;
+        };
+        debug_assert!(ample.end <= choices && !ample.is_empty());
+        let mut complete = true;
+        let mut closed_cycle = false;
+        for choice in ample.clone() {
+            let outcome = self.explore_choice(machine, counter, choice, path);
+            complete &= outcome.complete;
+            closed_cycle |= outcome.closed_cycle;
         }
+        if closed_cycle {
+            // Cycle proviso: an ample successor landed back on the DFS
+            // stack, so the pruned events could be postponed around that
+            // loop forever. Expand the rest of the menu too.
+            for choice in (0..ample.start).chain(ample.end..choices) {
+                complete &= self.explore_choice(machine, counter, choice, path).complete;
+            }
+        } else {
+            let skipped = (choices - ample.len()) as u64;
+            self.pruned += skipped;
+            self.recorder.counter("explore.pruned_choices", skipped);
+        }
+        complete
     }
 
     /// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle).
@@ -416,5 +668,24 @@ mod tests {
             counter.observe(&port_step(0, 0, false));
         }
         assert_eq!(counter.sessions(), 2);
+    }
+
+    #[test]
+    fn counter_permuted_hash_is_permutation_sensitive() {
+        let mut counter = SessionCounter::new(3, 5);
+        counter.observe(&port_step(0, 0, false));
+        counter.observe(&port_step(1, 1, true));
+        // Swapping processes 0 and 1 must rename both the covered port
+        // and the idle process.
+        let mut swapped = SessionCounter::new(3, 5);
+        swapped.observe(&port_step(1, 1, false));
+        swapped.observe(&port_step(0, 0, true));
+        let hash = |c: &SessionCounter, sigma: &[usize]| {
+            let mut h = DefaultHasher::new();
+            c.hash_permuted(sigma, &mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&counter, &[1, 0, 2]), hash(&swapped, &[0, 1, 2]));
+        assert_ne!(hash(&counter, &[0, 1, 2]), hash(&swapped, &[0, 1, 2]));
     }
 }

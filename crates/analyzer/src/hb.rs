@@ -1,0 +1,834 @@
+//! Happens-before analysis of recorded executions.
+//!
+//! The model checker in [`crate::explore`] proves properties of *all*
+//! admissible schedules at a small scope; this module analyzes *one*
+//! recorded execution — a JSONL event stream produced by
+//! `session_obs::export::trace_jsonl` from either the simulator or the
+//! real-clock runtime — at the causality level:
+//!
+//! * Vector clocks are rebuilt from the trace's own edges: program order
+//!   per process, message edges (a broadcast step to each of its
+//!   deliveries) and shared-variable edges (accesses of the same variable
+//!   in serialization order).
+//! * **`SA007` session-race**: two port steps counted into the same
+//!   recomputed session where the serialization order contradicts strict
+//!   happens-before — the later step causally precedes the earlier one.
+//!   A trace whose timestamps respect causality can never trip this; a
+//!   racy reporting pipeline (e.g. per-process logs merged on skewed
+//!   clocks, a delivery recorded before its send) does.
+//! * **`SA008` unordered-session-close**: a recorded session boundary not
+//!   dominated by all `n` port clocks — the stream records more session
+//!   closes than the port steps can justify, or records a close before
+//!   the earliest instant at which the greedy counter can close it.
+//! * **`SA009` model-mismatch**: the run claims a weak timing model but
+//!   the trace exercises only a strictly stronger one — constant
+//!   lock-step gaps under a non-synchronous claim, per-process constant
+//!   gaps under a non-periodic claim, or a constant message delay where
+//!   the claim leaves delay uncertainty. A conformance verdict obtained
+//!   from such a run says less than it appears to (§3–§6 separate the
+//!   models by exactly the behaviors such a trace never exhibits).
+//!
+//! Vector clocks are computed to a fixpoint, so the analysis stays
+//! well-defined even on causally inconsistent inputs (which is precisely
+//! when `SA007` fires).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use session_obs::json::{self, JsonValue};
+use session_types::{Dur, Ratio, Time, TimingModel};
+
+use crate::diag::{Diagnostic, LintCode, Report, TargetSummary};
+
+/// The outcome of analyzing one recorded trace.
+#[derive(Clone, Debug)]
+pub struct HbAnalysis {
+    /// Findings and the trace's summary row (states = events ingested).
+    pub report: Report,
+    /// Events ingested from the stream.
+    pub events: u64,
+    /// Sessions the greedy counter recomputes from the port steps.
+    pub recomputed_sessions: u64,
+    /// Session-close records present in the stream.
+    pub recorded_sessions: u64,
+}
+
+/// One parsed event line.
+struct Ev {
+    time: Time,
+    process: usize,
+    /// The port this event covers, when it is a port step.
+    port: Option<usize>,
+    kind: EvKind,
+    idle_after: bool,
+}
+
+enum EvKind {
+    /// A shared-memory variable access.
+    Access { var: usize },
+    /// A message-passing process step.
+    Step { broadcast: bool },
+    /// A network delivery.
+    Deliver { msg: u64 },
+}
+
+/// One parsed message record.
+struct Msg {
+    from: usize,
+    sent_at: Time,
+    delivered_at: Option<Time>,
+}
+
+/// The claimed timing model, with the delay bounds when known.
+struct Claim {
+    model: TimingModel,
+    d1: Option<Dur>,
+    d2: Option<Dur>,
+}
+
+/// Everything extracted from the stream.
+struct TraceFacts {
+    n: usize,
+    events: Vec<Ev>,
+    messages: BTreeMap<u64, Msg>,
+    recorded_closes: Vec<Time>,
+    claim: Option<Claim>,
+}
+
+/// Analyzes a JSONL trace stream (the `trace_jsonl` format): rebuilds
+/// vector clocks and the greedy session structure, and reports `SA007`,
+/// `SA008` and `SA009` findings against `source` (used as the report's
+/// target name). `claim_override`, when given, replaces the stream's own
+/// `model` claim for the `SA009` check (with unknown delay bounds).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed JSON, a
+/// missing `meta` header, or fields of the wrong shape.
+pub fn analyze_trace_jsonl(
+    text: &str,
+    source: &str,
+    claim_override: Option<TimingModel>,
+) -> Result<HbAnalysis, String> {
+    let mut facts = parse_stream(text)?;
+    if let Some(model) = claim_override {
+        facts.claim = Some(Claim {
+            model,
+            d1: None,
+            d2: None,
+        });
+    }
+    Ok(analyze_facts(&facts, source))
+}
+
+// ---------------------------------------------------------------------
+// Stream parsing
+// ---------------------------------------------------------------------
+
+fn field<'v>(line: &'v JsonValue, key: &str, lineno: usize) -> Result<&'v JsonValue, String> {
+    line.get(key)
+        .ok_or_else(|| format!("line {lineno}: missing field {key:?}"))
+}
+
+fn field_usize(line: &JsonValue, key: &str, lineno: usize) -> Result<usize, String> {
+    field(line, key, lineno)?
+        .as_u64()
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| format!("line {lineno}: field {key:?} must be a small whole number"))
+}
+
+fn field_time(line: &JsonValue, key: &str, lineno: usize) -> Result<Time, String> {
+    let text = field(line, key, lineno)?
+        .as_str()
+        .ok_or_else(|| format!("line {lineno}: field {key:?} must be an exact time string"))?;
+    parse_exact_time(text).map_err(|e| format!("line {lineno}: field {key:?}: {e}"))
+}
+
+/// Parses the exact rational time syntax the exporter writes: an integer
+/// or `"num/den"`.
+fn parse_exact_time(text: &str) -> Result<Time, String> {
+    let (num, den) = match text.split_once('/') {
+        Some((num, den)) => (num, den),
+        None => (text, "1"),
+    };
+    let num: i128 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad rational {text:?}"))?;
+    let den: i128 = den
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad rational {text:?}"))?;
+    if den == 0 {
+        return Err(format!("bad rational {text:?}"));
+    }
+    Ok(Time::from_ratio(Ratio::new(num, den)))
+}
+
+fn parse_model(name: &str) -> Result<TimingModel, String> {
+    match name {
+        "synchronous" => Ok(TimingModel::Synchronous),
+        "periodic" => Ok(TimingModel::Periodic),
+        "semi-synchronous" => Ok(TimingModel::SemiSynchronous),
+        "sporadic" => Ok(TimingModel::Sporadic),
+        "asynchronous" => Ok(TimingModel::Asynchronous),
+        _ => Err(format!("unknown timing model {name:?}")),
+    }
+}
+
+fn parse_event(line: &JsonValue, lineno: usize) -> Result<Ev, String> {
+    let time = field_time(line, "t", lineno)?;
+    let process = field_usize(line, "process", lineno)?;
+    let idle_after = field(line, "idle_after", lineno)?
+        .as_bool()
+        .ok_or_else(|| format!("line {lineno}: idle_after must be a boolean"))?;
+    let port = match line.get("port") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| format!("line {lineno}: port must be null or a small number"))?,
+        ),
+    };
+    let kind = field(line, "kind", lineno)?
+        .as_str()
+        .ok_or_else(|| format!("line {lineno}: kind must be a string"))?;
+    let kind = match kind {
+        "access" => EvKind::Access {
+            var: field_usize(line, "var", lineno)?,
+        },
+        "step" => EvKind::Step {
+            broadcast: field(line, "broadcast", lineno)?
+                .as_bool()
+                .ok_or_else(|| format!("line {lineno}: broadcast must be a boolean"))?,
+        },
+        "deliver" => EvKind::Deliver {
+            msg: field(line, "msg", lineno)?
+                .as_u64()
+                .ok_or_else(|| format!("line {lineno}: msg must be a number"))?,
+        },
+        other => return Err(format!("line {lineno}: unknown event kind {other:?}")),
+    };
+    Ok(Ev {
+        time,
+        process,
+        port,
+        kind,
+        idle_after,
+    })
+}
+
+fn parse_stream(text: &str) -> Result<TraceFacts, String> {
+    let mut n = None;
+    let mut claim = None;
+    let mut events = Vec::new();
+    let mut messages = BTreeMap::new();
+    let mut recorded_closes = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let lineno = index + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = json::parse(raw).map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = field(&line, "type", lineno)?
+            .as_str()
+            .ok_or_else(|| format!("line {lineno}: type must be a string"))?
+            .to_owned();
+        match kind.as_str() {
+            "meta" => {
+                n = Some(field_usize(&line, "num_processes", lineno)?);
+                if let Some(model) = line.get("model") {
+                    let model = model
+                        .as_str()
+                        .ok_or_else(|| format!("line {lineno}: model must be a string"))?;
+                    let model = parse_model(model).map_err(|e| format!("line {lineno}: {e}"))?;
+                    let bound = |key: &str| -> Result<Option<Dur>, String> {
+                        match line.get(key) {
+                            None | Some(JsonValue::Null) => Ok(None),
+                            Some(v) => {
+                                let text = v.as_str().ok_or_else(|| {
+                                    format!("line {lineno}: {key} must be an exact time string")
+                                })?;
+                                let t = parse_exact_time(text)
+                                    .map_err(|e| format!("line {lineno}: {key}: {e}"))?;
+                                Ok(Some(t - Time::ZERO))
+                            }
+                        }
+                    };
+                    claim = Some(Claim {
+                        model,
+                        d1: bound("d1")?,
+                        d2: bound("d2")?,
+                    });
+                }
+            }
+            "event" => events.push(parse_event(&line, lineno)?),
+            "message" => {
+                let msg = field(&line, "msg", lineno)?
+                    .as_u64()
+                    .ok_or_else(|| format!("line {lineno}: msg must be a number"))?;
+                let delivered_at = match line.get("delivered_at") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(_) => Some(field_time(&line, "delivered_at", lineno)?),
+                };
+                messages.insert(
+                    msg,
+                    Msg {
+                        from: field_usize(&line, "from", lineno)?,
+                        sent_at: field_time(&line, "sent_at", lineno)?,
+                        delivered_at,
+                    },
+                );
+            }
+            "session" => recorded_closes.push(field_time(&line, "closed_at", lineno)?),
+            // Unknown record types are skipped for forward compatibility.
+            _ => {}
+        }
+    }
+    let n = n.ok_or_else(|| "stream has no meta line".to_owned())?;
+    if let Some(bad) = events.iter().find(|e| e.process >= n) {
+        return Err(format!(
+            "event names process {} but the meta line declares {n} processes",
+            bad.process
+        ));
+    }
+    Ok(TraceFacts {
+        n,
+        events,
+        messages,
+        recorded_closes,
+        claim,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------
+
+/// Per-event vector clocks, plus each event's 1-based index within its
+/// own process (`own`): event `y` happens-before `x` iff
+/// `vc[x][process(y)] >= own[y]` and `x != y`.
+struct Clocks {
+    vc: Vec<Vec<u64>>,
+    own: Vec<u64>,
+}
+
+impl Clocks {
+    fn happens_before(&self, y: usize, y_process: usize, x: usize) -> bool {
+        x != y && self.vc[x][y_process] >= self.own[y]
+    }
+}
+
+fn vector_clocks(facts: &TraceFacts) -> Clocks {
+    let n = facts.n;
+    let m = facts.events.len();
+    let mut own = vec![0u64; m];
+    let mut per_process = vec![0u64; n];
+    // Broadcasting step of (process, time) — one per instant: gaps are
+    // strictly positive in every model, so a process steps at most once
+    // per instant.
+    let mut send_at: BTreeMap<(usize, Time), usize> = BTreeMap::new();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut last_of: Vec<Option<usize>> = vec![None; n];
+    for (i, e) in facts.events.iter().enumerate() {
+        per_process[e.process] += 1;
+        own[i] = per_process[e.process];
+        if let Some(j) = last_of[e.process] {
+            preds[i].push(j);
+        }
+        last_of[e.process] = Some(i);
+        if let EvKind::Step { broadcast: true } = e.kind {
+            send_at.insert((e.process, e.time), i);
+        }
+    }
+    let mut last_var: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, e) in facts.events.iter().enumerate() {
+        match &e.kind {
+            EvKind::Deliver { msg } => {
+                if let Some(record) = facts.messages.get(msg) {
+                    if let Some(&send) = send_at.get(&(record.from, record.sent_at)) {
+                        if send != i {
+                            preds[i].push(send);
+                        }
+                    }
+                }
+            }
+            EvKind::Access { var } => {
+                if let Some(&j) = last_var.get(var) {
+                    preds[i].push(j);
+                }
+                last_var.insert(*var, i);
+            }
+            EvKind::Step { .. } => {}
+        }
+    }
+    let mut vc = vec![vec![0u64; n]; m];
+    for i in 0..m {
+        vc[i][facts.events[i].process] = own[i];
+    }
+    // Fixpoint: message edges can point backwards in serialization order
+    // on causally inconsistent inputs, so one forward pass is not enough
+    // in general. Each pass strictly grows some clock or terminates; the
+    // clocks are bounded, so this terminates.
+    loop {
+        let mut changed = false;
+        for i in 0..m {
+            for &j in &preds[i] {
+                let pred = vc[j].clone();
+                for (mine, theirs) in vc[i].iter_mut().zip(pred) {
+                    if theirs > *mine {
+                        *mine = theirs;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clocks { vc, own }
+}
+
+// ---------------------------------------------------------------------
+// Session recomputation
+// ---------------------------------------------------------------------
+
+/// One recomputed session close: when it closed, and the covering port
+/// step (event index) per port.
+struct Close {
+    time: Time,
+    coverers: Vec<usize>,
+}
+
+/// Replays the greedy session counter over the event stream (the
+/// `SessionCounter` semantics: only port steps are visible, the idling
+/// step still covers, later steps of an idle process never do).
+fn recompute_sessions(facts: &TraceFacts) -> Vec<Close> {
+    let mut covered: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut idle: BTreeSet<usize> = BTreeSet::new();
+    let mut closes = Vec::new();
+    for (i, e) in facts.events.iter().enumerate() {
+        let Some(port) = e.port else { continue };
+        let was_idle = idle.contains(&e.process);
+        if e.idle_after {
+            idle.insert(e.process);
+        }
+        if was_idle {
+            continue;
+        }
+        covered.insert(port, i);
+        if covered.len() >= facts.n {
+            closes.push(Close {
+                time: e.time,
+                coverers: covered.values().copied().collect(),
+            });
+            covered.clear();
+        }
+    }
+    closes
+}
+
+// ---------------------------------------------------------------------
+// The three detectors
+// ---------------------------------------------------------------------
+
+fn describe_event(facts: &TraceFacts, i: usize) -> String {
+    let e = &facts.events[i];
+    format!("event #{i} (process {} at t={})", e.process, e.time)
+}
+
+fn check_session_race(
+    facts: &TraceFacts,
+    clocks: &Clocks,
+    closes: &[Close],
+) -> Option<(String, String)> {
+    for (k, close) in closes.iter().enumerate() {
+        let mut order: Vec<usize> = close.coverers.clone();
+        order.sort_unstable();
+        for (a, &x) in order.iter().enumerate() {
+            for &y in &order[a + 1..] {
+                if clocks.happens_before(y, facts.events[y].process, x) {
+                    let message = format!(
+                        "session {} groups port steps whose serialization contradicts \
+                         happens-before: {} precedes {} in the stream but causally follows it",
+                        k + 1,
+                        describe_event(facts, x),
+                        describe_event(facts, y),
+                    );
+                    let witness = format!(
+                        "serialized: {} then {}\ncausal:     the second reaches the first \
+                         through recorded message/variable edges",
+                        describe_event(facts, x),
+                        describe_event(facts, y),
+                    );
+                    return Some((message, witness));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_unordered_close(facts: &TraceFacts, closes: &[Close]) -> Option<(String, String)> {
+    let recorded = &facts.recorded_closes;
+    if recorded.len() > closes.len() {
+        return Some((
+            format!(
+                "stream records {} session closes but the port steps justify only {}",
+                recorded.len(),
+                closes.len()
+            ),
+            String::new(),
+        ));
+    }
+    for (k, (&r, c)) in recorded.iter().zip(closes).enumerate() {
+        if r < c.time {
+            return Some((
+                format!(
+                    "session {} is recorded closed at t={r}, before all {} port clocks can \
+                     reach it (earliest justified close: t={})",
+                    k + 1,
+                    facts.n,
+                    c.time
+                ),
+                String::new(),
+            ));
+        }
+    }
+    None
+}
+
+fn check_model_mismatch(facts: &TraceFacts) -> Option<(String, String)> {
+    let claim = facts.claim.as_ref()?;
+    let mut step_times: Vec<Vec<Time>> = vec![Vec::new(); facts.n];
+    for e in &facts.events {
+        if !matches!(e.kind, EvKind::Deliver { .. }) {
+            step_times[e.process].push(e.time);
+        }
+    }
+    let gaps: Vec<Vec<Dur>> = step_times
+        .iter()
+        .map(|times| times.windows(2).map(|w| w[1] - w[0]).collect())
+        .collect();
+    let every_process_has_two = gaps.iter().all(|g| g.len() >= 2);
+    // Rule A: a non-synchronous claim, but the whole system steps at one
+    // global constant gap.
+    if claim.model != TimingModel::Synchronous && facts.n >= 2 && every_process_has_two {
+        let mut all: Vec<Dur> = gaps.iter().flatten().copied().collect();
+        all.dedup();
+        if all.len() == 1 {
+            return Some((
+                format!(
+                    "run claims the {} model but every step gap is the constant {} — the \
+                     trace only exercises the synchronous model",
+                    claim.model, all[0]
+                ),
+                String::new(),
+            ));
+        }
+    }
+    // Rule B: a claim weaker than periodic, but every process keeps a
+    // constant (per-process) gap.
+    if !matches!(
+        claim.model,
+        TimingModel::Synchronous | TimingModel::Periodic
+    ) && every_process_has_two
+        && gaps.iter().all(|g| g.windows(2).all(|w| w[0] == w[1]))
+    {
+        return Some((
+            format!(
+                "run claims the {} model but each process steps at its own constant period \
+                 — the trace only exercises the periodic model",
+                claim.model
+            ),
+            String::new(),
+        ));
+    }
+    // Rule C: the claim leaves message-delay uncertainty, but every
+    // delivered message took the same delay.
+    if matches!(
+        claim.model,
+        TimingModel::SemiSynchronous | TimingModel::Sporadic | TimingModel::Asynchronous
+    ) {
+        let uncertain = match (claim.d1, claim.d2) {
+            (Some(d1), Some(d2)) => d1 != d2,
+            _ => true,
+        };
+        if uncertain {
+            let mut delays: Vec<Dur> = facts
+                .messages
+                .values()
+                .filter_map(|m| m.delivered_at.map(|at| at - m.sent_at))
+                .collect();
+            if delays.len() >= 2 {
+                delays.dedup();
+                if delays.len() == 1 {
+                    return Some((
+                        format!(
+                            "run claims the {} model (delay uncertainty unresolved) but all \
+                             delivered messages took the constant delay {} — the delay \
+                             spread the model allows is never exercised",
+                            claim.model, delays[0]
+                        ),
+                        String::new(),
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Assembly
+// ---------------------------------------------------------------------
+
+fn analyze_facts(facts: &TraceFacts, source: &str) -> HbAnalysis {
+    let clocks = vector_clocks(facts);
+    let closes = recompute_sessions(facts);
+    let scope = format!(
+        "trace: {} events, {} processes, {} messages",
+        facts.events.len(),
+        facts.n,
+        facts.messages.len()
+    );
+    let mut report = Report::default();
+    report
+        .targets
+        .push(TargetSummary::new(source, facts.events.len() as u64));
+    let mut push = |code: LintCode, found: Option<(String, String)>| {
+        if let Some((message, witness)) = found {
+            report.findings.push(Diagnostic {
+                code,
+                target: source.to_string(),
+                message,
+                scope: scope.clone(),
+                repro: source.to_string(),
+                counterexample: witness,
+            });
+        }
+    };
+    push(
+        LintCode::SessionRace,
+        check_session_race(facts, &clocks, &closes),
+    );
+    push(
+        LintCode::UnorderedSessionClose,
+        check_unordered_close(facts, &closes),
+    );
+    push(LintCode::ModelMismatch, check_model_mismatch(facts));
+    HbAnalysis {
+        report,
+        events: facts.events.len() as u64,
+        recomputed_sessions: closes.len() as u64,
+        recorded_sessions: facts.recorded_closes.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(n: usize) -> String {
+        format!(r#"{{"type":"meta","title":"t","num_processes":{n},"events":0,"messages":0}}"#)
+    }
+
+    fn step(process: usize, t: &str, port: usize, broadcast: bool, idle: bool) -> String {
+        format!(
+            r#"{{"type":"event","seq":0,"t":"{t}","t_ms":0,"process":{process},"kind":"step","received":0,"broadcast":{broadcast},"port":{port},"idle_after":{idle}}}"#
+        )
+    }
+
+    fn deliver(process: usize, t: &str, msg: u64) -> String {
+        format!(
+            r#"{{"type":"event","seq":0,"t":"{t}","t_ms":0,"process":{process},"kind":"deliver","msg":{msg},"idle_after":false}}"#
+        )
+    }
+
+    fn message(msg: u64, from: usize, to: usize, sent: &str, delivered: &str) -> String {
+        format!(
+            r#"{{"type":"message","msg":{msg},"from":{from},"to":{to},"sent_at":"{sent}","delivered_at":"{delivered}"}}"#
+        )
+    }
+
+    fn codes(analysis: &HbAnalysis) -> Vec<LintCode> {
+        analysis.report.findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn conformant_two_port_trace_is_clean() {
+        let text = [
+            meta(2),
+            step(0, "1", 0, true, false),
+            deliver(1, "2", 0),
+            step(1, "2", 1, false, false),
+            message(0, 0, 1, "1", "2"),
+            r#"{"type":"session","index":1,"closed_at":"2","closed_at_ms":2}"#.to_owned(),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&text, "t", None).expect("parses");
+        assert!(
+            analysis.report.findings.is_empty(),
+            "{:?}",
+            codes(&analysis)
+        );
+        assert_eq!(analysis.events, 3);
+        assert_eq!(analysis.recomputed_sessions, 1);
+        assert_eq!(analysis.recorded_sessions, 1);
+    }
+
+    #[test]
+    fn causally_inverted_serialization_fires_sa007() {
+        // The delivery (and the subsequent port step of p0) appear in the
+        // stream *before* the broadcasting step of p1 that caused them:
+        // p1's step causally precedes p0's, yet serializes after it.
+        let text = [
+            meta(2),
+            deliver(0, "1", 0),
+            step(0, "2", 0, false, false),
+            step(1, "3", 1, true, false),
+            message(0, 1, 0, "3", "1"),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&text, "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::SessionRace]);
+    }
+
+    #[test]
+    fn premature_or_excess_session_records_fire_sa008() {
+        // Recorded close at t=1 but the second port only covers at t=2.
+        let early = [
+            meta(2),
+            step(0, "1", 0, false, false),
+            step(1, "2", 1, false, false),
+            r#"{"type":"session","index":1,"closed_at":"1","closed_at_ms":1}"#.to_owned(),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&early, "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::UnorderedSessionClose]);
+
+        // Two recorded sessions, one justified.
+        let excess = [
+            meta(2),
+            step(0, "1", 0, false, false),
+            step(1, "2", 1, false, false),
+            r#"{"type":"session","index":1,"closed_at":"2","closed_at_ms":2}"#.to_owned(),
+            r#"{"type":"session","index":2,"closed_at":"3","closed_at_ms":3}"#.to_owned(),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&excess, "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::UnorderedSessionClose]);
+    }
+
+    #[test]
+    fn lockstep_trace_under_async_claim_fires_sa009() {
+        let mut lines = vec![
+            r#"{"type":"meta","title":"t","num_processes":2,"events":6,"messages":0,"model":"asynchronous"}"#
+                .to_owned(),
+        ];
+        for t in 1..=3 {
+            lines.push(step(0, &t.to_string(), 0, false, false));
+            lines.push(step(1, &t.to_string(), 1, false, false));
+        }
+        let analysis = analyze_trace_jsonl(&lines.join("\n"), "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::ModelMismatch]);
+        assert!(
+            analysis.report.findings[0].message.contains("synchronous"),
+            "{}",
+            analysis.report.findings[0].message
+        );
+    }
+
+    #[test]
+    fn per_process_periods_under_sporadic_claim_fire_sa009() {
+        let head = r#"{"type":"meta","title":"t","num_processes":2,"events":6,"messages":0,"model":"sporadic","d1":"0","d2":"0"}"#;
+        // p0 at period 1, p1 at period 2 — periodic, not sporadic-general.
+        // d1 == d2 keeps rule C out of the way.
+        let text = [
+            head.to_owned(),
+            step(0, "1", 0, false, false),
+            step(0, "2", 0, false, false),
+            step(0, "3", 0, false, false),
+            step(1, "2", 1, false, false),
+            step(1, "4", 1, false, false),
+            step(1, "6", 1, false, false),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&text, "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::ModelMismatch]);
+        assert!(
+            analysis.report.findings[0].message.contains("periodic"),
+            "{}",
+            analysis.report.findings[0].message
+        );
+    }
+
+    #[test]
+    fn constant_delay_under_uncertain_claim_fires_rule_c() {
+        let head = r#"{"type":"meta","title":"t","num_processes":2,"events":4,"messages":2,"model":"sporadic","d1":"0","d2":"2"}"#;
+        // Varied gaps (so rules A/B stay silent), two messages, both at
+        // delay exactly 1.
+        let text = [
+            head.to_owned(),
+            step(0, "1", 0, true, false),
+            step(1, "2", 1, true, false),
+            step(0, "4", 0, false, false),
+            step(1, "7", 1, false, false),
+            message(0, 0, 1, "1", "2"),
+            message(1, 1, 0, "2", "3"),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_jsonl(&text, "t", None).expect("parses");
+        assert_eq!(codes(&analysis), vec![LintCode::ModelMismatch]);
+        assert!(
+            analysis.report.findings[0].message.contains("delay"),
+            "{}",
+            analysis.report.findings[0].message
+        );
+    }
+
+    #[test]
+    fn claim_override_replaces_the_stream_claim() {
+        let mut lines = vec![meta(2)];
+        for t in 1..=3 {
+            lines.push(step(0, &t.to_string(), 0, false, false));
+            lines.push(step(1, &t.to_string(), 1, false, false));
+        }
+        let text = lines.join("\n");
+        // No claim in the stream: SA009 cannot fire.
+        let plain = analyze_trace_jsonl(&text, "t", None).expect("parses");
+        assert!(plain.report.findings.is_empty());
+        // Overridden to asynchronous: the lockstep trace mismatches.
+        let overridden =
+            analyze_trace_jsonl(&text, "t", Some(TimingModel::Asynchronous)).expect("parses");
+        assert_eq!(codes(&overridden), vec![LintCode::ModelMismatch]);
+        // Overridden to synchronous: lockstep is exactly the claim.
+        let sync = analyze_trace_jsonl(&text, "t", Some(TimingModel::Synchronous)).expect("parses");
+        assert!(sync.report.findings.is_empty());
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected_with_line_numbers() {
+        assert!(analyze_trace_jsonl("", "t", None)
+            .unwrap_err()
+            .contains("no meta line"));
+        assert!(analyze_trace_jsonl("{not json}", "t", None)
+            .unwrap_err()
+            .contains("line 1"));
+        let bad_process = [meta(1), step(3, "1", 0, false, false)].join("\n");
+        assert!(analyze_trace_jsonl(&bad_process, "t", None)
+            .unwrap_err()
+            .contains("process 3"));
+    }
+
+    #[test]
+    fn exact_rational_times_parse() {
+        assert_eq!(
+            parse_exact_time("7/2").unwrap(),
+            Time::from_ratio(Ratio::new(7, 2))
+        );
+        assert_eq!(parse_exact_time("3").unwrap(), Time::from_int(3));
+        assert!(parse_exact_time("1/0").is_err());
+        assert!(parse_exact_time("x").is_err());
+    }
+}

@@ -18,12 +18,22 @@
 //!   the real engines agree with the checker's machines;
 //! * termination (`SA005`): every admissible schedule quiesces.
 //!
+//! Recorded executions (simulator or real-clock JSONL traces) get a
+//! second, causality-level analysis in [`hb`]: vector clocks built from
+//! message and shared-variable edges detect session groupings that
+//! contradict happens-before (`SA007`), session boundaries not dominated
+//! by all port clocks (`SA008`), and runs driven by a strictly stronger
+//! timing model than claimed (`SA009`).
+//!
 //! Architecture: [`machine`] mirrors the engines as cloneable state
 //! machines with an enumerated branch menu; [`explore`] runs a memoized
-//! depth-first search over those branches; [`replay`] re-executes
-//! counterexample paths (through the real `SmEngine` for shared memory)
-//! and renders them as timelines; [`targets`] names the thirteen analysis
-//! targets; [`diag`] defines the stable lint codes and report formats.
+//! depth-first search over those branches, optionally through the
+//! [`por`] ample-set selector and the [`symmetry`] state
+//! canonicalization; [`replay`] re-executes counterexample paths
+//! (through the real `SmEngine` for shared memory) and renders them as
+//! timelines; [`targets`] names the thirteen analysis targets; [`hb`]
+//! analyzes recorded traces; [`diag`] defines the stable lint codes and
+//! report formats.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +41,20 @@
 pub mod diag;
 pub mod explore;
 pub mod feasibility;
+pub mod hb;
 pub mod machine;
+pub mod por;
 pub mod replay;
 pub mod scope;
+pub mod symmetry;
 pub mod targets;
 
-pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity};
+pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity, TargetSummary};
+pub use explore::{ExploreOpts, ReductionStats};
 pub use feasibility::{check_timing, require_feasible, TimingParams};
+pub use hb::{analyze_trace_jsonl, HbAnalysis};
 pub use scope::Scope;
 pub use targets::{
-    analyze_all, analyze_target, analyze_target_recorded, target_names, TARGET_NAMES,
+    analyze_all, analyze_all_with, analyze_target, analyze_target_recorded, analyze_target_with,
+    scoped_target_space, target_names, target_space, TargetSpace, TARGET_NAMES,
 };

@@ -149,6 +149,25 @@ impl MpAlgo {
             _ => None,
         }
     }
+
+    /// Whether this process's state mentions no process identities: its
+    /// fingerprint is then invariant under renaming the *other* processes,
+    /// and renaming it moves its whole local state unchanged to the new
+    /// slot. This is the soundness gate for symmetry reduction — processes
+    /// that remember *who* they heard from (`A(p)`'s done-set, `A(a)`'s
+    /// knowledge, `A(sp)`'s evidence) break the permutation automorphism,
+    /// because their stored ids would need rewriting inside an opaque
+    /// fingerprint.
+    pub(crate) fn id_free(&self) -> bool {
+        match self {
+            MpAlgo::Sync(_) | MpAlgo::Naive(_) | MpAlgo::StepCounting(_) => true,
+            MpAlgo::SemiSync(p) => matches!(
+                p.strategy(),
+                session_core::algorithms::MpStrategy::StepCounting
+            ),
+            MpAlgo::Periodic(_) | MpAlgo::Sporadic(_) | MpAlgo::Async(_) => false,
+        }
+    }
 }
 
 /// How step gaps are chosen.
@@ -279,6 +298,23 @@ impl SmMachine {
         (0..self.due.len()).filter(|&p| self.due[p] == t).collect()
     }
 
+    /// The processes whose next step is due at the current instant, in the
+    /// order `apply` enumerates them (for the ample-set selector).
+    pub(crate) fn eligible_processes(&self) -> Vec<usize> {
+        self.eligible()
+    }
+
+    /// Gap choices per step (each eligible process's block width in the
+    /// flat choice menu).
+    pub(crate) fn menu_len(&self) -> usize {
+        self.gaps.menu_len()
+    }
+
+    /// The variable process `p` will access on its next step.
+    pub(crate) fn current_target(&self, p: usize) -> usize {
+        self.algos[p].target().index()
+    }
+
     /// Every port process idle (relays never are, and never count).
     pub fn is_quiescent(&self) -> bool {
         (0..self.n_ports).all(|p| self.algos[p].is_idle())
@@ -394,6 +430,36 @@ enum PendingKind {
     },
 }
 
+/// One eligible event of an [`MpMachine`], as the ample-set selector sees
+/// it: the event kind plus the width of its contiguous block in the flat
+/// choice menu.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EligibleEvent {
+    /// What fires.
+    pub(crate) kind: EligibleKind,
+    /// How many flat choices the event owns (gap × delay-combo fan-out
+    /// for broadcasting steps).
+    pub(crate) weight: usize,
+}
+
+/// The kind of an eligible MP event.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum EligibleKind {
+    /// Process `process` takes its step (`broadcasts` when that step will
+    /// send with the current inbox).
+    Step {
+        /// The stepping process.
+        process: usize,
+        /// Whether the step broadcasts.
+        broadcasts: bool,
+    },
+    /// A buffered message is delivered to `to`'s inbox.
+    Deliver {
+        /// The recipient.
+        to: usize,
+    },
+}
+
 /// The exhaustive message-passing machine: mirrors
 /// [`session_mpm::MpEngine`] over cloneable [`MpAlgo`] processes. All `n`
 /// processes are port processes (`p`'s buffer is port `p`), as
@@ -505,6 +571,86 @@ impl MpMachine {
     /// The number of admissible transitions from this state.
     pub fn choice_count(&self) -> usize {
         self.eligible().iter().map(|&i| self.event_weight(i)).sum()
+    }
+
+    /// The eligible events in `apply`'s enumeration order, with each
+    /// event's block width in the flat choice menu (for the ample-set
+    /// selector: one event owns one contiguous choice range).
+    pub(crate) fn eligible_events(&self) -> Vec<EligibleEvent> {
+        self.eligible()
+            .into_iter()
+            .map(|i| {
+                let weight = self.event_weight(i);
+                let kind = match self.pending[i].kind {
+                    PendingKind::Step(p) => EligibleKind::Step {
+                        process: p,
+                        broadcasts: self.would_broadcast(p),
+                    },
+                    PendingKind::Deliver { to, .. } => EligibleKind::Deliver { to },
+                };
+                EligibleEvent { kind, weight }
+            })
+            .collect()
+    }
+
+    /// Whether the delay menu contains zero — a broadcast can then enable
+    /// same-instant deliveries.
+    pub(crate) fn has_zero_delay(&self) -> bool {
+        self.delays.iter().any(|d| d.is_zero())
+    }
+
+    /// Number of processes.
+    pub(crate) fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether every hosted process is identity-free, so the whole system
+    /// is invariant under process permutation (the gate for symmetry
+    /// reduction; see [`MpAlgo::id_free`]).
+    pub(crate) fn symmetric(&self) -> bool {
+        self.algos.iter().all(MpAlgo::id_free)
+    }
+
+    /// Hashes the state as it would look after renaming process `i` to
+    /// `sigma[i]` — the same normalization as [`MpMachine::state_hash`]
+    /// (relative times, inbox multisets, canonical pending order), with
+    /// every process index routed through `sigma`. `sigma = identity`
+    /// hashes the same information as `state_hash` does.
+    pub(crate) fn hash_permuted<H: Hasher>(&self, sigma: &[usize], hasher: &mut H) {
+        debug_assert_eq!(sigma.len(), self.n);
+        let mut inverse = vec![0usize; self.n];
+        for (old, &new) in sigma.iter().enumerate() {
+            inverse[new] = old;
+        }
+        let t = self.t_min();
+        for &old in &inverse {
+            self.algos[old].fingerprint().hash(hasher);
+        }
+        for &old in &inverse {
+            let mut entries: Vec<(usize, u64)> = self.inboxes[old]
+                .iter()
+                .map(|env| (sigma[env.from.index()], env.payload.value))
+                .collect();
+            entries.sort_unstable();
+            entries.hash(hasher);
+        }
+        let mut canonical: Vec<(Dur, u8, usize, usize, u64)> = self
+            .pending
+            .iter()
+            .map(|e| match e.kind {
+                PendingKind::Step(p) => (e.time - t, 0u8, sigma[p], 0, 0),
+                PendingKind::Deliver {
+                    to, from, value, ..
+                } => (e.time - t, 1u8, sigma[to], sigma[from], value),
+            })
+            .collect();
+        canonical.sort();
+        canonical.hash(hasher);
+        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+            for &old in &inverse {
+                periods[old].hash(hasher);
+            }
+        }
     }
 
     /// Applies transition `choice` (must be `< choice_count()`). When

@@ -19,6 +19,11 @@
 //! models with no upper bound on gaps (sporadic, asynchronous) the slow
 //! menu entry plays the role of a bounded-unfairness window: exhaustive at
 //! this scope, representative beyond it.
+//!
+//! [`target_space`] exposes a target's scope, bounds and roots without
+//! analyzing it, and [`scoped_target_space`] rebuilds a target at a
+//! different `(n, s)` — the differential harness uses both to compare the
+//! reduced and unreduced explorations of the same space.
 
 use session_adversary::naive::{
     naive_periodic_sm_port, naive_semisync_sm_port, naive_sporadic_mp_port,
@@ -30,8 +35,8 @@ use session_core::algorithms::{
 use session_smm::TreeSpec;
 use session_types::{Dur, KnownBounds, ProcessId, Time, TimingModel, VarId};
 
-use crate::diag::{Diagnostic, LintCode, Report};
-use crate::explore::{explore_recorded, AnyMachine, SessionCounter};
+use crate::diag::{Diagnostic, LintCode, Report, TargetSummary};
+use crate::explore::{explore_recorded_opts, AnyMachine, ExploreOpts, SessionCounter};
 use crate::machine::{assignments, sm_system_algos, GapMode, MpAlgo, MpMachine, SmAlgo, SmMachine};
 use crate::replay;
 use crate::scope::Scope;
@@ -63,11 +68,25 @@ pub fn target_names() -> &'static [&'static str] {
 }
 
 /// A target ready to explore: its scope, the timing bounds counterexample
-/// traces must satisfy, and the exploration roots.
-struct BuiltTarget {
-    scope: Scope,
-    bounds: KnownBounds,
-    roots: Vec<AnyMachine>,
+/// traces must satisfy, and the exploration roots (one per first-step or
+/// period assignment).
+#[derive(Debug)]
+pub struct TargetSpace {
+    /// The explored scope: dimensions, menus and the depth budget.
+    pub scope: Scope,
+    /// The timing bounds every counterexample trace must satisfy.
+    pub bounds: KnownBounds,
+    /// The exploration roots.
+    pub roots: Vec<AnyMachine>,
+}
+
+impl TargetSpace {
+    /// Runs the full analysis pipeline over this space — exploration with
+    /// `opts`, counterexample reconstruction and self-check — reporting
+    /// the target under `name`.
+    pub fn analyze(&self, name: &str, opts: ExploreOpts) -> Report {
+        analyze_space(name, self, opts, &mut session_obs::NullRecorder)
+    }
 }
 
 fn dur(value: i64) -> Dur {
@@ -177,21 +196,48 @@ fn scope(
     }
 }
 
-/// Builds the named target, or `None` for an unknown name.
+/// The registry's default dimensions `(n, s)` for the named target.
+fn default_dims(name: &str) -> Option<(usize, u64)> {
+    match name {
+        "SyncSm" | "SyncMp" => Some((4, 3)),
+        "NaiveSporadicMp" => Some((2, 3)),
+        "PeriodicSm" | "SemiSyncSm" | "SporadicSm" | "AsyncSm" | "PeriodicMp" | "SemiSyncMp"
+        | "SporadicMp" | "AsyncMp" | "NaivePeriodicSm" | "NaiveSemiSyncSm" => Some((2, 2)),
+        _ => None,
+    }
+}
+
+/// Depth budgets scale with the dimensions: `base` is the hand-tuned
+/// budget at the registry's default `(n, s)`, and rebuilding the target
+/// at another scope rescales it proportionally (events per quiescent run
+/// grow like `n·s` for every target here), floored so tiny scopes still
+/// get room to quiesce.
+fn scaled_depth(base: usize, n: usize, s: u64, defaults: (usize, u64)) -> usize {
+    let (dn, ds) = defaults;
+    let s = usize::try_from(s).expect("tiny scope");
+    let ds = usize::try_from(ds).expect("tiny scope");
+    ((base * n * s) / (dn * ds)).max(12)
+}
+
+/// Builds the named target at dimensions `(n, s)`, or `None` for an
+/// unknown name. All other scope constants (the `b`-bound, the timing
+/// parameters and the derived gap/delay menus) are per-target fixtures.
 #[allow(clippy::too_many_lines)]
-fn build_target(name: &str) -> Option<BuiltTarget> {
+fn build_target_at(name: &str, n: usize, s: u64) -> Option<TargetSpace> {
     let expect_bounds = "scope constants are valid bounds";
     let expect_algo = "scope constants are valid algorithm parameters";
+    let defaults = default_dims(name)?;
+    let depth = |base: usize| scaled_depth(base, n, s, defaults);
     match name {
         // A(syn), shared memory: s silent steps each; gap forced to c2.
         "SyncSm" => {
-            let (n, s, b) = (4, 3, 2);
+            let b = 2;
             let gaps = [dur(1)];
             let ports = (0..n)
                 .map(|i| SmAlgo::Sync(SyncSmPort::new(VarId::new(i), s)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::Synchronous, &gaps, &[], 40),
+            Some(TargetSpace {
+                scope: scope(n, s, b, TimingModel::Synchronous, &gaps, &[], depth(40)),
                 bounds: KnownBounds::synchronous(dur(1), dur(1)).expect(expect_bounds),
                 roots: sm_per_step_roots(ports, n, b, &gaps),
             })
@@ -199,15 +245,15 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // A(p), shared memory: announce step counts over the tree; each
         // process runs at one of the candidate periods.
         "PeriodicSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let periods = [dur(1), dur(2)];
             let ports = (0..n)
                 .map(|i| {
                     SmAlgo::Periodic(PeriodicSmPort::new(ProcessId::new(i), VarId::new(i), s, n))
                 })
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], 160),
+            Some(TargetSpace {
+                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], depth(160)),
                 bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
                 roots: sm_periodic_roots(ports, n, b, &periods),
             })
@@ -215,7 +261,7 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // A(ss), shared memory: at c1=1, c2=3 the step-counting arm wins
         // (block 4 <= the tree flood bound); gaps range over {c1, c2}.
         "SemiSyncSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let (c1, c2) = (dur(1), dur(3));
             let gaps = [c1, c2];
             let comm_rounds = TreeSpec::build(n, b).flood_rounds_bound();
@@ -235,8 +281,16 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
                     )
                 })
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::SemiSynchronous, &gaps, &[], 100),
+            Some(TargetSpace {
+                scope: scope(
+                    n,
+                    s,
+                    b,
+                    TimingModel::SemiSynchronous,
+                    &gaps,
+                    &[],
+                    depth(100),
+                ),
                 bounds: KnownBounds::semi_synchronous(c1, c2, dur(1)).expect(expect_bounds),
                 roots: sm_per_step_roots(ports, n, b, &gaps),
             })
@@ -244,52 +298,58 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // Sporadic shared memory runs the wave protocol A(a) (only c1 is
         // known); the slow gap is the bounded-unfairness window.
         "SporadicSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let gaps = [dur(1), dur(3)];
             let ports = (0..n)
                 .map(|i| SmAlgo::Async(AsyncSmPort::new(ProcessId::new(i), VarId::new(i), s, n)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::Sporadic, &gaps, &[], 160),
+            Some(TargetSpace {
+                scope: scope(n, s, b, TimingModel::Sporadic, &gaps, &[], depth(160)),
                 bounds: KnownBounds::sporadic(dur(1), Dur::ZERO, dur(1)).expect(expect_bounds),
                 roots: sm_per_step_roots(ports, n, b, &gaps),
             })
         }
         // A(a), shared memory: the wave protocol with nothing known.
         "AsyncSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let gaps = [dur(1), dur(3)];
             let ports = (0..n)
                 .map(|i| SmAlgo::Async(AsyncSmPort::new(ProcessId::new(i), VarId::new(i), s, n)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::Asynchronous, &gaps, &[], 160),
+            Some(TargetSpace {
+                scope: scope(n, s, b, TimingModel::Asynchronous, &gaps, &[], depth(160)),
                 bounds: KnownBounds::asynchronous(),
                 roots: sm_per_step_roots(ports, n, b, &gaps),
             })
         }
         // A(syn), message passing: silent; gap and delay both forced.
         "SyncMp" => {
-            let (n, s) = (4, 3);
             let gaps = [dur(1)];
             let delays = [dur(1)];
             let algos = (0..n).map(|_| MpAlgo::Sync(SyncMpPort::new(s))).collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::Synchronous, &gaps, &delays, 40),
+            Some(TargetSpace {
+                scope: scope(n, s, 0, TimingModel::Synchronous, &gaps, &delays, depth(40)),
                 bounds: KnownBounds::synchronous(dur(1), dur(1)).expect(expect_bounds),
                 roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
             })
         }
         // A(p), message passing: broadcast the (s-1)-th step.
         "PeriodicMp" => {
-            let (n, s) = (2, 2);
             let periods = [dur(1), dur(2)];
             let delays = [Dur::ZERO, dur(1)];
             let algos = (0..n)
                 .map(|_| MpAlgo::Periodic(PeriodicMpPort::new(s, n)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::Periodic, &periods, &delays, 120),
+            Some(TargetSpace {
+                scope: scope(
+                    n,
+                    s,
+                    0,
+                    TimingModel::Periodic,
+                    &periods,
+                    &delays,
+                    depth(120),
+                ),
                 bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
                 roots: mp_periodic_roots(algos, &periods, &delays),
             })
@@ -297,7 +357,6 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // A(ss), message passing: at c1=1, c2=2, d2=1 the communicating
         // arm wins (c2·block = 6 > d2 + c2 = 3).
         "SemiSyncMp" => {
-            let (n, s) = (2, 2);
             let (c1, c2, d2) = (dur(1), dur(2), dur(1));
             let gaps = [c1, c2];
             let delays = [Dur::ZERO, d2];
@@ -306,8 +365,16 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
                     MpAlgo::SemiSync(SemiSyncMpPort::new(s, n, c1, c2, d2).expect(expect_algo))
                 })
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::SemiSynchronous, &gaps, &delays, 120),
+            Some(TargetSpace {
+                scope: scope(
+                    n,
+                    s,
+                    0,
+                    TimingModel::SemiSynchronous,
+                    &gaps,
+                    &delays,
+                    depth(120),
+                ),
                 bounds: KnownBounds::semi_synchronous(c1, c2, d2).expect(expect_bounds),
                 roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
             })
@@ -316,7 +383,6 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // gap (3 > d2 + c1) lets one process outwait the other's in-flight
         // evidence, which is exactly what conditions 1/2 must survive.
         "SporadicMp" => {
-            let (n, s) = (2, 2);
             let (c1, d1, d2) = (dur(1), Dur::ZERO, dur(1));
             let firsts = [c1, dur(2)];
             let gaps = [c1, dur(3)];
@@ -329,22 +395,29 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
                     )
                 })
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, 80),
+            Some(TargetSpace {
+                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, depth(80)),
                 bounds: KnownBounds::sporadic(c1, d1, d2).expect(expect_bounds),
                 roots: mp_per_step_roots(algos, &firsts, &gaps, &delays),
             })
         }
         // A(a), message passing: the wave protocol with nothing known.
         "AsyncMp" => {
-            let (n, s) = (2, 2);
             let gaps = [dur(1), dur(3)];
             let delays = [Dur::ZERO, dur(2)];
             let algos = (0..n)
                 .map(|_| MpAlgo::Async(AsyncMpPort::new(s, n)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::Asynchronous, &gaps, &delays, 120),
+            Some(TargetSpace {
+                scope: scope(
+                    n,
+                    s,
+                    0,
+                    TimingModel::Asynchronous,
+                    &gaps,
+                    &delays,
+                    depth(120),
+                ),
                 bounds: KnownBounds::asynchronous(),
                 roots: mp_per_step_roots(algos, &gaps, &gaps, &delays),
             })
@@ -352,13 +425,13 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // Witness: s silent steps under the periodic model, ignoring that
         // other processes may run at a different period → SA001.
         "NaivePeriodicSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let periods = [dur(1), dur(2)];
             let ports = (0..n)
                 .map(|i| SmAlgo::Naive(naive_periodic_sm_port(VarId::new(i), s)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], 160),
+            Some(TargetSpace {
+                scope: scope(n, s, b, TimingModel::Periodic, &periods, &[], depth(160)),
                 bounds: KnownBounds::periodic(dur(1)).expect(expect_bounds),
                 roots: sm_periodic_roots(ports, n, b, &periods),
             })
@@ -368,7 +441,7 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // c2=2 the halved block happens to still suffice for n=2 — the
         // borderline the analyzer itself surfaced.)
         "NaiveSemiSyncSm" => {
-            let (n, s, b) = (2, 2, 2);
+            let b = 2;
             let (c1, c2) = (dur(1), dur(3));
             let gaps = [c1, c2];
             let ports = (0..n)
@@ -378,8 +451,16 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
                     )
                 })
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, b, TimingModel::SemiSynchronous, &gaps, &[], 100),
+            Some(TargetSpace {
+                scope: scope(
+                    n,
+                    s,
+                    b,
+                    TimingModel::SemiSynchronous,
+                    &gaps,
+                    &[],
+                    depth(100),
+                ),
                 bounds: KnownBounds::semi_synchronous(c1, c2, dur(1)).expect(expect_bounds),
                 roots: sm_per_step_roots(ports, n, b, &gaps),
             })
@@ -387,7 +468,6 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
         // Witness: A(sp) with the waiting constant overridden to B = 0,
         // certifying sessions from stale evidence → SA003.
         "NaiveSporadicMp" => {
-            let (n, s) = (2, 3);
             let (c1, d1, d2) = (dur(1), Dur::ZERO, dur(2));
             let firsts = [c1, dur(2)];
             let gaps = [c1, dur(3)];
@@ -398,14 +478,29 @@ fn build_target(name: &str) -> Option<BuiltTarget> {
             let algos = (0..n)
                 .map(|i| MpAlgo::Sporadic(naive_sporadic_mp_port(ProcessId::new(i), s, n)))
                 .collect();
-            Some(BuiltTarget {
-                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, 60),
+            Some(TargetSpace {
+                scope: scope(n, s, 0, TimingModel::Sporadic, &gaps, &delays, depth(60)),
                 bounds: KnownBounds::sporadic(c1, d1, d2).expect(expect_bounds),
                 roots: mp_per_step_roots(algos, &firsts, &gaps, &delays),
             })
         }
         _ => None,
     }
+}
+
+/// The named target's scope, bounds and roots at the registry's default
+/// dimensions, without analyzing it. `None` for an unknown name.
+pub fn target_space(name: &str) -> Option<TargetSpace> {
+    let (n, s) = default_dims(name)?;
+    build_target_at(name, n, s)
+}
+
+/// The named target rebuilt at dimensions `(n, s)` — same algorithms,
+/// same timing menus, proportionally rescaled depth budget. `None` for an
+/// unknown name. The differential harness uses this to compare reduced
+/// and unreduced explorations across scopes.
+pub fn scoped_target_space(name: &str, n: usize, s: u64) -> Option<TargetSpace> {
+    build_target_at(name, n, s)
 }
 
 /// Recomputes the incremental session count along `path`, for
@@ -420,30 +515,32 @@ fn incremental_sessions(root: &AnyMachine, path: &[usize], n: usize, s: u64) -> 
     counter.sessions()
 }
 
-/// Analyzes one named target: explores its complete state space at scope,
+/// The shared analysis pipeline: explores `built` under `opts`,
 /// reconstructs and self-checks a counterexample for every violation, and
-/// returns the report. `None` for an unknown target name.
-pub fn analyze_target(name: &str) -> Option<Report> {
-    analyze_target_recorded(name, &mut session_obs::NullRecorder)
-}
-
-/// [`analyze_target`] with instrumentation: forwards the explorer's
-/// `explore.*` metrics (memo hit/miss counters, frontier-depth histogram,
-/// states and states/sec gauges) to `recorder`.
-pub fn analyze_target_recorded(
+/// returns the report with the exploration's summary row.
+fn analyze_space(
     name: &str,
+    built: &TargetSpace,
+    opts: ExploreOpts,
     recorder: &mut dyn session_obs::Recorder,
-) -> Option<Report> {
-    let built = build_target(name)?;
-    let exploration = explore_recorded(
+) -> Report {
+    let exploration = explore_recorded_opts(
         &built.roots,
         built.scope.n,
         built.scope.s,
         built.scope.max_depth,
+        opts,
         recorder,
     );
     let mut report = Report::default();
-    report.targets.push((name.to_string(), exploration.states));
+    report.targets.push(TargetSummary {
+        name: name.to_string(),
+        states: exploration.states,
+        pruned: exploration.stats.pruned,
+        memo_hits: exploration.stats.memo_hits,
+        truncated: exploration.truncated,
+        depth_hits: exploration.depth_hits,
+    });
     for violation in &exploration.violations {
         let root = &built.roots[violation.root];
         let counterexample = replay::replay(root, &violation.path);
@@ -474,14 +571,49 @@ pub fn analyze_target_recorded(
             });
         }
     }
-    Some(report)
+    report
+}
+
+/// Analyzes one named target: explores its complete state space at scope,
+/// reconstructs and self-checks a counterexample for every violation, and
+/// returns the report. `None` for an unknown target name.
+pub fn analyze_target(name: &str) -> Option<Report> {
+    analyze_target_recorded(name, &mut session_obs::NullRecorder)
+}
+
+/// [`analyze_target`] with instrumentation: forwards the explorer's
+/// `explore.*` metrics (memo hit/miss counters, frontier-depth histogram,
+/// states and states/sec gauges) to `recorder`.
+pub fn analyze_target_recorded(
+    name: &str,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Option<Report> {
+    analyze_target_with(name, ExploreOpts::default(), recorder)
+}
+
+/// [`analyze_target_recorded`] with reduction layers enabled per `opts`.
+/// The differential harness in `tests/reduction_diff.rs` proves every
+/// `opts` combination yields the same verdicts.
+pub fn analyze_target_with(
+    name: &str,
+    opts: ExploreOpts,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Option<Report> {
+    let built = target_space(name)?;
+    Some(analyze_space(name, &built, opts, recorder))
 }
 
 /// Analyzes every target in [`TARGET_NAMES`] order and merges the reports.
 pub fn analyze_all() -> Report {
+    analyze_all_with(ExploreOpts::default())
+}
+
+/// [`analyze_all`] with reduction layers enabled per `opts`.
+pub fn analyze_all_with(opts: ExploreOpts) -> Report {
     let mut report = Report::default();
     for name in TARGET_NAMES {
-        let target_report = analyze_target(name).expect("TARGET_NAMES entries are buildable");
+        let target_report = analyze_target_with(name, opts, &mut session_obs::NullRecorder)
+            .expect("TARGET_NAMES entries are buildable");
         report.merge(target_report);
     }
     report
@@ -494,15 +626,16 @@ mod tests {
     #[test]
     fn every_name_builds() {
         for name in TARGET_NAMES {
-            assert!(build_target(name).is_some(), "{name} must build");
+            assert!(target_space(name).is_some(), "{name} must build");
         }
-        assert!(build_target("NoSuchTarget").is_none());
+        assert!(target_space("NoSuchTarget").is_none());
+        assert!(scoped_target_space("NoSuchTarget", 2, 2).is_none());
     }
 
     #[test]
     fn root_counts_stay_small() {
         for name in TARGET_NAMES {
-            let built = build_target(name).expect("known name");
+            let built = target_space(name).expect("known name");
             assert!(
                 (1..=8).contains(&built.roots.len()),
                 "{name} has {} roots",
@@ -512,9 +645,23 @@ mod tests {
     }
 
     #[test]
+    fn scoped_spaces_rescale_dimensions_and_depth() {
+        let default = target_space("SyncMp").expect("known name");
+        assert_eq!((default.scope.n, default.scope.s), (4, 3));
+        let scoped = scoped_target_space("SyncMp", 3, 3).expect("known name");
+        assert_eq!((scoped.scope.n, scoped.scope.s), (3, 3));
+        assert_eq!(scoped.roots.len(), 1, "single-gap menu has one root");
+        assert!(
+            scoped.scope.max_depth < default.scope.max_depth,
+            "smaller scope gets a proportionally smaller budget"
+        );
+        assert!(scoped.scope.max_depth >= 12, "budget floor holds");
+    }
+
+    #[test]
     fn sync_sm_is_clean() {
         let report = analyze_target("SyncSm").expect("known name");
         assert!(report.findings.is_empty(), "{:#?}", report.findings);
-        assert!(report.targets[0].1 > 0, "must have explored states");
+        assert!(report.targets[0].states > 0, "must have explored states");
     }
 }

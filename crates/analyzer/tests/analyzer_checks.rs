@@ -32,7 +32,7 @@ fn assert_clean(name: &str) {
             .collect::<Vec<_>>()
     );
     assert!(
-        report.targets[0].1 > 0,
+        report.targets[0].states > 0,
         "{name} exploration must visit states"
     );
 }
@@ -60,7 +60,7 @@ fn codes(name: &str) -> Vec<LintCode> {
     assert!(
         !report.findings.is_empty(),
         "{name} must be flagged, explored {} states clean",
-        report.targets[0].1
+        report.targets[0].states
     );
     for finding in &report.findings {
         assert!(

@@ -14,9 +14,11 @@
 //! construction; the harness proves it rather than assumes it, so any
 //! runtime or merge bug surfaces as an inadmissibility here.
 
+use session_analyzer::analyze_trace_jsonl;
 use session_core::system::{port_of, port_processes};
 use session_core::verify::{check_admissible, count_rounds, count_sessions};
-use session_types::{Dur, KnownBounds, SessionSpec, Time};
+use session_obs::export::{trace_jsonl, ExportMeta};
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, Time};
 
 use crate::runtime::RealRunOutcome;
 
@@ -42,6 +44,13 @@ pub struct ConformanceReport {
     /// `true` if the run terminated, is admissible, and achieved at least
     /// `s` sessions: a verified solution of the `(s, n)`-session problem.
     pub solved: bool,
+    /// `true` when the happens-before analyzer found no causality lint
+    /// (`SA007`–`SA009`) on the exported trace. Advisory: a second,
+    /// independent check of the run, not part of [`Self::solved`].
+    pub causally_clean: bool,
+    /// The causality findings, as `CODE name: message` lines (empty when
+    /// [`Self::causally_clean`]).
+    pub causality_findings: Vec<String>,
 }
 
 impl ConformanceReport {
@@ -63,6 +72,17 @@ impl ConformanceReport {
         }
         out.push_str(&format!("gamma         = {}\n", self.gamma));
         out.push_str(&format!("solved        = {}\n", self.solved));
+        if self.causally_clean {
+            out.push_str("causality     = clean\n");
+        } else {
+            out.push_str(&format!(
+                "causality     = {} finding(s)\n",
+                self.causality_findings.len()
+            ));
+            for finding in &self.causality_findings {
+                out.push_str(&format!("  {finding}\n"));
+            }
+        }
         out
     }
 }
@@ -81,6 +101,29 @@ pub fn verify_conformance(
     let sessions = count_sessions(trace, spec.n(), port_of(spec));
     let rounds = count_rounds(trace, spec.n());
     let running_time = trace.all_idle_time(port_processes(spec));
+
+    // Second, independent verdict: export the trace (with the claimed
+    // bounds on the meta line) and run the happens-before analyzer over
+    // it, exactly as `session-cli analyze trace=` would.
+    let closes = session_core::analysis::analyze(trace, spec.n(), port_of(spec));
+    let ports = (0..trace.num_processes())
+        .map(|i| port_of(spec)(ProcessId::new(i)))
+        .collect();
+    let meta = ExportMeta::new("conformance")
+        .with_ports(ports)
+        .with_sessions(closes.session_close_times)
+        .with_claim(*bounds);
+    let causality_findings = match analyze_trace_jsonl(&trace_jsonl(trace, &meta), "real run", None)
+    {
+        Ok(analysis) => analysis
+            .report
+            .findings
+            .iter()
+            .map(|d| format!("{} {}: {}", d.code.code(), d.code.name(), d.message))
+            .collect(),
+        Err(e) => vec![format!("trace export did not parse: {e}")],
+    };
+
     ConformanceReport {
         admissible,
         violation,
@@ -90,5 +133,7 @@ pub fn verify_conformance(
         running_time,
         gamma: trace.gamma(),
         solved: outcome.terminated && admissible && sessions >= spec.s(),
+        causally_clean: causality_findings.is_empty(),
+        causality_findings,
     }
 }

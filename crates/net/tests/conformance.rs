@@ -39,6 +39,12 @@ fn run_and_verify(config: &RealConfig) {
         config.spec.s()
     );
     assert!(report.solved, "{}", report.render());
+    assert!(
+        report.causally_clean,
+        "{} run fired causality lints: {}",
+        config.model,
+        report.render()
+    );
 }
 
 #[test]

@@ -24,7 +24,7 @@
 //! becomes `ts=3000`).
 
 use session_sim::{StepKind, Trace};
-use session_types::{PortId, Time};
+use session_types::{KnownBounds, PortId, Time};
 
 use crate::json::JsonWriter;
 
@@ -46,6 +46,12 @@ pub struct ExportMeta {
     /// `session_core::analysis::analyze`). Empty renders no session
     /// track.
     pub session_close_times: Vec<Time>,
+    /// The timing model the run claims to obey, with its known bounds.
+    /// When set, the JSONL `meta` line carries the model name and the
+    /// exact bound values, so a downstream causality analyzer can check
+    /// the trace against the claim; when `None` the meta line is
+    /// unchanged.
+    pub claim: Option<KnownBounds>,
 }
 
 impl ExportMeta {
@@ -55,6 +61,7 @@ impl ExportMeta {
             title: title.into(),
             ports: Vec::new(),
             session_close_times: Vec::new(),
+            claim: None,
         }
     }
 
@@ -69,6 +76,13 @@ impl ExportMeta {
     #[must_use]
     pub fn with_sessions(mut self, close_times: Vec<Time>) -> ExportMeta {
         self.session_close_times = close_times;
+        self
+    }
+
+    /// Sets the claimed timing model and its known bounds.
+    #[must_use]
+    pub fn with_claim(mut self, claim: KnownBounds) -> ExportMeta {
+        self.claim = Some(claim);
         self
     }
 
@@ -271,6 +285,19 @@ pub fn trace_jsonl(trace: &Trace, meta: &ExportMeta) -> String {
     w.field_u64("num_processes", trace.num_processes() as u64);
     w.field_u64("events", trace.len() as u64);
     w.field_u64("messages", trace.messages().len() as u64);
+    if let Some(claim) = &meta.claim {
+        w.field_str("model", &claim.model().to_string());
+        for (key, bound) in [
+            ("c1", claim.c1()),
+            ("c2", claim.c2()),
+            ("d1", claim.d1()),
+            ("d2", claim.d2()),
+        ] {
+            if let Some(value) = bound {
+                w.field_str(key, &value.to_string());
+            }
+        }
+    }
     w.end_object();
     push(w);
 
@@ -455,6 +482,47 @@ mod tests {
         assert!(lines[4].contains("\"delay_ms\":2"), "{}", lines[4]);
         assert!(lines[5].contains("\"delivered_at\":null"), "{}", lines[5]);
         assert!(lines[6].contains("\"type\":\"session\""));
+    }
+
+    #[test]
+    fn jsonl_meta_carries_the_claim_only_when_set() {
+        let (trace, meta) = mp_trace();
+        let plain = trace_jsonl(&trace, &meta);
+        assert!(!plain.lines().next().unwrap().contains("\"model\""));
+        let claim = session_types::KnownBounds::semi_synchronous(
+            session_types::Dur::from_int(1),
+            session_types::Dur::from_int(3),
+            session_types::Dur::from_int(2),
+        )
+        .expect("valid bounds");
+        let claimed = trace_jsonl(&trace, &meta.clone().with_claim(claim));
+        let head = claimed.lines().next().unwrap();
+        json::validate(head).unwrap();
+        assert!(head.contains("\"model\":\"semi-synchronous\""), "{head}");
+        assert!(head.contains("\"c1\":\"1\""), "{head}");
+        assert!(head.contains("\"c2\":\"3\""), "{head}");
+        assert!(head.contains("\"d1\":\"0\""), "{head}");
+        assert!(head.contains("\"d2\":\"2\""), "{head}");
+        let free = trace_jsonl(
+            &trace,
+            &meta
+                .clone()
+                .with_claim(session_types::KnownBounds::asynchronous()),
+        );
+        let free_head = free.lines().next().unwrap();
+        assert!(
+            free_head.contains("\"model\":\"asynchronous\""),
+            "{free_head}"
+        );
+        assert!(
+            !free_head.contains("\"c1\""),
+            "async knows no bounds: {free_head}"
+        );
+        // Claim only changes the meta line.
+        assert_eq!(
+            plain.lines().skip(1).collect::<Vec<_>>(),
+            claimed.lines().skip(1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

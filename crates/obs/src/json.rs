@@ -352,6 +352,242 @@ fn skim_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value tree.
+///
+/// The counterpart of [`JsonWriter`] for the few places that *read* JSON
+/// back (the happens-before trace analyzer ingesting JSONL streams).
+/// Numbers are kept as `f64` — every number this workspace writes fits
+/// (sequence numbers, small indices, millisecond floats); exact rational
+/// times travel as strings and are re-parsed by their own types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (keys are not deduplicated).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object (first occurrence); `None` for other
+    /// value kinds.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, if this is a
+    /// non-negative whole number.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        (x >= 0.0 && x.fract() == 0.0 && x <= 9e15).then_some(x as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a description with a byte offset for the first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => skim_literal(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => skim_literal(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => skim_literal(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            skim_number(bytes, pos)?;
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        Some(&b) => Err(format!("unexpected {:?} at byte {}", b as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    let mut fields = Vec::new();
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    let mut items = Vec::new();
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => match bytes.get(*pos + 1) {
+                Some(b'"') => {
+                    out.push('"');
+                    *pos += 2;
+                }
+                Some(b'\\') => {
+                    out.push('\\');
+                    *pos += 2;
+                }
+                Some(b'/') => {
+                    out.push('/');
+                    *pos += 2;
+                }
+                Some(b'b') => {
+                    out.push('\u{8}');
+                    *pos += 2;
+                }
+                Some(b'f') => {
+                    out.push('\u{c}');
+                    *pos += 2;
+                }
+                Some(b'n') => {
+                    out.push('\n');
+                    *pos += 2;
+                }
+                Some(b'r') => {
+                    out.push('\r');
+                    *pos += 2;
+                }
+                Some(b't') => {
+                    out.push('\t');
+                    *pos += 2;
+                }
+                Some(b'u') => {
+                    let hex = bytes
+                        .get(*pos + 2..*pos + 6)
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                    // Surrogate pairs are not produced by this workspace's
+                    // writer; map lone surrogates to the replacement char.
+                    out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {}", *pos)),
+            },
+            Some(0x00..=0x1f) => return Err(format!("raw control character at byte {}", *pos)),
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let start = *pos;
+                *pos += 1;
+                while bytes.get(*pos).is_some_and(|&b| b & 0xc0 == 0x80) {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                );
+            }
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +674,54 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a":[1,-2.5,"x\n",true,null],"b":{"c":"é"},"n":3}"#).unwrap();
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            v.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(JsonValue::as_str),
+            Some("é")
+        );
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[1].as_u64(), None, "negative numbers are not u64");
+        assert_eq!(a[2].as_str(), Some("x\n"));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(a[4], JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", r#"{"a":}"#, "1 2", r#""bad \q""#] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "a\"b\\c\nd π");
+        w.field_f64("x", 3.5);
+        w.key("arr");
+        w.begin_array();
+        w.value_u64(7);
+        w.value_null();
+        w.end_array();
+        w.end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("a\"b\\c\nd π"));
+        assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(3.5));
+        assert_eq!(
+            v.get("arr").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
     }
 
     #[test]

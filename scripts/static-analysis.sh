@@ -4,11 +4,16 @@
 #
 #   1. rustfmt          -- formatting is canonical
 #   2. clippy           -- the workspace lint policy, warnings are errors
-#   3. analyzer (release tests) -- including the #[ignore]d large
-#      explorations that are too slow under the debug profile
-#   4. session-cli analyze -- the ten paper algorithms must explore clean,
-#      and the three naive witnesses must be flagged with their exact
-#      codes and make the run exit non-zero
+#   3. lint-code registry -- every LintCode variant must carry a stable
+#      SAxxx code-string mapping and a paper-section (§) reference in its
+#      doc comment
+#   4. analyzer (release tests) -- including the #[ignore]d large
+#      explorations and reduction differentials that are too slow under
+#      the debug profile
+#   5. session-cli analyze -- the ten paper algorithms must explore clean
+#      (with and without the reduction layers), and the three naive
+#      witnesses must be flagged with their exact codes and make the run
+#      exit non-zero
 #
 # Usage: scripts/static-analysis.sh
 #
@@ -29,6 +34,33 @@ current_step="clippy"
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+current_step="lint-code registry gate"
+echo "== lint codes: every variant mapped and paper-referenced =="
+diag=crates/analyzer/src/diag.rs
+variants=$(awk '/^pub enum LintCode \{/{f=1;next} f&&/^\}/{f=0} f&&/^    [A-Z][A-Za-z0-9]*,$/{gsub(/[ ,]/,"");print}' "$diag")
+[ -n "$variants" ] || { echo "ERROR: found no LintCode variants in $diag" >&2; exit 1; }
+for v in $variants; do
+    if ! grep -q "LintCode::$v => \"SA[0-9][0-9][0-9]\"" "$diag"; then
+        echo "ERROR: LintCode::$v has no stable SAxxx code-string mapping in code()" >&2
+        exit 1
+    fi
+    if ! awk -v v="$v" '
+        /^    \/\/\// { doc = doc $0; next }
+        /^    [A-Z][A-Za-z0-9]*,$/ {
+            name = $1; gsub(/,/, "", name)
+            if (name == v) { found = 1; if (doc ~ /§/) ok = 1 }
+            doc = ""
+            next
+        }
+        { doc = "" }
+        END { exit (found && ok) ? 0 : 1 }
+    ' "$diag"; then
+        echo "ERROR: LintCode::$v lacks a paper-section (§) reference in its doc comment" >&2
+        exit 1
+    fi
+done
+echo "lint codes: $(echo "$variants" | wc -l) variants mapped and referenced"
+
 current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="
 cargo test -p session-analyzer --release -- --include-ignored
@@ -44,6 +76,15 @@ echo "== analyze: the ten paper algorithms must be clean =="
     SyncMp PeriodicMp SemiSyncMp SporadicMp AsyncMp \
     | tee /tmp/analyze-clean.md
 grep -q "No findings." /tmp/analyze-clean.md
+
+current_step="analyze reduce=all (same verdict, fewer states)"
+echo "== analyze reduce=all: the reductions must agree =="
+./target/release/session-cli analyze \
+    SyncSm PeriodicSm SemiSyncSm SporadicSm AsyncSm \
+    SyncMp PeriodicMp SemiSyncMp SporadicMp AsyncMp \
+    reduce=all \
+    | tee /tmp/analyze-reduced.md
+grep -q "No findings." /tmp/analyze-reduced.md
 
 current_step="analyze --all (witnesses must be flagged)"
 echo "== analyze --all: the witnesses must be flagged and fail the run =="

@@ -1,20 +1,30 @@
 //! The `session-cli analyze` subcommand: run the exhaustive small-scope
-//! model checker over named targets (or all of them) and print a lint
+//! model checker over named targets (or all of them), or the
+//! happens-before analyzer over a recorded JSONL trace, and print a lint
 //! report.
 //!
 //! ```text
 //! session-cli analyze --all
+//! session-cli analyze --all reduce=all
 //! session-cli analyze NaivePeriodicSm format=csv
 //! session-cli analyze --all allow=SA005 warn=SA003
+//! session-cli analyze trace=run.jsonl
+//! session-cli analyze trace=run.jsonl model=asynchronous
 //! session-cli analyze --list
 //! ```
 //!
 //! Exit status (returned by [`AnalyzeConfig::execute`], applied by the
 //! binary): `0` when no deny-severity finding fired, `1` when at least one
-//! did, `2` on usage errors.
+//! did, `2` on usage errors, `3` when every finding cleared but at least
+//! one exploration was cut at its depth budget (clean, but the verdict is
+//! partial).
 
-use session_analyzer::{analyze_target, target_names, LintCode, LintConfig, Report, Severity};
-use session_types::{Error, Result};
+use session_analyzer::diag::ALL_CODES;
+use session_analyzer::{
+    analyze_target_with, analyze_trace_jsonl, target_names, ExploreOpts, LintCode, LintConfig,
+    Report, Severity,
+};
+use session_types::{Error, Result, TimingModel};
 
 /// Output format for the report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,11 +40,17 @@ pub enum AnalyzeFormat {
 pub struct AnalyzeConfig {
     /// Targets to analyze, in registry order.
     pub targets: Vec<String>,
+    /// Recorded JSONL trace to run the happens-before analyzer over.
+    pub trace: Option<String>,
+    /// Timing-model claim override for the trace analysis (`model=`).
+    pub model: Option<TimingModel>,
+    /// Reduction layers for the exploration (`reduce=`).
+    pub opts: ExploreOpts,
     /// Output format.
     pub format: AnalyzeFormat,
     /// Per-rule severity overrides.
     pub lints: LintConfig,
-    /// When true, print the target registry and exit.
+    /// When true, print the target registry and the lint codes, and exit.
     pub list: bool,
 }
 
@@ -43,11 +59,18 @@ impl AnalyzeConfig {
     pub const USAGE: &'static str = "\
 usage: session-cli analyze [--all | TARGET ...] [key=value ...]
   --all                 analyze every registered target
-  --list                print the registered target names and exit
+  --list                print the registered targets and lint codes, exit
+  trace=FILE.jsonl      analyze a recorded trace (happens-before lints)
+  model=NAME            claim override for trace analysis (synchronous,
+                        periodic, semi-synchronous, sporadic, asynchronous)
+  reduce=none|por|symmetry|all
+                        reduction layers for the exploration (default none)
   format=md|csv         report format (default md)
   allow=CODE[,CODE...]  suppress rules (SAxxx code or rule name)
   warn=CODE[,CODE...]   report rules without failing
   deny=CODE[,CODE...]   restore rules to failing (the default)
+exit status: 0 clean, 1 deny-severity finding, 2 usage error,
+3 clean but at least one exploration was cut at its depth budget
 targets: the ten paper algorithms (clean) and three naive witnesses
 (flagged); run `session-cli analyze --list` for the names.";
 
@@ -56,7 +79,8 @@ targets: the ten paper algorithms (clean) and three naive witnesses
     /// # Errors
     ///
     /// Returns [`Error::InvalidParams`] (carrying a usage hint) on unknown
-    /// targets, codes, formats or options, and when no target is selected.
+    /// targets, codes, formats, models or options, on `model=` without
+    /// `trace=`, and when nothing is selected.
     pub fn parse<I, S>(args: I) -> Result<AnalyzeConfig>
     where
         I: IntoIterator<Item = S>,
@@ -66,6 +90,9 @@ targets: the ten paper algorithms (clean) and three naive witnesses
         let mut all = false;
         let mut list = false;
         let mut targets: Vec<String> = Vec::new();
+        let mut trace = None;
+        let mut model = None;
+        let mut opts = ExploreOpts::default();
         let mut format = AnalyzeFormat::Markdown;
         let mut lints = LintConfig::new();
 
@@ -88,6 +115,32 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                         other => return Err(bad(&format!("unknown format `{other}`"))),
                     }
                 }
+                Some(("trace", value)) => trace = Some(value.to_string()),
+                Some(("model", value)) => {
+                    model = Some(match value {
+                        "synchronous" => TimingModel::Synchronous,
+                        "periodic" => TimingModel::Periodic,
+                        "semi-synchronous" => TimingModel::SemiSynchronous,
+                        "sporadic" => TimingModel::Sporadic,
+                        "asynchronous" => TimingModel::Asynchronous,
+                        other => return Err(bad(&format!("unknown timing model `{other}`"))),
+                    });
+                }
+                Some(("reduce", value)) => {
+                    opts = match value {
+                        "none" => ExploreOpts::default(),
+                        "por" => ExploreOpts {
+                            por: true,
+                            symmetry: false,
+                        },
+                        "symmetry" => ExploreOpts {
+                            por: false,
+                            symmetry: true,
+                        },
+                        "all" => ExploreOpts::reduced(),
+                        other => return Err(bad(&format!("unknown reduction `{other}`"))),
+                    }
+                }
                 Some(("allow", value)) => set_codes(&mut lints, value, Severity::Allow)?,
                 Some(("warn", value)) => set_codes(&mut lints, value, Severity::Warn)?,
                 Some(("deny", value)) => set_codes(&mut lints, value, Severity::Deny)?,
@@ -105,39 +158,82 @@ targets: the ten paper algorithms (clean) and three naive witnesses
 
         if all {
             targets = target_names().iter().map(ToString::to_string).collect();
-        } else if targets.is_empty() && !list {
-            return Err(bad("select targets by name or pass --all"));
+        } else if targets.is_empty() && trace.is_none() && !list {
+            return Err(bad("select targets by name, pass --all, or pass trace="));
+        }
+        if model.is_some() && trace.is_none() {
+            return Err(bad("model= is a claim override for trace= analysis"));
         }
         Ok(AnalyzeConfig {
             targets,
+            trace,
+            model,
+            opts,
             format,
             lints,
             list,
         })
     }
 
-    /// Runs the selected explorations and renders the report. The second
-    /// component is `true` when a deny-severity finding fired (the binary
-    /// exits `1`).
-    pub fn execute(&self) -> (String, bool) {
+    /// Runs the selected explorations and/or the trace analysis and
+    /// renders the report. The second component is the process exit code:
+    /// `0` clean, `1` at least one deny-severity finding, `3` clean but
+    /// at least one exploration was cut at its depth budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] when the trace file cannot be read
+    /// or is not a well-formed event stream.
+    pub fn execute(&self) -> Result<(String, i32)> {
         if self.list {
-            let mut out = String::new();
+            let mut out = String::from("targets:\n");
             for name in target_names() {
+                out.push_str("  ");
                 out.push_str(name);
                 out.push('\n');
             }
-            return (out, false);
+            out.push_str("lints:\n");
+            for code in ALL_CODES {
+                out.push_str(&format!(
+                    "  {} {:<24} {}\n",
+                    code.code(),
+                    code.name(),
+                    code.describe()
+                ));
+            }
+            return Ok((out, 0));
         }
         let mut report = Report::default();
         for name in &self.targets {
-            let target = analyze_target(name).expect("parse validated the target names");
+            let target = analyze_target_with(name, self.opts, &mut session_obs::NullRecorder)
+                .expect("parse validated the target names");
             report.merge(target);
+        }
+        if let Some(path) = &self.trace {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Error::invalid_params(format!("trace `{path}`: {e}")))?;
+            let analysis = analyze_trace_jsonl(&text, path, self.model)
+                .map_err(|e| Error::invalid_params(format!("trace `{path}`: {e}")))?;
+            report.merge(analysis.report);
         }
         let rendered = match self.format {
             AnalyzeFormat::Markdown => report.to_markdown(&self.lints),
             AnalyzeFormat::Csv => report.to_csv(&self.lints),
         };
-        (rendered, report.has_denials(&self.lints))
+        Ok((rendered, exit_code(&report, &self.lints)))
+    }
+}
+
+/// Maps a finished report to the analyze exit status: `1` for any
+/// deny-severity finding, `3` when every finding cleared but at least one
+/// exploration was cut at its depth budget, `0` otherwise.
+fn exit_code(report: &Report, lints: &LintConfig) -> i32 {
+    if report.has_denials(lints) {
+        1
+    } else if report.targets.iter().any(|t| t.truncated) {
+        3
+    } else {
+        0
     }
 }
 
@@ -145,18 +241,54 @@ targets: the ten paper algorithms (clean) and three naive witnesses
 mod tests {
     use super::*;
 
+    fn run(args: &[&str]) -> (String, i32) {
+        AnalyzeConfig::parse(args).unwrap().execute().unwrap()
+    }
+
+    #[test]
+    fn truncated_but_clean_exits_3_and_denials_take_precedence() {
+        use session_analyzer::TargetSummary;
+
+        let lints = LintConfig::new();
+        let mut report = Report::default();
+        report.targets.push(TargetSummary::new("clean", 10));
+        assert_eq!(exit_code(&report, &lints), 0);
+
+        let mut cut = TargetSummary::new("cut", 10);
+        cut.truncated = true;
+        cut.depth_hits = 4;
+        report.targets.push(cut);
+        assert_eq!(exit_code(&report, &lints), 3);
+
+        // A deny finding outranks the truncation signal.
+        report.findings.push(session_analyzer::Diagnostic {
+            code: LintCode::SessionDeficit,
+            target: "cut".to_owned(),
+            message: "synthetic".to_owned(),
+            scope: String::new(),
+            repro: String::new(),
+            counterexample: String::new(),
+        });
+        assert_eq!(exit_code(&report, &lints), 1);
+    }
+
     #[test]
     fn all_selects_the_whole_registry() {
         let config = AnalyzeConfig::parse(["--all"]).unwrap();
         assert_eq!(config.targets.len(), 13);
         assert_eq!(config.format, AnalyzeFormat::Markdown);
+        assert_eq!(config.opts, ExploreOpts::default());
     }
 
     #[test]
-    fn named_targets_and_format_parse() {
-        let config = AnalyzeConfig::parse(["NaivePeriodicSm", "SyncSm", "format=csv"]).unwrap();
+    fn named_targets_format_and_reduce_parse() {
+        let config =
+            AnalyzeConfig::parse(["NaivePeriodicSm", "SyncSm", "format=csv", "reduce=all"])
+                .unwrap();
         assert_eq!(config.targets, vec!["NaivePeriodicSm", "SyncSm"]);
         assert_eq!(config.format, AnalyzeFormat::Csv);
+        assert_eq!(config.opts, ExploreOpts::reduced());
+        assert!(AnalyzeConfig::parse(["SyncSm", "reduce=fast"]).is_err());
     }
 
     #[test]
@@ -178,7 +310,13 @@ mod tests {
 
     #[test]
     fn bad_arguments_are_rejected_with_usage() {
-        for bad in ["NoSuchTarget", "format=xml", "allow=SA999", "frobnicate=1"] {
+        for bad in [
+            "NoSuchTarget",
+            "format=xml",
+            "allow=SA999",
+            "frobnicate=1",
+            "model=lockstep",
+        ] {
             let err = AnalyzeConfig::parse([bad]).unwrap_err();
             assert!(
                 err.to_string().contains("usage: session-cli analyze"),
@@ -186,37 +324,72 @@ mod tests {
             );
         }
         assert!(AnalyzeConfig::parse(Vec::<String>::new()).is_err());
+        // model= is only meaningful with trace=.
+        assert!(AnalyzeConfig::parse(["SyncSm", "model=sporadic"]).is_err());
     }
 
     #[test]
     fn list_prints_the_registry_without_exploring() {
-        let config = AnalyzeConfig::parse(["--list"]).unwrap();
-        let (out, deny) = config.execute();
+        let (out, code) = run(&["--list"]);
         assert!(out.contains("NaiveSporadicMp"));
-        assert!(!deny);
+        assert_eq!(code, 0);
+    }
+
+    /// Sync test for the `--list` lint section: the match is exhaustive,
+    /// so registering a new lint code fails compilation here until the
+    /// listing (and this test) know about it.
+    #[test]
+    fn list_describes_every_lint_code() {
+        let (out, _) = run(&["--list"]);
+        for code in ALL_CODES {
+            match code {
+                LintCode::SessionDeficit
+                | LintCode::BBoundViolation
+                | LintCode::StaleEvidence
+                | LintCode::InadmissibleStep
+                | LintCode::NonTermination
+                | LintCode::InfeasibleTiming
+                | LintCode::SessionRace
+                | LintCode::UnorderedSessionClose
+                | LintCode::ModelMismatch => {}
+            }
+            assert!(out.contains(code.code()), "missing {}: {out}", code.code());
+            assert!(
+                out.contains(code.describe()),
+                "missing description of {}: {out}",
+                code.code()
+            );
+        }
     }
 
     #[test]
     fn analyzing_a_witness_denies_and_allow_suppresses() {
-        let config = AnalyzeConfig::parse(["NaivePeriodicSm"]).unwrap();
-        let (out, deny) = config.execute();
-        assert!(deny, "the witness must fail the run");
+        let (out, code) = run(&["NaivePeriodicSm"]);
+        assert_eq!(code, 1, "the witness must fail the run");
         assert!(out.contains("SA001"), "{out}");
-        let config = AnalyzeConfig::parse(["NaivePeriodicSm", "allow=SA001,SA005"]).unwrap();
-        let (out, deny) = config.execute();
-        assert!(!deny, "allow must clear the exit status");
+        let (out, code) = run(&["NaivePeriodicSm", "allow=SA001,SA005"]);
+        assert_eq!(code, 0, "allow must clear the exit status");
         assert!(out.contains("No findings."), "{out}");
     }
 
     #[test]
     fn clean_target_renders_markdown_summary() {
-        let config = AnalyzeConfig::parse(["SyncSm"]).unwrap();
-        let (out, deny) = config.execute();
-        assert!(!deny);
-        assert!(
-            out.contains("| target | states explored | findings |"),
-            "{out}"
-        );
-        assert!(out.contains("| SyncSm |"), "{out}");
+        for reduce in ["reduce=none", "reduce=all"] {
+            let (out, code) = run(&["SyncSm", reduce]);
+            assert_eq!(code, 0);
+            assert!(
+                out.contains(
+                    "| target | states explored | pruned | memo hits | findings | notes |"
+                ),
+                "{out}"
+            );
+            assert!(out.contains("| SyncSm |"), "{out}");
+        }
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_usage_error() {
+        let config = AnalyzeConfig::parse(["trace=/no/such/file.jsonl"]).unwrap();
+        assert!(config.execute().is_err());
     }
 }

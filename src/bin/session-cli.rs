@@ -22,16 +22,21 @@ fn main() {
             .any(|a| a == "--help" || a == "-h" || a == "help")
     };
     match args.first().map(String::as_str) {
-        Some("analyze") => match AnalyzeConfig::parse(&args[1..]) {
-            Ok(config) => {
-                let (report, denied) = config.execute();
-                print!("{report}");
-                if denied {
-                    std::process::exit(1);
-                }
+        Some("analyze") => {
+            if wants_help(&args[1..]) {
+                println!("{}", AnalyzeConfig::USAGE);
+                return;
             }
-            Err(err) => fail(&err),
-        },
+            match AnalyzeConfig::parse(&args[1..]).and_then(|config| config.execute()) {
+                Ok((report, code)) => {
+                    print!("{report}");
+                    if code != 0 {
+                        std::process::exit(code);
+                    }
+                }
+                Err(err) => fail(&err),
+            }
+        }
         Some("trace") => {
             if wants_help(&args[1..]) {
                 println!("{}", TraceConfig::USAGE);

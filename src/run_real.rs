@@ -13,9 +13,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use session_core::system::port_of;
 use session_net::{run_real, verify_conformance, RealConfig, TransportKind};
+use session_obs::export::{trace_jsonl, ExportMeta};
 use session_obs::NullRecorder;
-use session_types::{Dur, Error, Result, SessionSpec, TimingModel};
+use session_types::{Dur, Error, ProcessId, Result, SessionSpec, TimingModel};
 
 use crate::cli::SeenKeys;
 
@@ -26,6 +28,9 @@ pub struct RunRealConfig {
     pub real: RealConfig,
     /// Where to also write the run's metrics snapshot as JSON.
     pub json: Option<PathBuf>,
+    /// Where to also write the reconstructed trace as an event-stream
+    /// JSONL file (the `session-cli analyze trace=` input format).
+    pub jsonl: Option<PathBuf>,
 }
 
 impl RunRealConfig {
@@ -41,7 +46,9 @@ usage: session-cli run-real [key=value ...]
   unit-us=N      real microseconds per logical time unit (default 2000)
   max-steps=N    per-process step watchdog (default 10000)
   deadline-ms=N  wall-clock watchdog (default 30000)
-  json=PATH      also write the run's metrics snapshot as JSON";
+  json=PATH      also write the run's metrics snapshot as JSON
+  jsonl=PATH     also write the reconstructed trace as event-stream JSONL
+                 (feed it to `session-cli analyze trace=PATH`)";
 
     /// Parses the arguments after the `run-real` keyword.
     ///
@@ -64,6 +71,7 @@ usage: session-cli run-real [key=value ...]
         let mut max_steps = 10_000u64;
         let mut deadline_ms = 30_000u64;
         let mut json = None;
+        let mut jsonl = None;
 
         let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", RunRealConfig::USAGE));
 
@@ -122,6 +130,7 @@ usage: session-cli run-real [key=value ...]
                         .map_err(|_| bad("deadline-ms must be an integer"))?;
                 }
                 "json" => json = Some(PathBuf::from(value)),
+                "jsonl" => jsonl = Some(PathBuf::from(value)),
                 other => return Err(bad(&format!("unknown option `{other}`"))),
             }
         }
@@ -138,20 +147,32 @@ usage: session-cli run-real [key=value ...]
         real.deadline = Duration::from_millis(deadline_ms);
         real.validate()
             .map_err(|err| bad(&format!("infeasible configuration: {err}")))?;
-        Ok(RunRealConfig { real, json })
+        Ok(RunRealConfig { real, json, jsonl })
     }
 
     /// Runs the configuration on real clocks, verifies conformance, and
-    /// renders the verdict. Returns the printable report and the metrics
-    /// snapshot JSON.
+    /// renders the verdict. Returns the printable report, the metrics
+    /// snapshot JSON, and the trace as event-stream JSONL (with the
+    /// configured bounds as its timing-model claim).
     ///
     /// # Errors
     ///
     /// Propagates configuration and transport errors from the runtime.
-    pub fn render(&self) -> Result<(String, String)> {
+    pub fn render(&self) -> Result<(String, String, String)> {
         let outcome = run_real(&self.real, &mut NullRecorder)?;
         let bounds = self.real.bounds()?;
         let report = verify_conformance(&outcome, &self.real.spec, &bounds);
+
+        let spec = &self.real.spec;
+        let closes = session_core::analysis::analyze(&outcome.trace, spec.n(), port_of(spec));
+        let ports = (0..outcome.trace.num_processes())
+            .map(|i| port_of(spec)(ProcessId::new(i)))
+            .collect();
+        let meta = ExportMeta::new(format!("run-real {} mp", self.real.model))
+            .with_ports(ports)
+            .with_sessions(closes.session_close_times)
+            .with_claim(bounds);
+        let stream = trace_jsonl(&outcome.trace, &meta);
 
         let mut out = String::new();
         let _ = writeln!(
@@ -169,7 +190,7 @@ usage: session-cli run-real [key=value ...]
         );
         let _ = writeln!(out, "\n## conformance\n");
         out.push_str(&report.render());
-        Ok((out, outcome.metrics.to_json()))
+        Ok((out, outcome.metrics.to_json(), stream))
     }
 
     /// Runs the configuration, writes the JSON snapshot if requested, and
@@ -180,12 +201,19 @@ usage: session-cli run-real [key=value ...]
     /// Propagates run errors and I/O errors (as [`Error::InvalidParams`]
     /// naming the path).
     pub fn execute(&self) -> Result<String> {
-        let (mut out, json) = self.render()?;
-        if let Some(path) = &self.json {
-            std::fs::write(path, &json).map_err(|err| {
+        let (mut out, json, stream) = self.render()?;
+        let write_file = |path: &PathBuf, content: &str, out: &mut String| {
+            std::fs::write(path, content).map_err(|err| {
                 Error::invalid_params(format!("cannot write {}: {err}", path.display()))
             })?;
             let _ = writeln!(out, "\nwrote {}", path.display());
+            Ok::<(), Error>(())
+        };
+        if let Some(path) = &self.json {
+            write_file(path, &json, &mut out)?;
+        }
+        if let Some(path) = &self.jsonl {
+            write_file(path, &stream, &mut out)?;
         }
         Ok(out)
     }
@@ -252,11 +280,23 @@ mod tests {
             "unit-us=200",
         ])
         .unwrap();
-        let (out, snapshot_json) = config.render().unwrap();
+        let (out, snapshot_json, stream) = config.render().unwrap();
         assert!(out.contains("terminated: true"), "{out}");
         assert!(out.contains("admissible    = true"), "{out}");
         assert!(out.contains("solved        = true"), "{out}");
+        assert!(out.contains("causality     = clean"), "{out}");
         json::validate(&snapshot_json).expect("snapshot must be valid JSON");
         assert!(snapshot_json.contains("\"net.steps\""), "{snapshot_json}");
+
+        // The exported stream carries the claim and round-trips through
+        // the happens-before analyzer with no findings.
+        assert!(stream.contains("\"model\":\"periodic\""), "{stream}");
+        let analysis = session_analyzer::analyze_trace_jsonl(&stream, "run-real", None)
+            .expect("run-real JSONL must parse");
+        assert!(
+            analysis.report.findings.is_empty(),
+            "conformant run fired causality lints: {:?}",
+            analysis.report.findings
+        );
     }
 }

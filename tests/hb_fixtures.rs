@@ -1,0 +1,84 @@
+//! Fixture tests for the happens-before trace analyzer (`SA007`–`SA009`),
+//! driven end to end through the `analyze trace=` command surface: each
+//! positive fixture is a crafted JSONL stream firing exactly one causality
+//! lint, each negative fixture is a conformant stream that stays clean
+//! (exit code 0).
+
+use session_problem::analyze::AnalyzeConfig;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn analyze(name: &str) -> (String, i32) {
+    let config = AnalyzeConfig::parse([format!("trace={}", fixture(name))]).expect("trace= parses");
+    config.execute().expect("fixture parses as an event stream")
+}
+
+#[test]
+fn positive_fixtures_fire_their_lint_and_only_it() {
+    for (name, code) in [
+        ("sa007_session_race.jsonl", "SA007"),
+        ("sa008_unordered_close.jsonl", "SA008"),
+        ("sa009_model_mismatch.jsonl", "SA009"),
+    ] {
+        let (out, exit) = analyze(name);
+        assert_eq!(exit, 1, "{name} must deny: {out}");
+        assert!(out.contains(code), "{name} must fire {code}: {out}");
+        for other in ["SA007", "SA008", "SA009"] {
+            if other != code {
+                assert!(
+                    !out.contains(other),
+                    "{name} must fire only {code}, also got {other}: {out}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_fixtures_stay_clean() {
+    for name in [
+        "clean_message_trace.jsonl",
+        "clean_sporadic_claim.jsonl",
+        "clean_rational_times.jsonl",
+    ] {
+        let (out, exit) = analyze(name);
+        assert_eq!(exit, 0, "{name} must be clean: {out}");
+        assert!(out.contains("No findings."), "{name}: {out}");
+    }
+}
+
+#[test]
+fn model_override_flips_a_clean_trace() {
+    // The rational-times fixture carries no claim, so SA009 cannot fire —
+    // but its two steps have no gaps at all, so any override stays clean
+    // too; use the lockstep fixture's shape instead: overriding the
+    // sporadic fixture's claim to asynchronous keeps it clean (gaps and
+    // delays are varied), while the SA009 fixture minus its claim is
+    // clean until a model override restores the mismatch.
+    let path = fixture("sa009_model_mismatch.jsonl");
+    let config =
+        AnalyzeConfig::parse([format!("trace={path}"), "model=synchronous".to_owned()]).unwrap();
+    let (out, exit) = config.execute().unwrap();
+    assert_eq!(exit, 0, "a lockstep trace really is synchronous: {out}");
+
+    let config =
+        AnalyzeConfig::parse([format!("trace={path}"), "model=sporadic".to_owned()]).unwrap();
+    let (out, exit) = config.execute().unwrap();
+    assert_eq!(exit, 1, "lockstep under a sporadic claim mismatches: {out}");
+    assert!(out.contains("SA009"), "{out}");
+}
+
+#[test]
+fn trace_and_targets_combine_into_one_report() {
+    let config = AnalyzeConfig::parse([
+        "SyncSm".to_owned(),
+        format!("trace={}", fixture("clean_message_trace.jsonl")),
+    ])
+    .unwrap();
+    let (out, exit) = config.execute().unwrap();
+    assert_eq!(exit, 0, "{out}");
+    assert!(out.contains("| SyncSm |"), "{out}");
+    assert!(out.contains("clean_message_trace.jsonl"), "{out}");
+}
