@@ -34,11 +34,11 @@
 //! message-passing targets under process permutation before the memo
 //! lookup. [`Exploration::stats`] reports what they saved.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use session_obs::{NullRecorder, Recorder};
 
 use crate::diag::LintCode;
@@ -192,10 +192,10 @@ pub struct FoundViolation {
     pub root: usize,
 }
 
-/// Which reduction layers the explorer applies. Both default to off, so
-/// every historical verdict is reproduced bit for bit unless a caller
-/// opts in.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Which reduction layers the explorer applies, and how many worker
+/// threads it runs. Reductions default to off and threads to 1, so every
+/// historical verdict is reproduced bit for bit unless a caller opts in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExploreOpts {
     /// Partial-order reduction: expand only an ample subset of each
     /// state's choice menu (see [`crate::por`]).
@@ -204,14 +204,31 @@ pub struct ExploreOpts {
     /// process permutation before the memo lookup (see
     /// [`crate::symmetry`]).
     pub symmetry: bool,
+    /// Worker threads. `1` (the default) runs the classic serial DFS;
+    /// `> 1` runs the work-sharing frontier explorer in
+    /// [`crate::parallel`], whose findings are bit-identical to the
+    /// serial path's (see DESIGN.md §13 for the determinism argument).
+    /// Must be at least 1.
+    pub threads: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            por: false,
+            symmetry: false,
+            threads: 1,
+        }
+    }
 }
 
 impl ExploreOpts {
-    /// Every reduction on.
+    /// Every reduction on (still single-threaded).
     pub fn reduced() -> ExploreOpts {
         ExploreOpts {
             por: true,
             symmetry: true,
+            threads: 1,
         }
     }
 }
@@ -291,10 +308,14 @@ pub fn explore_recorded_opts(
     opts: ExploreOpts,
     recorder: &mut dyn Recorder,
 ) -> Exploration {
+    assert!(opts.threads >= 1, "ExploreOpts::threads must be >= 1");
+    if opts.threads > 1 {
+        return crate::parallel::explore_parallel(roots, n, s, max_depth, opts, recorder);
+    }
     let started = Instant::now();
     let mut explorer = Explorer {
-        memo: HashMap::new(),
-        on_path: HashSet::new(),
+        memo: FxHashMap::default(),
+        on_path: FxHashSet::default(),
         violations: Vec::new(),
         states: 0,
         pruned: 0,
@@ -304,6 +325,7 @@ pub fn explore_recorded_opts(
         s,
         max_depth,
         opts,
+        early_stop: None,
         recorder,
     };
     for (root_index, root) in roots.iter().enumerate() {
@@ -311,7 +333,7 @@ pub fn explore_recorded_opts(
         let counter = SessionCounter::new(n, s);
         let mut path = Vec::new();
         explorer.recorder.span_start("explore.root");
-        explorer.dfs(root.clone(), counter, &mut path);
+        explorer.dfs(root.clone(), &counter, &mut path);
         explorer.recorder.span_end();
     }
     let Explorer {
@@ -357,7 +379,106 @@ struct SubtreeOutcome {
 
 /// Memo value marking a subtree explored with no depth cut below it —
 /// nothing on any continuation remains unseen, at any budget.
-const MEMO_COMPLETE: usize = usize::MAX;
+pub(crate) const MEMO_COMPLETE: usize = usize::MAX;
+
+/// The (machine × counter) memo key: the symmetry-canonical key when the
+/// reduction is on and the target is eligible, the plain combined
+/// fingerprint otherwise. Shared by the serial explorer and the sharded
+/// parallel memo so both paths prune identically.
+pub(crate) fn state_key(machine: &AnyMachine, counter: &SessionCounter, symmetry: bool) -> u64 {
+    if symmetry {
+        if let Some(canonical) = symmetry::canonical_key(machine, counter) {
+            return canonical;
+        }
+    }
+    let mut hasher = FxHasher::default();
+    machine.state_hash().hash(&mut hasher);
+    counter.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle). Pure edge
+/// predicate — shared by every exploration mode.
+pub(crate) fn check_step(
+    info: &StepInfo,
+    machine: &AnyMachine,
+    counter: &SessionCounter,
+) -> Option<(LintCode, String)> {
+    if let Some(var) = info.b_violation {
+        return Some((
+            LintCode::BBoundViolation,
+            format!(
+                "variable {var} accessed by more than b distinct processes (process {} was one too many)",
+                info.process
+            ),
+        ));
+    }
+    if info.is_process_step && info.was_idle && !info.idle_after {
+        return Some((
+            LintCode::InadmissibleStep,
+            format!(
+                "process {} un-idled: idle states must be closed under steps",
+                info.process
+            ),
+        ));
+    }
+    if let Some(claimed) = machine.claimed_sessions_max() {
+        if claimed > counter.sessions() {
+            return Some((
+                LintCode::StaleEvidence,
+                format!(
+                    "a process claims {claimed} sessions but only {} actually happened",
+                    counter.sessions()
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Re-derives the canonical (serial first-witness) violation paths for a
+/// known set of lint codes: runs the serial DFS in the exact order
+/// [`explore_recorded_opts`] uses, but stops as soon as every wanted code
+/// has a recorded witness. The parallel explorer uses this to report the
+/// same counterexamples the serial path would, independent of thread
+/// interleaving — and on clean targets (empty `codes`) it costs nothing.
+pub(crate) fn explore_witnesses(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    codes: &BTreeSet<LintCode>,
+) -> Vec<FoundViolation> {
+    if codes.is_empty() {
+        return Vec::new();
+    }
+    let mut explorer = Explorer {
+        memo: FxHashMap::default(),
+        on_path: FxHashSet::default(),
+        violations: Vec::new(),
+        states: 0,
+        pruned: 0,
+        memo_hit_count: 0,
+        depth_hits: 0,
+        current_root: 0,
+        s,
+        max_depth,
+        opts: ExploreOpts { threads: 1, ..opts },
+        early_stop: Some(codes.clone()),
+        recorder: &mut NullRecorder,
+    };
+    for (root_index, root) in roots.iter().enumerate() {
+        if explorer.early_stop_satisfied() {
+            break;
+        }
+        explorer.current_root = root_index;
+        let counter = SessionCounter::new(n, s);
+        let mut path = Vec::new();
+        explorer.dfs(root.clone(), &counter, &mut path);
+    }
+    explorer.violations
+}
 
 struct Explorer<'r> {
     /// States (machine × counter) already explored, mapped to the largest
@@ -368,9 +489,9 @@ struct Explorer<'r> {
     /// smaller budget was already recorded), so only strictly deeper
     /// revisits re-expand — this is what keeps depth-limited exploration
     /// of wide spaces from re-walking truncated subtrees exponentially.
-    memo: HashMap<u64, usize>,
+    memo: FxHashMap<u64, usize>,
     /// States on the current DFS path, for lasso detection.
-    on_path: HashSet<u64>,
+    on_path: FxHashSet<u64>,
     /// First witness per lint code.
     violations: Vec<FoundViolation>,
     states: u64,
@@ -381,24 +502,23 @@ struct Explorer<'r> {
     s: u64,
     max_depth: usize,
     opts: ExploreOpts,
+    /// When set, exploration stops as soon as every listed code has a
+    /// recorded witness (the parallel explorer's witness re-derivation).
+    early_stop: Option<BTreeSet<LintCode>>,
     recorder: &'r mut dyn Recorder,
 }
 
 impl Explorer<'_> {
-    fn plain_key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        machine.state_hash().hash(&mut hasher);
-        counter.hash(&mut hasher);
-        hasher.finish()
+    fn key(&self, machine: &AnyMachine, counter: &SessionCounter) -> u64 {
+        state_key(machine, counter, self.opts.symmetry)
     }
 
-    fn key(&self, machine: &AnyMachine, counter: &SessionCounter) -> u64 {
-        if self.opts.symmetry {
-            if let Some(canonical) = symmetry::canonical_key(machine, counter) {
-                return canonical;
-            }
-        }
-        Explorer::plain_key(machine, counter)
+    /// Whether early-stop mode has found everything it was asked for.
+    fn early_stop_satisfied(&self) -> bool {
+        self.early_stop.as_ref().is_some_and(|want| {
+            want.iter()
+                .all(|code| self.violations.iter().any(|v| v.code == *code))
+        })
     }
 
     fn record(&mut self, code: LintCode, message: String, path: &[usize]) {
@@ -416,13 +536,21 @@ impl Explorer<'_> {
     fn dfs(
         &mut self,
         machine: AnyMachine,
-        counter: SessionCounter,
+        counter: &SessionCounter,
         path: &mut Vec<usize>,
     ) -> SubtreeOutcome {
         let done = SubtreeOutcome {
             complete: true,
             closed_cycle: false,
         };
+        if self.early_stop_satisfied() {
+            // Witness re-derivation has everything it needs; unwind without
+            // memoizing (a cut here is not a budget truncation).
+            return SubtreeOutcome {
+                complete: false,
+                closed_cycle: false,
+            };
+        }
         if machine.is_quiescent() {
             if counter.sessions() < self.s {
                 let message = format!(
@@ -434,7 +562,7 @@ impl Explorer<'_> {
             }
             return done;
         }
-        let key = self.key(&machine, &counter);
+        let key = self.key(&machine, counter);
         if self.on_path.contains(&key) {
             self.record(
                 LintCode::NonTermination,
@@ -473,7 +601,7 @@ impl Explorer<'_> {
         }
         self.states += 1;
         self.on_path.insert(key);
-        let complete = self.expand(&machine, &counter, path);
+        let complete = self.expand(&machine, counter, path);
         self.on_path.remove(&key);
         let explored_budget = if complete { MEMO_COMPLETE } else { remaining };
         let entry = self.memo.entry(key).or_insert(explored_budget);
@@ -497,9 +625,19 @@ impl Explorer<'_> {
         path.push(choice);
         let mut next = machine.clone();
         let info = next.apply(choice, None);
-        let mut next_counter = counter.clone();
-        next_counter.observe(&info);
-        let outcome = match Explorer::check_step(&info, &next, &next_counter) {
+        // The counter only advances on port steps — deliveries and relay
+        // steps (the bulk of most menus) reuse the parent's counter
+        // without cloning it.
+        let observed;
+        let next_counter = if info.port.is_some() {
+            let mut cloned = counter.clone();
+            cloned.observe(&info);
+            observed = cloned;
+            &observed
+        } else {
+            counter
+        };
+        let outcome = match check_step(&info, &next, next_counter) {
             Some((code, message)) => {
                 self.record(code, message, path);
                 SubtreeOutcome {
@@ -543,7 +681,7 @@ impl Explorer<'_> {
         debug_assert!(ample.end <= choices && !ample.is_empty());
         let mut complete = true;
         let mut closed_cycle = false;
-        for choice in ample.clone() {
+        for choice in ample.start..ample.end {
             let outcome = self.explore_choice(machine, counter, choice, path);
             complete &= outcome.complete;
             closed_cycle |= outcome.closed_cycle;
@@ -561,44 +699,6 @@ impl Explorer<'_> {
             self.recorder.counter("explore.pruned_choices", skipped);
         }
         complete
-    }
-
-    /// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle).
-    fn check_step(
-        info: &StepInfo,
-        machine: &AnyMachine,
-        counter: &SessionCounter,
-    ) -> Option<(LintCode, String)> {
-        if let Some(var) = info.b_violation {
-            return Some((
-                LintCode::BBoundViolation,
-                format!(
-                    "variable {var} accessed by more than b distinct processes (process {} was one too many)",
-                    info.process
-                ),
-            ));
-        }
-        if info.is_process_step && info.was_idle && !info.idle_after {
-            return Some((
-                LintCode::InadmissibleStep,
-                format!(
-                    "process {} un-idled: idle states must be closed under steps",
-                    info.process
-                ),
-            ));
-        }
-        if let Some(claimed) = machine.claimed_sessions_max() {
-            if claimed > counter.sessions() {
-                return Some((
-                    LintCode::StaleEvidence,
-                    format!(
-                        "a process claims {claimed} sessions but only {} actually happened",
-                        counter.sessions()
-                    ),
-                ));
-            }
-        }
-        None
     }
 }
 
@@ -681,7 +781,7 @@ mod tests {
         swapped.observe(&port_step(1, 1, false));
         swapped.observe(&port_step(0, 0, true));
         let hash = |c: &SessionCounter, sigma: &[usize]| {
-            let mut h = DefaultHasher::new();
+            let mut h = FxHasher::default();
             c.hash_permuted(sigma, &mut h);
             h.finish()
         };

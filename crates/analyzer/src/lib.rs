@@ -26,14 +26,16 @@
 //! timing model than claimed (`SA009`).
 //!
 //! Architecture: [`machine`] mirrors the engines as cloneable state
-//! machines with an enumerated branch menu; [`explore`] runs a memoized
-//! depth-first search over those branches, optionally through the
-//! [`por`] ample-set selector and the [`symmetry`] state
-//! canonicalization; [`replay`] re-executes counterexample paths
-//! (through the real `SmEngine` for shared memory) and renders them as
-//! timelines; [`targets`] names the thirteen analysis targets; [`hb`]
-//! analyzes recorded traces; [`diag`] defines the stable lint codes and
-//! report formats.
+//! machines with an enumerated branch menu (immutable components interned
+//! behind `Arc`, so forking a branch is cheap); [`explore`] runs a
+//! memoized depth-first search over those branches, optionally through
+//! the [`por`] ample-set selector and the [`symmetry`] state
+//! canonicalization, and [`parallel`] scales that search across worker
+//! threads with verdicts bit-identical to the serial path; [`replay`]
+//! re-executes counterexample paths (through the real `SmEngine` for
+//! shared memory) and renders them as timelines; [`targets`] names the
+//! thirteen analysis targets; [`hb`] analyzes recorded traces; [`diag`]
+//! defines the stable lint codes and report formats.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub mod explore;
 pub mod feasibility;
 pub mod hb;
 pub mod machine;
+pub mod parallel;
 pub mod por;
 pub mod replay;
 pub mod scope;

@@ -18,9 +18,11 @@
 //! counterexample paths through the real `SmEngine` and compares global
 //! states, and the test suite runs differential machine-vs-engine checks.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use rustc_hash::FxHasher;
 
 use session_adversary::naive::{NaiveMpPort, NaiveSmPort};
 use session_core::algorithms::{
@@ -221,21 +223,35 @@ pub struct StepInfo {
     pub b_violation: Option<VarId>,
 }
 
-/// The exhaustive shared-memory machine: mirrors [`session_smm::SmEngine`]
-/// over cloneable [`SmAlgo`] processes.
-#[derive(Clone, Debug)]
-pub struct SmMachine {
-    algos: Vec<SmAlgo>,
-    memory: Vec<Knowledge>,
-    /// Lifetime accessor set per variable (the `b`-bound is on *distinct
-    /// processes ever accessing* a variable, as in `SharedMemory`).
-    accessors: Vec<BTreeSet<usize>>,
-    /// Next pending step time per process (each process always has exactly
-    /// one pending step).
-    due: Vec<Time>,
+/// The per-exploration-root immutable configuration of an [`SmMachine`],
+/// shared by every state forked from that root. Forking a state must not
+/// copy any of this — it rides along behind one `Arc`.
+#[derive(Debug)]
+struct SmStatics {
     gaps: GapMode,
     b: usize,
     n_ports: usize,
+}
+
+/// The exhaustive shared-memory machine: mirrors [`session_smm::SmEngine`]
+/// over cloneable [`SmAlgo`] processes.
+///
+/// Every component a transition does *not* touch is interned behind an
+/// `Arc`: cloning the machine to fork a branch bumps refcounts instead of
+/// deep-copying process states, variable values and accessor sets, and
+/// `apply` copies-on-write only the cells it actually mutates
+/// ([`Arc::make_mut`]).
+#[derive(Clone, Debug)]
+pub struct SmMachine {
+    algos: Vec<Arc<SmAlgo>>,
+    memory: Vec<Arc<Knowledge>>,
+    /// Lifetime accessor set per variable (the `b`-bound is on *distinct
+    /// processes ever accessing* a variable, as in `SharedMemory`).
+    accessors: Vec<Arc<BTreeSet<usize>>>,
+    /// Next pending step time per process (each process always has exactly
+    /// one pending step).
+    due: Vec<Time>,
+    statics: Arc<SmStatics>,
 }
 
 impl SmMachine {
@@ -252,41 +268,41 @@ impl SmMachine {
         first_steps: Vec<Time>,
     ) -> SmMachine {
         assert_eq!(algos.len(), first_steps.len());
+        let empty_value = Arc::new(Knowledge::new());
+        let empty_accessors = Arc::new(BTreeSet::new());
         SmMachine {
-            memory: vec![Knowledge::new(); num_vars],
-            accessors: vec![BTreeSet::new(); num_vars],
+            memory: vec![empty_value; num_vars],
+            accessors: vec![empty_accessors; num_vars],
             due: first_steps,
-            algos,
-            gaps,
-            b,
-            n_ports,
+            algos: algos.into_iter().map(Arc::new).collect(),
+            statics: Arc::new(SmStatics { gaps, b, n_ports }),
         }
     }
 
     /// The processes, for rebuilding a real engine in replay.
-    pub fn algos(&self) -> &[SmAlgo] {
+    pub fn algos(&self) -> &[Arc<SmAlgo>] {
         &self.algos
     }
 
     /// Current variable values (replay compares these against the real
     /// engine's global state).
-    pub fn memory(&self) -> &[Knowledge] {
+    pub fn memory(&self) -> &[Arc<Knowledge>] {
         &self.memory
     }
 
     /// Per-process fingerprints, comparable with the engine's.
     pub fn fingerprints(&self) -> Vec<u64> {
-        self.algos.iter().map(SmProcess::fingerprint).collect()
+        self.algos.iter().map(|a| a.fingerprint()).collect()
     }
 
     /// The fan-in bound `b`.
     pub fn b(&self) -> usize {
-        self.b
+        self.statics.b
     }
 
     /// The number of ports.
     pub fn n_ports(&self) -> usize {
-        self.n_ports
+        self.statics.n_ports
     }
 
     fn t_min(&self) -> Time {
@@ -307,7 +323,7 @@ impl SmMachine {
     /// Gap choices per step (each eligible process's block width in the
     /// flat choice menu).
     pub(crate) fn menu_len(&self) -> usize {
-        self.gaps.menu_len()
+        self.statics.gaps.menu_len()
     }
 
     /// The variable process `p` will access on its next step.
@@ -317,37 +333,37 @@ impl SmMachine {
 
     /// Every port process idle (relays never are, and never count).
     pub fn is_quiescent(&self) -> bool {
-        (0..self.n_ports).all(|p| self.algos[p].is_idle())
+        (0..self.statics.n_ports).all(|p| self.algos[p].is_idle())
     }
 
     /// The number of admissible transitions from this state.
     pub fn choice_count(&self) -> usize {
-        self.eligible().len() * self.gaps.menu_len()
+        self.eligible().len() * self.statics.gaps.menu_len()
     }
 
     /// Applies transition `choice` (must be `< choice_count()`). When
     /// `trace` is given, records the step exactly as the engine would.
     pub fn apply(&mut self, choice: usize, trace: Option<&mut session_sim::Trace>) -> StepInfo {
         let now = self.t_min();
-        let per = self.gaps.menu_len();
+        let per = self.statics.gaps.menu_len();
         let eligible = self.eligible();
         let p = eligible[choice / per];
         let gap_index = choice % per;
 
         let was_idle = self.algos[p].is_idle();
         let var = self.algos[p].target();
-        self.accessors[var.index()].insert(p);
-        let b_violation = (self.accessors[var.index()].len() > self.b).then_some(var);
-        let new_value = self.algos[p].step(&self.memory[var.index()]);
-        self.memory[var.index()] = new_value;
+        Arc::make_mut(&mut self.accessors[var.index()]).insert(p);
+        let b_violation = (self.accessors[var.index()].len() > self.statics.b).then_some(var);
+        let new_value = Arc::make_mut(&mut self.algos[p]).step(&self.memory[var.index()]);
+        self.memory[var.index()] = Arc::new(new_value);
         let idle_after = self.algos[p].is_idle();
-        self.due[p] = now + self.gaps.gap(p, gap_index);
+        self.due[p] = now + self.statics.gaps.gap(p, gap_index);
 
         // Port tag, exactly as the engine computes it: the access counts as
         // a port step only when the variable is a port *and* the stepping
         // process is its bound port process.
-        let port =
-            (var.index() < self.n_ports && p == var.index()).then(|| PortId::new(var.index()));
+        let port = (var.index() < self.statics.n_ports && p == var.index())
+            .then(|| PortId::new(var.index()));
 
         if let Some(trace) = trace {
             trace.push(session_sim::TraceEvent {
@@ -372,7 +388,7 @@ impl SmMachine {
     /// A hash of the machine state with times made relative to the next
     /// event, so states that differ only by a time shift coincide.
     pub fn state_hash(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = FxHasher::default();
         let t = self.t_min();
         for algo in &self.algos {
             algo.fingerprint().hash(&mut hasher);
@@ -386,7 +402,7 @@ impl SmMachine {
         for &due in &self.due {
             (due - t).hash(&mut hasher);
         }
-        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+        if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
             periods.hash(&mut hasher);
         }
         hasher.finish()
@@ -460,18 +476,33 @@ pub(crate) enum EligibleKind {
     },
 }
 
+/// The per-exploration-root immutable configuration of an [`MpMachine`],
+/// shared by every state forked from that root (see [`SmStatics`]).
+#[derive(Debug)]
+struct MpStatics {
+    gaps: GapMode,
+    delays: Vec<Dur>,
+    /// The shared empty inbox value: consuming an inbox swaps this in, so
+    /// the steady state ("most inboxes empty most of the time") costs no
+    /// allocation per step.
+    empty_inbox: Arc<Vec<Envelope<SessionMsg>>>,
+}
+
 /// The exhaustive message-passing machine: mirrors
 /// [`session_mpm::MpEngine`] over cloneable [`MpAlgo`] processes. All `n`
 /// processes are port processes (`p`'s buffer is port `p`), as
 /// `build_mp_system` wires it.
+///
+/// Like [`SmMachine`], per-process states and inboxes are interned behind
+/// `Arc`s: forking a branch is refcount traffic, and `apply` copies only
+/// the one process (and one inbox) the event touches.
 #[derive(Clone, Debug)]
 pub struct MpMachine {
-    algos: Vec<MpAlgo>,
-    inboxes: Vec<Vec<Envelope<SessionMsg>>>,
+    algos: Vec<Arc<MpAlgo>>,
+    inboxes: Vec<Arc<Vec<Envelope<SessionMsg>>>>,
     pending: Vec<Pending>,
     next_seq: u64,
-    gaps: GapMode,
-    delays: Vec<Dur>,
+    statics: Arc<MpStatics>,
     n: usize,
 }
 
@@ -496,31 +527,35 @@ impl MpMachine {
                 kind: PendingKind::Step(p),
             })
             .collect();
+        let empty_inbox = Arc::new(Vec::new());
         MpMachine {
-            inboxes: vec![Vec::new(); n],
+            inboxes: vec![Arc::clone(&empty_inbox); n],
             pending,
             next_seq: n as u64,
-            algos,
-            gaps,
-            delays,
+            algos: algos.into_iter().map(Arc::new).collect(),
+            statics: Arc::new(MpStatics {
+                gaps,
+                delays,
+                empty_inbox,
+            }),
             n,
         }
     }
 
     /// Per-process fingerprints.
     pub fn fingerprints(&self) -> Vec<u64> {
-        self.algos.iter().map(MpProcess::fingerprint).collect()
+        self.algos.iter().map(|a| a.fingerprint()).collect()
     }
 
     /// The largest session count any process currently claims, if any
     /// process maintains one.
     pub fn claimed_sessions_max(&self) -> Option<u64> {
-        self.algos.iter().filter_map(MpAlgo::claimed_sessions).max()
+        self.algos.iter().filter_map(|a| a.claimed_sessions()).max()
     }
 
     /// Every (port) process idle.
     pub fn is_quiescent(&self) -> bool {
-        self.algos.iter().all(MpProcess::is_idle)
+        self.algos.iter().all(|a| a.is_idle())
     }
 
     fn t_min(&self) -> Time {
@@ -543,22 +578,22 @@ impl MpMachine {
     }
 
     fn delay_combos(&self) -> usize {
-        self.delays.len().pow(self.n as u32)
+        self.statics.delays.len().pow(self.n as u32)
     }
 
     /// Whether stepping `p` with its current inbox would broadcast
     /// (determines how many delay choices the step carries). Probed on a
     /// scratch clone; `apply` then performs the step for real.
     fn would_broadcast(&self, p: usize) -> bool {
-        let mut scratch = self.algos[p].clone();
-        scratch.step(self.inboxes[p].clone()).is_some()
+        let mut scratch = (*self.algos[p]).clone();
+        scratch.step((*self.inboxes[p]).clone()).is_some()
     }
 
     fn event_weight(&self, pending_index: usize) -> usize {
         match self.pending[pending_index].kind {
             PendingKind::Deliver { .. } => 1,
             PendingKind::Step(p) => {
-                let gaps = self.gaps.menu_len();
+                let gaps = self.statics.gaps.menu_len();
                 if self.would_broadcast(p) {
                     gaps * self.delay_combos()
                 } else {
@@ -596,7 +631,7 @@ impl MpMachine {
     /// Whether the delay menu contains zero — a broadcast can then enable
     /// same-instant deliveries.
     pub(crate) fn has_zero_delay(&self) -> bool {
-        self.delays.iter().any(|d| d.is_zero())
+        self.statics.delays.iter().any(|d| d.is_zero())
     }
 
     /// Number of processes.
@@ -608,7 +643,7 @@ impl MpMachine {
     /// is invariant under process permutation (the gate for symmetry
     /// reduction; see [`MpAlgo::id_free`]).
     pub(crate) fn symmetric(&self) -> bool {
-        self.algos.iter().all(MpAlgo::id_free)
+        self.algos.iter().all(|a| a.id_free())
     }
 
     /// Hashes the state as it would look after renaming process `i` to
@@ -646,7 +681,7 @@ impl MpMachine {
             .collect();
         canonical.sort();
         canonical.hash(hasher);
-        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+        if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
             for &old in &inverse {
                 periods[old].hash(hasher);
             }
@@ -681,7 +716,8 @@ impl MpMachine {
                 msg,
             } => {
                 self.pending.swap_remove(pending_index);
-                self.inboxes[to].push(Envelope::new(ProcessId::new(from), SessionMsg::new(value)));
+                Arc::make_mut(&mut self.inboxes[to])
+                    .push(Envelope::new(ProcessId::new(from), SessionMsg::new(value)));
                 let idle = self.algos[to].is_idle();
                 if let Some(trace) = trace.as_deref_mut() {
                     let msg = msg.expect("traced replay assigns message ids at send time");
@@ -704,7 +740,7 @@ impl MpMachine {
                 }
             }
             PendingKind::Step(p) => {
-                let gaps_len = self.gaps.menu_len();
+                let gaps_len = self.statics.gaps.menu_len();
                 let (gap_index, combo) = if self.would_broadcast(p) {
                     (sub / self.delay_combos(), sub % self.delay_combos())
                 } else {
@@ -712,10 +748,16 @@ impl MpMachine {
                 };
                 self.pending.swap_remove(pending_index);
 
-                let inbox = std::mem::take(&mut self.inboxes[p]);
+                // Consume the inbox: swap the shared empty value in, and
+                // take the old vector by value when this state owns it
+                // (sibling branches usually share pre-consumption inboxes,
+                // in which case the contents are cloned out).
+                let inbox_cell =
+                    std::mem::replace(&mut self.inboxes[p], Arc::clone(&self.statics.empty_inbox));
+                let inbox = Arc::try_unwrap(inbox_cell).unwrap_or_else(|shared| (*shared).clone());
                 let received = inbox.len();
                 let was_idle = self.algos[p].is_idle();
-                let outgoing = self.algos[p].step(inbox);
+                let outgoing = Arc::make_mut(&mut self.algos[p]).step(inbox);
                 let idle_after = self.algos[p].is_idle();
                 debug_assert!(gap_index < gaps_len);
 
@@ -724,8 +766,8 @@ impl MpMachine {
                 if let Some(payload) = outgoing {
                     let mut combo_rest = combo;
                     for q in 0..self.n {
-                        let delay = self.delays[combo_rest % self.delays.len()];
-                        combo_rest /= self.delays.len();
+                        let delay = self.statics.delays[combo_rest % self.statics.delays.len()];
+                        combo_rest /= self.statics.delays.len();
                         let msg = trace
                             .as_deref_mut()
                             .map(|t| t.record_send(ProcessId::new(p), ProcessId::new(q), now));
@@ -754,7 +796,7 @@ impl MpMachine {
                     });
                 }
                 self.pending.push(Pending {
-                    time: now + self.gaps.gap(p, gap_index),
+                    time: now + self.statics.gaps.gap(p, gap_index),
                     seq: self.next_seq,
                     kind: PendingKind::Step(p),
                 });
@@ -777,7 +819,7 @@ impl MpMachine {
     /// event. Pending events are hashed in canonical order (their
     /// insertion sequence is an enumeration artifact, not state).
     pub fn state_hash(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = FxHasher::default();
         let t = self.t_min();
         for algo in &self.algos {
             algo.fingerprint().hash(&mut hasher);
@@ -807,7 +849,7 @@ impl MpMachine {
             .collect();
         canonical.sort();
         canonical.hash(&mut hasher);
-        if let GapMode::FixedPerProcess(periods) = &self.gaps {
+        if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
             periods.hash(&mut hasher);
         }
         hasher.finish()
@@ -963,7 +1005,7 @@ mod tests {
             .sum::<usize>();
         let info = machine.apply(first_delivery, None);
         assert!(!info.is_process_step);
-        assert_eq!(machine.inboxes.iter().map(Vec::len).sum::<usize>(), 1);
+        assert_eq!(machine.inboxes.iter().map(|i| i.len()).sum::<usize>(), 1);
     }
 
     #[test]

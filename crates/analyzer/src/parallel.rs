@@ -1,0 +1,608 @@
+//! Multi-core exploration: a work-sharing frontier explorer whose
+//! findings are bit-identical to the serial DFS in [`crate::explore`].
+//!
+//! # Architecture (DESIGN.md §13)
+//!
+//! Exploration runs in two phases:
+//!
+//! * **Phase A — parallel code discovery.** `threads` workers drain a
+//!   shared deque of work items (a subtree root: machine × counter ×
+//!   depth × ancestor-key set). Each worker runs the same budget-aware
+//!   memoized DFS as the serial explorer over its item, against a
+//!   lock-striped memo shared by all workers, and records only the *set
+//!   of lint codes* it finds — no witness paths. When the pool runs low,
+//!   a worker *donates* children of its current state instead of
+//!   recursing into all of them.
+//! * **Phase B — serial witness re-derivation.** The union of the codes
+//!   is handed to [`crate::explore::explore_witnesses`]: the serial DFS
+//!   re-runs in its canonical order and stops as soon as every code has
+//!   a witness. The reported violations are therefore the serial
+//!   explorer's first witnesses — same codes, same roots, same paths —
+//!   independent of how Phase A's work was interleaved. Clean targets
+//!   (no codes) skip Phase B entirely, so the expensive case pays
+//!   nothing for determinism.
+//!
+//! # Soundness under concurrency
+//!
+//! The budget-aware memo's invariant — *an entry `(key → budget)` is
+//! only readable after every lint reachable from `key` within `budget`
+//! has been recorded* — survives parallelism because entries are written
+//! strictly **after** the writing worker finished the subtree, and any
+//! dfs frame with a donated descendant skips its memo write entirely
+//! (the donated child's promise is not yet fulfilled; writing would let
+//! another worker skip a region whose codes nobody has recorded yet,
+//! and promise cycles between such entries could leave states forever
+//! unexplored). Two workers may race into the same state and both
+//! explore it — duplicated work, never a missed verdict; stripe locks
+//! merge their budgets with `max`.
+//!
+//! The POR cycle proviso is thread-local by construction: ample pruning
+//! decisions only ever depend on the worker's own DFS stack, and a
+//! *donation state expands its full choice menu*, so no pruning decision
+//! ever spans two workers' stacks. Donated items carry their ancestors'
+//! key set, keeping lasso detection (`SA005`) exact across the split.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use session_obs::Recorder;
+
+use crate::diag::LintCode;
+use crate::explore::{
+    check_step, explore_witnesses, state_key, AnyMachine, Exploration, ExploreOpts, ReductionStats,
+    SessionCounter, MEMO_COMPLETE,
+};
+use crate::por;
+
+/// Memo stripes. Power of two; the stripe index is the key's top bits
+/// (FxHash mixes into the high bits), so stripe pressure stays uniform.
+const STRIPES: usize = 64;
+
+/// Subtrees with no more remaining budget than this are never donated —
+/// the pool round-trip costs more than just walking them locally.
+const DONATE_MIN_BUDGET: usize = 4;
+
+/// One unexplored subtree in the shared pool.
+struct WorkItem {
+    machine: AnyMachine,
+    counter: SessionCounter,
+    /// Events between the root and this state (= consumed depth budget).
+    depth: usize,
+    /// Memo keys of every ancestor state on the donating worker's path —
+    /// revisiting one of these is a lasso exactly as it would be on a
+    /// single stack.
+    prefix: Arc<FxHashSet<u64>>,
+}
+
+/// The shared work pool: a deque of donated subtrees plus the number of
+/// workers currently processing an item. Workers block while the deque is
+/// empty but peers are still busy (they may donate); everyone exits when
+/// the deque is empty and nobody is busy.
+struct Pool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    /// Lock-free length approximation for the donation heuristic.
+    approx_len: AtomicUsize,
+}
+
+struct PoolState {
+    queue: VecDeque<WorkItem>,
+    busy: usize,
+}
+
+impl Pool {
+    fn new(seeds: Vec<WorkItem>) -> Pool {
+        let approx = seeds.len();
+        Pool {
+            state: Mutex::new(PoolState {
+                queue: seeds.into(),
+                busy: 0,
+            }),
+            available: Condvar::new(),
+            approx_len: AtomicUsize::new(approx),
+        }
+    }
+
+    /// Whether workers are likely to starve soon — the donation trigger.
+    fn is_starving(&self, threads: usize) -> bool {
+        self.approx_len.load(Ordering::Relaxed) < threads
+    }
+
+    fn push(&self, item: WorkItem) {
+        let mut state = self.state.lock().expect("pool lock");
+        state.queue.push_back(item);
+        self.approx_len.fetch_add(1, Ordering::Relaxed);
+        self.available.notify_one();
+    }
+
+    /// Takes the next item (marking this worker busy), or `None` when the
+    /// exploration is globally finished.
+    fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().expect("pool lock");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                state.busy += 1;
+                self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if state.busy == 0 {
+                // Termination: wake every parked peer so they observe it.
+                self.available.notify_all();
+                return None;
+            }
+            state = self.available.wait(state).expect("pool lock");
+        }
+    }
+
+    /// Marks the current item finished (counterpart of [`Pool::pop`]).
+    fn finish(&self) {
+        let mut state = self.state.lock().expect("pool lock");
+        state.busy -= 1;
+        if state.busy == 0 && state.queue.is_empty() {
+            self.available.notify_all();
+        }
+    }
+}
+
+/// The lock-striped visited/memo table, same budget semantics as the
+/// serial explorer's map ([`MEMO_COMPLETE`] = fully explored).
+struct ShardedMemo {
+    stripes: Vec<Mutex<FxHashMap<u64, usize>>>,
+}
+
+impl ShardedMemo {
+    fn new() -> ShardedMemo {
+        ShardedMemo {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, key: u64) -> &Mutex<FxHashMap<u64, usize>> {
+        &self.stripes[(key >> 58) as usize & (STRIPES - 1)]
+    }
+
+    fn get(&self, key: u64) -> Option<usize> {
+        self.stripe(key)
+            .lock()
+            .expect("memo stripe")
+            .get(&key)
+            .copied()
+    }
+
+    /// Merges `budget` in with `max` — concurrent writers keep the most
+    /// complete exploration either of them performed.
+    fn merge(&self, key: u64, budget: usize) {
+        let mut stripe = self.stripe(key).lock().expect("memo stripe");
+        let entry = stripe.entry(key).or_insert(budget);
+        *entry = (*entry).max(budget);
+    }
+
+    fn len(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("memo stripe").len() as u64)
+            .sum()
+    }
+}
+
+/// What one worker's dfs frame reports upward (the serial
+/// `SubtreeOutcome` plus donation tracking).
+#[derive(Clone, Copy)]
+struct Outcome {
+    complete: bool,
+    closed_cycle: bool,
+    /// A descendant of this frame was donated to the pool: its subtree's
+    /// completion is someone else's promise, so no frame below the
+    /// donation point may write a memo entry.
+    donated: bool,
+}
+
+/// Per-worker exploration state and counters (merged after the join).
+struct Worker<'a> {
+    pool: &'a Pool,
+    memo: &'a ShardedMemo,
+    threads: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    /// Ancestor keys inherited from the donating worker (current item).
+    prefix: Arc<FxHashSet<u64>>,
+    /// Keys on this worker's own DFS stack.
+    on_path: FxHashSet<u64>,
+    codes: BTreeSet<LintCode>,
+    states: u64,
+    pruned: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    depth_hits: u64,
+}
+
+impl Worker<'_> {
+    fn run(&mut self) {
+        while let Some(item) = self.pool.pop() {
+            self.prefix = Arc::clone(&item.prefix);
+            self.on_path.clear();
+            let _ = self.dfs(item.machine, &item.counter, item.depth);
+            self.pool.finish();
+        }
+    }
+
+    fn dfs(&mut self, machine: AnyMachine, counter: &SessionCounter, depth: usize) -> Outcome {
+        let done = Outcome {
+            complete: true,
+            closed_cycle: false,
+            donated: false,
+        };
+        if machine.is_quiescent() {
+            if counter.sessions() < self.s {
+                self.codes.insert(LintCode::SessionDeficit);
+            }
+            return done;
+        }
+        let key = state_key(&machine, counter, self.opts.symmetry);
+        if self.on_path.contains(&key) || self.prefix.contains(&key) {
+            self.codes.insert(LintCode::NonTermination);
+            return Outcome {
+                complete: true,
+                closed_cycle: true,
+                donated: false,
+            };
+        }
+        let remaining = self.max_depth.saturating_sub(depth);
+        if let Some(budget) = self.memo.get(key) {
+            if budget >= remaining {
+                self.memo_hits += 1;
+                if budget == MEMO_COMPLETE {
+                    return done;
+                }
+                self.depth_hits += 1;
+                return Outcome {
+                    complete: false,
+                    closed_cycle: false,
+                    donated: false,
+                };
+            }
+        }
+        self.memo_misses += 1;
+        if depth >= self.max_depth {
+            self.depth_hits += 1;
+            return Outcome {
+                complete: false,
+                closed_cycle: false,
+                donated: false,
+            };
+        }
+        self.states += 1;
+        self.on_path.insert(key);
+        let (complete, donated) = self.expand(&machine, counter, depth);
+        self.on_path.remove(&key);
+        if !donated {
+            self.memo
+                .merge(key, if complete { MEMO_COMPLETE } else { remaining });
+        }
+        Outcome {
+            complete: complete && !donated,
+            closed_cycle: false,
+            donated,
+        }
+    }
+
+    /// One successor edge: apply, advance the counter (lazily — only port
+    /// steps touch it), fire the step lints, recurse.
+    fn explore_choice(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        choice: usize,
+        depth: usize,
+    ) -> Outcome {
+        let (next, next_counter) = match make_child(machine, counter, choice) {
+            Child::Pruned(code) => {
+                self.codes.insert(code);
+                return Outcome {
+                    complete: true,
+                    closed_cycle: false,
+                    donated: false,
+                };
+            }
+            Child::Open(next, next_counter) => (next, next_counter),
+        };
+        let next_counter = next_counter.as_ref().unwrap_or(counter);
+        self.dfs(next, next_counter, depth + 1)
+    }
+
+    /// Expands a state: either donates children to the pool (full menu,
+    /// no memo write anywhere below) or runs the serial ample/proviso
+    /// expansion locally. Returns `(complete, donated)`.
+    fn expand(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        depth: usize,
+    ) -> (bool, bool) {
+        let choices = machine.choice_count();
+        debug_assert!(choices > 0, "non-quiescent machine must have events");
+        let remaining = self.max_depth - depth;
+        if choices > 1 && remaining > DONATE_MIN_BUDGET && self.pool.is_starving(self.threads) {
+            return (self.donate(machine, counter, choices, depth), true);
+        }
+        let ample = if self.opts.por {
+            por::select_ample(machine, counter)
+        } else {
+            None
+        };
+        let Some(ample) = ample else {
+            let mut complete = true;
+            let mut donated = false;
+            for choice in 0..choices {
+                let outcome = self.explore_choice(machine, counter, choice, depth);
+                complete &= outcome.complete;
+                donated |= outcome.donated;
+            }
+            return (complete, donated);
+        };
+        debug_assert!(ample.end <= choices && !ample.is_empty());
+        let mut complete = true;
+        let mut donated = false;
+        let mut closed_cycle = false;
+        for choice in ample.start..ample.end {
+            let outcome = self.explore_choice(machine, counter, choice, depth);
+            complete &= outcome.complete;
+            closed_cycle |= outcome.closed_cycle;
+            donated |= outcome.donated;
+        }
+        if closed_cycle {
+            // Cycle proviso, exactly as in the serial explorer: the cycle
+            // closed on this worker's own stack (or its inherited prefix),
+            // so expand the rest of the menu too.
+            for choice in (0..ample.start).chain(ample.end..choices) {
+                let outcome = self.explore_choice(machine, counter, choice, depth);
+                complete &= outcome.complete;
+                donated |= outcome.donated;
+            }
+        } else {
+            self.pruned += (choices - ample.len()) as u64;
+        }
+        (complete, donated)
+    }
+
+    /// Donation: expand the *full* menu (so no POR decision spans the
+    /// split), keep the first open child for this worker and push the
+    /// rest. Returns local completeness (donated children excluded — the
+    /// caller's `donated` flag already suppresses every affected memo
+    /// write).
+    fn donate(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        choices: usize,
+        depth: usize,
+    ) -> bool {
+        let mut prefix: FxHashSet<u64> = (*self.prefix).clone();
+        prefix.extend(self.on_path.iter().copied());
+        let prefix = Arc::new(prefix);
+        let mut kept: Option<(AnyMachine, Option<SessionCounter>)> = None;
+        for choice in 0..choices {
+            match make_child(machine, counter, choice) {
+                Child::Pruned(code) => {
+                    self.codes.insert(code);
+                }
+                Child::Open(next, next_counter) => {
+                    if kept.is_none() {
+                        kept = Some((next, next_counter));
+                    } else {
+                        self.pool.push(WorkItem {
+                            machine: next,
+                            counter: next_counter.unwrap_or_else(|| counter.clone()),
+                            depth: depth + 1,
+                            prefix: Arc::clone(&prefix),
+                        });
+                    }
+                }
+            }
+        }
+        let Some((next, next_counter)) = kept else {
+            // Every edge fired a step lint: the subtree is locally done.
+            return true;
+        };
+        let next_counter = next_counter.as_ref().unwrap_or(counter);
+        self.dfs(next, next_counter, depth + 1).complete
+    }
+}
+
+/// A successor edge's result: pruned at a step-level lint, or an open
+/// child state (with its advanced counter when the step was visible to
+/// the session counter).
+enum Child {
+    Pruned(LintCode),
+    Open(AnyMachine, Option<SessionCounter>),
+}
+
+fn make_child(machine: &AnyMachine, counter: &SessionCounter, choice: usize) -> Child {
+    let mut next = machine.clone();
+    let info = next.apply(choice, None);
+    let next_counter = info.port.is_some().then(|| {
+        let mut cloned = counter.clone();
+        cloned.observe(&info);
+        cloned
+    });
+    let effective = next_counter.as_ref().unwrap_or(counter);
+    match check_step(&info, &next, effective) {
+        Some((code, _message)) => Child::Pruned(code),
+        None => Child::Open(next, next_counter),
+    }
+}
+
+/// The work-sharing parallel explorer behind `ExploreOpts { threads > 1 }`
+/// — see the module docs for the phase split and the determinism
+/// argument. Verdicts (codes, witness roots, witness paths, truncation)
+/// are bit-identical to [`crate::explore::explore_recorded_opts`] at
+/// `threads = 1`; the `states` count may differ (workers racing into the
+/// same state both count it, and the serial witness pass adds none).
+pub(crate) fn explore_parallel(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    recorder: &mut dyn Recorder,
+) -> Exploration {
+    debug_assert!(opts.threads > 1);
+    let started = Instant::now();
+    let empty_prefix = Arc::new(FxHashSet::default());
+    let seeds: Vec<WorkItem> = roots
+        .iter()
+        .map(|root| WorkItem {
+            machine: root.clone(),
+            counter: SessionCounter::new(n, s),
+            depth: 0,
+            prefix: Arc::clone(&empty_prefix),
+        })
+        .collect();
+    let pool = Pool::new(seeds);
+    let memo = ShardedMemo::new();
+
+    let mut states = 0u64;
+    let mut pruned = 0u64;
+    let mut memo_hits = 0u64;
+    let mut memo_misses = 0u64;
+    let mut depth_hits = 0u64;
+    let mut codes: BTreeSet<LintCode> = BTreeSet::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.threads)
+            .map(|_| {
+                let pool = &pool;
+                let memo = &memo;
+                let empty_prefix = Arc::clone(&empty_prefix);
+                scope.spawn(move || {
+                    let mut worker = Worker {
+                        pool,
+                        memo,
+                        threads: opts.threads,
+                        s,
+                        max_depth,
+                        opts,
+                        prefix: empty_prefix,
+                        on_path: FxHashSet::default(),
+                        codes: BTreeSet::new(),
+                        states: 0,
+                        pruned: 0,
+                        memo_hits: 0,
+                        memo_misses: 0,
+                        depth_hits: 0,
+                    };
+                    worker.run();
+                    (
+                        worker.states,
+                        worker.pruned,
+                        worker.memo_hits,
+                        worker.memo_misses,
+                        worker.depth_hits,
+                        worker.codes,
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (w_states, w_pruned, w_hits, w_misses, w_depth, w_codes) =
+                handle.join().expect("exploration worker panicked");
+            states += w_states;
+            pruned += w_pruned;
+            memo_hits += w_hits;
+            memo_misses += w_misses;
+            depth_hits += w_depth;
+            codes.extend(w_codes);
+        }
+    });
+
+    // Phase B: canonical witnesses, serially — free when nothing fired.
+    let violations = explore_witnesses(roots, n, s, max_depth, opts, &codes);
+    debug_assert_eq!(
+        violations.len(),
+        codes.len(),
+        "witness re-derivation must find every code Phase A found"
+    );
+
+    if recorder.is_enabled() {
+        recorder.counter("explore.memo_hits", memo_hits);
+        recorder.counter("explore.memo_misses", memo_misses);
+        recorder.counter("explore.pruned_choices", pruned);
+        recorder.gauge("explore.states", states as f64);
+        recorder.gauge("explore.memo_entries", memo.len() as f64);
+        recorder.gauge("explore.threads", opts.threads as f64);
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
+        }
+    }
+    Exploration {
+        states,
+        violations,
+        truncated: depth_hits > 0,
+        depth_hits,
+        stats: ReductionStats { pruned, memo_hits },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_machine() -> AnyMachine {
+        use crate::machine::{GapMode, MpAlgo, MpMachine};
+        use session_core::algorithms::SyncMpPort;
+        use session_types::{Dur, Time};
+        let algos = vec![MpAlgo::Sync(SyncMpPort::new(1))];
+        AnyMachine::Mp(MpMachine::new(
+            algos,
+            GapMode::PerStep(vec![Dur::from_int(1)]),
+            vec![Dur::from_int(1)],
+            vec![Time::ZERO + Dur::from_int(1)],
+        ))
+    }
+
+    #[test]
+    fn pool_pops_in_fifo_order_and_terminates() {
+        let machine = tiny_machine();
+        let seeds = vec![
+            WorkItem {
+                machine: machine.clone(),
+                counter: SessionCounter::new(1, 1),
+                depth: 0,
+                prefix: Arc::new(FxHashSet::default()),
+            },
+            WorkItem {
+                machine,
+                counter: SessionCounter::new(1, 1),
+                depth: 7,
+                prefix: Arc::new(FxHashSet::default()),
+            },
+        ];
+        let pool = Pool::new(seeds);
+        let first = pool.pop().expect("seeded");
+        assert_eq!(first.depth, 0);
+        pool.finish();
+        let second = pool.pop().expect("seeded");
+        assert_eq!(second.depth, 7);
+        pool.finish();
+        assert!(pool.pop().is_none(), "empty + idle pool terminates");
+    }
+
+    #[test]
+    fn sharded_memo_merges_budgets_with_max() {
+        let memo = ShardedMemo::new();
+        memo.merge(42, 3);
+        memo.merge(42, 10);
+        memo.merge(42, 5);
+        assert_eq!(memo.get(42), Some(10));
+        memo.merge(42, MEMO_COMPLETE);
+        assert_eq!(memo.get(42), Some(MEMO_COMPLETE));
+        assert_eq!(memo.get(43), None);
+        assert_eq!(memo.len(), 1);
+    }
+}

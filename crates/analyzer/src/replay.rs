@@ -126,7 +126,7 @@ fn replay_through_engine(
     let processes: Vec<Box<dyn SmProcess<session_smm::Knowledge>>> = root
         .algos()
         .iter()
-        .map(|algo| Box::new(algo.clone()) as Box<dyn SmProcess<session_smm::Knowledge>>)
+        .map(|algo| Box::new((**algo).clone()) as Box<dyn SmProcess<session_smm::Knowledge>>)
         .collect();
     let bindings = (0..root.n_ports())
         .map(|i| PortBinding {
@@ -142,7 +142,13 @@ fn replay_through_engine(
         .run_scripted(&counterexample.script)
         .map_err(|err| format!("engine replay failed: {err}"))?;
     let state = engine.global_state();
-    if state.vars != end.memory() {
+    let machine_vars_match = state.vars.len() == end.memory().len()
+        && state
+            .vars
+            .iter()
+            .zip(end.memory())
+            .all(|(engine_value, machine_value)| engine_value == machine_value.as_ref());
+    if !machine_vars_match {
         return Err("engine replay reached different variable values".to_string());
     }
     if state.process_fingerprints != end.fingerprints() {

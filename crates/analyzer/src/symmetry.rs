@@ -31,8 +31,10 @@
 //! Shared-memory targets are excluded too — the tree network's
 //! variable wiring breaks the port-permutation automorphism.
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::Hasher;
+use std::sync::OnceLock;
+
+use rustc_hash::FxHasher;
 
 use crate::explore::{AnyMachine, SessionCounter};
 
@@ -53,13 +55,24 @@ pub(crate) fn canonical_key(machine: &AnyMachine, counter: &SessionCounter) -> O
         return None;
     }
     let mut best = u64::MAX;
-    for sigma in permutations(n) {
-        let mut hasher = DefaultHasher::new();
-        m.hash_permuted(&sigma, &mut hasher);
-        counter.hash_permuted(&sigma, &mut hasher);
+    for sigma in group(n) {
+        let mut hasher = FxHasher::default();
+        m.hash_permuted(sigma, &mut hasher);
+        counter.hash_permuted(sigma, &mut hasher);
         best = best.min(hasher.finish());
     }
     Some(best)
+}
+
+/// The cached permutation group for `n` processes. `canonical_key` runs
+/// once per *state*, so regenerating the `n!` vectors there dominated the
+/// reduction's own cost; the group per scope is computed exactly once per
+/// process (and shared lock-free across exploration threads).
+fn group(n: usize) -> &'static [Vec<usize>] {
+    static GROUPS: [OnceLock<Vec<Vec<usize>>>; MAX_PERMUTED + 1] =
+        [const { OnceLock::new() }; MAX_PERMUTED + 1];
+    debug_assert!(n <= MAX_PERMUTED);
+    GROUPS[n].get_or_init(|| permutations(n))
 }
 
 /// All permutations of `0..n`, identity first (plain recursive

@@ -1,0 +1,178 @@
+//! Differential harness: the parallel explorer must be *bit-identical*
+//! to the serial one.
+//!
+//! `reduction_diff.rs` only demands code-set equality across reductions,
+//! because a reduction may legitimately find a violation along a
+//! different representative interleaving. The thread count is held to a
+//! stricter standard: the parallel explorer re-derives its witnesses
+//! through the serial DFS (see `parallel.rs` Phase B), so not just the
+//! codes but the *witness roots, paths, messages, their order* and the
+//! truncation flag must match the serial run exactly, at every thread
+//! count, under every reduction combination.
+
+use proptest::prelude::*;
+use session_analyzer::explore::{explore_with_opts, Exploration};
+use session_analyzer::{scoped_target_space, ExploreOpts, TARGET_NAMES};
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+/// Every reduce= combination, serial; the thread sweep is layered on top.
+const REDUCTIONS: [(&str, ExploreOpts); 4] = [
+    (
+        "none",
+        ExploreOpts {
+            por: false,
+            symmetry: false,
+            threads: 1,
+        },
+    ),
+    (
+        "por",
+        ExploreOpts {
+            por: true,
+            symmetry: false,
+            threads: 1,
+        },
+    ),
+    (
+        "symmetry",
+        ExploreOpts {
+            por: false,
+            symmetry: true,
+            threads: 1,
+        },
+    ),
+    (
+        "por+symmetry",
+        ExploreOpts {
+            por: true,
+            symmetry: true,
+            threads: 1,
+        },
+    ),
+];
+
+/// The full identity of every finding, in report order.
+fn findings(exploration: &Exploration) -> Vec<(String, usize, Vec<usize>, String)> {
+    exploration
+        .violations
+        .iter()
+        .map(|v| {
+            (
+                v.code.code().to_owned(),
+                v.root,
+                v.path.clone(),
+                v.message.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Explores `name` at `(n, s, depth)` serially and at every thread count,
+/// asserting identical findings and truncation everywhere.
+fn assert_thread_invariant(name: &str, n: usize, s: u64, depth: usize) {
+    let space = scoped_target_space(name, n, s).expect("registered target");
+    for (label, serial_opts) in REDUCTIONS {
+        let serial = explore_with_opts(&space.roots, n, s, depth, serial_opts);
+        let expected = findings(&serial);
+        for threads in THREAD_COUNTS {
+            let parallel = explore_with_opts(
+                &space.roots,
+                n,
+                s,
+                depth,
+                ExploreOpts {
+                    threads,
+                    ..serial_opts
+                },
+            );
+            assert_eq!(
+                findings(&parallel),
+                expected,
+                "{name} n={n} s={s} depth={depth} reduce={label}: findings diverged at threads={threads}"
+            );
+            assert_eq!(
+                parallel.truncated, serial.truncated,
+                "{name} n={n} s={s} depth={depth} reduce={label}: truncation diverged at threads={threads}"
+            );
+        }
+    }
+}
+
+/// A violating SM target, a violating MP target and a clean target of
+/// each substrate, pinned at a scope where every reduction combination
+/// still finishes quickly in a debug build.
+#[test]
+fn representative_targets_are_thread_invariant_at_small_scope() {
+    for name in ["SyncSm", "NaivePeriodicSm", "SyncMp", "NaiveSporadicMp"] {
+        assert_thread_invariant(name, 2, 2, 10);
+    }
+}
+
+/// One deeper exhaustive run (full default depth) on a target whose
+/// space is large enough for real work sharing to happen.
+#[test]
+fn periodic_mp_is_thread_invariant_at_full_depth() {
+    let name = "PeriodicMp";
+    let space = scoped_target_space(name, 2, 2).expect("registered target");
+    let depth = space.scope.max_depth;
+    for (label, serial_opts) in REDUCTIONS {
+        let serial = explore_with_opts(&space.roots, 2, 2, depth, serial_opts);
+        for threads in THREAD_COUNTS {
+            let parallel = explore_with_opts(
+                &space.roots,
+                2,
+                2,
+                depth,
+                ExploreOpts {
+                    threads,
+                    ..serial_opts
+                },
+            );
+            assert_eq!(
+                findings(&parallel),
+                findings(&serial),
+                "PeriodicMp reduce={label} threads={threads}"
+            );
+            assert_eq!(parallel.truncated, serial.truncated);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random small scopes over every registered target: findings and
+    /// truncation must be identical for threads in {1, 2, 8} under every
+    /// reduce= combination.
+    #[test]
+    fn random_small_scopes_are_thread_invariant(
+        target_idx in 0usize..TARGET_NAMES.len(),
+        n in 1usize..=3,
+        s in 1u64..=3,
+        depth in 4usize..=12,
+    ) {
+        let name = TARGET_NAMES[target_idx];
+        let space = scoped_target_space(name, n, s).expect("registered target");
+        for (label, serial_opts) in REDUCTIONS {
+            let serial = explore_with_opts(&space.roots, n, s, depth, serial_opts);
+            let expected = findings(&serial);
+            for threads in THREAD_COUNTS {
+                let parallel = explore_with_opts(
+                    &space.roots,
+                    n,
+                    s,
+                    depth,
+                    ExploreOpts { threads, ..serial_opts },
+                );
+                prop_assert_eq!(
+                    findings(&parallel),
+                    expected.clone(),
+                    "{} at n={} s={} depth={} reduce={} threads={}",
+                    name, n, s, depth, label, threads
+                );
+                prop_assert_eq!(parallel.truncated, serial.truncated);
+            }
+        }
+    }
+}

@@ -39,13 +39,16 @@ const FAST_TARGETS: [&str; 11] = [
 const SLOW_TARGETS: [&str; 2] = ["SporadicMp", "NaiveSporadicMp"];
 
 /// The reduction combinations under test, paired with a label for
-/// failure messages.
-const COMBOS: [(&str, ExploreOpts); 3] = [
+/// failure messages. Each reduction runs serially and again on the
+/// work-sharing parallel explorer (threads=4), which must preserve
+/// verdicts exactly like the reductions themselves.
+const COMBOS: [(&str, ExploreOpts); 7] = [
     (
         "por",
         ExploreOpts {
             por: true,
             symmetry: false,
+            threads: 1,
         },
     ),
     (
@@ -53,6 +56,7 @@ const COMBOS: [(&str, ExploreOpts); 3] = [
         ExploreOpts {
             por: false,
             symmetry: true,
+            threads: 1,
         },
     ),
     (
@@ -60,6 +64,39 @@ const COMBOS: [(&str, ExploreOpts); 3] = [
         ExploreOpts {
             por: true,
             symmetry: true,
+            threads: 1,
+        },
+    ),
+    (
+        "threads=4",
+        ExploreOpts {
+            por: false,
+            symmetry: false,
+            threads: 4,
+        },
+    ),
+    (
+        "por@threads=4",
+        ExploreOpts {
+            por: true,
+            symmetry: false,
+            threads: 4,
+        },
+    ),
+    (
+        "symmetry@threads=4",
+        ExploreOpts {
+            por: false,
+            symmetry: true,
+            threads: 4,
+        },
+    ),
+    (
+        "por+symmetry@threads=4",
+        ExploreOpts {
+            por: true,
+            symmetry: true,
+            threads: 4,
         },
     ),
 ];
@@ -107,7 +144,7 @@ fn assert_equivalent(name: &str) -> (u64, u64) {
                 .any(|d| d.message.contains("self-check failed")),
             "{name}: counterexample under {label} failed its feasibility self-check"
         );
-        if opts.por && opts.symmetry {
+        if opts.por && opts.symmetry && opts.threads == 1 {
             reduced_states = report.targets[0].states;
         }
     }

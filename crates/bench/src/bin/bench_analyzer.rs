@@ -1,0 +1,195 @@
+//! Analyzer throughput benchmark: explore the paper's periodic
+//! message-passing target at the headline scope (n = 3, s = 3) across a
+//! thread sweep and report states/second, the parallel speedup over the
+//! serial explorer, and the findings multiset — which must be identical
+//! at every thread count (the parallel explorer re-derives its witnesses
+//! through the serial DFS, see `session-analyzer`'s `parallel` module).
+//!
+//! ```text
+//! cargo run --release -p session-bench --bin bench_analyzer
+//! cargo run --release -p session-bench --bin bench_analyzer -- --json
+//! cargo run --release -p session-bench --bin bench_analyzer -- --json out.json
+//! ```
+//!
+//! Report schema: `session-bench/analyzer/v1` — per row the reduction
+//! label, thread count, distinct states visited, wall-clock seconds,
+//! states/second, speedup over the threads=1 row of the same reduction,
+//! the sorted lint-code multiset, and the truncation flag.
+//!
+//! Exit status: `0` on success, `1` when the findings diverge across
+//! thread counts (a correctness failure). A speedup below the CI target
+//! is **not** a failure here — single-core hosts legitimately measure
+//! ≈1×; the threshold is asserted by CI on its own hardware from the
+//! recorded JSON.
+
+use std::time::Instant;
+
+use session_analyzer::explore::explore_with_opts;
+use session_analyzer::{scoped_target_space, ExploreOpts};
+use session_bench::json_report::json_flag;
+use session_obs::json::JsonWriter;
+
+/// The version tag written into every analyzer-bench report.
+const SCHEMA: &str = "session-bench/analyzer/v1";
+
+/// The headline target and scope of the speedup acceptance criterion.
+const TARGET: &str = "PeriodicMp";
+const N: usize = 3;
+const S: u64 = 3;
+
+/// The thread sweep. `1` is the serial baseline every speedup is
+/// relative to.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct BenchRow {
+    reduce: &'static str,
+    threads: usize,
+    states: u64,
+    wall_secs: f64,
+    states_per_sec: f64,
+    speedup: f64,
+    findings: Vec<String>,
+    truncated: bool,
+}
+
+/// Explores the target once and measures throughput.
+fn measure(
+    space: &session_analyzer::TargetSpace,
+    reduce: &'static str,
+    base: ExploreOpts,
+    threads: usize,
+) -> BenchRow {
+    let opts = ExploreOpts { threads, ..base };
+    let start = Instant::now();
+    let exploration = explore_with_opts(&space.roots, N, S, space.scope.max_depth, opts);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut findings: Vec<String> = exploration
+        .violations
+        .iter()
+        .map(|v| v.code.code().to_owned())
+        .collect();
+    findings.sort();
+    BenchRow {
+        reduce,
+        threads,
+        states: exploration.states,
+        wall_secs,
+        states_per_sec: exploration.states as f64 / wall_secs.max(1e-9),
+        speedup: 0.0, // filled in once the serial baseline is known
+        findings,
+        truncated: exploration.truncated,
+    }
+}
+
+/// Runs the thread sweep for one reduction setting.
+fn sweep(
+    space: &session_analyzer::TargetSpace,
+    reduce: &'static str,
+    base: ExploreOpts,
+) -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = THREADS
+        .iter()
+        .map(|&threads| measure(space, reduce, base, threads))
+        .collect();
+    let baseline = rows[0].states_per_sec;
+    for row in &mut rows {
+        row.speedup = row.states_per_sec / baseline.max(1e-9);
+    }
+    rows
+}
+
+fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.field_str("target", TARGET);
+    w.field_u64("n", N as u64);
+    w.field_u64("s", S);
+    w.field_u64("max_depth", max_depth as u64);
+    w.field_u64("host_threads", host_threads as u64);
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.field_str("reduce", row.reduce);
+        w.field_u64("threads", row.threads as u64);
+        w.field_u64("states", row.states);
+        w.field_f64("wall_secs", row.wall_secs);
+        w.field_f64("states_per_sec", row.states_per_sec);
+        w.field_f64("speedup", row.speedup);
+        w.key("findings");
+        w.begin_array();
+        for code in &row.findings {
+            w.value_str(code);
+        }
+        w.end_array();
+        w.field_bool("truncated", row.truncated);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn main() {
+    let json_path = json_flag(std::env::args().skip(1), "BENCH_analyzer.json");
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let space = scoped_target_space(TARGET, N, S).expect("PeriodicMp is registered");
+    println!(
+        "# Analyzer throughput — {TARGET} at n = {N}, s = {S}, depth {}\n",
+        space.scope.max_depth
+    );
+    println!(
+        "Work-stealing parallel exploration vs the serial explorer; the\n\
+         findings multiset must be identical on every row. Host reports\n\
+         {host_threads} hardware thread(s) — speedups above 1 need more\n\
+         than one.\n"
+    );
+    println!("| reduce | threads | states | wall | states/s | speedup | findings | truncated |");
+    println!("|---|---:|---:|---:|---:|---:|---|---|");
+    let mut rows = Vec::new();
+    for (reduce, base) in [
+        ("none", ExploreOpts::default()),
+        ("all", ExploreOpts::reduced()),
+    ] {
+        rows.extend(sweep(&space, reduce, base));
+    }
+    for row in &rows {
+        println!(
+            "| {} | {} | {} | {:.2} s | {:.0} | {:.2}x | {} | {} |",
+            row.reduce,
+            row.threads,
+            row.states,
+            row.wall_secs,
+            row.states_per_sec,
+            row.speedup,
+            row.findings.join("+"),
+            row.truncated
+        );
+    }
+    // Correctness gate: the verdict must not depend on the thread count.
+    let mut diverged = false;
+    for (reduce, _) in [("none", ()), ("all", ())] {
+        let serial: Vec<&BenchRow> = rows.iter().filter(|r| r.reduce == reduce).collect();
+        for row in &serial[1..] {
+            if row.findings != serial[0].findings || row.truncated != serial[0].truncated {
+                eprintln!(
+                    "FINDINGS DIVERGED: reduce={reduce} threads={} reported {:?}, serial {:?}",
+                    row.threads, row.findings, serial[0].findings
+                );
+                diverged = true;
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, to_json(&rows, space.scope.max_depth, host_threads))
+        {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        println!("\nwrote {}", path.display());
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //! ```text
 //! session-cli analyze --all
 //! session-cli analyze --all reduce=all
+//! session-cli analyze --all reduce=all threads=8
 //! session-cli analyze NaivePeriodicSm format=csv
 //! session-cli analyze --all allow=SA005 warn=SA003
 //! session-cli analyze trace=run.jsonl
@@ -65,6 +66,8 @@ usage: session-cli analyze [--all | TARGET ...] [key=value ...]
                         periodic, semi-synchronous, sporadic, asynchronous)
   reduce=none|por|symmetry|all
                         reduction layers for the exploration (default none)
+  threads=N             worker threads for the exploration (default 1);
+                        findings are identical at every thread count
   format=md|csv         report format (default md)
   allow=CODE[,CODE...]  suppress rules (SAxxx code or rule name)
   warn=CODE[,CODE...]   report rules without failing
@@ -93,6 +96,7 @@ targets: the ten paper algorithms (clean) and three naive witnesses
         let mut trace = None;
         let mut model = None;
         let mut opts = ExploreOpts::default();
+        let mut threads: Option<usize> = None;
         let mut format = AnalyzeFormat::Markdown;
         let mut lints = LintConfig::new();
 
@@ -127,19 +131,22 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                     });
                 }
                 Some(("reduce", value)) => {
-                    opts = match value {
-                        "none" => ExploreOpts::default(),
-                        "por" => ExploreOpts {
-                            por: true,
-                            symmetry: false,
-                        },
-                        "symmetry" => ExploreOpts {
-                            por: false,
-                            symmetry: true,
-                        },
-                        "all" => ExploreOpts::reduced(),
+                    (opts.por, opts.symmetry) = match value {
+                        "none" => (false, false),
+                        "por" => (true, false),
+                        "symmetry" => (false, true),
+                        "all" => (true, true),
                         other => return Err(bad(&format!("unknown reduction `{other}`"))),
                     }
+                }
+                Some(("threads", value)) => {
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| bad(&format!("threads= wants a count, got `{value}`")))?;
+                    if parsed == 0 {
+                        return Err(bad("threads=0 is meaningless; pass threads=1 or more"));
+                    }
+                    threads = Some(parsed);
                 }
                 Some(("allow", value)) => set_codes(&mut lints, value, Severity::Allow)?,
                 Some(("warn", value)) => set_codes(&mut lints, value, Severity::Warn)?,
@@ -164,6 +171,11 @@ targets: the ten paper algorithms (clean) and three naive witnesses
         if model.is_some() && trace.is_none() {
             return Err(bad("model= is a claim override for trace= analysis"));
         }
+        if threads.is_some() && trace.is_some() {
+            return Err(bad("threads= parallelizes the state-space exploration; \
+                 trace analysis replays one recorded run and is inherently serial"));
+        }
+        opts.threads = threads.unwrap_or(1);
         Ok(AnalyzeConfig {
             targets,
             trace,
@@ -289,6 +301,36 @@ mod tests {
         assert_eq!(config.format, AnalyzeFormat::Csv);
         assert_eq!(config.opts, ExploreOpts::reduced());
         assert!(AnalyzeConfig::parse(["SyncSm", "reduce=fast"]).is_err());
+    }
+
+    #[test]
+    fn threads_parses_independently_of_reduce_order() {
+        let config = AnalyzeConfig::parse(["--all", "reduce=all", "threads=8"]).unwrap();
+        assert_eq!(config.opts.threads, 8);
+        assert!(config.opts.por && config.opts.symmetry);
+        // reduce= after threads= must not reset the thread count.
+        let config = AnalyzeConfig::parse(["SyncSm", "threads=4", "reduce=por"]).unwrap();
+        assert_eq!(config.opts.threads, 4);
+        assert!(config.opts.por && !config.opts.symmetry);
+        // Default stays serial.
+        let config = AnalyzeConfig::parse(["SyncSm"]).unwrap();
+        assert_eq!(config.opts.threads, 1);
+    }
+
+    #[test]
+    fn zero_malformed_or_trace_bound_threads_are_usage_errors() {
+        for bad in ["threads=0", "threads=", "threads=two", "threads=-1"] {
+            let err = AnalyzeConfig::parse(["SyncSm", bad]).unwrap_err();
+            assert!(
+                err.to_string().contains("usage: session-cli analyze"),
+                "`{bad}` should fail with usage, got: {err}"
+            );
+        }
+        let err = AnalyzeConfig::parse(["trace=run.jsonl", "threads=2"]).unwrap_err();
+        assert!(
+            err.to_string().contains("inherently serial"),
+            "threads= with trace= should explain itself, got: {err}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Command-line front end: run any session-problem configuration and print
 //! the verified report, run the static analyzer over the algorithm
-//! registry, or export instrumented traces. See
+//! registry (serially or across worker threads via `analyze threads=N`),
+//! or export instrumented traces. See
 //! `session_problem::cli::CliConfig::USAGE` and the `USAGE` constants of
 //! the `analyze` / `trace` / `stats` subcommand modules.
 

@@ -180,6 +180,70 @@ fn contamination_lemma_holds_across_shapes() {
 }
 
 #[test]
+fn analyze_cli_rejects_zero_threads_and_threads_with_trace() {
+    use session_problem::analyze::AnalyzeConfig;
+
+    let err = AnalyzeConfig::parse(["--all", "threads=0"]).unwrap_err();
+    assert!(
+        err.to_string().contains("threads=0"),
+        "threads=0 must name the offending key: {err}"
+    );
+    assert!(
+        err.to_string().contains("usage: session-cli analyze"),
+        "threads=0 must print usage: {err}"
+    );
+
+    let err = AnalyzeConfig::parse(["trace=run.jsonl", "threads=4"]).unwrap_err();
+    assert!(
+        err.to_string().contains("inherently serial"),
+        "threads= with trace= must explain why it is rejected: {err}"
+    );
+    // Even threads=1 is rejected with trace=: the key simply does not
+    // apply, and silently accepting it would suggest it did something.
+    assert!(AnalyzeConfig::parse(["trace=run.jsonl", "threads=1"]).is_err());
+}
+
+/// The findings block of a csv report: everything from the
+/// `code,severity,...` header on. The summary block above it carries raw
+/// state/memo counters, which the parallel explorer does not promise to
+/// reproduce exactly (workers can race to count a state before the memo
+/// merge lands); the findings and the exit code are the verdict, and
+/// those are bit-identical at every thread count.
+fn csv_findings(report: &str) -> &str {
+    let header = "code,severity,target,scope,message\n";
+    let at = report
+        .find(header)
+        .expect("csv report has a findings block");
+    &report[at..]
+}
+
+#[test]
+fn analyze_cli_findings_and_exit_code_are_thread_invariant() {
+    use session_problem::analyze::AnalyzeConfig;
+
+    // A violating target and a clean one, through the real subcommand
+    // path: rendered findings and exit code must not depend on the
+    // thread count.
+    for target in ["NaivePeriodicSm", "SyncMp"] {
+        let (serial_out, serial_code) = AnalyzeConfig::parse([target, "format=csv"])
+            .unwrap()
+            .execute()
+            .unwrap();
+        let (parallel_out, parallel_code) =
+            AnalyzeConfig::parse([target, "format=csv", "threads=2"])
+                .unwrap()
+                .execute()
+                .unwrap();
+        assert_eq!(
+            csv_findings(&parallel_out),
+            csv_findings(&serial_out),
+            "{target}: findings diverged"
+        );
+        assert_eq!(parallel_code, serial_code, "{target}: exit code diverged");
+    }
+}
+
+#[test]
 fn bench_harness_table_is_fully_consistent() {
     // The same artifact the `table1` binary prints: all 16 rows must hold.
     let rows = session_bench::measure::full_table1().unwrap();

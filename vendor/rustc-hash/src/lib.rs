@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! This workspace builds without network access, so instead of the registry
+//! crate this vendored copy provides the same API surface the workspace
+//! uses: [`FxHasher`] (the firefox/rustc "Fx" multiply-rotate hash) and the
+//! [`FxHashMap`]/[`FxHashSet`] aliases over [`BuildHasherDefault`].
+//!
+//! The hash function matches upstream's word-at-a-time scheme: each input
+//! word is rotated into the running state and multiplied by a fixed odd
+//! constant. It is *not* collision-resistant against adversarial keys —
+//! the analyzer only feeds it already-mixed 64-bit fingerprints and small
+//! trusted keys, where its single-multiply mixing is the entire point:
+//! SipHash's per-lookup setup cost dominates the explorer's hot memo path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Multiplicative constant from upstream rustc-hash (a random odd 64-bit
+/// number with roughly half its bits set, chosen for multiply mixing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic, word-at-a-time hasher.
+///
+/// State updates fold each word in with a rotate + xor + multiply:
+/// `state = (state.rotate_left(5) ^ word).wrapping_mul(SEED)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, rest) = bytes.split_at(8);
+            let word = u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"));
+            self.add_to_hash(word);
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            // Fold the byte count in so "ab" + "" and "a" + "b" differ.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (bytes.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&0xdead_beef_u64), hash_of(&0xdead_beef_u64));
+        assert_eq!(hash_of(&"session"), hash_of(&"session"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1_u64), hash_of(&2_u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        assert_ne!(hash_of(&[1_u8, 2]), hash_of(&[2_u8, 1]));
+    }
+
+    #[test]
+    fn byte_stream_tail_lengths_differ() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefg");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+        map.insert(42, 1);
+        assert_eq!(map.get(&42), Some(&1));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+}
