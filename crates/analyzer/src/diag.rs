@@ -1,7 +1,8 @@
 //! Lint codes, severities, per-rule configuration and report rendering.
 //!
-//! Every finding the checker can produce carries one of nine stable codes
-//! (`SA001`–`SA009`). Codes never change meaning; new rules get new codes.
+//! Every finding the checker can produce carries one of twelve stable
+//! codes (`SA001`–`SA012`). Codes never change meaning; new rules get new
+//! codes.
 //! Reports render as GitHub-flavored markdown tables (the same dialect as
 //! `session-bench`'s experiment reports) or as CSV.
 //!
@@ -57,10 +58,30 @@ pub enum LintCode {
     /// the run exercises the wrong row of the model hierarchy (§3–§6's
     /// per-model bounds).
     ModelMismatch,
+    /// `SA010 dead-timing-branch`: a gap/delay menu entry whose guard zone
+    /// is empty under the model's `[c1, c2]` / `[d1, d2]` window (§2's
+    /// timing bounds) — the symbolic verifier proves the branch can never
+    /// fire in any admissible execution, so the scope menu misrepresents
+    /// the model.
+    DeadTimingBranch,
+    /// `SA011 symbolic-bound-exceeded`: the zone graph's worst-case
+    /// session-close time, carried as a symbolic expression over
+    /// `c1,c2,d1,d2`, exceeds the paper's Table 1 upper-bound row for the
+    /// algorithm (§3–§6's per-model upper bounds).
+    SymbolicBoundExceeded,
+    /// `SA012 symbolic-divergence`: the explicit explorer reaches a
+    /// discrete control state the zone abstraction declares unreachable —
+    /// a soundness alarm on one of the two engines. The zone walker
+    /// explores the convex hull of the explicit engine's timing menus —
+    /// both sides enumerate §2's admissible timed computations — so its
+    /// reachable set must *cover* the explicit one (the converse need
+    /// not hold: hull-interior schedules are admissible for the model but
+    /// unrealizable from the finite menu).
+    SymbolicDivergence,
 }
 
 /// All codes, in code order.
-pub const ALL_CODES: [LintCode; 9] = [
+pub const ALL_CODES: [LintCode; 12] = [
     LintCode::SessionDeficit,
     LintCode::BBoundViolation,
     LintCode::StaleEvidence,
@@ -70,6 +91,9 @@ pub const ALL_CODES: [LintCode; 9] = [
     LintCode::SessionRace,
     LintCode::UnorderedSessionClose,
     LintCode::ModelMismatch,
+    LintCode::DeadTimingBranch,
+    LintCode::SymbolicBoundExceeded,
+    LintCode::SymbolicDivergence,
 ];
 
 impl LintCode {
@@ -85,6 +109,9 @@ impl LintCode {
             LintCode::SessionRace => "SA007",
             LintCode::UnorderedSessionClose => "SA008",
             LintCode::ModelMismatch => "SA009",
+            LintCode::DeadTimingBranch => "SA010",
+            LintCode::SymbolicBoundExceeded => "SA011",
+            LintCode::SymbolicDivergence => "SA012",
         }
     }
 
@@ -100,6 +127,9 @@ impl LintCode {
             LintCode::SessionRace => "session-race",
             LintCode::UnorderedSessionClose => "unordered-session-close",
             LintCode::ModelMismatch => "model-mismatch",
+            LintCode::DeadTimingBranch => "dead-timing-branch",
+            LintCode::SymbolicBoundExceeded => "symbolic-bound-exceeded",
+            LintCode::SymbolicDivergence => "symbolic-divergence",
         }
     }
 
@@ -134,6 +164,15 @@ impl LintCode {
             }
             LintCode::ModelMismatch => {
                 "recorded gaps prove a strictly stronger timing model than the one claimed"
+            }
+            LintCode::DeadTimingBranch => {
+                "a gap/delay menu entry whose guard zone is empty under the model window"
+            }
+            LintCode::SymbolicBoundExceeded => {
+                "the symbolic worst-case session-close time exceeds the Table 1 bound"
+            }
+            LintCode::SymbolicDivergence => {
+                "the zone abstraction fails to cover the explicit explorer's reachable control states"
             }
         }
     }

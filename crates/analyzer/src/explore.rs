@@ -40,6 +40,7 @@ use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use session_obs::{NullRecorder, Recorder};
+use session_types::Dur;
 
 use crate::diag::LintCode;
 use crate::machine::{MpMachine, SmMachine, StepInfo};
@@ -92,6 +93,50 @@ impl AnyMachine {
         match self {
             AnyMachine::Sm(_) => None,
             AnyMachine::Mp(m) => m.claimed_sessions_max(),
+        }
+    }
+
+    /// See [`SmMachine::control_hash`] / [`MpMachine::control_hash`].
+    pub(crate) fn control_hash(&self) -> u64 {
+        match self {
+            AnyMachine::Sm(m) => m.control_hash(),
+            AnyMachine::Mp(m) => m.control_hash(),
+        }
+    }
+
+    /// See [`SmMachine::initial_windows`] / [`MpMachine::initial_windows`].
+    pub(crate) fn initial_windows(&self) -> Vec<(crate::machine::ZoneEvent, Dur, Dur)> {
+        match self {
+            AnyMachine::Sm(m) => m.initial_windows(),
+            AnyMachine::Mp(m) => m.initial_windows(),
+        }
+    }
+
+    /// See [`SmMachine::gap_window`] / [`MpMachine::gap_window`].
+    pub(crate) fn gap_window(&self, p: usize) -> (Dur, Dur) {
+        match self {
+            AnyMachine::Sm(m) => m.gap_window(p),
+            AnyMachine::Mp(m) => m.gap_window(p),
+        }
+    }
+
+    /// See [`MpMachine::delay_window`] (`None` for shared memory, which
+    /// has no messages).
+    pub(crate) fn delay_window(&self) -> Option<(Dur, Dur)> {
+        match self {
+            AnyMachine::Sm(_) => None,
+            AnyMachine::Mp(m) => Some(m.delay_window()),
+        }
+    }
+
+    /// See [`SmMachine::zone_apply`] / [`MpMachine::zone_apply`].
+    pub(crate) fn zone_apply(
+        &mut self,
+        ev: crate::machine::ZoneEvent,
+    ) -> (StepInfo, Vec<crate::machine::ZoneEvent>) {
+        match self {
+            AnyMachine::Sm(m) => m.zone_apply(ev),
+            AnyMachine::Mp(m) => m.zone_apply(ev),
         }
     }
 }
@@ -398,8 +443,9 @@ pub(crate) fn state_key(machine: &AnyMachine, counter: &SessionCounter, symmetry
 }
 
 /// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle). Pure edge
-/// predicate — shared by every exploration mode.
-pub(crate) fn check_step(
+/// predicate — shared by every exploration mode (and exercised directly
+/// by the lint-registry test suite).
+pub fn check_step(
     info: &StepInfo,
     machine: &AnyMachine,
     counter: &SessionCounter,

@@ -25,21 +25,34 @@
 //! by all port clocks (`SA008`), and runs driven by a strictly stronger
 //! timing model than claimed (`SA009`).
 //!
+//! The explicit engine is complemented by a **symbolic timing verifier**:
+//! [`dbm`] implements difference-bound matrices over exact rational
+//! durations, and [`zones`] walks a zone graph pairing the machines'
+//! discrete control states with a DBM over per-event clocks — all
+//! schedules with the same event order collapse into one node. It proves
+//! menu entries dead under the model window (`SA010`), extracts the
+//! worst-case session-close time as a symbolic expression in
+//! `c1,c2,d1,d2` and compares it against the paper's Table 1 row
+//! (`SA011`), and cross-checks its reachable control states against the
+//! explicit explorer's (`SA012`).
+//!
 //! Architecture: [`machine`] mirrors the engines as cloneable state
 //! machines with an enumerated branch menu (immutable components interned
 //! behind `Arc`, so forking a branch is cheap); [`explore`] runs a
 //! memoized depth-first search over those branches, optionally through
 //! the [`por`] ample-set selector and the [`symmetry`] state
 //! canonicalization, and [`parallel`] scales that search across worker
-//! threads with verdicts bit-identical to the serial path; [`replay`]
-//! re-executes counterexample paths (through the real `SmEngine` for
-//! shared memory) and renders them as timelines; [`targets`] names the
-//! thirteen analysis targets; [`hb`] analyzes recorded traces; [`diag`]
-//! defines the stable lint codes and report formats.
+//! threads with verdicts bit-identical to the serial path; [`dbm`] and
+//! [`zones`] form the symbolic engine; [`replay`] re-executes
+//! counterexample paths (through the real `SmEngine` for shared memory)
+//! and renders them as timelines; [`targets`] names the thirteen analysis
+//! targets; [`hb`] analyzes recorded traces; [`diag`] defines the stable
+//! lint codes and report formats.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dbm;
 pub mod diag;
 pub mod explore;
 pub mod feasibility;
@@ -51,6 +64,7 @@ pub mod replay;
 pub mod scope;
 pub mod symmetry;
 pub mod targets;
+pub mod zones;
 
 pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity, TargetSummary};
 pub use explore::{ExploreOpts, ReductionStats};
@@ -58,6 +72,8 @@ pub use feasibility::{check_timing, require_feasible, TimingParams};
 pub use hb::{analyze_trace_jsonl, HbAnalysis};
 pub use scope::Scope;
 pub use targets::{
-    analyze_all, analyze_all_with, analyze_target, analyze_target_recorded, analyze_target_with,
-    scoped_target_space, target_names, target_space, TargetSpace, TARGET_NAMES,
+    analyze_all, analyze_all_with, analyze_space_symbolic, analyze_target, analyze_target_recorded,
+    analyze_target_symbolic, analyze_target_with, periodic_mp_space_with_delays,
+    scoped_target_space, symbolic_depth, target_names, target_space, TargetSpace, TARGET_NAMES,
 };
+pub use zones::{SymbolicAnalysis, ZoneWalk};

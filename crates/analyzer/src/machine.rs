@@ -201,6 +201,29 @@ impl GapMode {
     }
 }
 
+/// One schedulable event as the zone walker ([`crate::zones`]) identifies
+/// it: *which* event fires, with no concrete firing time — the symbolic
+/// walker keeps times in a DBM instead of in the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ZoneEvent {
+    /// Process `p`'s (unique) next step.
+    Step(usize),
+    /// The in-flight delivery with pending sequence `seq`, addressed to
+    /// `to`. Sender and payload ride along so the walker can key its memo
+    /// on which message each clock tracks (`seq` itself is an enumeration
+    /// artifact and must stay out of state identity).
+    Deliver {
+        /// The pending-queue sequence number identifying the delivery.
+        seq: u64,
+        /// The recipient.
+        to: usize,
+        /// The sender.
+        from: usize,
+        /// The message payload value.
+        value: u64,
+    },
+}
+
 /// What one applied transition did, for the explorer's session counter and
 /// lint rules.
 #[derive(Clone, Debug)]
@@ -341,6 +364,37 @@ impl SmMachine {
         self.eligible().len() * self.statics.gaps.menu_len()
     }
 
+    /// The step body shared by [`SmMachine::apply`] and the zone walker's
+    /// time-free stepping: access the target variable, step the process,
+    /// write the result back. Leaves `due` untouched so both callers can
+    /// schedule (or symbolically constrain) the next step their own way.
+    fn perform_step(&mut self, p: usize, now: Time) -> (StepInfo, VarId) {
+        let was_idle = self.algos[p].is_idle();
+        let var = self.algos[p].target();
+        Arc::make_mut(&mut self.accessors[var.index()]).insert(p);
+        let b_violation = (self.accessors[var.index()].len() > self.statics.b).then_some(var);
+        let new_value = Arc::make_mut(&mut self.algos[p]).step(&self.memory[var.index()]);
+        self.memory[var.index()] = Arc::new(new_value);
+        let idle_after = self.algos[p].is_idle();
+
+        // Port tag, exactly as the engine computes it: the access counts as
+        // a port step only when the variable is a port *and* the stepping
+        // process is its bound port process.
+        let port = (var.index() < self.statics.n_ports && p == var.index())
+            .then(|| PortId::new(var.index()));
+
+        let info = StepInfo {
+            time: now,
+            process: ProcessId::new(p),
+            port,
+            was_idle,
+            idle_after,
+            is_process_step: true,
+            b_violation,
+        };
+        (info, var)
+    }
+
     /// Applies transition `choice` (must be `< choice_count()`). When
     /// `trace` is given, records the step exactly as the engine would.
     pub fn apply(&mut self, choice: usize, trace: Option<&mut session_sim::Trace>) -> StepInfo {
@@ -350,39 +404,89 @@ impl SmMachine {
         let p = eligible[choice / per];
         let gap_index = choice % per;
 
-        let was_idle = self.algos[p].is_idle();
-        let var = self.algos[p].target();
-        Arc::make_mut(&mut self.accessors[var.index()]).insert(p);
-        let b_violation = (self.accessors[var.index()].len() > self.statics.b).then_some(var);
-        let new_value = Arc::make_mut(&mut self.algos[p]).step(&self.memory[var.index()]);
-        self.memory[var.index()] = Arc::new(new_value);
-        let idle_after = self.algos[p].is_idle();
+        let (info, var) = self.perform_step(p, now);
         self.due[p] = now + self.statics.gaps.gap(p, gap_index);
-
-        // Port tag, exactly as the engine computes it: the access counts as
-        // a port step only when the variable is a port *and* the stepping
-        // process is its bound port process.
-        let port = (var.index() < self.statics.n_ports && p == var.index())
-            .then(|| PortId::new(var.index()));
 
         if let Some(trace) = trace {
             trace.push(session_sim::TraceEvent {
                 time: now,
                 process: ProcessId::new(p),
-                kind: session_sim::StepKind::VarAccess { var, port },
-                idle_after,
+                kind: session_sim::StepKind::VarAccess {
+                    var,
+                    port: info.port,
+                },
+                idle_after: info.idle_after,
             });
         }
 
-        StepInfo {
-            time: now,
-            process: ProcessId::new(p),
-            port,
-            was_idle,
-            idle_after,
-            is_process_step: true,
-            b_violation,
+        info
+    }
+
+    /// The initial scheduling windows at the exploration root: each
+    /// process's first step fires exactly at its concrete `first_steps`
+    /// time (the root already branched over the first-step menu).
+    pub(crate) fn initial_windows(&self) -> Vec<(ZoneEvent, Dur, Dur)> {
+        self.due
+            .iter()
+            .enumerate()
+            .map(|(p, &t)| (ZoneEvent::Step(p), t.since_origin(), t.since_origin()))
+            .collect()
+    }
+
+    /// The window (relative to the firing instant) within which process
+    /// `p`'s *next* step must fire: the hull of the gap menu, or the
+    /// process's fixed period.
+    pub(crate) fn gap_window(&self, p: usize) -> (Dur, Dur) {
+        match &self.statics.gaps {
+            GapMode::PerStep(menu) => {
+                let lo = menu
+                    .iter()
+                    .copied()
+                    .reduce(Dur::min)
+                    .expect("nonempty menu");
+                let hi = menu
+                    .iter()
+                    .copied()
+                    .reduce(Dur::max)
+                    .expect("nonempty menu");
+                (lo, hi)
+            }
+            GapMode::FixedPerProcess(periods) => (periods[p], periods[p]),
         }
+    }
+
+    /// Fires process `p`'s step for the zone walker: identical discrete
+    /// semantics to [`SmMachine::apply`] (shared body), but no concrete
+    /// time and no `due` bookkeeping — the walker's DBM carries the
+    /// schedule. The returned events are the clocks to (re)schedule: the
+    /// stepping process's own next step.
+    pub(crate) fn zone_apply(&mut self, ev: ZoneEvent) -> (StepInfo, Vec<ZoneEvent>) {
+        let ZoneEvent::Step(p) = ev else {
+            unreachable!("shared-memory machines have no deliveries");
+        };
+        (self.perform_step(p, Time::ZERO).0, vec![ZoneEvent::Step(p)])
+    }
+
+    /// A hash of the discrete control state only: [`SmMachine::state_hash`]
+    /// minus the `due` times. This is the common currency between the
+    /// explicit explorer and the zone walker (the SA012 cross-check
+    /// compares reachable control-hash sets), and part of the zone memo
+    /// key.
+    pub(crate) fn control_hash(&self) -> u64 {
+        let mut hasher = FxHasher::default();
+        for algo in &self.algos {
+            algo.fingerprint().hash(&mut hasher);
+        }
+        for value in &self.memory {
+            value.hash(&mut hasher);
+        }
+        for set in &self.accessors {
+            set.hash(&mut hasher);
+        }
+        if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
+            periods.hash(&mut hasher);
+        }
+        hasher.finish()
     }
 
     /// A hash of the machine state with times made relative to the next
@@ -688,6 +792,23 @@ impl MpMachine {
         }
     }
 
+    /// The step body shared by [`MpMachine::apply`] and the zone walker's
+    /// time-free stepping: consume the inbox (swapping the shared empty
+    /// value in — sibling branches usually share pre-consumption inboxes,
+    /// in which case the contents are cloned out) and step the process.
+    /// Scheduling the resulting deliveries and the next step stays with
+    /// the caller. Returns `(received, was_idle, idle_after, outgoing)`.
+    fn perform_step(&mut self, p: usize) -> (usize, bool, bool, Option<SessionMsg>) {
+        let inbox_cell =
+            std::mem::replace(&mut self.inboxes[p], Arc::clone(&self.statics.empty_inbox));
+        let inbox = Arc::try_unwrap(inbox_cell).unwrap_or_else(|shared| (*shared).clone());
+        let received = inbox.len();
+        let was_idle = self.algos[p].is_idle();
+        let outgoing = Arc::make_mut(&mut self.algos[p]).step(inbox);
+        let idle_after = self.algos[p].is_idle();
+        (received, was_idle, idle_after, outgoing)
+    }
+
     /// Applies transition `choice` (must be `< choice_count()`). When
     /// `trace` is given, records the event exactly as the engine would
     /// (sends in recipient order before the step event, delivery records
@@ -747,18 +868,7 @@ impl MpMachine {
                     (sub, 0)
                 };
                 self.pending.swap_remove(pending_index);
-
-                // Consume the inbox: swap the shared empty value in, and
-                // take the old vector by value when this state owns it
-                // (sibling branches usually share pre-consumption inboxes,
-                // in which case the contents are cloned out).
-                let inbox_cell =
-                    std::mem::replace(&mut self.inboxes[p], Arc::clone(&self.statics.empty_inbox));
-                let inbox = Arc::try_unwrap(inbox_cell).unwrap_or_else(|shared| (*shared).clone());
-                let received = inbox.len();
-                let was_idle = self.algos[p].is_idle();
-                let outgoing = Arc::make_mut(&mut self.algos[p]).step(inbox);
-                let idle_after = self.algos[p].is_idle();
+                let (received, was_idle, idle_after, outgoing) = self.perform_step(p);
                 debug_assert!(gap_index < gaps_len);
 
                 // Deliveries are enqueued before the process's own next
@@ -848,6 +958,193 @@ impl MpMachine {
             })
             .collect();
         canonical.sort();
+        canonical.hash(&mut hasher);
+        if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
+            periods.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    /// The initial scheduling windows at the exploration root: every
+    /// pending event (at the root, each process's first step) fires
+    /// exactly at its concrete scheduled time.
+    pub(crate) fn initial_windows(&self) -> Vec<(ZoneEvent, Dur, Dur)> {
+        self.pending
+            .iter()
+            .map(|e| {
+                let ev = match e.kind {
+                    PendingKind::Step(p) => ZoneEvent::Step(p),
+                    PendingKind::Deliver {
+                        to, from, value, ..
+                    } => ZoneEvent::Deliver {
+                        seq: e.seq,
+                        to,
+                        from,
+                        value,
+                    },
+                };
+                (ev, e.time.since_origin(), e.time.since_origin())
+            })
+            .collect()
+    }
+
+    /// The window (relative to the firing instant) within which process
+    /// `p`'s *next* step must fire: the hull of the gap menu, or the
+    /// process's fixed period.
+    pub(crate) fn gap_window(&self, p: usize) -> (Dur, Dur) {
+        match &self.statics.gaps {
+            GapMode::PerStep(menu) => {
+                let lo = menu
+                    .iter()
+                    .copied()
+                    .reduce(Dur::min)
+                    .expect("nonempty menu");
+                let hi = menu
+                    .iter()
+                    .copied()
+                    .reduce(Dur::max)
+                    .expect("nonempty menu");
+                (lo, hi)
+            }
+            GapMode::FixedPerProcess(periods) => (periods[p], periods[p]),
+        }
+    }
+
+    /// The window (relative to the send instant) within which any
+    /// in-flight message must be delivered: the hull of the delay menu.
+    pub(crate) fn delay_window(&self) -> (Dur, Dur) {
+        let delays = &self.statics.delays;
+        let lo = delays
+            .iter()
+            .copied()
+            .reduce(Dur::min)
+            .expect("nonempty menu");
+        let hi = delays
+            .iter()
+            .copied()
+            .reduce(Dur::max)
+            .expect("nonempty menu");
+        (lo, hi)
+    }
+
+    /// Fires `ev` for the zone walker: identical discrete semantics to
+    /// [`MpMachine::apply`] (shared step body, same delivery-then-own-step
+    /// scheduling order), but no concrete times — pending entries get
+    /// placeholder times, and the returned [`ZoneEvent`]s tell the walker
+    /// which clocks to schedule (deliveries in recipient order, then the
+    /// stepping process's next step).
+    pub(crate) fn zone_apply(&mut self, ev: ZoneEvent) -> (StepInfo, Vec<ZoneEvent>) {
+        match ev {
+            ZoneEvent::Deliver { seq, to, .. } => {
+                let idx = self
+                    .pending
+                    .iter()
+                    .position(|e| e.seq == seq)
+                    .expect("zone event is pending");
+                let PendingKind::Deliver {
+                    to: t, from, value, ..
+                } = self.pending[idx].kind
+                else {
+                    unreachable!("delivery sequence numbers identify deliveries");
+                };
+                debug_assert_eq!(to, t);
+                self.pending.swap_remove(idx);
+                Arc::make_mut(&mut self.inboxes[to])
+                    .push(Envelope::new(ProcessId::new(from), SessionMsg::new(value)));
+                let idle = self.algos[to].is_idle();
+                let info = StepInfo {
+                    time: Time::ZERO,
+                    process: ProcessId::new(to),
+                    port: None,
+                    was_idle: idle,
+                    idle_after: idle,
+                    is_process_step: false,
+                    b_violation: None,
+                };
+                (info, Vec::new())
+            }
+            ZoneEvent::Step(p) => {
+                let idx = self
+                    .pending
+                    .iter()
+                    .position(|e| matches!(e.kind, PendingKind::Step(q) if q == p))
+                    .expect("every process always has a pending step");
+                self.pending.swap_remove(idx);
+                let (_received, was_idle, idle_after, outgoing) = self.perform_step(p);
+
+                let mut scheduled = Vec::new();
+                if let Some(payload) = outgoing {
+                    for q in 0..self.n {
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.pending.push(Pending {
+                            time: Time::ZERO,
+                            seq,
+                            kind: PendingKind::Deliver {
+                                to: q,
+                                from: p,
+                                value: payload.value,
+                                msg: None,
+                            },
+                        });
+                        scheduled.push(ZoneEvent::Deliver {
+                            seq,
+                            to: q,
+                            from: p,
+                            value: payload.value,
+                        });
+                    }
+                }
+                self.pending.push(Pending {
+                    time: Time::ZERO,
+                    seq: self.next_seq,
+                    kind: PendingKind::Step(p),
+                });
+                self.next_seq += 1;
+                scheduled.push(ZoneEvent::Step(p));
+
+                let info = StepInfo {
+                    time: Time::ZERO,
+                    process: ProcessId::new(p),
+                    port: Some(PortId::new(p)),
+                    was_idle,
+                    idle_after,
+                    is_process_step: true,
+                    b_violation: None,
+                };
+                (info, scheduled)
+            }
+        }
+    }
+
+    /// A hash of the discrete control state only: [`MpMachine::state_hash`]
+    /// minus every pending time (see [`SmMachine::control_hash`]). The
+    /// pending *set* — which deliveries are in flight, as a multiset —
+    /// remains part of control.
+    pub(crate) fn control_hash(&self) -> u64 {
+        let mut hasher = FxHasher::default();
+        for algo in &self.algos {
+            algo.fingerprint().hash(&mut hasher);
+        }
+        for inbox in &self.inboxes {
+            let mut entries: Vec<(usize, u64)> = inbox
+                .iter()
+                .map(|env| (env.from.index(), env.payload.value))
+                .collect();
+            entries.sort_unstable();
+            entries.hash(&mut hasher);
+        }
+        let mut canonical: Vec<(u8, usize, usize, u64)> = self
+            .pending
+            .iter()
+            .map(|e| match e.kind {
+                PendingKind::Step(p) => (0u8, p, 0, 0),
+                PendingKind::Deliver {
+                    to, from, value, ..
+                } => (1u8, to, from, value),
+            })
+            .collect();
+        canonical.sort_unstable();
         canonical.hash(&mut hasher);
         if let GapMode::FixedPerProcess(periods) = &self.statics.gaps {
             periods.hash(&mut hasher);

@@ -43,9 +43,19 @@
 //! key set, keeping lasso detection (`SA005`) exact across the split.
 
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+// Under `--cfg loom` every primitive routes through the loom facade, so
+// the `loom_tests` module can model-check the memo/pool machinery with
+// the same types the production build uses.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex};
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use session_obs::Recorder;
@@ -604,5 +614,74 @@ mod tests {
         assert_eq!(memo.get(42), Some(MEMO_COMPLETE));
         assert_eq!(memo.get(43), None);
         assert_eq!(memo.len(), 1);
+    }
+}
+
+/// Concurrency tests for [`ShardedMemo`], built only under
+/// `RUSTFLAGS="--cfg loom"` (the CI `loom` job). The facade's `model`
+/// re-runs each closure across many real-thread schedules; with the
+/// registry loom crate in place the same tests become exhaustive.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+
+    /// Keys that land on distinct stripes (the stripe index is the top
+    /// six bits) plus colliding keys within one stripe.
+    fn spread_keys() -> Vec<u64> {
+        (0..8u64).map(|i| (i << 58) | i).collect()
+    }
+
+    #[test]
+    fn concurrent_merges_lose_no_entries_and_keep_the_max_budget() {
+        loom::model(|| {
+            let memo = Arc::new(ShardedMemo::new());
+            let keys = spread_keys();
+            let handles: Vec<_> = (0..3usize)
+                .map(|t| {
+                    let memo = Arc::clone(&memo);
+                    let keys = keys.clone();
+                    loom::thread::spawn(move || {
+                        for (i, &key) in keys.iter().enumerate() {
+                            memo.merge(key, t * 10 + i);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("writer");
+            }
+            // No entry is lost and every surviving budget is the max
+            // over the three writers (t = 2), never a torn intermediate.
+            assert_eq!(memo.len(), keys.len() as u64);
+            for (i, &key) in keys.iter().enumerate() {
+                assert_eq!(memo.get(key), Some(20 + i));
+            }
+        });
+    }
+
+    #[test]
+    fn budgets_observed_by_a_racing_reader_are_monotonic() {
+        loom::model(|| {
+            let memo = Arc::new(ShardedMemo::new());
+            let key = 0xdead_beef;
+            let writer = {
+                let memo = Arc::clone(&memo);
+                loom::thread::spawn(move || {
+                    // Out-of-order writes: merge must still only raise.
+                    for budget in [1, 5, 3, MEMO_COMPLETE, 2] {
+                        memo.merge(key, budget);
+                    }
+                })
+            };
+            let mut last = 0;
+            for _ in 0..8 {
+                if let Some(budget) = memo.get(key) {
+                    assert!(budget >= last, "budget regressed: {budget} < {last}");
+                    last = budget;
+                }
+            }
+            writer.join().expect("writer");
+            assert_eq!(memo.get(key), Some(MEMO_COMPLETE));
+        });
     }
 }

@@ -33,7 +33,7 @@ use session_core::algorithms::{
     SporadicMpPort, SyncMpPort, SyncSmPort,
 };
 use session_smm::TreeSpec;
-use session_types::{Dur, KnownBounds, ProcessId, Time, TimingModel, VarId};
+use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel, VarId};
 
 use crate::diag::{Diagnostic, LintCode, Report, TargetSummary};
 use crate::explore::{explore_recorded_opts, AnyMachine, ExploreOpts, SessionCounter};
@@ -503,6 +503,41 @@ pub fn scoped_target_space(name: &str, n: usize, s: u64) -> Option<TargetSpace> 
     build_target_at(name, n, s)
 }
 
+/// The periodic message-passing target at dimensions `(n, s)` with a
+/// caller-chosen delay menu (the period menu stays the registry fixture
+/// `[1, 2]`). The symbolic bench widens the delay menu through this:
+/// the explicit explorer enumerates one remaining-delay value per menu
+/// entry for every in-flight message, so its state count grows with the
+/// menu's size, while the zone walker only records the menu's hull
+/// `[d1, d2]` as a DBM bound and is insensitive to how finely the
+/// window is sampled — that widening gap is exactly what the bench
+/// measures.
+pub fn periodic_mp_space_with_delays(n: usize, s: u64, delays: &[Dur]) -> TargetSpace {
+    let periods = [dur(1), dur(2)];
+    let d2 = delays
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Dur::ZERO)
+        .max(dur(1));
+    let algos = (0..n)
+        .map(|_| MpAlgo::Periodic(PeriodicMpPort::new(s, n)))
+        .collect();
+    TargetSpace {
+        scope: scope(
+            n,
+            s,
+            0,
+            TimingModel::Periodic,
+            &periods,
+            delays,
+            scaled_depth(120, n, s, (2, 2)),
+        ),
+        bounds: KnownBounds::periodic(d2).expect("a positive delay bound is valid"),
+        roots: mp_periodic_roots(algos, &periods, delays),
+    }
+}
+
 /// Recomputes the incremental session count along `path`, for
 /// cross-checking against the reference counter in the self-check.
 fn incremental_sessions(root: &AnyMachine, path: &[usize], n: usize, s: u64) -> u64 {
@@ -617,6 +652,134 @@ pub fn analyze_all_with(opts: ExploreOpts) -> Report {
         report.merge(target_report);
     }
     report
+}
+
+/// The paper's Table 1 closing-time bound for the named target, as an
+/// exact value plus the formula it instantiates, or `None` for targets
+/// whose Table 1 row is not a real-time bound at this scope: the
+/// asynchronous rows (round-counted, not timed), sporadic shared memory
+/// (runs the asynchronous wave protocol), and the naive witnesses (which
+/// have no bound to honor — they are supposed to be flagged).
+///
+/// `c_max` is the largest period/gap in the scope's menu: at a finite
+/// menu scope it plays the role of the model's `c2`/period upper bound.
+pub fn table1_bound(name: &str, scope: &Scope, bounds: &KnownBounds) -> Option<(Dur, String)> {
+    let expect_c2 = "timed models know c2";
+    let expect_d2 = "message-passing timed models know d2";
+    let c_max = scope.gaps.iter().copied().max()?;
+    match name {
+        "SyncSm" | "SyncMp" => {
+            let c2 = bounds.c2().expect(expect_c2);
+            Some((
+                session_core::bounds::sync_time(scope.s, c2),
+                "c2*s".to_string(),
+            ))
+        }
+        "PeriodicSm" => {
+            let spec = SessionSpec::new(scope.s, scope.n, scope.b).expect("scope is a valid spec");
+            let rounds = TreeSpec::build(scope.n, scope.b).flood_rounds_bound();
+            Some((
+                session_core::bounds::periodic_sm_upper(&spec, c_max, rounds),
+                format!("c_max*s + c_max*R (R = {rounds} flood rounds)"),
+            ))
+        }
+        "PeriodicMp" => {
+            let d2 = bounds.d2().expect(expect_d2);
+            Some((
+                session_core::bounds::periodic_mp_upper(scope.s, c_max, d2),
+                "c_max*s + d2".to_string(),
+            ))
+        }
+        "SemiSyncSm" => {
+            let c1 = bounds.c1().expect("semi-synchronous model knows c1");
+            let c2 = bounds.c2().expect(expect_c2);
+            let rounds = TreeSpec::build(scope.n, scope.b).flood_rounds_bound();
+            Some((
+                session_core::bounds::semisync_sm_upper(scope.s, c1, c2, rounds),
+                format!("min(floor(c2/c1)+1, R)*c2*(s-1) + c2 (R = {rounds})"),
+            ))
+        }
+        "SemiSyncMp" => {
+            let c1 = bounds.c1().expect("semi-synchronous model knows c1");
+            let c2 = bounds.c2().expect(expect_c2);
+            let d2 = bounds.d2().expect(expect_d2);
+            Some((
+                session_core::bounds::semisync_mp_upper(scope.s, c1, c2, d2),
+                "min(c2*(floor(c2/c1)+1), d2+c2)*(s-1) + c2".to_string(),
+            ))
+        }
+        "SporadicMp" => {
+            let c1 = bounds.c1().expect("sporadic model knows c1");
+            let d1 = bounds.d1().expect("sporadic model knows d1");
+            let d2 = bounds.d2().expect(expect_d2);
+            Some((
+                session_core::bounds::sporadic_mp_upper(scope.s, c1, d1, d2, c_max),
+                "min(gamma*(floor(u/c1)+3)+u, d2+gamma)*(s-1) + gamma (u = d2-d1, gamma = slowest menu gap)"
+                    .to_string(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// The zone walker's depth budget for the named target. Almost every
+/// target uses the explicit explorer's budget, so an untruncated walk
+/// certifies the same horizon. The exception is the naive sporadic
+/// witness: it streams messages without ever going idle, and the zone
+/// graph over the accumulating in-flight clocks grows far faster than
+/// the explicit space — a clamped budget still reaches its `SA003`
+/// violation (that is what a witness is for) and the truncation is
+/// reported, which also correctly disables the SA011/SA012 clean
+/// verdicts for it.
+pub fn symbolic_depth(name: &str, scope: &Scope) -> usize {
+    match name {
+        "NaiveSporadicMp" => scope.max_depth.min(16),
+        _ => scope.max_depth,
+    }
+}
+
+/// Runs the symbolic pipeline over an already-built space — dead-branch
+/// scan, zone-graph walk, Table 1 comparison and the explicit/symbolic
+/// reachability cross-check — reporting the target under
+/// `"{name} (symbolic)"`. Symbolic findings carry no repro or rendered
+/// counterexample: the zone graph collapses all schedules with one event
+/// order, so there is no single timed trace to replay.
+pub fn analyze_space_symbolic(name: &str, built: &TargetSpace) -> Report {
+    let mut scope = built.scope.clone();
+    scope.max_depth = symbolic_depth(name, &built.scope);
+    let table1 = table1_bound(name, &scope, &built.bounds);
+    let analysis = crate::zones::analyze_symbolic(&built.roots, &scope, &built.bounds, table1);
+    let mut report = Report::default();
+    report.targets.push(TargetSummary {
+        name: format!("{name} (symbolic)"),
+        states: analysis.zone_states,
+        pruned: 0,
+        memo_hits: 0,
+        truncated: analysis.truncated,
+        depth_hits: 0,
+    });
+    let scope_desc = format!("{} engine=symbolic", scope.describe());
+    for (code, message) in &analysis.findings {
+        report.findings.push(Diagnostic {
+            code: *code,
+            target: name.to_string(),
+            message: message.clone(),
+            scope: scope_desc.clone(),
+            repro: String::new(),
+            counterexample: String::new(),
+        });
+    }
+    report
+}
+
+/// Analyzes one named target with the symbolic engine only: walks the
+/// zone graph at the registry's default dimensions and reports `SA010`
+/// (dead timing branches), `SA011` (symbolic worst-case session-close
+/// time beyond the Table 1 bound) and `SA012` (explicit/symbolic
+/// reachability divergence). `None` for an unknown target name.
+pub fn analyze_target_symbolic(name: &str) -> Option<Report> {
+    let built = target_space(name)?;
+    Some(analyze_space_symbolic(name, &built))
 }
 
 #[cfg(test)]

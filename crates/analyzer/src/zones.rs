@@ -1,0 +1,820 @@
+//! Zone-graph symbolic timing verifier: pairs the discrete control states
+//! of [`AnyMachine`] with a [`Dbm`] over event clocks instead of concrete
+//! firing times.
+//!
+//! The explicit explorer ([`crate::explore`]) enumerates every admissible
+//! schedule over the scope's finite gap/delay *menus*; one state per
+//! concrete time assignment. The zone walker replaces the menus with their
+//! convex hulls — one clock per pending event, constrained to fire within
+//! its scheduling window — so all schedules that produce the same event
+//! *order* collapse into a single zone-graph node. The discrete semantics
+//! stay bit-for-bit the machine's own (`zone_apply` shares the step body
+//! with `apply`), which is what makes the SA012 cross-check meaningful.
+//!
+//! Clock layout: DBM clock 0 is the constant reference, clock 1 is the
+//! global elapsed time `T` (never reset — its upper bound at the closing
+//! step *is* the worst-case session-close time), and clocks 2.. track the
+//! age of each pending event (one permanent clock per process step,
+//! dynamic clocks for in-flight deliveries). Firing event `e` is the
+//! standard zone transition: `up` (let time pass), intersect every pending
+//! event's deadline invariant, apply `e`'s lower-window guard, then — if
+//! the zone is non-empty — apply the discrete step and reset/retire/spawn
+//! clocks.
+//!
+//! Three lints live here:
+//! * `SA010` — a gap/delay menu entry whose guard zone is empty under the
+//!   model window from [`KnownBounds`]: the branch can never fire in any
+//!   admissible execution.
+//! * `SA011` — the zone graph's worst-case session-close time, carried as
+//!   a symbolic linear expression over `c1,c2,d1,d2` ([`SymExpr`]),
+//!   exceeds the paper's Table 1 bound for the target.
+//! * `SA012` — the differential cross-check: the zone walker fails to
+//!   reach a discrete control state the explicit explorer reaches. The
+//!   zone graph explores the convex hull of the menus — a superset of the
+//!   explicit schedules, still inside the model window — so it must
+//!   *cover* explicit reachability; a gap is a soundness alarm on one of
+//!   the engines. (Zone-only controls are legitimate: hull-interior
+//!   schedules the finite menu cannot realize.)
+//!
+//! The walker also re-checks the discrete lints (`SA001`–`SA005`): the
+//! session counter, the step rules and lasso detection only consume
+//! time-independent step facts, so the naive witnesses trip their codes
+//! symbolically too.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use session_types::{Dur, KnownBounds, Ratio};
+
+use crate::dbm::{Bound, Dbm};
+use crate::diag::LintCode;
+use crate::explore::{check_step, AnyMachine, SessionCounter};
+use crate::machine::ZoneEvent;
+use crate::scope::Scope;
+
+/// DBM index of the global elapsed-time clock.
+const T_CLOCK: usize = 1;
+/// DBM index of the first event clock.
+const CLOCK_BASE: usize = 2;
+
+/// A symbolic duration: a linear expression over the timing parameters
+/// `c1,c2,d1,d2` plus a rational constant. The walker threads these
+/// alongside the numeric DBM bounds so `SA011` can report *why* the
+/// worst case is what it is (e.g. `3*c2 + d2`), not just its value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SymExpr {
+    k: Ratio,
+    c1: Ratio,
+    c2: Ratio,
+    d1: Ratio,
+    d2: Ratio,
+}
+
+impl SymExpr {
+    /// The zero expression.
+    pub const ZERO: SymExpr = SymExpr {
+        k: Ratio::ZERO,
+        c1: Ratio::ZERO,
+        c2: Ratio::ZERO,
+        d1: Ratio::ZERO,
+        d2: Ratio::ZERO,
+    };
+
+    fn constant(v: Dur) -> SymExpr {
+        SymExpr {
+            k: v.as_ratio(),
+            ..SymExpr::ZERO
+        }
+    }
+
+    fn unit_c2() -> SymExpr {
+        SymExpr {
+            c2: Ratio::ONE,
+            ..SymExpr::ZERO
+        }
+    }
+
+    fn unit_d2() -> SymExpr {
+        SymExpr {
+            d2: Ratio::ONE,
+            ..SymExpr::ZERO
+        }
+    }
+
+    fn add(self, other: SymExpr) -> SymExpr {
+        SymExpr {
+            k: self.k + other.k,
+            c1: self.c1 + other.c1,
+            c2: self.c2 + other.c2,
+            d1: self.d1 + other.d1,
+            d2: self.d2 + other.d2,
+        }
+    }
+
+    fn sub(self, other: SymExpr) -> SymExpr {
+        SymExpr {
+            k: self.k - other.k,
+            c1: self.c1 - other.c1,
+            c2: self.c2 - other.c2,
+            d1: self.d1 - other.d1,
+            d2: self.d2 - other.d2,
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut terms: Vec<String> = Vec::new();
+        for (coef, name) in [
+            (self.c1, "c1"),
+            (self.c2, "c2"),
+            (self.d1, "d1"),
+            (self.d2, "d2"),
+        ] {
+            if coef.is_zero() {
+                continue;
+            }
+            if coef == Ratio::ONE {
+                terms.push(name.to_string());
+            } else {
+                terms.push(format!("{coef}*{name}"));
+            }
+        }
+        if !self.k.is_zero() || terms.is_empty() {
+            terms.push(format!("{}", self.k));
+        }
+        f.write_str(&terms.join(" + "))
+    }
+}
+
+/// One pending event's clock: identity, scheduling window (relative to
+/// the instant the event was scheduled) and the symbolic latest schedule
+/// instant, from which `SA011`'s expression is accumulated.
+#[derive(Clone)]
+struct ClockInfo {
+    ev: ZoneEvent,
+    lo: Dur,
+    hi: Dur,
+    hi_sym: SymExpr,
+    /// The latest possible instant this event was scheduled at (numeric),
+    /// under the latest-firing schedule of its causes.
+    sched_val: Dur,
+    /// The same instant symbolically.
+    sched_sym: SymExpr,
+}
+
+/// What one zone walk found.
+#[derive(Debug)]
+pub struct ZoneWalk {
+    /// Zone-graph nodes expanded (the symbolic analogue of the explicit
+    /// state count).
+    pub zone_states: u64,
+    /// Whether any path was cut at the depth budget.
+    pub truncated: bool,
+    /// Findings, one per code (first message wins), in code order.
+    pub findings: Vec<(LintCode, String)>,
+    /// The worst-case session-close time over all explored paths:
+    /// numeric value and symbolic expression.
+    pub worst_close: Option<(Dur, SymExpr)>,
+    /// Reachable discrete control-state hashes (for the SA012
+    /// cross-check).
+    pub controls: FxHashSet<u64>,
+}
+
+/// What the mirror explicit walk (full menus, no reductions) reaches —
+/// the other half of the SA012 cross-check.
+#[derive(Debug)]
+pub struct ExplicitReach {
+    /// Explicit states expanded.
+    pub states: u64,
+    /// Whether any path was cut at the depth budget.
+    pub truncated: bool,
+    /// Reachable discrete control-state hashes.
+    pub controls: FxHashSet<u64>,
+}
+
+/// The complete symbolic analysis of one target: dead-branch scan, zone
+/// walk, bound comparison and explicit cross-check.
+#[derive(Debug)]
+pub struct SymbolicAnalysis {
+    /// All findings (SA010, SA011, SA012 and the discrete codes the zone
+    /// walk re-derives), in code order.
+    pub findings: Vec<(LintCode, String)>,
+    /// Zone-graph nodes expanded.
+    pub zone_states: u64,
+    /// Explicit states the mirror walk expanded.
+    pub explicit_states: u64,
+    /// Whether either walk was cut at the depth budget (SA011 within-bound
+    /// verdicts and SA012 are then skipped as incomparable).
+    pub truncated: bool,
+    /// Worst-case session-close time: numeric value and rendered symbolic
+    /// expression.
+    pub worst_close: Option<(Dur, String)>,
+}
+
+fn window_str(lo: Option<Dur>, hi: Option<Dur>) -> String {
+    let lo = lo.map_or("0".to_string(), |v| v.to_string());
+    match hi {
+        Some(hi) => format!("[{lo}, {hi}]"),
+        None => format!("[{lo}, inf)"),
+    }
+}
+
+/// `SA010`: menu entries that can never fire under the model window. An
+/// entry `v` is dead when the zone `x = v` intersected with the model's
+/// admissible window (`[c1, c2]` for gaps, `[d1, d2]` for delays, from
+/// [`KnownBounds`]) is empty — the scope menu promises a branch the
+/// timing model never allows.
+pub fn dead_branch_findings(scope: &Scope, bounds: &KnownBounds) -> Vec<(LintCode, String)> {
+    let mut out = Vec::new();
+    let entry_dead = |v: Dur, lo: Option<Dur>, hi: Option<Dur>| -> bool {
+        let mut z = Dbm::zeroed(2);
+        z.up();
+        z.constrain(1, 0, Bound::Le(v));
+        z.constrain(0, 1, Bound::Le(-v));
+        if let Some(lo) = lo {
+            z.constrain(0, 1, Bound::Le(-lo));
+        }
+        if let Some(hi) = hi {
+            z.constrain(1, 0, Bound::Le(hi));
+        }
+        z.is_empty()
+    };
+    for &v in &scope.gaps {
+        if entry_dead(v, bounds.c1(), bounds.c2()) {
+            out.push((
+                LintCode::DeadTimingBranch,
+                format!(
+                    "gap menu entry {v} lies outside the model step window {}: the branch can never fire",
+                    window_str(bounds.c1(), bounds.c2())
+                ),
+            ));
+        }
+    }
+    for &v in &scope.delays {
+        if entry_dead(v, bounds.d1(), bounds.d2()) {
+            out.push((
+                LintCode::DeadTimingBranch,
+                format!(
+                    "delay menu entry {v} lies outside the model delivery window {}: the branch can never fire",
+                    window_str(bounds.d1(), bounds.d2())
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn gap_hi_sym(hi: Dur, bounds: &KnownBounds) -> SymExpr {
+    if bounds.c2() == Some(hi) {
+        SymExpr::unit_c2()
+    } else {
+        SymExpr::constant(hi)
+    }
+}
+
+fn delay_hi_sym(hi: Dur, bounds: &KnownBounds) -> SymExpr {
+    if bounds.d2() == Some(hi) {
+        SymExpr::unit_d2()
+    } else {
+        SymExpr::constant(hi)
+    }
+}
+
+struct MemoEntry {
+    /// Largest remaining-depth budget this zone state was expanded with
+    /// (`usize::MAX` once a fully explored expansion happened).
+    budget: usize,
+    /// The worst session-close found in the subtree below this zone,
+    /// *relative* to the zone's latest-arrival time. The elapsed-time
+    /// clock `T` is never reset and no guard mentions it, so a zone's
+    /// future behavior depends only on its `T`-projected state (the memo
+    /// key) and future close instants shift additively with the arrival
+    /// time — a revisit arriving later reconstructs its absolute worst
+    /// close as `arrival + offset` instead of re-expanding the subtree.
+    close: Option<(Dur, SymExpr)>,
+}
+
+struct ZoneWalker<'a> {
+    scope: &'a Scope,
+    bounds: &'a KnownBounds,
+    memo: FxHashMap<u64, MemoEntry>,
+    on_path: FxHashSet<u64>,
+    zone_states: u64,
+    truncated: bool,
+    findings: BTreeMap<LintCode, String>,
+    worst_close: Option<(Dur, SymExpr)>,
+    controls: FxHashSet<u64>,
+}
+
+/// A clock's identity for the memo key: which event it tracks. The
+/// delivery `seq` is an enumeration artifact (it numbers the order sends
+/// happened to be explored in), so it is excluded — the clock's identity
+/// is which message it ages.
+fn clock_tag(c: &ClockInfo) -> (u8, usize, usize, u64) {
+    match c.ev {
+        ZoneEvent::Step(p) => (0, p, 0, 0),
+        ZoneEvent::Deliver {
+            to, from, value, ..
+        } => (1, to, from, value),
+    }
+}
+
+fn zone_key(
+    machine: &AnyMachine,
+    counter: &SessionCounter,
+    dbm: &Dbm,
+    clocks: &[ClockInfo],
+) -> u64 {
+    let mut h = FxHasher::default();
+    machine.control_hash().hash(&mut h);
+    counter.hash(&mut h);
+    // Canonical clock order: the walker's clock vector is permuted by the
+    // order events fired, which is irrelevant to the state itself. Sorting
+    // by identity (and hashing the DBM under the same permutation) merges
+    // zone states that differ only in that bookkeeping order.
+    let mut order: Vec<usize> = (0..clocks.len()).collect();
+    order.sort_by_key(|&i| (clock_tag(&clocks[i]), clocks[i].lo, clocks[i].hi));
+    for &i in &order {
+        let c = &clocks[i];
+        clock_tag(c).hash(&mut h);
+        c.lo.hash(&mut h);
+        c.hi.hash(&mut h);
+    }
+    // The DBM under the canonical permutation, with the reference clock
+    // kept and the ever-growing elapsed-time clock projected out.
+    let indices: Vec<usize> = std::iter::once(0)
+        .chain(order.iter().map(|&i| i + CLOCK_BASE))
+        .collect();
+    dbm.hash_permuted(&indices, &mut h);
+    h.finish()
+}
+
+impl ZoneWalker<'_> {
+    fn finding(&mut self, code: LintCode, message: String) {
+        self.findings.entry(code).or_insert(message);
+    }
+
+    fn record_close(&mut self, val: Dur, sym: SymExpr) {
+        match &self.worst_close {
+            Some((best, _)) if *best >= val => {}
+            _ => self.worst_close = Some((val, sym)),
+        }
+    }
+
+    /// Mirrors `Explorer::dfs`: quiescent leaves, lasso detection on the
+    /// current path, budget-aware memoization — over zone states instead
+    /// of timed states. `t_sym` is the symbolic expression for the zone's
+    /// latest-arrival time (the DBM's upper bound on the elapsed-time
+    /// clock). Returns completeness plus the subtree's worst absolute
+    /// session-close, for the parent's memo entry.
+    fn dfs(
+        &mut self,
+        machine: AnyMachine,
+        counter: &SessionCounter,
+        dbm: Dbm,
+        clocks: Vec<ClockInfo>,
+        depth: usize,
+        t_sym: SymExpr,
+    ) -> (bool, Option<(Dur, SymExpr)>) {
+        if machine.is_quiescent() {
+            if counter.sessions() < self.scope.s {
+                self.finding(
+                    LintCode::SessionDeficit,
+                    format!(
+                        "admissible schedule reaches quiescence with {} of {} required sessions",
+                        counter.sessions(),
+                        self.scope.s
+                    ),
+                );
+            }
+            return (true, None);
+        }
+        let key = zone_key(&machine, counter, &dbm, &clocks);
+        if self.on_path.contains(&key) {
+            self.finding(
+                LintCode::NonTermination,
+                "admissible schedule loops without reaching quiescence (lasso)".to_string(),
+            );
+            return (true, None);
+        }
+        let remaining = self.scope.max_depth.saturating_sub(depth);
+        let t_upper = dbm.upper(T_CLOCK).value().unwrap_or(Dur::ZERO);
+        if let Some(entry) = self.memo.get(&key) {
+            if entry.budget >= remaining {
+                let complete = entry.budget == usize::MAX;
+                // The stored close offset is relative to the arrival time;
+                // this arrival reconstructs its absolute worst close (the
+                // symbolic attribution is the first visit's — values are
+                // exact either way).
+                let close = entry
+                    .close
+                    .map(|(dv, dsym)| (t_upper + dv, t_sym.add(dsym)));
+                if let Some((v, sym)) = close {
+                    self.record_close(v, sym);
+                }
+                return (complete, close);
+            }
+        }
+        if depth >= self.scope.max_depth {
+            self.truncated = true;
+            return (false, None);
+        }
+        self.zone_states += 1;
+        self.controls.insert(machine.control_hash());
+        self.on_path.insert(key);
+        let mut complete = true;
+        let mut close: Option<(Dur, SymExpr)> = None;
+        for ci in 0..clocks.len() {
+            let (sub_complete, sub_close) = self.fire(&machine, counter, &dbm, &clocks, ci, depth);
+            complete &= sub_complete;
+            close = max_close(close, sub_close);
+        }
+        self.on_path.remove(&key);
+        let budget = if complete { usize::MAX } else { remaining };
+        let rel = close.map(|(v, sym)| (v - t_upper, sym.sub(t_sym)));
+        let entry = self
+            .memo
+            .entry(key)
+            .or_insert(MemoEntry { budget, close: rel });
+        entry.budget = entry.budget.max(budget);
+        entry.close = max_close(entry.close, rel);
+        (complete, close)
+    }
+
+    /// Fires the event on clock `ci`, if its guard zone is non-empty:
+    /// `up`, intersect all deadline invariants, apply the lower-window
+    /// guard, then step the machine and reschedule clocks. Returns
+    /// completeness plus the worst absolute session-close at or below
+    /// this transition.
+    fn fire(
+        &mut self,
+        machine: &AnyMachine,
+        counter: &SessionCounter,
+        dbm: &Dbm,
+        clocks: &[ClockInfo],
+        ci: usize,
+        depth: usize,
+    ) -> (bool, Option<(Dur, SymExpr)>) {
+        let idx = ci + CLOCK_BASE;
+        let mut z = dbm.clone();
+        z.up();
+        for (j, c) in clocks.iter().enumerate() {
+            z.constrain(j + CLOCK_BASE, 0, Bound::Le(c.hi));
+        }
+        z.constrain(0, idx, Bound::Le(-clocks[ci].lo));
+        if z.is_empty() {
+            // The order is infeasible under the windows — not a cut, the
+            // branch simply does not exist.
+            return (true, None);
+        }
+
+        // The latest possible firing instant: the DBM's elapsed-time upper
+        // bound is exact; the symbolic attribution picks the pending
+        // deadline that realizes it (min over `sched + hi`).
+        let fire_val = z
+            .upper(T_CLOCK)
+            .value()
+            .expect("pending deadlines bound elapsed time");
+        let mut fire_sym = SymExpr::constant(fire_val);
+        let mut best: Option<Dur> = None;
+        for c in clocks {
+            let v = c.sched_val + c.hi;
+            if best.is_none_or(|b| v < b) {
+                best = Some(v);
+                if v == fire_val {
+                    fire_sym = c.sched_sym.add(c.hi_sym);
+                }
+            }
+        }
+
+        let mut next = machine.clone();
+        let (info, scheduled) = next.zone_apply(clocks[ci].ev);
+        let observed;
+        let next_counter = if info.port.is_some() {
+            let mut cloned = counter.clone();
+            cloned.observe(&info);
+            observed = cloned;
+            &observed
+        } else {
+            counter
+        };
+        let mut close = None;
+        if counter.sessions() < self.scope.s && next_counter.sessions() >= self.scope.s {
+            self.record_close(fire_val, fire_sym);
+            close = Some((fire_val, fire_sym));
+        }
+        if let Some((code, message)) = check_step(&info, &next, next_counter) {
+            self.finding(code, message);
+            return (true, close);
+        }
+
+        let mut new_clocks = clocks.to_vec();
+        z.remove_clock(idx);
+        new_clocks.remove(ci);
+        for ev in scheduled {
+            let (lo, hi, hi_sym) = match ev {
+                ZoneEvent::Step(p) => {
+                    let (lo, hi) = next.gap_window(p);
+                    (lo, hi, gap_hi_sym(hi, self.bounds))
+                }
+                ZoneEvent::Deliver { .. } => {
+                    let (lo, hi) = next
+                        .delay_window()
+                        .expect("deliveries only exist on message-passing machines");
+                    (lo, hi, delay_hi_sym(hi, self.bounds))
+                }
+            };
+            let di = z.add_clock();
+            debug_assert_eq!(di, new_clocks.len() + CLOCK_BASE);
+            new_clocks.push(ClockInfo {
+                ev,
+                lo,
+                hi,
+                hi_sym,
+                sched_val: fire_val,
+                sched_sym: fire_sym,
+            });
+        }
+        let (complete, sub_close) =
+            self.dfs(next, next_counter, z, new_clocks, depth + 1, fire_sym);
+        (complete, max_close(close, sub_close))
+    }
+}
+
+/// The later of two optional session-close records, by value.
+fn max_close(a: Option<(Dur, SymExpr)>, b: Option<(Dur, SymExpr)>) -> Option<(Dur, SymExpr)> {
+    match (a, b) {
+        (Some((av, asym)), Some((bv, _))) if av >= bv => Some((av, asym)),
+        (Some(_), Some(b)) => Some(b),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+/// Walks the zone graph of every root and returns the combined outcome.
+/// Roots share the memo, exactly as the explicit explorer shares its memo
+/// across first-step and period assignments.
+pub fn zone_walk(roots: &[AnyMachine], scope: &Scope, bounds: &KnownBounds) -> ZoneWalk {
+    let mut walker = ZoneWalker {
+        scope,
+        bounds,
+        memo: FxHashMap::default(),
+        on_path: FxHashSet::default(),
+        zone_states: 0,
+        truncated: false,
+        findings: BTreeMap::new(),
+        worst_close: None,
+        controls: FxHashSet::default(),
+    };
+    for root in roots {
+        let counter = SessionCounter::new(scope.n, scope.s);
+        let windows = root.initial_windows();
+        let dbm = Dbm::zeroed(CLOCK_BASE + windows.len());
+        let clocks: Vec<ClockInfo> = windows
+            .into_iter()
+            .map(|(ev, lo, hi)| ClockInfo {
+                ev,
+                lo,
+                hi,
+                // First windows are concrete root choices, not model
+                // parameters.
+                hi_sym: SymExpr::constant(hi),
+                sched_val: Dur::ZERO,
+                sched_sym: SymExpr::ZERO,
+            })
+            .collect();
+        walker.dfs(root.clone(), &counter, dbm, clocks, 0, SymExpr::ZERO);
+    }
+    ZoneWalk {
+        zone_states: walker.zone_states,
+        truncated: walker.truncated,
+        findings: walker.findings.into_iter().collect(),
+        worst_close: walker.worst_close,
+        controls: walker.controls,
+    }
+}
+
+struct ControlCollector {
+    s: u64,
+    max_depth: usize,
+    memo: FxHashMap<u64, usize>,
+    on_path: FxHashSet<u64>,
+    states: u64,
+    truncated: bool,
+    controls: FxHashSet<u64>,
+}
+
+impl ControlCollector {
+    /// Mirrors `Explorer::dfs` / `explore_choice` over the full menu (no
+    /// reductions): same leaf, lasso, budget-memo and prune-below-violation
+    /// semantics, collecting control hashes at exactly the states the zone
+    /// walker collects them (expanded, non-quiescent nodes).
+    fn dfs(&mut self, machine: AnyMachine, counter: &SessionCounter, depth: usize) -> bool {
+        if machine.is_quiescent() {
+            return true;
+        }
+        let mut hasher = FxHasher::default();
+        machine.state_hash().hash(&mut hasher);
+        counter.hash(&mut hasher);
+        let key = hasher.finish();
+        if self.on_path.contains(&key) {
+            return true;
+        }
+        let remaining = self.max_depth.saturating_sub(depth);
+        if let Some(&budget) = self.memo.get(&key) {
+            if budget >= remaining {
+                return budget == usize::MAX;
+            }
+        }
+        if depth >= self.max_depth {
+            self.truncated = true;
+            return false;
+        }
+        self.states += 1;
+        self.controls.insert(machine.control_hash());
+        self.on_path.insert(key);
+        let mut complete = true;
+        for choice in 0..machine.choice_count() {
+            let mut next = machine.clone();
+            let info = next.apply(choice, None);
+            let observed;
+            let next_counter = if info.port.is_some() {
+                let mut cloned = counter.clone();
+                cloned.observe(&info);
+                observed = cloned;
+                &observed
+            } else {
+                counter
+            };
+            if check_step(&info, &next, next_counter).is_some() {
+                continue;
+            }
+            complete &= self.dfs(next, next_counter, depth + 1);
+        }
+        self.on_path.remove(&key);
+        let budget = if complete { usize::MAX } else { remaining };
+        let entry = self.memo.entry(key).or_insert(budget);
+        *entry = (*entry).max(budget);
+        complete
+    }
+}
+
+/// The explicit side of the SA012 cross-check: a serial full-menu walk
+/// (no POR, no symmetry — reductions must not be able to mask a
+/// divergence) collecting the reachable control-hash set.
+pub fn explicit_control_reach(roots: &[AnyMachine], scope: &Scope) -> ExplicitReach {
+    let mut collector = ControlCollector {
+        s: scope.s,
+        max_depth: scope.max_depth,
+        memo: FxHashMap::default(),
+        on_path: FxHashSet::default(),
+        states: 0,
+        truncated: false,
+        controls: FxHashSet::default(),
+    };
+    for root in roots {
+        let counter = SessionCounter::new(scope.n, collector.s);
+        collector.dfs(root.clone(), &counter, 0);
+    }
+    ExplicitReach {
+        states: collector.states,
+        truncated: collector.truncated,
+        controls: collector.controls,
+    }
+}
+
+/// The `SA012` detector on its own: the zone walker explores the convex
+/// hull of the menus — a superset of the explicit schedules (so it must
+/// reach every explicit control state) but still a subset of the model
+/// window, so extra *zone-only* controls are legitimate
+/// over-approximation, not a bug. Coverage, not equality: a finding is
+/// raised exactly when the explicit explorer reached a control state the
+/// zone walker did not.
+pub fn coverage_finding(
+    zone_controls: &FxHashSet<u64>,
+    explicit_controls: &FxHashSet<u64>,
+) -> Option<(LintCode, String)> {
+    let explicit_only = explicit_controls.difference(zone_controls).count();
+    if explicit_only == 0 {
+        return None;
+    }
+    Some((
+        LintCode::SymbolicDivergence,
+        format!(
+            "zone graph fails to cover explicit reachability: {explicit_only} control states reachable by the explicit explorer but not the zone walker ({} explicit vs {} symbolic)",
+            explicit_controls.len(),
+            zone_controls.len()
+        ),
+    ))
+}
+
+/// Runs the full symbolic pipeline for one target: SA010 dead-branch
+/// scan, the zone walk (which re-derives the discrete codes), the SA011
+/// comparison against the target's Table 1 bound (when the model bounds
+/// session-close time at all), and the SA012 explicit/symbolic
+/// cross-check.
+pub fn analyze_symbolic(
+    roots: &[AnyMachine],
+    scope: &Scope,
+    bounds: &KnownBounds,
+    table1: Option<(Dur, String)>,
+) -> SymbolicAnalysis {
+    let mut findings = dead_branch_findings(scope, bounds);
+    let walk = zone_walk(roots, scope, bounds);
+    findings.extend(walk.findings.iter().cloned());
+
+    if let (Some((bound_val, bound_desc)), Some((val, sym))) = (&table1, &walk.worst_close) {
+        if val > bound_val {
+            findings.push((
+                LintCode::SymbolicBoundExceeded,
+                format!(
+                    "worst-case session-close time {sym} = {val} exceeds the Table 1 bound {bound_desc} = {bound_val}"
+                ),
+            ));
+        }
+    }
+
+    let explicit = explicit_control_reach(roots, scope);
+    if !walk.truncated && !explicit.truncated {
+        findings.extend(coverage_finding(&walk.controls, &explicit.controls));
+    }
+
+    findings.sort_by_key(|(code, _)| *code);
+    SymbolicAnalysis {
+        findings,
+        zone_states: walk.zone_states,
+        explicit_states: explicit.states,
+        truncated: walk.truncated || explicit.truncated,
+        worst_close: walk.worst_close.map(|(v, sym)| (v, sym.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_types::TimingModel;
+
+    fn d(v: i128) -> Dur {
+        Dur::from_int(v)
+    }
+
+    fn scope(model: TimingModel, gaps: Vec<Dur>, delays: Vec<Dur>) -> Scope {
+        Scope {
+            n: 2,
+            s: 2,
+            b: 2,
+            model,
+            gaps,
+            delays,
+            max_depth: 24,
+        }
+    }
+
+    #[test]
+    fn sym_expr_renders_terms() {
+        let e = SymExpr::unit_c2()
+            .add(SymExpr::unit_c2())
+            .add(SymExpr::unit_d2())
+            .add(SymExpr::constant(d(3)));
+        assert_eq!(e.to_string(), "2*c2 + d2 + 3");
+        assert_eq!(SymExpr::ZERO.to_string(), "0");
+        assert_eq!(SymExpr::unit_c2().to_string(), "c2");
+    }
+
+    #[test]
+    fn sa010_positive_dead_gap_and_delay_entries() {
+        // Step window [1, 2] but the menu promises a gap of 5; delivery
+        // window [0, 1] but a delay of 4: both branches are dead.
+        let bounds = KnownBounds::semi_synchronous(d(1), d(2), d(1)).expect("valid bounds");
+        let sc = scope(
+            TimingModel::SemiSynchronous,
+            vec![d(1), d(5)],
+            vec![Dur::ZERO, d(4)],
+        );
+        let findings = dead_branch_findings(&sc, &bounds);
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .all(|(code, _)| *code == LintCode::DeadTimingBranch));
+        assert!(findings[0].1.contains("gap menu entry 5"));
+        assert!(findings[1].1.contains("delay menu entry 4"));
+    }
+
+    #[test]
+    fn sa010_negative_in_window_menus_are_alive() {
+        let bounds = KnownBounds::semi_synchronous(d(1), d(3), d(1)).expect("valid bounds");
+        let sc = scope(
+            TimingModel::SemiSynchronous,
+            vec![d(1), d(3)],
+            vec![Dur::ZERO, d(1)],
+        );
+        assert!(dead_branch_findings(&sc, &bounds).is_empty());
+        // Width-zero windows (c1 = c2) accept exactly the boundary entry.
+        let exact = KnownBounds::synchronous(d(2), d(1)).expect("valid bounds");
+        let sc = scope(TimingModel::Synchronous, vec![d(2)], vec![d(1)]);
+        assert!(dead_branch_findings(&sc, &exact).is_empty());
+    }
+}

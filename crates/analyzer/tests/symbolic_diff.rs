@@ -1,0 +1,124 @@
+//! Differential harness for the symbolic engine: the zone graph must
+//! *cover* the explicit explorer on every registered target — `SA012`
+//! (the one-sided reachability cross-check, see `zones.rs`) must never
+//! fire — the ten clean paper algorithms must verify symbolically with
+//! zero findings, and the naive witnesses must stay flagged through the
+//! symbolic engine too.
+//!
+//! Every target runs at its registry dimensions clamped to `n ≤ 3`,
+//! `s ≤ 3` (only the synchronous pair defaults above that). The
+//! heavyweight sporadic MP spaces and the analyzer-bench headline scope
+//! are `#[ignore]`d here for the same reason as in `reduction_diff.rs`:
+//! minutes in debug builds. `scripts/static-analysis.sh` runs them in
+//! release with `--include-ignored` (the CI `symbolic-diff` job).
+
+use session_analyzer::{analyze_space_symbolic, scoped_target_space, Report, TARGET_NAMES};
+
+/// Targets cheap enough to walk symbolically in a debug build.
+const FAST_TARGETS: [&str; 11] = [
+    "SyncSm",
+    "PeriodicSm",
+    "SemiSyncSm",
+    "SporadicSm",
+    "AsyncSm",
+    "SyncMp",
+    "PeriodicMp",
+    "SemiSyncMp",
+    "AsyncMp",
+    "NaivePeriodicSm",
+    "NaiveSemiSyncSm",
+];
+
+const SLOW_TARGETS: [&str; 2] = ["SporadicMp", "NaiveSporadicMp"];
+
+/// The registry's default dimensions clamped to the `n ≤ 3`, `s ≤ 3`
+/// differential scope.
+fn clamped_dims(name: &str) -> (usize, u64) {
+    match name {
+        "SyncSm" | "SyncMp" => (3, 3),
+        "NaiveSporadicMp" => (2, 3),
+        _ => (2, 2),
+    }
+}
+
+/// The lint codes a symbolic run of the named target must produce at
+/// the clamped scope. Clean algorithms verify with zero findings; the
+/// shared-memory witnesses trip `SA001` symbolically. The naive
+/// sporadic witness needs `s = 3` for its stale-evidence `SA003`, which
+/// its clamped dims provide.
+fn expected_codes(name: &str) -> &'static [&'static str] {
+    match name {
+        "NaivePeriodicSm" | "NaiveSemiSyncSm" => &["SA001"],
+        "NaiveSporadicMp" => &["SA003"],
+        _ => &[],
+    }
+}
+
+fn codes(report: &Report) -> Vec<String> {
+    let mut codes: Vec<String> = report
+        .findings
+        .iter()
+        .map(|d| d.code.code().to_owned())
+        .collect();
+    codes.sort();
+    codes.dedup();
+    codes
+}
+
+fn diff_one(name: &str) {
+    let (n, s) = clamped_dims(name);
+    let space = scoped_target_space(name, n, s).expect("registry target");
+    let report = analyze_space_symbolic(name, &space);
+    let codes = codes(&report);
+    assert!(
+        !codes.iter().any(|c| c == "SA012"),
+        "{name} (n={n}, s={s}): the zone graph failed to cover the explicit explorer: {codes:?}"
+    );
+    assert_eq!(
+        codes,
+        expected_codes(name),
+        "{name} (n={n}, s={s}): symbolic verdict diverged from the registry expectation"
+    );
+}
+
+#[test]
+fn fast_targets_have_no_symbolic_divergence() {
+    for name in FAST_TARGETS {
+        diff_one(name);
+    }
+}
+
+#[test]
+#[ignore = "minutes in debug; run in release via scripts/static-analysis.sh"]
+fn slow_targets_have_no_symbolic_divergence() {
+    for name in SLOW_TARGETS {
+        diff_one(name);
+    }
+}
+
+/// The analyzer bench's headline scope: `PeriodicMp` at `n = 3, s = 3`
+/// (109k zones / 325k explicit states) must verify symbolically and be
+/// covered, exactly like the registry scope.
+#[test]
+#[ignore = "minutes in debug; run in release via scripts/static-analysis.sh"]
+fn headline_scope_has_no_symbolic_divergence() {
+    let space = scoped_target_space("PeriodicMp", 3, 3).expect("registry target");
+    let report = analyze_space_symbolic("PeriodicMp", &space);
+    let codes = codes(&report);
+    assert_eq!(codes, Vec::<String>::new(), "PeriodicMp (n=3, s=3)");
+}
+
+/// The fast set plus the slow set is exactly the registry — a new
+/// target cannot silently skip the symbolic differential.
+#[test]
+fn every_registry_target_is_classified() {
+    let mut classified: Vec<&str> = FAST_TARGETS
+        .iter()
+        .chain(SLOW_TARGETS.iter())
+        .copied()
+        .collect();
+    classified.sort_unstable();
+    let mut registry: Vec<&str> = TARGET_NAMES.to_vec();
+    registry.sort_unstable();
+    assert_eq!(classified, registry);
+}

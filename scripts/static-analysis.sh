@@ -7,13 +7,21 @@
 #   3. lint-code registry -- every LintCode variant must carry a stable
 #      SAxxx code-string mapping and a paper-section (§) reference in its
 #      doc comment
-#   4. analyzer (release tests) -- including the #[ignore]d large
-#      explorations and reduction differentials that are too slow under
-#      the debug profile
-#   5. session-cli analyze -- the ten paper algorithms must explore clean
+#   4. registry test coverage -- every SAxxx code must have at least one
+#      positive (`saXXX_positive_*`) and one negative (`saXXX_negative_*`)
+#      test demonstrating the code firing and staying silent
+#   5. analyzer (release tests) -- including the #[ignore]d large
+#      explorations, the reduction differentials and the symbolic
+#      zone/explicit differentials that are too slow under the debug
+#      profile
+#   6. session-cli analyze -- the ten paper algorithms must explore clean
 #      (with and without the reduction layers), and the three naive
 #      witnesses must be flagged with their exact codes and make the run
 #      exit non-zero
+#   7. session-cli analyze symbolic=on -- the ten paper algorithms must
+#      also verify through the zone-graph engine with zero findings, and
+#      the witnesses must be flagged by the symbolic engine too (each
+#      deny line present twice: explicit + symbolic)
 #
 # Usage: scripts/static-analysis.sh
 #
@@ -61,6 +69,23 @@ for v in $variants; do
 done
 echo "lint codes: $(echo "$variants" | wc -l) variants mapped and referenced"
 
+current_step="registry test coverage gate"
+echo "== lint codes: every SAxxx has a positive and a negative test =="
+# Only the code() mapping arms (`=> "SAxxx"`) define registry codes;
+# bare SAxxx literals elsewhere in the file are test fixtures.
+codes=$(grep -o '=> "SA[0-9][0-9][0-9]"' "$diag" | grep -o 'SA[0-9][0-9][0-9]' | sort -u)
+[ -n "$codes" ] || { echo "ERROR: found no SAxxx code strings in $diag" >&2; exit 1; }
+for code in $codes; do
+    lc=$(echo "$code" | tr '[:upper:]' '[:lower:]')
+    for direction in positive negative; do
+        if ! grep -rq "fn ${lc}_${direction}" crates/analyzer/src crates/analyzer/tests; then
+            echo "ERROR: $code has no ${direction} test (expected a fn named ${lc}_${direction}_*)" >&2
+            exit 1
+        fi
+    done
+done
+echo "registry coverage: $(echo "$codes" | wc -l) codes with positive+negative tests"
+
 current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="
 cargo test -p session-analyzer --release -- --include-ignored
@@ -96,5 +121,28 @@ fi
 grep -q "SA001 session-deficit | deny | NaivePeriodicSm" /tmp/analyze-all.md
 grep -q "SA001 session-deficit | deny | NaiveSemiSyncSm" /tmp/analyze-all.md
 grep -q "SA003 stale-evidence | deny | NaiveSporadicMp" /tmp/analyze-all.md
+
+current_step="analyze symbolic=on (paper algorithms must verify symbolically)"
+echo "== analyze symbolic=on: the ten paper algorithms must be clean =="
+./target/release/session-cli analyze \
+    SyncSm PeriodicSm SemiSyncSm SporadicSm AsyncSm \
+    SyncMp PeriodicMp SemiSyncMp SporadicMp AsyncMp \
+    symbolic=on \
+    | tee /tmp/analyze-symbolic.md
+grep -q "No findings." /tmp/analyze-symbolic.md
+# The zone-graph engine actually ran: one "(symbolic)" summary per target.
+[ "$(grep -c "(symbolic)" /tmp/analyze-symbolic.md)" -eq 10 ]
+
+current_step="analyze --all symbolic=on (witnesses flagged symbolically)"
+echo "== analyze --all symbolic=on: witnesses flagged by both engines =="
+if ./target/release/session-cli analyze --all symbolic=on > /tmp/analyze-all-symbolic.md; then
+    echo "ERROR: analyze --all symbolic=on exited 0, the witnesses were not flagged" >&2
+    exit 1
+fi
+# Each witness deny line appears at least twice: once from the explicit
+# explorer, once re-derived by the symbolic zone walk.
+[ "$(grep -c "SA001 session-deficit | deny | NaivePeriodicSm" /tmp/analyze-all-symbolic.md)" -ge 2 ]
+[ "$(grep -c "SA001 session-deficit | deny | NaiveSemiSyncSm" /tmp/analyze-all-symbolic.md)" -ge 2 ]
+[ "$(grep -c "SA003 stale-evidence | deny | NaiveSporadicMp" /tmp/analyze-all-symbolic.md)" -ge 2 ]
 
 echo "static analysis: OK"

@@ -22,8 +22,8 @@
 
 use session_analyzer::diag::ALL_CODES;
 use session_analyzer::{
-    analyze_target_with, analyze_trace_jsonl, target_names, ExploreOpts, LintCode, LintConfig,
-    Report, Severity,
+    analyze_target_symbolic, analyze_target_with, analyze_trace_jsonl, target_names, ExploreOpts,
+    LintCode, LintConfig, Report, Severity,
 };
 use session_types::{Error, Result, TimingModel};
 
@@ -47,6 +47,9 @@ pub struct AnalyzeConfig {
     pub model: Option<TimingModel>,
     /// Reduction layers for the exploration (`reduce=`).
     pub opts: ExploreOpts,
+    /// When true, additionally run the symbolic zone-graph engine over
+    /// each selected target (`symbolic=on`).
+    pub symbolic: bool,
     /// Output format.
     pub format: AnalyzeFormat,
     /// Per-rule severity overrides.
@@ -68,6 +71,8 @@ usage: session-cli analyze [--all | TARGET ...] [key=value ...]
                         reduction layers for the exploration (default none)
   threads=N             worker threads for the exploration (default 1);
                         findings are identical at every thread count
+  symbolic=on|off       additionally run the symbolic zone-graph engine
+                        over each target (SA010-SA012; default off)
   format=md|csv         report format (default md)
   allow=CODE[,CODE...]  suppress rules (SAxxx code or rule name)
   warn=CODE[,CODE...]   report rules without failing
@@ -97,6 +102,7 @@ targets: the ten paper algorithms (clean) and three naive witnesses
         let mut model = None;
         let mut opts = ExploreOpts::default();
         let mut threads: Option<usize> = None;
+        let mut symbolic: Option<bool> = None;
         let mut format = AnalyzeFormat::Markdown;
         let mut lints = LintConfig::new();
 
@@ -148,6 +154,15 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                     }
                     threads = Some(parsed);
                 }
+                Some(("symbolic", value)) => {
+                    symbolic = Some(match value {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(bad(&format!("symbolic= wants on or off, got `{other}`")))
+                        }
+                    });
+                }
                 Some(("allow", value)) => set_codes(&mut lints, value, Severity::Allow)?,
                 Some(("warn", value)) => set_codes(&mut lints, value, Severity::Warn)?,
                 Some(("deny", value)) => set_codes(&mut lints, value, Severity::Deny)?,
@@ -175,12 +190,18 @@ targets: the ten paper algorithms (clean) and three naive witnesses
             return Err(bad("threads= parallelizes the state-space exploration; \
                  trace analysis replays one recorded run and is inherently serial"));
         }
+        if symbolic.is_some() && trace.is_some() {
+            return Err(bad("symbolic= runs the zone-graph engine over a target's \
+                 state space; trace analysis replays one recorded run and has no \
+                 space to abstract"));
+        }
         opts.threads = threads.unwrap_or(1);
         Ok(AnalyzeConfig {
             targets,
             trace,
             model,
             opts,
+            symbolic: symbolic.unwrap_or(false),
             format,
             lints,
             list,
@@ -220,6 +241,11 @@ targets: the ten paper algorithms (clean) and three naive witnesses
             let target = analyze_target_with(name, self.opts, &mut session_obs::NullRecorder)
                 .expect("parse validated the target names");
             report.merge(target);
+            if self.symbolic {
+                let symbolic =
+                    analyze_target_symbolic(name).expect("parse validated the target names");
+                report.merge(symbolic);
+            }
         }
         if let Some(path) = &self.trace {
             let text = std::fs::read_to_string(path)
@@ -318,6 +344,38 @@ mod tests {
     }
 
     #[test]
+    fn symbolic_parses_composes_with_reduce_and_threads_and_rejects_trace() {
+        let config = AnalyzeConfig::parse(["--all", "symbolic=on"]).unwrap();
+        assert!(config.symbolic);
+        let config = AnalyzeConfig::parse(["SyncSm", "symbolic=off"]).unwrap();
+        assert!(!config.symbolic);
+        // Default stays off.
+        let config = AnalyzeConfig::parse(["SyncSm"]).unwrap();
+        assert!(!config.symbolic);
+        // Composes with the explicit engine's knobs.
+        let config =
+            AnalyzeConfig::parse(["SyncSm", "symbolic=on", "reduce=all", "threads=4"]).unwrap();
+        assert!(config.symbolic && config.opts.por && config.opts.symmetry);
+        assert_eq!(config.opts.threads, 4);
+        // Not a valid trace-analysis knob.
+        let err = AnalyzeConfig::parse(["trace=run.jsonl", "symbolic=on"]).unwrap_err();
+        assert!(
+            err.to_string().contains("no space to abstract"),
+            "symbolic= with trace= should explain itself, got: {err}"
+        );
+        let err = AnalyzeConfig::parse(["SyncSm", "symbolic=maybe"]).unwrap_err();
+        assert!(err.to_string().contains("usage: session-cli analyze"));
+    }
+
+    #[test]
+    fn symbolic_run_adds_a_summary_row_per_target() {
+        let (out, code) = run(&["SyncMp", "symbolic=on"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("| SyncMp |"), "{out}");
+        assert!(out.contains("| SyncMp (symbolic) |"), "{out}");
+    }
+
+    #[test]
     fn zero_malformed_or_trace_bound_threads_are_usage_errors() {
         for bad in ["threads=0", "threads=", "threads=two", "threads=-1"] {
             let err = AnalyzeConfig::parse(["SyncSm", bad]).unwrap_err();
@@ -393,7 +451,10 @@ mod tests {
                 | LintCode::InfeasibleTiming
                 | LintCode::SessionRace
                 | LintCode::UnorderedSessionClose
-                | LintCode::ModelMismatch => {}
+                | LintCode::ModelMismatch
+                | LintCode::DeadTimingBranch
+                | LintCode::SymbolicBoundExceeded
+                | LintCode::SymbolicDivergence => {}
             }
             assert!(out.contains(code.code()), "missing {}: {out}", code.code());
             assert!(

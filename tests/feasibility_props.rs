@@ -1,0 +1,113 @@
+//! Property tests for the `SA006 infeasible-timing` boundary: the gate
+//! fires *exactly* on empty windows — an inverted step window
+//! (`c2 < c1`), an inverted delay window (`d2 < d1`), a negative delay
+//! floor, or a zero sporadic separation — and never on width-zero but
+//! valid windows (`c1 = c2`, `d1 = d2`). Both front ends share the
+//! check, so the same properties are asserted through the analyzer's
+//! `check_timing`/`require_feasible` pair and through
+//! `session_net::RealConfig::validate`, the real-clock path.
+
+use proptest::prelude::*;
+use session_analyzer::{check_timing, require_feasible, TimingParams};
+use session_net::RealConfig;
+use session_types::{Dur, SessionSpec, TimingModel};
+
+fn params(model: TimingModel, c1: i128, c2: i128, d1: i128, d2: i128) -> TimingParams {
+    TimingParams {
+        model,
+        c1: Dur::from_int(c1),
+        c2: Dur::from_int(c2),
+        d1: Dur::from_int(d1),
+        d2: Dur::from_int(d2),
+    }
+}
+
+/// The number of violations the spec predicts for these parameters:
+/// one per empty window. This re-derives the documented conditions
+/// independently of the implementation's control flow.
+fn expected_violations(model: TimingModel, c1: i128, c2: i128, d1: i128, d2: i128) -> usize {
+    let mut count = usize::from(d1 < 0) + usize::from(d2 < d1);
+    if model == TimingModel::Sporadic {
+        count += usize::from(c1 <= 0);
+    } else {
+        count += usize::from(c1 <= 0) + usize::from(c2 < c1);
+    }
+    count
+}
+
+fn any_model() -> impl Strategy<Value = TimingModel> {
+    (0usize..TimingModel::ALL.len()).prop_map(|i| TimingModel::ALL[i])
+}
+
+proptest! {
+    /// Over the whole parameter cube, including inverted and negative
+    /// windows: `check_timing` reports exactly one `SA006` per empty
+    /// window, and `require_feasible` errs exactly when any exists.
+    #[test]
+    fn sa006_fires_exactly_on_empty_windows(
+        model in any_model(),
+        c1 in -3i128..6,
+        c2 in -3i128..6,
+        d1 in -3i128..6,
+        d2 in -3i128..6,
+    ) {
+        let p = params(model, c1, c2, d1, d2);
+        let findings = check_timing(&p);
+        prop_assert_eq!(
+            findings.len(),
+            expected_violations(model, c1, c2, d1, d2),
+            "model {} c1={} c2={} d1={} d2={} got {:?}",
+            model, c1, c2, d1, d2, findings
+        );
+        for finding in &findings {
+            prop_assert_eq!(finding.code.code(), "SA006");
+        }
+        let gate = require_feasible(&p);
+        prop_assert_eq!(gate.is_ok(), findings.is_empty());
+        if let Err(err) = gate {
+            prop_assert!(err.to_string().contains("SA006"), "{}", err);
+        }
+    }
+
+    /// Width-zero windows are still windows: `c1 = c2` and `d1 = d2`
+    /// admit exactly one gap and one delay, which a real pacer can
+    /// realize — never flagged, for any model.
+    #[test]
+    fn width_zero_windows_are_feasible(
+        model in any_model(),
+        c in 1i128..8,
+        d in 0i128..8,
+    ) {
+        let p = params(model, c, c, d, d);
+        prop_assert!(check_timing(&p).is_empty(), "{:?}", check_timing(&p));
+        prop_assert!(require_feasible(&p).is_ok());
+    }
+
+    /// The real-clock front end agrees with the analyzer gate verdict:
+    /// `RealConfig::validate` accepts exactly the parameter points
+    /// `check_timing` clears (holding the realization knobs valid), and
+    /// its rejection carries the `SA006` code.
+    #[test]
+    fn real_config_validate_matches_the_shared_gate(
+        model in any_model(),
+        c1 in -2i128..5,
+        c2 in -2i128..5,
+        d1 in -2i128..5,
+        d2 in -2i128..5,
+    ) {
+        let spec = SessionSpec::new(2, 2, 2).expect("tiny spec");
+        let mut config = RealConfig::new(model, spec);
+        config.c1 = Dur::from_int(c1);
+        config.c2 = Dur::from_int(c2);
+        config.d1 = Dur::from_int(d1);
+        config.d2 = Dur::from_int(d2);
+        let feasible = expected_violations(model, c1, c2, d1, d2) == 0;
+        match config.validate() {
+            Ok(()) => prop_assert!(feasible, "validate accepted an infeasible window"),
+            Err(err) => {
+                prop_assert!(!feasible, "validate rejected a feasible window: {}", err);
+                prop_assert!(err.to_string().contains("SA006"), "{}", err);
+            }
+        }
+    }
+}

@@ -203,6 +203,37 @@ fn analyze_cli_rejects_zero_threads_and_threads_with_trace() {
     assert!(AnalyzeConfig::parse(["trace=run.jsonl", "threads=1"]).is_err());
 }
 
+#[test]
+fn analyze_cli_rejects_symbolic_with_trace_and_runs_symbolic_end_to_end() {
+    use session_problem::analyze::AnalyzeConfig;
+
+    let err = AnalyzeConfig::parse(["trace=run.jsonl", "symbolic=on"]).unwrap_err();
+    assert!(
+        err.to_string().contains("no space to abstract"),
+        "symbolic= with trace= must explain why it is rejected: {err}"
+    );
+    // symbolic=off is rejected too: the key does not apply to a trace
+    // replay, and silently accepting it would suggest it did.
+    assert!(AnalyzeConfig::parse(["trace=run.jsonl", "symbolic=off"]).is_err());
+
+    // Happy path through the real subcommand: a clean target verifies
+    // symbolically (exit 0) and the report carries the symbolic row; a
+    // naive witness is flagged symbolically too.
+    let (out, code) = AnalyzeConfig::parse(["SyncMp", "symbolic=on"])
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(code, 0, "clean target must verify symbolically:\n{out}");
+    assert!(out.contains("SyncMp (symbolic)"), "{out}");
+
+    let (out, code) = AnalyzeConfig::parse(["NaivePeriodicSm", "symbolic=on"])
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(code, 1, "the witness must stay flagged:\n{out}");
+    assert!(out.contains("SA001"), "{out}");
+}
+
 /// The findings block of a csv report: everything from the
 /// `code,severity,...` header on. The summary block above it carries raw
 /// state/memo counters, which the parallel explorer does not promise to

