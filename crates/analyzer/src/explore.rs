@@ -39,11 +39,13 @@ use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
-use session_obs::{NullRecorder, Recorder};
+use session_obs::{Histogram, NullRecorder, ProgressBoard, Recorder};
 use session_types::Dur;
 
 use crate::diag::LintCode;
 use crate::machine::{MpMachine, SmMachine, StepInfo};
+use crate::parallel::PROGRESS_BATCH;
+use crate::profile::{ExploreProfile, FlightOpts, WorkerProfile};
 use crate::{por, symmetry};
 
 /// Either machine, so the explorer and replayer are substrate-agnostic.
@@ -353,11 +355,46 @@ pub fn explore_recorded_opts(
     opts: ExploreOpts,
     recorder: &mut dyn Recorder,
 ) -> Exploration {
+    explore_flight(
+        roots,
+        n,
+        s,
+        max_depth,
+        opts,
+        recorder,
+        &FlightOpts::default(),
+    )
+    .0
+}
+
+/// [`explore_recorded_opts`] with the flight recorder attached (DESIGN.md
+/// §15): when `flight.profile` is set, the returned [`ExploreProfile`]
+/// breaks down where the exploration spent its time — per worker for the
+/// parallel path, as one degenerate all-expand worker for the serial
+/// path — and when `flight.progress` carries a board, the explorer
+/// publishes batched live progress to it. The `Exploration` itself is
+/// bit-identical with or without either.
+#[allow(clippy::cast_precision_loss)]
+pub fn explore_flight(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    recorder: &mut dyn Recorder,
+    flight: &FlightOpts,
+) -> (Exploration, Option<ExploreProfile>) {
     assert!(opts.threads >= 1, "ExploreOpts::threads must be >= 1");
     if opts.threads > 1 {
-        return crate::parallel::explore_parallel(roots, n, s, max_depth, opts, recorder);
+        return crate::parallel::explore_parallel_flight(
+            roots, n, s, max_depth, opts, recorder, flight,
+        );
     }
     let started = Instant::now();
+    let progress = flight.progress.as_deref();
+    if let Some(board) = progress {
+        board.worker_busy();
+    }
     let mut explorer = Explorer {
         memo: FxHashMap::default(),
         on_path: FxHashSet::default(),
@@ -366,12 +403,16 @@ pub fn explore_recorded_opts(
         pruned: 0,
         memo_hit_count: 0,
         depth_hits: 0,
+        duplicates: 0,
         current_root: 0,
         s,
         max_depth,
         opts,
         early_stop: None,
         recorder,
+        progress,
+        batch_states: 0,
+        batch_depth: 0,
     };
     for (root_index, root) in roots.iter().enumerate() {
         explorer.current_root = root_index;
@@ -381,14 +422,20 @@ pub fn explore_recorded_opts(
         explorer.dfs(root.clone(), &counter, &mut path);
         explorer.recorder.span_end();
     }
+    explorer.flush_progress();
+    let memo_entries = explorer.memo.len() as u64;
     let Explorer {
         states,
         violations,
         pruned,
         memo_hit_count,
         depth_hits,
+        duplicates,
         ..
     } = explorer;
+    if let Some(board) = progress {
+        board.worker_idle();
+    }
     if recorder.is_enabled() {
         recorder.gauge("explore.states", states as f64);
         let elapsed = started.elapsed().as_secs_f64();
@@ -396,7 +443,36 @@ pub fn explore_recorded_opts(
             recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
         }
     }
-    Exploration {
+    let profile = flight.profile.then(|| {
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut worker = WorkerProfile::new();
+        worker.states = states;
+        worker.items = roots.len() as u64;
+        worker.busy_ns = wall_ns;
+        worker.duplicate_expansions = duplicates;
+        worker.seal();
+        ExploreProfile {
+            target: String::new(),
+            n,
+            s,
+            threads: 1,
+            max_depth,
+            por: opts.por,
+            symmetry: opts.symmetry,
+            states,
+            unique_states: memo_entries,
+            duplicate_expansions: duplicates,
+            donations_offered: 0,
+            donations_accepted: 0,
+            wall_ns,
+            phase_a_ns: wall_ns,
+            phase_b_ns: 0,
+            lock_wait_hist: Histogram::new(),
+            workers: vec![worker],
+            stripes: Vec::new(),
+        }
+    });
+    let exploration = Exploration {
         states,
         violations,
         truncated: depth_hits > 0,
@@ -405,7 +481,8 @@ pub fn explore_recorded_opts(
             pruned,
             memo_hits: memo_hit_count,
         },
-    }
+    };
+    (exploration, profile)
 }
 
 /// What a `dfs` call reports back to its parent expansion.
@@ -507,12 +584,16 @@ pub(crate) fn explore_witnesses(
         pruned: 0,
         memo_hit_count: 0,
         depth_hits: 0,
+        duplicates: 0,
         current_root: 0,
         s,
         max_depth,
         opts: ExploreOpts { threads: 1, ..opts },
         early_stop: Some(codes.clone()),
         recorder: &mut NullRecorder,
+        progress: None,
+        batch_states: 0,
+        batch_depth: 0,
     };
     for (root_index, root) in roots.iter().enumerate() {
         if explorer.early_stop_satisfied() {
@@ -544,6 +625,10 @@ struct Explorer<'r> {
     pruned: u64,
     memo_hit_count: u64,
     depth_hits: u64,
+    /// Re-expansions of a state already memoized at a smaller budget
+    /// (the serial baseline for the parallel explorer's
+    /// duplicate-expansion count).
+    duplicates: u64,
     current_root: usize,
     s: u64,
     max_depth: usize,
@@ -552,6 +637,10 @@ struct Explorer<'r> {
     /// recorded witness (the parallel explorer's witness re-derivation).
     early_stop: Option<BTreeSet<LintCode>>,
     recorder: &'r mut dyn Recorder,
+    /// Live-progress scoreboard, updated in [`PROGRESS_BATCH`] batches.
+    progress: Option<&'r ProgressBoard>,
+    batch_states: u64,
+    batch_depth: u64,
 }
 
 impl Explorer<'_> {
@@ -646,16 +735,43 @@ impl Explorer<'_> {
             };
         }
         self.states += 1;
+        if self.progress.is_some() {
+            self.batch_states += 1;
+            self.batch_depth = self.batch_depth.max(path.len() as u64);
+            if self.batch_states >= PROGRESS_BATCH {
+                self.flush_progress();
+            }
+        }
         self.on_path.insert(key);
         let complete = self.expand(&machine, counter, path);
         self.on_path.remove(&key);
         let explored_budget = if complete { MEMO_COMPLETE } else { remaining };
-        let entry = self.memo.entry(key).or_insert(explored_budget);
-        *entry = (*entry).max(explored_budget);
+        match self.memo.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                // This expansion redid work an earlier, smaller-budget walk
+                // of the same state had already done.
+                self.duplicates += 1;
+                let stored = entry.get_mut();
+                *stored = (*stored).max(explored_budget);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(explored_budget);
+            }
+        }
         SubtreeOutcome {
             complete,
             closed_cycle: false,
         }
+    }
+
+    /// Publishes the batched progress counters to the scoreboard.
+    fn flush_progress(&mut self) {
+        let Some(board) = self.progress else { return };
+        if self.batch_states > 0 {
+            board.add_states(self.batch_states);
+            self.batch_states = 0;
+        }
+        board.raise_depth(self.batch_depth);
     }
 
     /// Expands one choice and recurses; returns the child's outcome

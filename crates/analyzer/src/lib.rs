@@ -60,6 +60,7 @@ pub mod hb;
 pub mod machine;
 pub mod parallel;
 pub mod por;
+pub mod profile;
 pub mod replay;
 pub mod scope;
 pub mod symmetry;
@@ -70,10 +71,13 @@ pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity, TargetSummary
 pub use explore::{ExploreOpts, ReductionStats};
 pub use feasibility::{check_timing, require_feasible, TimingParams};
 pub use hb::{analyze_trace_jsonl, HbAnalysis};
+pub use profile::{ExploreProfile, FlightOpts, StripeProfile, WorkerProfile};
 pub use scope::Scope;
 pub use targets::{
-    analyze_all, analyze_all_with, analyze_space_symbolic, analyze_target, analyze_target_recorded,
-    analyze_target_symbolic, analyze_target_with, periodic_mp_space_with_delays,
-    scoped_target_space, symbolic_depth, target_names, target_space, TargetSpace, TARGET_NAMES,
+    analyze_all, analyze_all_with, analyze_scoped_target_flight, analyze_space_symbolic,
+    analyze_space_symbolic_recorded, analyze_target, analyze_target_flight,
+    analyze_target_recorded, analyze_target_symbolic, analyze_target_symbolic_recorded,
+    analyze_target_with, periodic_mp_space_with_delays, scoped_target_space, symbolic_depth,
+    target_names, target_space, TargetSpace, TARGET_NAMES,
 };
 pub use zones::{SymbolicAnalysis, ZoneWalk};

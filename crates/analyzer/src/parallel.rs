@@ -43,7 +43,7 @@
 //! key set, keeping lasso detection (`SA005`) exact across the split.
 
 use std::collections::{BTreeSet, VecDeque};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // Under `--cfg loom` every primitive routes through the loom facade, so
 // the `loom_tests` module can model-check the memo/pool machinery with
@@ -58,7 +58,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use rustc_hash::{FxHashMap, FxHashSet};
-use session_obs::Recorder;
+use session_obs::metrics::{MetricHandle, MetricsRegistry};
+use session_obs::{ProgressBoard, Recorder, TimelineSpan};
 
 use crate::diag::LintCode;
 use crate::explore::{
@@ -66,6 +67,7 @@ use crate::explore::{
     SessionCounter, MEMO_COMPLETE,
 };
 use crate::por;
+use crate::profile::{ExploreProfile, FlightOpts, StripeProfile, WorkerProfile, FLIGHT_BUFFER_CAP};
 
 /// Memo stripes. Power of two; the stripe index is the key's top bits
 /// (FxHash mixes into the high bits), so stripe pressure stays uniform.
@@ -74,6 +76,65 @@ const STRIPES: usize = 64;
 /// Subtrees with no more remaining budget than this are never donated —
 /// the pool round-trip costs more than just walking them locally.
 const DONATE_MIN_BUDGET: usize = 4;
+
+/// Progress updates are batched: workers publish to the shared
+/// [`ProgressBoard`] once per this many expanded states, amortizing the
+/// atomic traffic to nothing.
+pub(crate) const PROGRESS_BATCH: u64 = 256;
+
+fn stripe_index(key: u64) -> usize {
+    (key >> 58) as usize & (STRIPES - 1)
+}
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Cross-worker flight-recorder state shared by reference: the epoch all
+/// span offsets are relative to, plus the lock-free registry behind the
+/// contended-wait and idle histograms (per-worker scalars live in
+/// [`FlightLocal`], owned by one thread each — see DESIGN.md §15).
+struct FlightShared {
+    epoch: Instant,
+    registry: MetricsRegistry,
+    lock_wait: MetricHandle,
+    idle: MetricHandle,
+}
+
+impl FlightShared {
+    fn new(epoch: Instant) -> FlightShared {
+        let mut registry = MetricsRegistry::new();
+        let lock_wait = registry.register_histogram("explore.stripe_lock_wait_ns");
+        let idle = registry.register_histogram("explore.idle_ns");
+        FlightShared {
+            epoch,
+            registry,
+            lock_wait,
+            idle,
+        }
+    }
+}
+
+/// One worker's flight-recorder buffers: the public per-worker profile
+/// plus the per-stripe tallies that get summed across workers after the
+/// join. Thread-local by ownership — recording never synchronizes.
+struct FlightLocal {
+    prof: WorkerProfile,
+    stripe_hits: [u64; STRIPES],
+    stripe_misses: [u64; STRIPES],
+    stripe_contended: [u64; STRIPES],
+}
+
+impl FlightLocal {
+    fn new() -> Box<FlightLocal> {
+        Box::new(FlightLocal {
+            prof: WorkerProfile::new(),
+            stripe_hits: [0; STRIPES],
+            stripe_misses: [0; STRIPES],
+            stripe_contended: [0; STRIPES],
+        })
+    }
+}
 
 /// One unexplored subtree in the shared pool.
 struct WorkItem {
@@ -185,11 +246,92 @@ impl ShardedMemo {
     }
 
     /// Merges `budget` in with `max` — concurrent writers keep the most
-    /// complete exploration either of them performed.
-    fn merge(&self, key: u64, budget: usize) {
+    /// complete exploration either of them performed. Returns whether the
+    /// key was already present: a `true` means this worker just finished
+    /// expanding a state someone (a peer, or an earlier shallower-budget
+    /// walk) had already expanded — the duplicate-expansion signal.
+    fn merge(&self, key: u64, budget: usize) -> bool {
+        use std::collections::hash_map::Entry;
         let mut stripe = self.stripe(key).lock().expect("memo stripe");
-        let entry = stripe.entry(key).or_insert(budget);
-        *entry = (*entry).max(budget);
+        match stripe.entry(key) {
+            Entry::Occupied(entry) => {
+                let value = entry.into_mut();
+                *value = (*value).max(budget);
+                true
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(budget);
+                false
+            }
+        }
+    }
+
+    /// [`ShardedMemo::get`] with flight instrumentation: contended
+    /// stripe acquisitions are counted and timed (try-then-block, so an
+    /// uncontended probe pays one extra atomic at most).
+    fn get_flight(
+        &self,
+        key: u64,
+        local: &mut FlightLocal,
+        shared: &FlightShared,
+    ) -> Option<usize> {
+        let started = Instant::now();
+        let stripe = self.stripe(key);
+        let guard = match stripe.try_lock().ok() {
+            Some(guard) => guard,
+            None => {
+                let guard = stripe.lock().expect("memo stripe");
+                Self::count_wait(key, started, local, shared);
+                guard
+            }
+        };
+        let result = guard.get(&key).copied();
+        drop(guard);
+        local.prof.memo_probe_ns += nanos(started.elapsed());
+        result
+    }
+
+    /// [`ShardedMemo::merge`] with flight instrumentation.
+    fn merge_flight(
+        &self,
+        key: u64,
+        budget: usize,
+        local: &mut FlightLocal,
+        shared: &FlightShared,
+    ) -> bool {
+        use std::collections::hash_map::Entry;
+        let started = Instant::now();
+        let stripe = self.stripe(key);
+        let mut guard = match stripe.try_lock().ok() {
+            Some(guard) => guard,
+            None => {
+                let guard = stripe.lock().expect("memo stripe");
+                Self::count_wait(key, started, local, shared);
+                guard
+            }
+        };
+        let existed = match guard.entry(key) {
+            Entry::Occupied(entry) => {
+                let value = entry.into_mut();
+                *value = (*value).max(budget);
+                true
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(budget);
+                false
+            }
+        };
+        drop(guard);
+        local.prof.memo_insert_ns += nanos(started.elapsed());
+        existed
+    }
+
+    fn count_wait(key: u64, started: Instant, local: &mut FlightLocal, shared: &FlightShared) {
+        let wait = nanos(started.elapsed());
+        local.prof.stripe_lock_waits += 1;
+        local.prof.stripe_lock_wait_ns += wait;
+        local.stripe_contended[stripe_index(key)] += 1;
+        shared.registry.histogram(shared.lock_wait).record(wait);
     }
 
     fn len(&self) -> u64 {
@@ -230,15 +372,115 @@ struct Worker<'a> {
     memo_hits: u64,
     memo_misses: u64,
     depth_hits: u64,
+    /// Memo merges that found the key already present (duplicated work).
+    /// Counted unconditionally — the merge hands the bit back for free.
+    duplicates: u64,
+    /// Donation points this worker expanded / items it pushed there.
+    donations_offered: u64,
+    donations_accepted: u64,
+    /// Flight-recorder buffers; `None` (the default) costs one branch
+    /// per hook.
+    flight: Option<Box<FlightLocal>>,
+    shared: Option<&'a FlightShared>,
+    /// Live-progress scoreboard, updated in [`PROGRESS_BATCH`] batches.
+    progress: Option<&'a ProgressBoard>,
+    batch_states: u64,
+    batch_depth: u64,
+}
+
+/// What one worker hands back at the join.
+struct WorkerOut {
+    states: u64,
+    pruned: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    depth_hits: u64,
+    duplicates: u64,
+    donations_offered: u64,
+    donations_accepted: u64,
+    codes: BTreeSet<LintCode>,
+    flight: Option<Box<FlightLocal>>,
 }
 
 impl Worker<'_> {
     fn run(&mut self) {
-        while let Some(item) = self.pool.pop() {
+        loop {
+            let waiting_since = self.flight.as_ref().map(|_| Instant::now());
+            let item = self.pool.pop();
+            if let (Some(local), Some(shared), Some(since)) =
+                (self.flight.as_deref_mut(), self.shared, waiting_since)
+            {
+                let idle = nanos(since.elapsed());
+                local.prof.idle_ns += idle;
+                shared.registry.histogram(shared.idle).record(idle);
+            }
+            let Some(item) = item else { break };
+            let item_depth = item.depth as u64;
+            let started = self.flight.as_ref().map(|_| Instant::now());
+            if let (Some(local), Some(shared)) = (self.flight.as_deref_mut(), self.shared) {
+                local.prof.items += 1;
+                if local.prof.pool_depth.len() < FLIGHT_BUFFER_CAP {
+                    let depth = self.pool.approx_len.load(Ordering::Relaxed) as u64;
+                    local
+                        .prof
+                        .pool_depth
+                        .push((nanos(shared.epoch.elapsed()), depth));
+                }
+            }
+            if let Some(board) = self.progress {
+                board.worker_busy();
+                board.set_frontier(self.pool.approx_len.load(Ordering::Relaxed) as u64);
+            }
             self.prefix = Arc::clone(&item.prefix);
             self.on_path.clear();
             let _ = self.dfs(item.machine, &item.counter, item.depth);
+            if let (Some(local), Some(shared), Some(started)) =
+                (self.flight.as_deref_mut(), self.shared, started)
+            {
+                local.prof.busy_ns += nanos(started.elapsed());
+                local.prof.timeline.push(TimelineSpan {
+                    name: "item",
+                    start_ns: nanos(started.duration_since(shared.epoch)),
+                    end_ns: nanos(shared.epoch.elapsed()),
+                    detail: item_depth,
+                });
+            }
+            if let Some(board) = self.progress {
+                self.flush_progress(board);
+                board.worker_idle();
+            }
             self.pool.finish();
+        }
+        if let Some(board) = self.progress {
+            self.flush_progress(board);
+        }
+    }
+
+    fn flush_progress(&mut self, board: &ProgressBoard) {
+        if self.batch_states > 0 {
+            board.add_states(self.batch_states);
+            board.raise_depth(self.batch_depth);
+            self.batch_states = 0;
+        }
+    }
+
+    fn into_out(mut self) -> WorkerOut {
+        if let Some(local) = self.flight.as_deref_mut() {
+            local.prof.states = self.states;
+            local.prof.duplicate_expansions = self.duplicates;
+            local.prof.seal();
+        }
+        WorkerOut {
+            states: self.states,
+            pruned: self.pruned,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+            depth_hits: self.depth_hits,
+            duplicates: self.duplicates,
+            donations_offered: self.donations_offered,
+            donations_accepted: self.donations_accepted,
+            codes: self.codes,
+            flight: self.flight,
         }
     }
 
@@ -264,9 +506,17 @@ impl Worker<'_> {
             };
         }
         let remaining = self.max_depth.saturating_sub(depth);
-        if let Some(budget) = self.memo.get(key) {
+        let memo = self.memo;
+        let cached = match (self.flight.as_deref_mut(), self.shared) {
+            (Some(local), Some(shared)) => memo.get_flight(key, local, shared),
+            _ => memo.get(key),
+        };
+        if let Some(budget) = cached {
             if budget >= remaining {
                 self.memo_hits += 1;
+                if let Some(local) = self.flight.as_deref_mut() {
+                    local.stripe_hits[stripe_index(key)] += 1;
+                }
                 if budget == MEMO_COMPLETE {
                     return done;
                 }
@@ -279,6 +529,9 @@ impl Worker<'_> {
             }
         }
         self.memo_misses += 1;
+        if let Some(local) = self.flight.as_deref_mut() {
+            local.stripe_misses[stripe_index(key)] += 1;
+        }
         if depth >= self.max_depth {
             self.depth_hits += 1;
             return Outcome {
@@ -288,12 +541,27 @@ impl Worker<'_> {
             };
         }
         self.states += 1;
+        if self.progress.is_some() {
+            self.batch_states += 1;
+            self.batch_depth = self.batch_depth.max(depth as u64);
+            if self.batch_states >= PROGRESS_BATCH {
+                if let Some(board) = self.progress {
+                    board.add_states(self.batch_states);
+                    board.raise_depth(self.batch_depth);
+                }
+                self.batch_states = 0;
+            }
+        }
         self.on_path.insert(key);
         let (complete, donated) = self.expand(&machine, counter, depth);
         self.on_path.remove(&key);
         if !donated {
-            self.memo
-                .merge(key, if complete { MEMO_COMPLETE } else { remaining });
+            let budget = if complete { MEMO_COMPLETE } else { remaining };
+            let existed = match (self.flight.as_deref_mut(), self.shared) {
+                (Some(local), Some(shared)) => memo.merge_flight(key, budget, local, shared),
+                _ => memo.merge(key, budget),
+            };
+            self.duplicates += u64::from(existed);
         }
         Outcome {
             complete: complete && !donated,
@@ -393,6 +661,8 @@ impl Worker<'_> {
         choices: usize,
         depth: usize,
     ) -> bool {
+        let started = self.flight.as_ref().map(|_| Instant::now());
+        self.donations_offered += 1;
         let mut prefix: FxHashSet<u64> = (*self.prefix).clone();
         prefix.extend(self.on_path.iter().copied());
         let prefix = Arc::new(prefix);
@@ -406,6 +676,7 @@ impl Worker<'_> {
                     if kept.is_none() {
                         kept = Some((next, next_counter));
                     } else {
+                        self.donations_accepted += 1;
                         self.pool.push(WorkItem {
                             machine: next,
                             counter: next_counter.unwrap_or_else(|| counter.clone()),
@@ -415,6 +686,11 @@ impl Worker<'_> {
                     }
                 }
             }
+        }
+        if let (Some(local), Some(started)) = (self.flight.as_deref_mut(), started) {
+            // The donation split only — the kept child's subtree below is
+            // ordinary expansion time.
+            local.prof.donation_ns += nanos(started.elapsed());
         }
         let Some((next, next_counter)) = kept else {
             // Every edge fired a step lint: the subtree is locally done.
@@ -454,16 +730,26 @@ fn make_child(machine: &AnyMachine, counter: &SessionCounter, choice: usize) -> 
 /// are bit-identical to [`crate::explore::explore_recorded_opts`] at
 /// `threads = 1`; the `states` count may differ (workers racing into the
 /// same state both count it, and the serial witness pass adds none).
-pub(crate) fn explore_parallel(
+///
+/// The flight recorder rides along: when `flight.profile` is set, the
+/// per-worker/per-stripe [`ExploreProfile`] is returned alongside the
+/// (unchanged) exploration; when `flight.progress` carries a board,
+/// workers publish batched progress to it. Neither influences a single
+/// exploration decision.
+#[allow(clippy::cast_precision_loss)]
+pub(crate) fn explore_parallel_flight(
     roots: &[AnyMachine],
     n: usize,
     s: u64,
     max_depth: usize,
     opts: ExploreOpts,
     recorder: &mut dyn Recorder,
-) -> Exploration {
+    flight: &FlightOpts,
+) -> (Exploration, Option<ExploreProfile>) {
     debug_assert!(opts.threads > 1);
     let started = Instant::now();
+    let shared = flight.profile.then(|| FlightShared::new(started));
+    let progress = flight.progress.as_deref();
     let empty_prefix = Arc::new(FxHashSet::default());
     let seeds: Vec<WorkItem> = roots
         .iter()
@@ -477,17 +763,13 @@ pub(crate) fn explore_parallel(
     let pool = Pool::new(seeds);
     let memo = ShardedMemo::new();
 
-    let mut states = 0u64;
-    let mut pruned = 0u64;
-    let mut memo_hits = 0u64;
-    let mut memo_misses = 0u64;
-    let mut depth_hits = 0u64;
-    let mut codes: BTreeSet<LintCode> = BTreeSet::new();
+    let mut outs: Vec<WorkerOut> = Vec::with_capacity(opts.threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.threads)
             .map(|_| {
                 let pool = &pool;
                 let memo = &memo;
+                let shared = shared.as_ref();
                 let empty_prefix = Arc::clone(&empty_prefix);
                 scope.spawn(move || {
                     let mut worker = Worker {
@@ -505,58 +787,134 @@ pub(crate) fn explore_parallel(
                         memo_hits: 0,
                         memo_misses: 0,
                         depth_hits: 0,
+                        duplicates: 0,
+                        donations_offered: 0,
+                        donations_accepted: 0,
+                        flight: shared.map(|_| FlightLocal::new()),
+                        shared,
+                        progress,
+                        batch_states: 0,
+                        batch_depth: 0,
                     };
                     worker.run();
-                    (
-                        worker.states,
-                        worker.pruned,
-                        worker.memo_hits,
-                        worker.memo_misses,
-                        worker.depth_hits,
-                        worker.codes,
-                    )
+                    worker.into_out()
                 })
             })
             .collect();
         for handle in handles {
-            let (w_states, w_pruned, w_hits, w_misses, w_depth, w_codes) =
-                handle.join().expect("exploration worker panicked");
-            states += w_states;
-            pruned += w_pruned;
-            memo_hits += w_hits;
-            memo_misses += w_misses;
-            depth_hits += w_depth;
-            codes.extend(w_codes);
+            outs.push(handle.join().expect("exploration worker panicked"));
         }
     });
+    let phase_a_ns = nanos(started.elapsed());
+
+    let mut states = 0u64;
+    let mut pruned = 0u64;
+    let mut memo_hits = 0u64;
+    let mut memo_misses = 0u64;
+    let mut depth_hits = 0u64;
+    let mut duplicates = 0u64;
+    let mut donations_offered = 0u64;
+    let mut donations_accepted = 0u64;
+    let mut codes: BTreeSet<LintCode> = BTreeSet::new();
+    for out in &mut outs {
+        states += out.states;
+        pruned += out.pruned;
+        memo_hits += out.memo_hits;
+        memo_misses += out.memo_misses;
+        depth_hits += out.depth_hits;
+        duplicates += out.duplicates;
+        donations_offered += out.donations_offered;
+        donations_accepted += out.donations_accepted;
+        codes.extend(std::mem::take(&mut out.codes));
+    }
 
     // Phase B: canonical witnesses, serially — free when nothing fired.
+    let phase_b_started = Instant::now();
     let violations = explore_witnesses(roots, n, s, max_depth, opts, &codes);
+    let phase_b_ns = nanos(phase_b_started.elapsed());
     debug_assert_eq!(
         violations.len(),
         codes.len(),
         "witness re-derivation must find every code Phase A found"
     );
 
+    let unique_states = memo.len();
     if recorder.is_enabled() {
         recorder.counter("explore.memo_hits", memo_hits);
         recorder.counter("explore.memo_misses", memo_misses);
         recorder.counter("explore.pruned_choices", pruned);
+        recorder.counter("explore.duplicate_expansions", duplicates);
+        recorder.counter("explore.donations_offered", donations_offered);
+        recorder.counter("explore.donations_accepted", donations_accepted);
         recorder.gauge("explore.states", states as f64);
-        recorder.gauge("explore.memo_entries", memo.len() as f64);
+        recorder.gauge("explore.memo_entries", unique_states as f64);
         recorder.gauge("explore.threads", opts.threads as f64);
         let elapsed = started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
             recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
         }
+        if let Some(shared) = &shared {
+            shared.registry.emit(recorder);
+            let locals = outs.iter().filter_map(|out| out.flight.as_deref());
+            let mut waits = 0u64;
+            let (mut expand, mut probe, mut insert) = (0u64, 0u64, 0u64);
+            for local in locals {
+                waits += local.prof.stripe_lock_waits;
+                expand += local.prof.expand_ns;
+                probe += local.prof.memo_probe_ns;
+                insert += local.prof.memo_insert_ns;
+            }
+            recorder.counter("explore.stripe_lock_waits", waits);
+            recorder.counter("explore.expand_ns", expand);
+            recorder.counter("explore.memo_probe_ns", probe);
+            recorder.counter("explore.memo_insert_ns", insert);
+            recorder.gauge("explore.phase_a_ms", phase_a_ns as f64 / 1e6);
+            recorder.gauge("explore.phase_b_ms", phase_b_ns as f64 / 1e6);
+        }
     }
-    Exploration {
+
+    let profile = shared.map(|shared| {
+        let mut stripes = vec![StripeProfile::default(); STRIPES];
+        let mut workers = Vec::with_capacity(outs.len());
+        for out in &mut outs {
+            let local = out.flight.take().expect("flight on for every worker");
+            for (i, stripe) in stripes.iter_mut().enumerate() {
+                stripe.hits += local.stripe_hits[i];
+                stripe.misses += local.stripe_misses[i];
+                stripe.contended += local.stripe_contended[i];
+            }
+            workers.push(local.prof);
+        }
+        ExploreProfile {
+            target: String::new(),
+            n,
+            s,
+            threads: opts.threads,
+            max_depth,
+            por: opts.por,
+            symmetry: opts.symmetry,
+            states,
+            unique_states,
+            duplicate_expansions: duplicates,
+            donations_offered,
+            donations_accepted,
+            wall_ns: nanos(started.elapsed()),
+            phase_a_ns,
+            phase_b_ns,
+            lock_wait_hist: shared.registry.histogram(shared.lock_wait).snapshot(),
+            workers,
+            stripes,
+        }
+    });
+
+    let exploration = Exploration {
         states,
         violations,
         truncated: depth_hits > 0,
         depth_hits,
         stats: ReductionStats { pruned, memo_hits },
-    }
+    };
+    (exploration, profile)
 }
 
 #[cfg(test)]

@@ -1,0 +1,484 @@
+//! The explorer flight recorder: structured profiles of where an
+//! exploration spent its time (DESIGN.md §15).
+//!
+//! `BENCH_analyzer.json` showed the parallel explorer *losing* to the
+//! serial one, and nothing in the codebase could say why: donation
+//! churn, memo-stripe contention, idle workers and duplicated work were
+//! all invisible. This module is the visibility layer. The parallel
+//! explorer (and, degenerately, the serial one) fills an
+//! [`ExploreProfile`] — per-worker time splits, per-stripe memo
+//! hit/miss/contention counts, duplicate-expansion counts, the Phase
+//! A/Phase B wall-clock break — which serializes as the stable
+//! `analyzer-profile/v1` JSON document plus a Perfetto trace with one
+//! track per worker.
+//!
+//! Profiling never changes findings: every hook is behind an `Option`
+//! that is `None` unless `profile=`/`progress=` asked for it, and the
+//! hooks only *read* explorer state (asserted by the invariance test in
+//! `tests/full_pipeline.rs`).
+
+use std::sync::Arc;
+
+use session_obs::json::JsonWriter;
+use session_obs::{export, Histogram, ProgressBoard, WorkerTimeline};
+
+/// How many timeline spans / pool-depth samples each worker keeps before
+/// counting overflow instead (bounds profile size on huge runs).
+pub(crate) const FLIGHT_BUFFER_CAP: usize = 4096;
+
+/// What the caller asked the flight recorder to do.
+///
+/// The default (`profile` off, no progress board) is the zero-cost path:
+/// the explorer's hooks reduce to a branch on `None`.
+#[derive(Clone, Debug, Default)]
+pub struct FlightOpts {
+    /// Collect an [`ExploreProfile`] for this exploration.
+    pub profile: bool,
+    /// Scoreboard for the live `progress=on` stderr line, polled by a
+    /// monitor thread owned by the caller.
+    pub progress: Option<Arc<ProgressBoard>>,
+}
+
+impl FlightOpts {
+    /// Profiling on, no progress board.
+    pub fn profiled() -> FlightOpts {
+        FlightOpts {
+            profile: true,
+            progress: None,
+        }
+    }
+}
+
+/// Per-worker flight data, owned by exactly one worker thread during
+/// Phase A and merged into the profile after the join.
+#[derive(Clone, Debug)]
+pub struct WorkerProfile {
+    /// States this worker expanded.
+    pub states: u64,
+    /// Work items this worker popped from the pool.
+    pub items: u64,
+    /// Time spent processing items (everything but waiting on the pool).
+    pub busy_ns: u64,
+    /// Time blocked on an empty pool waiting for donations.
+    pub idle_ns: u64,
+    /// Residual expansion time: `busy - memo_probe - memo_insert -
+    /// donation` (cloning machines, applying steps, firing lints).
+    pub expand_ns: u64,
+    /// Time in memo lookups, including stripe-lock acquisition.
+    pub memo_probe_ns: u64,
+    /// Time in memo merges, including stripe-lock acquisition.
+    pub memo_insert_ns: u64,
+    /// The stripe-lock-wait portion: time spent blocked on a stripe a
+    /// peer held (contended acquisitions only).
+    pub stripe_lock_wait_ns: u64,
+    /// How many stripe acquisitions were contended.
+    pub stripe_lock_waits: u64,
+    /// Time spent donating children to the pool (pool lock included).
+    pub donation_ns: u64,
+    /// States this worker expanded whose memo slot was already occupied
+    /// when it finished — work another worker (or an earlier
+    /// shallower-budget walk) had already done.
+    pub duplicate_expansions: u64,
+    /// One span per work item, for the per-worker Perfetto track.
+    pub timeline: WorkerTimeline,
+    /// `(t_ns, depth)` samples of the frontier pool, taken at each pop.
+    pub pool_depth: Vec<(u64, u64)>,
+}
+
+impl WorkerProfile {
+    pub(crate) fn new() -> WorkerProfile {
+        WorkerProfile {
+            states: 0,
+            items: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+            expand_ns: 0,
+            memo_probe_ns: 0,
+            memo_insert_ns: 0,
+            stripe_lock_wait_ns: 0,
+            stripe_lock_waits: 0,
+            donation_ns: 0,
+            duplicate_expansions: 0,
+            timeline: WorkerTimeline::with_capacity(FLIGHT_BUFFER_CAP),
+            pool_depth: Vec::new(),
+        }
+    }
+
+    /// Fills the residual `expand_ns` slot once all other slots are
+    /// final.
+    pub(crate) fn seal(&mut self) {
+        self.expand_ns = self
+            .busy_ns
+            .saturating_sub(self.memo_probe_ns + self.memo_insert_ns + self.donation_ns);
+    }
+}
+
+/// Per-stripe memo statistics, summed over all workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StripeProfile {
+    /// Probes answered by a sufficient memo entry.
+    pub hits: u64,
+    /// Probes that missed (entry absent or budget too small).
+    pub misses: u64,
+    /// Lock acquisitions (probe or merge) that had to wait for a peer.
+    pub contended: u64,
+}
+
+/// A complete flight-recorder profile of one exploration, serializable
+/// as the stable `analyzer-profile/v1` JSON document.
+#[derive(Clone, Debug)]
+pub struct ExploreProfile {
+    /// Target name (empty when the caller explored raw roots).
+    pub target: String,
+    /// Scope: number of processes.
+    pub n: usize,
+    /// Scope: sessions required.
+    pub s: u64,
+    /// Worker threads (1 = the serial explorer).
+    pub threads: usize,
+    /// Depth budget of the exploration.
+    pub max_depth: usize,
+    /// Whether partial-order reduction was on.
+    pub por: bool,
+    /// Whether symmetry reduction was on.
+    pub symmetry: bool,
+    /// States expanded (over-counts shared states, like the report).
+    pub states: u64,
+    /// Distinct memo entries — the deduplicated state count.
+    pub unique_states: u64,
+    /// Expansions whose memo slot was already occupied at write time:
+    /// duplicated work. With `threads = 1` this counts only
+    /// budget-growth re-walks; the parallel surplus over that baseline
+    /// is cross-worker duplication.
+    pub duplicate_expansions: u64,
+    /// Donation points: states whose menu was split into pool items.
+    pub donations_offered: u64,
+    /// Work items pushed to the pool at donation points.
+    pub donations_accepted: u64,
+    /// End-to-end wall clock (Phase A + Phase B), nanoseconds.
+    pub wall_ns: u64,
+    /// Phase A (parallel code discovery) wall clock.
+    pub phase_a_ns: u64,
+    /// Phase B (serial witness re-derivation) wall clock.
+    pub phase_b_ns: u64,
+    /// The cross-worker distribution of contended stripe-lock waits.
+    pub lock_wait_hist: Histogram,
+    /// One entry per worker.
+    pub workers: Vec<WorkerProfile>,
+    /// One entry per memo stripe (empty for the serial explorer).
+    pub stripes: Vec<StripeProfile>,
+}
+
+impl ExploreProfile {
+    /// Serializes the profile as the `analyzer-profile/v1` document.
+    ///
+    /// Field order is fixed, so the output is a deterministic function
+    /// of the profile (asserted byte-for-byte by
+    /// `tests/profile_export_golden.rs`).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "analyzer-profile/v1");
+        w.field_str("target", &self.target);
+        w.field_u64("n", self.n as u64);
+        w.field_u64("s", self.s);
+        w.field_u64("threads", self.threads as u64);
+        w.field_u64("max_depth", self.max_depth as u64);
+        w.key("opts");
+        w.begin_object();
+        w.field_bool("por", self.por);
+        w.field_bool("symmetry", self.symmetry);
+        w.end_object();
+        w.field_u64("states", self.states);
+        w.field_u64("unique_states", self.unique_states);
+        w.field_u64("duplicate_expansions", self.duplicate_expansions);
+        w.key("donations");
+        w.begin_object();
+        w.field_u64("offered", self.donations_offered);
+        w.field_u64("accepted", self.donations_accepted);
+        w.end_object();
+        w.field_u64("wall_ns", self.wall_ns);
+        w.field_u64("phase_a_ns", self.phase_a_ns);
+        w.field_u64("phase_b_ns", self.phase_b_ns);
+        w.key("stripe_lock_wait");
+        w.begin_object();
+        w.field_u64("count", self.lock_wait_hist.count());
+        w.field_f64("total_ns", self.lock_wait_hist.sum());
+        w.field_f64("p95_ns", self.lock_wait_hist.quantile(0.95).unwrap_or(0.0));
+        w.field_f64("max_ns", self.lock_wait_hist.max().unwrap_or(0.0));
+        w.end_object();
+        w.key("workers");
+        w.begin_array();
+        for (id, worker) in self.workers.iter().enumerate() {
+            w.begin_object();
+            w.field_u64("id", id as u64);
+            w.field_u64("states", worker.states);
+            w.field_u64("items", worker.items);
+            w.field_u64("busy_ns", worker.busy_ns);
+            w.field_f64("utilization", self.utilization_of(worker));
+            w.key("time_ns");
+            w.begin_object();
+            w.field_u64("expand", worker.expand_ns);
+            w.field_u64("memo_probe", worker.memo_probe_ns);
+            w.field_u64("memo_insert", worker.memo_insert_ns);
+            w.field_u64("stripe_lock_wait", worker.stripe_lock_wait_ns);
+            w.field_u64("donation", worker.donation_ns);
+            w.field_u64("idle", worker.idle_ns);
+            w.end_object();
+            w.field_u64("stripe_lock_waits", worker.stripe_lock_waits);
+            w.field_u64("duplicate_expansions", worker.duplicate_expansions);
+            w.key("timeline");
+            w.begin_array();
+            for span in worker.timeline.spans() {
+                w.begin_object();
+                w.field_str("name", span.name);
+                w.field_u64("start_ns", span.start_ns);
+                w.field_u64("end_ns", span.end_ns);
+                w.field_u64("depth", span.detail);
+                w.end_object();
+            }
+            w.end_array();
+            w.field_u64("timeline_dropped", worker.timeline.dropped());
+            w.key("pool_depth");
+            w.begin_array();
+            for &(t_ns, depth) in &worker.pool_depth {
+                w.begin_array();
+                w.value_u64(t_ns);
+                w.value_u64(depth);
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("stripes");
+        w.begin_array();
+        for stripe in &self.stripes {
+            w.begin_object();
+            w.field_u64("hits", stripe.hits);
+            w.field_u64("misses", stripe.misses);
+            w.field_u64("contended", stripe.contended);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the per-worker timelines as a Perfetto trace (one track
+    /// per worker; see [`session_obs::export::flight_perfetto_json`]).
+    pub fn to_perfetto(&self) -> String {
+        let title = if self.target.is_empty() {
+            "analyzer".to_owned()
+        } else {
+            format!("analyzer: {}", self.target)
+        };
+        let tracks: Vec<_> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(id, worker)| (format!("worker {id}"), worker.timeline.spans().to_vec()))
+            .collect();
+        export::flight_perfetto_json(&title, &tracks)
+    }
+
+    /// One worker's busy fraction of the Phase A wall clock.
+    #[allow(clippy::cast_precision_loss)]
+    fn utilization_of(&self, worker: &WorkerProfile) -> f64 {
+        if self.phase_a_ns == 0 {
+            return 0.0;
+        }
+        worker.busy_ns as f64 / self.phase_a_ns as f64
+    }
+
+    /// A one-paragraph accounting summary (used by `bench_analyzer
+    /// --profile` and handy in tests): total busy vs idle vs lock-wait
+    /// time and the duplicated-work fraction.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn summary(&self) -> String {
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        let idle: u64 = self.workers.iter().map(|w| w.idle_ns).sum();
+        let wait: u64 = self.workers.iter().map(|w| w.stripe_lock_wait_ns).sum();
+        let dup_pct = if self.states == 0 {
+            0.0
+        } else {
+            100.0 * self.duplicate_expansions as f64 / self.states as f64
+        };
+        format!(
+            "threads={} states={} unique={} dup={} ({dup_pct:.1}%) \
+             busy_ms={:.1} idle_ms={:.1} lock_wait_ms={:.1} \
+             phase_a_ms={:.1} phase_b_ms={:.1}",
+            self.threads,
+            self.states,
+            self.unique_states,
+            self.duplicate_expansions,
+            busy as f64 / 1e6,
+            idle as f64 / 1e6,
+            wait as f64 / 1e6,
+            self.phase_a_ns as f64 / 1e6,
+            self.phase_b_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_obs::json;
+    use session_obs::TimelineSpan;
+
+    /// A fully hand-specified profile — also the shape the golden test
+    /// pins byte-for-byte.
+    pub(crate) fn synthetic() -> ExploreProfile {
+        let mut timeline = WorkerTimeline::with_capacity(4);
+        timeline.push(TimelineSpan {
+            name: "item",
+            start_ns: 1000,
+            end_ns: 51000,
+            detail: 0,
+        });
+        timeline.push(TimelineSpan {
+            name: "item",
+            start_ns: 60000,
+            end_ns: 80000,
+            detail: 5,
+        });
+        let mut lock_wait_hist = Histogram::new();
+        lock_wait_hist.record(200.0);
+        lock_wait_hist.record(800.0);
+        let worker0 = WorkerProfile {
+            states: 900,
+            items: 2,
+            busy_ns: 70000,
+            idle_ns: 10000,
+            expand_ns: 60000,
+            memo_probe_ns: 6000,
+            memo_insert_ns: 3000,
+            stripe_lock_wait_ns: 1000,
+            stripe_lock_waits: 2,
+            donation_ns: 1000,
+            duplicate_expansions: 40,
+            timeline,
+            pool_depth: vec![(1000, 3), (60000, 1)],
+        };
+        let worker1 = WorkerProfile {
+            states: 100,
+            items: 1,
+            busy_ns: 20000,
+            idle_ns: 60000,
+            expand_ns: 20000,
+            memo_probe_ns: 0,
+            memo_insert_ns: 0,
+            stripe_lock_wait_ns: 0,
+            stripe_lock_waits: 0,
+            donation_ns: 0,
+            duplicate_expansions: 10,
+            timeline: WorkerTimeline::with_capacity(4),
+            pool_depth: vec![(2000, 2)],
+        };
+        let mut stripes = vec![StripeProfile::default(); 4];
+        stripes[1] = StripeProfile {
+            hits: 50,
+            misses: 950,
+            contended: 2,
+        };
+        ExploreProfile {
+            target: "PeriodicMp".to_owned(),
+            n: 3,
+            s: 3,
+            threads: 2,
+            max_depth: 27,
+            por: false,
+            symmetry: false,
+            states: 1000,
+            unique_states: 950,
+            duplicate_expansions: 50,
+            donations_offered: 3,
+            donations_accepted: 4,
+            wall_ns: 100000,
+            phase_a_ns: 80000,
+            phase_b_ns: 20000,
+            lock_wait_hist,
+            workers: vec![worker0, worker1],
+            stripes,
+        }
+    }
+
+    #[test]
+    fn profile_json_is_valid_and_carries_the_schema() {
+        let doc = synthetic().to_json();
+        json::validate(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("analyzer-profile/v1")
+        );
+        assert_eq!(v.get("threads").and_then(json::JsonValue::as_u64), Some(2));
+        let workers = v
+            .get("workers")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(
+            workers[0]
+                .get("time_ns")
+                .and_then(|t| t.get("stripe_lock_wait"))
+                .and_then(json::JsonValue::as_u64),
+            Some(1000)
+        );
+        let stripes = v
+            .get("stripes")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(stripes.len(), 4);
+        assert_eq!(
+            stripes[1]
+                .get("contended")
+                .and_then(json::JsonValue::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn perfetto_export_has_one_track_per_worker() {
+        let out = synthetic().to_perfetto();
+        json::validate(&out).unwrap();
+        assert!(out.contains("\"name\":\"worker 0\""), "{out}");
+        assert!(out.contains("\"name\":\"worker 1\""), "{out}");
+        assert!(out.contains("\"name\":\"analyzer: PeriodicMp\""), "{out}");
+    }
+
+    #[test]
+    fn utilization_and_summary_account_for_the_time() {
+        let profile = synthetic();
+        let doc = profile.to_json();
+        let v = json::parse(&doc).unwrap();
+        let workers = v
+            .get("workers")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        let util0 = workers[0]
+            .get("utilization")
+            .and_then(json::JsonValue::as_f64)
+            .unwrap();
+        assert!((util0 - 0.875).abs() < 1e-9, "{util0}");
+        let summary = profile.summary();
+        assert!(summary.contains("dup=50 (5.0%)"), "{summary}");
+        assert!(summary.contains("threads=2"), "{summary}");
+    }
+
+    #[test]
+    fn sealing_fills_the_residual_expand_slot() {
+        let mut worker = WorkerProfile::new();
+        worker.busy_ns = 100;
+        worker.memo_probe_ns = 20;
+        worker.memo_insert_ns = 10;
+        worker.donation_ns = 5;
+        worker.seal();
+        assert_eq!(worker.expand_ns, 65);
+        worker.busy_ns = 10;
+        worker.seal();
+        assert_eq!(worker.expand_ns, 0, "residual saturates at zero");
+    }
+}

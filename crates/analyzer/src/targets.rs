@@ -36,8 +36,9 @@ use session_smm::TreeSpec;
 use session_types::{Dur, KnownBounds, ProcessId, SessionSpec, Time, TimingModel, VarId};
 
 use crate::diag::{Diagnostic, LintCode, Report, TargetSummary};
-use crate::explore::{explore_recorded_opts, AnyMachine, ExploreOpts, SessionCounter};
+use crate::explore::{explore_flight, AnyMachine, ExploreOpts, SessionCounter};
 use crate::machine::{assignments, sm_system_algos, GapMode, MpAlgo, MpMachine, SmAlgo, SmMachine};
+use crate::profile::{ExploreProfile, FlightOpts};
 use crate::replay;
 use crate::scope::Scope;
 
@@ -559,14 +560,31 @@ fn analyze_space(
     opts: ExploreOpts,
     recorder: &mut dyn session_obs::Recorder,
 ) -> Report {
-    let exploration = explore_recorded_opts(
+    analyze_space_flight(name, built, opts, recorder, &FlightOpts::default()).0
+}
+
+/// [`analyze_space`] with the flight recorder attached: the second return
+/// is the exploration's [`ExploreProfile`] (target name filled in) when
+/// `flight.profile` asked for one.
+fn analyze_space_flight(
+    name: &str,
+    built: &TargetSpace,
+    opts: ExploreOpts,
+    recorder: &mut dyn session_obs::Recorder,
+    flight: &FlightOpts,
+) -> (Report, Option<ExploreProfile>) {
+    let (exploration, mut profile) = explore_flight(
         &built.roots,
         built.scope.n,
         built.scope.s,
         built.scope.max_depth,
         opts,
         recorder,
+        flight,
     );
+    if let Some(profile) = &mut profile {
+        profile.target = name.to_string();
+    }
     let mut report = Report::default();
     report.targets.push(TargetSummary {
         name: name.to_string(),
@@ -606,7 +624,7 @@ fn analyze_space(
             });
         }
     }
-    report
+    (report, profile)
 }
 
 /// Analyzes one named target: explores its complete state space at scope,
@@ -636,6 +654,36 @@ pub fn analyze_target_with(
 ) -> Option<Report> {
     let built = target_space(name)?;
     Some(analyze_space(name, &built, opts, recorder))
+}
+
+/// [`analyze_target_with`] with the flight recorder attached (DESIGN.md
+/// §15): the second return is the exploration's [`ExploreProfile`] when
+/// `flight.profile` asked for one; a progress board in `flight.progress`
+/// receives batched live updates either way. The report is bit-identical
+/// with or without the flight recorder (asserted by the invariance test
+/// in `tests/full_pipeline.rs`).
+pub fn analyze_target_flight(
+    name: &str,
+    opts: ExploreOpts,
+    recorder: &mut dyn session_obs::Recorder,
+    flight: &FlightOpts,
+) -> Option<(Report, Option<ExploreProfile>)> {
+    let built = target_space(name)?;
+    Some(analyze_space_flight(name, &built, opts, recorder, flight))
+}
+
+/// [`analyze_target_flight`] over the target rebuilt at dimensions
+/// `(n, s)` (see [`scoped_target_space`]) — the CLI's `n=`/`s=` options.
+pub fn analyze_scoped_target_flight(
+    name: &str,
+    n: usize,
+    s: u64,
+    opts: ExploreOpts,
+    recorder: &mut dyn session_obs::Recorder,
+    flight: &FlightOpts,
+) -> Option<(Report, Option<ExploreProfile>)> {
+    let built = scoped_target_space(name, n, s)?;
+    Some(analyze_space_flight(name, &built, opts, recorder, flight))
 }
 
 /// Analyzes every target in [`TARGET_NAMES`] order and merges the reports.
@@ -745,10 +793,36 @@ pub fn symbolic_depth(name: &str, scope: &Scope) -> usize {
 /// counterexample: the zone graph collapses all schedules with one event
 /// order, so there is no single timed trace to replay.
 pub fn analyze_space_symbolic(name: &str, built: &TargetSpace) -> Report {
+    analyze_space_symbolic_recorded(name, built, &mut session_obs::NullRecorder)
+}
+
+/// [`analyze_space_symbolic`] with instrumentation: emits the zone
+/// walker's `zones.*` counters (zone states, explicit mirror states, DBM
+/// guard-zone closures, worst-close memo hits) and — because an enabled
+/// recorder switches the walk into its timed mode — the per-closure
+/// `zones.dbm_close_us` histogram, so `session-cli stats` can render the
+/// symbolic engine in the unified snapshot.
+pub fn analyze_space_symbolic_recorded(
+    name: &str,
+    built: &TargetSpace,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Report {
     let mut scope = built.scope.clone();
     scope.max_depth = symbolic_depth(name, &built.scope);
     let table1 = table1_bound(name, &scope, &built.bounds);
-    let analysis = crate::zones::analyze_symbolic(&built.roots, &scope, &built.bounds, table1);
+    let timed = recorder.is_enabled();
+    let analysis =
+        crate::zones::analyze_symbolic_timed(&built.roots, &scope, &built.bounds, table1, timed);
+    if recorder.is_enabled() {
+        recorder.counter("zones.zone_states", analysis.zone_states);
+        recorder.counter("zones.explicit_states", analysis.explicit_states);
+        recorder.counter("zones.dbm_closures", analysis.dbm_closures);
+        recorder.counter(
+            "zones.worst_close_memo_hits",
+            analysis.worst_close_memo_hits,
+        );
+        recorder.merge_histogram("zones.dbm_close_us", &analysis.dbm_close);
+    }
     let mut report = Report::default();
     report.targets.push(TargetSummary {
         name: format!("{name} (symbolic)"),
@@ -780,6 +854,16 @@ pub fn analyze_space_symbolic(name: &str, built: &TargetSpace) -> Report {
 pub fn analyze_target_symbolic(name: &str) -> Option<Report> {
     let built = target_space(name)?;
     Some(analyze_space_symbolic(name, &built))
+}
+
+/// [`analyze_target_symbolic`] with instrumentation (see
+/// [`analyze_space_symbolic_recorded`]).
+pub fn analyze_target_symbolic_recorded(
+    name: &str,
+    recorder: &mut dyn session_obs::Recorder,
+) -> Option<Report> {
+    let built = target_space(name)?;
+    Some(analyze_space_symbolic_recorded(name, &built, recorder))
 }
 
 #[cfg(test)]

@@ -44,8 +44,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use session_obs::Histogram;
 use session_types::{Dur, KnownBounds, Ratio};
 
 use crate::dbm::{Bound, Dbm};
@@ -181,6 +183,16 @@ pub struct ZoneWalk {
     /// Reachable discrete control-state hashes (for the SA012
     /// cross-check).
     pub controls: FxHashSet<u64>,
+    /// Guard-zone constructions (clone + `up` + invariants + emptiness
+    /// check — one per attempted event firing): the walker's DBM work.
+    pub dbm_closures: u64,
+    /// Budget-sufficient memo reuses of a subtree's relative worst-close
+    /// offset — the zone analogue of the explicit memo-hit count.
+    pub worst_close_memo_hits: u64,
+    /// Per-guard-zone construction times in microseconds. Empty unless
+    /// the walk ran timed (`zone_walk_timed` with `timed = true`): plain
+    /// walks never read the clock.
+    pub dbm_close: Histogram,
 }
 
 /// What the mirror explicit walk (full menus, no reductions) reaches —
@@ -212,6 +224,12 @@ pub struct SymbolicAnalysis {
     /// Worst-case session-close time: numeric value and rendered symbolic
     /// expression.
     pub worst_close: Option<(Dur, String)>,
+    /// See [`ZoneWalk::dbm_closures`].
+    pub dbm_closures: u64,
+    /// See [`ZoneWalk::worst_close_memo_hits`].
+    pub worst_close_memo_hits: u64,
+    /// See [`ZoneWalk::dbm_close`].
+    pub dbm_close: Histogram,
 }
 
 fn window_str(lo: Option<Dur>, hi: Option<Dur>) -> String {
@@ -307,6 +325,13 @@ struct ZoneWalker<'a> {
     findings: BTreeMap<LintCode, String>,
     worst_close: Option<(Dur, SymExpr)>,
     controls: FxHashSet<u64>,
+    /// Whether guard-zone constructions are individually timed (only the
+    /// recorded `stats` path asks for this; plain walks never read the
+    /// clock).
+    timed: bool,
+    dbm_closures: u64,
+    worst_close_memo_hits: u64,
+    dbm_close: Histogram,
 }
 
 /// A clock's identity for the memo key: which event it tracks. The
@@ -404,6 +429,7 @@ impl ZoneWalker<'_> {
         let t_upper = dbm.upper(T_CLOCK).value().unwrap_or(Dur::ZERO);
         if let Some(entry) = self.memo.get(&key) {
             if entry.budget >= remaining {
+                self.worst_close_memo_hits += 1;
                 let complete = entry.budget == usize::MAX;
                 // The stored close offset is relative to the arrival time;
                 // this arrival reconstructs its absolute worst close (the
@@ -459,13 +485,21 @@ impl ZoneWalker<'_> {
         depth: usize,
     ) -> (bool, Option<(Dur, SymExpr)>) {
         let idx = ci + CLOCK_BASE;
+        self.dbm_closures += 1;
+        let close_started = self.timed.then(Instant::now);
         let mut z = dbm.clone();
         z.up();
         for (j, c) in clocks.iter().enumerate() {
             z.constrain(j + CLOCK_BASE, 0, Bound::Le(c.hi));
         }
         z.constrain(0, idx, Bound::Le(-clocks[ci].lo));
-        if z.is_empty() {
+        let empty = z.is_empty();
+        if let Some(started) = close_started {
+            #[allow(clippy::cast_precision_loss)]
+            self.dbm_close
+                .record(started.elapsed().as_nanos() as f64 / 1000.0);
+        }
+        if empty {
             // The order is infeasible under the windows — not a cut, the
             // branch simply does not exist.
             return (true, None);
@@ -558,6 +592,18 @@ fn max_close(a: Option<(Dur, SymExpr)>, b: Option<(Dur, SymExpr)>) -> Option<(Du
 /// Roots share the memo, exactly as the explicit explorer shares its memo
 /// across first-step and period assignments.
 pub fn zone_walk(roots: &[AnyMachine], scope: &Scope, bounds: &KnownBounds) -> ZoneWalk {
+    zone_walk_timed(roots, scope, bounds, false)
+}
+
+/// [`zone_walk`] with per-guard-zone timing toggled by `timed`: the
+/// recorded `stats` path turns it on to fill [`ZoneWalk::dbm_close`];
+/// everything else leaves it off and never reads the clock.
+pub fn zone_walk_timed(
+    roots: &[AnyMachine],
+    scope: &Scope,
+    bounds: &KnownBounds,
+    timed: bool,
+) -> ZoneWalk {
     let mut walker = ZoneWalker {
         scope,
         bounds,
@@ -568,6 +614,10 @@ pub fn zone_walk(roots: &[AnyMachine], scope: &Scope, bounds: &KnownBounds) -> Z
         findings: BTreeMap::new(),
         worst_close: None,
         controls: FxHashSet::default(),
+        timed,
+        dbm_closures: 0,
+        worst_close_memo_hits: 0,
+        dbm_close: Histogram::new(),
     };
     for root in roots {
         let counter = SessionCounter::new(scope.n, scope.s);
@@ -594,6 +644,9 @@ pub fn zone_walk(roots: &[AnyMachine], scope: &Scope, bounds: &KnownBounds) -> Z
         findings: walker.findings.into_iter().collect(),
         worst_close: walker.worst_close,
         controls: walker.controls,
+        dbm_closures: walker.dbm_closures,
+        worst_close_memo_hits: walker.worst_close_memo_hits,
+        dbm_close: walker.dbm_close,
     }
 }
 
@@ -722,8 +775,20 @@ pub fn analyze_symbolic(
     bounds: &KnownBounds,
     table1: Option<(Dur, String)>,
 ) -> SymbolicAnalysis {
+    analyze_symbolic_timed(roots, scope, bounds, table1, false)
+}
+
+/// [`analyze_symbolic`] with per-guard-zone DBM timing toggled by `timed`
+/// (see [`zone_walk_timed`]).
+pub fn analyze_symbolic_timed(
+    roots: &[AnyMachine],
+    scope: &Scope,
+    bounds: &KnownBounds,
+    table1: Option<(Dur, String)>,
+    timed: bool,
+) -> SymbolicAnalysis {
     let mut findings = dead_branch_findings(scope, bounds);
-    let walk = zone_walk(roots, scope, bounds);
+    let walk = zone_walk_timed(roots, scope, bounds, timed);
     findings.extend(walk.findings.iter().cloned());
 
     if let (Some((bound_val, bound_desc)), Some((val, sym))) = (&table1, &walk.worst_close) {
@@ -749,6 +814,9 @@ pub fn analyze_symbolic(
         explicit_states: explicit.states,
         truncated: walk.truncated || explicit.truncated,
         worst_close: walk.worst_close.map(|(v, sym)| (v, sym.to_string())),
+        dbm_closures: walk.dbm_closures,
+        worst_close_memo_hits: walk.worst_close_memo_hits,
+        dbm_close: walk.dbm_close,
     }
 }
 

@@ -2,6 +2,8 @@
 //! independent of any algorithm's semantics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use session_analyzer::explore::{explore_flight, explore_with_opts};
+use session_analyzer::{scoped_target_space, ExploreOpts, FlightOpts};
 use session_mpm::{Envelope, MpEngine, MpProcess};
 use session_obs::NullRecorder;
 use session_sim::{ConstantDelay, FixedPeriods, RunLimits};
@@ -162,10 +164,56 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The explorer with the flight recorder absent vs present: `plain` is
+/// the classic entry point, `flight-off` goes through [`explore_flight`]
+/// with every hook disabled (the configuration `session-cli analyze`
+/// always uses without `profile=`), `flight-on` pays for the full
+/// per-worker profile. The DESIGN.md §15 zero-overhead claim is the
+/// `plain` vs `flight-off` pair; `flight-on` quantifies the opt-in cost.
+fn bench_flight_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/flight-overhead");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1600));
+    group.sample_size(10);
+    let space = scoped_target_space("PeriodicMp", 2, 2).expect("PeriodicMp is registered");
+    let opts = ExploreOpts::reduced();
+    group.bench_function("plain", |b| {
+        b.iter(|| explore_with_opts(&space.roots, 2, 2, space.scope.max_depth, opts));
+    });
+    group.bench_function("flight-off", |b| {
+        b.iter(|| {
+            explore_flight(
+                &space.roots,
+                2,
+                2,
+                space.scope.max_depth,
+                opts,
+                &mut NullRecorder,
+                &FlightOpts::default(),
+            )
+        });
+    });
+    group.bench_function("flight-on", |b| {
+        b.iter(|| {
+            explore_flight(
+                &space.roots,
+                2,
+                2,
+                space.scope.max_depth,
+                opts,
+                &mut NullRecorder,
+                &FlightOpts::profiled(),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sm_throughput,
     bench_mp_throughput,
-    bench_recorder_overhead
+    bench_recorder_overhead,
+    bench_flight_overhead
 );
 criterion_main!(benches);

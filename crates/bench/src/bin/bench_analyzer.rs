@@ -9,12 +9,23 @@
 //! cargo run --release -p session-bench --bin bench_analyzer
 //! cargo run --release -p session-bench --bin bench_analyzer -- --json
 //! cargo run --release -p session-bench --bin bench_analyzer -- --json out.json
+//! cargo run --release -p session-bench --bin bench_analyzer -- --profile --json
 //! ```
 //!
 //! Report schema: `session-bench/analyzer/v1` — per row the reduction
 //! label, thread count, distinct states visited, wall-clock seconds,
 //! states/second, speedup over the threads=1 row of the same reduction,
-//! the sorted lint-code multiset, and the truncation flag.
+//! the sorted lint-code multiset, and the truncation flag. The top-level
+//! `host_threads` / `skewed` pair records whether the host could actually
+//! run the sweep in parallel: when `host_threads` is below the largest
+//! requested thread count the speedup rows measure oversubscription, not
+//! scaling, the report says `SKEWED` loudly, and the non-fatal
+//! `REGRESSION` check is skipped (DESIGN.md §15).
+//!
+//! `--profile` reruns each row with the flight recorder on (DESIGN.md
+//! §15) and embeds the utilization/contention summary — worker busy
+//! fraction, duplicate expansions, memo-stripe lock waits, donation
+//! counts, phase split — per row in both the markdown and the JSON.
 //!
 //! Exit status: `0` on success, `1` when the findings diverge across
 //! thread counts (a correctness failure). A speedup below the CI target
@@ -24,10 +35,11 @@
 
 use std::time::Instant;
 
-use session_analyzer::explore::explore_with_opts;
-use session_analyzer::{scoped_target_space, ExploreOpts};
+use session_analyzer::explore::{explore_flight, explore_with_opts};
+use session_analyzer::{scoped_target_space, ExploreOpts, ExploreProfile, FlightOpts};
 use session_bench::json_report::json_flag;
 use session_obs::json::JsonWriter;
+use session_obs::NullRecorder;
 
 /// The version tag written into every analyzer-bench report.
 const SCHEMA: &str = "session-bench/analyzer/v1";
@@ -50,19 +62,75 @@ struct BenchRow {
     speedup: f64,
     findings: Vec<String>,
     truncated: bool,
+    flight: Option<FlightSummary>,
 }
 
-/// Explores the target once and measures throughput.
+/// The utilization/contention digest `--profile` embeds per row,
+/// condensed from the full [`ExploreProfile`].
+struct FlightSummary {
+    /// Busy ÷ (busy + idle) summed over workers, in `[0, 1]`.
+    utilization: f64,
+    duplicate_expansions: u64,
+    /// Duplicates as a percentage of all expansions.
+    dup_pct: f64,
+    stripe_lock_waits: u64,
+    lock_wait_ms: f64,
+    donations_offered: u64,
+    donations_accepted: u64,
+    phase_a_ms: f64,
+    phase_b_ms: f64,
+}
+
+impl FlightSummary {
+    fn of(profile: &ExploreProfile) -> FlightSummary {
+        let busy: u64 = profile.workers.iter().map(|w| w.busy_ns).sum();
+        let idle: u64 = profile.workers.iter().map(|w| w.idle_ns).sum();
+        let wait: u64 = profile.workers.iter().map(|w| w.stripe_lock_wait_ns).sum();
+        FlightSummary {
+            utilization: busy as f64 / ((busy + idle) as f64).max(1.0),
+            duplicate_expansions: profile.duplicate_expansions,
+            dup_pct: if profile.states == 0 {
+                0.0
+            } else {
+                100.0 * profile.duplicate_expansions as f64 / profile.states as f64
+            },
+            stripe_lock_waits: profile.workers.iter().map(|w| w.stripe_lock_waits).sum(),
+            lock_wait_ms: wait as f64 / 1e6,
+            donations_offered: profile.donations_offered,
+            donations_accepted: profile.donations_accepted,
+            phase_a_ms: profile.phase_a_ns as f64 / 1e6,
+            phase_b_ms: profile.phase_b_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// Explores the target once and measures throughput. With `profile` the
+/// flight recorder rides along and the row carries its digest; the timed
+/// exploration itself still runs with the recorder off, so the headline
+/// states/second is never polluted by instrumentation.
 fn measure(
     space: &session_analyzer::TargetSpace,
     reduce: &'static str,
     base: ExploreOpts,
     threads: usize,
+    profile: bool,
 ) -> BenchRow {
     let opts = ExploreOpts { threads, ..base };
     let start = Instant::now();
     let exploration = explore_with_opts(&space.roots, N, S, space.scope.max_depth, opts);
     let wall_secs = start.elapsed().as_secs_f64();
+    let flight = profile.then(|| {
+        let (_, profile) = explore_flight(
+            &space.roots,
+            N,
+            S,
+            space.scope.max_depth,
+            opts,
+            &mut NullRecorder,
+            &FlightOpts::profiled(),
+        );
+        FlightSummary::of(&profile.expect("FlightOpts::profiled() always yields a profile"))
+    });
     let mut findings: Vec<String> = exploration
         .violations
         .iter()
@@ -78,6 +146,7 @@ fn measure(
         speedup: 0.0, // filled in once the serial baseline is known
         findings,
         truncated: exploration.truncated,
+        flight,
     }
 }
 
@@ -86,10 +155,11 @@ fn sweep(
     space: &session_analyzer::TargetSpace,
     reduce: &'static str,
     base: ExploreOpts,
+    profile: bool,
 ) -> Vec<BenchRow> {
     let mut rows: Vec<BenchRow> = THREADS
         .iter()
-        .map(|&threads| measure(space, reduce, base, threads))
+        .map(|&threads| measure(space, reduce, base, threads, profile))
         .collect();
     let baseline = rows[0].states_per_sec;
     for row in &mut rows {
@@ -98,7 +168,7 @@ fn sweep(
     rows
 }
 
-fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize) -> String {
+fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize, skewed: bool) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("schema", SCHEMA);
@@ -107,6 +177,7 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize) -> String {
     w.field_u64("s", S);
     w.field_u64("max_depth", max_depth as u64);
     w.field_u64("host_threads", host_threads as u64);
+    w.field_bool("skewed", skewed);
     w.key("rows");
     w.begin_array();
     for row in rows {
@@ -124,6 +195,20 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize) -> String {
         }
         w.end_array();
         w.field_bool("truncated", row.truncated);
+        if let Some(flight) = &row.flight {
+            w.key("flight");
+            w.begin_object();
+            w.field_f64("utilization", flight.utilization);
+            w.field_u64("duplicate_expansions", flight.duplicate_expansions);
+            w.field_f64("dup_pct", flight.dup_pct);
+            w.field_u64("stripe_lock_waits", flight.stripe_lock_waits);
+            w.field_f64("lock_wait_ms", flight.lock_wait_ms);
+            w.field_u64("donations_offered", flight.donations_offered);
+            w.field_u64("donations_accepted", flight.donations_accepted);
+            w.field_f64("phase_a_ms", flight.phase_a_ms);
+            w.field_f64("phase_b_ms", flight.phase_b_ms);
+            w.end_object();
+        }
         w.end_object();
     }
     w.end_array();
@@ -133,7 +218,10 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize) -> String {
 
 fn main() {
     let json_path = json_flag(std::env::args().skip(1), "BENCH_analyzer.json");
+    let profile = std::env::args().skip(1).any(|arg| arg == "--profile");
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let sweep_top = *THREADS.last().expect("sweep is non-empty");
+    let skewed = host_threads < sweep_top;
     let space = scoped_target_space(TARGET, N, S).expect("PeriodicMp is registered");
     println!(
         "# Analyzer throughput — {TARGET} at n = {N}, s = {S}, depth {}\n",
@@ -152,7 +240,7 @@ fn main() {
         ("none", ExploreOpts::default()),
         ("all", ExploreOpts::reduced()),
     ] {
-        rows.extend(sweep(&space, reduce, base));
+        rows.extend(sweep(&space, reduce, base, profile));
     }
     for row in &rows {
         println!(
@@ -167,17 +255,51 @@ fn main() {
             row.truncated
         );
     }
-    // Open-item-1 debt marker: loud but non-fatal, so the speedup gap
-    // stays visible in every telemetry artifact without failing hosts
-    // that legitimately measure ≈1× (single-core runners).
-    let sweep_top = *THREADS.last().expect("sweep is non-empty");
-    for row in rows.iter().filter(|r| r.threads == sweep_top) {
-        if row.speedup < 1.0 {
+    if profile {
+        println!("\n## flight recorder (--profile)\n");
+        println!(
+            "| reduce | threads | util | dup | stripe waits | lock wait | donated items (points) | phase A | phase B |"
+        );
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for row in &rows {
+            let f = row.flight.as_ref().expect("--profile fills every row");
             println!(
-                "REGRESSION: reduce={} speedup at {} threads is {:.2}x < 1.00x — the \
-                 parallel explorer is still slower than serial here (ROADMAP open item 1)",
-                row.reduce, row.threads, row.speedup
+                "| {} | {} | {:.0}% | {} ({:.1}%) | {} | {:.1} ms | {} ({}) | {:.1} ms | {:.1} ms |",
+                row.reduce,
+                row.threads,
+                100.0 * f.utilization,
+                f.duplicate_expansions,
+                f.dup_pct,
+                f.stripe_lock_waits,
+                f.lock_wait_ms,
+                f.donations_accepted,
+                f.donations_offered,
+                f.phase_a_ms,
+                f.phase_b_ms,
             );
+        }
+    }
+    if skewed {
+        // A 1-core runner oversubscribing an 8-thread sweep measures
+        // context-switch overhead, not scaling; say so loudly and keep
+        // the debt marker quiet rather than crying wolf.
+        println!(
+            "\nSKEWED: host reports {host_threads} hardware thread(s) but the sweep requests \
+             up to {sweep_top}; speedup rows measure oversubscription, not scaling, and the \
+             REGRESSION check is skipped (DESIGN.md §15)."
+        );
+    } else {
+        // Open-item-1 debt marker: loud but non-fatal, so the speedup gap
+        // stays visible in every telemetry artifact without failing hosts
+        // that legitimately measure ≈1× (single-core runners).
+        for row in rows.iter().filter(|r| r.threads == sweep_top) {
+            if row.speedup < 1.0 {
+                println!(
+                    "REGRESSION: reduce={} speedup at {} threads is {:.2}x < 1.00x — the \
+                     parallel explorer is still slower than serial here (ROADMAP open item 1)",
+                    row.reduce, row.threads, row.speedup
+                );
+            }
         }
     }
     // Correctness gate: the verdict must not depend on the thread count.
@@ -195,8 +317,10 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        if let Err(err) = std::fs::write(&path, to_json(&rows, space.scope.max_depth, host_threads))
-        {
+        if let Err(err) = std::fs::write(
+            &path,
+            to_json(&rows, space.scope.max_depth, host_threads, skewed),
+        ) {
             eprintln!("cannot write {}: {err}", path.display());
             std::process::exit(1);
         }

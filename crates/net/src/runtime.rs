@@ -109,10 +109,11 @@ impl Board {
 
 /// Runs `config` on real clocks and returns the reconstructed outcome.
 ///
-/// Counters and gauges recorded by the process threads are forwarded into
-/// `recorder` after the run (the pacer-lag histogram stays in
-/// [`RealRunOutcome::metrics`], since the [`Recorder`] interface ingests
-/// raw observations, not aggregated histograms).
+/// Counters, gauges, and histograms recorded by the process threads are
+/// forwarded into `recorder` after the run (histograms through
+/// [`Recorder::merge_histogram`], so the pacer-lag distribution shows up
+/// in a `session-cli stats` unified snapshot alongside the engine and
+/// analyzer metrics).
 ///
 /// # Errors
 ///
@@ -211,6 +212,9 @@ pub fn run_real(config: &RealConfig, recorder: &mut dyn Recorder) -> Result<Real
     }
     for (name, value) in metrics.gauges() {
         recorder.gauge(name, value);
+    }
+    for (name, hist) in metrics.histograms() {
+        recorder.merge_histogram(name, hist);
     }
 
     Ok(RealRunOutcome {

@@ -385,6 +385,54 @@ pub fn trace_jsonl(trace: &Trace, meta: &ExportMeta) -> String {
     out
 }
 
+/// Renders flight-recorder worker timelines as Chrome trace-event JSON,
+/// one track per worker (loadable in <https://ui.perfetto.dev>).
+///
+/// `tracks` pairs each track's label with its recorded spans; span
+/// offsets are nanoseconds since the exploration epoch and render as
+/// microsecond `ts`/`dur` values (Perfetto's native unit). Each span
+/// carries its `detail` (the explorer stores the work item's starting
+/// depth) as `args.depth`. Output is a deterministic function of the
+/// input — byte-stable, asserted by the profile golden test.
+pub fn flight_perfetto_json(title: &str, tracks: &[(String, Vec<crate::TimelineSpan>)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.begin_array();
+
+    w.begin_object();
+    w.field_str("name", "process_name");
+    w.field_str("ph", "M");
+    w.field_u64("pid", PID);
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", if title.is_empty() { "analyzer" } else { title });
+    w.end_object();
+    w.end_object();
+    for (tid, (label, _)) in tracks.iter().enumerate() {
+        thread_name(&mut w, tid as u64, label);
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let micros = |ns: u64| ns as f64 / 1000.0;
+    for (tid, (_, spans)) in tracks.iter().enumerate() {
+        for span in spans {
+            event_header(&mut w, span.name, "X", tid as u64, micros(span.start_ns));
+            w.field_f64("dur", micros(span.end_ns.saturating_sub(span.start_ns)));
+            w.key("args");
+            w.begin_object();
+            w.field_u64("depth", span.detail);
+            w.end_object();
+            w.end_object();
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +587,33 @@ mod tests {
         json::validate(&out).unwrap();
         let jsonl = trace_jsonl(&trace, &ExportMeta::new("empty"));
         assert_eq!(jsonl.lines().count(), 1); // just the meta header
+    }
+
+    #[test]
+    fn flight_export_gets_one_track_per_worker() {
+        use crate::TimelineSpan;
+        let tracks = vec![
+            (
+                "worker 0".to_owned(),
+                vec![TimelineSpan {
+                    name: "item",
+                    start_ns: 1500,
+                    end_ns: 4500,
+                    detail: 7,
+                }],
+            ),
+            ("worker 1".to_owned(), Vec::new()),
+        ];
+        let out = flight_perfetto_json("flight", &tracks);
+        json::validate(&out).unwrap();
+        assert_eq!(out.matches("\"name\":\"thread_name\"").count(), 2, "{out}");
+        assert!(out.contains("\"name\":\"worker 0\""), "{out}");
+        assert!(out.contains("\"name\":\"worker 1\""), "{out}");
+        // 1500 ns renders as 1.5 Perfetto micros; the span is 3 micros.
+        assert!(out.contains("\"ts\":1.5"), "{out}");
+        assert!(out.contains("\"dur\":3"), "{out}");
+        assert!(out.contains("\"depth\":7"), "{out}");
+        assert_eq!(out, flight_perfetto_json("flight", &tracks));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::recorder::Recorder;
 /// Number of histogram buckets: bucket `i < 32` counts samples with
 /// `value <= 2^i` (bucket 0 additionally absorbs everything `<= 1`,
 /// including non-positive samples); bucket 32 is the overflow bucket.
-const BUCKETS: usize = 33;
+pub(crate) const BUCKETS: usize = 33;
 
 /// A fixed-bucket power-of-two histogram.
 ///
@@ -62,7 +62,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_of(value: f64) -> usize {
+    pub(crate) fn bucket_of(value: f64) -> usize {
         if value <= 1.0 || value.is_nan() {
             return 0;
         }
@@ -80,6 +80,56 @@ impl Histogram {
     /// bucket).
     fn bucket_bound(i: usize) -> Option<f64> {
         (i < BUCKETS - 1).then(|| 2.0f64.powi(i as i32))
+    }
+
+    /// Rebuilds a histogram from pre-aggregated parts (the lock-free
+    /// [`crate::metrics::AtomicHistogram`] snapshots through this).
+    pub(crate) fn from_parts(
+        counts: [u64; BUCKETS],
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Histogram {
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// Folds every sample of `other` into `self`.
+    ///
+    /// The fixed bucket layout makes this exact at bucket resolution:
+    /// `count`, `sum`, `min`, `max` and every bucket count add up as if
+    /// all samples had been recorded into one histogram.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use session_obs::Histogram;
+    ///
+    /// let mut a = Histogram::new();
+    /// a.record(1.0);
+    /// let mut b = Histogram::new();
+    /// b.record(100.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.max(), Some(100.0));
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Records one sample.
@@ -204,6 +254,13 @@ impl MetricsSnapshot {
     /// All histograms, in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Folds a pre-aggregated histogram into the named slot (creating it
+    /// if absent). This is the snapshot-side twin of
+    /// [`crate::Recorder::merge_histogram`].
+    pub fn merge_histogram(&mut self, name: &'static str, hist: &Histogram) {
+        self.histograms.entry(name).or_default().merge(hist);
     }
 
     /// Returns `true` if nothing was recorded.
@@ -335,6 +392,10 @@ impl Recorder for InMemoryRecorder {
             self.observe(name, micros);
         }
     }
+
+    fn merge_histogram(&mut self, name: &'static str, hist: &Histogram) {
+        self.metrics.merge_histogram(name, hist);
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +476,39 @@ mod tests {
         let mut rec = InMemoryRecorder::new();
         rec.span_end();
         assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn merged_histograms_match_a_single_recording() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50 {
+            all.record(f64::from(v));
+            a.record(f64::from(v));
+        }
+        for v in 51..=100 {
+            all.record(f64::from(v));
+            b.record(f64::from(v));
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        a.merge(&Histogram::new());
+        assert_eq!(a, all, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn recorder_ingests_preaggregated_histograms() {
+        let mut pacer = Histogram::new();
+        pacer.record(2.0);
+        pacer.record(8.0);
+        let mut rec = InMemoryRecorder::new();
+        rec.observe("lag", 1.0);
+        rec.merge_histogram("lag", &pacer);
+        rec.merge_histogram("fresh", &pacer);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histogram("lag").unwrap().count(), 3);
+        assert_eq!(snap.histogram("fresh").unwrap().count(), 2);
     }
 
     #[test]

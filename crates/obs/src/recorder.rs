@@ -28,6 +28,18 @@ pub trait Recorder {
     /// Closes the innermost open span.
     fn span_end(&mut self);
 
+    /// Folds a pre-aggregated histogram into the named slot.
+    ///
+    /// [`Recorder::observe`] ingests raw samples one at a time; this is
+    /// the bulk seam for components that aggregate off to the side (a
+    /// per-thread [`crate::metrics::AtomicHistogram`], the `net`
+    /// runtime's pacer-lag histogram) and hand the result over at
+    /// quiesce. The default implementation discards the histogram, so
+    /// streaming backends (JSONL) and the null recorder are unaffected.
+    fn merge_histogram(&mut self, name: &'static str, hist: &crate::Histogram) {
+        let _ = (name, hist);
+    }
+
     /// Returns `false` when every recording is discarded (the null
     /// recorder), letting callers skip derived-value computation.
     fn is_enabled(&self) -> bool {

@@ -102,6 +102,10 @@ impl<R: Recorder> Recorder for SharedRecorder<R> {
         self.with(Recorder::span_end);
     }
 
+    fn merge_histogram(&mut self, name: &'static str, hist: &crate::Histogram) {
+        self.with(|r| r.merge_histogram(name, hist));
+    }
+
     fn is_enabled(&self) -> bool {
         self.with(|r| r.is_enabled())
     }

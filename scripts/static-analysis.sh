@@ -10,15 +10,19 @@
 #   4. registry test coverage -- every SAxxx code must have at least one
 #      positive (`saXXX_positive_*`) and one negative (`saXXX_negative_*`)
 #      test demonstrating the code firing and staying silent
-#   5. analyzer (release tests) -- including the #[ignore]d large
+#   5. metric-name registry -- every METRIC_NAMES entry in
+#      crates/obs/src/metrics.rs must be documented in DESIGN.md §15, so
+#      the unified `session-cli stats` snapshot never grows an
+#      undocumented row
+#   6. analyzer (release tests) -- including the #[ignore]d large
 #      explorations, the reduction differentials and the symbolic
 #      zone/explicit differentials that are too slow under the debug
 #      profile
-#   6. session-cli analyze -- the ten paper algorithms must explore clean
+#   7. session-cli analyze -- the ten paper algorithms must explore clean
 #      (with and without the reduction layers), and the three naive
 #      witnesses must be flagged with their exact codes and make the run
 #      exit non-zero
-#   7. session-cli analyze symbolic=on -- the ten paper algorithms must
+#   8. session-cli analyze symbolic=on -- the ten paper algorithms must
 #      also verify through the zone-graph engine with zero findings, and
 #      the witnesses must be flagged by the symbolic engine too (each
 #      deny line present twice: explicit + symbolic)
@@ -85,6 +89,21 @@ for code in $codes; do
     done
 done
 echo "registry coverage: $(echo "$codes" | wc -l) codes with positive+negative tests"
+
+current_step="metric-name documentation gate"
+echo "== metrics: every METRIC_NAMES entry documented in DESIGN.md §15 =="
+metrics_src=crates/obs/src/metrics.rs
+names=$(awk '/^pub const METRIC_NAMES/{f=1;next} f&&/^\];/{f=0} f{gsub(/[ ",]/,"");print}' "$metrics_src")
+[ -n "$names" ] || { echo "ERROR: found no METRIC_NAMES entries in $metrics_src" >&2; exit 1; }
+section=$(awk '/^## 15\./{f=1;next} f&&/^## /{f=0} f' DESIGN.md)
+[ -n "$section" ] || { echo "ERROR: DESIGN.md has no '## 15.' section" >&2; exit 1; }
+for name in $names; do
+    if ! printf '%s\n' "$section" | grep -qF "\`$name\`"; then
+        echo "ERROR: metric \`$name\` is not documented in DESIGN.md §15" >&2
+        exit 1
+    fi
+done
+echo "metrics: $(echo "$names" | wc -l) names documented in DESIGN.md §15"
 
 current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="

@@ -9,6 +9,8 @@
 //! session-cli analyze --all reduce=all threads=8
 //! session-cli analyze NaivePeriodicSm format=csv
 //! session-cli analyze --all allow=SA005 warn=SA003
+//! session-cli analyze target=PeriodicMp n=3 s=3 threads=8 profile=p.json
+//! session-cli analyze PeriodicMp progress=on
 //! session-cli analyze trace=run.jsonl
 //! session-cli analyze trace=run.jsonl model=asynchronous
 //! session-cli analyze --list
@@ -19,12 +21,23 @@
 //! did, `2` on usage errors, `3` when every finding cleared but at least
 //! one exploration was cut at its depth budget (clean, but the verdict is
 //! partial).
+//!
+//! The flight recorder (`profile=`, `progress=`; DESIGN.md §15) never
+//! changes findings or exit codes — `tests/full_pipeline.rs` asserts
+//! bit-identical reports with it on and off for every target.
+
+use std::io::IsTerminal as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use session_analyzer::diag::ALL_CODES;
 use session_analyzer::{
-    analyze_target_symbolic, analyze_target_with, analyze_trace_jsonl, target_names, ExploreOpts,
-    LintCode, LintConfig, Report, Severity,
+    analyze_scoped_target_flight, analyze_target_flight, analyze_target_symbolic,
+    analyze_trace_jsonl, target_names, target_space, ExploreOpts, FlightOpts, LintCode, LintConfig,
+    Report, Severity,
 };
+use session_obs::ProgressBoard;
 use session_types::{Error, Result, TimingModel};
 
 /// Output format for the report.
@@ -56,6 +69,16 @@ pub struct AnalyzeConfig {
     pub lints: LintConfig,
     /// When true, print the target registry and the lint codes, and exit.
     pub list: bool,
+    /// Rebuild the (single) target at this process count (`n=`).
+    pub n: Option<usize>,
+    /// Rebuild the (single) target at this session count (`s=`).
+    pub s: Option<u64>,
+    /// Write the exploration's `analyzer-profile/v1` document here (and a
+    /// Perfetto trace next to it); requires exactly one target.
+    pub profile: Option<PathBuf>,
+    /// Live progress line on stderr (`progress=on`); rate-limited, and
+    /// silent when stderr is not a terminal or `CI` is set.
+    pub progress: bool,
 }
 
 impl AnalyzeConfig {
@@ -64,6 +87,9 @@ impl AnalyzeConfig {
 usage: session-cli analyze [--all | TARGET ...] [key=value ...]
   --all                 analyze every registered target
   --list                print the registered targets and lint codes, exit
+  target=NAME           select a target (same as naming it positionally)
+  n=N s=S               rebuild the target at these dimensions (exactly
+                        one target; defaults are the registry fixtures)
   trace=FILE.jsonl      analyze a recorded trace (happens-before lints)
   model=NAME            claim override for trace analysis (synchronous,
                         periodic, semi-synchronous, sporadic, asynchronous)
@@ -73,6 +99,11 @@ usage: session-cli analyze [--all | TARGET ...] [key=value ...]
                         findings are identical at every thread count
   symbolic=on|off       additionally run the symbolic zone-graph engine
                         over each target (SA010-SA012; default off)
+  profile=FILE.json     write the exploration's flight-recorder profile
+                        (analyzer-profile/v1, plus FILE.perfetto.json);
+                        exactly one target; findings are unchanged
+  progress=on|off       live progress line on stderr (default off; silent
+                        when stderr is not a terminal or CI is set)
   format=md|csv         report format (default md)
   allow=CODE[,CODE...]  suppress rules (SAxxx code or rule name)
   warn=CODE[,CODE...]   report rules without failing
@@ -105,6 +136,10 @@ targets: the ten paper algorithms (clean) and three naive witnesses
         let mut symbolic: Option<bool> = None;
         let mut format = AnalyzeFormat::Markdown;
         let mut lints = LintConfig::new();
+        let mut n: Option<usize> = None;
+        let mut s: Option<u64> = None;
+        let mut profile: Option<PathBuf> = None;
+        let mut progress: Option<bool> = None;
 
         let set_codes = |lints: &mut LintConfig, value: &str, severity: Severity| {
             for part in value.split(',') {
@@ -163,6 +198,40 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                         }
                     });
                 }
+                Some(("target", value)) => {
+                    if !target_names().contains(&value) {
+                        return Err(bad(&format!("unknown target `{value}`")));
+                    }
+                    targets.push(value.to_string());
+                }
+                Some(("n", value)) => {
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| bad(&format!("n= wants a process count, got `{value}`")))?;
+                    if parsed == 0 {
+                        return Err(bad("n=0 is meaningless; pass n=1 or more"));
+                    }
+                    n = Some(parsed);
+                }
+                Some(("s", value)) => {
+                    let parsed: u64 = value
+                        .parse()
+                        .map_err(|_| bad(&format!("s= wants a session count, got `{value}`")))?;
+                    if parsed == 0 {
+                        return Err(bad("s=0 is meaningless; pass s=1 or more"));
+                    }
+                    s = Some(parsed);
+                }
+                Some(("profile", value)) => profile = Some(PathBuf::from(value)),
+                Some(("progress", value)) => {
+                    progress = Some(match value {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(bad(&format!("progress= wants on or off, got `{other}`")))
+                        }
+                    });
+                }
                 Some(("allow", value)) => set_codes(&mut lints, value, Severity::Allow)?,
                 Some(("warn", value)) => set_codes(&mut lints, value, Severity::Warn)?,
                 Some(("deny", value)) => set_codes(&mut lints, value, Severity::Deny)?,
@@ -195,6 +264,30 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                  state space; trace analysis replays one recorded run and has no \
                  space to abstract"));
         }
+        if (n.is_some() || s.is_some()) && targets.len() != 1 {
+            return Err(bad(
+                "n=/s= rebuild one target's scope: select exactly one target",
+            ));
+        }
+        if profile.is_some() {
+            if targets.len() != 1 {
+                return Err(bad(
+                    "profile= records one exploration: select exactly one target",
+                ));
+            }
+            if symbolic == Some(true) {
+                return Err(bad(
+                    "profile= records the explicit exploration; it does not \
+                     cover the symbolic zone walk (drop symbolic=on)",
+                ));
+            }
+        }
+        if (profile.is_some() || progress.is_some()) && trace.is_some() {
+            return Err(bad(
+                "profile=/progress= observe a state-space exploration; \
+                 trace analysis replays one recorded run",
+            ));
+        }
         opts.threads = threads.unwrap_or(1);
         Ok(AnalyzeConfig {
             targets,
@@ -205,6 +298,10 @@ targets: the ten paper algorithms (clean) and three naive witnesses
             format,
             lints,
             list,
+            n,
+            s,
+            profile,
+            progress: progress.unwrap_or(false),
         })
     }
 
@@ -236,16 +333,49 @@ targets: the ten paper algorithms (clean) and three naive witnesses
             }
             return Ok((out, 0));
         }
+        let board = self.progress.then(|| Arc::new(ProgressBoard::new()));
+        let monitor = board
+            .as_ref()
+            .and_then(|b| spawn_monitor(b, self.opts.threads));
+        let flight = FlightOpts {
+            profile: self.profile.is_some(),
+            progress: board.clone(),
+        };
         let mut report = Report::default();
+        let mut profile_doc = None;
         for name in &self.targets {
-            let target = analyze_target_with(name, self.opts, &mut session_obs::NullRecorder)
-                .expect("parse validated the target names");
+            let (target, profile) = match (self.n, self.s) {
+                (None, None) => {
+                    analyze_target_flight(name, self.opts, &mut session_obs::NullRecorder, &flight)
+                }
+                (n, s) => {
+                    let default = target_space(name)
+                        .expect("parse validated the target names")
+                        .scope;
+                    analyze_scoped_target_flight(
+                        name,
+                        n.unwrap_or(default.n),
+                        s.unwrap_or(default.s),
+                        self.opts,
+                        &mut session_obs::NullRecorder,
+                        &flight,
+                    )
+                }
+            }
+            .expect("parse validated the target names");
             report.merge(target);
+            profile_doc = profile_doc.or(profile);
             if self.symbolic {
                 let symbolic =
                     analyze_target_symbolic(name).expect("parse validated the target names");
                 report.merge(symbolic);
             }
+        }
+        if let Some(board) = &board {
+            board.finish();
+        }
+        if let Some(handle) = monitor {
+            let _ = handle.join();
         }
         if let Some(path) = &self.trace {
             let text = std::fs::read_to_string(path)
@@ -254,12 +384,69 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                 .map_err(|e| Error::invalid_params(format!("trace `{path}`: {e}")))?;
             report.merge(analysis.report);
         }
-        let rendered = match self.format {
+        let mut rendered = match self.format {
             AnalyzeFormat::Markdown => report.to_markdown(&self.lints),
             AnalyzeFormat::Csv => report.to_csv(&self.lints),
         };
+        if let (Some(path), Some(profile)) = (&self.profile, &profile_doc) {
+            let write = |path: &std::path::Path, text: &str| {
+                std::fs::write(path, text).map_err(|err| {
+                    Error::invalid_params(format!("cannot write {}: {err}", path.display()))
+                })
+            };
+            write(path, &profile.to_json())?;
+            let perfetto_path = perfetto_path_for(path);
+            write(&perfetto_path, &profile.to_perfetto())?;
+            rendered.push_str(&format!(
+                "\nwrote {}\nwrote {}\n",
+                path.display(),
+                perfetto_path.display()
+            ));
+        }
         Ok((rendered, exit_code(&report, &self.lints)))
     }
+}
+
+/// `p.json` → `p.perfetto.json` (non-`.json` paths just get the suffix
+/// appended).
+fn perfetto_path_for(path: &std::path::Path) -> PathBuf {
+    let raw = path.to_string_lossy();
+    let stem = raw.strip_suffix(".json").unwrap_or(&raw);
+    PathBuf::from(format!("{stem}.perfetto.json"))
+}
+
+/// Starts the `progress=on` stderr monitor, unless stderr is not a
+/// terminal or `CI` is set (a CI log would collect thousands of
+/// carriage-returned lines). The thread redraws a `\r`-anchored status
+/// line about five times a second and clears it when the board finishes.
+fn spawn_monitor(
+    board: &Arc<ProgressBoard>,
+    threads: usize,
+) -> Option<std::thread::JoinHandle<()>> {
+    if !std::io::stderr().is_terminal() || std::env::var_os("CI").is_some() {
+        return None;
+    }
+    let board = Arc::clone(board);
+    Some(std::thread::spawn(move || {
+        let started = std::time::Instant::now();
+        #[allow(clippy::cast_precision_loss)]
+        while !board.is_done() {
+            let snap = board.snapshot();
+            let secs = started.elapsed().as_secs_f64();
+            let rate = if secs > 0.0 {
+                snap.states as f64 / secs
+            } else {
+                0.0
+            };
+            eprint!(
+                "\r[analyze] states={} ({rate:.0}/s) depth={} pool={} busy={}/{threads}   ",
+                snap.states, snap.depth, snap.frontier, snap.busy
+            );
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        // Clear the status line so the report starts on a clean row.
+        eprint!("\r{:78}\r", "");
+    }))
 }
 
 /// Maps a finished report to the analyze exit status: `1` for any
@@ -389,6 +576,55 @@ mod tests {
             err.to_string().contains("inherently serial"),
             "threads= with trace= should explain itself, got: {err}"
         );
+    }
+
+    #[test]
+    fn profile_progress_and_scope_args_parse_and_validate() {
+        let config = AnalyzeConfig::parse([
+            "PeriodicMp",
+            "n=3",
+            "s=3",
+            "threads=2",
+            "profile=p.json",
+            "progress=on",
+        ])
+        .unwrap();
+        assert_eq!(config.n, Some(3));
+        assert_eq!(config.s, Some(3));
+        assert_eq!(
+            config.profile.as_deref(),
+            Some(std::path::Path::new("p.json"))
+        );
+        assert!(config.progress);
+        // Defaults stay off.
+        let config = AnalyzeConfig::parse(["PeriodicMp"]).unwrap();
+        assert!(config.n.is_none() && config.s.is_none());
+        assert!(config.profile.is_none() && !config.progress);
+        assert!(AnalyzeConfig::parse(["PeriodicMp", "progress=off"]).is_ok());
+
+        // Scoped dims and profile= need exactly one target.
+        for bad in ["n=2", "s=2", "profile=p.json"] {
+            for args in [vec!["--all", bad], vec!["SyncSm", "SyncMp", bad]] {
+                let err = AnalyzeConfig::parse(args).unwrap_err();
+                assert!(
+                    err.to_string().contains("exactly one target"),
+                    "`{bad}` without a single target should explain itself, got: {err}"
+                );
+            }
+        }
+        // The flight recorder profiles the explicit explorer only.
+        assert!(AnalyzeConfig::parse(["SyncSm", "profile=p.json", "symbolic=on"]).is_err());
+        // Not trace-analysis knobs.
+        assert!(AnalyzeConfig::parse(["trace=run.jsonl", "profile=p.json"]).is_err());
+        assert!(AnalyzeConfig::parse(["trace=run.jsonl", "progress=on"]).is_err());
+        // Malformed values are usage errors.
+        for bad in ["n=0", "n=two", "s=0", "progress=maybe"] {
+            let err = AnalyzeConfig::parse(["PeriodicMp", bad]).unwrap_err();
+            assert!(
+                err.to_string().contains("usage: session-cli analyze"),
+                "`{bad}` should fail with usage, got: {err}"
+            );
+        }
     }
 
     #[test]

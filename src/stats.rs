@@ -3,14 +3,25 @@
 //! layer observed — per-process step counts, engine counters and gauges,
 //! and histogram summaries.
 //!
+//! `target=NAME` switches to analyzer mode: instead of one engine run, it
+//! runs the explicit explorer (flight recorder on, so the `explore.*`
+//! counters and timing histograms are populated — see DESIGN.md §15) and
+//! the symbolic zone walker (`zones.*` counters, DBM closure timing) over
+//! the named target, and renders both engines' metrics as one unified
+//! snapshot.
+//!
 //! ```text
 //! session-cli stats model=periodic comm=mp s=3 n=3
 //! session-cli stats model=sync comm=sm s=2 n=2 json=stats.json
+//! session-cli stats target=PeriodicMp threads=4 json=stats.json
 //! ```
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use session_analyzer::{
+    analyze_target_flight, analyze_target_symbolic_recorded, target_names, ExploreOpts, FlightOpts,
+};
 use session_core::analysis::analyze;
 use session_core::system::port_of;
 use session_obs::InMemoryRecorder;
@@ -23,7 +34,13 @@ use crate::cli::CliConfig;
 #[derive(Clone, Debug)]
 pub struct StatsConfig {
     /// The run configuration (everything `session-cli` itself accepts).
-    pub run: CliConfig,
+    /// `None` in analyzer mode (`target=`).
+    pub run: Option<CliConfig>,
+    /// Analyzer mode: the target whose explicit + symbolic metrics to
+    /// snapshot.
+    pub target: Option<String>,
+    /// Worker threads for analyzer mode's explicit exploration.
+    pub threads: usize,
     /// Where to also write the metrics snapshot as JSON, if requested.
     pub json: Option<PathBuf>,
 }
@@ -33,32 +50,76 @@ impl StatsConfig {
     pub const USAGE: &'static str = "\
 usage: session-cli stats [key=value ...]
   json=PATH    also write the metrics snapshot as JSON
-plus every `session-cli` run option (model=, comm=, s=, n=, schedule=,
-delay=, seed=, max-steps=, ...).";
+  target=NAME  analyzer mode: snapshot the explicit explorer's and the
+               symbolic zone walker's metrics for one registered target
+  threads=N    worker threads for analyzer mode (default 1)
+plus (without target=) every `session-cli` run option (model=, comm=, s=,
+n=, schedule=, delay=, seed=, max-steps=, ...).";
 
     /// Parses the arguments after the `stats` keyword.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidParams`] (carrying a usage hint) when a run
-    /// option is malformed.
+    /// option is malformed, or when `target=` is combined with run
+    /// options.
     pub fn parse<I, S>(args: I) -> Result<StatsConfig>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
+        let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", StatsConfig::USAGE));
         let mut json = None;
+        let mut target: Option<String> = None;
+        let mut threads: Option<usize> = None;
         let mut run_args: Vec<String> = Vec::new();
         for arg in args {
             let arg = arg.as_ref();
             match arg.split_once('=') {
                 Some(("json", path)) => json = Some(PathBuf::from(path)),
+                Some(("target", name)) => {
+                    if !target_names().contains(&name) {
+                        return Err(bad(&format!("unknown target `{name}`")));
+                    }
+                    target = Some(name.to_string());
+                }
+                Some(("threads", value)) => {
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| bad(&format!("threads= wants a count, got `{value}`")))?;
+                    if parsed == 0 {
+                        return Err(bad("threads=0 is meaningless; pass threads=1 or more"));
+                    }
+                    threads = Some(parsed);
+                }
                 _ => run_args.push(arg.to_string()),
             }
         }
+        if let Some(target) = target {
+            if !run_args.is_empty() {
+                return Err(bad(&format!(
+                    "target= is analyzer mode and takes no run options (got `{}`)",
+                    run_args.join(" ")
+                )));
+            }
+            return Ok(StatsConfig {
+                run: None,
+                target: Some(target),
+                threads: threads.unwrap_or(1),
+                json,
+            });
+        }
+        if threads.is_some() {
+            return Err(bad("threads= only applies to analyzer mode (target=)"));
+        }
         let run = CliConfig::parse(&run_args)
             .map_err(|err| Error::invalid_params(format!("{err}\n{}", StatsConfig::USAGE)))?;
-        Ok(StatsConfig { run, json })
+        Ok(StatsConfig {
+            run: Some(run),
+            target: None,
+            threads: 1,
+            json,
+        })
     }
 
     /// Runs the configuration and renders the report plus the recorded
@@ -68,13 +129,17 @@ delay=, seed=, max-steps=, ...).";
     ///
     /// Propagates parameter and engine errors from the run.
     pub fn render(&self) -> Result<(String, String)> {
+        if let Some(target) = &self.target {
+            return Ok(self.render_target(target));
+        }
+        let run = self.run.as_ref().expect("either run or target is set");
         let mut recorder = InMemoryRecorder::new();
-        let (report, _bounds) = self.run.run_recorded(&mut recorder)?;
+        let (report, _bounds) = run.run_recorded(&mut recorder)?;
         let snapshot = recorder.into_snapshot();
-        let spec = self.run.spec;
+        let spec = run.spec;
 
         let mut out = String::new();
-        let _ = writeln!(out, "{} / {} — {}", self.run.model, self.run.comm, spec);
+        let _ = writeln!(out, "{} / {} — {}", run.model, run.comm, spec);
         let _ = writeln!(
             out,
             "terminated: {}   sessions: {}/{}   steps: {}",
@@ -85,7 +150,7 @@ delay=, seed=, max-steps=, ...).";
         );
 
         let analysis = analyze(&report.trace, spec.n(), port_of(&spec));
-        let ports = self.run.port_labels(report.trace.num_processes());
+        let ports = run.port_labels(report.trace.num_processes());
         // `process_stats` only tags shared-memory port steps; recount via
         // the port map so message-passing rows are right too.
         let events = report.trace.events();
@@ -119,6 +184,52 @@ delay=, seed=, max-steps=, ...).";
         let _ = writeln!(out, "\n## recorded metrics\n");
         out.push_str(&snapshot.to_markdown());
         Ok((out, snapshot.to_json()))
+    }
+
+    /// Analyzer mode: runs the explicit explorer (flight recorder on, so
+    /// the `explore.*` counters, time-split totals and lock-wait/idle
+    /// histograms are populated) and the symbolic zone walker (`zones.*`
+    /// counters and DBM closure timing) over `target`, and renders both
+    /// engines' metrics as one unified snapshot.
+    fn render_target(&self, target: &str) -> (String, String) {
+        let expect = "parse validated the target name";
+        let mut recorder = InMemoryRecorder::new();
+        let opts = ExploreOpts {
+            threads: self.threads,
+            ..ExploreOpts::default()
+        };
+        let (report, _profile) =
+            analyze_target_flight(target, opts, &mut recorder, &FlightOpts::profiled())
+                .expect(expect);
+        let symbolic = analyze_target_symbolic_recorded(target, &mut recorder).expect(expect);
+        let snapshot = recorder.into_snapshot();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "analyzer — target {target} (threads={})", self.threads);
+        let explicit = &report.targets[0];
+        let _ = writeln!(
+            out,
+            "explicit: {} states, {} memo hits, {} findings{}",
+            explicit.states,
+            explicit.memo_hits,
+            report.findings.len(),
+            if explicit.truncated {
+                " (truncated)"
+            } else {
+                ""
+            }
+        );
+        let zones = &symbolic.targets[0];
+        let _ = writeln!(
+            out,
+            "symbolic: {} zone states, {} findings{}",
+            zones.states,
+            symbolic.findings.len(),
+            if zones.truncated { " (truncated)" } else { "" }
+        );
+        let _ = writeln!(out, "\n## recorded metrics\n");
+        out.push_str(&snapshot.to_markdown());
+        (out, snapshot.to_json())
     }
 
     /// Runs the configuration, writes the JSON snapshot if requested, and
@@ -175,6 +286,46 @@ mod tests {
         json::validate(&snapshot_json).expect("snapshot must be valid JSON");
         assert!(
             snapshot_json.contains("\"mp.messages_sent\""),
+            "{snapshot_json}"
+        );
+    }
+
+    #[test]
+    fn target_mode_parses_and_rejects_run_options() {
+        let config = StatsConfig::parse(["target=PeriodicMp", "threads=4"]).unwrap();
+        assert_eq!(config.target.as_deref(), Some("PeriodicMp"));
+        assert_eq!(config.threads, 4);
+        assert!(config.run.is_none());
+
+        let err = StatsConfig::parse(["target=NoSuchTarget"]).unwrap_err();
+        assert!(err.to_string().contains("unknown target"), "{err}");
+        let err = StatsConfig::parse(["target=PeriodicMp", "model=periodic"]).unwrap_err();
+        assert!(err.to_string().contains("takes no run options"), "{err}");
+        let err =
+            StatsConfig::parse(["model=sync", "comm=sm", "s=2", "n=2", "threads=2"]).unwrap_err();
+        assert!(
+            err.to_string().contains("only applies to analyzer mode"),
+            "{err}"
+        );
+        assert!(StatsConfig::parse(["target=PeriodicMp", "threads=0"]).is_err());
+    }
+
+    #[test]
+    fn target_mode_renders_a_unified_explicit_and_symbolic_snapshot() {
+        let config = StatsConfig::parse(["target=SyncMp", "threads=2"]).unwrap();
+        let (out, snapshot_json) = config.render().unwrap();
+        assert!(
+            out.contains("analyzer — target SyncMp (threads=2)"),
+            "{out}"
+        );
+        assert!(out.contains("explicit:"), "{out}");
+        assert!(out.contains("symbolic:"), "{out}");
+        // Both engines' metrics land in one snapshot.
+        assert!(out.contains("explore.states"), "{out}");
+        assert!(out.contains("zones.zone_states"), "{out}");
+        json::validate(&snapshot_json).expect("snapshot must be valid JSON");
+        assert!(
+            snapshot_json.contains("\"zones.dbm_closures\""),
             "{snapshot_json}"
         );
     }

@@ -275,6 +275,67 @@ fn analyze_cli_findings_and_exit_code_are_thread_invariant() {
 }
 
 #[test]
+fn analyze_cli_findings_are_flight_recorder_invariant() {
+    use session_problem::analyze::AnalyzeConfig;
+
+    // The flight recorder must be observation-only: for every registered
+    // target, running with `profile=` + `progress=on` (threads=2, so the
+    // parallel hooks fire too) yields the same findings and exit code as
+    // the bare run (DESIGN.md §15). Scoped down to n=2, s=2 to keep the
+    // sweep cheap — the hooks fired are the same as at the full scope.
+    for target in session_analyzer::target_names() {
+        let (plain_out, plain_code) =
+            AnalyzeConfig::parse([target, "format=csv", "threads=2", "n=2", "s=2"])
+                .unwrap()
+                .execute()
+                .unwrap();
+        let profile_path = std::env::temp_dir().join(format!(
+            "flight-invariance-{}-{target}.json",
+            std::process::id()
+        ));
+        let profile_arg = format!("profile={}", profile_path.display());
+        let (flight_out, flight_code) = AnalyzeConfig::parse([
+            target,
+            "format=csv",
+            "threads=2",
+            "n=2",
+            "s=2",
+            "progress=on",
+            profile_arg.as_str(),
+        ])
+        .unwrap()
+        .execute()
+        .unwrap();
+        // The flight run appends `wrote PATH` lines after the report;
+        // everything before them must match the bare run byte-for-byte.
+        let flight_report = flight_out
+            .split("\nwrote ")
+            .next()
+            .expect("split always yields a first chunk");
+        assert_eq!(
+            csv_findings(flight_report),
+            csv_findings(&plain_out),
+            "{target}: findings changed under the flight recorder"
+        );
+        assert_eq!(
+            flight_code, plain_code,
+            "{target}: exit code changed under the flight recorder"
+        );
+        let doc = std::fs::read_to_string(&profile_path)
+            .expect("profile= writes the analyzer-profile document");
+        assert!(
+            doc.contains("\"schema\":\"analyzer-profile/v1\""),
+            "{target}: {doc}"
+        );
+        assert!(doc.contains(&format!("\"target\":\"{target}\"")), "{doc}");
+        let _ = std::fs::remove_file(&profile_path);
+        let perfetto = profile_path.with_extension("perfetto.json");
+        assert!(perfetto.exists(), "{target}: Perfetto sibling not written");
+        let _ = std::fs::remove_file(perfetto);
+    }
+}
+
+#[test]
 fn bench_harness_table_is_fully_consistent() {
     // The same artifact the `table1` binary prints: all 16 rows must hold.
     let rows = session_bench::measure::full_table1().unwrap();

@@ -1,0 +1,134 @@
+//! Golden-file tests for the flight-recorder exporters: the
+//! `analyzer-profile/v1` JSON and the per-worker Perfetto trace of a
+//! fully hand-specified profile must be byte-stable across runs (and
+//! across refactors — regenerate the files deliberately, never
+//! silently). Timing fields come from the synthetic profile, not a real
+//! exploration, so the bytes are deterministic on every host.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test profile_export_golden
+//! ```
+
+use session_analyzer::{ExploreProfile, StripeProfile, WorkerProfile};
+use session_obs::{Histogram, TimelineSpan, WorkerTimeline};
+
+/// A fully hand-specified profile: two workers with different time
+/// splits, one contended stripe, a truncated-free timeline — every
+/// serializer branch except timeline overflow.
+fn synthetic() -> ExploreProfile {
+    let mut timeline = WorkerTimeline::with_capacity(4);
+    timeline.push(TimelineSpan {
+        name: "item",
+        start_ns: 1000,
+        end_ns: 51000,
+        detail: 0,
+    });
+    timeline.push(TimelineSpan {
+        name: "item",
+        start_ns: 60000,
+        end_ns: 80000,
+        detail: 5,
+    });
+    let mut lock_wait_hist = Histogram::new();
+    lock_wait_hist.record(200.0);
+    lock_wait_hist.record(800.0);
+    let worker0 = WorkerProfile {
+        states: 900,
+        items: 2,
+        busy_ns: 70000,
+        idle_ns: 10000,
+        expand_ns: 60000,
+        memo_probe_ns: 6000,
+        memo_insert_ns: 3000,
+        stripe_lock_wait_ns: 1000,
+        stripe_lock_waits: 2,
+        donation_ns: 1000,
+        duplicate_expansions: 40,
+        timeline,
+        pool_depth: vec![(1000, 3), (60000, 1)],
+    };
+    let worker1 = WorkerProfile {
+        states: 100,
+        items: 1,
+        busy_ns: 20000,
+        idle_ns: 60000,
+        expand_ns: 20000,
+        memo_probe_ns: 0,
+        memo_insert_ns: 0,
+        stripe_lock_wait_ns: 0,
+        stripe_lock_waits: 0,
+        donation_ns: 0,
+        duplicate_expansions: 10,
+        timeline: WorkerTimeline::with_capacity(4),
+        pool_depth: vec![(2000, 2)],
+    };
+    let mut stripes = vec![StripeProfile::default(); 4];
+    stripes[1] = StripeProfile {
+        hits: 50,
+        misses: 950,
+        contended: 2,
+    };
+    ExploreProfile {
+        target: "PeriodicMp".to_owned(),
+        n: 3,
+        s: 3,
+        threads: 2,
+        max_depth: 27,
+        por: false,
+        symmetry: false,
+        states: 1000,
+        unique_states: 950,
+        duplicate_expansions: 50,
+        donations_offered: 3,
+        donations_accepted: 4,
+        wall_ns: 100000,
+        phase_a_ns: 80000,
+        phase_b_ns: 20000,
+        lock_wait_hist,
+        workers: vec![worker0, worker1],
+        stripes,
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the committed golden file; if the format change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn profile_json_is_byte_stable() {
+    check_golden("analyzer_profile_v1.json", &synthetic().to_json());
+}
+
+#[test]
+fn profile_perfetto_is_byte_stable() {
+    check_golden(
+        "analyzer_profile_v1.perfetto.json",
+        &synthetic().to_perfetto(),
+    );
+}
+
+#[test]
+fn exports_are_identical_across_runs() {
+    let first = (synthetic().to_json(), synthetic().to_perfetto());
+    let second = (synthetic().to_json(), synthetic().to_perfetto());
+    assert_eq!(first, second);
+}
