@@ -52,7 +52,10 @@ mod udp;
 
 pub use config::RealConfig;
 pub use conformance::{verify_conformance, ConformanceReport};
-pub use pacer::{sample, GapRule, Pacer, GRANULARITY};
-pub use runtime::{run_real, ProcessLog, RealRunOutcome, SendRecord, StepRecord};
+pub use pacer::{rule_for_process, Pacer};
+pub use runtime::{
+    outcome_from_logs, run_real, ProcessLog, RealRunOutcome, SendRecord, StepRecord,
+};
+pub use session_pacing::{sample, GapRule, NominalClock, GRANULARITY};
 pub use transport::{ChanTransport, Endpoint, Packet, Transport, TransportKind};
 pub use udp::UdpTransport;

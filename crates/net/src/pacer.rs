@@ -1,12 +1,19 @@
 //! The pacer: realizes a timing model's step schedule on the real clock.
 //!
 //! Each process thread owns one [`Pacer`]. Per step it (1) advances a
-//! *nominal* logical clock by a gap drawn from the model's rule —
-//! constant `c2` for synchronous, a per-process constant period for
-//! periodic, a fresh sample from `[c1, c2]` for semi-synchronous, a gap
-//! script or `>= c1` sample for sporadic, the configured window for
-//! asynchronous — and (2) sleeps until the wall-clock instant that
-//! nominal time maps to (`origin + nominal * unit`).
+//! *nominal* logical clock ([`session_pacing::NominalClock`]) by a gap
+//! drawn from the model's rule — constant `c2` for synchronous, a
+//! per-process constant period for periodic, a fresh sample from
+//! `[c1, c2]` for semi-synchronous, a gap script or `>= c1` sample for
+//! sporadic, the configured window for asynchronous — and (2) sleeps
+//! until the wall-clock instant that nominal time maps to
+//! (`origin + nominal * unit`).
+//!
+//! The gap rules and the nominal clock are transport-agnostic and live in
+//! `session-pacing` (the serve time wheel drives the same clock without
+//! any sleeping thread); this module adds only what is specific to the
+//! thread-per-process runtime: the [`RealConfig`] adapter
+//! ([`rule_for_process`]) and the wall-clock sleep.
 //!
 //! The *nominal* times are what the run records and what the conformance
 //! harness verifies: they are admissible by construction (every gap is
@@ -18,97 +25,37 @@
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use session_sim::ratio_in_range;
-use session_types::{Dur, KnownBounds, Time, TimingModel};
+use session_pacing::{GapRule, NominalClock};
+use session_types::{KnownBounds, Time};
 
 use crate::config::RealConfig;
 
-/// Granularity for sampled gaps and delays: all sampled rationals have
-/// denominator dividing 4, so long runs cannot overflow the exact-rational
-/// arithmetic.
-pub const GRANULARITY: u32 = 4;
-
-/// How one process's consecutive step gaps are chosen.
-#[derive(Clone, Debug)]
-pub enum GapRule {
-    /// Every gap is exactly this duration (synchronous `c2`; periodic uses
-    /// a per-process constant sampled once at startup).
-    Constant(Dur),
-    /// Each gap is freshly sampled from `[lo, hi]`.
-    Window {
-        /// Smallest admissible gap.
-        lo: Dur,
-        /// Largest gap the pacer will choose.
-        hi: Dur,
-    },
-    /// Gaps replay a script (e.g. a job-completion stream from
-    /// `session-rt`), then repeat the final gap forever.
-    Script(Vec<Dur>),
-}
-
-impl GapRule {
-    /// The rule `config` prescribes for process `index` under `bounds`.
-    ///
-    /// `rng` is consumed only by the periodic model, which samples each
-    /// process's constant period from the configured `[c1, c2]` window
-    /// once, here.
-    pub fn for_process(
-        config: &RealConfig,
-        bounds: &KnownBounds,
-        index: usize,
-        rng: &mut StdRng,
-    ) -> GapRule {
-        match config.model {
-            TimingModel::Synchronous => {
-                GapRule::Constant(bounds.c2().expect("synchronous bounds have c2"))
-            }
-            TimingModel::Periodic => GapRule::Constant(sample(rng, config.c1, config.c2)),
-            TimingModel::SemiSynchronous => GapRule::Window {
-                lo: bounds.c1().expect("semi-synchronous bounds have c1"),
-                hi: bounds.c2().expect("semi-synchronous bounds have c2"),
-            },
-            TimingModel::Sporadic => {
-                if let Some(script) = config
-                    .sporadic_gaps
-                    .as_ref()
-                    .and_then(|g| g.get(&session_types::ProcessId::new(index)))
-                {
-                    GapRule::Script(script.clone())
-                } else {
-                    GapRule::Window {
-                        lo: config.c1,
-                        hi: config.c2.max(config.c1),
-                    }
-                }
-            }
-            TimingModel::Asynchronous => GapRule::Window {
-                lo: config.c1,
-                hi: config.c2,
-            },
-        }
-    }
-}
-
-/// Draws a duration uniformly from the `GRANULARITY + 1` evenly spaced
-/// points of `[lo, hi]`.
-pub fn sample(rng: &mut StdRng, lo: Dur, hi: Dur) -> Dur {
-    Dur::from_ratio(ratio_in_range(
-        rng,
-        lo.as_ratio(),
-        hi.as_ratio(),
-        GRANULARITY,
-    ))
+/// The rule `config` prescribes for process `index` under `bounds`.
+///
+/// `rng` is consumed only by the periodic model, which samples each
+/// process's constant period from the configured `[c1, c2]` window once,
+/// here.
+pub fn rule_for_process(
+    config: &RealConfig,
+    bounds: &KnownBounds,
+    index: usize,
+    rng: &mut StdRng,
+) -> GapRule {
+    let script = config
+        .sporadic_gaps
+        .as_ref()
+        .and_then(|g| g.get(&session_types::ProcessId::new(index)))
+        .map(Vec::as_slice);
+    GapRule::for_model(config.model, bounds, (config.c1, config.c2), script, rng)
 }
 
 /// One process's step clock: nominal logical times plus the mapping onto
 /// wall-clock instants.
 #[derive(Debug)]
 pub struct Pacer {
-    rule: GapRule,
+    clock: NominalClock,
     unit: Duration,
     origin: Instant,
-    now: Time,
-    steps_taken: usize,
 }
 
 impl Pacer {
@@ -116,11 +63,9 @@ impl Pacer {
     /// `origin`.
     pub fn new(rule: GapRule, unit: Duration, origin: Instant) -> Pacer {
         Pacer {
-            rule,
+            clock: NominalClock::new(rule),
             unit,
             origin,
-            now: Time::ZERO,
-            steps_taken: 0,
         }
     }
 
@@ -128,17 +73,7 @@ impl Pacer {
     /// The first step's gap is measured from time 0, matching the
     /// admissibility checker.
     pub fn next_time(&mut self, rng: &mut StdRng) -> Time {
-        let gap = match &self.rule {
-            GapRule::Constant(c) => *c,
-            GapRule::Window { lo, hi } => sample(rng, *lo, *hi),
-            GapRule::Script(gaps) => {
-                let i = self.steps_taken.min(gaps.len() - 1);
-                gaps[i]
-            }
-        };
-        self.steps_taken += 1;
-        self.now += gap;
-        self.now
+        self.clock.next(rng)
     }
 
     /// Sleeps until the wall-clock instant nominal time `t` maps to, and
@@ -161,7 +96,7 @@ impl Pacer {
 mod tests {
     use super::*;
     use session_sim::seeded_rng;
-    use session_types::SessionSpec;
+    use session_types::{Dur, SessionSpec, TimingModel};
 
     fn config(model: TimingModel) -> RealConfig {
         RealConfig::new(model, SessionSpec::new(2, 2, 2).unwrap())
@@ -219,7 +154,7 @@ mod tests {
         let bounds = cfg.bounds().unwrap();
         let mut rng = seeded_rng(3);
         for index in 0..4 {
-            let rule = GapRule::for_process(&cfg, &bounds, index, &mut rng);
+            let rule = rule_for_process(&cfg, &bounds, index, &mut rng);
             let GapRule::Constant(period) = rule else {
                 panic!("periodic rule must be constant");
             };
@@ -232,11 +167,33 @@ mod tests {
         let cfg = config(TimingModel::Synchronous);
         let bounds = cfg.bounds().unwrap();
         let mut rng = seeded_rng(3);
-        let rule = GapRule::for_process(&cfg, &bounds, 0, &mut rng);
+        let rule = rule_for_process(&cfg, &bounds, 0, &mut rng);
         let GapRule::Constant(gap) = rule else {
             panic!("synchronous rule must be constant");
         };
         assert_eq!(gap, cfg.c2);
+    }
+
+    #[test]
+    fn sporadic_gap_script_is_picked_up_per_process() {
+        let mut cfg = config(TimingModel::Sporadic);
+        let mut gaps = std::collections::BTreeMap::new();
+        gaps.insert(
+            session_types::ProcessId::new(0),
+            vec![Dur::from_int(3), Dur::from_int(2)],
+        );
+        cfg.sporadic_gaps = Some(gaps);
+        let bounds = cfg.bounds().unwrap();
+        let mut rng = seeded_rng(3);
+        let GapRule::Script(script) = rule_for_process(&cfg, &bounds, 0, &mut rng) else {
+            panic!("scripted process must replay its script");
+        };
+        assert_eq!(script, vec![Dur::from_int(3), Dur::from_int(2)]);
+        // The unscripted process falls back to the `>= c1` window.
+        assert!(matches!(
+            rule_for_process(&cfg, &bounds, 1, &mut rng),
+            GapRule::Window { .. }
+        ));
     }
 
     #[test]

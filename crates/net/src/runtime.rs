@@ -27,9 +27,10 @@ use session_types::{Dur, ProcessId, Result, Time};
 
 use crate::config::RealConfig;
 use crate::merge::merge_trace;
-use crate::pacer::{sample, GapRule, Pacer};
+use crate::pacer::{rule_for_process, Pacer};
 use crate::transport::{ChanTransport, Endpoint, Packet, Transport, TransportKind};
 use crate::udp::UdpTransport;
+use session_pacing::{sample, GapRule};
 
 /// One recorded algorithm step of one process, at its nominal time.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +88,29 @@ pub struct RealRunOutcome {
     pub metrics: MetricsSnapshot,
 }
 
+/// Builds a [`RealRunOutcome`] from per-process logs collected by an
+/// external executor (the serve shards record the same `ProcessLog`
+/// shape for sampled sessions and feed them back through this seam so
+/// `verify_conformance` applies unchanged).
+///
+/// The returned outcome carries an empty metrics snapshot — external
+/// executors report telemetry through their own recorders.
+pub fn outcome_from_logs(
+    n: usize,
+    logs: &[ProcessLog],
+    terminated: bool,
+    wall_clock: Duration,
+) -> RealRunOutcome {
+    RealRunOutcome {
+        trace: merge_trace(n, logs),
+        terminated,
+        steps: logs.iter().map(|l| l.steps.len() as u64).sum(),
+        late_packets: logs.iter().map(|l| l.late_packets).sum(),
+        wall_clock,
+        metrics: InMemoryRecorder::new().into_snapshot(),
+    }
+}
+
 struct Board {
     idle: Vec<AtomicBool>,
     stop: AtomicBool,
@@ -135,7 +159,7 @@ pub fn run_real(config: &RealConfig, recorder: &mut dyn Recorder) -> Result<Real
     };
     let mut setup_rng = seeded_rng(config.seed);
     let rules: Vec<GapRule> = (0..n)
-        .map(|i| GapRule::for_process(config, &bounds, i, &mut setup_rng))
+        .map(|i| rule_for_process(config, &bounds, i, &mut setup_rng))
         .collect();
     let delay_window = config.delay_window(&bounds);
 

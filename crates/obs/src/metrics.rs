@@ -35,8 +35,8 @@ use crate::Histogram;
 
 /// Every metric name the flight recorder can emit into a
 /// [`crate::MetricsSnapshot`], across the explicit explorer
-/// (`explore.*`), the zone walker (`zones.*`) and the real-clock runtime
-/// (`net.pacer_lag_ms`).
+/// (`explore.*`), the zone walker (`zones.*`), the real-clock runtime
+/// (`net.pacer_lag_ms`) and the sharded session service (`serve.*`).
 ///
 /// `scripts/static-analysis.sh` asserts each of these is documented in
 /// DESIGN.md §15, so the unified `session-cli stats` snapshot never grows
@@ -67,6 +67,26 @@ pub const METRIC_NAMES: &[&str] = &[
     "zones.dbm_close_us",
     "zones.worst_close_memo_hits",
     "net.pacer_lag_ms",
+    "serve.sessions_opened",
+    "serve.sessions_closed",
+    "serve.sessions_shed",
+    "serve.sessions_orphaned",
+    "serve.sessions_aborted",
+    "serve.steps",
+    "serve.broadcasts",
+    "serve.deliveries",
+    "serve.conformance_samples",
+    "serve.conformance_failures",
+    "serve.frames_in",
+    "serve.frames_out",
+    "serve.frames_dropped",
+    "serve.protocol_errors",
+    "serve.rate_limited",
+    "serve.peers_connected",
+    "serve.peers_banned",
+    "serve.close_latency_ms",
+    "serve.close_lag_ms",
+    "serve.peak_live_sessions",
 ];
 
 /// A monotonic counter shared across worker threads.

@@ -1,0 +1,250 @@
+//! Transport-agnostic step pacing: per-model gap rules and the nominal
+//! logical clock they drive.
+//!
+//! Two executors realize the paper's timing models on wall clocks: the
+//! thread-per-process runtime (`session-net`, one OS thread sleeping per
+//! process) and the sharded session service (`session-serve`, a time
+//! wheel multiplexing tens of thousands of sessions per thread). Both
+//! need exactly the same two ingredients, so they live here, below any
+//! transport or scheduling choice:
+//!
+//! - [`GapRule`]: how one process's consecutive step gaps are chosen —
+//!   constant for synchronous (always `c2`) and periodic (a per-process
+//!   constant sampled once), freshly sampled from a window for
+//!   semi-synchronous / sporadic / asynchronous, or replayed from a
+//!   script (sporadic job-completion streams from `session-rt`).
+//! - [`NominalClock`]: the fold of a gap rule into a monotone sequence of
+//!   *nominal* step times. Nominal times are what runs record and what
+//!   the conformance harness verifies: every gap is drawn inside the
+//!   model's window, so a completed run is admissible by construction,
+//!   while physical wake-up jitter is reported separately as lag.
+//!
+//! How nominal time maps onto wall-clock instants — one sleeping thread,
+//! a time wheel, a simulator event queue — is the *caller's* concern;
+//! nothing in this crate sleeps or owns a socket.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use session_sim::ratio_in_range;
+use session_types::{Dur, KnownBounds, Time, TimingModel};
+
+/// Granularity for sampled gaps and delays: all sampled rationals have
+/// denominator dividing 4, so long runs cannot overflow the exact-rational
+/// arithmetic.
+pub const GRANULARITY: u32 = 4;
+
+/// How one process's consecutive step gaps are chosen.
+#[derive(Clone, Debug)]
+pub enum GapRule {
+    /// Every gap is exactly this duration (synchronous `c2`; periodic uses
+    /// a per-process constant sampled once at startup).
+    Constant(Dur),
+    /// Each gap is freshly sampled from `[lo, hi]`.
+    Window {
+        /// Smallest admissible gap.
+        lo: Dur,
+        /// Largest gap the pacer will choose.
+        hi: Dur,
+    },
+    /// Gaps replay a script (e.g. a job-completion stream from
+    /// `session-rt`), then repeat the final gap forever.
+    Script(Vec<Dur>),
+}
+
+impl GapRule {
+    /// The rule `model` prescribes for one process under `bounds`.
+    ///
+    /// `window` is the configured `[c1, c2]` fallback for the places the
+    /// model itself has no bound (the periodic model's per-process period
+    /// is sampled from it; the sporadic and asynchronous models pace
+    /// inside it). `script`, when present, replays explicit gaps (only
+    /// meaningful for the sporadic model — callers validate that).
+    ///
+    /// `rng` is consumed only by the periodic model, which samples each
+    /// process's constant period once, here.
+    pub fn for_model(
+        model: TimingModel,
+        bounds: &KnownBounds,
+        window: (Dur, Dur),
+        script: Option<&[Dur]>,
+        rng: &mut StdRng,
+    ) -> GapRule {
+        match model {
+            TimingModel::Synchronous => {
+                GapRule::Constant(bounds.c2().expect("synchronous bounds have c2"))
+            }
+            TimingModel::Periodic => GapRule::Constant(sample(rng, window.0, window.1)),
+            TimingModel::SemiSynchronous => GapRule::Window {
+                lo: bounds.c1().expect("semi-synchronous bounds have c1"),
+                hi: bounds.c2().expect("semi-synchronous bounds have c2"),
+            },
+            TimingModel::Sporadic => {
+                if let Some(script) = script {
+                    GapRule::Script(script.to_vec())
+                } else {
+                    GapRule::Window {
+                        lo: window.0,
+                        hi: window.1.max(window.0),
+                    }
+                }
+            }
+            TimingModel::Asynchronous => GapRule::Window {
+                lo: window.0,
+                hi: window.1,
+            },
+        }
+    }
+}
+
+/// Draws a duration uniformly from the `GRANULARITY + 1` evenly spaced
+/// points of `[lo, hi]`.
+pub fn sample(rng: &mut StdRng, lo: Dur, hi: Dur) -> Dur {
+    Dur::from_ratio(ratio_in_range(
+        rng,
+        lo.as_ratio(),
+        hi.as_ratio(),
+        GRANULARITY,
+    ))
+}
+
+/// One process's nominal step clock: folds a [`GapRule`] into the monotone
+/// sequence of logical step times, with no opinion about wall clocks.
+///
+/// The first step's gap is measured from time 0, matching the
+/// admissibility checker.
+#[derive(Clone, Debug)]
+pub struct NominalClock {
+    rule: GapRule,
+    now: Time,
+    steps_taken: usize,
+}
+
+impl NominalClock {
+    /// A clock at nominal time 0.
+    pub fn new(rule: GapRule) -> NominalClock {
+        NominalClock {
+            rule,
+            now: Time::ZERO,
+            steps_taken: 0,
+        }
+    }
+
+    /// Advances to the next nominal step time and returns it.
+    pub fn next(&mut self, rng: &mut StdRng) -> Time {
+        let gap = match &self.rule {
+            GapRule::Constant(c) => *c,
+            GapRule::Window { lo, hi } => sample(rng, *lo, *hi),
+            GapRule::Script(gaps) => {
+                let i = self.steps_taken.min(gaps.len() - 1);
+                gaps[i]
+            }
+        };
+        self.steps_taken += 1;
+        self.now += gap;
+        self.now
+    }
+
+    /// The current nominal time (the last value [`NominalClock::next`]
+    /// returned, or 0 before the first step).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use session_sim::seeded_rng;
+
+    #[test]
+    fn constant_rule_advances_exactly() {
+        let mut clock = NominalClock::new(GapRule::Constant(Dur::from_int(2)));
+        let mut rng = seeded_rng(1);
+        assert_eq!(clock.next(&mut rng), Time::from_int(2));
+        assert_eq!(clock.next(&mut rng), Time::from_int(4));
+        assert_eq!(clock.next(&mut rng), Time::from_int(6));
+        assert_eq!(clock.now(), Time::from_int(6));
+        assert_eq!(clock.steps_taken(), 3);
+    }
+
+    #[test]
+    fn window_rule_stays_in_bounds() {
+        let lo = Dur::ONE;
+        let hi = Dur::from_int(3);
+        let mut clock = NominalClock::new(GapRule::Window { lo, hi });
+        let mut rng = seeded_rng(7);
+        let mut prev = Time::ZERO;
+        for _ in 0..50 {
+            let t = clock.next(&mut rng);
+            let gap = t - prev;
+            assert!(gap >= lo && gap <= hi, "gap {gap} outside [{lo}, {hi}]");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn script_rule_replays_then_repeats_the_tail() {
+        let mut clock = NominalClock::new(GapRule::Script(vec![Dur::from_int(3), Dur::ONE]));
+        let mut rng = seeded_rng(1);
+        assert_eq!(clock.next(&mut rng), Time::from_int(3));
+        assert_eq!(clock.next(&mut rng), Time::from_int(4));
+        assert_eq!(clock.next(&mut rng), Time::from_int(5));
+        assert_eq!(clock.next(&mut rng), Time::from_int(6));
+    }
+
+    #[test]
+    fn periodic_rule_is_constant_per_process_within_the_window() {
+        let bounds = KnownBounds::periodic(Dur::from_int(4)).unwrap();
+        let window = (Dur::ONE, Dur::from_int(2));
+        let mut rng = seeded_rng(3);
+        for _ in 0..4 {
+            let rule = GapRule::for_model(TimingModel::Periodic, &bounds, window, None, &mut rng);
+            let GapRule::Constant(period) = rule else {
+                panic!("periodic rule must be constant");
+            };
+            assert!(period >= window.0 && period <= window.1);
+        }
+    }
+
+    #[test]
+    fn synchronous_rule_pins_the_gap_to_c2() {
+        let bounds = KnownBounds::synchronous(Dur::from_int(2), Dur::from_int(4)).unwrap();
+        let mut rng = seeded_rng(3);
+        let rule = GapRule::for_model(
+            TimingModel::Synchronous,
+            &bounds,
+            (Dur::ONE, Dur::from_int(2)),
+            None,
+            &mut rng,
+        );
+        let GapRule::Constant(gap) = rule else {
+            panic!("synchronous rule must be constant");
+        };
+        assert_eq!(gap, Dur::from_int(2));
+    }
+
+    #[test]
+    fn sporadic_script_takes_precedence_over_the_window() {
+        let bounds = KnownBounds::sporadic(Dur::ONE, Dur::ZERO, Dur::from_int(4)).unwrap();
+        let mut rng = seeded_rng(3);
+        let script = [Dur::from_int(5), Dur::ONE];
+        let rule = GapRule::for_model(
+            TimingModel::Sporadic,
+            &bounds,
+            (Dur::ONE, Dur::from_int(2)),
+            Some(&script),
+            &mut rng,
+        );
+        let GapRule::Script(gaps) = rule else {
+            panic!("scripted sporadic rule must replay the script");
+        };
+        assert_eq!(gaps, script.to_vec());
+    }
+}

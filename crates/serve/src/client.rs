@@ -1,0 +1,213 @@
+//! A minimal client for the service, used by the integration tests, the
+//! CLI selftest, and `bench_serve`.
+//!
+//! The client splits its connection: the caller's thread writes frames
+//! (batched through a `BufWriter`), a reader thread decodes server
+//! frames into an unbounded channel the caller drains at its own pace.
+//! That shape lets one client keep hundreds of thousands of opens in
+//! flight without the request/response lockstep that would serialize
+//! the benchmark on round-trip latency.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::mpsc::Receiver;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use session_types::TimingModel;
+
+use crate::wire::{datagram, undatagram, write_frame, ClientFrame, ServerFrame, MAX_PAYLOAD};
+
+/// A TCP client connection.
+#[derive(Debug)]
+pub struct ServeClient {
+    out: BufWriter<TcpStream>,
+    events: Receiver<ServerFrame>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl ServeClient {
+    /// Connects to `addr` and starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("serve-client-reader".to_owned())
+            .spawn(move || {
+                let mut stream = read_half;
+                let mut acc: Vec<u8> = Vec::new();
+                let mut tmp = [0u8; 8192];
+                loop {
+                    match stream.read(&mut tmp) {
+                        Ok(0) | Err(_) => break,
+                        Ok(k) => acc.extend_from_slice(&tmp[..k]),
+                    }
+                    let mut start = 0usize;
+                    while acc.len() - start >= 4 {
+                        let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes");
+                        let len = u32::from_le_bytes(len_bytes) as usize;
+                        if len == 0 || len > MAX_PAYLOAD {
+                            return; // server never sends these
+                        }
+                        if acc.len() - start < 4 + len {
+                            break;
+                        }
+                        let payload = &acc[start + 4..start + 4 + len];
+                        start += 4 + len;
+                        let Ok(frame) = ServerFrame::decode(payload) else {
+                            return;
+                        };
+                        if tx.send(frame).is_err() {
+                            return;
+                        }
+                    }
+                    acc.drain(..start);
+                }
+            })?;
+        Ok(ServeClient {
+            out: BufWriter::new(stream),
+            events: rx,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends one frame (buffered; see [`ServeClient::flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, frame: &ClientFrame) -> io::Result<()> {
+        write_frame(&mut self.out, &frame.encode())
+    }
+
+    /// Flushes buffered frames to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Sends `Hello` and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on write errors, a non-`HelloOk` reply, or timeout.
+    pub fn hello(&mut self, token: u64, timeout: Duration) -> io::Result<u64> {
+        self.send(&ClientFrame::Hello { token })?;
+        self.flush()?;
+        match self.recv_timeout(timeout) {
+            Some(ServerFrame::HelloOk { capacity }) => Ok(capacity),
+            Some(other) => Err(io::Error::other(format!("expected HelloOk, got {other:?}"))),
+            None => Err(io::Error::other("timed out waiting for HelloOk")),
+        }
+    }
+
+    /// Sends an `Open` (buffered — call [`ServeClient::flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn open(
+        &mut self,
+        req: u64,
+        model: TimingModel,
+        s: u32,
+        n: u32,
+        unit_us: u32,
+        seed: u64,
+    ) -> io::Result<()> {
+        self.send(&ClientFrame::Open {
+            req,
+            model,
+            s,
+            n,
+            unit_us,
+            seed,
+        })
+    }
+
+    /// The next server frame, or `None` on timeout/disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ServerFrame> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any already-received frames without blocking.
+    pub fn drain(&self) -> Vec<ServerFrame> {
+        let mut out = Vec::new();
+        while let Ok(frame) = self.events.try_recv() {
+            out.push(frame);
+        }
+        out
+    }
+}
+
+impl Drop for ServeClient {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+        if let Ok(stream) = self.out.get_ref().try_clone() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// A UDP client: one frame per datagram, same byte format as TCP.
+#[derive(Debug)]
+pub struct UdpServeClient {
+    socket: UdpSocket,
+    server: SocketAddr,
+}
+
+impl UdpServeClient {
+    /// Binds an ephemeral local socket aimed at `server`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn connect(server: SocketAddr) -> io::Result<UdpServeClient> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(UdpServeClient { socket, server })
+    }
+
+    /// Sends one frame as a datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn send(&self, frame: &ClientFrame) -> io::Result<()> {
+        self.socket
+            .send_to(&datagram(&frame.encode()), self.server)
+            .map(|_| ())
+    }
+
+    /// Receives the next server frame, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ServerFrame> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 512];
+        loop {
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, from)) if from == self.server => {
+                    if let Ok(frame) = undatagram(&buf[..len]).and_then(ServerFrame::decode) {
+                        return Some(frame);
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {}
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Service configuration and admission limits.
+
+use session_types::{Error, Result};
+
+/// Which socket transport the service listens on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeTransport {
+    /// Length-prefixed frames on TCP streams.
+    Tcp,
+    /// One frame per UDP datagram; peers are keyed by source address.
+    Udp,
+}
+
+impl ServeTransport {
+    /// Parses `"tcp"` or `"udp"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] for anything else.
+    pub fn parse(text: &str) -> Result<ServeTransport> {
+        match text {
+            "tcp" => Ok(ServeTransport::Tcp),
+            "udp" => Ok(ServeTransport::Udp),
+            other => Err(Error::invalid_params(format!(
+                "unknown serve transport '{other}' (expected tcp or udp)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeTransport::Tcp => "tcp",
+            ServeTransport::Udp => "udp",
+        })
+    }
+}
+
+/// Everything the service needs to start, with admission limits that
+/// bound per-session state (the Charron-Bost/Penet de Monterno argument:
+/// at ≥100k concurrent instances, per-session memory is the binding
+/// constraint, so every per-session allocation is capped up front).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub listen: String,
+    /// Socket transport.
+    pub transport: ServeTransport,
+    /// Shard (event-loop thread) count.
+    pub shards: usize,
+    /// Live-session cap per shard; `Open`s beyond it are load-shed with
+    /// `Reject{Busy}` so admitted sessions keep their timing bounds.
+    pub max_sessions_per_shard: usize,
+    /// Shared auth token clients must present in `Hello`. `None` runs
+    /// the service open (any token accepted).
+    pub auth_token: Option<u64>,
+    /// Token-bucket refill rate for `Open` requests, per peer, per
+    /// second.
+    pub open_rate: f64,
+    /// Token-bucket burst capacity for `Open` requests.
+    pub open_burst: f64,
+    /// Bounded per-peer egress queue length (frames). A peer that stops
+    /// reading overflows its own queue and only its own queue.
+    pub egress_capacity: usize,
+    /// Misbehavior score at which a peer's address is banned.
+    pub ban_threshold: u32,
+    /// Sample every k-th admitted session through the conformance
+    /// harness (0 disables sampling).
+    pub sample_every: u64,
+    /// Largest `n` an `Open` may request — per-session state is
+    /// `O(n²)` in recorded copies, so `n` is the knob that bounds it.
+    pub max_spec_n: u32,
+    /// Largest `s` an `Open` may request.
+    pub max_spec_s: u32,
+    /// Largest `unit_us` an `Open` may request (bounds how long one
+    /// admitted session can occupy its slot).
+    pub max_unit_us: u32,
+    /// Per-session step watchdog: abort an instance after this many
+    /// total algorithm steps.
+    pub max_steps_per_session: u64,
+    /// Time-wheel tick in microseconds.
+    pub tick_us: u64,
+    /// Seed mixed into every instance's RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            transport: ServeTransport::Tcp,
+            shards: 2,
+            max_sessions_per_shard: 75_000,
+            auth_token: None,
+            open_rate: 50_000.0,
+            open_burst: 20_000.0,
+            egress_capacity: 4096,
+            ban_threshold: 32,
+            sample_every: 64,
+            max_spec_n: 8,
+            max_spec_s: 64,
+            max_unit_us: 10_000_000,
+            max_steps_per_session: 4096,
+            tick_us: 1000,
+            seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::invalid_params("shards must be >= 1"));
+        }
+        if self.max_sessions_per_shard == 0 {
+            return Err(Error::invalid_params("max_sessions_per_shard must be >= 1"));
+        }
+        let rate_ok = self.open_rate.is_finite() && self.open_rate > 0.0;
+        let burst_ok = self.open_burst.is_finite() && self.open_burst >= 1.0;
+        if !rate_ok || !burst_ok {
+            return Err(Error::invalid_params(
+                "open_rate must be > 0 and open_burst >= 1",
+            ));
+        }
+        if self.egress_capacity == 0 {
+            return Err(Error::invalid_params("egress_capacity must be >= 1"));
+        }
+        if self.ban_threshold == 0 {
+            return Err(Error::invalid_params("ban_threshold must be >= 1"));
+        }
+        if self.max_spec_n < 1 || self.max_spec_s < 1 {
+            return Err(Error::invalid_params(
+                "max_spec_n and max_spec_s must be >= 1",
+            ));
+        }
+        if self.max_unit_us == 0 || self.tick_us == 0 {
+            return Err(Error::invalid_params(
+                "max_unit_us and tick_us must be >= 1",
+            ));
+        }
+        if self.max_steps_per_session == 0 {
+            return Err(Error::invalid_params("max_steps_per_session must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Total live-session capacity across all shards.
+    pub fn capacity(&self) -> u64 {
+        self.shards as u64 * self.max_sessions_per_shard as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_with_a_clear_reason() {
+        let cfg = ServeConfig {
+            shards: 0,
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("shards must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn transport_parses_and_rejects() {
+        assert_eq!(ServeTransport::parse("tcp").unwrap(), ServeTransport::Tcp);
+        assert_eq!(ServeTransport::parse("udp").unwrap(), ServeTransport::Udp);
+        assert!(ServeTransport::parse("sctp").is_err());
+    }
+
+    #[test]
+    fn capacity_is_shards_times_per_shard_cap() {
+        let cfg = ServeConfig {
+            shards: 4,
+            max_sessions_per_shard: 10,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.capacity(), 40);
+    }
+}

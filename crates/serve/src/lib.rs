@@ -1,0 +1,50 @@
+//! The sharded session service: the session problem as a network
+//! service multiplexing ≥100k concurrent `(s, n)`-session instances.
+//!
+//! `crates/net` runs exactly one real-clock execution at a time, with
+//! one OS thread per process. This crate is the scale-out layer above
+//! it: N shard threads each own a [time wheel](wheel::TimeWheel) that
+//! drives the nominal clocks of tens of thousands of co-located session
+//! instances, while per-connection reader/writer threads carry a small
+//! [length-prefixed wire protocol](wire) over TCP or UDP. The pieces:
+//!
+//! - [`wire`]: the frame format shared by both transports.
+//! - [`peer`]: bounded egress queues, `Open` token buckets, reputation
+//!   scoring and address bans — a misbehaving or slow client must never
+//!   stall an honest session.
+//! - [`wheel`]: the hashed time wheel replacing thread-per-process
+//!   pacing.
+//! - [`session`]: one multiplexed instance — the same machines, gap
+//!   rules ([`session_pacing`]) and nominal-time bookkeeping as
+//!   `crates/net`, minus the threads.
+//! - [`shard`]: the event loop; admission control load-sheds new
+//!   sessions (`Reject{Busy}`) before degrading live ones.
+//! - [`server`] / [`client`]: lifecycle, sockets and routing; a test
+//!   and benchmark client.
+//!
+//! Correctness is spot-checked on-line: one in `sample_every` admitted
+//! instances records full `ProcessLog`s and is replayed at close
+//! through `net::verify_conformance`, proving the multiplexed execution
+//! admissible for its timing model exactly as a dedicated `crates/net`
+//! run would be. Telemetry flows through the `crates/obs` registry
+//! under `serve.*` names (DESIGN.md §15/§16).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod peer;
+pub mod server;
+pub mod session;
+pub mod shard;
+pub mod wheel;
+pub mod wire;
+
+pub use client::{ServeClient, UdpServeClient};
+pub use config::{ServeConfig, ServeTransport};
+pub use peer::{PeerHandle, PeerManager, TokenBucket};
+pub use server::{ServeReport, Server};
+pub use session::{bounds_for, SessionInstance};
+pub use wheel::TimeWheel;
+pub use wire::{ClientFrame, ConformanceVerdict, RejectCode, ServerFrame};

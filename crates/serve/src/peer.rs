@@ -1,0 +1,292 @@
+//! Peer hardening: bounded egress, token buckets, reputation, bans.
+//!
+//! The service's isolation invariant is that *a misbehaving or slow
+//! client must never stall an honest session*. Three mechanisms enforce
+//! it, all local to the offending peer:
+//!
+//! - **Bounded egress** ([`PeerHandle::send`]): every peer owns a
+//!   fixed-capacity queue drained by its writer. Shards never block on a
+//!   send — a full queue (a peer that stopped reading) drops the frame,
+//!   counts it, and scores misbehavior. Session state machines advance
+//!   on the time wheel regardless of whether their owner ever reads a
+//!   `Closed` frame.
+//! - **Token buckets** ([`TokenBucket`]): `Open` admission is rate
+//!   limited per peer, so one flooding client exhausts its own bucket,
+//!   not the shards' capacity.
+//! - **Reputation and bans** ([`PeerManager`]): protocol violations,
+//!   rate-limit hits and egress overflow accumulate a misbehavior
+//!   score; past the configured threshold the peer's address is banned
+//!   and the connection is cut.
+
+use std::collections::HashSet;
+use std::net::{IpAddr, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::wire::{RejectCode, ServerFrame};
+
+/// A per-peer token bucket; owned by the peer's reader, no locking.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate` tokens/second up to `burst`.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> TokenBucket {
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    /// Takes one token if available; `false` means rate-limited.
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PeerInner {
+    addr: SocketAddr,
+    egress: SyncSender<ServerFrame>,
+    dropped: AtomicU64,
+    misbehavior: AtomicU32,
+    dead: AtomicBool,
+    /// A clone of the TCP stream, kept so a ban can cut the connection
+    /// from any thread (`None` on the UDP path — datagram peers are
+    /// killed by going dead, there is nothing to shut down).
+    conn: Mutex<Option<TcpStream>>,
+}
+
+/// A cloneable handle to one connected peer, shared by the reader,
+/// writer, and every shard running a session the peer opened.
+#[derive(Clone, Debug)]
+pub struct PeerHandle {
+    inner: Arc<PeerInner>,
+}
+
+impl PeerHandle {
+    /// Creates the peer's handle plus the receiving end its writer
+    /// drains. `egress_capacity` bounds the queue.
+    pub fn new(
+        addr: SocketAddr,
+        egress_capacity: usize,
+        conn: Option<TcpStream>,
+    ) -> (PeerHandle, Receiver<ServerFrame>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(egress_capacity);
+        let handle = PeerHandle {
+            inner: Arc::new(PeerInner {
+                addr,
+                egress: tx,
+                dropped: AtomicU64::new(0),
+                misbehavior: AtomicU32::new(0),
+                dead: AtomicBool::new(false),
+                conn: Mutex::new(conn),
+            }),
+        };
+        (handle, rx)
+    }
+
+    /// The peer's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Enqueues a frame without ever blocking. Returns `false` when the
+    /// frame was dropped — queue full (counted, scored) or peer dead.
+    pub fn send(&self, frame: ServerFrame) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        match self.inner.egress.try_send(frame) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                self.misbehave(1);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.dead.store(true, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Frames dropped on this peer's full egress queue.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Adds `points` to the misbehavior score and returns the new total.
+    pub fn misbehave(&self, points: u32) -> u32 {
+        self.inner.misbehavior.fetch_add(points, Ordering::Relaxed) + points
+    }
+
+    /// The current misbehavior score.
+    pub fn misbehavior(&self) -> u32 {
+        self.inner.misbehavior.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the peer is disconnected, killed, or banned.
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Relaxed)
+    }
+
+    /// Marks the peer dead, best-effort sends `Bye{code}`, and cuts the
+    /// TCP connection's read side so a blocked reader wakes immediately.
+    /// Only the read half is shut down: the writer still drains the
+    /// egress queue (pending rejects plus the `Bye`) before the last
+    /// handle drops and the socket closes.
+    pub fn kill(&self, code: RejectCode) {
+        // Queue the Bye before going dead so the writer can still flush
+        // it; losing it to a full queue is fine.
+        let _ = self.inner.egress.try_send(ServerFrame::Bye { code });
+        self.inner.dead.store(true, Ordering::Relaxed);
+        if let Ok(guard) = self.inner.conn.lock() {
+            if let Some(stream) = guard.as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+    }
+}
+
+/// Address-level ban list plus the ban policy.
+#[derive(Debug)]
+pub struct PeerManager {
+    bans: Mutex<HashSet<IpAddr>>,
+    ban_threshold: u32,
+    banned_total: AtomicU64,
+}
+
+impl PeerManager {
+    /// A manager banning peers whose score reaches `ban_threshold`.
+    pub fn new(ban_threshold: u32) -> PeerManager {
+        PeerManager {
+            bans: Mutex::new(HashSet::new()),
+            ban_threshold,
+            banned_total: AtomicU64::new(0),
+        }
+    }
+
+    /// `true` if `ip` is banned.
+    pub fn is_banned(&self, ip: IpAddr) -> bool {
+        self.bans.lock().map_or(true, |bans| bans.contains(&ip))
+    }
+
+    /// Bans `ip` outright.
+    pub fn ban(&self, ip: IpAddr) {
+        if let Ok(mut bans) = self.bans.lock() {
+            if bans.insert(ip) {
+                self.banned_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Scores `points` against `peer`; when the threshold is crossed the
+    /// peer's address is banned and the connection killed. Returns
+    /// `true` if this call banned the peer.
+    pub fn note_misbehavior(&self, peer: &PeerHandle, points: u32) -> bool {
+        let score = peer.misbehave(points);
+        if score >= self.ban_threshold && !peer.is_dead() {
+            self.ban(peer.addr().ip());
+            peer.kill(RejectCode::Banned);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total addresses banned since startup.
+    pub fn banned_total(&self) -> u64 {
+        self.banned_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn addr() -> SocketAddr {
+        "127.0.0.1:9999".parse().unwrap()
+    }
+
+    #[test]
+    fn token_bucket_limits_then_refills() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(10.0, 2.0, t0);
+        assert!(bucket.try_take(t0));
+        assert!(bucket.try_take(t0));
+        assert!(!bucket.try_take(t0), "burst exhausted");
+        // 100ms at 10/s refills one token.
+        assert!(bucket.try_take(t0 + Duration::from_millis(100)));
+        assert!(!bucket.try_take(t0 + Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(1000.0, 3.0, t0);
+        let later = t0 + Duration::from_secs(60);
+        for _ in 0..3 {
+            assert!(bucket.try_take(later));
+        }
+        assert!(!bucket.try_take(later));
+    }
+
+    #[test]
+    fn full_egress_drops_and_scores_instead_of_blocking() {
+        let (peer, _rx) = PeerHandle::new(addr(), 2, None);
+        assert!(peer.send(ServerFrame::Pong { nonce: 1 }));
+        assert!(peer.send(ServerFrame::Pong { nonce: 2 }));
+        // Queue full: the send returns immediately.
+        assert!(!peer.send(ServerFrame::Pong { nonce: 3 }));
+        assert_eq!(peer.dropped(), 1);
+        assert_eq!(peer.misbehavior(), 1);
+    }
+
+    #[test]
+    fn killed_peers_get_a_bye_and_stop_accepting_frames() {
+        let (peer, rx) = PeerHandle::new(addr(), 4, None);
+        peer.kill(RejectCode::Banned);
+        assert!(peer.is_dead());
+        assert!(!peer.send(ServerFrame::Pong { nonce: 1 }));
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ServerFrame::Bye {
+                code: RejectCode::Banned
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_crossing_bans_the_address() {
+        let manager = PeerManager::new(5);
+        let (peer, _rx) = PeerHandle::new(addr(), 4, None);
+        assert!(!manager.note_misbehavior(&peer, 4));
+        assert!(!manager.is_banned(addr().ip()));
+        assert!(manager.note_misbehavior(&peer, 1));
+        assert!(manager.is_banned(addr().ip()));
+        assert!(peer.is_dead());
+        assert_eq!(manager.banned_total(), 1);
+        // Further scoring does not double-ban.
+        assert!(!manager.note_misbehavior(&peer, 100));
+        assert_eq!(manager.banned_total(), 1);
+    }
+}

@@ -1,0 +1,655 @@
+//! The service front end: sockets, peers, routing, lifecycle.
+//!
+//! No async runtime is available to this workspace (and the lint policy
+//! forbids the unsafe FFI a hand-rolled epoll loop would need), so the
+//! design splits work by *cardinality*: connections are few — each peer
+//! multiplexes thousands of sessions over one socket — so every
+//! connection affords a blocking reader thread and a batching writer
+//! thread, while sessions are many, so they share the shard event-loop
+//! threads and never own one. The result has the same shape as an async
+//! reactor: readiness-driven reads feed commands to sharded executors
+//! over channels, and all waiting happens in `recv_timeout` parks.
+//!
+//! The reader thread is also the enforcement point: auth-gating, the
+//! per-peer `Open` token bucket, and misbehavior scoring all happen
+//! before a command reaches any shard, so a hostile peer burns its own
+//! reader thread, never a shard.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use session_obs::{InMemoryRecorder, MetricsSnapshot, Recorder};
+use session_types::{Error, Result, SessionSpec};
+
+use crate::config::{ServeConfig, ServeTransport};
+use crate::peer::{PeerHandle, PeerManager, TokenBucket};
+use crate::shard::{LoadStats, Shard, ShardCommand};
+use crate::wire::{datagram, undatagram, write_frame, ClientFrame, RejectCode, ServerFrame};
+
+/// How long blocking reads and writer parks last before rechecking the
+/// stop flag and peer liveness.
+const POLL: Duration = Duration::from_millis(25);
+/// Frames a writer coalesces into one flush.
+const WRITE_BATCH: usize = 256;
+
+/// Shared server state reachable from every reader thread.
+struct Inner {
+    config: ServeConfig,
+    stop: AtomicBool,
+    manager: PeerManager,
+    global: Arc<LoadStats>,
+    shards: Vec<(Sender<ShardCommand>, Arc<LoadStats>)>,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    frames_dropped: AtomicU64,
+    protocol_errors: AtomicU64,
+    rate_limited: AtomicU64,
+    peers_connected: AtomicU64,
+    peer_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Routes an admission-checked `Open` to the least-loaded shard,
+    /// counting queued-but-unprocessed opens as load so a burst spreads
+    /// across shards instead of piling into one queue.
+    fn route_open(&self, cmd: ShardCommand) {
+        let target = self
+            .shards
+            .iter()
+            .min_by_key(|(_, stats)| stats.load_estimate())
+            .expect("at least one shard");
+        target.1.note_routed();
+        // A send error means the shard exited (shutdown); the peer's
+        // Open is silently dropped with the connection about to close.
+        let _ = target.0.send(cmd);
+    }
+
+    /// Handles one decoded frame from `peer`. Returns `false` when the
+    /// connection must be dropped.
+    fn handle_frame(
+        &self,
+        peer: &PeerHandle,
+        authed: &mut bool,
+        bucket: &mut TokenBucket,
+        frame: ClientFrame,
+    ) -> bool {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        // Egress overflow scores the peer outside the manager (writers
+        // and shards call `PeerHandle::send` directly), so the threshold
+        // is re-checked here on every inbound frame.
+        if self.manager.note_misbehavior(peer, 0) {
+            return false;
+        }
+        match frame {
+            ClientFrame::Hello { token } => {
+                let ok = match self.config.auth_token {
+                    None => true,
+                    Some(expected) => token == expected,
+                };
+                if ok {
+                    *authed = true;
+                    let capacity = self.config.capacity().saturating_sub(self.global.live());
+                    peer.send(ServerFrame::HelloOk { capacity });
+                    true
+                } else {
+                    peer.kill(RejectCode::Unauthorized);
+                    false
+                }
+            }
+            ClientFrame::Ping { nonce } => {
+                peer.send(ServerFrame::Pong { nonce });
+                true
+            }
+            ClientFrame::Open {
+                req,
+                model,
+                s,
+                n,
+                unit_us,
+                seed,
+            } => {
+                if !*authed {
+                    peer.send(ServerFrame::Reject {
+                        req,
+                        code: RejectCode::Unauthorized,
+                    });
+                    return !self.manager.note_misbehavior(peer, 1);
+                }
+                if !bucket.try_take(Instant::now()) {
+                    self.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    peer.send(ServerFrame::Reject {
+                        req,
+                        code: RejectCode::RateLimited,
+                    });
+                    return !self.manager.note_misbehavior(peer, 2);
+                }
+                let cfg = &self.config;
+                let spec = if s >= 1
+                    && s <= cfg.max_spec_s
+                    && n >= 2
+                    && n <= cfg.max_spec_n
+                    && unit_us >= 1
+                    && unit_us <= cfg.max_unit_us
+                {
+                    SessionSpec::new(u64::from(s), n as usize, n as usize).ok()
+                } else {
+                    None
+                };
+                let Some(spec) = spec else {
+                    peer.send(ServerFrame::Reject {
+                        req,
+                        code: RejectCode::Invalid,
+                    });
+                    return !self.manager.note_misbehavior(peer, 1);
+                };
+                if self.global.live() >= cfg.capacity() {
+                    peer.send(ServerFrame::Reject {
+                        req,
+                        code: RejectCode::Busy,
+                    });
+                    return true;
+                }
+                self.route_open(ShardCommand::Open {
+                    req,
+                    peer: peer.clone(),
+                    model,
+                    spec,
+                    unit_us,
+                    seed,
+                });
+                true
+            }
+        }
+    }
+
+    /// Scores a wire-level violation. Returns `false` when the peer was
+    /// banned by it.
+    fn wire_violation(&self, peer: &PeerHandle) -> bool {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        !self.manager.note_misbehavior(peer, 4)
+    }
+}
+
+/// The final tally returned by [`Server::shutdown`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Merged metrics from every shard plus the socket layer, all under
+    /// `serve.*` names (see DESIGN.md §15).
+    pub metrics: MetricsSnapshot,
+    /// High-water mark of concurrently live sessions across the service.
+    pub peak_live_sessions: u64,
+}
+
+/// A running session service.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    shard_joins: Vec<JoinHandle<MetricsSnapshot>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the sockets, spawns the shards and the acceptor, and
+    /// returns the running service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] for an invalid configuration or
+    /// a bind failure.
+    pub fn start(config: ServeConfig) -> Result<Server> {
+        config.validate()?;
+        let global = Arc::new(LoadStats::default());
+        let mut shards = Vec::new();
+        let mut shard_joins = Vec::new();
+        for index in 0..config.shards {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let stats = Arc::new(LoadStats::default());
+            let shard = Shard::new(index as u64, config.clone(), stats.clone(), global.clone());
+            let join = std::thread::Builder::new()
+                .name(format!("serve-shard-{index}"))
+                .spawn(move || shard.run(&rx))
+                .map_err(|e| Error::invalid_params(format!("spawning shard: {e}")))?;
+            shards.push((tx, stats));
+            shard_joins.push(join);
+        }
+        let inner = Arc::new(Inner {
+            manager: PeerManager::new(config.ban_threshold),
+            config,
+            stop: AtomicBool::new(false),
+            global,
+            shards,
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            peers_connected: AtomicU64::new(0),
+            peer_threads: Mutex::new(Vec::new()),
+        });
+        let (addr, accept) = match inner.config.transport {
+            ServeTransport::Tcp => start_tcp(&inner)?,
+            ServeTransport::Udp => start_udp(&inner)?,
+        };
+        Ok(Server {
+            addr,
+            inner,
+            accept: Some(accept),
+            shard_joins,
+        })
+    }
+
+    /// The bound socket address (with the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently live sessions across all shards.
+    pub fn live_sessions(&self) -> u64 {
+        self.inner.global.live()
+    }
+
+    /// Stops accepting, lets live sessions finish, tears down every
+    /// thread, and returns the merged report.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from service threads.
+    pub fn shutdown(mut self) -> ServeReport {
+        // Drain order matters: shards first (new opens are shed while
+        // live sessions run to close, with peer writers still flushing
+        // their Closed frames), then the socket layer.
+        for (tx, _) in &self.inner.shards {
+            let _ = tx.send(ShardCommand::Shutdown);
+        }
+        let mut rec = InMemoryRecorder::new();
+        for join in self.shard_joins.drain(..) {
+            let snapshot = join.join().expect("shard panicked");
+            for (name, value) in snapshot.counters() {
+                rec.counter(name, value);
+            }
+            for (name, hist) in snapshot.histograms() {
+                rec.merge_histogram(name, hist);
+            }
+        }
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("acceptor panicked");
+        }
+        let peers = std::mem::take(
+            &mut *self
+                .inner
+                .peer_threads
+                .lock()
+                .expect("peer registry poisoned"),
+        );
+        for join in peers {
+            join.join().expect("peer thread panicked");
+        }
+        let inner = &self.inner;
+        rec.counter("serve.frames_in", inner.frames_in.load(Ordering::Relaxed));
+        rec.counter("serve.frames_out", inner.frames_out.load(Ordering::Relaxed));
+        rec.counter(
+            "serve.frames_dropped",
+            inner.frames_dropped.load(Ordering::Relaxed),
+        );
+        rec.counter(
+            "serve.protocol_errors",
+            inner.protocol_errors.load(Ordering::Relaxed),
+        );
+        rec.counter(
+            "serve.rate_limited",
+            inner.rate_limited.load(Ordering::Relaxed),
+        );
+        rec.counter(
+            "serve.peers_connected",
+            inner.peers_connected.load(Ordering::Relaxed),
+        );
+        rec.counter("serve.peers_banned", inner.manager.banned_total());
+        let peak = inner.global.peak();
+        rec.gauge("serve.peak_live_sessions", peak as f64);
+        ServeReport {
+            metrics: rec.snapshot(),
+            peak_live_sessions: peak,
+        }
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> Error {
+    Error::invalid_params(format!("{context}: {e}"))
+}
+
+fn start_tcp(inner: &Arc<Inner>) -> Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(&inner.config.listen).map_err(|e| io_err("tcp bind", &e))?;
+    let addr = listener.local_addr().map_err(|e| io_err("tcp addr", &e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("tcp nonblocking", &e))?;
+    let inner = inner.clone();
+    let accept = std::thread::Builder::new()
+        .name("serve-accept".to_owned())
+        .spawn(move || accept_loop(&inner, &listener))
+        .map_err(|e| Error::invalid_params(format!("spawning acceptor: {e}")))?;
+    Ok((addr, accept))
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    while !inner.stopped() {
+        match listener.accept() {
+            Ok((stream, addr)) => spawn_tcp_peer(inner, stream, addr),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_tcp_peer(inner: &Arc<Inner>, stream: TcpStream, addr: SocketAddr) {
+    if inner.manager.is_banned(addr.ip()) {
+        // Best-effort Bye; the address stays banned either way.
+        let mut stream = stream;
+        let _ = write_frame(
+            &mut stream,
+            &ServerFrame::Bye {
+                code: RejectCode::Banned,
+            }
+            .encode(),
+        );
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    inner.peers_connected.fetch_add(1, Ordering::Relaxed);
+    let (peer, egress) = PeerHandle::new(addr, inner.config.egress_capacity, Some(stream));
+    let writer_inner = inner.clone();
+    let writer_peer = peer.clone();
+    let writer = std::thread::Builder::new()
+        .name("serve-writer".to_owned())
+        .spawn(move || tcp_writer(&writer_inner, &writer_peer, write_half, &egress));
+    let reader_inner = inner.clone();
+    let reader = std::thread::Builder::new()
+        .name("serve-reader".to_owned())
+        .spawn(move || tcp_reader(&reader_inner, &peer, read_half));
+    if let Ok(mut threads) = inner.peer_threads.lock() {
+        threads.extend(writer.into_iter().chain(reader));
+    }
+}
+
+fn tcp_reader(inner: &Arc<Inner>, peer: &PeerHandle, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut authed = false;
+    let mut bucket = TokenBucket::new(
+        inner.config.open_rate,
+        inner.config.open_burst,
+        Instant::now(),
+    );
+    // Frames are reassembled from a local accumulator rather than
+    // `read_exact`: with a read timeout, `read_exact` can drop a
+    // half-arrived frame and desynchronize an honest-but-slow stream.
+    let mut acc: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    'conn: while !inner.stopped() && !peer.is_dead() {
+        match stream.read(&mut tmp) {
+            Ok(0) => break, // EOF
+            Ok(k) => acc.extend_from_slice(&tmp[..k]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => break, // reset
+        }
+        let mut start = 0usize;
+        while acc.len() - start >= 4 {
+            let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes");
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len == 0 || len > crate::wire::MAX_PAYLOAD {
+                // A hostile length prefix desynchronizes the stream:
+                // score it and drop the connection.
+                let _ = inner.wire_violation(peer);
+                if !peer.is_dead() {
+                    peer.kill(RejectCode::Protocol);
+                }
+                break 'conn;
+            }
+            if acc.len() - start < 4 + len {
+                break; // frame not fully arrived yet
+            }
+            let payload = &acc[start + 4..start + 4 + len];
+            start += 4 + len;
+            match ClientFrame::decode(payload) {
+                // Framing is intact, so a bad payload only scores.
+                Err(_) => {
+                    if !inner.wire_violation(peer) {
+                        break 'conn;
+                    }
+                }
+                Ok(frame) => {
+                    if !inner.handle_frame(peer, &mut authed, &mut bucket, frame) {
+                        break 'conn;
+                    }
+                }
+            }
+        }
+        acc.drain(..start);
+    }
+    if !peer.is_dead() {
+        peer.kill(RejectCode::Protocol);
+    }
+}
+
+/// Appends one frame to the writer's buffer as a single `write` call.
+/// Frames are far smaller than the `BufWriter` capacity, so the append
+/// is all-or-nothing and a failed write never leaves a half-framed
+/// prefix behind to desynchronize the stream.
+fn push_frame(out: &mut BufWriter<TcpStream>, frame: &ServerFrame) -> std::io::Result<()> {
+    let bytes = datagram(&frame.encode());
+    let n = out.write(&bytes)?;
+    debug_assert_eq!(n, bytes.len(), "small frames append atomically");
+    Ok(())
+}
+
+fn is_slow(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn tcp_writer(
+    inner: &Arc<Inner>,
+    peer: &PeerHandle,
+    stream: TcpStream,
+    egress: &Receiver<ServerFrame>,
+) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut out = BufWriter::new(stream);
+    'outer: loop {
+        match egress.recv_timeout(POLL) {
+            Ok(first) => {
+                let mut batch = 0u64;
+                let mut next = Some(first);
+                while let Some(frame) = next.take() {
+                    match push_frame(&mut out, &frame) {
+                        Ok(()) => {
+                            batch += 1;
+                            if batch < WRITE_BATCH as u64 {
+                                next = egress.try_recv().ok();
+                            }
+                        }
+                        // The socket can't take writes — the peer has
+                        // stopped reading. Drop the frame and score the
+                        // peer rather than exit: the writer must keep
+                        // draining so shards never block, and the score
+                        // lets the ban threshold cut the connection.
+                        Err(e) if is_slow(&e) => {
+                            inner.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                            peer.misbehave(1);
+                        }
+                        Err(_) => break 'outer,
+                    }
+                }
+                match out.flush() {
+                    Ok(()) => {
+                        inner.frames_out.fetch_add(batch, Ordering::Relaxed);
+                    }
+                    Err(e) if is_slow(&e) => {
+                        // Unflushed frames stay buffered for the next
+                        // flush attempt; only the stall is scored.
+                        peer.misbehave(1);
+                    }
+                    Err(_) => break,
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if peer.is_dead() || inner.stopped() {
+                    // Flush anything already queued (the Bye), then go.
+                    while let Ok(frame) = egress.try_recv() {
+                        if push_frame(&mut out, &frame).is_err() {
+                            break;
+                        }
+                        inner.frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = out.flush();
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // The writer owns connection teardown: `kill` only shuts the read
+    // side so the frames queued before it (rejects, the Bye) still
+    // reach the wire above.
+    let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+    inner
+        .frames_dropped
+        .fetch_add(peer.dropped(), Ordering::Relaxed);
+}
+
+struct UdpPeer {
+    handle: PeerHandle,
+    bucket: TokenBucket,
+    authed: bool,
+}
+
+fn start_udp(inner: &Arc<Inner>) -> Result<(SocketAddr, JoinHandle<()>)> {
+    let socket = UdpSocket::bind(&inner.config.listen).map_err(|e| io_err("udp bind", &e))?;
+    let addr = socket.local_addr().map_err(|e| io_err("udp addr", &e))?;
+    socket
+        .set_read_timeout(Some(POLL))
+        .map_err(|e| io_err("udp timeout", &e))?;
+    let inner = inner.clone();
+    let accept = std::thread::Builder::new()
+        .name("serve-udp".to_owned())
+        .spawn(move || udp_loop(&inner, &socket))
+        .map_err(|e| Error::invalid_params(format!("spawning udp loop: {e}")))?;
+    Ok((addr, accept))
+}
+
+fn udp_loop(inner: &Arc<Inner>, socket: &UdpSocket) {
+    let mut peers: std::collections::HashMap<SocketAddr, UdpPeer> =
+        std::collections::HashMap::new();
+    let mut buf = [0u8; 512];
+    while !inner.stopped() {
+        let (len, from) = match socket.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => continue,
+        };
+        if inner.manager.is_banned(from.ip()) {
+            continue;
+        }
+        let peer = peers.entry(from).or_insert_with(|| {
+            inner.peers_connected.fetch_add(1, Ordering::Relaxed);
+            let (handle, egress) = PeerHandle::new(from, inner.config.egress_capacity, None);
+            if let Ok(out) = socket.try_clone() {
+                let writer_inner = inner.clone();
+                let writer_peer = handle.clone();
+                let writer = std::thread::Builder::new()
+                    .name("serve-udp-writer".to_owned())
+                    .spawn(move || udp_writer(&writer_inner, &writer_peer, &out, &egress));
+                if let (Ok(mut threads), Ok(join)) = (inner.peer_threads.lock(), writer) {
+                    threads.push(join);
+                }
+            }
+            UdpPeer {
+                handle,
+                bucket: TokenBucket::new(
+                    inner.config.open_rate,
+                    inner.config.open_burst,
+                    Instant::now(),
+                ),
+                authed: false,
+            }
+        });
+        if peer.handle.is_dead() {
+            continue;
+        }
+        match undatagram(&buf[..len]).and_then(ClientFrame::decode) {
+            Err(_) => {
+                let _ = inner.wire_violation(&peer.handle);
+            }
+            Ok(frame) => {
+                let handle = peer.handle.clone();
+                let _ = inner.handle_frame(&handle, &mut peer.authed, &mut peer.bucket, frame);
+            }
+        }
+    }
+}
+
+fn udp_writer(
+    inner: &Arc<Inner>,
+    peer: &PeerHandle,
+    socket: &UdpSocket,
+    egress: &Receiver<ServerFrame>,
+) {
+    loop {
+        match egress.recv_timeout(POLL) {
+            Ok(frame) => {
+                if socket
+                    .send_to(&datagram(&frame.encode()), peer.addr())
+                    .is_ok()
+                {
+                    inner.frames_out.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if peer.is_dead() || inner.stopped() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    inner
+        .frames_dropped
+        .fetch_add(peer.dropped(), Ordering::Relaxed);
+}

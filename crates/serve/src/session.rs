@@ -1,0 +1,454 @@
+//! One multiplexed `(s, n)`-session instance.
+//!
+//! An instance holds the same pieces a `crates/net` run holds — `n`
+//! algorithm state machines, per-process nominal clocks, in-flight
+//! message copies — but owns no thread and no socket. The shard's time
+//! wheel calls [`SessionInstance::fire`] when a process's nominal step
+//! time maps to "now"; the step consumes every pending copy whose
+//! nominal delivery time has arrived, runs the machine through the same
+//! `step_process` the simulator uses, and broadcasts with delays drawn
+//! from the model's `[d1, d2]` window. Per-session state is strictly
+//! bounded: `n` machines, `n` clocks, the pending copies (≤ `n` per
+//! in-flight broadcast), and — only for sampled instances — the full
+//! `ProcessLog` vectors the conformance harness replays.
+//!
+//! Nominal bookkeeping is identical to `crates/net`: recorded step and
+//! delivery times are drawn inside the model's windows, so a completed
+//! instance is admissible by construction, and `verify_conformance`
+//! (run on a 1-in-k sample) proves it end to end.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use session_core::{system::build_mp_processes, SessionMsg};
+use session_mpm::{step_process, Envelope, MpProcess};
+use session_net::{outcome_from_logs, verify_conformance, ProcessLog, SendRecord, StepRecord};
+use session_pacing::{sample, GapRule, NominalClock};
+use session_sim::seeded_rng;
+use session_types::{Dur, KnownBounds, ProcessId, Result, SessionSpec, Time, TimingModel};
+
+use crate::peer::PeerHandle;
+use crate::wire::ConformanceVerdict;
+
+/// The service's fixed timing constants, mirroring `RealConfig`'s
+/// defaults: steps in `[1, 2]` nominal units, delays in `[0, 4]`.
+pub const C1: i128 = 1;
+/// Upper step bound (see [`C1`]).
+pub const C2: i128 = 2;
+/// Lower delay bound.
+pub const D1: i128 = 0;
+/// Upper delay bound.
+pub const D2: i128 = 4;
+
+/// The known bounds the service realizes for `model`.
+///
+/// # Errors
+///
+/// Never fails for the service's fixed constants; the `Result` is the
+/// bounds constructors' signature.
+pub fn bounds_for(model: TimingModel) -> Result<KnownBounds> {
+    let c1 = Dur::from_int(C1);
+    let c2 = Dur::from_int(C2);
+    let d1 = Dur::from_int(D1);
+    let d2 = Dur::from_int(D2);
+    match model {
+        TimingModel::Synchronous => KnownBounds::synchronous(c2, d2),
+        TimingModel::Periodic => KnownBounds::periodic(d2),
+        TimingModel::SemiSynchronous => KnownBounds::semi_synchronous(c1, c2, d2),
+        TimingModel::Sporadic => KnownBounds::sporadic(c1, d1, d2),
+        TimingModel::Asynchronous => Ok(KnownBounds::asynchronous()),
+    }
+}
+
+/// An undelivered message copy: nominal delivery time, sender, payload.
+#[derive(Clone, Copy, Debug)]
+struct PendingCopy {
+    deliver_at: Time,
+    from: ProcessId,
+    value: u64,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    machine: Box<dyn MpProcess<SessionMsg>>,
+    clock: NominalClock,
+    pending: Vec<PendingCopy>,
+    idle: bool,
+}
+
+/// What a fired step asks the shard to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FireOutcome {
+    /// Schedule the same process again at the given wall-clock offset
+    /// (microseconds from the session's open).
+    Reschedule(u64),
+    /// The process idled; nothing to schedule for it.
+    ProcIdle,
+    /// All processes idled — the session is closed.
+    Closed,
+    /// The step-count watchdog fired; the shard should abort the
+    /// instance.
+    Watchdog,
+    /// The owning peer is gone; the shard should abort the instance.
+    Orphaned,
+}
+
+/// One live session instance, driven by the shard's time wheel.
+#[derive(Debug)]
+pub struct SessionInstance {
+    /// Server-assigned id, echoed to the peer in `Closed`.
+    pub id: u64,
+    /// The peer that opened the instance.
+    pub peer: PeerHandle,
+    /// The client's request id (for the `Opened` echo).
+    pub req: u64,
+    spec: SessionSpec,
+    bounds: KnownBounds,
+    unit_us: f64,
+    /// Wall-clock instant of open; nominal time 0 maps here.
+    pub opened: Instant,
+    rng: StdRng,
+    delay_window: (Dur, Dur),
+    procs: Vec<ProcState>,
+    live_procs: usize,
+    steps: u64,
+    max_steps: u64,
+    broadcasts: u64,
+    deliveries: u64,
+    logs: Option<Vec<ProcessLog>>,
+}
+
+impl SessionInstance {
+    /// Builds an instance for `model`/`spec`, with `sampled` selecting
+    /// full conformance logging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid specs from the algorithm builders.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u64,
+        req: u64,
+        peer: PeerHandle,
+        model: TimingModel,
+        spec: SessionSpec,
+        unit_us: u32,
+        seed: u64,
+        max_steps: u64,
+        sampled: bool,
+        opened: Instant,
+    ) -> Result<SessionInstance> {
+        let bounds = bounds_for(model)?;
+        let machines = build_mp_processes(&spec, &bounds)?;
+        let n = spec.n();
+        let mut rng = seeded_rng(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let window = (Dur::from_int(C1), Dur::from_int(C2));
+        let procs: Vec<ProcState> = machines
+            .into_iter()
+            .map(|machine| ProcState {
+                machine,
+                clock: NominalClock::new(GapRule::for_model(
+                    model, &bounds, window, None, &mut rng,
+                )),
+                pending: Vec::new(),
+                idle: false,
+            })
+            .collect();
+        let delay_window = (
+            bounds.d1().unwrap_or(Dur::from_int(D1)),
+            bounds.d2().unwrap_or(Dur::from_int(D2)),
+        );
+        Ok(SessionInstance {
+            id,
+            peer,
+            req,
+            spec,
+            bounds,
+            unit_us: f64::from(unit_us),
+            opened,
+            rng,
+            delay_window,
+            procs,
+            live_procs: n,
+            steps: 0,
+            max_steps,
+            broadcasts: 0,
+            deliveries: 0,
+            logs: sampled.then(|| (0..n).map(|_| ProcessLog::default()).collect()),
+        })
+    }
+
+    /// The number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Total algorithm steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Broadcasts performed so far.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Message copies consumed so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// `true` if this instance records full conformance logs.
+    pub fn sampled(&self) -> bool {
+        self.logs.is_some()
+    }
+
+    /// Maps nominal time `t` to microseconds after the open.
+    fn to_us(&self, t: Time) -> u64 {
+        let us = t.to_f64() * self.unit_us;
+        if us <= 0.0 {
+            0
+        } else {
+            us.round() as u64
+        }
+    }
+
+    /// The first step times of all processes, as `(proc, offset_us)`
+    /// pairs for the shard to schedule.
+    pub fn initial_schedule(&mut self) -> Vec<(u32, u64)> {
+        (0..self.procs.len())
+            .map(|i| {
+                let t = self.procs[i].clock.next(&mut self.rng);
+                (u32::try_from(i).expect("n fits in u32"), self.to_us(t))
+            })
+            .collect()
+    }
+
+    /// Fires process `index`'s due step. `t` is the process's current
+    /// nominal time (already advanced when the step was scheduled).
+    pub fn fire(&mut self, index: usize) -> FireOutcome {
+        if self.peer.is_dead() {
+            return FireOutcome::Orphaned;
+        }
+        let t = self.procs[index].clock.now();
+        // Consume every copy whose nominal delivery time has arrived, in
+        // (deliver_at, sender) order — the simulator's FIFO tie-break.
+        let mut inbox_copies: Vec<PendingCopy> = Vec::new();
+        self.procs[index].pending.retain(|c| {
+            if c.deliver_at <= t {
+                inbox_copies.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        inbox_copies.sort_by_key(|c| (c.deliver_at, c.from.index()));
+        let inbox: Vec<Envelope<SessionMsg>> = inbox_copies
+            .iter()
+            .map(|c| Envelope::new(c.from, SessionMsg::new(c.value)))
+            .collect();
+        let result = step_process(self.procs[index].machine.as_mut(), inbox);
+        self.steps += 1;
+        self.deliveries += result.received as u64;
+        if let Some(logs) = &mut self.logs {
+            logs[index].steps.push(StepRecord {
+                time: t,
+                received: result.received,
+                broadcast: result.broadcast.is_some(),
+                idle_after: result.idle_after,
+            });
+        }
+        if let Some(payload) = result.broadcast {
+            self.broadcasts += 1;
+            let me = ProcessId::new(index);
+            for q in 0..self.procs.len() {
+                let delay = sample(&mut self.rng, self.delay_window.0, self.delay_window.1);
+                let deliver_at = t + delay;
+                self.procs[q].pending.push(PendingCopy {
+                    deliver_at,
+                    from: me,
+                    value: payload.value,
+                });
+                if let Some(logs) = &mut self.logs {
+                    logs[index].sends.push(SendRecord {
+                        from: me,
+                        to: ProcessId::new(q),
+                        sent_at: t,
+                        deliver_at,
+                    });
+                }
+            }
+        }
+        if result.idle_after {
+            if !self.procs[index].idle {
+                self.procs[index].idle = true;
+                self.live_procs -= 1;
+            }
+            if self.live_procs == 0 {
+                FireOutcome::Closed
+            } else {
+                FireOutcome::ProcIdle
+            }
+        } else if self.steps >= self.max_steps {
+            FireOutcome::Watchdog
+        } else {
+            let next = self.procs[index].clock.next(&mut self.rng);
+            FireOutcome::Reschedule(self.to_us(next))
+        }
+    }
+
+    /// The largest nominal time any process reached, in microseconds
+    /// after the open — the instance's nominal close time.
+    pub fn nominal_close_us(&self) -> u64 {
+        let close = self
+            .procs
+            .iter()
+            .map(|p| p.clock.now())
+            .max()
+            .unwrap_or(Time::ZERO);
+        self.to_us(close)
+    }
+
+    /// Replays a sampled instance through the conformance harness.
+    /// Returns `NotSampled` for unsampled instances; `Pass`/`Fail`
+    /// carries `verify_conformance`'s verdict on the recorded nominal
+    /// trace.
+    pub fn verify(&self, wall_clock: std::time::Duration) -> (ConformanceVerdict, u32) {
+        let Some(logs) = &self.logs else {
+            let s = u32::try_from(self.spec.s()).unwrap_or(u32::MAX);
+            return (ConformanceVerdict::NotSampled, s);
+        };
+        let outcome = outcome_from_logs(self.procs.len(), logs, true, wall_clock);
+        let report = verify_conformance(&outcome, &self.spec, &self.bounds);
+        let sessions = u32::try_from(report.sessions).unwrap_or(u32::MAX);
+        if report.solved {
+            (ConformanceVerdict::Pass, sessions)
+        } else {
+            (ConformanceVerdict::Fail, sessions)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    fn peer() -> PeerHandle {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        PeerHandle::new(addr, 64, None).0
+    }
+
+    /// Drives one instance to completion the way a shard would, using a
+    /// logical event queue instead of a wall clock.
+    fn drive(mut session: SessionInstance) -> (SessionInstance, FireOutcome, u64) {
+        let mut queue: Vec<(u64, u32)> = session
+            .initial_schedule()
+            .into_iter()
+            .map(|(p, at)| (at, p))
+            .collect();
+        let mut fires = 0u64;
+        loop {
+            queue.sort_by_key(|&(at, p)| (at, p));
+            let (_, index) = queue.remove(0);
+            fires += 1;
+            match session.fire(index as usize) {
+                FireOutcome::Reschedule(at) => queue.push((at, index)),
+                FireOutcome::ProcIdle => {
+                    assert!(!queue.is_empty(), "idle proc left an empty queue");
+                }
+                outcome => return (session, outcome, fires),
+            }
+            assert!(fires < 10_000, "instance failed to quiesce");
+        }
+    }
+
+    fn instance(model: TimingModel, sampled: bool, seed: u64) -> SessionInstance {
+        SessionInstance::new(
+            1,
+            1,
+            peer(),
+            model,
+            SessionSpec::new(2, 2, 2).unwrap(),
+            1000,
+            seed,
+            4096,
+            sampled,
+            Instant::now(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn periodic_instance_closes_and_passes_conformance() {
+        let (session, outcome, _) = drive(instance(TimingModel::Periodic, true, 7));
+        assert_eq!(outcome, FireOutcome::Closed);
+        assert!(session.broadcasts() >= 2, "each proc announces once");
+        let (verdict, sessions) = session.verify(Duration::from_millis(1));
+        assert_eq!(verdict, ConformanceVerdict::Pass);
+        assert!(sessions >= 2);
+        assert!(session.nominal_close_us() > 0);
+    }
+
+    #[test]
+    fn every_model_closes_and_sampled_runs_pass() {
+        for (i, model) in TimingModel::ALL.into_iter().enumerate() {
+            let (session, outcome, _) = drive(instance(model, true, 100 + i as u64));
+            assert_eq!(outcome, FireOutcome::Closed, "{model}");
+            let (verdict, _) = session.verify(Duration::from_millis(1));
+            assert_eq!(verdict, ConformanceVerdict::Pass, "{model}");
+        }
+    }
+
+    #[test]
+    fn unsampled_instances_keep_no_logs() {
+        let (session, outcome, _) = drive(instance(TimingModel::Periodic, false, 9));
+        assert_eq!(outcome, FireOutcome::Closed);
+        assert!(!session.sampled());
+        let (verdict, sessions) = session.verify(Duration::from_millis(1));
+        assert_eq!(verdict, ConformanceVerdict::NotSampled);
+        assert_eq!(sessions, 2);
+    }
+
+    #[test]
+    fn dead_peer_orphans_the_instance() {
+        let mut session = instance(TimingModel::Periodic, false, 11);
+        let _ = session.initial_schedule();
+        session.peer.kill(crate::wire::RejectCode::Protocol);
+        assert_eq!(session.fire(0), FireOutcome::Orphaned);
+    }
+
+    #[test]
+    fn watchdog_fires_instead_of_spinning_forever() {
+        let mut session = SessionInstance::new(
+            1,
+            1,
+            peer(),
+            TimingModel::Periodic,
+            SessionSpec::new(2, 2, 2).unwrap(),
+            1000,
+            3,
+            4, // absurdly low step budget
+            false,
+            Instant::now(),
+        )
+        .unwrap();
+        let mut queue: Vec<(u64, u32)> = session
+            .initial_schedule()
+            .into_iter()
+            .map(|(p, at)| (at, p))
+            .collect();
+        loop {
+            queue.sort_by_key(|&(at, p)| (at, p));
+            let (_, index) = queue.remove(0);
+            match session.fire(index as usize) {
+                FireOutcome::Reschedule(at) => queue.push((at, index)),
+                FireOutcome::ProcIdle => {}
+                FireOutcome::Watchdog => break,
+                other => panic!("expected watchdog, got {other:?}"),
+            }
+        }
+        assert_eq!(session.steps(), 4);
+    }
+}

@@ -1,0 +1,464 @@
+//! A shard: one event-loop thread owning a slice of the live sessions.
+//!
+//! Each shard owns a time wheel, a session table, and the receiving end
+//! of a command channel. Its loop advances the wheel to "now", fires
+//! every due process step, drains commands (opens, shutdown), then
+//! parks in `recv_timeout` for at most one wheel tick — the only
+//! blocking point, so a shard with no due work costs one wakeup per
+//! tick, and a busy shard never sleeps at all.
+//!
+//! Backpressure is explicit and front-loaded: an `Open` that would push
+//! the shard past its live-session cap is refused with `Reject{Busy}`
+//! *before* any per-session allocation. Admitted sessions are never
+//! degraded to make room — load-shedding new work is how the service
+//! keeps the Table 1 bounds of the sessions it already accepted.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use session_obs::{InMemoryRecorder, MetricsSnapshot, Recorder};
+use session_types::{SessionSpec, TimingModel};
+
+use crate::config::ServeConfig;
+use crate::peer::PeerHandle;
+use crate::session::{FireOutcome, SessionInstance};
+use crate::wheel::TimeWheel;
+use crate::wire::{ConformanceVerdict, RejectCode, ServerFrame};
+
+/// Live/peak session occupancy, shared between a shard and the router.
+#[derive(Debug, Default)]
+pub struct LoadStats {
+    live: AtomicU64,
+    peak: AtomicU64,
+    routed: AtomicU64,
+    processed: AtomicU64,
+}
+
+impl LoadStats {
+    /// Currently live sessions.
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark of live sessions.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Live sessions plus `Open`s routed to the shard but still queued.
+    /// The router balances on this, not on [`LoadStats::live`] alone: a
+    /// burst of opens outruns the shard's processing, and live counts
+    /// alone would funnel the whole burst into one shard's queue (then
+    /// shed it at the cap) while its siblings sit empty.
+    pub fn load_estimate(&self) -> u64 {
+        let queued = self
+            .routed
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.processed.load(Ordering::Relaxed));
+        self.live() + queued
+    }
+
+    /// Records one `Open` routed to this shard (router side).
+    pub(crate) fn note_routed(&self) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one routed `Open` reaching the shard's event loop.
+    pub(crate) fn note_processed(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn incr(&self) {
+        let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn decr(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Commands a shard accepts from the server front end.
+#[derive(Debug)]
+pub enum ShardCommand {
+    /// Admit one session instance (or load-shed it).
+    Open {
+        /// Client request id.
+        req: u64,
+        /// The opening peer.
+        peer: PeerHandle,
+        /// Timing model to realize.
+        model: TimingModel,
+        /// Validated spec.
+        spec: SessionSpec,
+        /// Microseconds per nominal unit.
+        unit_us: u32,
+        /// Client-supplied seed.
+        seed: u64,
+    },
+    /// Stop admitting, finish live sessions, then exit.
+    Shutdown,
+}
+
+struct Slot {
+    instance: SessionInstance,
+    /// Shard-clock microseconds at open; nominal offsets add to this.
+    origin_us: u64,
+}
+
+pub(crate) struct Shard {
+    index: u64,
+    config: ServeConfig,
+    stats: Arc<LoadStats>,
+    global: Arc<LoadStats>,
+    sessions: HashMap<u64, Slot>,
+    wheel: TimeWheel<(u64, u32)>,
+    rec: InMemoryRecorder,
+    next_session: u64,
+    opened_total: u64,
+    stopping: bool,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        index: u64,
+        config: ServeConfig,
+        stats: Arc<LoadStats>,
+        global: Arc<LoadStats>,
+    ) -> Shard {
+        let tick_us = config.tick_us;
+        Shard {
+            index,
+            config,
+            stats,
+            global,
+            sessions: HashMap::new(),
+            // One slot per tick across a 4-second horizon; farther-out
+            // steps wrap and wait their round.
+            wheel: TimeWheel::new(4096, tick_us),
+            rec: InMemoryRecorder::new(),
+            next_session: 0,
+            opened_total: 0,
+            stopping: false,
+        }
+    }
+
+    /// The shard's event loop; returns its metrics at exit.
+    pub(crate) fn run(mut self, rx: &Receiver<ShardCommand>) -> MetricsSnapshot {
+        let origin = Instant::now();
+        let tick = Duration::from_micros(self.config.tick_us);
+        let mut due: Vec<(u64, u32)> = Vec::new();
+        loop {
+            let now_us = elapsed_us(origin);
+            due.clear();
+            self.wheel.advance(now_us, &mut due);
+            for (sid, pidx) in due.drain(..) {
+                self.fire(sid, pidx);
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(cmd) => self.handle(cmd, origin),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.stopping = true;
+                        break;
+                    }
+                }
+            }
+            if self.stopping {
+                if self.sessions.is_empty() {
+                    break;
+                }
+                // The channel may be disconnected; park on the clock.
+                std::thread::sleep(tick);
+                continue;
+            }
+            match rx.recv_timeout(tick) {
+                Ok(cmd) => self.handle(cmd, origin),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => self.stopping = true,
+            }
+        }
+        self.rec
+            .gauge("serve.peak_live_sessions", self.stats.peak() as f64);
+        self.rec.snapshot()
+    }
+
+    fn handle(&mut self, cmd: ShardCommand, origin: Instant) {
+        match cmd {
+            ShardCommand::Shutdown => self.stopping = true,
+            ShardCommand::Open {
+                req,
+                peer,
+                model,
+                spec,
+                unit_us,
+                seed,
+            } => self.open(req, peer, model, spec, unit_us, seed, origin),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        &mut self,
+        req: u64,
+        peer: PeerHandle,
+        model: TimingModel,
+        spec: SessionSpec,
+        unit_us: u32,
+        seed: u64,
+        origin: Instant,
+    ) {
+        self.stats.note_processed();
+        if self.stopping || self.sessions.len() >= self.config.max_sessions_per_shard {
+            self.rec.counter("serve.sessions_shed", 1);
+            peer.send(ServerFrame::Reject {
+                req,
+                code: RejectCode::Busy,
+            });
+            return;
+        }
+        let id = (self.next_session << 8) | self.index;
+        self.next_session += 1;
+        self.opened_total += 1;
+        let sampled = self.config.sample_every > 0
+            && (self.opened_total - 1).is_multiple_of(self.config.sample_every);
+        let Ok(instance) = SessionInstance::new(
+            id,
+            req,
+            peer.clone(),
+            model,
+            spec,
+            unit_us,
+            seed ^ self.config.seed,
+            self.config.max_steps_per_session,
+            sampled,
+            Instant::now(),
+        ) else {
+            self.rec.counter("serve.sessions_shed", 1);
+            peer.send(ServerFrame::Reject {
+                req,
+                code: RejectCode::Invalid,
+            });
+            return;
+        };
+        let origin_us = elapsed_us(origin);
+        let mut slot = Slot {
+            instance,
+            origin_us,
+        };
+        for (pidx, offset_us) in slot.instance.initial_schedule() {
+            self.wheel.schedule(origin_us + offset_us, (id, pidx));
+        }
+        slot.instance
+            .peer
+            .send(ServerFrame::Opened { req, session: id });
+        self.sessions.insert(id, slot);
+        self.rec.counter("serve.sessions_opened", 1);
+        self.stats.incr();
+        self.global.incr();
+    }
+
+    fn fire(&mut self, sid: u64, pidx: u32) {
+        let Some(slot) = self.sessions.get_mut(&sid) else {
+            return; // session already closed/aborted; stale wheel entry
+        };
+        match slot.instance.fire(pidx as usize) {
+            FireOutcome::Reschedule(offset_us) => {
+                let at = slot.origin_us + offset_us;
+                self.wheel.schedule(at, (sid, pidx));
+            }
+            FireOutcome::ProcIdle => {}
+            FireOutcome::Closed => self.close(sid),
+            FireOutcome::Watchdog => self.abort(sid, "serve.sessions_aborted", true),
+            FireOutcome::Orphaned => self.abort(sid, "serve.sessions_orphaned", false),
+        }
+    }
+
+    fn close(&mut self, sid: u64) {
+        let Some(slot) = self.sessions.remove(&sid) else {
+            return;
+        };
+        let session = slot.instance;
+        self.retire_counters(&session);
+        let elapsed = session.opened.elapsed();
+        let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let nominal_close_us = session.nominal_close_us();
+        let (verdict, sessions) = session.verify(elapsed);
+        if session.sampled() {
+            self.rec.counter("serve.conformance_samples", 1);
+            if verdict == ConformanceVerdict::Fail {
+                self.rec.counter("serve.conformance_failures", 1);
+            }
+        }
+        self.rec.counter("serve.sessions_closed", 1);
+        self.rec
+            .observe("serve.close_latency_ms", elapsed.as_secs_f64() * 1e3);
+        let lag_us = elapsed_us.saturating_sub(nominal_close_us);
+        self.rec.observe("serve.close_lag_ms", lag_us as f64 / 1e3);
+        session.peer.send(ServerFrame::Closed {
+            session: sid,
+            sessions,
+            nominal_close_us,
+            elapsed_us,
+            conformance: verdict,
+        });
+        self.stats.decr();
+        self.global.decr();
+    }
+
+    fn abort(&mut self, sid: u64, counter: &'static str, notify: bool) {
+        let Some(slot) = self.sessions.remove(&sid) else {
+            return;
+        };
+        self.retire_counters(&slot.instance);
+        self.rec.counter(counter, 1);
+        if notify {
+            let elapsed_us =
+                u64::try_from(slot.instance.opened.elapsed().as_micros()).unwrap_or(u64::MAX);
+            slot.instance.peer.send(ServerFrame::Closed {
+                session: sid,
+                sessions: 0,
+                nominal_close_us: slot.instance.nominal_close_us(),
+                elapsed_us,
+                conformance: ConformanceVerdict::Watchdog,
+            });
+        }
+        self.stats.decr();
+        self.global.decr();
+    }
+
+    fn retire_counters(&mut self, session: &SessionInstance) {
+        self.rec.counter("serve.steps", session.steps());
+        self.rec.counter("serve.broadcasts", session.broadcasts());
+        self.rec.counter("serve.deliveries", session.deliveries());
+    }
+}
+
+fn elapsed_us(origin: Instant) -> u64 {
+    u64::try_from(origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::sync::mpsc::channel;
+
+    fn peer_pair(cap: usize) -> (PeerHandle, Receiver<ServerFrame>) {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        PeerHandle::new(addr, cap, None)
+    }
+
+    fn open_cmd(req: u64, peer: PeerHandle) -> ShardCommand {
+        ShardCommand::Open {
+            req,
+            peer,
+            model: TimingModel::Periodic,
+            spec: SessionSpec::new(2, 2, 2).unwrap(),
+            unit_us: 200,
+            seed: req,
+        }
+    }
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            max_sessions_per_shard: 4,
+            sample_every: 1,
+            tick_us: 200,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn shard_runs_sessions_to_close_and_reports_metrics() {
+        let (tx, rx) = channel();
+        let (peer, frames) = peer_pair(64);
+        tx.send(open_cmd(1, peer.clone())).unwrap();
+        tx.send(open_cmd(2, peer)).unwrap();
+        tx.send(ShardCommand::Shutdown).unwrap();
+        let shard = Shard::new(
+            0,
+            small_config(),
+            Arc::new(LoadStats::default()),
+            Arc::new(LoadStats::default()),
+        );
+        let snapshot = shard.run(&rx);
+        assert_eq!(snapshot.counter("serve.sessions_opened"), 2);
+        assert_eq!(snapshot.counter("serve.sessions_closed"), 2);
+        assert_eq!(snapshot.counter("serve.conformance_samples"), 2);
+        assert_eq!(snapshot.counter("serve.conformance_failures"), 0);
+        assert!(snapshot.histogram("serve.close_latency_ms").is_some());
+        let mut opened = 0;
+        let mut closed = 0;
+        while let Ok(frame) = frames.try_recv() {
+            match frame {
+                ServerFrame::Opened { .. } => opened += 1,
+                ServerFrame::Closed {
+                    conformance,
+                    sessions,
+                    ..
+                } => {
+                    closed += 1;
+                    assert_eq!(conformance, ConformanceVerdict::Pass);
+                    assert!(sessions >= 2);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!((opened, closed), (2, 2));
+    }
+
+    #[test]
+    fn shard_load_sheds_past_its_cap_without_degrading_live_sessions() {
+        let (tx, rx) = channel();
+        let (peer, frames) = peer_pair(64);
+        for req in 0..6 {
+            tx.send(open_cmd(req, peer.clone())).unwrap();
+        }
+        tx.send(ShardCommand::Shutdown).unwrap();
+        // All six opens drain in one command pass, before any session
+        // can close, so the cap of 4 must shed the last two.
+        let (g1, g2) = (
+            Arc::new(LoadStats::default()),
+            Arc::new(LoadStats::default()),
+        );
+        let shard = Shard::new(0, small_config(), g1.clone(), g2);
+        let snapshot = shard.run(&rx);
+        let shed = snapshot.counter("serve.sessions_shed");
+        let closed = snapshot.counter("serve.sessions_closed");
+        assert_eq!(shed + closed, 6);
+        assert!(shed >= 2, "cap of 4 must shed at least 2 of 6 rapid opens");
+        let mut rejects = 0;
+        while let Ok(frame) = frames.try_recv() {
+            if let ServerFrame::Reject { code, .. } = frame {
+                assert_eq!(code, RejectCode::Busy);
+                rejects += 1;
+            }
+        }
+        assert_eq!(rejects, shed);
+        assert_eq!(g1.peak(), 4);
+    }
+
+    #[test]
+    fn dead_peer_sessions_are_orphaned_and_capacity_reclaimed() {
+        let (tx, rx) = channel();
+        let (peer, _frames) = peer_pair(64);
+        tx.send(open_cmd(1, peer.clone())).unwrap();
+        peer.kill(RejectCode::Protocol);
+        tx.send(ShardCommand::Shutdown).unwrap();
+        let stats = Arc::new(LoadStats::default());
+        let shard = Shard::new(
+            0,
+            small_config(),
+            stats.clone(),
+            Arc::new(LoadStats::default()),
+        );
+        let snapshot = shard.run(&rx);
+        assert_eq!(snapshot.counter("serve.sessions_orphaned"), 1);
+        assert_eq!(stats.live(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! A hashed time wheel: the shard's replacement for one sleeping thread
+//! per process.
+//!
+//! `crates/net` realizes nominal step times by giving every process its
+//! own OS thread and calling `thread::sleep`. At 100k+ concurrent
+//! sessions that is hundreds of thousands of threads — not a thing. The
+//! wheel inverts it: each scheduled step is hashed by its due tick into
+//! one of a fixed ring of slots, and a single shard thread advances the
+//! wheel to "now", firing every entry whose tick has arrived. Insert is
+//! O(1); advancing does O(entries in touched slots) work; memory is one
+//! `(tick, item)` pair per scheduled step — exactly one per live
+//! process, since a process schedules its next step only when the
+//! current one fires.
+//!
+//! Ticks are wall-clock microseconds divided by the configured tick
+//! width. Entries further out than one ring circumference simply stay in
+//! their slot across multiple passes (the due-tick check skips them
+//! until their round arrives), so the wheel needs no overflow hierarchy.
+
+/// A hashed time wheel over `u64` microsecond timestamps.
+#[derive(Debug)]
+pub struct TimeWheel<T> {
+    slots: Vec<Vec<(u64, T)>>,
+    tick_us: u64,
+    /// The last tick `advance` fired (all ticks ≤ cursor are in the
+    /// past; new entries clamp to it).
+    cursor: u64,
+    len: usize,
+}
+
+impl<T> TimeWheel<T> {
+    /// A wheel with `slots` ring slots of `tick_us`-microsecond ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `tick_us` is zero.
+    pub fn new(slots: usize, tick_us: u64) -> TimeWheel<T> {
+        assert!(slots > 0 && tick_us > 0, "degenerate time wheel");
+        TimeWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick_us,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Scheduled entries not yet fired.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's tick width in microseconds.
+    pub fn tick_us(&self) -> u64 {
+        self.tick_us
+    }
+
+    /// Schedules `item` at absolute time `at_us`. Times already in the
+    /// past fire on the next [`TimeWheel::advance`].
+    pub fn schedule(&mut self, at_us: u64, item: T) {
+        let tick = (at_us / self.tick_us).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((tick, item));
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now_us`, appending every due entry to
+    /// `due` in nondecreasing tick order.
+    pub fn advance(&mut self, now_us: u64, due: &mut Vec<T>) {
+        let target = now_us / self.tick_us;
+        if target < self.cursor {
+            return;
+        }
+        let ring = self.slots.len() as u64;
+        // If the interval spans the whole ring, one pass over every slot
+        // covers it; otherwise only the slots of ticks in
+        // `cursor..=target` can hold due entries.
+        let span = (target - self.cursor + 1).min(ring);
+        let mut fired: Vec<(u64, T)> = Vec::new();
+        for step in 0..span {
+            let slot = ((self.cursor + step) % ring) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].0 <= target {
+                    fired.push(entries.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.len -= fired.len();
+        fired.sort_by_key(|&(tick, _)| tick);
+        due.extend(fired.into_iter().map(|(_, item)| item));
+        self.cursor = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimeWheel<u32>, now_us: u64) -> Vec<u32> {
+        let mut due = Vec::new();
+        wheel.advance(now_us, &mut due);
+        due
+    }
+
+    #[test]
+    fn fires_in_tick_order_and_only_when_due() {
+        let mut wheel = TimeWheel::new(8, 100);
+        wheel.schedule(250, 3);
+        wheel.schedule(50, 1);
+        wheel.schedule(199, 2);
+        assert_eq!(wheel.len(), 3);
+        assert_eq!(drain(&mut wheel, 99), vec![1]);
+        assert_eq!(drain(&mut wheel, 199), vec![2]);
+        assert_eq!(drain(&mut wheel, 199), Vec::<u32>::new());
+        assert_eq!(drain(&mut wheel, 10_000), vec![3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn entries_beyond_one_ring_circumference_wait_their_round() {
+        let mut wheel = TimeWheel::new(4, 10);
+        // Tick 1 and tick 5 hash to the same slot of the 4-slot ring.
+        wheel.schedule(10, 1);
+        wheel.schedule(50, 5);
+        assert_eq!(drain(&mut wheel, 19), vec![1]);
+        assert_eq!(drain(&mut wheel, 39), Vec::<u32>::new());
+        assert_eq!(drain(&mut wheel, 59), vec![5]);
+    }
+
+    #[test]
+    fn past_times_fire_on_the_next_advance() {
+        let mut wheel = TimeWheel::new(4, 10);
+        assert_eq!(drain(&mut wheel, 500), Vec::<u32>::new());
+        wheel.schedule(0, 7); // already in the past
+        assert_eq!(drain(&mut wheel, 500), vec![7]);
+    }
+
+    #[test]
+    fn a_big_jump_fires_everything_once() {
+        let mut wheel = TimeWheel::new(8, 10);
+        for i in 0..100u32 {
+            wheel.schedule(u64::from(i) * 7, i);
+        }
+        let due = drain(&mut wheel, 1_000_000);
+        assert_eq!(due.len(), 100);
+        assert!(wheel.is_empty());
+        // Nondecreasing tick order.
+        let ticks: Vec<u64> = due.iter().map(|&i| u64::from(i) * 7 / 10).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,597 @@
+//! The length-prefixed wire protocol between clients and the service.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; the first payload byte is the frame tag. Payloads are tiny
+//! ([`MAX_PAYLOAD`] bytes) by design: the protocol carries session
+//! *control* (open requests, close notifications), never algorithm
+//! messages — those stay inside the service, between the co-located
+//! processes of one session instance. The same byte format is used on
+//! TCP (frames back to back on the stream) and UDP (exactly one frame
+//! per datagram, prefix included, so the two transports share encode and
+//! decode paths).
+//!
+//! Every decode failure is classified as a [`WireError`], and the server
+//! treats each one as peer misbehavior — a malformed or oversized frame
+//! feeds the sender's reputation score (see [`crate::peer`]).
+
+use std::io::{self, Read, Write};
+
+use session_types::TimingModel;
+
+/// Hard cap on a frame payload, tag byte included. Anything larger is a
+/// protocol violation: no legitimate frame comes close, and refusing
+/// early keeps a hostile length prefix from forcing an allocation.
+pub const MAX_PAYLOAD: usize = 64;
+
+/// Why the server refused an `Open` request (or, as a `Bye` code, why it
+/// is dropping the connection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The target shard is at capacity; new sessions are load-shed so
+    /// live ones keep their bounds. Retry later.
+    Busy = 1,
+    /// The request parameters are invalid (unknown model, `n` or
+    /// `unit_us` outside the service's limits, infeasible spec).
+    Invalid = 2,
+    /// The peer exceeded its open-rate token bucket.
+    RateLimited = 3,
+    /// The peer never sent `Hello`, or sent the wrong auth token.
+    Unauthorized = 4,
+    /// The peer's address is banned.
+    Banned = 5,
+    /// The peer sent bytes that do not decode as a frame.
+    Protocol = 6,
+}
+
+impl RejectCode {
+    /// Decodes a reject code byte.
+    pub fn from_u8(byte: u8) -> Option<RejectCode> {
+        match byte {
+            1 => Some(RejectCode::Busy),
+            2 => Some(RejectCode::Invalid),
+            3 => Some(RejectCode::RateLimited),
+            4 => Some(RejectCode::Unauthorized),
+            5 => Some(RejectCode::Banned),
+            6 => Some(RejectCode::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// The conformance verdict carried in a `Closed` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ConformanceVerdict {
+    /// The session was not selected for conformance sampling.
+    NotSampled = 0,
+    /// The sampled session replayed through `verify_conformance` and
+    /// solved the problem admissibly.
+    Pass = 1,
+    /// The sampled session failed verification — a service bug.
+    Fail = 2,
+    /// The session hit its step watchdog and was aborted before closing.
+    Watchdog = 3,
+}
+
+impl ConformanceVerdict {
+    /// Decodes a verdict byte.
+    pub fn from_u8(byte: u8) -> Option<ConformanceVerdict> {
+        match byte {
+            0 => Some(ConformanceVerdict::NotSampled),
+            1 => Some(ConformanceVerdict::Pass),
+            2 => Some(ConformanceVerdict::Fail),
+            3 => Some(ConformanceVerdict::Watchdog),
+            _ => None,
+        }
+    }
+}
+
+/// Frames a client sends to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// First frame on every connection: authenticate with `token`.
+    Hello {
+        /// The shared auth token (0 when the server runs open).
+        token: u64,
+    },
+    /// Ask the server to run one `(s, n)`-session instance.
+    Open {
+        /// Client-chosen request id, echoed in `Opened` / `Reject`.
+        req: u64,
+        /// The timing model to realize.
+        model: TimingModel,
+        /// Required sessions `s`.
+        s: u32,
+        /// Processes `n`.
+        n: u32,
+        /// Wall-clock microseconds per nominal time unit.
+        unit_us: u32,
+        /// Seed for the instance's gap/delay sampling.
+        seed: u64,
+    },
+    /// Liveness probe; the server echoes `nonce` in a `Pong`.
+    Ping {
+        /// Echoed verbatim.
+        nonce: u64,
+    },
+}
+
+/// Frames the server sends to a client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// `Hello` accepted; the connection may open sessions.
+    HelloOk {
+        /// How many more sessions the service will currently admit.
+        capacity: u64,
+    },
+    /// An `Open` was refused.
+    Reject {
+        /// The request id from the `Open`.
+        req: u64,
+        /// Why.
+        code: RejectCode,
+    },
+    /// An `Open` was admitted; the instance is running.
+    Opened {
+        /// The request id from the `Open`.
+        req: u64,
+        /// Server-assigned session id, echoed in `Closed`.
+        session: u64,
+    },
+    /// A session instance finished.
+    Closed {
+        /// The id from `Opened`.
+        session: u64,
+        /// Sessions achieved (≥ `s` on success).
+        sessions: u32,
+        /// Nominal close time mapped to microseconds (`time × unit_us`).
+        nominal_close_us: u64,
+        /// Wall-clock lifetime of the instance in microseconds.
+        elapsed_us: u64,
+        /// Conformance spot-check verdict.
+        conformance: ConformanceVerdict,
+    },
+    /// Reply to `Ping`.
+    Pong {
+        /// The nonce from the `Ping`.
+        nonce: u64,
+    },
+    /// The server is dropping this connection (e.g. ban, shutdown).
+    Bye {
+        /// Why, as a [`RejectCode`].
+        code: RejectCode,
+    },
+}
+
+/// A decode failure — always counted against the sender's reputation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_PAYLOAD`] or is zero.
+    BadLength(u32),
+    /// The payload's tag byte is not a known frame tag.
+    BadTag(u8),
+    /// The payload is the wrong size for its tag, or a field (model,
+    /// code, verdict byte) has no valid decoding.
+    BadBody(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength(len) => write!(f, "bad frame length {len}"),
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::BadBody(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn model_to_u8(model: TimingModel) -> u8 {
+    match model {
+        TimingModel::Synchronous => 0,
+        TimingModel::Periodic => 1,
+        TimingModel::SemiSynchronous => 2,
+        TimingModel::Sporadic => 3,
+        TimingModel::Asynchronous => 4,
+    }
+}
+
+fn model_from_u8(byte: u8) -> Option<TimingModel> {
+    match byte {
+        0 => Some(TimingModel::Synchronous),
+        1 => Some(TimingModel::Periodic),
+        2 => Some(TimingModel::SemiSynchronous),
+        3 => Some(TimingModel::Sporadic),
+        4 => Some(TimingModel::Asynchronous),
+        _ => None,
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.bytes.split_first()?;
+        self.bytes = rest;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.bytes.split_first_chunk::<4>()?;
+        self.bytes = rest;
+        Some(u32::from_le_bytes(*head))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.bytes.split_first_chunk::<8>()?;
+        self.bytes = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl ClientFrame {
+    /// Encodes the frame payload (tag byte included, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match *self {
+            ClientFrame::Hello { token } => {
+                out.push(1);
+                out.extend_from_slice(&token.to_le_bytes());
+            }
+            ClientFrame::Open {
+                req,
+                model,
+                s,
+                n,
+                unit_us,
+                seed,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&req.to_le_bytes());
+                out.push(model_to_u8(model));
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(&unit_us.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ClientFrame::Ping { nonce } => {
+                out.push(3);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload (tag byte included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    pub fn decode(payload: &[u8]) -> Result<ClientFrame, WireError> {
+        let mut c = Cursor { bytes: payload };
+        let tag = c.u8().ok_or(WireError::BadBody("empty payload"))?;
+        let frame = match tag {
+            1 => ClientFrame::Hello {
+                token: c.u64().ok_or(WireError::BadBody("hello token"))?,
+            },
+            2 => ClientFrame::Open {
+                req: c.u64().ok_or(WireError::BadBody("open req"))?,
+                model: model_from_u8(c.u8().ok_or(WireError::BadBody("open model"))?)
+                    .ok_or(WireError::BadBody("unknown model"))?,
+                s: c.u32().ok_or(WireError::BadBody("open s"))?,
+                n: c.u32().ok_or(WireError::BadBody("open n"))?,
+                unit_us: c.u32().ok_or(WireError::BadBody("open unit_us"))?,
+                seed: c.u64().ok_or(WireError::BadBody("open seed"))?,
+            },
+            3 => ClientFrame::Ping {
+                nonce: c.u64().ok_or(WireError::BadBody("ping nonce"))?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        if c.done() {
+            Ok(frame)
+        } else {
+            Err(WireError::BadBody("trailing bytes"))
+        }
+    }
+}
+
+impl ServerFrame {
+    /// Encodes the frame payload (tag byte included, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match *self {
+            ServerFrame::HelloOk { capacity } => {
+                out.push(128);
+                out.extend_from_slice(&capacity.to_le_bytes());
+            }
+            ServerFrame::Reject { req, code } => {
+                out.push(129);
+                out.extend_from_slice(&req.to_le_bytes());
+                out.push(code as u8);
+            }
+            ServerFrame::Opened { req, session } => {
+                out.push(130);
+                out.extend_from_slice(&req.to_le_bytes());
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            ServerFrame::Closed {
+                session,
+                sessions,
+                nominal_close_us,
+                elapsed_us,
+                conformance,
+            } => {
+                out.push(131);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&sessions.to_le_bytes());
+                out.extend_from_slice(&nominal_close_us.to_le_bytes());
+                out.extend_from_slice(&elapsed_us.to_le_bytes());
+                out.push(conformance as u8);
+            }
+            ServerFrame::Pong { nonce } => {
+                out.push(132);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            ServerFrame::Bye { code } => {
+                out.push(133);
+                out.push(code as u8);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload (tag byte included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    pub fn decode(payload: &[u8]) -> Result<ServerFrame, WireError> {
+        let mut c = Cursor { bytes: payload };
+        let tag = c.u8().ok_or(WireError::BadBody("empty payload"))?;
+        let frame = match tag {
+            128 => ServerFrame::HelloOk {
+                capacity: c.u64().ok_or(WireError::BadBody("hello-ok capacity"))?,
+            },
+            129 => ServerFrame::Reject {
+                req: c.u64().ok_or(WireError::BadBody("reject req"))?,
+                code: RejectCode::from_u8(c.u8().ok_or(WireError::BadBody("reject code"))?)
+                    .ok_or(WireError::BadBody("unknown reject code"))?,
+            },
+            130 => ServerFrame::Opened {
+                req: c.u64().ok_or(WireError::BadBody("opened req"))?,
+                session: c.u64().ok_or(WireError::BadBody("opened session"))?,
+            },
+            131 => ServerFrame::Closed {
+                session: c.u64().ok_or(WireError::BadBody("closed session"))?,
+                sessions: c.u32().ok_or(WireError::BadBody("closed sessions"))?,
+                nominal_close_us: c.u64().ok_or(WireError::BadBody("closed nominal"))?,
+                elapsed_us: c.u64().ok_or(WireError::BadBody("closed elapsed"))?,
+                conformance: ConformanceVerdict::from_u8(
+                    c.u8().ok_or(WireError::BadBody("closed verdict"))?,
+                )
+                .ok_or(WireError::BadBody("unknown verdict"))?,
+            },
+            132 => ServerFrame::Pong {
+                nonce: c.u64().ok_or(WireError::BadBody("pong nonce"))?,
+            },
+            133 => ServerFrame::Bye {
+                code: RejectCode::from_u8(c.u8().ok_or(WireError::BadBody("bye code"))?)
+                    .ok_or(WireError::BadBody("unknown bye code"))?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        if c.done() {
+            Ok(frame)
+        } else {
+            Err(WireError::BadBody("trailing bytes"))
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — server and client only
+/// encode frames well under the cap, so an oversized payload is a bug.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
+    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame payload from a stream.
+///
+/// # Errors
+///
+/// Returns `Ok(Err(WireError))` for a hostile length prefix (caller
+/// counts it as misbehavior and drops the connection), and `Err` for
+/// transport-level I/O errors including clean EOF
+/// (`UnexpectedEof` between frames).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Result<Vec<u8>, WireError>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len as usize > MAX_PAYLOAD {
+        return Ok(Err(WireError::BadLength(len)));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Ok(payload))
+}
+
+/// Encodes a full datagram (length prefix + payload) for the UDP path,
+/// so both transports put identical bytes on the wire.
+pub fn datagram(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
+    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a received datagram into its frame payload.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the prefix disagrees with the datagram
+/// length or exceeds [`MAX_PAYLOAD`].
+pub fn undatagram(bytes: &[u8]) -> Result<&[u8], WireError> {
+    let (head, payload) = bytes
+        .split_first_chunk::<4>()
+        .ok_or(WireError::BadBody("short datagram"))?;
+    let len = u32::from_le_bytes(*head);
+    if len == 0 || len as usize > MAX_PAYLOAD {
+        return Err(WireError::BadLength(len));
+    }
+    if payload.len() != len as usize {
+        return Err(WireError::BadBody("datagram length mismatch"));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_frames_roundtrip() {
+        let frames = [
+            ClientFrame::Hello { token: 0xDEAD },
+            ClientFrame::Open {
+                req: 7,
+                model: TimingModel::Periodic,
+                s: 2,
+                n: 3,
+                unit_us: 500,
+                seed: 42,
+            },
+            ClientFrame::Ping { nonce: 99 },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert!(bytes.len() <= MAX_PAYLOAD);
+            assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        let frames = [
+            ServerFrame::HelloOk { capacity: 100_000 },
+            ServerFrame::Reject {
+                req: 7,
+                code: RejectCode::Busy,
+            },
+            ServerFrame::Opened { req: 7, session: 1 },
+            ServerFrame::Closed {
+                session: 1,
+                sessions: 2,
+                nominal_close_us: 12_000,
+                elapsed_us: 12_345,
+                conformance: ConformanceVerdict::Pass,
+            },
+            ServerFrame::Pong { nonce: 99 },
+            ServerFrame::Bye {
+                code: RejectCode::Banned,
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert!(bytes.len() <= MAX_PAYLOAD);
+            assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert_eq!(
+            ClientFrame::decode(&[]).unwrap_err(),
+            WireError::BadBody("empty payload")
+        );
+        assert_eq!(
+            ClientFrame::decode(&[200]).unwrap_err(),
+            WireError::BadTag(200)
+        );
+        assert!(matches!(
+            ClientFrame::decode(&[2, 1, 2, 3]).unwrap_err(),
+            WireError::BadBody(_)
+        ));
+        // Valid frame with trailing junk is still a violation.
+        let mut bytes = ClientFrame::Ping { nonce: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            ClientFrame::decode(&bytes).unwrap_err(),
+            WireError::BadBody("trailing bytes")
+        );
+        // Unknown model byte.
+        let mut open = ClientFrame::Open {
+            req: 1,
+            model: TimingModel::Synchronous,
+            s: 1,
+            n: 1,
+            unit_us: 1,
+            seed: 1,
+        }
+        .encode();
+        open[9] = 77;
+        assert_eq!(
+            ClientFrame::decode(&open).unwrap_err(),
+            WireError::BadBody("unknown model")
+        );
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        let a = ClientFrame::Hello { token: 1 }.encode();
+        let b = ClientFrame::Ping { nonce: 2 }.encode();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
+        assert!(read_frame(&mut r).is_err()); // clean EOF
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_a_wire_error_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap_err(),
+            WireError::BadLength(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn datagrams_roundtrip_and_validate() {
+        let payload = ServerFrame::Pong { nonce: 5 }.encode();
+        let gram = datagram(&payload);
+        assert_eq!(undatagram(&gram).unwrap(), &payload[..]);
+        assert!(undatagram(&gram[..3]).is_err());
+        let mut wrong = gram.clone();
+        wrong.push(9);
+        assert_eq!(
+            undatagram(&wrong).unwrap_err(),
+            WireError::BadBody("datagram length mismatch")
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Adversarial-peer tests: the isolation invariant under real sockets.
+//!
+//! The invariant (DESIGN.md §16): a misbehaving or slow client must
+//! never stall an honest session. Each test runs an honest client and
+//! an offender against one service on loopback and asserts both sides —
+//! the honest session closes within its Table 1 bound, and the offender
+//! is throttled, then banned.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use session_core::bounds::periodic_mp_upper;
+use session_serve::wire::MAX_PAYLOAD;
+use session_serve::{
+    ClientFrame, ConformanceVerdict, RejectCode, ServeClient, ServeConfig, Server, ServerFrame,
+};
+use session_types::{Dur, TimingModel};
+
+const FRAME_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// The service's Table 1 close bound for a periodic `(s, ·)` session,
+/// in microseconds: `s·c2 + d2` nominal units (service constants
+/// `c2 = 2`, `d2 = 4`), plus one `c2` step of grace for the final
+/// quiescence-observing step.
+fn periodic_bound_us(s: u64, unit_us: u32) -> u64 {
+    let bound = periodic_mp_upper(s, Dur::from_int(2), Dur::from_int(4)) + Dur::from_int(2);
+    (bound.to_f64() * f64::from(unit_us)).ceil() as u64
+}
+
+/// Reads one server frame from a raw stream (no client machinery).
+fn read_raw_frame(stream: &mut TcpStream, timeout: Duration) -> Option<ServerFrame> {
+    stream.set_read_timeout(Some(timeout)).unwrap();
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).ok()?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return None;
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    ServerFrame::decode(&payload).ok()
+}
+
+/// Polls until a fresh connection from this (banned) address is greeted
+/// with `Bye{Banned}`.
+fn wait_for_ban(server: &Server, deadline: Duration) -> bool {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if let Ok(mut probe) = TcpStream::connect(server.addr()) {
+            if let Some(ServerFrame::Bye { code }) =
+                read_raw_frame(&mut probe, Duration::from_millis(500))
+            {
+                if code == RejectCode::Banned {
+                    return true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+/// Opens one periodic session on `client` and asserts it closes within
+/// its nominal Table 1 bound (and a generous wall-clock envelope).
+fn close_honest_session(client: &mut ServeClient, req: u64, unit_us: u32) {
+    client
+        .open(req, TimingModel::Periodic, 2, 2, unit_us, 0xF00D + req)
+        .unwrap();
+    client.flush().unwrap();
+    let bound_us = periodic_bound_us(2, unit_us);
+    let deadline = Instant::now() + FRAME_TIMEOUT;
+    loop {
+        assert!(Instant::now() < deadline, "honest session never closed");
+        match client.recv_timeout(FRAME_TIMEOUT) {
+            Some(ServerFrame::Opened { .. }) => {}
+            Some(ServerFrame::Closed {
+                sessions,
+                conformance,
+                nominal_close_us,
+                elapsed_us,
+                ..
+            }) => {
+                assert_eq!(conformance, ConformanceVerdict::Pass);
+                assert!(sessions >= 2);
+                assert!(
+                    nominal_close_us <= bound_us,
+                    "nominal close {nominal_close_us}us exceeds Table 1 bound {bound_us}us"
+                );
+                // Wall-clock liveness: scheduling slack on a loaded
+                // host, but nowhere near a stall.
+                assert!(
+                    elapsed_us <= bound_us + 5_000_000,
+                    "honest close took {elapsed_us}us (bound {bound_us}us + 5s slack)"
+                );
+                return;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn readless_peer_is_banned_and_honest_sessions_close_in_bound() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        max_sessions_per_shard: 64,
+        sample_every: 1,
+        egress_capacity: 8,
+        ban_threshold: 8,
+        tick_us: 500,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // The honest client connects before the offender poisons the shared
+    // loopback address (bans are per-IP, existing connections survive).
+    let mut honest = ServeClient::connect(server.addr()).unwrap();
+    honest.hello(0, Duration::from_secs(5)).unwrap();
+
+    // The offender authenticates, then floods Pings without ever
+    // reading. Once the kernel buffers fill, its writer stalls, its
+    // bounded egress queue overflows, and the drops score it past the
+    // ban threshold — all without any shard blocking.
+    let addr = server.addr();
+    let flooder = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        let hello = ClientFrame::Hello { token: 0 }.encode();
+        bytes.extend_from_slice(&(hello.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&hello);
+        for nonce in 0..40_000u64 {
+            let ping = ClientFrame::Ping { nonce }.encode();
+            bytes.extend_from_slice(&(ping.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&ping);
+        }
+        // The write itself may die mid-stream once the server cuts the
+        // banned connection; that is the expected outcome.
+        let _ = stream.write_all(&bytes);
+        let _ = stream.flush();
+        stream
+    });
+
+    // While the flood is in progress, honest sessions keep closing
+    // within their model bound.
+    close_honest_session(&mut honest, 1, 20_000);
+    let _offender_stream = flooder.join().unwrap();
+    assert!(
+        wait_for_ban(&server, Duration::from_secs(20)),
+        "readless peer was never banned"
+    );
+    // Still true after the ban.
+    close_honest_session(&mut honest, 2, 20_000);
+
+    drop(honest);
+    let report = server.shutdown();
+    let m = &report.metrics;
+    assert!(
+        m.counter("serve.frames_dropped") > 0,
+        "egress never overflowed"
+    );
+    assert!(m.counter("serve.peers_banned") >= 1);
+    assert_eq!(m.counter("serve.conformance_failures"), 0);
+    assert_eq!(m.counter("serve.sessions_closed"), 2);
+}
+
+#[test]
+fn open_rate_violator_is_throttled_then_banned() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        max_sessions_per_shard: 64,
+        sample_every: 1,
+        open_rate: 1.0,
+        open_burst: 3.0,
+        ban_threshold: 6,
+        tick_us: 500,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut honest = ServeClient::connect(server.addr()).unwrap();
+    honest.hello(0, Duration::from_secs(5)).unwrap();
+
+    // The offender burns its 3-token burst, then keeps going: each
+    // rate-limited Open scores 2 points, so the 3rd violation (score 6)
+    // bans the address.
+    let mut offender = ServeClient::connect(server.addr()).unwrap();
+    offender.hello(0, Duration::from_secs(5)).unwrap();
+    for req in 0..10u64 {
+        offender
+            .open(req, TimingModel::Periodic, 2, 2, 1000, req)
+            .unwrap();
+    }
+    offender.flush().unwrap();
+    let mut rate_limited = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        match offender.recv_timeout(Duration::from_millis(500)) {
+            Some(ServerFrame::Reject {
+                code: RejectCode::RateLimited,
+                ..
+            }) => {
+                rate_limited += 1;
+            }
+            Some(_) => {}
+            // Channel drained and the connection was cut by the ban.
+            None => break,
+        }
+    }
+    assert!(
+        rate_limited >= 1,
+        "offender was never throttled before the ban"
+    );
+    assert!(
+        wait_for_ban(&server, Duration::from_secs(10)),
+        "rate violator was never banned"
+    );
+
+    // The honest client's existing connection is unaffected.
+    close_honest_session(&mut honest, 100, 20_000);
+
+    drop(honest);
+    drop(offender);
+    let report = server.shutdown();
+    let m = &report.metrics;
+    assert!(m.counter("serve.rate_limited") >= 2);
+    assert!(m.counter("serve.peers_banned") >= 1);
+    assert_eq!(m.counter("serve.conformance_failures"), 0);
+    assert!(m.counter("serve.sessions_closed") >= 1);
+}

@@ -1,0 +1,185 @@
+//! End-to-end loopback tests: real sockets, real shards, real clocks.
+//!
+//! Every test binds an ephemeral port on 127.0.0.1, runs full
+//! open→close session lifecycles through the wire protocol, and tears
+//! the service down checking the merged report. Sampling is set to
+//! 1-in-1 so every session is replayed through `verify_conformance`.
+
+use std::time::Duration;
+
+use session_serve::{
+    ConformanceVerdict, RejectCode, ServeClient, ServeConfig, ServeTransport, Server, ServerFrame,
+    UdpServeClient,
+};
+use session_types::TimingModel;
+
+/// A small-footprint config for tests: every session sampled, short
+/// wheel ticks, modest caps.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        max_sessions_per_shard: 64,
+        sample_every: 1,
+        tick_us: 500,
+        ..ServeConfig::default()
+    }
+}
+
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn tcp_sessions_run_all_models_to_close_and_pass_conformance() {
+    let server = Server::start(test_config()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let capacity = client.hello(0, HELLO_TIMEOUT).unwrap();
+    assert_eq!(capacity, 128);
+
+    // Two sessions per timing model, all in flight at once.
+    let total = 2 * TimingModel::ALL.len();
+    for req in 0..total as u64 {
+        let model = TimingModel::ALL[req as usize % TimingModel::ALL.len()];
+        client.open(req, model, 2, 3, 2000, 0xBEEF + req).unwrap();
+    }
+    client.flush().unwrap();
+
+    let mut opened = 0;
+    let mut closed = 0;
+    while closed < total {
+        match client.recv_timeout(FRAME_TIMEOUT) {
+            Some(ServerFrame::Opened { .. }) => opened += 1,
+            Some(ServerFrame::Closed {
+                sessions,
+                conformance,
+                nominal_close_us,
+                ..
+            }) => {
+                closed += 1;
+                assert_eq!(conformance, ConformanceVerdict::Pass);
+                assert!(sessions >= 2, "s=2 sessions required, got {sessions}");
+                assert!(nominal_close_us > 0);
+            }
+            other => panic!("unexpected frame {other:?} (closed {closed}/{total})"),
+        }
+    }
+    assert_eq!(opened, total);
+
+    let report = server.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.counter("serve.sessions_opened"), total as u64);
+    assert_eq!(m.counter("serve.sessions_closed"), total as u64);
+    assert_eq!(m.counter("serve.conformance_samples"), total as u64);
+    assert_eq!(m.counter("serve.conformance_failures"), 0);
+    assert!(m.counter("serve.frames_in") > total as u64);
+    assert!(m.counter("serve.frames_out") > 2 * total as u64);
+    assert!(m.histogram("serve.close_latency_ms").is_some());
+    assert!(report.peak_live_sessions >= 1);
+}
+
+#[test]
+fn udp_sessions_open_and_close_over_datagrams() {
+    let server = Server::start(ServeConfig {
+        transport: ServeTransport::Udp,
+        ..test_config()
+    })
+    .unwrap();
+    let client = UdpServeClient::connect(server.addr()).unwrap();
+
+    client
+        .send(&session_serve::ClientFrame::Hello { token: 0 })
+        .unwrap();
+    match client.recv_timeout(HELLO_TIMEOUT) {
+        Some(ServerFrame::HelloOk { capacity }) => assert_eq!(capacity, 128),
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+
+    for req in 0..2u64 {
+        client
+            .send(&session_serve::ClientFrame::Open {
+                req,
+                model: TimingModel::Periodic,
+                s: 2,
+                n: 2,
+                unit_us: 2000,
+                seed: 42 + req,
+            })
+            .unwrap();
+    }
+    let mut closed = 0;
+    let deadline = std::time::Instant::now() + FRAME_TIMEOUT;
+    while closed < 2 && std::time::Instant::now() < deadline {
+        match client.recv_timeout(Duration::from_millis(500)) {
+            Some(ServerFrame::Closed { conformance, .. }) => {
+                closed += 1;
+                assert_eq!(conformance, ConformanceVerdict::Pass);
+            }
+            Some(ServerFrame::Opened { .. }) | None => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(closed, 2, "both UDP sessions must close");
+
+    let report = server.shutdown();
+    assert_eq!(report.metrics.counter("serve.sessions_closed"), 2);
+    assert_eq!(report.metrics.counter("serve.conformance_failures"), 0);
+}
+
+#[test]
+fn auth_and_admission_rejections() {
+    let server = Server::start(ServeConfig {
+        auth_token: Some(0x5EC_C0DE),
+        ..test_config()
+    })
+    .unwrap();
+
+    // Wrong token: the hello helper sees Bye{Unauthorized}, not HelloOk.
+    let mut bad = ServeClient::connect(server.addr()).unwrap();
+    assert!(bad.hello(0xDEAD, HELLO_TIMEOUT).is_err());
+    drop(bad);
+
+    // No Hello at all: opens bounce with Unauthorized.
+    let mut cold = ServeClient::connect(server.addr()).unwrap();
+    cold.open(7, TimingModel::Periodic, 2, 2, 1000, 1).unwrap();
+    cold.flush().unwrap();
+    match cold.recv_timeout(FRAME_TIMEOUT) {
+        Some(ServerFrame::Reject { req, code }) => {
+            assert_eq!((req, code), (7, RejectCode::Unauthorized));
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    drop(cold);
+
+    // Correct token, but a spec outside the admission limits.
+    let mut good = ServeClient::connect(server.addr()).unwrap();
+    good.hello(0x5EC_C0DE, HELLO_TIMEOUT).unwrap();
+    good.open(8, TimingModel::Periodic, 2, 0, 1000, 1).unwrap();
+    good.open(9, TimingModel::Periodic, 2, 100, 1000, 1)
+        .unwrap();
+    good.flush().unwrap();
+    for _ in 0..2 {
+        match good.recv_timeout(FRAME_TIMEOUT) {
+            Some(ServerFrame::Reject { code, .. }) => assert_eq!(code, RejectCode::Invalid),
+            other => panic!("expected Reject{{Invalid}}, got {other:?}"),
+        }
+    }
+
+    // A valid open on the same connection still works.
+    good.open(10, TimingModel::Periodic, 2, 2, 1000, 1).unwrap();
+    good.flush().unwrap();
+    let mut saw_close = false;
+    for _ in 0..2 {
+        match good.recv_timeout(FRAME_TIMEOUT) {
+            Some(ServerFrame::Opened { req, .. }) => assert_eq!(req, 10),
+            Some(ServerFrame::Closed { conformance, .. }) => {
+                assert_eq!(conformance, ConformanceVerdict::Pass);
+                saw_close = true;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(saw_close);
+
+    let report = server.shutdown();
+    assert_eq!(report.metrics.counter("serve.sessions_closed"), 1);
+}

@@ -13,7 +13,9 @@
 #   5. metric-name registry -- every METRIC_NAMES entry in
 #      crates/obs/src/metrics.rs must be documented in DESIGN.md §15, so
 #      the unified `session-cli stats` snapshot never grows an
-#      undocumented row
+#      undocumented row; and every `serve.*` metric string emitted by
+#      crates/serve must be in METRIC_NAMES, so the service cannot grow
+#      an unregistered (hence undocumented) metric
 #   6. analyzer (release tests) -- including the #[ignore]d large
 #      explorations, the reduction differentials and the symbolic
 #      zone/explicit differentials that are too slow under the debug
@@ -104,6 +106,18 @@ for name in $names; do
     fi
 done
 echo "metrics: $(echo "$names" | wc -l) names documented in DESIGN.md §15"
+
+current_step="serve metric registration gate"
+echo "== metrics: every serve.* name emitted by crates/serve is registered =="
+emitted=$(grep -rhoE '"serve\.[a-z_]+"' crates/serve/src | tr -d '"' | sort -u)
+[ -n "$emitted" ] || { echo "ERROR: found no serve.* metric strings in crates/serve/src" >&2; exit 1; }
+for name in $emitted; do
+    if ! printf '%s\n' "$names" | grep -qxF "$name"; then
+        echo "ERROR: crates/serve emits \`$name\` but it is not in METRIC_NAMES" >&2
+        exit 1
+    fi
+done
+echo "serve metrics: $(echo "$emitted" | wc -l) emitted names all registered"
 
 current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="

@@ -8,6 +8,7 @@
 use session_problem::analyze::AnalyzeConfig;
 use session_problem::cli::CliConfig;
 use session_problem::run_real::RunRealConfig;
+use session_problem::serve_cmd::ServeCmdConfig;
 use session_problem::stats::StatsConfig;
 use session_problem::trace_cmd::TraceConfig;
 
@@ -54,6 +55,16 @@ fn main() {
                 return;
             }
             match RunRealConfig::parse(&args[1..]).and_then(|config| config.execute()) {
+                Ok(report) => print!("{report}"),
+                Err(err) => fail(&err),
+            }
+        }
+        Some("serve") => {
+            if wants_help(&args[1..]) {
+                println!("{}", ServeCmdConfig::USAGE);
+                return;
+            }
+            match ServeCmdConfig::parse(&args[1..]).and_then(|config| config.execute()) {
                 Ok(report) => print!("{report}"),
                 Err(err) => fail(&err),
             }

@@ -9,7 +9,6 @@
 //!             schedule=periods:2,3,5,7 delay=const:8 timeline=true
 //! ```
 
-use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use session_core::analysis::analyze;
@@ -22,7 +21,9 @@ use session_sim::{
     SporadicBursts, StepSchedule, UniformDelay,
 };
 use session_smm::TreeSpec;
-use session_types::{CommModel, Dur, Error, KnownBounds, Result, SessionSpec, TimingModel};
+use session_types::{CommModel, Dur, KnownBounds, Result, SessionSpec, TimingModel};
+
+use crate::kv::{parse_timing_model, KvArgs};
 
 /// Which schedule family to drive the run with.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,7 +101,9 @@ subcommands (own usage via `session-cli SUBCOMMAND --help`):
   trace     run one configuration, export Perfetto JSON / JSONL traces
   stats     run one configuration, print per-process and engine counters
   run-real  run one MP configuration on real clocks (one OS thread per
-            process) and verify simulator conformance";
+            process) and verify simulator conformance
+  serve     run the sharded session service (TCP/UDP wire protocol,
+            conformance-sampled multiplexed sessions)";
 
     /// Parses `key=value` arguments.
     ///
@@ -123,91 +126,72 @@ subcommands (own usage via `session-cli SUBCOMMAND --help`):
         let mut timeline = false;
         let mut max_steps = 1_000_000u64;
 
-        let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", CliConfig::USAGE));
-
-        let mut seen = SeenKeys::default();
+        let mut kv = KvArgs::new(CliConfig::USAGE);
         for arg in args {
-            let arg = arg.as_ref();
-            let (key, value) = arg
-                .split_once('=')
-                .ok_or_else(|| bad(&format!("expected key=value, got `{arg}`")))?;
-            if let Some(msg) = seen.duplicate(key) {
-                return Err(bad(&msg));
-            }
+            let (key, value) = kv.pair(arg.as_ref())?;
             match key {
                 "model" => {
-                    model = match value {
-                        "sync" | "synchronous" => TimingModel::Synchronous,
-                        "periodic" => TimingModel::Periodic,
-                        "semisync" | "semi-synchronous" => TimingModel::SemiSynchronous,
-                        "sporadic" => TimingModel::Sporadic,
-                        "async" | "asynchronous" => TimingModel::Asynchronous,
-                        other => return Err(bad(&format!("unknown model `{other}`"))),
-                    }
+                    model = parse_timing_model(value)
+                        .ok_or_else(|| kv.error(format_args!("unknown model `{value}`")))?;
                 }
                 "comm" => {
                     comm = match value {
                         "sm" => CommModel::SharedMemory,
                         "mp" => CommModel::MessagePassing,
-                        other => return Err(bad(&format!("unknown comm `{other}`"))),
+                        other => return Err(kv.error(format_args!("unknown comm `{other}`"))),
                     }
                 }
-                "s" => s = value.parse().map_err(|_| bad("s must be an integer"))?,
-                "n" => n = value.parse().map_err(|_| bad("n must be an integer"))?,
-                "b" => b = value.parse().map_err(|_| bad("b must be an integer"))?,
-                "c1" => c1 = value.parse().map_err(|_| bad("c1 must be an integer"))?,
-                "c2" => c2 = value.parse().map_err(|_| bad("c2 must be an integer"))?,
-                "d1" => d1 = value.parse().map_err(|_| bad("d1 must be an integer"))?,
-                "d2" => d2 = value.parse().map_err(|_| bad("d2 must be an integer"))?,
-                "seed" => seed = value.parse().map_err(|_| bad("seed must be an integer"))?,
-                "timeline" => {
-                    timeline = value
-                        .parse()
-                        .map_err(|_| bad("timeline must be true or false"))?;
-                }
-                "max-steps" => {
-                    max_steps = value
-                        .parse()
-                        .map_err(|_| bad("max-steps must be an integer"))?;
-                }
+                "s" => s = kv.value(key, value, "an integer")?,
+                "n" => n = kv.value(key, value, "an integer")?,
+                "b" => b = kv.value(key, value, "an integer")?,
+                "c1" => c1 = kv.value(key, value, "an integer")?,
+                "c2" => c2 = kv.value(key, value, "an integer")?,
+                "d1" => d1 = kv.value(key, value, "an integer")?,
+                "d2" => d2 = kv.value(key, value, "an integer")?,
+                "seed" => seed = kv.value(key, value, "an integer")?,
+                "timeline" => timeline = kv.value(key, value, "true or false")?,
+                "max-steps" => max_steps = kv.value(key, value, "an integer")?,
                 "schedule" => {
                     schedule = Some(match value.split_once(':') {
                         Some(("uniform", p)) => ScheduleSpec::Uniform(
                             p.parse()
-                                .map_err(|_| bad("uniform period must be an integer"))?,
+                                .map_err(|_| kv.error("uniform period must be an integer"))?,
                         ),
                         Some(("periods", list)) => {
                             let periods: std::result::Result<Vec<i128>, _> =
                                 list.split(',').map(str::parse).collect();
                             ScheduleSpec::Periods(
-                                periods.map_err(|_| bad("periods must be integers"))?,
+                                periods.map_err(|_| kv.error("periods must be integers"))?,
                             )
                         }
                         None if value == "jitter" => ScheduleSpec::Jitter,
                         None if value == "bursts" => ScheduleSpec::Bursts,
-                        _ => return Err(bad(&format!("unknown schedule `{value}`"))),
+                        _ => return Err(kv.error(format_args!("unknown schedule `{value}`"))),
                     });
                 }
                 "delay" => {
                     delay = Some(match value.split_once(':') {
                         Some(("const", x)) => DelaySpec::Constant(
                             x.parse()
-                                .map_err(|_| bad("const delay must be an integer"))?,
+                                .map_err(|_| kv.error("const delay must be an integer"))?,
                         ),
                         Some(("ring", h)) => DelaySpec::Ring(
-                            h.parse().map_err(|_| bad("per-hop must be an integer"))?,
+                            h.parse()
+                                .map_err(|_| kv.error("per-hop must be an integer"))?,
                         ),
                         Some(("line", h)) => DelaySpec::Line(
-                            h.parse().map_err(|_| bad("per-hop must be an integer"))?,
+                            h.parse()
+                                .map_err(|_| kv.error("per-hop must be an integer"))?,
                         ),
                         Some(("star", h)) => DelaySpec::Star(
-                            h.parse().map_err(|_| bad("per-hop must be an integer"))?,
+                            h.parse()
+                                .map_err(|_| kv.error("per-hop must be an integer"))?,
                         ),
                         None if value == "uniform" => DelaySpec::Uniform,
-                        _ => return Err(bad(&format!("unknown delay `{value}`"))),
+                        _ => return Err(kv.error(format_args!("unknown delay `{value}`"))),
                     });
                 }
-                other => return Err(bad(&format!("unknown option `{other}`"))),
+                other => return Err(kv.error(format_args!("unknown option `{other}`"))),
             }
         }
 
@@ -368,25 +352,6 @@ subcommands (own usage via `session-cli SUBCOMMAND --help`):
             let _ = writeln!(out, "\n{}", render_timeline(&report.trace, 60));
         }
         Ok(out)
-    }
-}
-
-/// Duplicate-key detection for `key=value` parsers: each key may appear at
-/// most once, and a repeat is reported by name instead of silently letting
-/// the last occurrence win.
-#[derive(Debug, Default)]
-pub(crate) struct SeenKeys(BTreeSet<String>);
-
-impl SeenKeys {
-    /// Records `key`; returns the error message if it was already seen.
-    pub(crate) fn duplicate(&mut self, key: &str) -> Option<String> {
-        if self.0.insert(key.to_string()) {
-            None
-        } else {
-            Some(format!(
-                "duplicate option `{key}` (each key may be given once)"
-            ))
-        }
     }
 }
 

@@ -27,6 +27,8 @@
 //! | [`rt`] | `session-rt` | real-time task scheduling substrate (§1 motivation) |
 //! | [`analyzer`] | `session-analyzer` | exhaustive small-scope model checker with `SA`-coded lints |
 //! | [`net`] | `session-net` | real-clock multi-threaded runtime with simulator-conformance harness |
+//! | [`pacing`] | `session-pacing` | transport-agnostic per-model gap rules and nominal-time pacing |
+//! | [`serve`] | `session-serve` | sharded session service multiplexing ≥100k concurrent instances |
 //!
 //! # Quickstart
 //!
@@ -65,7 +67,9 @@
 
 pub mod analyze;
 pub mod cli;
+pub mod kv;
 pub mod run_real;
+pub mod serve_cmd;
 pub mod stats;
 pub mod trace_cmd;
 
@@ -75,7 +79,9 @@ pub use session_core as core;
 pub use session_mpm as mpm;
 pub use session_net as net;
 pub use session_obs as obs;
+pub use session_pacing as pacing;
 pub use session_rt as rt;
+pub use session_serve as serve;
 pub use session_sim as sim;
 pub use session_smm as smm;
 pub use session_types as types;

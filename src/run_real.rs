@@ -19,7 +19,7 @@ use session_obs::export::{trace_jsonl, ExportMeta};
 use session_obs::NullRecorder;
 use session_types::{Dur, Error, ProcessId, Result, SessionSpec, TimingModel};
 
-use crate::cli::SeenKeys;
+use crate::kv::{parse_timing_model, KvArgs};
 
 /// A fully parsed `run-real` command line.
 #[derive(Clone, Debug)]
@@ -73,65 +73,39 @@ usage: session-cli run-real [key=value ...]
         let mut json = None;
         let mut jsonl = None;
 
-        let bad = |msg: &str| Error::invalid_params(format!("{msg}\n{}", RunRealConfig::USAGE));
-
-        let mut seen = SeenKeys::default();
+        let mut kv = KvArgs::new(RunRealConfig::USAGE);
         for arg in args {
-            let arg = arg.as_ref();
-            let (key, value) = arg
-                .split_once('=')
-                .ok_or_else(|| bad(&format!("expected key=value, got `{arg}`")))?;
-            if let Some(msg) = seen.duplicate(key) {
-                return Err(bad(&msg));
-            }
+            let (key, value) = kv.pair(arg.as_ref())?;
             match key {
                 "model" => {
-                    model = match value {
-                        "sync" | "synchronous" => TimingModel::Synchronous,
-                        "periodic" => TimingModel::Periodic,
-                        "semisync" | "semi-synchronous" => TimingModel::SemiSynchronous,
-                        "sporadic" => TimingModel::Sporadic,
-                        "async" | "asynchronous" => TimingModel::Asynchronous,
-                        other => return Err(bad(&format!("unknown model `{other}`"))),
-                    }
+                    model = parse_timing_model(value)
+                        .ok_or_else(|| kv.error(format_args!("unknown model `{value}`")))?;
                 }
                 "comm" => {
                     if value != "mp" {
-                        return Err(bad(&format!(
+                        return Err(kv.error(format_args!(
                             "run-real is message passing only (comm=mp), got `{value}`"
                         )));
                     }
                 }
-                "s" => s = value.parse().map_err(|_| bad("s must be an integer"))?,
-                "n" => n = value.parse().map_err(|_| bad("n must be an integer"))?,
-                "b" => b = value.parse().map_err(|_| bad("b must be an integer"))?,
-                "c1" => c1 = value.parse().map_err(|_| bad("c1 must be an integer"))?,
-                "c2" => c2 = value.parse().map_err(|_| bad("c2 must be an integer"))?,
-                "d1" => d1 = value.parse().map_err(|_| bad("d1 must be an integer"))?,
-                "d2" => d2 = value.parse().map_err(|_| bad("d2 must be an integer"))?,
-                "seed" => seed = value.parse().map_err(|_| bad("seed must be an integer"))?,
+                "s" => s = kv.value(key, value, "an integer")?,
+                "n" => n = kv.value(key, value, "an integer")?,
+                "b" => b = kv.value(key, value, "an integer")?,
+                "c1" => c1 = kv.value(key, value, "an integer")?,
+                "c2" => c2 = kv.value(key, value, "an integer")?,
+                "d1" => d1 = kv.value(key, value, "an integer")?,
+                "d2" => d2 = kv.value(key, value, "an integer")?,
+                "seed" => seed = kv.value(key, value, "an integer")?,
                 "transport" => {
                     transport = TransportKind::parse(value)
-                        .ok_or_else(|| bad(&format!("unknown transport `{value}`")))?;
+                        .ok_or_else(|| kv.error(format_args!("unknown transport `{value}`")))?;
                 }
-                "unit-us" => {
-                    unit_us = value
-                        .parse()
-                        .map_err(|_| bad("unit-us must be an integer"))?;
-                }
-                "max-steps" => {
-                    max_steps = value
-                        .parse()
-                        .map_err(|_| bad("max-steps must be an integer"))?;
-                }
-                "deadline-ms" => {
-                    deadline_ms = value
-                        .parse()
-                        .map_err(|_| bad("deadline-ms must be an integer"))?;
-                }
+                "unit-us" => unit_us = kv.value(key, value, "an integer")?,
+                "max-steps" => max_steps = kv.value(key, value, "an integer")?,
+                "deadline-ms" => deadline_ms = kv.value(key, value, "an integer")?,
                 "json" => json = Some(PathBuf::from(value)),
                 "jsonl" => jsonl = Some(PathBuf::from(value)),
-                other => return Err(bad(&format!("unknown option `{other}`"))),
+                other => return Err(kv.error(format_args!("unknown option `{other}`"))),
             }
         }
 
@@ -146,7 +120,7 @@ usage: session-cli run-real [key=value ...]
         real.max_steps_per_process = max_steps;
         real.deadline = Duration::from_millis(deadline_ms);
         real.validate()
-            .map_err(|err| bad(&format!("infeasible configuration: {err}")))?;
+            .map_err(|err| kv.error(format_args!("infeasible configuration: {err}")))?;
         Ok(RunRealConfig { real, json, jsonl })
     }
 

@@ -1,0 +1,406 @@
+//! The `session-cli serve` subcommand: run the sharded session service
+//! (`crates/serve`) from the shell.
+//!
+//! ```text
+//! session-cli serve listen=127.0.0.1:7700 shards=4 sessions=50000
+//! session-cli serve selftest=100 sample=1 json=serve.json
+//! ```
+//!
+//! Without `selftest=`, the service runs until stdin closes (Ctrl-D, or
+//! the end of a pipe), then drains live sessions and prints the final
+//! metrics report. With `selftest=N`, it opens `N` loopback sessions
+//! against itself over the configured transport, waits for every close,
+//! and exits non-zero if any conformance sample failed.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use session_serve::{
+    ClientFrame, ConformanceVerdict, ServeClient, ServeConfig, ServeReport, ServeTransport, Server,
+    ServerFrame, UdpServeClient,
+};
+use session_types::{Error, Result, TimingModel};
+
+use crate::kv::{parse_timing_model, KvArgs};
+
+/// A fully parsed `serve` command line.
+#[derive(Clone, Debug)]
+pub struct ServeCmdConfig {
+    /// The service configuration.
+    pub config: ServeConfig,
+    /// `Some(count)`: open `count` loopback sessions, await their
+    /// closes, and exit instead of serving until stdin closes.
+    pub selftest: Option<u64>,
+    /// Timing model selftest sessions request.
+    pub model: TimingModel,
+    /// Sessions (`s`) each selftest instance must achieve.
+    pub s: u32,
+    /// Port processes (`n`) per selftest instance.
+    pub n: u32,
+    /// Real microseconds per nominal unit for selftest sessions.
+    pub unit_us: u32,
+    /// Where to also write the shutdown metrics snapshot as JSON.
+    pub json: Option<PathBuf>,
+}
+
+impl ServeCmdConfig {
+    /// The usage string printed on parse errors.
+    pub const USAGE: &'static str = "\
+usage: session-cli serve [key=value ...]
+  listen=ADDR       bind address (default 127.0.0.1:0)
+  transport=tcp|udp (default tcp)
+  shards=N          event-loop threads, >= 1 (default 2)
+  sessions=N        live-session cap per shard (default 75000)
+  auth=TOKEN        require this u64 token in Hello (default: open)
+  rate=R            per-peer Open tokens per second (default 50000)
+  burst=B           per-peer Open burst capacity (default 20000)
+  sample=K          conformance-verify every K-th session; 0 disables
+                    (default 64)
+  seed=N            seed mixed into every instance's RNG (default 0)
+  model=MODEL s=N n=N unit-us=N   selftest session shape
+                    (defaults periodic, 2, 2, 2000)
+  selftest=N        open N loopback sessions, await closes, exit
+  json=PATH         write the shutdown metrics snapshot as JSON
+without selftest=, serves until stdin reaches end-of-file";
+
+    /// Parses the arguments after the `serve` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] (carrying a usage hint) on
+    /// unknown or duplicate keys, malformed values, or an invalid
+    /// service configuration (e.g. `shards=0`).
+    pub fn parse<I, S>(args: I) -> Result<ServeCmdConfig>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut config = ServeConfig::default();
+        let mut selftest = None;
+        let mut model = TimingModel::Periodic;
+        let (mut s, mut n) = (2u32, 2u32);
+        let mut unit_us = 2_000u32;
+        let mut json = None;
+
+        let mut kv = KvArgs::new(ServeCmdConfig::USAGE);
+        for arg in args {
+            let (key, value) = kv.pair(arg.as_ref())?;
+            match key {
+                "listen" => config.listen = value.to_owned(),
+                "transport" => {
+                    config.transport = ServeTransport::parse(value)
+                        .map_err(|_| kv.error(format_args!("unknown transport `{value}`")))?;
+                }
+                "shards" => config.shards = kv.value(key, value, "an integer")?,
+                "sessions" => {
+                    config.max_sessions_per_shard = kv.value(key, value, "an integer")?;
+                }
+                "auth" => config.auth_token = Some(kv.value(key, value, "a u64 token")?),
+                "rate" => config.open_rate = kv.value(key, value, "a number")?,
+                "burst" => config.open_burst = kv.value(key, value, "a number")?,
+                "sample" => config.sample_every = kv.value(key, value, "an integer")?,
+                "seed" => config.seed = kv.value(key, value, "an integer")?,
+                "model" => {
+                    model = parse_timing_model(value)
+                        .ok_or_else(|| kv.error(format_args!("unknown model `{value}`")))?;
+                }
+                "s" => s = kv.value(key, value, "an integer")?,
+                "n" => n = kv.value(key, value, "an integer")?,
+                "unit-us" => unit_us = kv.value(key, value, "an integer")?,
+                "selftest" => selftest = Some(kv.value(key, value, "an integer")?),
+                "json" => json = Some(PathBuf::from(value)),
+                other => return Err(kv.error(format_args!("unknown option `{other}`"))),
+            }
+        }
+        config
+            .validate()
+            .map_err(|err| kv.error(format_args!("invalid service configuration: {err}")))?;
+        Ok(ServeCmdConfig {
+            config,
+            selftest,
+            model,
+            s,
+            n,
+            unit_us,
+            json,
+        })
+    }
+
+    /// Starts the service, runs the selftest or serves until stdin
+    /// closes, and renders the shutdown report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures, selftest failures (a session that
+    /// never closed or failed conformance), and JSON write errors.
+    pub fn execute(&self) -> Result<String> {
+        let server = Server::start(self.config.clone())?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving on {} ({}, {} shards, capacity {})",
+            server.addr(),
+            self.config.transport,
+            self.config.shards,
+            self.config.capacity()
+        );
+        let selftest_result = match self.selftest {
+            Some(count) => self.selftest(&server, count, &mut out),
+            None => {
+                // Serve until the operator closes stdin.
+                let mut sink = Vec::new();
+                let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+                Ok(())
+            }
+        };
+        let report = server.shutdown();
+        render_report(&report, &mut out);
+        if let Some(path) = &self.json {
+            std::fs::write(path, report.metrics.to_json()).map_err(|err| {
+                Error::invalid_params(format!("cannot write {}: {err}", path.display()))
+            })?;
+            let _ = writeln!(out, "wrote {}", path.display());
+        }
+        selftest_result?;
+        Ok(out)
+    }
+
+    /// Opens `count` sessions against the running service and waits for
+    /// every one to close.
+    fn selftest(&self, server: &Server, count: u64, out: &mut String) -> Result<()> {
+        let timeout = Duration::from_secs(60);
+        let token = self.config.auth_token.unwrap_or(0);
+        let mut closed = 0u64;
+        let mut passed = 0u64;
+        let mut failed = 0u64;
+        match self.config.transport {
+            ServeTransport::Tcp => {
+                let mut client = ServeClient::connect(server.addr())
+                    .map_err(|err| Error::invalid_params(format!("selftest connect: {err}")))?;
+                client
+                    .hello(token, Duration::from_secs(5))
+                    .map_err(|err| Error::invalid_params(format!("selftest hello: {err}")))?;
+                for req in 0..count {
+                    client
+                        .open(req, self.model, self.s, self.n, self.unit_us, req)
+                        .map_err(|err| Error::invalid_params(format!("selftest open: {err}")))?;
+                }
+                client
+                    .flush()
+                    .map_err(|err| Error::invalid_params(format!("selftest flush: {err}")))?;
+                while closed < count {
+                    match client.recv_timeout(timeout) {
+                        Some(ServerFrame::Closed { conformance, .. }) => {
+                            closed += 1;
+                            tally(conformance, &mut passed, &mut failed);
+                        }
+                        Some(ServerFrame::Opened { .. }) => {}
+                        Some(frame) => {
+                            return Err(Error::invalid_params(format!(
+                                "selftest: unexpected frame {frame:?}"
+                            )));
+                        }
+                        None => break,
+                    }
+                }
+            }
+            ServeTransport::Udp => {
+                let client = UdpServeClient::connect(server.addr())
+                    .map_err(|err| Error::invalid_params(format!("selftest connect: {err}")))?;
+                client
+                    .send(&ClientFrame::Hello { token })
+                    .map_err(|err| Error::invalid_params(format!("selftest hello: {err}")))?;
+                match client.recv_timeout(Duration::from_secs(5)) {
+                    Some(ServerFrame::HelloOk { .. }) => {}
+                    other => {
+                        return Err(Error::invalid_params(format!(
+                            "selftest hello: expected HelloOk, got {other:?}"
+                        )));
+                    }
+                }
+                for req in 0..count {
+                    client
+                        .send(&ClientFrame::Open {
+                            req,
+                            model: self.model,
+                            s: self.s,
+                            n: self.n,
+                            unit_us: self.unit_us,
+                            seed: req,
+                        })
+                        .map_err(|err| Error::invalid_params(format!("selftest open: {err}")))?;
+                }
+                let deadline = std::time::Instant::now() + timeout;
+                while closed < count && std::time::Instant::now() < deadline {
+                    if let Some(ServerFrame::Closed { conformance, .. }) =
+                        client.recv_timeout(Duration::from_millis(500))
+                    {
+                        closed += 1;
+                        tally(conformance, &mut passed, &mut failed);
+                    }
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "selftest: {closed}/{count} sessions closed ({passed} conformance passes, {failed} failures)"
+        );
+        if closed < count {
+            return Err(Error::invalid_params(format!(
+                "selftest: only {closed} of {count} sessions closed"
+            )));
+        }
+        if failed > 0 {
+            return Err(Error::invalid_params(format!(
+                "selftest: {failed} conformance samples failed"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn tally(conformance: ConformanceVerdict, passed: &mut u64, failed: &mut u64) {
+    match conformance {
+        ConformanceVerdict::Pass => *passed += 1,
+        ConformanceVerdict::Fail | ConformanceVerdict::Watchdog => *failed += 1,
+        ConformanceVerdict::NotSampled => {}
+    }
+}
+
+/// Renders the shutdown report's headline counters.
+fn render_report(report: &ServeReport, out: &mut String) {
+    let m = &report.metrics;
+    let _ = writeln!(
+        out,
+        "sessions: {} opened, {} closed, {} shed, {} orphaned, {} aborted  (peak live {})",
+        m.counter("serve.sessions_opened"),
+        m.counter("serve.sessions_closed"),
+        m.counter("serve.sessions_shed"),
+        m.counter("serve.sessions_orphaned"),
+        m.counter("serve.sessions_aborted"),
+        report.peak_live_sessions,
+    );
+    let _ = writeln!(
+        out,
+        "conformance: {} sampled, {} failures",
+        m.counter("serve.conformance_samples"),
+        m.counter("serve.conformance_failures"),
+    );
+    let _ = writeln!(
+        out,
+        "wire: {} in, {} out, {} dropped, {} protocol errors, {} rate limited",
+        m.counter("serve.frames_in"),
+        m.counter("serve.frames_out"),
+        m.counter("serve.frames_dropped"),
+        m.counter("serve.protocol_errors"),
+        m.counter("serve.rate_limited"),
+    );
+    let _ = writeln!(
+        out,
+        "peers: {} connected, {} banned",
+        m.counter("serve.peers_connected"),
+        m.counter("serve.peers_banned"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_parse() {
+        let cmd = ServeCmdConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cmd.config.listen, "127.0.0.1:0");
+        assert_eq!(cmd.config.transport, ServeTransport::Tcp);
+        assert_eq!(cmd.config.shards, 2);
+        assert_eq!(cmd.config.max_sessions_per_shard, 75_000);
+        assert_eq!(cmd.selftest, None);
+        assert_eq!(cmd.model, TimingModel::Periodic);
+    }
+
+    #[test]
+    fn serve_keys_parse() {
+        let cmd = ServeCmdConfig::parse([
+            "listen=0.0.0.0:7700",
+            "transport=udp",
+            "shards=4",
+            "sessions=1000",
+            "auth=99",
+            "rate=10.5",
+            "burst=3",
+            "sample=1",
+            "seed=7",
+            "model=semisync",
+            "s=3",
+            "n=4",
+            "unit-us=500",
+            "selftest=10",
+        ])
+        .unwrap();
+        assert_eq!(cmd.config.listen, "0.0.0.0:7700");
+        assert_eq!(cmd.config.transport, ServeTransport::Udp);
+        assert_eq!(cmd.config.shards, 4);
+        assert_eq!(cmd.config.max_sessions_per_shard, 1000);
+        assert_eq!(cmd.config.auth_token, Some(99));
+        assert!((cmd.config.open_rate - 10.5).abs() < f64::EPSILON);
+        assert_eq!(cmd.config.sample_every, 1);
+        assert_eq!(cmd.model, TimingModel::SemiSynchronous);
+        assert_eq!((cmd.s, cmd.n, cmd.unit_us), (3, 4, 500));
+        assert_eq!(cmd.selftest, Some(10));
+    }
+
+    #[test]
+    fn zero_shards_is_a_clear_parse_error() {
+        let err = ServeCmdConfig::parse(["shards=0"]).unwrap_err().to_string();
+        assert!(err.contains("shards must be >= 1"), "{err}");
+        assert!(err.contains("usage: session-cli serve"), "{err}");
+        let err = ServeCmdConfig::parse(["sessions=0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("max_sessions_per_shard must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_keys_are_rejected_with_usage() {
+        for bad in [
+            "shards=many",
+            "sessions=none",
+            "transport=sctp",
+            "model=quantum",
+            "frobnicate=1",
+            "positional",
+        ] {
+            let err = ServeCmdConfig::parse([bad]).unwrap_err().to_string();
+            assert!(
+                err.contains("usage: session-cli serve"),
+                "`{bad}` should fail with usage, got: {err}"
+            );
+        }
+        let err = ServeCmdConfig::parse(["shards=2", "shards=3"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate option `shards`"), "{err}");
+    }
+
+    #[test]
+    fn selftest_runs_sessions_through_the_service() {
+        let cmd = ServeCmdConfig::parse([
+            "listen=127.0.0.1:0",
+            "shards=2",
+            "sessions=32",
+            "sample=1",
+            "selftest=6",
+            "unit-us=1000",
+        ])
+        .unwrap();
+        let out = cmd.execute().unwrap();
+        assert!(out.contains("serving on 127.0.0.1:"), "{out}");
+        assert!(
+            out.contains("selftest: 6/6 sessions closed (6 conformance passes, 0 failures)"),
+            "{out}"
+        );
+        assert!(out.contains("sessions: 6 opened, 6 closed"), "{out}");
+        assert!(out.contains("conformance: 6 sampled, 0 failures"), "{out}");
+    }
+}
