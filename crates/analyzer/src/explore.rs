@@ -390,6 +390,7 @@ pub fn explore_flight(
             roots, n, s, max_depth, opts, recorder, flight,
         );
     }
+    // wslint: allow(ws001): live progress reports real elapsed time by design
     let started = Instant::now();
     let progress = flight.progress.as_deref();
     if let Some(board) = progress {

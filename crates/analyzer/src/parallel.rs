@@ -275,6 +275,7 @@ impl ShardedMemo {
         local: &mut FlightLocal,
         shared: &FlightShared,
     ) -> Option<usize> {
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
         let started = Instant::now();
         let stripe = self.stripe(key);
         let guard = match stripe.try_lock().ok() {
@@ -300,6 +301,7 @@ impl ShardedMemo {
         shared: &FlightShared,
     ) -> bool {
         use std::collections::hash_map::Entry;
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
         let started = Instant::now();
         let stripe = self.stripe(key);
         let mut guard = match stripe.try_lock().ok() {
@@ -405,6 +407,7 @@ struct WorkerOut {
 impl Worker<'_> {
     fn run(&mut self) {
         loop {
+            // wslint: allow(ws001): flight profiler measures real elapsed time by design
             let waiting_since = self.flight.as_ref().map(|_| Instant::now());
             let item = self.pool.pop();
             if let (Some(local), Some(shared), Some(since)) =
@@ -416,6 +419,7 @@ impl Worker<'_> {
             }
             let Some(item) = item else { break };
             let item_depth = item.depth as u64;
+            // wslint: allow(ws001): flight profiler measures real elapsed time by design
             let started = self.flight.as_ref().map(|_| Instant::now());
             if let (Some(local), Some(shared)) = (self.flight.as_deref_mut(), self.shared) {
                 local.prof.items += 1;
@@ -661,6 +665,7 @@ impl Worker<'_> {
         choices: usize,
         depth: usize,
     ) -> bool {
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
         let started = self.flight.as_ref().map(|_| Instant::now());
         self.donations_offered += 1;
         let mut prefix: FxHashSet<u64> = (*self.prefix).clone();
@@ -747,6 +752,7 @@ pub(crate) fn explore_parallel_flight(
     flight: &FlightOpts,
 ) -> (Exploration, Option<ExploreProfile>) {
     debug_assert!(opts.threads > 1);
+    // wslint: allow(ws001): flight profiler measures real elapsed time by design
     let started = Instant::now();
     let shared = flight.profile.then(|| FlightShared::new(started));
     let progress = flight.progress.as_deref();
@@ -829,6 +835,7 @@ pub(crate) fn explore_parallel_flight(
     }
 
     // Phase B: canonical witnesses, serially — free when nothing fired.
+    // wslint: allow(ws001): flight profiler measures real elapsed time by design
     let phase_b_started = Instant::now();
     let violations = explore_witnesses(roots, n, s, max_depth, opts, &codes);
     let phase_b_ns = nanos(phase_b_started.elapsed());

@@ -486,6 +486,7 @@ impl ZoneWalker<'_> {
     ) -> (bool, Option<(Dur, SymExpr)>) {
         let idx = ci + CLOCK_BASE;
         self.dbm_closures += 1;
+        // wslint: allow(ws001): DBM-closure profiling measures real elapsed time by design
         let close_started = self.timed.then(Instant::now);
         let mut z = dbm.clone();
         z.up();

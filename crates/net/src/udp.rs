@@ -49,8 +49,8 @@ pub fn decode(buf: &[u8]) -> Result<Packet> {
             buf.len()
         )));
     }
-    let from = u64::from_be_bytes(buf[0..8].try_into().expect("slice length"));
-    let value = u64::from_be_bytes(buf[8..16].try_into().expect("slice length"));
+    let from = u64::from_be_bytes(buf[0..8].try_into().expect("slice length")); // wslint: allow(ws004): length guarded by the FRAME_LEN check above
+    let value = u64::from_be_bytes(buf[8..16].try_into().expect("slice length")); // wslint: allow(ws004): length guarded by the FRAME_LEN check above
     Ok(Packet {
         from: ProcessId::new(
             usize::try_from(from).map_err(|_| {
@@ -64,8 +64,8 @@ pub fn decode(buf: &[u8]) -> Result<Packet> {
 }
 
 fn decode_time(buf: &[u8]) -> Result<Time> {
-    let numer = i128::from_be_bytes(buf[0..16].try_into().expect("slice length"));
-    let denom = i128::from_be_bytes(buf[16..32].try_into().expect("slice length"));
+    let numer = i128::from_be_bytes(buf[0..16].try_into().expect("slice length")); // wslint: allow(ws004): callers pass exactly 32 bytes
+    let denom = i128::from_be_bytes(buf[16..32].try_into().expect("slice length")); // wslint: allow(ws004): callers pass exactly 32 bytes
     if denom == 0 {
         return Err(Error::invalid_params(
             "zero denominator in UDP timestamp".to_string(),

@@ -454,7 +454,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         Some(b'-' | b'0'..=b'9') => {
             let start = *pos;
             skim_number(bytes, pos)?;
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number"); // wslint: allow(ws004): skim_number only accepts ascii digit bytes
             text.parse::<f64>()
                 .map(JsonValue::Number)
                 .map_err(|e| format!("bad number at byte {start}: {e}"))

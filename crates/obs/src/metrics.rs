@@ -82,6 +82,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve.frames_dropped",
     "serve.protocol_errors",
     "serve.rate_limited",
+    "serve.opens_queue_full",
     "serve.peers_connected",
     "serve.peers_banned",
     "serve.close_latency_ms",

@@ -76,7 +76,7 @@ impl<R> SharedRecorder<R> {
     pub fn into_inner(self) -> R {
         match Arc::try_unwrap(self.inner) {
             Ok(mutex) => mutex.into_inner().unwrap_or_else(PoisonError::into_inner),
-            Err(_) => panic!("SharedRecorder::into_inner with live clones"),
+            Err(_) => panic!("SharedRecorder::into_inner with live clones"), // wslint: allow(ws004): documented panic contract of into_inner
         }
     }
 }

@@ -73,12 +73,13 @@ impl GapRule {
     ) -> GapRule {
         match model {
             TimingModel::Synchronous => {
+                // wslint: allow(ws004): model/bounds pairing is validated at construction
                 GapRule::Constant(bounds.c2().expect("synchronous bounds have c2"))
             }
             TimingModel::Periodic => GapRule::Constant(sample(rng, window.0, window.1)),
             TimingModel::SemiSynchronous => GapRule::Window {
-                lo: bounds.c1().expect("semi-synchronous bounds have c1"),
-                hi: bounds.c2().expect("semi-synchronous bounds have c2"),
+                lo: bounds.c1().expect("semi-synchronous bounds have c1"), // wslint: allow(ws004): model/bounds pairing is validated at construction
+                hi: bounds.c2().expect("semi-synchronous bounds have c2"), // wslint: allow(ws004): model/bounds pairing is validated at construction
             },
             TimingModel::Sporadic => {
                 if let Some(script) = script {

@@ -161,19 +161,19 @@ pub fn simulate_releases(
                 .enumerate()
                 .min_by_key(|(_, j)| (j.deadline, j.task))
                 .map(|(i, _)| i)
-                .expect("nonempty"),
+                .expect("nonempty"), // wslint: allow(ws004): the scheduler loop only selects from a non-empty ready set
             Policy::RmPreemptive => ready
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, j)| (rm_rank(j.task), j.task))
                 .map(|(i, _)| i)
-                .expect("nonempty"),
+                .expect("nonempty"), // wslint: allow(ws004): the scheduler loop only selects from a non-empty ready set
             Policy::DmPreemptive => ready
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, j)| (dm_rank(j.task), j.task))
                 .map(|(i, _)| i)
-                .expect("nonempty"),
+                .expect("nonempty"), // wslint: allow(ws004): the scheduler loop only selects from a non-empty ready set
         };
         // Run until completion or (if preemptive) the next release.
         let finish_at = now + ready[pick].remaining;

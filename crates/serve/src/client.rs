@@ -3,10 +3,12 @@
 //!
 //! The client splits its connection: the caller's thread writes frames
 //! (batched through a `BufWriter`), a reader thread decodes server
-//! frames into an unbounded channel the caller drains at its own pace.
-//! That shape lets one client keep hundreds of thousands of opens in
+//! frames into a bounded channel the caller drains at its own pace.
+//! That shape lets one client keep tens of thousands of opens in
 //! flight without the request/response lockstep that would serialize
-//! the benchmark on round-trip latency.
+//! the benchmark on round-trip latency, while the channel bound keeps a
+//! caller that stops draining from growing the event queue without
+//! limit — the reader blocks, TCP backpressure does the rest.
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
@@ -17,6 +19,14 @@ use std::time::{Duration, Instant};
 use session_types::TimingModel;
 
 use crate::wire::{datagram, undatagram, write_frame, ClientFrame, ServerFrame, MAX_PAYLOAD};
+
+/// Decoded server frames buffered between the reader thread and the
+/// caller. Sized for the worst bench pattern — `bench_serve` ramps
+/// ~27.5k opens per client before draining a single event — with ~2×
+/// headroom. When the buffer fills, the reader thread blocks and TCP
+/// flow control pushes the backpressure to the server, whose writers
+/// already drop-and-score on a full egress queue.
+const EVENT_BUFFER: usize = 1 << 16;
 
 /// A TCP client connection.
 #[derive(Debug)]
@@ -36,7 +46,7 @@ impl ServeClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = std::sync::mpsc::sync_channel(EVENT_BUFFER);
         let reader = std::thread::Builder::new()
             .name("serve-client-reader".to_owned())
             .spawn(move || {
@@ -50,7 +60,7 @@ impl ServeClient {
                     }
                     let mut start = 0usize;
                     while acc.len() - start >= 4 {
-                        let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes");
+                        let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes"); // wslint: allow(ws004): slice length is checked by the loop condition
                         let len = u32::from_le_bytes(len_bytes) as usize;
                         if len == 0 || len > MAX_PAYLOAD {
                             return; // server never sends these

@@ -18,7 +18,7 @@
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,12 +43,13 @@ struct Inner {
     stop: AtomicBool,
     manager: PeerManager,
     global: Arc<LoadStats>,
-    shards: Vec<(Sender<ShardCommand>, Arc<LoadStats>)>,
+    shards: Vec<(SyncSender<ShardCommand>, Arc<LoadStats>)>,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     frames_dropped: AtomicU64,
     protocol_errors: AtomicU64,
     rate_limited: AtomicU64,
+    opens_queue_full: AtomicU64,
     peers_connected: AtomicU64,
     peer_threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -61,16 +62,32 @@ impl Inner {
     /// Routes an admission-checked `Open` to the least-loaded shard,
     /// counting queued-but-unprocessed opens as load so a burst spreads
     /// across shards instead of piling into one queue.
+    ///
+    /// Shard queues are bounded (at `max_sessions_per_shard`, the most
+    /// opens a shard could ever admit from its backlog), so routing
+    /// never blocks a reader thread: a full queue rejects the open as
+    /// `Busy`, exactly like the shard's own shed-at-capacity path.
     fn route_open(&self, cmd: ShardCommand) {
         let target = self
             .shards
             .iter()
             .min_by_key(|(_, stats)| stats.load_estimate())
-            .expect("at least one shard");
+            .expect("at least one shard"); // wslint: allow(ws004): validate() rejects shards == 0
         target.1.note_routed();
-        // A send error means the shard exited (shutdown); the peer's
-        // Open is silently dropped with the connection about to close.
-        let _ = target.0.send(cmd);
+        match target.0.try_send(cmd) {
+            Ok(()) => {}
+            Err(TrySendError::Full(ShardCommand::Open { req, peer, .. })) => {
+                self.opens_queue_full.fetch_add(1, Ordering::Relaxed);
+                target.1.note_unrouted();
+                peer.send(ServerFrame::Reject {
+                    req,
+                    code: RejectCode::Busy,
+                });
+            }
+            // A disconnected shard means shutdown; the peer's Open is
+            // silently dropped with the connection about to close.
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {}
+        }
     }
 
     /// Handles one decoded frame from `peer`. Returns `false` when the
@@ -218,7 +235,11 @@ impl Server {
         let mut shards = Vec::new();
         let mut shard_joins = Vec::new();
         for index in 0..config.shards {
-            let (tx, rx) = std::sync::mpsc::channel();
+            // Bounded at the shard's session capacity: a deeper queue
+            // could never admit its backlog anyway (the shard sheds at
+            // `max_sessions_per_shard`), and the bound turns a runaway
+            // open burst into `Busy` rejections instead of memory growth.
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.max_sessions_per_shard);
             let stats = Arc::new(LoadStats::default());
             let shard = Shard::new(index as u64, config.clone(), stats.clone(), global.clone());
             let join = std::thread::Builder::new()
@@ -239,6 +260,7 @@ impl Server {
             frames_dropped: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
+            opens_queue_full: AtomicU64::new(0),
             peers_connected: AtomicU64::new(0),
             peer_threads: Mutex::new(Vec::new()),
         });
@@ -279,6 +301,7 @@ impl Server {
         }
         let mut rec = InMemoryRecorder::new();
         for join in self.shard_joins.drain(..) {
+            // wslint: allow(ws004): shutdown re-raises service-thread panics by contract
             let snapshot = join.join().expect("shard panicked");
             for (name, value) in snapshot.counters() {
                 rec.counter(name, value);
@@ -289,16 +312,21 @@ impl Server {
         }
         self.inner.stop.store(true, Ordering::Relaxed);
         if let Some(accept) = self.accept.take() {
+            // wslint: allow(ws004): shutdown re-raises service-thread panics by contract
             accept.join().expect("acceptor panicked");
         }
+        // A poisoned registry only means some peer thread panicked while
+        // holding it; the Vec of join handles is still intact, and those
+        // panics surface through the joins below.
         let peers = std::mem::take(
             &mut *self
                 .inner
                 .peer_threads
                 .lock()
-                .expect("peer registry poisoned"),
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
         for join in peers {
+            // wslint: allow(ws004): shutdown re-raises service-thread panics by contract
             join.join().expect("peer thread panicked");
         }
         let inner = &self.inner;
@@ -315,6 +343,10 @@ impl Server {
         rec.counter(
             "serve.rate_limited",
             inner.rate_limited.load(Ordering::Relaxed),
+        );
+        rec.counter(
+            "serve.opens_queue_full",
+            inner.opens_queue_full.load(Ordering::Relaxed),
         );
         rec.counter(
             "serve.peers_connected",
@@ -424,7 +456,7 @@ fn tcp_reader(inner: &Arc<Inner>, peer: &PeerHandle, mut stream: TcpStream) {
         }
         let mut start = 0usize;
         while acc.len() - start >= 4 {
-            let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes");
+            let len_bytes: [u8; 4] = acc[start..start + 4].try_into().expect("4 bytes"); // wslint: allow(ws004): slice length is checked by the loop condition
             let len = u32::from_le_bytes(len_bytes) as usize;
             if len == 0 || len > crate::wire::MAX_PAYLOAD {
                 // A hostile length prefix desynchronizes the stream:

@@ -219,7 +219,7 @@ impl SessionInstance {
         (0..self.procs.len())
             .map(|i| {
                 let t = self.procs[i].clock.next(&mut self.rng);
-                (u32::try_from(i).expect("n fits in u32"), self.to_us(t))
+                (u32::try_from(i).expect("n fits in u32"), self.to_us(t)) // wslint: allow(ws004): spec caps n at max_spec_n, far below u32::MAX
             })
             .collect()
     }

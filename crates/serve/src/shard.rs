@@ -71,6 +71,12 @@ impl LoadStats {
         self.processed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one routed `Open` bounced by a full shard queue (router
+    /// side) so the queued estimate does not drift upward forever.
+    pub(crate) fn note_unrouted(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn incr(&self) {
         let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);

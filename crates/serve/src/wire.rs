@@ -409,7 +409,7 @@ impl ServerFrame {
 /// encode frames well under the cap, so an oversized payload is a bug.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
-    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    let len = u32::try_from(payload.len()).expect("payload fits in u32"); // wslint: allow(ws004): the assert above caps payloads at MAX_PAYLOAD
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)
 }
@@ -438,7 +438,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Result<Vec<u8>, WireError>> {
 /// so both transports put identical bytes on the wire.
 pub fn datagram(payload: &[u8]) -> Vec<u8> {
     assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
-    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    let len = u32::try_from(payload.len()).expect("payload fits in u32"); // wslint: allow(ws004): the assert above caps payloads at MAX_PAYLOAD
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(payload);

@@ -1,0 +1,953 @@
+//! The seven WSxxx checks over the lexed workspace.
+//!
+//! All checks operate on the comment-stripped token stream of non-test
+//! code (`#[cfg(test)]` modules and `#[test]` fns are exempt from every
+//! source discipline — a panic in a test *is* the failure report, and
+//! test harnesses may use wall clocks and unbounded channels freely).
+//! Findings are suppressed by `// wslint: allow(wsNNN): reason`
+//! annotations on the offending line.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Finding, Report, WsCode};
+use crate::source::{load, SourceFile};
+
+/// Runs every check under `config` and returns the sorted report.
+///
+/// # Errors
+///
+/// Returns an error string when the root cannot be walked (registry
+/// files that are absent merely leave their stats counters at zero —
+/// the workspace self-test pins them nonzero).
+pub fn run(config: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    let files = walk_sources(&config.root)?;
+    let mut sources = Vec::new();
+    for path in files {
+        let file = load(&config.root, path.clone())
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        sources.push(file);
+    }
+    report.stats.files_scanned = sources.len();
+    for file in &sources {
+        ws001_wall_clock(config, file, &mut report);
+        ws002_unbounded_channel(file, &mut report);
+        ws004_panic_path(config, file, &mut report);
+    }
+    ws003_lock_order(&sources, &mut report);
+    ws005_ws006_lint_registry(config, &mut report)?;
+    ws007_metric_registry(config, &sources, &mut report)?;
+    report.sort();
+    Ok(report)
+}
+
+/// Directory names never descended into: build output, vendored stubs,
+/// and test-only trees (integration tests, fixtures, examples and
+/// benches are exempt from the source disciplines wholesale).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "tests",
+    "examples",
+    "benches",
+    "fixtures",
+    "node_modules",
+];
+
+fn walk_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn is_punct(tok: Option<&Token>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn is_ident(tok: Option<&Token>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn push_unless_allowed(
+    file: &SourceFile,
+    report: &mut Report,
+    code: WsCode,
+    line: u32,
+    msg: String,
+) {
+    if file.allowed(code.lower(), line) {
+        return;
+    }
+    report.findings.push(Finding {
+        code,
+        file: file.rel_path.clone(),
+        line,
+        message: msg,
+    });
+}
+
+// ---------------------------------------------------------------- WS001
+
+/// Wall-clock discipline: `Instant::now` / `SystemTime::now` only in the
+/// allowlisted timing modules, so nominal-time recording (DESIGN.md §16)
+/// cannot silently regress into measured-time recording.
+fn ws001_wall_clock(config: &Config, file: &SourceFile, report: &mut Report) {
+    if Config::matches(&file.rel_path, &config.wallclock_allow) {
+        return;
+    }
+    let code: Vec<&Token> = file.non_test_code().collect();
+    for i in 0..code.len() {
+        let clock = match code[i].text.as_str() {
+            "Instant" | "SystemTime" if code[i].kind == TokenKind::Ident => &code[i].text,
+            _ => continue,
+        };
+        if is_punct(code.get(i + 1).copied(), ":")
+            && is_punct(code.get(i + 2).copied(), ":")
+            && is_ident(code.get(i + 3).copied(), "now")
+        {
+            let line = code[i].line;
+            push_unless_allowed(
+                file,
+                report,
+                WsCode::Ws001,
+                line,
+                format!(
+                    "raw wall-clock read `{clock}::now` outside the allowlisted timing modules; \
+                     record nominal time (DESIGN.md §16) or annotate with \
+                     `// wslint: allow(ws001): <reason>`"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- WS002
+
+/// Unbounded channels: `std::sync::mpsc::channel` (call *or* import) is
+/// forbidden in non-test code — bounded `sync_channel` egress is the
+/// service's backpressure discipline.
+fn ws002_unbounded_channel(file: &SourceFile, report: &mut Report) {
+    let code: Vec<&Token> = file.non_test_code().collect();
+    for i in 0..code.len() {
+        if is_ident(code.get(i).copied(), "mpsc")
+            && is_punct(code.get(i + 1).copied(), ":")
+            && is_punct(code.get(i + 2).copied(), ":")
+            && is_ident(code.get(i + 3).copied(), "channel")
+        {
+            let line = code[i + 3].line;
+            push_unless_allowed(
+                file,
+                report,
+                WsCode::Ws002,
+                line,
+                "unbounded `mpsc::channel` in non-test code; use a bounded `sync_channel` \
+                 (pick and document a capacity) so a slow consumer exerts backpressure \
+                 instead of growing an unbounded queue"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- WS004
+
+/// Panic-path audit: `unwrap`/`expect`/`panic!` in resident runtime code
+/// requires an inline justification annotation.
+fn ws004_panic_path(config: &Config, file: &SourceFile, report: &mut Report) {
+    if !Config::matches(&file.rel_path, &config.panic_scope) {
+        return;
+    }
+    let code: Vec<&Token> = file.non_test_code().collect();
+    for i in 0..code.len() {
+        let (line, what) = if is_punct(code.get(i).copied(), ".")
+            && (is_ident(code.get(i + 1).copied(), "unwrap")
+                || is_ident(code.get(i + 1).copied(), "expect"))
+            && is_punct(code.get(i + 2).copied(), "(")
+        {
+            (code[i + 1].line, format!(".{}()", code[i + 1].text))
+        } else if is_ident(code.get(i).copied(), "panic")
+            && is_punct(code.get(i + 1).copied(), "!")
+            && is_punct(code.get(i + 2).copied(), "(")
+        {
+            (code[i].line, "panic!".to_owned())
+        } else {
+            continue;
+        };
+        push_unless_allowed(
+            file,
+            report,
+            WsCode::Ws004,
+            line,
+            format!(
+                "`{what}` on a resident runtime path; return a typed error or justify with \
+                 `// wslint: allow(ws004): <reason>`"
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- WS003
+
+/// One lock acquisition while other guards are live.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    note: String,
+}
+
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Locks this fn acquires directly: (name, representative line, file).
+    direct: Vec<(String, u32, String)>,
+    /// Calls made while holding locks: (held names, callee, line, file).
+    calls: Vec<(Vec<String>, String, u32, String)>,
+}
+
+/// Lock-order analysis: builds a per-crate acquired-before graph from
+/// per-function lock-acquisition scopes (guard liveness approximated at
+/// the statement/block level), propagates acquisitions through the
+/// intra-crate call graph by callee name, and reports every cycle as a
+/// potential deadlock.
+fn ws003_lock_order(sources: &[SourceFile], report: &mut Report) {
+    // Group files per crate: the workspace's lock invariants are
+    // per-subsystem, and per-crate call-graph matching by bare fn name
+    // stays precise enough to be useful.
+    let mut crates: BTreeMap<String, Vec<&SourceFile>> = BTreeMap::new();
+    for file in sources {
+        let crate_name = crate_of(&file.rel_path);
+        crates.entry(crate_name).or_default().push(file);
+    }
+    for files in crates.values() {
+        let mut fns: BTreeMap<String, FnLocks> = BTreeMap::new();
+        let mut edges: Vec<LockEdge> = Vec::new();
+        let mut annotated: BTreeSet<(String, u32)> = BTreeSet::new();
+        for file in files {
+            scan_file_locks(file, &mut fns, &mut edges);
+            for ann in &file.annotations {
+                if ann.code == "ws003" {
+                    for &line in &ann.covers {
+                        annotated.insert((file.rel_path.clone(), line));
+                    }
+                }
+            }
+        }
+        // Transitive lock sets per fn (fixpoint over the call graph).
+        let mut closure: BTreeMap<String, BTreeSet<String>> = fns
+            .iter()
+            .map(|(name, info)| {
+                (
+                    name.clone(),
+                    info.direct.iter().map(|(l, _, _)| l.clone()).collect(),
+                )
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for (name, info) in &fns {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for (_, callee, _, _) in &info.calls {
+                    if let Some(locks) = closure.get(callee) {
+                        add.extend(locks.iter().cloned());
+                    }
+                }
+                let set = closure.entry(name.clone()).or_default();
+                for lock in add {
+                    changed |= set.insert(lock);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Call-graph edges: held locks → everything the callee acquires.
+        for info in fns.values() {
+            for (held, callee, line, file) in &info.calls {
+                let Some(acquired) = closure.get(callee) else {
+                    continue;
+                };
+                for from in held {
+                    for to in acquired {
+                        if from != to {
+                            edges.push(LockEdge {
+                                from: from.clone(),
+                                to: to.clone(),
+                                file: file.clone(),
+                                line: *line,
+                                note: format!("via call to `{callee}`"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        report.stats.lock_edges += edges.len();
+        report_cycles(&edges, &annotated, report);
+    }
+}
+
+fn crate_of(rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_owned();
+        }
+    }
+    "(root)".to_owned()
+}
+
+/// Cycle detection over the acquired-before graph. Every distinct cycle
+/// (as a canonical node set) is reported once, anchored on one of its
+/// acquisition edges.
+fn report_cycles(edges: &[LockEdge], annotated: &BTreeSet<(String, u32)>, report: &mut Report) {
+    let mut adjacency: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for edge in edges {
+        adjacency.entry(edge.from.as_str()).or_default().push(edge);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    for &start in &nodes {
+        // DFS from each node looking for a path back to it.
+        let mut stack: Vec<(&str, Vec<&LockEdge>)> = vec![(start, Vec::new())];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for edge in adjacency.get(node).into_iter().flatten() {
+                if edge.to == start {
+                    let mut cycle_edges = path.clone();
+                    cycle_edges.push(edge);
+                    let mut key: Vec<String> = cycle_edges.iter().map(|e| e.from.clone()).collect();
+                    key.sort();
+                    if !reported.insert(key) {
+                        continue;
+                    }
+                    if cycle_edges
+                        .iter()
+                        .any(|e| annotated.contains(&(e.file.clone(), e.line)))
+                    {
+                        continue;
+                    }
+                    let order: Vec<String> = cycle_edges
+                        .iter()
+                        .map(|e| e.from.clone())
+                        .chain(std::iter::once(start.to_owned()))
+                        .collect();
+                    let spans: Vec<String> = cycle_edges
+                        .iter()
+                        .map(|e| {
+                            let note = if e.note.is_empty() {
+                                String::new()
+                            } else {
+                                format!(" ({})", e.note)
+                            };
+                            format!("`{}`→`{}` at {}:{}{}", e.from, e.to, e.file, e.line, note)
+                        })
+                        .collect();
+                    report.findings.push(Finding {
+                        code: WsCode::Ws003,
+                        file: cycle_edges[0].file.clone(),
+                        line: cycle_edges[0].line,
+                        message: format!(
+                            "lock-order cycle {} — potential deadlock; edges: {}",
+                            order.join(" → "),
+                            spans.join(", ")
+                        ),
+                    });
+                } else if visited.insert(edge.to.as_str()) {
+                    let mut next = path.clone();
+                    next.push(edge);
+                    stack.push((edge.to.as_str(), next));
+                }
+            }
+        }
+    }
+}
+
+/// Guard-liveness scopes for the per-function scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    /// Dies at the end of the current statement.
+    Stmt,
+    /// Dies when the block opened at this depth closes.
+    Block(usize),
+    /// Acquired in an `if let`/`while let`/`match` header; becomes
+    /// `Block` when the construct's brace opens.
+    PendingBlock,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: String,
+    path: String,
+    var: Option<String>,
+    scope: Scope,
+}
+
+/// Receivers whose `.lock()` is not a `Mutex` (std stream handles).
+const NOT_A_MUTEX: &[&str] = &["stdin", "stdout", "stderr"];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "break", "continue", "let", "fn",
+    "move", "in", "as", "ref", "mut", "use", "pub", "impl", "struct", "enum", "where", "unsafe",
+];
+
+fn scan_file_locks(
+    file: &SourceFile,
+    fns: &mut BTreeMap<String, FnLocks>,
+    edges: &mut Vec<LockEdge>,
+) {
+    let code: Vec<&Token> = file.non_test_code().collect();
+    let mut i = 0;
+    while i < code.len() {
+        if is_ident(code.get(i).copied(), "fn")
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let name = code[i + 1].text.clone();
+            // The body starts at the first `{` after the signature.
+            let mut j = i + 2;
+            let mut body_start = None;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "{" if code[j].kind == TokenKind::Punct => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ";" if code[j].kind == TokenKind::Punct => break, // trait decl
+                    _ => j += 1,
+                }
+            }
+            let Some(start) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut end = start;
+            while end < code.len() {
+                if code[end].kind == TokenKind::Punct {
+                    match code[end].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                end += 1;
+            }
+            let info = fns.entry(name).or_default();
+            scan_body(file, &code[start..=end.min(code.len() - 1)], info, edges);
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn scan_body(file: &SourceFile, body: &[&Token], info: &mut FnLocks, edges: &mut Vec<LockEdge>) {
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut stmt_first: Option<String> = None; // first ident of the statement
+    let mut let_var: Option<String> = None;
+    let mut i = 0;
+    while i < body.len() {
+        let tok = body[i];
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    for g in &mut guards {
+                        if g.scope == Scope::PendingBlock {
+                            g.scope = Scope::Block(depth);
+                        }
+                    }
+                    stmt_first = None;
+                    let_var = None;
+                }
+                "}" => {
+                    guards.retain(|g| match g.scope {
+                        Scope::Block(d) => d < depth,
+                        Scope::Stmt | Scope::PendingBlock => false,
+                    });
+                    depth = depth.saturating_sub(1);
+                    stmt_first = None;
+                    let_var = None;
+                }
+                ";" => {
+                    guards.retain(|g| g.scope != Scope::Stmt);
+                    stmt_first = None;
+                    let_var = None;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if tok.kind == TokenKind::Ident {
+            if stmt_first.is_none() {
+                stmt_first = Some(tok.text.clone());
+            }
+            if stmt_first.as_deref() == Some("let")
+                && let_var.is_none()
+                && tok.text != "let"
+                && tok.text != "mut"
+                && tok.text != "ref"
+            {
+                let_var = Some(tok.text.clone());
+            }
+            // `drop(guard)` releases early.
+            if tok.text == "drop"
+                && is_punct(body.get(i + 1).copied(), "(")
+                && body.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                && is_punct(body.get(i + 3).copied(), ")")
+            {
+                let dropped = &body[i + 2].text;
+                guards.retain(|g| g.var.as_deref() != Some(dropped.as_str()));
+                i += 4;
+                continue;
+            }
+            // Lock acquisition: `.lock()` / `.read()` / `.write()` with
+            // empty parens (io::Read::read takes a buffer, so the empty
+            // parens distinguish RwLock reads from stream reads).
+            // `try_lock`/`try_read`/`try_write` never block and cannot
+            // deadlock, so they are not acquisitions here.
+            let is_acquire = matches!(tok.text.as_str(), "lock" | "read" | "write")
+                && i >= 1
+                && is_punct(body.get(i - 1).copied(), ".")
+                && is_punct(body.get(i + 1).copied(), "(")
+                && is_punct(body.get(i + 2).copied(), ")");
+            if is_acquire {
+                if let Some((name, path)) = receiver_of(body, i - 1) {
+                    if !NOT_A_MUTEX.contains(&name.as_str()) {
+                        let scope = match stmt_first.as_deref() {
+                            Some("let") => Scope::Block(depth),
+                            Some("if" | "while" | "match" | "for") => Scope::PendingBlock,
+                            _ => Scope::Stmt,
+                        };
+                        for held in &guards {
+                            // A self-edge is only a (re-entrancy) bug
+                            // when it is literally the same lock path.
+                            if held.name == name && held.path != path {
+                                continue;
+                            }
+                            edges.push(LockEdge {
+                                from: held.name.clone(),
+                                to: name.clone(),
+                                file: file.rel_path.clone(),
+                                line: tok.line,
+                                note: String::new(),
+                            });
+                        }
+                        info.direct
+                            .push((name.clone(), tok.line, file.rel_path.clone()));
+                        guards.push(Guard {
+                            name,
+                            path,
+                            var: if scope == Scope::Block(depth) {
+                                let_var.clone()
+                            } else {
+                                None
+                            },
+                            scope,
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            // A call while holding locks feeds the call-graph pass.
+            // Macros (`name!(…)`) are not fns; skip them.
+            if is_punct(body.get(i + 1).copied(), "(")
+                && !KEYWORDS.contains(&tok.text.as_str())
+                && !guards.is_empty()
+            {
+                let held: Vec<String> = guards.iter().map(|g| g.name.clone()).collect();
+                info.calls
+                    .push((held, tok.text.clone(), tok.line, file.rel_path.clone()));
+            }
+            if is_punct(body.get(i + 1).copied(), "!") {
+                // skip macro bang so `name!(` is not seen as a call
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walks backwards from the `.` before `lock`/`read`/`write` to name the
+/// receiver: the final field ident of a `a.b.c` chain, or the method
+/// name of a `recv()`-style call. Returns `(name, full_path_text)`.
+fn receiver_of(body: &[&Token], dot: usize) -> Option<(String, String)> {
+    if dot == 0 {
+        return None;
+    }
+    let mut j = dot - 1;
+    let prev = body[j];
+    match prev.kind {
+        TokenKind::Ident => {
+            // Walk the `a.b.c` chain backwards for the path text.
+            let name = prev.text.clone();
+            let mut parts = vec![prev.text.clone()];
+            while j >= 2
+                && is_punct(body.get(j - 1).copied(), ".")
+                && body.get(j - 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                parts.push(body[j - 2].text.clone());
+                j -= 2;
+            }
+            parts.reverse();
+            Some((name, parts.join(".")))
+        }
+        TokenKind::Punct if prev.text == ")" => {
+            // `self.stripe(key).lock()` — name the method.
+            let mut depth = 0usize;
+            loop {
+                let t = body.get(j)?;
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            let method = body.get(j.checked_sub(1)?)?;
+            if method.kind == TokenKind::Ident {
+                Some((method.text.clone(), format!("{}()", method.text)))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------- WS005/WS006
+
+/// Lint-code registry: every `LintCode` variant carries a stable SAxxx
+/// mapping and a paper-section (§) doc reference (WS005), and every
+/// SAxxx code has `saXXX_positive_*` / `saXXX_negative_*` tests (WS006).
+/// Exact Rust ports of the awk/grep gates `static-analysis.sh` used to
+/// carry (steps 3–4).
+fn ws005_ws006_lint_registry(config: &Config, report: &mut Report) -> Result<(), String> {
+    let diag_abs = config.root.join(&config.diag_path);
+    if !diag_abs.is_file() {
+        return Ok(()); // fixture root without a lint registry
+    }
+    let text = std::fs::read_to_string(&diag_abs)
+        .map_err(|e| format!("reading {}: {e}", diag_abs.display()))?;
+    let tokens = crate::lexer::lex(&text);
+    // Variants of `pub enum LintCode`, with their doc comments.
+    let mut variants: Vec<(String, u32, bool)> = Vec::new(); // (name, line, doc_has_section)
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "enum"
+            && is_ident(tokens.get(i + 1), "LintCode")
+        {
+            // Find the opening brace, then idents followed by `,` at
+            // depth 1 are the variants.
+            let mut j = i + 2;
+            while j < tokens.len() && !is_punct(tokens.get(j), "{") {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut doc_has_section = false;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                match t.kind {
+                    TokenKind::LineComment if t.text.starts_with("///") && t.text.contains('§') => {
+                        doc_has_section = true;
+                    }
+                    TokenKind::Punct => match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    },
+                    TokenKind::Ident if depth == 1 => {
+                        if t.text.chars().next().is_some_and(char::is_uppercase)
+                            && is_punct(tokens.get(j + 1), ",")
+                        {
+                            variants.push((t.text.clone(), t.line, doc_has_section));
+                        }
+                        doc_has_section = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    // Mapping arms: `LintCode::V => "SAxxx"`.
+    let code_tokens: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut mapped: BTreeMap<String, String> = BTreeMap::new(); // variant -> SAxxx
+    for i in 0..code_tokens.len() {
+        if is_ident(code_tokens.get(i).copied(), "LintCode")
+            && is_punct(code_tokens.get(i + 1).copied(), ":")
+            && is_punct(code_tokens.get(i + 2).copied(), ":")
+            && code_tokens
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && is_punct(code_tokens.get(i + 4).copied(), "=")
+            && is_punct(code_tokens.get(i + 5).copied(), ">")
+            && code_tokens
+                .get(i + 6)
+                .is_some_and(|t| t.kind == TokenKind::Str && is_sa_code(&t.text))
+        {
+            mapped.insert(
+                code_tokens[i + 3].text.clone(),
+                code_tokens[i + 6].text.clone(),
+            );
+        }
+    }
+    report.stats.lint_variants = variants.len();
+    for (variant, line, has_section) in &variants {
+        if !mapped.contains_key(variant) {
+            report.findings.push(Finding {
+                code: WsCode::Ws005,
+                file: config.diag_path.clone(),
+                line: *line,
+                message: format!(
+                    "LintCode::{variant} has no stable SAxxx code-string mapping in code()"
+                ),
+            });
+        }
+        if !has_section {
+            report.findings.push(Finding {
+                code: WsCode::Ws005,
+                file: config.diag_path.clone(),
+                line: *line,
+                message: format!(
+                    "LintCode::{variant} lacks a paper-section (§) reference in its doc comment"
+                ),
+            });
+        }
+    }
+    // WS006: positive+negative test fns per code.
+    let codes: BTreeSet<&String> = mapped.values().collect();
+    report.stats.registry_codes = codes.len();
+    let mut test_fns: BTreeSet<String> = BTreeSet::new();
+    for dir in &config.registry_test_dirs {
+        let dir_abs = config.root.join(dir);
+        if !dir_abs.is_dir() {
+            continue;
+        }
+        for path in walk_all_rs(&dir_abs)? {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let toks = crate::lexer::lex(&text);
+            for w in 0..toks.len().saturating_sub(1) {
+                if toks[w].kind == TokenKind::Ident
+                    && toks[w].text == "fn"
+                    && toks[w + 1].kind == TokenKind::Ident
+                {
+                    test_fns.insert(toks[w + 1].text.clone());
+                }
+            }
+        }
+    }
+    for code in codes {
+        let lower = code.to_ascii_lowercase();
+        for direction in ["positive", "negative"] {
+            let prefix = format!("{lower}_{direction}");
+            if !test_fns.iter().any(|f| f.starts_with(&prefix)) {
+                report.findings.push(Finding {
+                    code: WsCode::Ws006,
+                    file: config.diag_path.clone(),
+                    line: 0,
+                    message: format!(
+                        "{code} has no {direction} test (expected a fn named {prefix}_*)"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks *every* `.rs` file under `dir`, including tests directories
+/// (WS006 must see the test fns the main walk deliberately skips).
+fn walk_all_rs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn is_sa_code(text: &str) -> bool {
+    text.len() == 5 && text.starts_with("SA") && text[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+// ---------------------------------------------------------------- WS007
+
+/// Metric registry: every `METRIC_NAMES` entry must be documented in
+/// DESIGN.md §15, and every `serve.*` string the service emits must be
+/// registered in `METRIC_NAMES`. Exact-match port of static-analysis.sh
+/// step 5 — the old `serve\.[a-z_]+` grep truncated digit-bearing names
+/// (`serve.sessions_shed2` matched as `serve.sessions_shed` and passed
+/// silently); the lexer compares whole string literals.
+fn ws007_metric_registry(
+    config: &Config,
+    sources: &[SourceFile],
+    report: &mut Report,
+) -> Result<(), String> {
+    let metrics_abs = config.root.join(&config.metrics_path);
+    if !metrics_abs.is_file() {
+        return Ok(()); // fixture root without a metric registry
+    }
+    let text = std::fs::read_to_string(&metrics_abs)
+        .map_err(|e| format!("reading {}: {e}", metrics_abs.display()))?;
+    let tokens = crate::lexer::lex(&text);
+    let code_tokens: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut names: Vec<(String, u32)> = Vec::new();
+    let mut i = 0;
+    while i < code_tokens.len() {
+        // Anchor on the declaration (`const METRIC_NAMES: &[&str] = &[…]`)
+        // and skip past `=` before looking for `[` — otherwise the `[` in
+        // the *type* annotation terminates the scan before any string.
+        if is_ident(code_tokens.get(i).copied(), "const")
+            && is_ident(code_tokens.get(i + 1).copied(), "METRIC_NAMES")
+        {
+            let mut j = i + 2;
+            while j < code_tokens.len() && !is_punct(code_tokens.get(j).copied(), "=") {
+                j += 1;
+            }
+            while j < code_tokens.len() && !is_punct(code_tokens.get(j).copied(), "[") {
+                j += 1;
+            }
+            j += 1;
+            while j < code_tokens.len() && !is_punct(code_tokens.get(j).copied(), "]") {
+                if code_tokens[j].kind == TokenKind::Str {
+                    names.push((code_tokens[j].text.clone(), code_tokens[j].line));
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    report.stats.metric_names = names.len();
+    // Direction 1: every registered name documented in DESIGN.md §15.
+    let design_abs = config.root.join(&config.design_path);
+    let design = std::fs::read_to_string(&design_abs).unwrap_or_default();
+    let section: String = {
+        let mut in_section = false;
+        let mut buf = String::new();
+        for line in design.lines() {
+            if line.starts_with("## 15.") {
+                in_section = true;
+                continue;
+            }
+            if in_section && line.starts_with("## ") {
+                break;
+            }
+            if in_section {
+                buf.push_str(line);
+                buf.push('\n');
+            }
+        }
+        buf
+    };
+    for (name, line) in &names {
+        if !section.contains(&format!("`{name}`")) {
+            report.findings.push(Finding {
+                code: WsCode::Ws007,
+                file: config.metrics_path.clone(),
+                line: *line,
+                message: format!(
+                    "metric `{name}` is in METRIC_NAMES but not documented in {} §15",
+                    config.design_path
+                ),
+            });
+        }
+    }
+    // Direction 2: every emitted `serve.*` string is registered.
+    let registered: BTreeSet<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+    let serve_prefix = format!("{}/", config.serve_src.trim_end_matches('/'));
+    for file in sources {
+        if !file.rel_path.starts_with(&serve_prefix) {
+            continue;
+        }
+        let mut count = 0usize;
+        for tok in file.non_test_code() {
+            if tok.kind == TokenKind::Str && tok.text.starts_with("serve.") {
+                count += 1;
+                if !registered.contains(tok.text.as_str()) {
+                    push_unless_allowed(
+                        file,
+                        report,
+                        WsCode::Ws007,
+                        tok.line,
+                        format!(
+                            "emitted metric `{}` is not registered in METRIC_NAMES ({})",
+                            tok.text, config.metrics_path
+                        ),
+                    );
+                }
+            }
+        }
+        report.stats.serve_metrics_emitted += count;
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The lint configuration: which paths each discipline covers.
+//!
+//! The defaults *are* the workspace policy (DESIGN.md §17). Fixture
+//! tests reuse them by mirroring the workspace layout inside the fixture
+//! root, so a fixture exercises exactly the configuration the real run
+//! uses.
+
+use std::path::PathBuf;
+
+/// Path-scoped policy knobs for the WSxxx checks. All entries are
+/// `/`-separated prefixes relative to the lint root.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Root of the tree to lint (the workspace root).
+    pub root: PathBuf,
+    /// WS001: module prefixes where raw wall-clock reads
+    /// (`Instant::now` / `SystemTime::now`) are the module's job.
+    pub wallclock_allow: Vec<String>,
+    /// WS004: prefixes whose non-test panic paths must be annotated —
+    /// the resident service/runtime code where a panic is an
+    /// availability bug, not a one-shot CLI abort.
+    pub panic_scope: Vec<String>,
+    /// WS005/WS006: the lint-code registry source.
+    pub diag_path: String,
+    /// WS006: directories searched for `saXXX_positive_*` /
+    /// `saXXX_negative_*` test fns.
+    pub registry_test_dirs: Vec<String>,
+    /// WS007: the metric-name registry source.
+    pub metrics_path: String,
+    /// WS007: the design document carrying the §15 metric table.
+    pub design_path: String,
+    /// WS007: the service sources whose emitted `serve.*` strings must
+    /// be registered.
+    pub serve_src: String,
+}
+
+impl Config {
+    /// The workspace policy rooted at `root`.
+    pub fn workspace(root: PathBuf) -> Config {
+        Config {
+            root,
+            wallclock_allow: [
+                // Pacing is the wall-clock discipline's enforcement
+                // point; the net pacer/runtime pair translates nominal
+                // schedules to real sleeps; the serve modules implement
+                // the real-clock service itself (nominal-time recording
+                // is structural there, see DESIGN.md §16); obs recorders
+                // timestamp spans; bench measures wall time on purpose.
+                "crates/pacing/",
+                "crates/net/src/pacer.rs",
+                "crates/net/src/runtime.rs",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/shard.rs",
+                "crates/serve/src/session.rs",
+                "crates/serve/src/peer.rs",
+                "crates/serve/src/client.rs",
+                "crates/obs/src/memory.rs",
+                "crates/obs/src/jsonl.rs",
+                "crates/bench/",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            panic_scope: [
+                // Resident / multi-threaded runtime surfaces: a panic
+                // here takes down a thread other sessions depend on.
+                // Offline analysis tools (analyzer, sim, smm, mpm,
+                // bench, …) are out of scope: a panic there aborts one
+                // CLI invocation and nothing else (DESIGN.md §9, §17).
+                "crates/serve/src/",
+                "crates/net/src/",
+                "crates/obs/src/",
+                "crates/rt/src/",
+                "crates/pacing/src/",
+                "crates/wslint/src/",
+                "src/",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            diag_path: "crates/analyzer/src/diag.rs".to_owned(),
+            registry_test_dirs: vec![
+                "crates/analyzer/src".to_owned(),
+                "crates/analyzer/tests".to_owned(),
+            ],
+            metrics_path: "crates/obs/src/metrics.rs".to_owned(),
+            design_path: "DESIGN.md".to_owned(),
+            serve_src: "crates/serve/src".to_owned(),
+        }
+    }
+
+    /// Whether `rel_path` is under one of `prefixes`.
+    pub fn matches(rel_path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+}

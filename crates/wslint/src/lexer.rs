@@ -1,0 +1,385 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! `session-wslint` deliberately does not parse Rust (no `syn`, no
+//! `proc-macro2` — the workspace vendors every dependency and the linter
+//! must stay dependency-free). Instead it lexes source into a flat token
+//! stream that is *exact* about the three things a grep can never be
+//! exact about:
+//!
+//! 1. **Strings** — `"Instant::now()"` inside a string literal is data,
+//!    not code. All of Rust's string forms are handled: plain strings
+//!    with escapes, raw strings with any `#` depth, byte strings, and
+//!    C strings.
+//! 2. **Char literals vs lifetimes** — `'a'` is a literal, `'a` in
+//!    `&'a str` is a lifetime; naive quote-matching desynchronizes on
+//!    the latter and then misreads the rest of the file.
+//! 3. **Comments** — `// mpsc::channel()` is prose. Line and (nested)
+//!    block comments are lexed as comment tokens so checks can ignore
+//!    them while the annotation scanner (`wslint: allow(...)`) can still
+//!    read them.
+//!
+//! Every token carries the 1-based line it starts on, which is all the
+//! span precision the WSxxx reports need.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Token text. For string literals this is the *content* (quotes and
+    /// raw-string hashes stripped, escapes left as written); for
+    /// comments the full comment text including the delimiters.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification — exactly as much as the WSxxx checks need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any form (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or the loop-label quote form.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// One punctuation character (multi-char operators appear as
+    /// consecutive tokens: `::` is `:`, `:`).
+    Punct,
+    /// `//` line comment (including `///` and `//!`).
+    LineComment,
+    /// `/* … */` block comment, nesting handled.
+    BlockComment,
+}
+
+/// Lexes `source` into tokens. Never fails: unterminated literals are
+/// closed at end of input (the linter must degrade gracefully on code
+/// that rustc itself would reject).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start_line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start_line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start_line),
+                b'"' => self.string(start_line, self.pos + 1),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_literal(start_line) => {}
+                b'\'' => self.char_or_lifetime(start_line),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(start_line),
+                _ if b.is_ascii_digit() => self.number(start_line),
+                _ => {
+                    self.push(TokenKind::Punct, (b as char).to_string(), start_line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn count_lines(&mut self, start: usize, end: usize) {
+        self.line += self.bytes[start..end]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn text(&self, start: usize, end: usize) -> String {
+        String::from_utf8_lossy(&self.bytes[start..end]).into_owned()
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = self.text(start, self.pos);
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let text = self.text(start, self.pos);
+        self.count_lines(start, self.pos);
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// A plain (escaped) string literal; `content_start` points past the
+    /// opening quote.
+    fn string(&mut self, line: u32, content_start: usize) {
+        self.pos = content_start;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        let text = self.text(content_start, end);
+        self.count_lines(content_start, end);
+        self.pos = (end + 1).min(self.bytes.len());
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"`.
+    /// Returns `false` if the leading `r`/`b`/`c` starts an ordinary
+    /// identifier instead (the caller then lexes it as one).
+    fn raw_or_prefixed_literal(&mut self, line: u32) -> bool {
+        let mut cursor = self.pos + 1;
+        // Optional second prefix letter (`br`, `cr`).
+        if matches!(self.bytes[self.pos], b'b' | b'c') && self.bytes.get(cursor) == Some(&b'r') {
+            cursor += 1;
+        }
+        let raw = cursor > self.pos + 1 || self.bytes[self.pos] == b'r';
+        if raw {
+            let mut hashes = 0usize;
+            while self.bytes.get(cursor + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.bytes.get(cursor + hashes) == Some(&b'"') {
+                let content_start = cursor + hashes + 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let mut end = content_start;
+                while end < self.bytes.len() && !self.bytes[end..].starts_with(&closer) {
+                    end += 1;
+                }
+                let text = self.text(content_start, end);
+                self.count_lines(self.pos, end);
+                self.pos = (end + closer.len()).min(self.bytes.len());
+                self.push(TokenKind::Str, text, line);
+                return true;
+            }
+            return false; // `r` / `br` starting an identifier
+        }
+        // `b"…"` / `c"…"` / `b'…'`
+        match self.bytes.get(self.pos + 1) {
+            Some(b'"') => {
+                self.string(line, self.pos + 2);
+                true
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                self.char_or_lifetime(line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `'a` (lifetime),
+    /// `'static` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32) {
+        let after = self.peek(1);
+        let is_char = match after {
+            Some(b'\\') => true,
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // `'a'` is a char; `'ab` or `'a ` is a lifetime.
+                self.peek(2) == Some(b'\'')
+            }
+            Some(_) => true, // `'('`, `' '`, etc.
+            None => false,
+        };
+        if !is_char {
+            let start = self.pos;
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            let text = self.text(start, self.pos);
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        let content_start = self.pos + 1;
+        self.pos = content_start;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        let text = self.text(content_start, end);
+        self.count_lines(content_start, end);
+        self.pos = (end + 1).min(self.bytes.len());
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = self.text(start, self.pos);
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        // A fractional part — but never eat `..` (range syntax).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+        }
+        let text = self.text(start, self.pos);
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let toks = kinds(r#"let x = "Instant::now()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "Instant::now()"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let x = r#"a "quoted" b"#; let y = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == r#"a "quoted" b"#));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "str"));
+    }
+
+    #[test]
+    fn char_literals_including_escaped_quote() {
+        let toks = kinds(r"let a = '\''; let b = 'x'; let c = '\n';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("// mpsc::channel()\nlet x = 1;");
+        assert!(matches!(toks[0].0, TokenKind::LineComment));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "mpsc"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("let a = \"x\ny\";\nlet b = 2;");
+        let b = toks.iter().find(|t| t.text == "b").expect("ident b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn byte_strings_and_loop_labels() {
+        let toks = kinds("let x = b\"bytes\"; 'outer: loop { break 'outer; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "bytes"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Lifetime && t == "'outer")
+                .count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! `session-wslint`: a dependency-free, token-level static analyzer for
+//! the workspace's own time & concurrency discipline (DESIGN.md §17).
+//!
+//! Where the analyzer crate lints *session traces* (SAxxx), this crate
+//! lints *the workspace's Rust sources* (WSxxx): wall-clock discipline,
+//! bounded channels, lock ordering, panic paths, and the three registry
+//! gates that `scripts/static-analysis.sh` used to approximate with
+//! awk/grep. A hand-rolled lexer (no `syn`, consistent with the
+//! vendored-deps policy) keeps string literals, char literals and
+//! comments from masquerading as code.
+
+pub mod checks;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod source;
+
+pub use checks::run;
+pub use config::Config;
+pub use report::{Finding, Report, Stats, WsCode, ALL_CODES};

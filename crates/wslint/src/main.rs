@@ -1,0 +1,90 @@
+//! CLI for the workspace linter. Arguments use the same `key=value`
+//! grammar as the other session binaries:
+//!
+//! ```text
+//! session-wslint [root=DIR] [format=md|json|github] [json=PATH] [--list]
+//! ```
+//!
+//! Exit codes mirror `session-cli analyze`: 0 clean, 1 findings, 2
+//! usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use session_wslint::{checks, Config, ALL_CODES};
+
+const USAGE: &str = "usage: session-wslint [root=DIR] [format=md|json|github] [json=PATH] [--list]
+  root=DIR     workspace root to lint (default: current directory)
+  format=F     stdout format: md (default), json, github (CI annotations)
+  json=PATH    additionally write the json report to PATH
+  --list       print the WSxxx check table and exit";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "md".to_owned();
+    let mut json_path: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--list" {
+            for code in ALL_CODES {
+                println!("{}  {}", code.code(), code.name());
+            }
+            return ExitCode::SUCCESS;
+        }
+        if arg == "--help" || arg == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("error: unrecognized argument `{arg}`\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        match key {
+            "root" => root = PathBuf::from(value),
+            "format" => {
+                if !matches!(value, "md" | "json" | "github") {
+                    eprintln!("error: format must be md, json or github (got `{value}`)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                value.clone_into(&mut format);
+            }
+            "json" => json_path = Some(PathBuf::from(value)),
+            _ => {
+                eprintln!("error: unrecognized key `{key}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("error: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let config = Config::workspace(root);
+    let report = match checks::run(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        "github" => {
+            print!("{}", report.to_github());
+            // The summary line keeps CI logs self-describing even when
+            // every annotation is surfaced elsewhere by the runner.
+            eprintln!(
+                "session-wslint: {} findings across {} files",
+                report.findings.len(),
+                report.stats.files_scanned
+            );
+        }
+        _ => print!("{}", report.to_markdown()),
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}

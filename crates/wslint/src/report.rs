@@ -1,0 +1,298 @@
+//! Findings, the stable WSxxx code table, and report rendering.
+//!
+//! Exit-code contract mirrors `session-cli analyze`: `0` clean, `1` at
+//! least one finding, `2` usage/configuration error.
+
+use std::fmt::Write as _;
+
+/// The stable check codes. Codes never change meaning; new checks get
+/// new codes (same contract as the analyzer's SAxxx registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WsCode {
+    /// WS001 `wall-clock-discipline`: raw `Instant::now`/`SystemTime::now`
+    /// outside the allowlisted timing modules (DESIGN.md §16 nominal-time
+    /// recording).
+    Ws001,
+    /// WS002 `unbounded-channel`: `std::sync::mpsc::channel` in non-test
+    /// code; egress must be bounded (`sync_channel`).
+    Ws002,
+    /// WS003 `lock-order-cycle`: a cycle in the acquired-before graph of
+    /// `Mutex`/`RwLock` acquisitions — a potential deadlock.
+    Ws003,
+    /// WS004 `panic-path`: `unwrap`/`expect`/`panic!` in resident runtime
+    /// code without a justifying `wslint: allow(ws004)` annotation.
+    Ws004,
+    /// WS005 `lint-registry`: a `LintCode` variant without a stable SAxxx
+    /// mapping or without a paper-section (§) doc reference.
+    Ws005,
+    /// WS006 `registry-coverage`: an SAxxx code lacking a positive or
+    /// negative test (`saXXX_positive_*` / `saXXX_negative_*`).
+    Ws006,
+    /// WS007 `metric-registry`: a `METRIC_NAMES` entry undocumented in
+    /// DESIGN.md §15, or an emitted `serve.*` string not in
+    /// `METRIC_NAMES`.
+    Ws007,
+}
+
+/// Every registered code, in order.
+pub const ALL_CODES: &[WsCode] = &[
+    WsCode::Ws001,
+    WsCode::Ws002,
+    WsCode::Ws003,
+    WsCode::Ws004,
+    WsCode::Ws005,
+    WsCode::Ws006,
+    WsCode::Ws007,
+];
+
+impl WsCode {
+    /// The stable `WSxxx` string.
+    pub fn code(self) -> &'static str {
+        match self {
+            WsCode::Ws001 => "WS001",
+            WsCode::Ws002 => "WS002",
+            WsCode::Ws003 => "WS003",
+            WsCode::Ws004 => "WS004",
+            WsCode::Ws005 => "WS005",
+            WsCode::Ws006 => "WS006",
+            WsCode::Ws007 => "WS007",
+        }
+    }
+
+    /// Lower-case form used in annotations (`ws004`).
+    pub fn lower(self) -> &'static str {
+        match self {
+            WsCode::Ws001 => "ws001",
+            WsCode::Ws002 => "ws002",
+            WsCode::Ws003 => "ws003",
+            WsCode::Ws004 => "ws004",
+            WsCode::Ws005 => "ws005",
+            WsCode::Ws006 => "ws006",
+            WsCode::Ws007 => "ws007",
+        }
+    }
+
+    /// Human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WsCode::Ws001 => "wall-clock-discipline",
+            WsCode::Ws002 => "unbounded-channel",
+            WsCode::Ws003 => "lock-order-cycle",
+            WsCode::Ws004 => "panic-path",
+            WsCode::Ws005 => "lint-registry",
+            WsCode::Ws006 => "registry-coverage",
+            WsCode::Ws007 => "metric-registry",
+        }
+    }
+}
+
+/// One finding with its span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which check fired.
+    pub code: WsCode,
+    /// Path relative to the lint root.
+    pub file: String,
+    /// 1-based line (0 for file-level registry findings with no precise
+    /// span, rendered as line 1).
+    pub line: u32,
+    /// What went wrong and what the discipline demands instead.
+    pub message: String,
+}
+
+/// Coverage counters proving the registry checks actually scanned
+/// something — a silently-empty registry must look different from a
+/// clean one.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// `.rs` files lexed.
+    pub files_scanned: usize,
+    /// `LintCode` variants checked by WS005.
+    pub lint_variants: usize,
+    /// SAxxx codes checked by WS006.
+    pub registry_codes: usize,
+    /// `METRIC_NAMES` entries checked by WS007.
+    pub metric_names: usize,
+    /// Emitted `serve.*` strings checked by WS007.
+    pub serve_metrics_emitted: usize,
+    /// Lock-acquisition edges in the WS003 graph.
+    pub lock_edges: usize,
+}
+
+/// A whole run's outcome.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Findings, in (file, line, code) order.
+    pub findings: Vec<Finding>,
+    /// Scan-coverage counters.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// Sorts findings into the stable report order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    }
+
+    /// The process exit code this report maps to.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.findings.is_empty())
+    }
+
+    /// Markdown rendering (the default stdout format).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# session-wslint report\n\n");
+        if self.findings.is_empty() {
+            out.push_str("No findings.\n");
+        } else {
+            out.push_str("| code | name | file:line | message |\n");
+            out.push_str("|------|------|-----------|---------|\n");
+            for f in &self.findings {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {}:{} | {} |",
+                    f.code.code(),
+                    f.code.name(),
+                    f.file,
+                    f.line.max(1),
+                    f.message.replace('|', "\\|")
+                );
+            }
+        }
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "\n{} findings · {} files · {} lint variants · {} registry codes · {} metric names · {} serve metrics · {} lock edges",
+            self.findings.len(),
+            s.files_scanned,
+            s.lint_variants,
+            s.registry_codes,
+            s.metric_names,
+            s.serve_metrics_emitted,
+            s.lock_edges,
+        );
+        out
+    }
+
+    /// GitHub Actions annotation rendering (`::error file=…`).
+    pub fn to_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title={} {}::{}",
+                f.file,
+                f.line.max(1),
+                f.code.code(),
+                f.code.name(),
+                f.message
+            );
+        }
+        out
+    }
+
+    /// JSON rendering (`session-wslint/v1`). Hand-rolled writer — the
+    /// crate is dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"session-wslint/v1\",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"code\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.code.code(),
+                f.code.name(),
+                escape_json(&f.file),
+                f.line.max(1),
+                escape_json(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        let s = &self.stats;
+        let _ = write!(
+            out,
+            "],\n  \"stats\": {{\"files_scanned\": {}, \"lint_variants\": {}, \"registry_codes\": {}, \"metric_names\": {}, \"serve_metrics_emitted\": {}, \"lock_edges\": {}}}\n}}\n",
+            s.files_scanned,
+            s.lint_variants,
+            s.registry_codes,
+            s.metric_names,
+            s.serve_metrics_emitted,
+            s.lock_edges,
+        );
+        out
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                code: WsCode::Ws002,
+                file: "crates/serve/src/client.rs".into(),
+                line: 39,
+                message: "unbounded mpsc::channel".into(),
+            }],
+            stats: Stats::default(),
+        }
+    }
+
+    #[test]
+    fn exit_codes_mirror_analyze() {
+        assert_eq!(Report::default().exit_code(), 0);
+        assert_eq!(sample().exit_code(), 1);
+    }
+
+    #[test]
+    fn markdown_has_code_and_span() {
+        let md = sample().to_markdown();
+        assert!(md.contains("WS002"), "{md}");
+        assert!(md.contains("crates/serve/src/client.rs:39"), "{md}");
+        assert!(Report::default().to_markdown().contains("No findings."));
+    }
+
+    #[test]
+    fn github_annotations_are_one_per_finding() {
+        let gh = sample().to_github();
+        assert!(
+            gh.starts_with("::error file=crates/serve/src/client.rs,line=39,"),
+            "{gh}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_carries_stats() {
+        let mut rep = sample();
+        rep.findings[0].message = "a \"quoted\"\nmessage".into();
+        rep.stats.files_scanned = 7;
+        let json = rep.to_json();
+        assert!(json.contains("\\\"quoted\\\"\\n"), "{json}");
+        assert!(json.contains("\"files_scanned\": 7"), "{json}");
+        assert!(json.contains("session-wslint/v1"), "{json}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Per-file source model: the token stream split into code and comment
+//! channels, `#[cfg(test)]` / `#[test]` region detection, and the
+//! `wslint:` annotation scanner.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The annotation grammar (DESIGN.md §17):
+///
+/// ```text
+/// // wslint: allow(ws004): <non-empty reason>
+/// ```
+///
+/// One code per annotation; the reason is mandatory — a reason-less
+/// `allow` does not suppress anything (fail closed). The annotation
+/// covers the line it sits on (trailing form) or, when the comment is
+/// alone on its line, the next line that carries code.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Lower-case code, e.g. `ws004`.
+    pub code: String,
+    /// Justification text after the second colon.
+    pub reason: String,
+    /// Line(s) the annotation suppresses findings on.
+    pub covers: Vec<u32>,
+}
+
+/// One lexed-and-classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Code tokens only (comments stripped), in source order.
+    pub code: Vec<Token>,
+    /// Parsed `wslint:` annotations.
+    pub annotations: Vec<Annotation>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into the file model.
+    pub fn parse(rel_path: String, abs_path: PathBuf, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let code: Vec<Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .cloned()
+            .collect();
+        let test_regions = find_test_regions(&code);
+        let annotations = find_annotations(&tokens, &code);
+        SourceFile {
+            rel_path,
+            abs_path,
+            code,
+            annotations,
+            test_regions,
+        }
+    }
+
+    /// Whether `line` lies inside a `#[cfg(test)]` module or `#[test]`
+    /// function — i.e. is test code the source-level disciplines exempt.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Whether a finding of `code` (lower-case, e.g. `ws002`) at `line`
+    /// is suppressed by an annotation.
+    pub fn allowed(&self, code: &str, line: u32) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.code == code && a.covers.contains(&line))
+    }
+
+    /// Code tokens that are *not* inside test regions.
+    pub fn non_test_code(&self) -> impl Iterator<Item = &Token> {
+        self.code.iter().filter(|t| !self.in_test_code(t.line))
+    }
+}
+
+/// Finds `#[cfg(test)]`- and `#[test]`-gated items and returns their
+/// line ranges. Works on the comment-stripped token stream: an attribute
+/// whose `cfg(...)` argument mentions the `test` ident (covering
+/// `cfg(test)`, `cfg(all(test, …))`, `cfg(any(…, test))`) gates the next
+/// item; the item's extent is everything to its closing `}` (or `;` for
+/// brace-less items).
+fn find_test_regions(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !is_punct(code.get(i), "#") || !is_punct(code.get(i + 1), "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's balanced [...] contents. The `test`
+        // ident gates the next item (`#[test]`, `#[cfg(test)]`,
+        // `#[cfg(all(test, …))]`) — unless it sits under `not(…)`:
+        // `#[cfg(not(test))]` marks *production* code.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut gated = false;
+        let mut not_depths: Vec<usize> = Vec::new();
+        let mut last_ident = String::new();
+        while j < code.len() {
+            let t = &code[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "(" => {
+                        depth += 1;
+                        if last_ident == "not" {
+                            not_depths.push(depth);
+                        }
+                    }
+                    "]" | ")" => {
+                        if not_depths.last() == Some(&depth) {
+                            not_depths.pop();
+                        }
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                last_ident.clear();
+            } else if t.kind == TokenKind::Ident {
+                if t.text == "test" && depth >= 1 && not_depths.is_empty() {
+                    gated = true;
+                }
+                last_ident.clone_from(&t.text);
+            } else {
+                last_ident.clear();
+            }
+            j += 1;
+        }
+        if !gated {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = j + 1;
+        while is_punct(code.get(k), "#") && is_punct(code.get(k + 1), "[") {
+            let mut d = 0usize;
+            while k < code.len() {
+                if code[k].kind == TokenKind::Punct {
+                    match code[k].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The gated item runs to its closing brace (tracking nesting) or
+        // to the first `;` before any `{`.
+        let mut brace = 0usize;
+        let mut entered = false;
+        let mut end = k;
+        while end < code.len() {
+            let t = &code[end];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        brace += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        brace = brace.saturating_sub(1);
+                        if entered && brace == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !entered => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let end_line = code
+            .get(end)
+            .or_else(|| code.last())
+            .map_or(code[attr_start].line, |t| t.line);
+        regions.push((code[attr_start].line, end_line));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Parses `wslint: allow(wsNNN): reason` comments. `all_tokens` is the
+/// full stream (comments included); `code` is used to resolve which line
+/// a standalone comment covers.
+fn find_annotations(all_tokens: &[Token], code: &[Token]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for tok in all_tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(ann) = parse_annotation_text(&tok.text) else {
+            continue;
+        };
+        // The annotation covers its own line (trailing form) plus the
+        // next code-bearing line (standalone form).
+        let mut covers = vec![tok.line];
+        if let Some(next) = code.iter().find(|t| t.line > tok.line) {
+            covers.push(next.line);
+        }
+        out.push(Annotation {
+            code: ann.0,
+            reason: ann.1,
+            covers,
+        });
+    }
+    out
+}
+
+/// Extracts `(code, reason)` from one comment's text, or `None` when the
+/// comment is not a (well-formed) annotation. Reasons must be non-empty.
+fn parse_annotation_text(comment: &str) -> Option<(String, String)> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim();
+    let rest = body.strip_prefix("wslint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let (code, rest) = rest.split_once(')')?;
+    let code = code.trim().to_ascii_lowercase();
+    if code.len() != 5 || !code.starts_with("ws") || !code[2..].bytes().all(|b| b.is_ascii_digit())
+    {
+        return None;
+    }
+    let reason = rest.trim_start().strip_prefix(':')?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((code, reason.to_string()))
+}
+
+fn is_punct(tok: Option<&Token>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Loads and parses one file from disk.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be read.
+pub fn load(root: &Path, abs_path: PathBuf) -> std::io::Result<SourceFile> {
+    let text = std::fs::read_to_string(&abs_path)?;
+    let rel = abs_path
+        .strip_prefix(root)
+        .unwrap_or(&abs_path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(SourceFile::parse(rel, abs_path, &text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs".into(), PathBuf::from("x.rs"), src)
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let f = parse(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}\n",
+        );
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_all_test_gates_too() {
+        let f = parse("#[cfg(all(test, feature = \"x\"))]\nmod t {\n    fn f() {}\n}\n");
+        assert!(f.in_test_code(3));
+    }
+
+    #[test]
+    fn test_attribute_gates_one_fn() {
+        let f = parse("#[test]\nfn check() {\n    body();\n}\nfn live() {}\n");
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn cfg_not_test_marks_production_code() {
+        let f = parse("#[cfg(not(test))]\nfn f() {\n    body();\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_feature_does_not_gate() {
+        let f = parse("#[cfg(feature = \"slow\")]\nfn f() {\n    body();\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn trailing_annotation_covers_its_line() {
+        let f = parse("let x = v.unwrap(); // wslint: allow(ws004): startup only\n");
+        assert!(f.allowed("ws004", 1));
+        assert!(!f.allowed("ws002", 1));
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_code_line() {
+        let f =
+            parse("// wslint: allow(ws001): pacing is wall-clock by design\n\nlet t = now();\n");
+        assert!(f.allowed("ws001", 3));
+    }
+
+    #[test]
+    fn reasonless_annotation_fails_closed() {
+        let f = parse("let x = v.unwrap(); // wslint: allow(ws004):\n");
+        assert!(!f.allowed("ws004", 1));
+        let f = parse("let x = v.unwrap(); // wslint: allow(ws004)\n");
+        assert!(!f.allowed("ws004", 1));
+    }
+
+    #[test]
+    fn nested_test_mod_braces_do_not_end_the_region_early() {
+        let f = parse(
+            "#[cfg(test)]\nmod tests {\n    fn a() { if x { y(); } }\n    fn b() {}\n}\nfn live() {}\n",
+        );
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+}

@@ -1,0 +1,159 @@
+//! Positive/negative fixture coverage for every WSxxx check. Each
+//! fixture is a mini-root mirroring the workspace layout, so the stock
+//! [`Config::workspace`] policy applies unchanged.
+
+use std::path::PathBuf;
+
+use session_wslint::{checks, Config, Report, WsCode};
+
+fn run_fixture(name: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    assert!(root.is_dir(), "missing fixture {name}");
+    checks::run(&Config::workspace(root)).expect("fixture lints")
+}
+
+fn assert_fires(name: &str, code: WsCode) -> Report {
+    let report = run_fixture(name);
+    assert_eq!(report.exit_code(), 1, "{name} must exit non-zero");
+    assert!(
+        report.findings.iter().any(|f| f.code == code),
+        "{name} must contain a {} finding:\n{}",
+        code.code(),
+        report.to_markdown()
+    );
+    report
+}
+
+fn assert_clean(name: &str) {
+    let report = run_fixture(name);
+    assert!(
+        report.findings.is_empty(),
+        "{name} must be clean:\n{}",
+        report.to_markdown()
+    );
+    assert_eq!(report.exit_code(), 0);
+}
+
+#[test]
+fn ws001_positive_raw_instant_now() {
+    let report = assert_fires("ws001_positive", WsCode::Ws001);
+    assert_eq!(report.findings[0].file, "src/main.rs");
+    assert_eq!(report.findings[0].line, 5);
+}
+
+#[test]
+fn ws001_negative_annotated_test_and_allowlisted() {
+    assert_clean("ws001_negative");
+}
+
+#[test]
+fn ws002_positive_unbounded_channel() {
+    assert_fires("ws002_positive", WsCode::Ws002);
+}
+
+#[test]
+fn ws002_negative_bounded_and_test_only() {
+    assert_clean("ws002_negative");
+}
+
+#[test]
+fn ws003_positive_ab_ba_cycle() {
+    let report = assert_fires("ws003_positive", WsCode::Ws003);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.code == WsCode::Ws003)
+        .expect("ws003 finding");
+    assert!(
+        f.message.contains('a') && f.message.contains('b'),
+        "cycle names both locks: {}",
+        f.message
+    );
+}
+
+#[test]
+fn ws003_negative_consistent_order_try_lock_and_drop() {
+    assert_clean("ws003_negative");
+}
+
+#[test]
+fn ws004_positive_bare_unwrap() {
+    assert_fires("ws004_positive", WsCode::Ws004);
+}
+
+#[test]
+fn ws004_negative_annotated_test_and_out_of_scope() {
+    assert_clean("ws004_negative");
+}
+
+#[test]
+fn ws005_positive_unmapped_and_unreferenced_variants() {
+    let report = assert_fires("ws005_positive", WsCode::Ws005);
+    let ws005: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == WsCode::Ws005)
+        .collect();
+    assert_eq!(ws005.len(), 2, "{}", report.to_markdown());
+    assert!(ws005.iter().any(|f| f.message.contains("Unmapped")));
+    assert!(ws005.iter().any(|f| f.message.contains("NoSection")));
+}
+
+#[test]
+fn ws005_negative_fully_registered() {
+    assert_clean("ws005_negative");
+}
+
+#[test]
+fn ws006_positive_missing_negative_test() {
+    let report = assert_fires("ws006_positive", WsCode::Ws006);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("negative") && f.message.contains("SA001")),
+        "{}",
+        report.to_markdown()
+    );
+}
+
+#[test]
+fn ws006_negative_both_directions_covered() {
+    assert_clean("ws006_negative");
+}
+
+/// The regression the issue demands: the old
+/// `grep -o 'serve\.[a-z_]+'` gate truncated the digit-bearing
+/// `serve.sessions_shed2` to the registered `serve.sessions_shed` and
+/// passed silently. The exact-string check must flag it.
+#[test]
+fn ws007_positive_digit_bearing_name_no_longer_slips_through() {
+    let report = assert_fires("ws007_positive", WsCode::Ws007);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("serve.sessions_shed2")
+                && f.file == "crates/serve/src/server.rs"),
+        "digit-bearing emitted name must be flagged:\n{}",
+        report.to_markdown()
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("serve.undocumented")),
+        "registered-but-undocumented name must be flagged:\n{}",
+        report.to_markdown()
+    );
+}
+
+/// The flip side of the digit hole: the old grep *false-positived* on
+/// registered digit-bearing names (`serve.close_lag_p99_ms` truncates
+/// to an unregistered string). Exact matching accepts them.
+#[test]
+fn ws007_negative_registered_digit_name_is_clean() {
+    assert_clean("ws007_negative");
+}

@@ -1,0 +1,6 @@
+//! Negative: pacing is allowlisted — wall clocks are its job.
+use std::time::Instant;
+
+pub fn pace() {
+    let _ = Instant::now();
+}

@@ -1,0 +1,17 @@
+//! Negative: annotated and test-code wall-clock reads are fine.
+
+fn main() {
+    // wslint: allow(ws001): demo deliberately measures real time
+    let started = std::time::Instant::now();
+    let _ = started;
+    let s = "Instant::now() inside a string is not code";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+//! Positive: a raw wall-clock read outside any allowlisted module.
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    let _ = started;
+}

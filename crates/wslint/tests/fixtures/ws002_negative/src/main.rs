@@ -1,0 +1,15 @@
+//! Negative: bounded channels everywhere; unbounded only in tests.
+
+fn main() {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(64);
+    let _ = (tx, rx);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_in_tests_is_exempt() {
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        let _ = (tx, rx);
+    }
+}

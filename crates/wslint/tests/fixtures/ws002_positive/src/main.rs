@@ -1,0 +1,6 @@
+//! Positive: an unbounded channel in non-test code.
+
+fn main() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    let _ = (tx, rx);
+}

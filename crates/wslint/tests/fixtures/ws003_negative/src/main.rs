@@ -1,0 +1,45 @@
+//! Negative: consistent order, try_lock fallbacks, and drop-released
+//! guards never form a cycle.
+use std::sync::Mutex;
+
+pub struct State {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl State {
+    pub fn forward(&self) {
+        if let Ok(ga) = self.a.lock() {
+            if let Ok(gb) = self.b.lock() {
+                let _ = (ga, gb);
+            }
+        }
+    }
+
+    pub fn forward_again(&self) {
+        if let Ok(ga) = self.a.lock() {
+            if let Ok(gb) = self.b.lock() {
+                let _ = (ga, gb);
+            }
+        }
+    }
+
+    pub fn try_then_block(&self) {
+        // try_lock never blocks, so this is not a b-before-a edge.
+        if let Ok(gb) = self.b.try_lock() {
+            let _ = gb;
+        }
+        if let Ok(ga) = self.a.lock() {
+            let _ = ga;
+        }
+    }
+
+    pub fn sequential(&self) {
+        let gb = self.b.lock();
+        drop(gb);
+        let ga = self.a.lock();
+        drop(ga);
+    }
+}
+
+fn main() {}

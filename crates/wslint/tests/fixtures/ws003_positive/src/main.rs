@@ -1,0 +1,28 @@
+//! Positive: two functions acquire the same pair of locks in opposite
+//! orders — a classic AB/BA deadlock.
+use std::sync::Mutex;
+
+pub struct State {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl State {
+    pub fn forward(&self) {
+        if let Ok(ga) = self.a.lock() {
+            if let Ok(gb) = self.b.lock() {
+                let _ = (ga, gb);
+            }
+        }
+    }
+
+    pub fn backward(&self) {
+        if let Ok(gb) = self.b.lock() {
+            if let Ok(ga) = self.a.lock() {
+                let _ = (ga, gb);
+            }
+        }
+    }
+}
+
+fn main() {}

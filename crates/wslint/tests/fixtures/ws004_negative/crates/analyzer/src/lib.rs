@@ -1,0 +1,7 @@
+//! Negative: the analyzer is an offline one-shot tool — out of the
+//! panic-path scope, so a bare unwrap is not a finding here.
+
+pub fn offline() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap();
+}

@@ -1,0 +1,17 @@
+//! Negative: justified panics, test panics, and out-of-scope crates.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap(); // wslint: allow(ws004): literal Some one line up
+    let _ = v.expect("set one line up"); // wslint: allow(ws004): literal Some one line up
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_the_failure_report() {
+        let v: Option<u32> = None;
+        let _ = v.unwrap();
+        panic!("this is fine in a test");
+    }
+}

@@ -1,0 +1,6 @@
+//! Positive: a bare unwrap on a runtime path with no justification.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap();
+}

@@ -1,0 +1,19 @@
+//! Negative: every variant mapped, every doc cites a section, every
+//! code covered both ways.
+
+/// The trace lint codes.
+pub enum LintCode {
+    /// Sessions may interleave (§3.2).
+    Interleaving,
+    /// A session outlives its timing window (§4.1).
+    WindowOverrun,
+}
+
+impl LintCode {
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::Interleaving => "SA001",
+            LintCode::WindowOverrun => "SA002",
+        }
+    }
+}

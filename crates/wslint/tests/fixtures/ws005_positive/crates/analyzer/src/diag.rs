@@ -1,0 +1,22 @@
+//! Positive: one variant lacks an SAxxx mapping, another lacks a
+//! paper-section reference in its doc comment.
+
+/// The trace lint codes.
+pub enum LintCode {
+    /// Sessions may interleave (§3.2).
+    Mapped,
+    /// This variant's arm is missing from code() (§4.1).
+    Unmapped,
+    /// This doc comment cites no paper section at all.
+    NoSection,
+}
+
+impl LintCode {
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::Mapped => "SA001",
+            LintCode::NoSection => "SA002",
+            LintCode::Unmapped => "",
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Coverage for the mapped codes so only WS005 fires in this fixture.
+fn sa001_positive_interleaving() {}
+fn sa001_negative_serial() {}
+fn sa002_positive_basic() {}
+fn sa002_negative_basic() {}

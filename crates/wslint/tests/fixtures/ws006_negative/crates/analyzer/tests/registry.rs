@@ -1,0 +1,4 @@
+fn sa001_positive_interleaving() {}
+fn sa001_negative_serial() {}
+fn sa002_positive_overrun() {}
+fn sa002_negative_in_window() {}

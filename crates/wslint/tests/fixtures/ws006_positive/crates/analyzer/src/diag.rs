@@ -1,0 +1,16 @@
+//! Positive for WS006: the registry itself is fine, but SA001 has no
+//! negative test.
+
+/// The trace lint codes.
+pub enum LintCode {
+    /// Sessions may interleave (§3.2).
+    Interleaving,
+}
+
+impl LintCode {
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::Interleaving => "SA001",
+        }
+    }
+}

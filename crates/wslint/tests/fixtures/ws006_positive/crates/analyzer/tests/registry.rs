@@ -1,0 +1,1 @@
+fn sa001_positive_interleaving() {}

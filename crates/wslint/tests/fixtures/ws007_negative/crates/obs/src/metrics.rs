@@ -1,0 +1,6 @@
+//! Registry for the clean fixture: a digit-bearing name is registered,
+//! documented and emitted — the old grep false-positived on it.
+pub const METRIC_NAMES: &[&str] = &[
+    "serve.sessions_shed",
+    "serve.close_lag_p99_ms",
+];

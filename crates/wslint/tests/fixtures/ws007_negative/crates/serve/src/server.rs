@@ -1,0 +1,6 @@
+//! Emits exactly the registered names, including the digit-bearing one.
+
+pub fn report(rec: &mut dyn FnMut(&str, u64)) {
+    rec("serve.sessions_shed", 1);
+    rec("serve.close_lag_p99_ms", 7);
+}

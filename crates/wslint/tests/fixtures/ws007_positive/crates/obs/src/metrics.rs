@@ -1,0 +1,5 @@
+//! Registry for the digit-regression fixture.
+pub const METRIC_NAMES: &[&str] = &[
+    "serve.sessions_shed",
+    "serve.undocumented",
+];

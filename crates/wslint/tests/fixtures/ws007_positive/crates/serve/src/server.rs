@@ -1,0 +1,8 @@
+//! Emits a digit-bearing metric the old `serve\.[a-z_]+` grep silently
+//! truncated to the registered `serve.sessions_shed` — the exact hole
+//! this check closes.
+
+pub fn report(rec: &mut dyn FnMut(&str, u64)) {
+    rec("serve.sessions_shed", 1);
+    rec("serve.sessions_shed2", 1);
+}

@@ -1,0 +1,41 @@
+//! The workspace's own sources must lint clean, and the stats counters
+//! must prove the registry checks actually scanned the real registries
+//! (an accidentally-moved diag.rs or metrics.rs would otherwise turn
+//! WS005–WS007 into silent no-ops).
+
+use std::path::PathBuf;
+
+use session_wslint::{checks, Config};
+
+#[test]
+fn workspace_lints_clean_with_nonempty_registries() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = checks::run(&Config::workspace(root)).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must be WSxxx-clean:\n{}",
+        report.to_markdown()
+    );
+    let s = &report.stats;
+    assert!(
+        s.files_scanned >= 100,
+        "scanned only {} files",
+        s.files_scanned
+    );
+    assert!(
+        s.lint_variants >= 12,
+        "only {} LintCode variants",
+        s.lint_variants
+    );
+    assert!(
+        s.registry_codes >= 12,
+        "only {} SAxxx codes",
+        s.registry_codes
+    );
+    assert!(s.metric_names >= 45, "only {} metric names", s.metric_names);
+    assert!(
+        s.serve_metrics_emitted >= 20,
+        "only {} emitted serve.* strings",
+        s.serve_metrics_emitted
+    );
+}

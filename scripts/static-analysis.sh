@@ -4,18 +4,16 @@
 #
 #   1. rustfmt          -- formatting is canonical
 #   2. clippy           -- the workspace lint policy, warnings are errors
-#   3. lint-code registry -- every LintCode variant must carry a stable
-#      SAxxx code-string mapping and a paper-section (§) reference in its
-#      doc comment
-#   4. registry test coverage -- every SAxxx code must have at least one
-#      positive (`saXXX_positive_*`) and one negative (`saXXX_negative_*`)
-#      test demonstrating the code firing and staying silent
-#   5. metric-name registry -- every METRIC_NAMES entry in
-#      crates/obs/src/metrics.rs must be documented in DESIGN.md §15, so
-#      the unified `session-cli stats` snapshot never grows an
-#      undocumented row; and every `serve.*` metric string emitted by
-#      crates/serve must be in METRIC_NAMES, so the service cannot grow
-#      an unregistered (hence undocumented) metric
+#   3-5. session-wslint -- the workspace's own static analyzer
+#      (crates/wslint, DESIGN.md §17): WS001 wall-clock discipline,
+#      WS002 unbounded channels, WS003 lock-order cycles, WS004
+#      panic-path audit, and the three registry gates this script used
+#      to approximate with awk/grep -- WS005 (every LintCode variant
+#      mapped to a stable SAxxx code and paper-§-referenced), WS006
+#      (every SAxxx code has saXXX_positive_* / saXXX_negative_* tests),
+#      WS007 (METRIC_NAMES ↔ DESIGN.md §15 ↔ emitted serve.* strings,
+#      exact-match: the old `serve\.[a-z_]+` grep silently truncated
+#      digit-bearing names)
 #   6. analyzer (release tests) -- including the #[ignore]d large
 #      explorations, the reduction differentials and the symbolic
 #      zone/explicit differentials that are too slow under the debug
@@ -48,76 +46,12 @@ current_step="clippy"
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-current_step="lint-code registry gate"
-echo "== lint codes: every variant mapped and paper-referenced =="
-diag=crates/analyzer/src/diag.rs
-variants=$(awk '/^pub enum LintCode \{/{f=1;next} f&&/^\}/{f=0} f&&/^    [A-Z][A-Za-z0-9]*,$/{gsub(/[ ,]/,"");print}' "$diag")
-[ -n "$variants" ] || { echo "ERROR: found no LintCode variants in $diag" >&2; exit 1; }
-for v in $variants; do
-    if ! grep -q "LintCode::$v => \"SA[0-9][0-9][0-9]\"" "$diag"; then
-        echo "ERROR: LintCode::$v has no stable SAxxx code-string mapping in code()" >&2
-        exit 1
-    fi
-    if ! awk -v v="$v" '
-        /^    \/\/\// { doc = doc $0; next }
-        /^    [A-Z][A-Za-z0-9]*,$/ {
-            name = $1; gsub(/,/, "", name)
-            if (name == v) { found = 1; if (doc ~ /§/) ok = 1 }
-            doc = ""
-            next
-        }
-        { doc = "" }
-        END { exit (found && ok) ? 0 : 1 }
-    ' "$diag"; then
-        echo "ERROR: LintCode::$v lacks a paper-section (§) reference in its doc comment" >&2
-        exit 1
-    fi
-done
-echo "lint codes: $(echo "$variants" | wc -l) variants mapped and referenced"
-
-current_step="registry test coverage gate"
-echo "== lint codes: every SAxxx has a positive and a negative test =="
-# Only the code() mapping arms (`=> "SAxxx"`) define registry codes;
-# bare SAxxx literals elsewhere in the file are test fixtures.
-codes=$(grep -o '=> "SA[0-9][0-9][0-9]"' "$diag" | grep -o 'SA[0-9][0-9][0-9]' | sort -u)
-[ -n "$codes" ] || { echo "ERROR: found no SAxxx code strings in $diag" >&2; exit 1; }
-for code in $codes; do
-    lc=$(echo "$code" | tr '[:upper:]' '[:lower:]')
-    for direction in positive negative; do
-        if ! grep -rq "fn ${lc}_${direction}" crates/analyzer/src crates/analyzer/tests; then
-            echo "ERROR: $code has no ${direction} test (expected a fn named ${lc}_${direction}_*)" >&2
-            exit 1
-        fi
-    done
-done
-echo "registry coverage: $(echo "$codes" | wc -l) codes with positive+negative tests"
-
-current_step="metric-name documentation gate"
-echo "== metrics: every METRIC_NAMES entry documented in DESIGN.md §15 =="
-metrics_src=crates/obs/src/metrics.rs
-names=$(awk '/^pub const METRIC_NAMES/{f=1;next} f&&/^\];/{f=0} f{gsub(/[ ",]/,"");print}' "$metrics_src")
-[ -n "$names" ] || { echo "ERROR: found no METRIC_NAMES entries in $metrics_src" >&2; exit 1; }
-section=$(awk '/^## 15\./{f=1;next} f&&/^## /{f=0} f' DESIGN.md)
-[ -n "$section" ] || { echo "ERROR: DESIGN.md has no '## 15.' section" >&2; exit 1; }
-for name in $names; do
-    if ! printf '%s\n' "$section" | grep -qF "\`$name\`"; then
-        echo "ERROR: metric \`$name\` is not documented in DESIGN.md §15" >&2
-        exit 1
-    fi
-done
-echo "metrics: $(echo "$names" | wc -l) names documented in DESIGN.md §15"
-
-current_step="serve metric registration gate"
-echo "== metrics: every serve.* name emitted by crates/serve is registered =="
-emitted=$(grep -rhoE '"serve\.[a-z_]+"' crates/serve/src | tr -d '"' | sort -u)
-[ -n "$emitted" ] || { echo "ERROR: found no serve.* metric strings in crates/serve/src" >&2; exit 1; }
-for name in $emitted; do
-    if ! printf '%s\n' "$names" | grep -qxF "$name"; then
-        echo "ERROR: crates/serve emits \`$name\` but it is not in METRIC_NAMES" >&2
-        exit 1
-    fi
-done
-echo "serve metrics: $(echo "$emitted" | wc -l) emitted names all registered"
+current_step="session-wslint (workspace disciplines + registry gates)"
+echo "== session-wslint: WS001-WS007 over the workspace sources =="
+# Replaces the old awk/grep registry gates (steps 3-5) with exact
+# token-level checks; the report's stats line proves the registries
+# were actually scanned (nonzero variant/metric counts).
+cargo run -q --release -p session-wslint
 
 current_step="analyzer release tests"
 echo "== analyzer test suite (release, including large explorations) =="

@@ -350,7 +350,7 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                 }
                 (n, s) => {
                     let default = target_space(name)
-                        .expect("parse validated the target names")
+                        .expect("parse validated the target names") // wslint: allow(ws004): target names are validated at parse time
                         .scope;
                     analyze_scoped_target_flight(
                         name,
@@ -362,12 +362,12 @@ targets: the ten paper algorithms (clean) and three naive witnesses
                     )
                 }
             }
-            .expect("parse validated the target names");
+            .expect("parse validated the target names"); // wslint: allow(ws004): target names are validated at parse time
             report.merge(target);
             profile_doc = profile_doc.or(profile);
             if self.symbolic {
                 let symbolic =
-                    analyze_target_symbolic(name).expect("parse validated the target names");
+                    analyze_target_symbolic(name).expect("parse validated the target names"); // wslint: allow(ws004): target names are validated at parse time
                 report.merge(symbolic);
             }
         }
@@ -428,6 +428,7 @@ fn spawn_monitor(
     }
     let board = Arc::clone(board);
     Some(std::thread::spawn(move || {
+        // wslint: allow(ws001): the progress board shows real elapsed time by design
         let started = std::time::Instant::now();
         #[allow(clippy::cast_precision_loss)]
         while !board.is_done() {

@@ -139,4 +139,69 @@ mod tests {
         assert_eq!(parse_timing_model("async"), Some(TimingModel::Asynchronous));
         assert_eq!(parse_timing_model("quantum"), None);
     }
+
+    #[test]
+    fn timing_model_full_vocabulary_and_error_arms() {
+        // Every accepted spelling, long and short.
+        assert_eq!(
+            parse_timing_model("synchronous"),
+            Some(TimingModel::Synchronous)
+        );
+        assert_eq!(parse_timing_model("periodic"), Some(TimingModel::Periodic));
+        assert_eq!(
+            parse_timing_model("semisync"),
+            Some(TimingModel::SemiSynchronous)
+        );
+        assert_eq!(parse_timing_model("sporadic"), Some(TimingModel::Sporadic));
+        assert_eq!(
+            parse_timing_model("asynchronous"),
+            Some(TimingModel::Asynchronous)
+        );
+        // Near-misses must not parse: the vocabulary is exact.
+        assert_eq!(parse_timing_model(""), None);
+        assert_eq!(parse_timing_model("Sync"), None);
+        assert_eq!(parse_timing_model("semi_synchronous"), None);
+        assert_eq!(parse_timing_model(" periodic"), None);
+    }
+
+    #[test]
+    fn empty_values_split_cleanly() {
+        // `key=` is a well-formed pair with an empty value — rejecting
+        // it (or not) is the typed parser's decision, not the splitter's.
+        let mut kv = KvArgs::new("usage: test");
+        assert_eq!(kv.pair("token=").unwrap(), ("token", ""));
+        // And an empty value still fails typed parsing with the
+        // key-naming message.
+        let err = kv
+            .value::<u64>("token", "", "an integer")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("token must be an integer"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_detection_is_by_key_name() {
+        let mut seen = SeenKeys::default();
+        assert_eq!(seen.duplicate("s"), None);
+        assert_eq!(seen.duplicate("n"), None);
+        let msg = seen.duplicate("s").expect("repeat reported");
+        assert!(msg.contains('s'), "{msg}");
+        // Distinct keys never collide, same key always does — even with
+        // an empty name.
+        assert_eq!(seen.duplicate(""), None);
+        assert!(seen.duplicate("").is_some());
+    }
+
+    #[test]
+    fn error_renders_message_then_usage() {
+        let kv = KvArgs::new("usage: session-cli serve [key=value ...]");
+        let err = kv.error("listen must be a socket address").to_string();
+        let msg_at = err
+            .find("listen must be a socket address")
+            .expect("message present");
+        let usage_at = err
+            .find("usage: session-cli serve")
+            .expect("usage appended");
+        assert!(msg_at < usage_at, "usage follows the message: {err}");
+    }
 }

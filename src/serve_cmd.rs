@@ -231,7 +231,9 @@ without selftest=, serves until stdin reaches end-of-file";
                         })
                         .map_err(|err| Error::invalid_params(format!("selftest open: {err}")))?;
                 }
+                // wslint: allow(ws001): selftest deadline races a real server on the real clock
                 let deadline = std::time::Instant::now() + timeout;
+                // wslint: allow(ws001): selftest deadline races a real server on the real clock
                 while closed < count && std::time::Instant::now() < deadline {
                     if let Some(ServerFrame::Closed { conformance, .. }) =
                         client.recv_timeout(Duration::from_millis(500))

@@ -132,7 +132,7 @@ n=, schedule=, delay=, seed=, max-steps=, ...).";
         if let Some(target) = &self.target {
             return Ok(self.render_target(target));
         }
-        let run = self.run.as_ref().expect("either run or target is set");
+        let run = self.run.as_ref().expect("either run or target is set"); // wslint: allow(ws004): constructors set exactly one of run/target
         let mut recorder = InMemoryRecorder::new();
         let (report, _bounds) = run.run_recorded(&mut recorder)?;
         let snapshot = recorder.into_snapshot();
@@ -200,8 +200,8 @@ n=, schedule=, delay=, seed=, max-steps=, ...).";
         };
         let (report, _profile) =
             analyze_target_flight(target, opts, &mut recorder, &FlightOpts::profiled())
-                .expect(expect);
-        let symbolic = analyze_target_symbolic_recorded(target, &mut recorder).expect(expect);
+                .expect(expect); // wslint: allow(ws004): target names are validated at parse time
+        let symbolic = analyze_target_symbolic_recorded(target, &mut recorder).expect(expect); // wslint: allow(ws004): target names are validated at parse time
         let snapshot = recorder.into_snapshot();
 
         let mut out = String::new();
