@@ -39,7 +39,7 @@ use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
-use session_obs::{Histogram, NullRecorder, ProgressBoard, Recorder};
+use session_obs::{NullRecorder, ProgressBoard, Recorder};
 use session_types::Dur;
 
 use crate::diag::LintCode;
@@ -252,10 +252,10 @@ pub struct ExploreOpts {
     /// [`crate::symmetry`]).
     pub symmetry: bool,
     /// Worker threads. `1` (the default) runs the classic serial DFS;
-    /// `> 1` runs the work-sharing frontier explorer in
-    /// [`crate::parallel`], whose findings are bit-identical to the
-    /// serial path's (see DESIGN.md §13 for the determinism argument).
-    /// Must be at least 1.
+    /// `> 1` runs the hash-partitioned ownership explorer in
+    /// [`crate::parallel`], whose findings *and counters* are
+    /// bit-identical to the serial path's (see DESIGN.md §13 for the
+    /// determinism argument). Must be at least 1.
     pub threads: usize,
 }
 
@@ -463,14 +463,17 @@ pub fn explore_flight(
             states,
             unique_states: memo_entries,
             duplicate_expansions: duplicates,
-            donations_offered: 0,
-            donations_accepted: 0,
+            route_send: 0,
+            route_recv: 0,
+            local_msgs: 0,
+            queue_full_spins: 0,
+            rounds: 1,
+            fallback: false,
             wall_ns,
             phase_a_ns: wall_ns,
+            replay_ns: 0,
             phase_b_ns: 0,
-            lock_wait_hist: Histogram::new(),
             workers: vec![worker],
-            stripes: Vec::new(),
         }
     });
     let exploration = Exploration {
@@ -507,7 +510,14 @@ pub(crate) const MEMO_COMPLETE: usize = usize::MAX;
 /// The (machine × counter) memo key: the symmetry-canonical key when the
 /// reduction is on and the target is eligible, the plain combined
 /// fingerprint otherwise. Shared by the serial explorer and the sharded
-/// parallel memo so both paths prune identically.
+/// parallel memo so both paths prune identically. Equal keys imply equal
+/// choice menus — [`MpMachine::eligible`] enumerates in the canonical
+/// order the hash is computed over — so the key is graph-determining:
+/// the ownership explorer routes, dedups and logs records by it, and
+/// whichever representative of the class a worker expands first yields
+/// the same record any other would have.
+///
+/// [`MpMachine::eligible`]: crate::machine::MpMachine
 pub(crate) fn state_key(machine: &AnyMachine, counter: &SessionCounter, symmetry: bool) -> u64 {
     if symmetry {
         if let Some(canonical) = symmetry::canonical_key(machine, counter) {
@@ -518,6 +528,21 @@ pub(crate) fn state_key(machine: &AnyMachine, counter: &SessionCounter, symmetry
     machine.state_hash().hash(&mut hasher);
     counter.hash(&mut hasher);
     hasher.finish()
+}
+
+/// The (machine × counter) routing key of the ownership explorer: the
+/// plain combined fingerprint, never symmetry-canonicalized. Symmetry
+/// reduction equates permuted states whose choice menus rename processes
+/// differently, so the canonical key is *not* graph-determining — which
+/// permuted representative a worker expanded first would leak into the
+/// logged menu. The plain key is graph-determining, so routing and
+/// record identity use it; the replay pass then collapses orbits under
+/// the memo key ([`state_key`]) exactly where the serial explorer does.
+/// Whenever symmetry is off — or refused for the target, which covers
+/// every identity-carrying algorithm — the two keys are computed
+/// identically and Phase A expands exactly the states serial visits.
+pub(crate) fn route_key(machine: &AnyMachine, counter: &SessionCounter) -> u64 {
+    state_key(machine, counter, false)
 }
 
 /// Step-level rules: `SA002`, `SA003`, `SA004` (un-idle). Pure edge

@@ -42,7 +42,9 @@
 //! memoized depth-first search over those branches, optionally through
 //! the [`por`] ample-set selector and the [`symmetry`] state
 //! canonicalization, and [`parallel`] scales that search across worker
-//! threads with verdicts bit-identical to the serial path; [`dbm`] and
+//! threads via the hash-partitioned ownership walk in [`partition`],
+//! with verdicts and counters bit-identical to the serial path; [`dbm`]
+//! and
 //! [`zones`] form the symbolic engine; [`replay`] re-executes
 //! counterexample paths (through the real `SmEngine` for shared memory)
 //! and renders them as timelines; [`targets`] names the thirteen analysis
@@ -59,6 +61,7 @@ pub mod feasibility;
 pub mod hb;
 pub mod machine;
 pub mod parallel;
+pub mod partition;
 pub mod por;
 pub mod profile;
 pub mod replay;
@@ -71,7 +74,7 @@ pub use diag::{Diagnostic, LintCode, LintConfig, Report, Severity, TargetSummary
 pub use explore::{ExploreOpts, ReductionStats};
 pub use feasibility::{check_timing, require_feasible, TimingParams};
 pub use hb::{analyze_trace_jsonl, HbAnalysis};
-pub use profile::{ExploreProfile, FlightOpts, StripeProfile, WorkerProfile};
+pub use profile::{ExploreProfile, FlightOpts, WorkerProfile};
 pub use scope::Scope;
 pub use targets::{
     analyze_all, analyze_all_with, analyze_scoped_target_flight, analyze_space_symbolic,

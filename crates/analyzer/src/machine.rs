@@ -671,13 +671,37 @@ impl MpMachine {
     }
 
     /// Indices into `pending` of the events eligible to fire now, in
-    /// stable (insertion) order.
+    /// **canonical event order**: sorted by the same `(kind, process,
+    /// from, value)` tuple [`MpMachine::state_hash`] canonicalizes
+    /// pending events with (every eligible event fires at `t_min`, so
+    /// time never discriminates), with the insertion `seq` as the final
+    /// tie-break between byte-identical duplicates — which are
+    /// interchangeable, so the resulting menu order is a function of the
+    /// canonical state, not of the queue history that produced this
+    /// representative. That is what lets the memo (and the ownership
+    /// explorer's routing) use `state_hash` as a *graph-determining* key:
+    /// two machines with equal hashes enumerate identical choice menus
+    /// and therefore expand to identical successor lists, so it does not
+    /// matter which representative of the equivalence class gets
+    /// expanded. With an insertion-order tie-break instead, equal-hash
+    /// representatives could present the same events in different menu
+    /// orders, and anything order-sensitive downstream (POR's ample
+    /// ranges, depth-budget truncation, witness choice paths) would
+    /// depend on which representative happened to be reached first.
     fn eligible(&self) -> Vec<usize> {
         let t = self.t_min();
         let mut indices: Vec<usize> = (0..self.pending.len())
             .filter(|&i| self.pending[i].time == t)
             .collect();
-        indices.sort_by_key(|&i| self.pending[i].seq);
+        indices.sort_by_key(|&i| {
+            let e = &self.pending[i];
+            match e.kind {
+                PendingKind::Step(p) => (0u8, p, 0, 0u64, e.seq),
+                PendingKind::Deliver {
+                    to, from, value, ..
+                } => (1u8, to, from, value, e.seq),
+            }
+        });
         indices
     }
 
@@ -928,6 +952,10 @@ impl MpMachine {
     /// A hash of the machine state with times made relative to the next
     /// event. Pending events are hashed in canonical order (their
     /// insertion sequence is an enumeration artifact, not state).
+    /// Because [`MpMachine::eligible`] enumerates the choice menu in the
+    /// same canonical order, equal hashes mean equal menus — the hash is
+    /// graph-determining, which the ownership explorer's routing relies
+    /// on.
     pub fn state_hash(&self) -> u64 {
         let mut hasher = FxHasher::default();
         let t = self.t_min();

@@ -1,720 +1,85 @@
-//! Multi-core exploration: a work-sharing frontier explorer whose
-//! findings are bit-identical to the serial DFS in [`crate::explore`].
+//! Multi-core exploration: the hash-partitioned ownership explorer,
+//! whose findings *and counters* are bit-identical to the serial DFS in
+//! [`crate::explore`].
 //!
 //! # Architecture (DESIGN.md §13)
 //!
-//! Exploration runs in two phases:
+//! Exploration runs in phases, all orchestrated here and implemented in
+//! [`crate::partition`]:
 //!
-//! * **Phase A — parallel code discovery.** `threads` workers drain a
-//!   shared deque of work items (a subtree root: machine × counter ×
-//!   depth × ancestor-key set). Each worker runs the same budget-aware
-//!   memoized DFS as the serial explorer over its item, against a
-//!   lock-striped memo shared by all workers, and records only the *set
-//!   of lint codes* it finds — no witness paths. When the pool runs low,
-//!   a worker *donates* children of its current state instead of
-//!   recursing into all of them.
-//! * **Phase B — serial witness re-derivation.** The union of the codes
-//!   is handed to [`crate::explore::explore_witnesses`]: the serial DFS
-//!   re-runs in its canonical order and stops as soon as every code has
-//!   a witness. The reported violations are therefore the serial
-//!   explorer's first witnesses — same codes, same roots, same paths —
-//!   independent of how Phase A's work was interleaved. Clean targets
-//!   (no codes) skip Phase B entirely, so the expensive case pays
-//!   nothing for determinism.
+//! * **Phase A — parallel ownership walk.** Each worker *owns* a shard
+//!   of the 64-bit fingerprint space ([`crate::partition::owner_of`]).
+//!   Expanding a state routes each successor to its owner over bounded
+//!   SPSC ring queues; the owner's memo is a thread-local hash set, so
+//!   there are no memo locks and — by first-arrival acceptance — no
+//!   duplicate expansions. Every expansion appends an annotated edge
+//!   record to a per-worker log. Quiescence is detected by a Safra-style
+//!   termination token circulating the worker ring.
+//! * **Serial replay.** After the join, the serial DFS is re-run over
+//!   the *logged key-graph* (no machine clones, no step application):
+//!   the exact budget-aware memo, lasso check, depth accounting and POR
+//!   ample/proviso logic of [`crate::explore`], in the serial visit
+//!   order. Every reported number — `states`, `pruned`, `memo_hits`,
+//!   `truncated`, the code set — is therefore *the serial explorer's
+//!   number*, at every thread count, for every reduction combo.
+//! * **Phase B — serial witness re-derivation.** The replayed code set
+//!   is handed to [`crate::explore::explore_witnesses`], which re-runs
+//!   the serial DFS in canonical order and stops once every code has a
+//!   witness — same codes, same roots, same paths as `threads = 1`.
+//!   Clean targets skip Phase B entirely.
 //!
-//! # Soundness under concurrency
+//! # POR across owners
 //!
-//! The budget-aware memo's invariant — *an entry `(key → budget)` is
-//! only readable after every lint reachable from `key` within `budget`
-//! has been recorded* — survives parallelism because entries are written
-//! strictly **after** the writing worker finished the subtree, and any
-//! dfs frame with a donated descendant skips its memo write entirely
-//! (the donated child's promise is not yet fulfilled; writing would let
-//! another worker skip a region whose codes nobody has recorded yet,
-//! and promise cycles between such entries could leave states forever
-//! unexplored). Two workers may race into the same state and both
-//! explore it — duplicated work, never a missed verdict; stripe locks
-//! merge their budgets with `max`.
+//! Phase A walks ample-reduced menus (a pure function of the state), so
+//! reachability matches any thread count. The cycle proviso, however,
+//! depends on the DFS path; it is evaluated only during replay. When the
+//! proviso demands a full menu at a state whose log holds only the ample
+//! slice, the state is flagged and Phase A re-runs with it forced to
+//! full expansion — a monotone fixpoint that converges deterministically
+//! (see DESIGN.md §13). Acyclic reduced spaces finish in one round.
 //!
-//! The POR cycle proviso is thread-local by construction: ample pruning
-//! decisions only ever depend on the worker's own DFS stack, and a
-//! *donation state expands its full choice menu*, so no pruning decision
-//! ever spans two workers' stacks. Donated items carry their ancestors'
-//! key set, keeping lasso detection (`SA005`) exact across the split.
+//! # Depth cuts
+//!
+//! The serial `truncated` flag is visit-order-dependent, so a space the
+//! serial DFS truncates has no order-independent parallel rendering.
+//! The ownership walk detects the first over-budget arrival, aborts the
+//! round, and falls back to the serial explorer — verdict fidelity over
+//! parallelism for depth-limited scopes, which were never parallel wins.
 
-use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
-// Under `--cfg loom` every primitive routes through the loom facade, so
-// the `loom_tests` module can model-check the memo/pool machinery with
-// the same types the production build uses.
-#[cfg(loom)]
-use loom::sync::atomic::{AtomicUsize, Ordering};
-#[cfg(loom)]
-use loom::sync::{Arc, Condvar, Mutex};
-#[cfg(not(loom))]
-use std::sync::atomic::{AtomicUsize, Ordering};
-#[cfg(not(loom))]
-use std::sync::{Arc, Condvar, Mutex};
-
-use rustc_hash::{FxHashMap, FxHashSet};
-use session_obs::metrics::{MetricHandle, MetricsRegistry};
-use session_obs::{ProgressBoard, Recorder, TimelineSpan};
+use session_obs::Recorder;
 
 use crate::diag::LintCode;
 use crate::explore::{
-    check_step, explore_witnesses, state_key, AnyMachine, Exploration, ExploreOpts, ReductionStats,
-    SessionCounter, MEMO_COMPLETE,
+    check_step, explore_witnesses, AnyMachine, Exploration, ExploreOpts, ReductionStats,
+    SessionCounter,
 };
-use crate::por;
-use crate::profile::{ExploreProfile, FlightOpts, StripeProfile, WorkerProfile, FLIGHT_BUFFER_CAP};
-
-/// Memo stripes. Power of two; the stripe index is the key's top bits
-/// (FxHash mixes into the high bits), so stripe pressure stays uniform.
-const STRIPES: usize = 64;
-
-/// Subtrees with no more remaining budget than this are never donated —
-/// the pool round-trip costs more than just walking them locally.
-const DONATE_MIN_BUDGET: usize = 4;
+use crate::partition;
+use crate::profile::{ExploreProfile, FlightOpts};
 
 /// Progress updates are batched: workers publish to the shared
-/// [`ProgressBoard`] once per this many expanded states, amortizing the
-/// atomic traffic to nothing.
+/// [`session_obs::ProgressBoard`] once per this many expanded states,
+/// amortizing the atomic traffic to nothing.
 pub(crate) const PROGRESS_BATCH: u64 = 256;
 
-fn stripe_index(key: u64) -> usize {
-    (key >> 58) as usize & (STRIPES - 1)
-}
-
-fn nanos(d: Duration) -> u64 {
+pub(crate) fn nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
-}
-
-/// Cross-worker flight-recorder state shared by reference: the epoch all
-/// span offsets are relative to, plus the lock-free registry behind the
-/// contended-wait and idle histograms (per-worker scalars live in
-/// [`FlightLocal`], owned by one thread each — see DESIGN.md §15).
-struct FlightShared {
-    epoch: Instant,
-    registry: MetricsRegistry,
-    lock_wait: MetricHandle,
-    idle: MetricHandle,
-}
-
-impl FlightShared {
-    fn new(epoch: Instant) -> FlightShared {
-        let mut registry = MetricsRegistry::new();
-        let lock_wait = registry.register_histogram("explore.stripe_lock_wait_ns");
-        let idle = registry.register_histogram("explore.idle_ns");
-        FlightShared {
-            epoch,
-            registry,
-            lock_wait,
-            idle,
-        }
-    }
-}
-
-/// One worker's flight-recorder buffers: the public per-worker profile
-/// plus the per-stripe tallies that get summed across workers after the
-/// join. Thread-local by ownership — recording never synchronizes.
-struct FlightLocal {
-    prof: WorkerProfile,
-    stripe_hits: [u64; STRIPES],
-    stripe_misses: [u64; STRIPES],
-    stripe_contended: [u64; STRIPES],
-}
-
-impl FlightLocal {
-    fn new() -> Box<FlightLocal> {
-        Box::new(FlightLocal {
-            prof: WorkerProfile::new(),
-            stripe_hits: [0; STRIPES],
-            stripe_misses: [0; STRIPES],
-            stripe_contended: [0; STRIPES],
-        })
-    }
-}
-
-/// One unexplored subtree in the shared pool.
-struct WorkItem {
-    machine: AnyMachine,
-    counter: SessionCounter,
-    /// Events between the root and this state (= consumed depth budget).
-    depth: usize,
-    /// Memo keys of every ancestor state on the donating worker's path —
-    /// revisiting one of these is a lasso exactly as it would be on a
-    /// single stack.
-    prefix: Arc<FxHashSet<u64>>,
-}
-
-/// The shared work pool: a deque of donated subtrees plus the number of
-/// workers currently processing an item. Workers block while the deque is
-/// empty but peers are still busy (they may donate); everyone exits when
-/// the deque is empty and nobody is busy.
-struct Pool {
-    state: Mutex<PoolState>,
-    available: Condvar,
-    /// Lock-free length approximation for the donation heuristic.
-    approx_len: AtomicUsize,
-}
-
-struct PoolState {
-    queue: VecDeque<WorkItem>,
-    busy: usize,
-}
-
-impl Pool {
-    fn new(seeds: Vec<WorkItem>) -> Pool {
-        let approx = seeds.len();
-        Pool {
-            state: Mutex::new(PoolState {
-                queue: seeds.into(),
-                busy: 0,
-            }),
-            available: Condvar::new(),
-            approx_len: AtomicUsize::new(approx),
-        }
-    }
-
-    /// Whether workers are likely to starve soon — the donation trigger.
-    fn is_starving(&self, threads: usize) -> bool {
-        self.approx_len.load(Ordering::Relaxed) < threads
-    }
-
-    fn push(&self, item: WorkItem) {
-        let mut state = self.state.lock().expect("pool lock");
-        state.queue.push_back(item);
-        self.approx_len.fetch_add(1, Ordering::Relaxed);
-        self.available.notify_one();
-    }
-
-    /// Takes the next item (marking this worker busy), or `None` when the
-    /// exploration is globally finished.
-    fn pop(&self) -> Option<WorkItem> {
-        let mut state = self.state.lock().expect("pool lock");
-        loop {
-            if let Some(item) = state.queue.pop_front() {
-                state.busy += 1;
-                self.approx_len.fetch_sub(1, Ordering::Relaxed);
-                return Some(item);
-            }
-            if state.busy == 0 {
-                // Termination: wake every parked peer so they observe it.
-                self.available.notify_all();
-                return None;
-            }
-            state = self.available.wait(state).expect("pool lock");
-        }
-    }
-
-    /// Marks the current item finished (counterpart of [`Pool::pop`]).
-    fn finish(&self) {
-        let mut state = self.state.lock().expect("pool lock");
-        state.busy -= 1;
-        if state.busy == 0 && state.queue.is_empty() {
-            self.available.notify_all();
-        }
-    }
-}
-
-/// The lock-striped visited/memo table, same budget semantics as the
-/// serial explorer's map ([`MEMO_COMPLETE`] = fully explored).
-struct ShardedMemo {
-    stripes: Vec<Mutex<FxHashMap<u64, usize>>>,
-}
-
-impl ShardedMemo {
-    fn new() -> ShardedMemo {
-        ShardedMemo {
-            stripes: (0..STRIPES)
-                .map(|_| Mutex::new(FxHashMap::default()))
-                .collect(),
-        }
-    }
-
-    fn stripe(&self, key: u64) -> &Mutex<FxHashMap<u64, usize>> {
-        &self.stripes[(key >> 58) as usize & (STRIPES - 1)]
-    }
-
-    fn get(&self, key: u64) -> Option<usize> {
-        self.stripe(key)
-            .lock()
-            .expect("memo stripe")
-            .get(&key)
-            .copied()
-    }
-
-    /// Merges `budget` in with `max` — concurrent writers keep the most
-    /// complete exploration either of them performed. Returns whether the
-    /// key was already present: a `true` means this worker just finished
-    /// expanding a state someone (a peer, or an earlier shallower-budget
-    /// walk) had already expanded — the duplicate-expansion signal.
-    fn merge(&self, key: u64, budget: usize) -> bool {
-        use std::collections::hash_map::Entry;
-        let mut stripe = self.stripe(key).lock().expect("memo stripe");
-        match stripe.entry(key) {
-            Entry::Occupied(entry) => {
-                let value = entry.into_mut();
-                *value = (*value).max(budget);
-                true
-            }
-            Entry::Vacant(entry) => {
-                entry.insert(budget);
-                false
-            }
-        }
-    }
-
-    /// [`ShardedMemo::get`] with flight instrumentation: contended
-    /// stripe acquisitions are counted and timed (try-then-block, so an
-    /// uncontended probe pays one extra atomic at most).
-    fn get_flight(
-        &self,
-        key: u64,
-        local: &mut FlightLocal,
-        shared: &FlightShared,
-    ) -> Option<usize> {
-        // wslint: allow(ws001): flight profiler measures real elapsed time by design
-        let started = Instant::now();
-        let stripe = self.stripe(key);
-        let guard = match stripe.try_lock().ok() {
-            Some(guard) => guard,
-            None => {
-                let guard = stripe.lock().expect("memo stripe");
-                Self::count_wait(key, started, local, shared);
-                guard
-            }
-        };
-        let result = guard.get(&key).copied();
-        drop(guard);
-        local.prof.memo_probe_ns += nanos(started.elapsed());
-        result
-    }
-
-    /// [`ShardedMemo::merge`] with flight instrumentation.
-    fn merge_flight(
-        &self,
-        key: u64,
-        budget: usize,
-        local: &mut FlightLocal,
-        shared: &FlightShared,
-    ) -> bool {
-        use std::collections::hash_map::Entry;
-        // wslint: allow(ws001): flight profiler measures real elapsed time by design
-        let started = Instant::now();
-        let stripe = self.stripe(key);
-        let mut guard = match stripe.try_lock().ok() {
-            Some(guard) => guard,
-            None => {
-                let guard = stripe.lock().expect("memo stripe");
-                Self::count_wait(key, started, local, shared);
-                guard
-            }
-        };
-        let existed = match guard.entry(key) {
-            Entry::Occupied(entry) => {
-                let value = entry.into_mut();
-                *value = (*value).max(budget);
-                true
-            }
-            Entry::Vacant(entry) => {
-                entry.insert(budget);
-                false
-            }
-        };
-        drop(guard);
-        local.prof.memo_insert_ns += nanos(started.elapsed());
-        existed
-    }
-
-    fn count_wait(key: u64, started: Instant, local: &mut FlightLocal, shared: &FlightShared) {
-        let wait = nanos(started.elapsed());
-        local.prof.stripe_lock_waits += 1;
-        local.prof.stripe_lock_wait_ns += wait;
-        local.stripe_contended[stripe_index(key)] += 1;
-        shared.registry.histogram(shared.lock_wait).record(wait);
-    }
-
-    fn len(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|s| s.lock().expect("memo stripe").len() as u64)
-            .sum()
-    }
-}
-
-/// What one worker's dfs frame reports upward (the serial
-/// `SubtreeOutcome` plus donation tracking).
-#[derive(Clone, Copy)]
-struct Outcome {
-    complete: bool,
-    closed_cycle: bool,
-    /// A descendant of this frame was donated to the pool: its subtree's
-    /// completion is someone else's promise, so no frame below the
-    /// donation point may write a memo entry.
-    donated: bool,
-}
-
-/// Per-worker exploration state and counters (merged after the join).
-struct Worker<'a> {
-    pool: &'a Pool,
-    memo: &'a ShardedMemo,
-    threads: usize,
-    s: u64,
-    max_depth: usize,
-    opts: ExploreOpts,
-    /// Ancestor keys inherited from the donating worker (current item).
-    prefix: Arc<FxHashSet<u64>>,
-    /// Keys on this worker's own DFS stack.
-    on_path: FxHashSet<u64>,
-    codes: BTreeSet<LintCode>,
-    states: u64,
-    pruned: u64,
-    memo_hits: u64,
-    memo_misses: u64,
-    depth_hits: u64,
-    /// Memo merges that found the key already present (duplicated work).
-    /// Counted unconditionally — the merge hands the bit back for free.
-    duplicates: u64,
-    /// Donation points this worker expanded / items it pushed there.
-    donations_offered: u64,
-    donations_accepted: u64,
-    /// Flight-recorder buffers; `None` (the default) costs one branch
-    /// per hook.
-    flight: Option<Box<FlightLocal>>,
-    shared: Option<&'a FlightShared>,
-    /// Live-progress scoreboard, updated in [`PROGRESS_BATCH`] batches.
-    progress: Option<&'a ProgressBoard>,
-    batch_states: u64,
-    batch_depth: u64,
-}
-
-/// What one worker hands back at the join.
-struct WorkerOut {
-    states: u64,
-    pruned: u64,
-    memo_hits: u64,
-    memo_misses: u64,
-    depth_hits: u64,
-    duplicates: u64,
-    donations_offered: u64,
-    donations_accepted: u64,
-    codes: BTreeSet<LintCode>,
-    flight: Option<Box<FlightLocal>>,
-}
-
-impl Worker<'_> {
-    fn run(&mut self) {
-        loop {
-            // wslint: allow(ws001): flight profiler measures real elapsed time by design
-            let waiting_since = self.flight.as_ref().map(|_| Instant::now());
-            let item = self.pool.pop();
-            if let (Some(local), Some(shared), Some(since)) =
-                (self.flight.as_deref_mut(), self.shared, waiting_since)
-            {
-                let idle = nanos(since.elapsed());
-                local.prof.idle_ns += idle;
-                shared.registry.histogram(shared.idle).record(idle);
-            }
-            let Some(item) = item else { break };
-            let item_depth = item.depth as u64;
-            // wslint: allow(ws001): flight profiler measures real elapsed time by design
-            let started = self.flight.as_ref().map(|_| Instant::now());
-            if let (Some(local), Some(shared)) = (self.flight.as_deref_mut(), self.shared) {
-                local.prof.items += 1;
-                if local.prof.pool_depth.len() < FLIGHT_BUFFER_CAP {
-                    let depth = self.pool.approx_len.load(Ordering::Relaxed) as u64;
-                    local
-                        .prof
-                        .pool_depth
-                        .push((nanos(shared.epoch.elapsed()), depth));
-                }
-            }
-            if let Some(board) = self.progress {
-                board.worker_busy();
-                board.set_frontier(self.pool.approx_len.load(Ordering::Relaxed) as u64);
-            }
-            self.prefix = Arc::clone(&item.prefix);
-            self.on_path.clear();
-            let _ = self.dfs(item.machine, &item.counter, item.depth);
-            if let (Some(local), Some(shared), Some(started)) =
-                (self.flight.as_deref_mut(), self.shared, started)
-            {
-                local.prof.busy_ns += nanos(started.elapsed());
-                local.prof.timeline.push(TimelineSpan {
-                    name: "item",
-                    start_ns: nanos(started.duration_since(shared.epoch)),
-                    end_ns: nanos(shared.epoch.elapsed()),
-                    detail: item_depth,
-                });
-            }
-            if let Some(board) = self.progress {
-                self.flush_progress(board);
-                board.worker_idle();
-            }
-            self.pool.finish();
-        }
-        if let Some(board) = self.progress {
-            self.flush_progress(board);
-        }
-    }
-
-    fn flush_progress(&mut self, board: &ProgressBoard) {
-        if self.batch_states > 0 {
-            board.add_states(self.batch_states);
-            board.raise_depth(self.batch_depth);
-            self.batch_states = 0;
-        }
-    }
-
-    fn into_out(mut self) -> WorkerOut {
-        if let Some(local) = self.flight.as_deref_mut() {
-            local.prof.states = self.states;
-            local.prof.duplicate_expansions = self.duplicates;
-            local.prof.seal();
-        }
-        WorkerOut {
-            states: self.states,
-            pruned: self.pruned,
-            memo_hits: self.memo_hits,
-            memo_misses: self.memo_misses,
-            depth_hits: self.depth_hits,
-            duplicates: self.duplicates,
-            donations_offered: self.donations_offered,
-            donations_accepted: self.donations_accepted,
-            codes: self.codes,
-            flight: self.flight,
-        }
-    }
-
-    fn dfs(&mut self, machine: AnyMachine, counter: &SessionCounter, depth: usize) -> Outcome {
-        let done = Outcome {
-            complete: true,
-            closed_cycle: false,
-            donated: false,
-        };
-        if machine.is_quiescent() {
-            if counter.sessions() < self.s {
-                self.codes.insert(LintCode::SessionDeficit);
-            }
-            return done;
-        }
-        let key = state_key(&machine, counter, self.opts.symmetry);
-        if self.on_path.contains(&key) || self.prefix.contains(&key) {
-            self.codes.insert(LintCode::NonTermination);
-            return Outcome {
-                complete: true,
-                closed_cycle: true,
-                donated: false,
-            };
-        }
-        let remaining = self.max_depth.saturating_sub(depth);
-        let memo = self.memo;
-        let cached = match (self.flight.as_deref_mut(), self.shared) {
-            (Some(local), Some(shared)) => memo.get_flight(key, local, shared),
-            _ => memo.get(key),
-        };
-        if let Some(budget) = cached {
-            if budget >= remaining {
-                self.memo_hits += 1;
-                if let Some(local) = self.flight.as_deref_mut() {
-                    local.stripe_hits[stripe_index(key)] += 1;
-                }
-                if budget == MEMO_COMPLETE {
-                    return done;
-                }
-                self.depth_hits += 1;
-                return Outcome {
-                    complete: false,
-                    closed_cycle: false,
-                    donated: false,
-                };
-            }
-        }
-        self.memo_misses += 1;
-        if let Some(local) = self.flight.as_deref_mut() {
-            local.stripe_misses[stripe_index(key)] += 1;
-        }
-        if depth >= self.max_depth {
-            self.depth_hits += 1;
-            return Outcome {
-                complete: false,
-                closed_cycle: false,
-                donated: false,
-            };
-        }
-        self.states += 1;
-        if self.progress.is_some() {
-            self.batch_states += 1;
-            self.batch_depth = self.batch_depth.max(depth as u64);
-            if self.batch_states >= PROGRESS_BATCH {
-                if let Some(board) = self.progress {
-                    board.add_states(self.batch_states);
-                    board.raise_depth(self.batch_depth);
-                }
-                self.batch_states = 0;
-            }
-        }
-        self.on_path.insert(key);
-        let (complete, donated) = self.expand(&machine, counter, depth);
-        self.on_path.remove(&key);
-        if !donated {
-            let budget = if complete { MEMO_COMPLETE } else { remaining };
-            let existed = match (self.flight.as_deref_mut(), self.shared) {
-                (Some(local), Some(shared)) => memo.merge_flight(key, budget, local, shared),
-                _ => memo.merge(key, budget),
-            };
-            self.duplicates += u64::from(existed);
-        }
-        Outcome {
-            complete: complete && !donated,
-            closed_cycle: false,
-            donated,
-        }
-    }
-
-    /// One successor edge: apply, advance the counter (lazily — only port
-    /// steps touch it), fire the step lints, recurse.
-    fn explore_choice(
-        &mut self,
-        machine: &AnyMachine,
-        counter: &SessionCounter,
-        choice: usize,
-        depth: usize,
-    ) -> Outcome {
-        let (next, next_counter) = match make_child(machine, counter, choice) {
-            Child::Pruned(code) => {
-                self.codes.insert(code);
-                return Outcome {
-                    complete: true,
-                    closed_cycle: false,
-                    donated: false,
-                };
-            }
-            Child::Open(next, next_counter) => (next, next_counter),
-        };
-        let next_counter = next_counter.as_ref().unwrap_or(counter);
-        self.dfs(next, next_counter, depth + 1)
-    }
-
-    /// Expands a state: either donates children to the pool (full menu,
-    /// no memo write anywhere below) or runs the serial ample/proviso
-    /// expansion locally. Returns `(complete, donated)`.
-    fn expand(
-        &mut self,
-        machine: &AnyMachine,
-        counter: &SessionCounter,
-        depth: usize,
-    ) -> (bool, bool) {
-        let choices = machine.choice_count();
-        debug_assert!(choices > 0, "non-quiescent machine must have events");
-        let remaining = self.max_depth - depth;
-        if choices > 1 && remaining > DONATE_MIN_BUDGET && self.pool.is_starving(self.threads) {
-            return (self.donate(machine, counter, choices, depth), true);
-        }
-        let ample = if self.opts.por {
-            por::select_ample(machine, counter)
-        } else {
-            None
-        };
-        let Some(ample) = ample else {
-            let mut complete = true;
-            let mut donated = false;
-            for choice in 0..choices {
-                let outcome = self.explore_choice(machine, counter, choice, depth);
-                complete &= outcome.complete;
-                donated |= outcome.donated;
-            }
-            return (complete, donated);
-        };
-        debug_assert!(ample.end <= choices && !ample.is_empty());
-        let mut complete = true;
-        let mut donated = false;
-        let mut closed_cycle = false;
-        for choice in ample.start..ample.end {
-            let outcome = self.explore_choice(machine, counter, choice, depth);
-            complete &= outcome.complete;
-            closed_cycle |= outcome.closed_cycle;
-            donated |= outcome.donated;
-        }
-        if closed_cycle {
-            // Cycle proviso, exactly as in the serial explorer: the cycle
-            // closed on this worker's own stack (or its inherited prefix),
-            // so expand the rest of the menu too.
-            for choice in (0..ample.start).chain(ample.end..choices) {
-                let outcome = self.explore_choice(machine, counter, choice, depth);
-                complete &= outcome.complete;
-                donated |= outcome.donated;
-            }
-        } else {
-            self.pruned += (choices - ample.len()) as u64;
-        }
-        (complete, donated)
-    }
-
-    /// Donation: expand the *full* menu (so no POR decision spans the
-    /// split), keep the first open child for this worker and push the
-    /// rest. Returns local completeness (donated children excluded — the
-    /// caller's `donated` flag already suppresses every affected memo
-    /// write).
-    fn donate(
-        &mut self,
-        machine: &AnyMachine,
-        counter: &SessionCounter,
-        choices: usize,
-        depth: usize,
-    ) -> bool {
-        // wslint: allow(ws001): flight profiler measures real elapsed time by design
-        let started = self.flight.as_ref().map(|_| Instant::now());
-        self.donations_offered += 1;
-        let mut prefix: FxHashSet<u64> = (*self.prefix).clone();
-        prefix.extend(self.on_path.iter().copied());
-        let prefix = Arc::new(prefix);
-        let mut kept: Option<(AnyMachine, Option<SessionCounter>)> = None;
-        for choice in 0..choices {
-            match make_child(machine, counter, choice) {
-                Child::Pruned(code) => {
-                    self.codes.insert(code);
-                }
-                Child::Open(next, next_counter) => {
-                    if kept.is_none() {
-                        kept = Some((next, next_counter));
-                    } else {
-                        self.donations_accepted += 1;
-                        self.pool.push(WorkItem {
-                            machine: next,
-                            counter: next_counter.unwrap_or_else(|| counter.clone()),
-                            depth: depth + 1,
-                            prefix: Arc::clone(&prefix),
-                        });
-                    }
-                }
-            }
-        }
-        if let (Some(local), Some(started)) = (self.flight.as_deref_mut(), started) {
-            // The donation split only — the kept child's subtree below is
-            // ordinary expansion time.
-            local.prof.donation_ns += nanos(started.elapsed());
-        }
-        let Some((next, next_counter)) = kept else {
-            // Every edge fired a step lint: the subtree is locally done.
-            return true;
-        };
-        let next_counter = next_counter.as_ref().unwrap_or(counter);
-        self.dfs(next, next_counter, depth + 1).complete
-    }
 }
 
 /// A successor edge's result: pruned at a step-level lint, or an open
 /// child state (with its advanced counter when the step was visible to
 /// the session counter).
-enum Child {
+pub(crate) enum Child {
     Pruned(LintCode),
     Open(AnyMachine, Option<SessionCounter>),
 }
 
-fn make_child(machine: &AnyMachine, counter: &SessionCounter, choice: usize) -> Child {
+pub(crate) fn make_child(
+    machine: &AnyMachine,
+    counter: &SessionCounter,
+    choice: usize,
+) -> Child {
     let mut next = machine.clone();
     let info = next.apply(choice, None);
     let next_counter = info.port.is_some().then(|| {
@@ -729,15 +94,15 @@ fn make_child(machine: &AnyMachine, counter: &SessionCounter, choice: usize) -> 
     }
 }
 
-/// The work-sharing parallel explorer behind `ExploreOpts { threads > 1 }`
-/// — see the module docs for the phase split and the determinism
-/// argument. Verdicts (codes, witness roots, witness paths, truncation)
-/// are bit-identical to [`crate::explore::explore_recorded_opts`] at
-/// `threads = 1`; the `states` count may differ (workers racing into the
-/// same state both count it, and the serial witness pass adds none).
+/// The ownership-partitioned parallel explorer behind
+/// `ExploreOpts { threads > 1 }` — see the module docs for the phase
+/// split. Every field of the returned [`Exploration`] (codes, witness
+/// roots, witness paths, `states`, `truncated`, `depth_hits`, reduction
+/// stats) is bit-identical to [`crate::explore::explore_recorded_opts`]
+/// at `threads = 1`.
 ///
 /// The flight recorder rides along: when `flight.profile` is set, the
-/// per-worker/per-stripe [`ExploreProfile`] is returned alongside the
+/// per-worker routing [`ExploreProfile`] is returned alongside the
 /// (unchanged) exploration; when `flight.progress` carries a board,
 /// workers publish batched progress to it. Neither influences a single
 /// exploration decision.
@@ -753,300 +118,114 @@ pub(crate) fn explore_parallel_flight(
 ) -> (Exploration, Option<ExploreProfile>) {
     debug_assert!(opts.threads > 1);
     // wslint: allow(ws001): flight profiler measures real elapsed time by design
-    let started = Instant::now();
-    let shared = flight.profile.then(|| FlightShared::new(started));
+    let epoch = Instant::now();
     let progress = flight.progress.as_deref();
-    let empty_prefix = Arc::new(FxHashSet::default());
-    let seeds: Vec<WorkItem> = roots
-        .iter()
-        .map(|root| WorkItem {
-            machine: root.clone(),
-            counter: SessionCounter::new(n, s),
-            depth: 0,
-            prefix: Arc::clone(&empty_prefix),
-        })
-        .collect();
-    let pool = Pool::new(seeds);
-    let memo = ShardedMemo::new();
 
-    let mut outs: Vec<WorkerOut> = Vec::with_capacity(opts.threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..opts.threads)
-            .map(|_| {
-                let pool = &pool;
-                let memo = &memo;
-                let shared = shared.as_ref();
-                let empty_prefix = Arc::clone(&empty_prefix);
-                scope.spawn(move || {
-                    let mut worker = Worker {
-                        pool,
-                        memo,
-                        threads: opts.threads,
-                        s,
-                        max_depth,
-                        opts,
-                        prefix: empty_prefix,
-                        on_path: FxHashSet::default(),
-                        codes: BTreeSet::new(),
-                        states: 0,
-                        pruned: 0,
-                        memo_hits: 0,
-                        memo_misses: 0,
-                        depth_hits: 0,
-                        duplicates: 0,
-                        donations_offered: 0,
-                        donations_accepted: 0,
-                        flight: shared.map(|_| FlightLocal::new()),
-                        shared,
-                        progress,
-                        batch_states: 0,
-                        batch_depth: 0,
-                    };
-                    worker.run();
-                    worker.into_out()
-                })
-            })
-            .collect();
-        for handle in handles {
-            outs.push(handle.join().expect("exploration worker panicked"));
-        }
-    });
-    let phase_a_ns = nanos(started.elapsed());
-
-    let mut states = 0u64;
-    let mut pruned = 0u64;
-    let mut memo_hits = 0u64;
-    let mut memo_misses = 0u64;
-    let mut depth_hits = 0u64;
-    let mut duplicates = 0u64;
-    let mut donations_offered = 0u64;
-    let mut donations_accepted = 0u64;
-    let mut codes: BTreeSet<LintCode> = BTreeSet::new();
-    for out in &mut outs {
-        states += out.states;
-        pruned += out.pruned;
-        memo_hits += out.memo_hits;
-        memo_misses += out.memo_misses;
-        depth_hits += out.depth_hits;
-        duplicates += out.duplicates;
-        donations_offered += out.donations_offered;
-        donations_accepted += out.donations_accepted;
-        codes.extend(std::mem::take(&mut out.codes));
-    }
+    let Some(mut run) = partition::explore_partitioned(
+        roots,
+        n,
+        s,
+        max_depth,
+        opts,
+        flight.profile,
+        progress,
+        epoch,
+    ) else {
+        // A depth cut fired: the space is truncated at this budget, and
+        // the serial `truncated` verdict is visit-order-dependent. Run
+        // the serial explorer for exact fidelity (DESIGN.md §13).
+        let serial = ExploreOpts { threads: 1, ..opts };
+        let (exploration, profile) =
+            crate::explore::explore_flight(roots, n, s, max_depth, serial, recorder, flight);
+        let profile = profile.map(|mut profile| {
+            profile.threads = opts.threads;
+            profile.fallback = true;
+            profile
+        });
+        return (exploration, profile);
+    };
+    let pre_b_ns = nanos(epoch.elapsed());
+    let phase_a_ns = pre_b_ns.saturating_sub(run.replay_ns);
 
     // Phase B: canonical witnesses, serially — free when nothing fired.
     // wslint: allow(ws001): flight profiler measures real elapsed time by design
     let phase_b_started = Instant::now();
-    let violations = explore_witnesses(roots, n, s, max_depth, opts, &codes);
+    let violations = explore_witnesses(roots, n, s, max_depth, opts, &run.codes);
     let phase_b_ns = nanos(phase_b_started.elapsed());
     debug_assert_eq!(
         violations.len(),
-        codes.len(),
+        run.codes.len(),
         "witness re-derivation must find every code Phase A found"
     );
 
-    let unique_states = memo.len();
     if recorder.is_enabled() {
-        recorder.counter("explore.memo_hits", memo_hits);
-        recorder.counter("explore.memo_misses", memo_misses);
-        recorder.counter("explore.pruned_choices", pruned);
-        recorder.counter("explore.duplicate_expansions", duplicates);
-        recorder.counter("explore.donations_offered", donations_offered);
-        recorder.counter("explore.donations_accepted", donations_accepted);
-        recorder.gauge("explore.states", states as f64);
-        recorder.gauge("explore.memo_entries", unique_states as f64);
+        recorder.counter("explore.memo_hits", run.memo_hits);
+        recorder.counter("explore.memo_misses", run.memo_misses);
+        recorder.counter("explore.pruned_choices", run.pruned);
+        recorder.counter("explore.duplicate_expansions", run.duplicates);
+        recorder.counter("explore.route_send", run.route_send);
+        recorder.counter("explore.route_recv", run.route_recv);
+        recorder.counter("explore.local_msgs", run.local_msgs);
+        recorder.counter("explore.queue_full_spins", run.queue_full_spins);
+        recorder.counter("explore.rounds", run.rounds);
+        recorder.gauge("explore.states", run.states as f64);
+        recorder.gauge("explore.memo_entries", run.unique_states as f64);
         recorder.gauge("explore.threads", opts.threads as f64);
-        let elapsed = started.elapsed().as_secs_f64();
-        if elapsed > 0.0 {
-            recorder.gauge("explore.states_per_sec", states as f64 / elapsed);
+        let routed = run.local_msgs + run.route_send;
+        if routed > 0 {
+            recorder.gauge(
+                "explore.owner_local_ratio",
+                run.local_msgs as f64 / routed as f64,
+            );
         }
-        if let Some(shared) = &shared {
-            shared.registry.emit(recorder);
-            let locals = outs.iter().filter_map(|out| out.flight.as_deref());
-            let mut waits = 0u64;
-            let (mut expand, mut probe, mut insert) = (0u64, 0u64, 0u64);
-            for local in locals {
-                waits += local.prof.stripe_lock_waits;
-                expand += local.prof.expand_ns;
-                probe += local.prof.memo_probe_ns;
-                insert += local.prof.memo_insert_ns;
-            }
-            recorder.counter("explore.stripe_lock_waits", waits);
+        let elapsed = epoch.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            recorder.gauge("explore.states_per_sec", run.states as f64 / elapsed);
+        }
+        if let Some(workers) = &run.workers {
+            let expand: u64 = workers.iter().map(|w| w.expand_ns).sum();
+            let idle: u64 = workers.iter().map(|w| w.idle_ns).sum();
             recorder.counter("explore.expand_ns", expand);
-            recorder.counter("explore.memo_probe_ns", probe);
-            recorder.counter("explore.memo_insert_ns", insert);
+            recorder.counter("explore.idle_ns", idle);
             recorder.gauge("explore.phase_a_ms", phase_a_ns as f64 / 1e6);
+            recorder.gauge("explore.replay_ms", run.replay_ns as f64 / 1e6);
             recorder.gauge("explore.phase_b_ms", phase_b_ns as f64 / 1e6);
         }
     }
 
-    let profile = shared.map(|shared| {
-        let mut stripes = vec![StripeProfile::default(); STRIPES];
-        let mut workers = Vec::with_capacity(outs.len());
-        for out in &mut outs {
-            let local = out.flight.take().expect("flight on for every worker");
-            for (i, stripe) in stripes.iter_mut().enumerate() {
-                stripe.hits += local.stripe_hits[i];
-                stripe.misses += local.stripe_misses[i];
-                stripe.contended += local.stripe_contended[i];
-            }
-            workers.push(local.prof);
-        }
-        ExploreProfile {
-            target: String::new(),
-            n,
-            s,
-            threads: opts.threads,
-            max_depth,
-            por: opts.por,
-            symmetry: opts.symmetry,
-            states,
-            unique_states,
-            duplicate_expansions: duplicates,
-            donations_offered,
-            donations_accepted,
-            wall_ns: nanos(started.elapsed()),
-            phase_a_ns,
-            phase_b_ns,
-            lock_wait_hist: shared.registry.histogram(shared.lock_wait).snapshot(),
-            workers,
-            stripes,
-        }
+    let profile = run.workers.take().map(|workers| ExploreProfile {
+        target: String::new(),
+        n,
+        s,
+        threads: opts.threads,
+        max_depth,
+        por: opts.por,
+        symmetry: opts.symmetry,
+        states: run.states,
+        unique_states: run.unique_states,
+        duplicate_expansions: run.duplicates,
+        route_send: run.route_send,
+        route_recv: run.route_recv,
+        local_msgs: run.local_msgs,
+        queue_full_spins: run.queue_full_spins,
+        rounds: run.rounds,
+        fallback: false,
+        wall_ns: nanos(epoch.elapsed()),
+        phase_a_ns,
+        replay_ns: run.replay_ns,
+        phase_b_ns,
+        workers,
     });
 
     let exploration = Exploration {
-        states,
+        states: run.states,
         violations,
-        truncated: depth_hits > 0,
-        depth_hits,
-        stats: ReductionStats { pruned, memo_hits },
+        truncated: run.depth_hits > 0,
+        depth_hits: run.depth_hits,
+        stats: ReductionStats {
+            pruned: run.pruned,
+            memo_hits: run.memo_hits,
+        },
     };
     (exploration, profile)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny_machine() -> AnyMachine {
-        use crate::machine::{GapMode, MpAlgo, MpMachine};
-        use session_core::algorithms::SyncMpPort;
-        use session_types::{Dur, Time};
-        let algos = vec![MpAlgo::Sync(SyncMpPort::new(1))];
-        AnyMachine::Mp(MpMachine::new(
-            algos,
-            GapMode::PerStep(vec![Dur::from_int(1)]),
-            vec![Dur::from_int(1)],
-            vec![Time::ZERO + Dur::from_int(1)],
-        ))
-    }
-
-    #[test]
-    fn pool_pops_in_fifo_order_and_terminates() {
-        let machine = tiny_machine();
-        let seeds = vec![
-            WorkItem {
-                machine: machine.clone(),
-                counter: SessionCounter::new(1, 1),
-                depth: 0,
-                prefix: Arc::new(FxHashSet::default()),
-            },
-            WorkItem {
-                machine,
-                counter: SessionCounter::new(1, 1),
-                depth: 7,
-                prefix: Arc::new(FxHashSet::default()),
-            },
-        ];
-        let pool = Pool::new(seeds);
-        let first = pool.pop().expect("seeded");
-        assert_eq!(first.depth, 0);
-        pool.finish();
-        let second = pool.pop().expect("seeded");
-        assert_eq!(second.depth, 7);
-        pool.finish();
-        assert!(pool.pop().is_none(), "empty + idle pool terminates");
-    }
-
-    #[test]
-    fn sharded_memo_merges_budgets_with_max() {
-        let memo = ShardedMemo::new();
-        memo.merge(42, 3);
-        memo.merge(42, 10);
-        memo.merge(42, 5);
-        assert_eq!(memo.get(42), Some(10));
-        memo.merge(42, MEMO_COMPLETE);
-        assert_eq!(memo.get(42), Some(MEMO_COMPLETE));
-        assert_eq!(memo.get(43), None);
-        assert_eq!(memo.len(), 1);
-    }
-}
-
-/// Concurrency tests for [`ShardedMemo`], built only under
-/// `RUSTFLAGS="--cfg loom"` (the CI `loom` job). The facade's `model`
-/// re-runs each closure across many real-thread schedules; with the
-/// registry loom crate in place the same tests become exhaustive.
-#[cfg(all(test, loom))]
-mod loom_tests {
-    use super::*;
-
-    /// Keys that land on distinct stripes (the stripe index is the top
-    /// six bits) plus colliding keys within one stripe.
-    fn spread_keys() -> Vec<u64> {
-        (0..8u64).map(|i| (i << 58) | i).collect()
-    }
-
-    #[test]
-    fn concurrent_merges_lose_no_entries_and_keep_the_max_budget() {
-        loom::model(|| {
-            let memo = Arc::new(ShardedMemo::new());
-            let keys = spread_keys();
-            let handles: Vec<_> = (0..3usize)
-                .map(|t| {
-                    let memo = Arc::clone(&memo);
-                    let keys = keys.clone();
-                    loom::thread::spawn(move || {
-                        for (i, &key) in keys.iter().enumerate() {
-                            memo.merge(key, t * 10 + i);
-                        }
-                    })
-                })
-                .collect();
-            for handle in handles {
-                handle.join().expect("writer");
-            }
-            // No entry is lost and every surviving budget is the max
-            // over the three writers (t = 2), never a torn intermediate.
-            assert_eq!(memo.len(), keys.len() as u64);
-            for (i, &key) in keys.iter().enumerate() {
-                assert_eq!(memo.get(key), Some(20 + i));
-            }
-        });
-    }
-
-    #[test]
-    fn budgets_observed_by_a_racing_reader_are_monotonic() {
-        loom::model(|| {
-            let memo = Arc::new(ShardedMemo::new());
-            let key = 0xdead_beef;
-            let writer = {
-                let memo = Arc::clone(&memo);
-                loom::thread::spawn(move || {
-                    // Out-of-order writes: merge must still only raise.
-                    for budget in [1, 5, 3, MEMO_COMPLETE, 2] {
-                        memo.merge(key, budget);
-                    }
-                })
-            };
-            let mut last = 0;
-            for _ in 0..8 {
-                if let Some(budget) = memo.get(key) {
-                    assert!(budget >= last, "budget regressed: {budget} < {last}");
-                    last = budget;
-                }
-            }
-            writer.join().expect("writer");
-            assert_eq!(memo.get(key), Some(MEMO_COMPLETE));
-        });
-    }
 }

@@ -1,0 +1,1557 @@
+//! Hash-partitioned ownership exploration (DESIGN.md §13).
+//!
+//! Each worker **owns** a shard of the 64-bit fingerprint space
+//! ([`owner_of`]): a state is expanded by its owner or not at all. A
+//! worker expanding a state routes every open successor to that
+//! successor's owner over a bounded SPSC ring ([`SpscRing`]), batched
+//! [`ROUTE_BATCH`] messages at a time. The owner's visited set is a
+//! plain thread-local `FxHashSet` — no locks, no budgets — and a key is
+//! pushed to the owner's work queue exactly once, on first arrival;
+//! later arrivals drop. Zero duplicate expansions, by construction.
+//!
+//! Global quiescence (every queue empty, every ring empty, nothing in
+//! flight) is detected with a Safra-style termination token circulating
+//! the worker ring ([`Control`], [`TokenState`]): workers count routed
+//! messages sent minus received, turn black on receipt, and the
+//! initiator declares done only after a fully white round whose counts
+//! sum to zero. No global lock anywhere on the hot path.
+//!
+//! # Exactness: the replay pass and the two-key scheme
+//!
+//! Phase A does **not** try to reproduce the serial explorer's
+//! path-dependent bookkeeping (depth budgets, lasso detection, the POR
+//! cycle proviso) while racing. Instead each worker logs the full
+//! annotated successor record of every state it expands — child keys in
+//! choice order, pruned-edge lint codes, quiescent-edge `SA001`
+//! verdicts, the ample range — and after the join a **serial replay**
+//! ([`Replay`]) runs the exact serial DFS over the logged key-graph:
+//! same memo-budget semantics, same on-path lasso check, same proviso,
+//! same counters. Machines are cloned and hashed only in the parallel
+//! phase; the replay touches nothing but `u64`s, so it costs ~1% of
+//! Phase A. Every reported number (`states`, `truncated`, `depth_hits`,
+//! `pruned`, `memo_hits`) is therefore **bit-identical to the serial
+//! explorer at every thread count** — not merely the same verdicts.
+//!
+//! That argument rests on the record graph being **race-free**: the
+//! record logged for a key must not depend on which arrival won. The
+//! memo key ([`state_key`]) equates machines whose pending queues hold
+//! the same multiset in a different order, which is safe precisely
+//! because [`MpMachine::eligible`] enumerates the choice menu in the
+//! canonical order the hash is computed over — equal hashes mean equal
+//! menus, so every representative of the class expands to the same
+//! record and first-arrival is harmless. (An insertion-order menu
+//! tie-break breaks this: an experiment routing by an order-exact key
+//! to sidestep it expanded 10.0x the serial states on the bench
+//! headline at `reduce=none` and 4.4x at `reduce=all` — aliased
+//! representatives are pervasive, not rare — which is why the menu
+//! order is canonicalized at the machine instead.)
+//!
+//! Symmetry reduction is the one layer where the memo key is coarser
+//! than the menu: the canonical key equates *permuted* states whose
+//! menus rename processes differently. Phase A therefore routes,
+//! dedups and indexes records by the never-canonicalized
+//! [`route_key`], and each record stores the memo key alongside. The
+//! replay walks edges by route key — reproducing serial's concrete
+//! plain-state walk — while running its memo / on-path sets on the
+//! stored memo key, which is precisely the serial explorer's behavior:
+//! memoize the orbit, expand the concrete representative the walk
+//! arrived at. The two keys are computed identically whenever symmetry
+//! is off or refused for the target (every identity-carrying
+//! algorithm, including the bench headline), so the extra orbit
+//! representatives Phase A expands are bounded by the orbit size and
+//! cost nothing at all outside `reduce=symmetry` runs on genuinely
+//! symmetric targets; replay skips their records via the memo, so
+//! reported counts stay serial-exact.
+//!
+//! [`MpMachine::eligible`]: crate::machine::MpMachine
+//!
+//! Two escape hatches keep that argument airtight:
+//!
+//! * **Depth cut → serial fallback.** The ownership walk ignores the
+//!   depth budget (it visits each state once, so path depth is
+//!   meaningless to it), which is only sound when the whole reachable
+//!   space fits in the budget. The first arrival of an unvisited state
+//!   at `depth >= max_depth` raises a global cut flag; the round aborts
+//!   and the caller falls back to the serial explorer wholesale.
+//!   Truncated scopes were never parallel wins anyway.
+//! * **POR proviso → flag-and-re-round.** Under POR, Phase A explores
+//!   ample-only menus, so a replay that hits the cycle proviso at a
+//!   state whose full menu was never logged cannot continue exactly. It
+//!   records the state in a `needs_full` set; the controller re-runs
+//!   Phase A with those states forced to full expansion and replays
+//!   again, to a fixpoint. Acyclic spaces (every `reduce=none` /
+//!   `reduce=symmetry` run, and the bench headline) take exactly one
+//!   round.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::ops::Range;
+use std::time::Instant;
+
+// Under `--cfg loom` every primitive routes through the loom facade, so
+// `loom_tests` can model-check the ring and the termination token with
+// the same types the production build uses.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, Ordering};
+#[cfg(loom)]
+use loom::sync::atomic::AtomicUsize;
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(loom)]
+use loom::thread::yield_now;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::Mutex;
+#[cfg(not(loom))]
+use std::thread::yield_now;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use session_obs::{ProgressBoard, TimelineSpan};
+
+use crate::diag::LintCode;
+use crate::explore::{route_key, state_key, AnyMachine, ExploreOpts, SessionCounter, MEMO_COMPLETE};
+use crate::parallel::{make_child, nanos, Child, PROGRESS_BATCH};
+use crate::por;
+use crate::profile::WorkerProfile;
+
+/// Routed successors per batch: amortizes ring traffic (one slot write
+/// and two atomics per batch) without letting partial batches hold many
+/// states hostage before an idle flush.
+pub(crate) const ROUTE_BATCH: usize = 64;
+
+/// Ring capacity in batches per (producer, consumer) pair. A full ring
+/// back-pressures the producer, which drains its own inboxes while it
+/// spins — bounded memory, no deadlock.
+pub(crate) const RING_CAPACITY: usize = 128;
+
+/// How many local expansions between inbox polls while the queue is
+/// non-empty (keeps producers unblocked without per-state poll cost).
+const POLL_EVERY: u32 = 64;
+
+/// Which worker owns a fingerprint: a splitmix-style remix (the raw key
+/// is an FxHash, whose low bits are weak) followed by a multiply-shift
+/// range reduction — uniform for any thread count, no modulo.
+#[inline]
+pub(crate) fn owner_of(key: u64, threads: usize) -> usize {
+    let mut x = key;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    ((u128::from(x) * threads as u128) >> 64) as usize
+}
+
+/// A bounded single-producer single-consumer ring. Slots are
+/// `Mutex<Option<T>>` (uncontended by protocol: the producer only
+/// writes a slot the head/tail counters prove free, the consumer only
+/// takes a filled one), occupancy is a pair of monotonic atomics — safe
+/// Rust, loom-checkable, no `unsafe`.
+pub(crate) struct SpscRing<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Next slot the consumer takes (monotonic; slot = `head % cap`).
+    head: AtomicUsize,
+    /// Next slot the producer fills (monotonic; slot = `tail % cap`).
+    tail: AtomicUsize,
+}
+
+impl<T> SpscRing<T> {
+    pub(crate) fn new(capacity: usize) -> SpscRing<T> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        SpscRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side. Returns the value back when the ring is full.
+    pub(crate) fn try_push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            return Err(value);
+        }
+        *self.slots[tail % self.slots.len()].lock().expect("ring slot") = Some(value);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side. `None` when the ring is empty.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let value = self.slots[head % self.slots.len()]
+            .lock()
+            .expect("ring slot")
+            .take();
+        debug_assert!(value.is_some(), "occupied slot must hold a value");
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Occupied batch slots (approximate under concurrency; exact when
+    /// both sides are quiescent).
+    pub(crate) fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+/// The Safra token: routed-message balance accumulated around the ring
+/// plus the taint bit (some visited worker received since it last
+/// passed the token).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub(crate) count: i64,
+    pub(crate) black: bool,
+}
+
+/// Round-global coordination: one token slot per worker plus the two
+/// flags every loop polls. No lock is ever held across useful work.
+pub(crate) struct Control {
+    token_slots: Vec<Mutex<Option<Token>>>,
+    /// Set by the initiator when the Safra condition holds.
+    pub(crate) done: AtomicBool,
+    /// Set by any worker whose first arrival of a state exhausts the
+    /// depth budget: abort the round, fall back to the serial explorer.
+    pub(crate) cut: AtomicBool,
+}
+
+impl Control {
+    pub(crate) fn new(threads: usize) -> Control {
+        Control {
+            // The token starts black at the initiator, forcing at least
+            // one full white round before termination can be declared.
+            token_slots: (0..threads)
+                .map(|i| {
+                    Mutex::new((i == 0).then_some(Token {
+                        count: 0,
+                        black: true,
+                    }))
+                })
+                .collect(),
+            done: AtomicBool::new(false),
+            cut: AtomicBool::new(false),
+        }
+    }
+}
+
+/// One worker's Safra bookkeeping: cumulative sent/received message
+/// counts (never reset) and its own taint bit.
+pub(crate) struct TokenState {
+    sent: i64,
+    received: i64,
+    black: bool,
+}
+
+impl TokenState {
+    pub(crate) fn new() -> TokenState {
+        TokenState {
+            sent: 0,
+            received: 0,
+            black: false,
+        }
+    }
+
+    /// Count `msgs` routed messages pushed to a peer ring.
+    pub(crate) fn on_send(&mut self, msgs: usize) {
+        self.sent += msgs as i64;
+    }
+
+    /// Count `msgs` routed messages drained from a peer ring. Receiving
+    /// taints the worker black: a round that saw traffic proves nothing.
+    pub(crate) fn on_recv(&mut self, msgs: usize) {
+        self.received += msgs as i64;
+        self.black = true;
+    }
+
+    /// Pass the token along the ring if it is parked here. Must only be
+    /// called while locally idle (empty queue, empty inboxes, flushed
+    /// partial batches — unsent partials keep their creator non-idle,
+    /// which is what makes their uncounted messages safe). Returns
+    /// `true` only on the initiator, when it declares global
+    /// termination.
+    pub(crate) fn try_pass(&mut self, control: &Control, me: usize) -> bool {
+        let parked = control.token_slots[me].lock().expect("token slot").take();
+        let Some(mut token) = parked else {
+            return false;
+        };
+        let deficit = self.sent - self.received;
+        if me == 0 {
+            // The initiator evaluates the round that just completed:
+            // a white token, a white self, and a zero global balance
+            // mean no message is in flight and nobody has work.
+            if !token.black && !self.black && token.count + deficit == 0 {
+                control.done.store(true, Ordering::Release);
+                return true;
+            }
+            self.black = false;
+            token = Token {
+                count: 0,
+                black: false,
+            };
+        } else {
+            token.count += deficit;
+            if self.black {
+                token.black = true;
+                self.black = false;
+            }
+        }
+        let next = (me + 1) % control.token_slots.len();
+        *control.token_slots[next].lock().expect("token slot") = Some(token);
+        false
+    }
+}
+
+/// One successor routed to its owner: the child state, its session
+/// counter, the depth of the generating path, and the precomputed key.
+pub(crate) struct RoutedState {
+    machine: AnyMachine,
+    counter: SessionCounter,
+    depth: usize,
+    /// The plain [`route_key`] — ownership, dedup and the record index
+    /// all run on it (never on the symmetry-canonical memo key, which
+    /// is coarser; see the module docs).
+    key: u64,
+}
+
+type Batch = Vec<RoutedState>;
+
+// ---------------------------------------------------------------------
+// The successor log: each expanded state appends one flat record
+//
+//   [route_key, memo_key, meta, (ample_word)?, tag0, payload0, ...]
+//
+// route_key = the plain key the state was routed by (record id);
+// memo_key  = the serial memo key the replay gates on
+// meta  = logged_children | total_choices << 16 | flags
+// flags = FLAG_AMPLE (an ample range follows) | FLAG_PARTIAL (only the
+//         ample slice of the menu was explored and logged)
+// ample_word = start | end << 32, child tags/payloads in choice order;
+// open-child payloads are route keys (their records hold the memo key).
+// ---------------------------------------------------------------------
+
+const TAG_OPEN: u64 = 0;
+const TAG_PRUNED: u64 = 1;
+const TAG_QUIESCENT: u64 = 2;
+
+const FLAG_AMPLE: u64 = 1 << 32;
+const FLAG_PARTIAL: u64 = 1 << 33;
+
+fn code_tag(code: LintCode) -> u64 {
+    match code {
+        LintCode::SessionDeficit => 1,
+        LintCode::BBoundViolation => 2,
+        LintCode::StaleEvidence => 3,
+        LintCode::InadmissibleStep => 4,
+        LintCode::NonTermination => 5,
+        // `check_step` only produces the step lints above; anything else
+        // reaching an edge record is a bug.
+        other => unreachable!("unexpected step lint {other:?}"),
+    }
+}
+
+fn code_from_tag(tag: u64) -> LintCode {
+    match tag {
+        1 => LintCode::SessionDeficit,
+        2 => LintCode::BBoundViolation,
+        3 => LintCode::StaleEvidence,
+        4 => LintCode::InadmissibleStep,
+        5 => LintCode::NonTermination,
+        other => unreachable!("corrupt edge log: code tag {other}"),
+    }
+}
+
+/// How a root enters the replay: quiescent roots are resolved at seed
+/// time (their `SA001` verdict is baked in), open roots start a DFS.
+enum RootEntry {
+    Open(u64),
+    Quiescent(bool),
+}
+
+/// Everything a round's workers share by reference.
+struct RoundShared<'a> {
+    /// `rings[from][to]`: the SPSC batch queue from worker `from` to
+    /// worker `to` (the diagonal is allocated but unused).
+    rings: Vec<Vec<SpscRing<Batch>>>,
+    control: Control,
+    /// States (by route key) whose full menu must be expanded this
+    /// round (POR proviso fixpoint flags). Read-only during the round.
+    flagged: &'a FxHashSet<u64>,
+}
+
+impl<'a> RoundShared<'a> {
+    fn new(threads: usize, flagged: &'a FxHashSet<u64>) -> RoundShared<'a> {
+        RoundShared {
+            rings: (0..threads)
+                .map(|_| (0..threads).map(|_| SpscRing::new(RING_CAPACITY)).collect())
+                .collect(),
+            control: Control::new(threads),
+            flagged,
+        }
+    }
+}
+
+/// What one worker hands back at the round join.
+struct WorkerRoundOut {
+    states: u64,
+    items: u64,
+    drops: u64,
+    local_msgs: u64,
+    route_send: u64,
+    route_recv: u64,
+    queue_full_spins: u64,
+    memo_len: u64,
+    edges: Vec<u64>,
+    prof: Option<Box<WorkerProfile>>,
+}
+
+/// One shard owner: thread-local memo, FIFO work queue (breadth-ish
+/// order keeps first-arrival depths near the minimum, so the depth-cut
+/// guard stays quiet on spaces the serial explorer finishes), partial
+/// outgoing batches, Safra bookkeeping, and the successor log.
+struct OwnerWorker<'a, 'f> {
+    me: usize,
+    threads: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    shared: &'a RoundShared<'f>,
+    memo: FxHashSet<u64>,
+    queue: VecDeque<RoutedState>,
+    outbox: Vec<Batch>,
+    token: TokenState,
+    edges: Vec<u64>,
+    states: u64,
+    items: u64,
+    drops: u64,
+    local_msgs: u64,
+    route_send: u64,
+    route_recv: u64,
+    queue_full_spins: u64,
+    prof: Option<Box<WorkerProfile>>,
+    epoch: Instant,
+    round: u64,
+    progress: Option<&'a ProgressBoard>,
+    batch_states: u64,
+    batch_depth: u64,
+}
+
+impl<'a, 'f> OwnerWorker<'a, 'f> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        me: usize,
+        threads: usize,
+        s: u64,
+        max_depth: usize,
+        opts: ExploreOpts,
+        shared: &'a RoundShared<'f>,
+        seeds: VecDeque<RoutedState>,
+        profile: bool,
+        epoch: Instant,
+        round: u64,
+        progress: Option<&'a ProgressBoard>,
+    ) -> OwnerWorker<'a, 'f> {
+        let mut memo = FxHashSet::default();
+        for seed in &seeds {
+            memo.insert(seed.key);
+        }
+        OwnerWorker {
+            me,
+            threads,
+            s,
+            max_depth,
+            opts,
+            shared,
+            memo,
+            queue: seeds,
+            outbox: (0..threads).map(|_| Batch::new()).collect(),
+            token: TokenState::new(),
+            edges: Vec::new(),
+            states: 0,
+            items: 0,
+            drops: 0,
+            local_msgs: 0,
+            route_send: 0,
+            route_recv: 0,
+            queue_full_spins: 0,
+            prof: profile.then(|| Box::new(WorkerProfile::new())),
+            epoch,
+            round,
+            progress,
+            batch_states: 0,
+            batch_depth: 0,
+        }
+    }
+
+    fn cut(&self) -> bool {
+        self.shared.control.cut.load(Ordering::Relaxed)
+    }
+
+    /// First-arrival filter: insert into the memo and enqueue, or drop.
+    /// An unvisited state arriving with no remaining depth budget raises
+    /// the global cut — the round's result would not be serial-exact.
+    fn accept(&mut self, msg: RoutedState) {
+        self.items += 1;
+        if !self.memo.insert(msg.key) {
+            self.drops += 1;
+            return;
+        }
+        if msg.depth >= self.max_depth {
+            self.shared.control.cut.store(true, Ordering::Release);
+            return;
+        }
+        self.queue.push_back(msg);
+    }
+
+    /// Drain every inbox completely. Returns whether anything arrived.
+    fn drain_inboxes(&mut self) -> bool {
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
+        let started = self.prof.as_ref().map(|_| Instant::now());
+        let mut any = false;
+        for from in 0..self.threads {
+            if from == self.me {
+                continue;
+            }
+            while let Some(batch) = self.shared.rings[from][self.me].try_pop() {
+                self.token.on_recv(batch.len());
+                self.route_recv += batch.len() as u64;
+                any = true;
+                for msg in batch {
+                    self.accept(msg);
+                }
+            }
+        }
+        if any {
+            if let (Some(prof), Some(started)) = (self.prof.as_deref_mut(), started) {
+                prof.route_recv_ns += nanos(started.elapsed());
+                if prof.inbox_depth.len() < crate::profile::FLIGHT_BUFFER_CAP {
+                    let pending: usize = (0..self.threads)
+                        .filter(|&from| from != self.me)
+                        .map(|from| self.shared.rings[from][self.me].len())
+                        .sum();
+                    prof.inbox_depth
+                        .push((nanos(self.epoch.elapsed()), pending as u64));
+                }
+            }
+            if let Some(board) = self.progress {
+                board.set_frontier(self.queue.len() as u64);
+            }
+        }
+        any
+    }
+
+    /// Route one open successor to its owner (or straight onto the local
+    /// queue when this worker owns it).
+    fn route_child(
+        &mut self,
+        next: AnyMachine,
+        next_counter: Option<SessionCounter>,
+        counter: &SessionCounter,
+        depth: usize,
+        key: u64,
+    ) {
+        let owner = owner_of(key, self.threads);
+        let msg = RoutedState {
+            machine: next,
+            counter: next_counter.unwrap_or_else(|| counter.clone()),
+            depth,
+            key,
+        };
+        if owner == self.me {
+            self.local_msgs += 1;
+            self.accept(msg);
+        } else {
+            self.outbox[owner].push(msg);
+            if self.outbox[owner].len() >= ROUTE_BATCH {
+                self.flush_dest(owner, true);
+            }
+        }
+    }
+
+    /// Push the partial batch for `dest`. With `block` set, spins until
+    /// the ring accepts it (draining own inboxes so the system keeps
+    /// moving); otherwise puts the batch back and reports failure.
+    fn flush_dest(&mut self, dest: usize, block: bool) -> bool {
+        if self.outbox[dest].is_empty() {
+            return true;
+        }
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
+        let started = self.prof.as_ref().map(|_| Instant::now());
+        let mut batch = std::mem::take(&mut self.outbox[dest]);
+        let len = batch.len();
+        loop {
+            match self.shared.rings[self.me][dest].try_push(batch) {
+                Ok(()) => {
+                    self.token.on_send(len);
+                    self.route_send += len as u64;
+                    if let (Some(prof), Some(started)) = (self.prof.as_deref_mut(), started) {
+                        prof.route_send_ns += nanos(started.elapsed());
+                    }
+                    return true;
+                }
+                Err(returned) => {
+                    batch = returned;
+                    self.queue_full_spins += 1;
+                    if self.cut() {
+                        // Round aborted: the batch no longer matters.
+                        return true;
+                    }
+                    if !block {
+                        self.outbox[dest] = batch;
+                        if let (Some(prof), Some(started)) = (self.prof.as_deref_mut(), started)
+                        {
+                            prof.route_send_ns += nanos(started.elapsed());
+                        }
+                        return false;
+                    }
+                    self.drain_inboxes();
+                    yield_now();
+                }
+            }
+        }
+    }
+
+    /// Try to flush every partial batch without blocking.
+    fn flush_all(&mut self) -> bool {
+        let mut flushed = true;
+        for dest in 0..self.threads {
+            if dest != self.me {
+                flushed &= self.flush_dest(dest, false);
+            }
+        }
+        flushed
+    }
+
+    /// Expand one owned state: walk its menu (ample-only under POR
+    /// unless flagged for full expansion), log the annotated successor
+    /// record, and route the open children.
+    fn expand_state(&mut self, item: RoutedState) {
+        self.states += 1;
+        if self.progress.is_some() {
+            self.batch_states += 1;
+            self.batch_depth = self.batch_depth.max(item.depth as u64);
+            if self.batch_states >= PROGRESS_BATCH {
+                self.flush_progress();
+            }
+        }
+        let RoutedState {
+            machine,
+            counter,
+            depth,
+            key,
+        } = item;
+        let choices = machine.choice_count();
+        debug_assert!(choices > 0, "non-quiescent machine must have events");
+        debug_assert!(choices < (1 << 16), "choice menu exceeds the log encoding");
+        let ample = if self.opts.por {
+            por::select_ample(&machine, &counter)
+        } else {
+            None
+        };
+        let partial = ample.is_some() && !self.shared.flagged.contains(&key);
+        let range = if partial {
+            ample.clone().expect("partial implies ample")
+        } else {
+            0..choices
+        };
+        let record = self.edges.len();
+        self.edges.push(key);
+        // With symmetry off the memo key IS the route key; only the
+        // canonicalizing reduction makes them diverge.
+        self.edges.push(if self.opts.symmetry {
+            state_key(&machine, &counter, true)
+        } else {
+            key
+        });
+        self.edges.push(0); // meta, patched below
+        let mut flags = 0u64;
+        if let Some(ample) = &ample {
+            flags |= FLAG_AMPLE;
+            self.edges
+                .push(ample.start as u64 | (ample.end as u64) << 32);
+        }
+        if partial {
+            flags |= FLAG_PARTIAL;
+        }
+        let mut logged = 0u64;
+        for choice in range {
+            match make_child(&machine, &counter, choice) {
+                Child::Pruned(code) => {
+                    self.edges.push(TAG_PRUNED);
+                    self.edges.push(code_tag(code));
+                }
+                Child::Open(next, next_counter) => {
+                    let effective = next_counter.as_ref().unwrap_or(&counter);
+                    if next.is_quiescent() {
+                        let deficit = effective.sessions() < self.s;
+                        self.edges.push(TAG_QUIESCENT);
+                        self.edges.push(u64::from(deficit));
+                    } else {
+                        let child_key = route_key(&next, effective);
+                        self.edges.push(TAG_OPEN);
+                        self.edges.push(child_key);
+                        self.route_child(next, next_counter, &counter, depth + 1, child_key);
+                    }
+                }
+            }
+            logged += 1;
+        }
+        self.edges[record + 2] = logged | (choices as u64) << 16 | flags;
+    }
+
+    fn flush_progress(&mut self) {
+        if self.batch_states > 0 {
+            if let Some(board) = self.progress {
+                board.add_states(self.batch_states);
+                board.raise_depth(self.batch_depth);
+            }
+            self.batch_states = 0;
+        }
+    }
+
+    fn run(mut self) -> WorkerRoundOut {
+        if let Some(board) = self.progress {
+            board.worker_busy();
+        }
+        let mut since_poll = 0u32;
+        loop {
+            if self.shared.control.done.load(Ordering::Acquire) || self.cut() {
+                break;
+            }
+            // wslint: allow(ws001): flight profiler measures real elapsed time by design
+            let burst = self.prof.as_ref().map(|_| Instant::now());
+            let mut progressed = self.drain_inboxes();
+            while let Some(item) = self.queue.pop_front() {
+                self.expand_state(item);
+                progressed = true;
+                since_poll += 1;
+                if since_poll >= POLL_EVERY {
+                    since_poll = 0;
+                    self.drain_inboxes();
+                }
+                if self.cut() {
+                    break;
+                }
+            }
+            if self.cut() {
+                break;
+            }
+            if progressed {
+                if let (Some(prof), Some(burst)) = (self.prof.as_deref_mut(), burst) {
+                    let end = nanos(self.epoch.elapsed());
+                    let start = nanos(burst.duration_since(self.epoch));
+                    prof.busy_ns += end.saturating_sub(start);
+                    prof.timeline.push(TimelineSpan {
+                        name: "work",
+                        start_ns: start,
+                        end_ns: end,
+                        detail: self.round,
+                    });
+                }
+                continue;
+            }
+            if !self.flush_all() {
+                continue;
+            }
+            if self.token.try_pass(&self.shared.control, self.me) {
+                break;
+            }
+            if let (Some(prof), Some(burst)) = (self.prof.as_deref_mut(), burst) {
+                prof.idle_ns += nanos(burst.elapsed());
+            }
+            yield_now();
+        }
+        self.flush_progress();
+        if let Some(board) = self.progress {
+            board.worker_idle();
+        }
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.states = self.states;
+            prof.items = self.items;
+            prof.route_send = self.route_send;
+            prof.route_recv = self.route_recv;
+            prof.local_msgs = self.local_msgs;
+            prof.queue_full_spins = self.queue_full_spins;
+            prof.seal();
+        }
+        WorkerRoundOut {
+            states: self.states,
+            items: self.items,
+            drops: self.drops,
+            local_msgs: self.local_msgs,
+            route_send: self.route_send,
+            route_recv: self.route_recv,
+            queue_full_spins: self.queue_full_spins,
+            memo_len: self.memo.len() as u64,
+            edges: self.edges,
+            prof: self.prof,
+        }
+    }
+}
+
+/// The merged successor log of one round, indexed by route key.
+struct Graph {
+    data: Vec<u64>,
+    index: FxHashMap<u64, usize>,
+}
+
+impl Graph {
+    fn build(logs: Vec<Vec<u64>>) -> Graph {
+        let total: usize = logs.iter().map(Vec::len).sum();
+        let mut data = Vec::with_capacity(total);
+        for log in logs {
+            data.extend(log);
+        }
+        let mut index = FxHashMap::default();
+        index.reserve(total / 8);
+        let mut i = 0;
+        while i < data.len() {
+            let key = data[i];
+            let meta = data[i + 2];
+            let logged = (meta & 0xffff) as usize;
+            let has_ample = meta & FLAG_AMPLE != 0;
+            index.insert(key, i);
+            i += 3 + usize::from(has_ample) + 2 * logged;
+        }
+        Graph { data, index }
+    }
+}
+
+/// Replay outcome of one state's subtree (the serial `SubtreeOutcome`).
+#[derive(Clone, Copy)]
+struct ReplayOutcome {
+    complete: bool,
+    closed_cycle: bool,
+}
+
+/// The serial explorer re-run over the logged key-graph: identical
+/// control flow, memo semantics and counters, with `u64` lookups where
+/// the serial explorer clones machines.
+struct Replay<'g> {
+    graph: &'g Graph,
+    memo: FxHashMap<u64, usize>,
+    on_path: FxHashSet<u64>,
+    codes: BTreeSet<LintCode>,
+    states: u64,
+    pruned: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    depth_hits: u64,
+    duplicates: u64,
+    /// POR-partial states (by route key) where the cycle proviso fired:
+    /// their full menus must be explored next round before the replay
+    /// is exact.
+    needs_full: FxHashSet<u64>,
+    max_depth: usize,
+}
+
+impl<'g> Replay<'g> {
+    fn new(graph: &'g Graph, max_depth: usize) -> Replay<'g> {
+        Replay {
+            graph,
+            memo: FxHashMap::default(),
+            on_path: FxHashSet::default(),
+            codes: BTreeSet::new(),
+            states: 0,
+            pruned: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            depth_hits: 0,
+            duplicates: 0,
+            needs_full: FxHashSet::default(),
+            max_depth,
+        }
+    }
+
+    fn run(&mut self, roots: &[RootEntry]) {
+        for root in roots {
+            match root {
+                RootEntry::Quiescent(deficit) => {
+                    if *deficit {
+                        self.codes.insert(LintCode::SessionDeficit);
+                    }
+                }
+                RootEntry::Open(key) => {
+                    let _ = self.dfs(*key, 0);
+                }
+            }
+        }
+    }
+
+    /// `route` identifies the concrete representative the walk arrived
+    /// at (its record); every gate — on-path, memo, budget — runs on the
+    /// serial memo key stored in that record, exactly as the serial DFS
+    /// memoizes the equivalence class while expanding the concrete
+    /// machine it reached.
+    fn dfs(&mut self, route: u64, depth: usize) -> ReplayOutcome {
+        let done = ReplayOutcome {
+            complete: true,
+            closed_cycle: false,
+        };
+        let Some(&record) = self.graph.index.get(&route) else {
+            // Every open edge targets an expanded state in a cut-free
+            // round; an absent record means the log is corrupt.
+            unreachable!("state {route:#x} expanded by no worker");
+        };
+        let memo_key = self.graph.data[record + 1];
+        if self.on_path.contains(&memo_key) {
+            self.codes.insert(LintCode::NonTermination);
+            return ReplayOutcome {
+                complete: true,
+                closed_cycle: true,
+            };
+        }
+        let remaining = self.max_depth.saturating_sub(depth);
+        if let Some(&budget) = self.memo.get(&memo_key) {
+            if budget >= remaining {
+                self.memo_hits += 1;
+                if budget == MEMO_COMPLETE {
+                    return done;
+                }
+                self.depth_hits += 1;
+                return ReplayOutcome {
+                    complete: false,
+                    closed_cycle: false,
+                };
+            }
+        }
+        self.memo_misses += 1;
+        if depth >= self.max_depth {
+            self.depth_hits += 1;
+            return ReplayOutcome {
+                complete: false,
+                closed_cycle: false,
+            };
+        }
+        self.states += 1;
+        self.on_path.insert(memo_key);
+        let complete = self.expand(route, record, depth);
+        self.on_path.remove(&memo_key);
+        let budget = if complete { MEMO_COMPLETE } else { remaining };
+        use std::collections::hash_map::Entry;
+        match self.memo.entry(memo_key) {
+            Entry::Occupied(entry) => {
+                let value = entry.into_mut();
+                *value = (*value).max(budget);
+                self.duplicates += 1;
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(budget);
+            }
+        }
+        ReplayOutcome {
+            complete,
+            closed_cycle: false,
+        }
+    }
+
+    /// One logged child: a pruned edge records its code, a quiescent
+    /// edge records its baked `SA001` verdict, an open edge recurses.
+    fn child(&mut self, base: usize, i: usize, depth: usize) -> ReplayOutcome {
+        let done = ReplayOutcome {
+            complete: true,
+            closed_cycle: false,
+        };
+        let tag = self.graph.data[base + 2 * i];
+        let payload = self.graph.data[base + 2 * i + 1];
+        match tag {
+            TAG_PRUNED => {
+                self.codes.insert(code_from_tag(payload));
+                done
+            }
+            TAG_QUIESCENT => {
+                if payload != 0 {
+                    self.codes.insert(LintCode::SessionDeficit);
+                }
+                done
+            }
+            TAG_OPEN => self.dfs(payload, depth + 1),
+            other => unreachable!("corrupt edge log: child tag {other}"),
+        }
+    }
+
+    fn expand(&mut self, route: u64, record: usize, depth: usize) -> bool {
+        let meta = self.graph.data[record + 2];
+        let logged = (meta & 0xffff) as usize;
+        let choices = ((meta >> 16) & 0xffff) as usize;
+        let has_ample = meta & FLAG_AMPLE != 0;
+        let partial = meta & FLAG_PARTIAL != 0;
+        let mut base = record + 3;
+        let ample = if has_ample {
+            let word = self.graph.data[base];
+            base += 1;
+            Some(Range {
+                start: (word & 0xffff_ffff) as usize,
+                end: (word >> 32) as usize,
+            })
+        } else {
+            None
+        };
+        let Some(ample) = ample else {
+            let mut complete = true;
+            for i in 0..logged {
+                complete &= self.child(base, i, depth).complete;
+            }
+            return complete;
+        };
+        // With an ample range the logged children are either the full
+        // menu (flagged states: ample indexes straight in) or just the
+        // ample slice (partial records: indexes shift to zero).
+        let (lo, hi) = if partial {
+            (0, logged)
+        } else {
+            (ample.start, ample.end)
+        };
+        let mut complete = true;
+        let mut closed_cycle = false;
+        for i in lo..hi {
+            let outcome = self.child(base, i, depth);
+            complete &= outcome.complete;
+            closed_cycle |= outcome.closed_cycle;
+        }
+        if closed_cycle {
+            if partial {
+                // The serial explorer would expand the rest of the menu
+                // here (cycle proviso), but this round never explored
+                // it. Flag for the next round; the controller discards
+                // this replay.
+                self.needs_full.insert(route);
+            } else {
+                for i in (0..ample.start).chain(ample.end..logged) {
+                    complete &= self.child(base, i, depth).complete;
+                }
+            }
+        } else {
+            self.pruned += (choices - ample.len()) as u64;
+        }
+        complete
+    }
+}
+
+/// Everything Phase A hands the orchestrator when the ownership walk
+/// finished cut-free: serial-exact verdict inputs plus routing totals.
+pub(crate) struct PartitionRun {
+    pub(crate) codes: BTreeSet<LintCode>,
+    pub(crate) states: u64,
+    pub(crate) depth_hits: u64,
+    pub(crate) pruned: u64,
+    pub(crate) memo_hits: u64,
+    pub(crate) memo_misses: u64,
+    pub(crate) duplicates: u64,
+    pub(crate) unique_states: u64,
+    pub(crate) rounds: u64,
+    pub(crate) route_send: u64,
+    pub(crate) route_recv: u64,
+    pub(crate) local_msgs: u64,
+    pub(crate) queue_full_spins: u64,
+    pub(crate) replay_ns: u64,
+    pub(crate) workers: Option<Vec<WorkerProfile>>,
+}
+
+/// Runs the hash-partitioned ownership exploration: rounds of parallel
+/// walk + serial replay, to the POR fixpoint. Returns `None` when a
+/// depth cut fired — the caller must fall back to the serial explorer.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_partitioned(
+    roots: &[AnyMachine],
+    n: usize,
+    s: u64,
+    max_depth: usize,
+    opts: ExploreOpts,
+    profile: bool,
+    progress: Option<&ProgressBoard>,
+    epoch: Instant,
+) -> Option<PartitionRun> {
+    let threads = opts.threads;
+    debug_assert!(threads >= 1);
+    let mut flagged: FxHashSet<u64> = FxHashSet::default();
+    let mut rounds = 0u64;
+    let mut route_send = 0u64;
+    let mut route_recv = 0u64;
+    let mut local_msgs = 0u64;
+    let mut queue_full_spins = 0u64;
+    let mut replay_ns = 0u64;
+    let mut workers: Option<Vec<WorkerProfile>> = None;
+    loop {
+        rounds += 1;
+        let mut root_entries = Vec::with_capacity(roots.len());
+        let mut seeds: Vec<VecDeque<RoutedState>> =
+            (0..threads).map(|_| VecDeque::new()).collect();
+        let mut seeded: FxHashSet<u64> = FxHashSet::default();
+        for root in roots {
+            let counter = SessionCounter::new(n, s);
+            if root.is_quiescent() {
+                root_entries.push(RootEntry::Quiescent(counter.sessions() < s));
+            } else {
+                let key = route_key(root, &counter);
+                root_entries.push(RootEntry::Open(key));
+                if seeded.insert(key) {
+                    if max_depth == 0 {
+                        return None;
+                    }
+                    seeds[owner_of(key, threads)].push_back(RoutedState {
+                        machine: root.clone(),
+                        counter,
+                        depth: 0,
+                        key,
+                    });
+                }
+            }
+        }
+        let shared = RoundShared::new(threads, &flagged);
+        let mut outs: Vec<WorkerRoundOut> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .drain(..)
+                .enumerate()
+                .map(|(me, seed)| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        OwnerWorker::new(
+                            me, threads, s, max_depth, opts, shared, seed, profile, epoch,
+                            rounds - 1, progress,
+                        )
+                        .run()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outs.push(handle.join().expect("partition worker panicked"));
+            }
+        });
+        if shared.control.cut.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut accepted = 0u64;
+        let mut expanded = 0u64;
+        let mut logs = Vec::with_capacity(outs.len());
+        for (id, out) in outs.into_iter().enumerate() {
+            route_send += out.route_send;
+            route_recv += out.route_recv;
+            local_msgs += out.local_msgs;
+            queue_full_spins += out.queue_full_spins;
+            accepted += out.memo_len;
+            expanded += out.states;
+            let _ = (out.items, out.drops);
+            logs.push(out.edges);
+            if let Some(prof) = out.prof {
+                let slots = workers.get_or_insert_with(|| {
+                    (0..threads).map(|_| WorkerProfile::new()).collect()
+                });
+                slots[id].absorb(*prof);
+            }
+        }
+        debug_assert_eq!(
+            expanded, accepted,
+            "first-arrival ownership: every accepted state expanded exactly once"
+        );
+        let graph = Graph::build(logs);
+        // wslint: allow(ws001): flight profiler measures real elapsed time by design
+        let replay_started = Instant::now();
+        let mut replay = Replay::new(&graph, max_depth);
+        replay.run(&root_entries);
+        replay_ns += nanos(replay_started.elapsed());
+        let fresh: Vec<u64> = replay
+            .needs_full
+            .iter()
+            .filter(|key| !flagged.contains(*key))
+            .copied()
+            .collect();
+        if !fresh.is_empty() {
+            debug_assert!(opts.por, "proviso flags require POR");
+            flagged.extend(fresh);
+            continue;
+        }
+        return Some(PartitionRun {
+            states: replay.states,
+            depth_hits: replay.depth_hits,
+            pruned: replay.pruned,
+            memo_hits: replay.memo_hits,
+            memo_misses: replay.memo_misses,
+            duplicates: replay.duplicates,
+            // Serial memo entries: the replay memo is keyed by the
+            // serial memo key, so its size matches the serial explorer
+            // even when Phase A expanded extra orbit representatives.
+            unique_states: replay.memo.len() as u64,
+            codes: replay.codes,
+            rounds,
+            route_send,
+            route_recv,
+            local_msgs,
+            queue_full_spins,
+            replay_ns,
+            workers,
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_map_is_deterministic_and_in_range() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+                let owner = owner_of(key, threads);
+                assert!(owner < threads);
+                assert_eq!(owner, owner_of(key, threads));
+            }
+        }
+    }
+
+    #[test]
+    fn owner_map_spreads_keys_roughly_evenly() {
+        let threads = 8;
+        let mut counts = vec![0u64; threads];
+        for i in 0..80_000u64 {
+            counts[owner_of(i.wrapping_mul(0x517c_c1b7_2722_0a95), threads)] += 1;
+        }
+        for &count in &counts {
+            assert!((8_000..12_000).contains(&count), "skewed shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let ring = SpscRing::new(2);
+        assert!(ring.try_push(1u32).is_ok());
+        assert!(ring.try_push(2).is_ok());
+        assert_eq!(ring.try_push(3), Err(3), "full ring rejects");
+        assert_eq!(ring.try_pop(), Some(1));
+        assert!(ring.try_push(3).is_ok(), "freed slot accepts");
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), Some(3));
+        assert_eq!(ring.try_pop(), None);
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn ring_survives_a_cross_thread_stress_run() {
+        const COUNT: u64 = 100_000;
+        let ring = Arc::new(SpscRing::new(4));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for value in 0..COUNT {
+                    let mut v = value;
+                    loop {
+                        match ring.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < COUNT {
+            if let Some(value) = ring.try_pop() {
+                assert_eq!(value, expected, "FIFO order violated");
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn token_terminates_a_single_worker_ring() {
+        let control = Control::new(1);
+        let mut state = TokenState::new();
+        // First pass consumes the initial black token and starts a
+        // white round (to itself); the second pass may declare done.
+        assert!(!state.try_pass(&control, 0));
+        assert!(state.try_pass(&control, 0));
+        assert!(control.done.load(Ordering::Acquire));
+    }
+
+    /// A 4-worker synthetic router: worker threads expand a binary tree
+    /// of `u64` keys, routing each child to its owner, deduplicating on
+    /// first arrival, and terminating via the Safra token. Exercises
+    /// exactly the production loop shape (drain → expand → flush → token)
+    /// with racing producers; asserts no successor is lost and the token
+    /// never declares quiescence while work remains.
+    #[test]
+    fn synthetic_router_loses_nothing_and_terminates() {
+        const THREADS: usize = 4;
+        const NODES: u64 = 40_000;
+        let rings: Vec<Vec<SpscRing<Vec<u64>>>> = (0..THREADS)
+            .map(|_| (0..THREADS).map(|_| SpscRing::new(8)).collect())
+            .collect();
+        let control = Control::new(THREADS);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for me in 0..THREADS {
+                let rings = &rings;
+                let control = &control;
+                let total = &total;
+                scope.spawn(move || {
+                    let mut memo = FxHashSet::default();
+                    let mut queue: VecDeque<u64> = VecDeque::new();
+                    let mut outbox: Vec<Vec<u64>> = (0..THREADS).map(|_| Vec::new()).collect();
+                    let mut token = TokenState::new();
+                    let mut expanded = 0u64;
+                    if owner_of(0, THREADS) == me {
+                        memo.insert(0);
+                        queue.push_back(0);
+                    }
+                    // Mirrors `OwnerWorker::route_child` + `flush_dest`:
+                    // a blocked producer must drain its own inboxes while
+                    // it spins, or two workers pushing to each other over
+                    // full rings would livelock.
+                    let route = |key: u64,
+                                 memo: &mut FxHashSet<u64>,
+                                 queue: &mut VecDeque<u64>,
+                                 outbox: &mut Vec<Vec<u64>>,
+                                 token: &mut TokenState| {
+                        let owner = owner_of(key, THREADS);
+                        if owner == me {
+                            if memo.insert(key) {
+                                queue.push_back(key);
+                            }
+                        } else {
+                            outbox[owner].push(key);
+                            if outbox[owner].len() >= 16 {
+                                let mut batch = std::mem::take(&mut outbox[owner]);
+                                let len = batch.len();
+                                loop {
+                                    match rings[me][owner].try_push(batch) {
+                                        Ok(()) => {
+                                            token.on_send(len);
+                                            break;
+                                        }
+                                        Err(back) => {
+                                            batch = back;
+                                            for from in 0..THREADS {
+                                                while let Some(got) = rings[from][me].try_pop() {
+                                                    token.on_recv(got.len());
+                                                    for key in got {
+                                                        if memo.insert(key) {
+                                                            queue.push_back(key);
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                            std::thread::yield_now();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    loop {
+                        if control.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let mut progressed = false;
+                        for from in 0..THREADS {
+                            while let Some(batch) = rings[from][me].try_pop() {
+                                token.on_recv(batch.len());
+                                progressed = true;
+                                for key in batch {
+                                    if memo.insert(key) {
+                                        queue.push_back(key);
+                                    }
+                                }
+                            }
+                        }
+                        while let Some(key) = queue.pop_front() {
+                            expanded += 1;
+                            progressed = true;
+                            for child in [2 * key + 1, 2 * key + 2] {
+                                if child < NODES {
+                                    route(child, &mut memo, &mut queue, &mut outbox, &mut token);
+                                }
+                            }
+                        }
+                        if progressed {
+                            continue;
+                        }
+                        let mut flushed = true;
+                        for dest in 0..THREADS {
+                            if dest == me || outbox[dest].is_empty() {
+                                continue;
+                            }
+                            let mut batch = std::mem::take(&mut outbox[dest]);
+                            let len = batch.len();
+                            match rings[me][dest].try_push(batch) {
+                                Ok(()) => token.on_send(len),
+                                Err(back) => {
+                                    batch = back;
+                                    let _ = len;
+                                    outbox[dest] = batch;
+                                    flushed = false;
+                                }
+                            }
+                        }
+                        if !flushed {
+                            continue;
+                        }
+                        if token.try_pass(control, me) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    // At the declared quiescence nothing may remain
+                    // anywhere this worker can see.
+                    assert!(queue.is_empty(), "worker {me} quit with local work");
+                    assert!(
+                        outbox.iter().all(Vec::is_empty),
+                        "worker {me} quit with unsent successors"
+                    );
+                    total.fetch_add(expanded, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            NODES,
+            "every key expanded exactly once"
+        );
+    }
+
+    #[test]
+    fn edge_log_meta_roundtrips() {
+        let logged = 5u64;
+        let choices = 9u64;
+        let meta = logged | choices << 16 | FLAG_AMPLE | FLAG_PARTIAL;
+        assert_eq!(meta & 0xffff, logged);
+        assert_eq!((meta >> 16) & 0xffff, choices);
+        assert!(meta & FLAG_AMPLE != 0);
+        assert!(meta & FLAG_PARTIAL != 0);
+        let word = 3u64 | 7u64 << 32;
+        assert_eq!((word & 0xffff_ffff, word >> 32), (3, 7));
+        for code in [
+            LintCode::SessionDeficit,
+            LintCode::BBoundViolation,
+            LintCode::StaleEvidence,
+            LintCode::InadmissibleStep,
+            LintCode::NonTermination,
+        ] {
+            assert_eq!(code_from_tag(code_tag(code)), code);
+        }
+    }
+}
+
+/// Loom models for the routing ring and the termination token, built
+/// only under `RUSTFLAGS="--cfg loom"` (the CI `loom-memo` job). Each
+/// model is bounded — no unbounded spin loops — so loom can enumerate
+/// every interleaving.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::Arc;
+
+    #[test]
+    fn ring_loses_no_batches_under_a_racing_consumer() {
+        loom::model(|| {
+            let ring = Arc::new(SpscRing::new(2));
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                loom::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..4 {
+                        if let Some(value) = ring.try_pop() {
+                            got.push(value);
+                        }
+                    }
+                    got
+                })
+            };
+            assert!(ring.try_push(1u32).is_ok());
+            assert!(ring.try_push(2).is_ok());
+            let mut got = consumer.join().expect("consumer");
+            while let Some(value) = ring.try_pop() {
+                got.push(value);
+            }
+            // No loss, no duplication, no reorder across the race.
+            assert_eq!(got, vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn ring_never_overruns_its_capacity() {
+        loom::model(|| {
+            let ring = Arc::new(SpscRing::new(1));
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                loom::thread::spawn(move || ring.try_pop())
+            };
+            assert!(ring.try_push(7u32).is_ok());
+            // Whatever the consumer did, a second push either fits the
+            // freed slot or is refused — never a silent overwrite.
+            let second = ring.try_push(8);
+            let first = consumer.join().expect("consumer");
+            let mut seen: Vec<u32> = first.into_iter().collect();
+            while let Some(value) = ring.try_pop() {
+                seen.push(value);
+            }
+            match second {
+                Ok(()) => assert_eq!(seen, vec![7, 8]),
+                Err(8) => assert_eq!(seen, vec![7]),
+                Err(other) => panic!("push returned foreign value {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn token_never_declares_done_with_a_message_in_flight() {
+        loom::model(|| {
+            let control = Arc::new(Control::new(2));
+            let ring = Arc::new(SpscRing::new(2));
+            let processed = Arc::new(AtomicBool::new(false));
+            let peer = {
+                let control = Arc::clone(&control);
+                let ring = Arc::clone(&ring);
+                let processed = Arc::clone(&processed);
+                loom::thread::spawn(move || {
+                    let mut state = TokenState::new();
+                    for _ in 0..5 {
+                        if control.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if ring.try_pop().is_some() {
+                            state.on_recv(1);
+                            processed.store(true, Ordering::Release);
+                        } else {
+                            let _ = state.try_pass(&control, 1);
+                        }
+                    }
+                })
+            };
+            let mut state = TokenState::new();
+            ring.try_push(42u32).expect("empty ring");
+            state.on_send(1);
+            let mut declared = false;
+            for _ in 0..5 {
+                if state.try_pass(&control, 0) {
+                    declared = true;
+                    break;
+                }
+            }
+            peer.join().expect("peer");
+            if declared {
+                // Safra safety: termination implies the routed message
+                // was already received and processed.
+                assert!(
+                    processed.load(Ordering::Acquire),
+                    "done declared with a message still in flight"
+                );
+            }
+        });
+    }
+}

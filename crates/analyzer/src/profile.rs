@@ -1,16 +1,16 @@
 //! The explorer flight recorder: structured profiles of where an
 //! exploration spent its time (DESIGN.md §15).
 //!
-//! `BENCH_analyzer.json` showed the parallel explorer *losing* to the
-//! serial one, and nothing in the codebase could say why: donation
-//! churn, memo-stripe contention, idle workers and duplicated work were
-//! all invisible. This module is the visibility layer. The parallel
-//! explorer (and, degenerately, the serial one) fills an
-//! [`ExploreProfile`] — per-worker time splits, per-stripe memo
-//! hit/miss/contention counts, duplicate-expansion counts, the Phase
-//! A/Phase B wall-clock break — which serializes as the stable
-//! `analyzer-profile/v1` JSON document plus a Perfetto trace with one
-//! track per worker.
+//! `BENCH_analyzer.json` showed the donation-era parallel explorer
+//! *losing* to the serial one, and the v1 profile said why: stripe-lock
+//! waits, duplicated expansions, donation churn. The ownership explorer
+//! (DESIGN.md §13) removed those mechanisms wholesale, so the v2
+//! profile records what replaced them: per-worker **routing** activity
+//! (messages sent to and received from peer shards, successors kept
+//! local, back-pressure spins on full rings), the POR fixpoint round
+//! count, and whether the run fell back to the serial explorer. The
+//! document serializes as the stable `analyzer-profile/v2` JSON plus a
+//! Perfetto trace with one track per worker.
 //!
 //! Profiling never changes findings: every hook is behind an `Option`
 //! that is `None` unless `profile=`/`progress=` asked for it, and the
@@ -20,10 +20,10 @@
 use std::sync::Arc;
 
 use session_obs::json::JsonWriter;
-use session_obs::{export, Histogram, ProgressBoard, WorkerTimeline};
+use session_obs::{export, ProgressBoard, WorkerTimeline};
 
-/// How many timeline spans / pool-depth samples each worker keeps before
-/// counting overflow instead (bounds profile size on huge runs).
+/// How many timeline spans / inbox-depth samples each worker keeps
+/// before counting overflow instead (bounds profile size on huge runs).
 pub(crate) const FLIGHT_BUFFER_CAP: usize = 4096;
 
 /// What the caller asked the flight recorder to do.
@@ -50,39 +50,45 @@ impl FlightOpts {
 }
 
 /// Per-worker flight data, owned by exactly one worker thread during
-/// Phase A and merged into the profile after the join.
+/// Phase A and merged into the profile after the join. With POR
+/// fixpoint re-rounds the per-round profiles are summed per worker id.
 #[derive(Clone, Debug)]
 pub struct WorkerProfile {
-    /// States this worker expanded.
+    /// States this worker expanded (its shard of the space).
     pub states: u64,
-    /// Work items this worker popped from the pool.
+    /// Routed arrivals this worker processed (accepted + dropped).
     pub items: u64,
-    /// Time spent processing items (everything but waiting on the pool).
+    /// Time spent in work bursts (draining, expanding, routing).
     pub busy_ns: u64,
-    /// Time blocked on an empty pool waiting for donations.
+    /// Time spent idle: empty queue, empty inboxes, waiting on the
+    /// termination token.
     pub idle_ns: u64,
-    /// Residual expansion time: `busy - memo_probe - memo_insert -
-    /// donation` (cloning machines, applying steps, firing lints).
+    /// Residual expansion time: `busy - route_send - route_recv`
+    /// (cloning machines, applying steps, firing lints, memo inserts —
+    /// the memo is a thread-local set, so probes are not split out).
     pub expand_ns: u64,
-    /// Time in memo lookups, including stripe-lock acquisition.
-    pub memo_probe_ns: u64,
-    /// Time in memo merges, including stripe-lock acquisition.
-    pub memo_insert_ns: u64,
-    /// The stripe-lock-wait portion: time spent blocked on a stripe a
-    /// peer held (contended acquisitions only).
-    pub stripe_lock_wait_ns: u64,
-    /// How many stripe acquisitions were contended.
-    pub stripe_lock_waits: u64,
-    /// Time spent donating children to the pool (pool lock included).
-    pub donation_ns: u64,
-    /// States this worker expanded whose memo slot was already occupied
-    /// when it finished — work another worker (or an earlier
-    /// shallower-budget walk) had already done.
+    /// Time pushing batches to peer rings, including back-pressure
+    /// spins.
+    pub route_send_ns: u64,
+    /// Time draining batches from peer rings.
+    pub route_recv_ns: u64,
+    /// Successor messages pushed to peer rings.
+    pub route_send: u64,
+    /// Successor messages drained from peer rings.
+    pub route_recv: u64,
+    /// Successors this worker owned itself (never crossed a ring).
+    pub local_msgs: u64,
+    /// Failed ring pushes: each is one spin of the back-pressure loop.
+    pub queue_full_spins: u64,
+    /// Always zero for the ownership explorer (first-arrival dedup);
+    /// the serial explorer counts its budget-growth re-walks here.
     pub duplicate_expansions: u64,
-    /// One span per work item, for the per-worker Perfetto track.
+    /// One span per work burst, for the per-worker Perfetto track
+    /// (`detail` = fixpoint round index).
     pub timeline: WorkerTimeline,
-    /// `(t_ns, depth)` samples of the frontier pool, taken at each pop.
-    pub pool_depth: Vec<(u64, u64)>,
+    /// `(t_ns, pending_batches)` samples of this worker's inboxes,
+    /// taken when a drain found traffic.
+    pub inbox_depth: Vec<(u64, u64)>,
 }
 
 impl WorkerProfile {
@@ -93,14 +99,15 @@ impl WorkerProfile {
             busy_ns: 0,
             idle_ns: 0,
             expand_ns: 0,
-            memo_probe_ns: 0,
-            memo_insert_ns: 0,
-            stripe_lock_wait_ns: 0,
-            stripe_lock_waits: 0,
-            donation_ns: 0,
+            route_send_ns: 0,
+            route_recv_ns: 0,
+            route_send: 0,
+            route_recv: 0,
+            local_msgs: 0,
+            queue_full_spins: 0,
             duplicate_expansions: 0,
             timeline: WorkerTimeline::with_capacity(FLIGHT_BUFFER_CAP),
-            pool_depth: Vec::new(),
+            inbox_depth: Vec::new(),
         }
     }
 
@@ -109,23 +116,47 @@ impl WorkerProfile {
     pub(crate) fn seal(&mut self) {
         self.expand_ns = self
             .busy_ns
-            .saturating_sub(self.memo_probe_ns + self.memo_insert_ns + self.donation_ns);
+            .saturating_sub(self.route_send_ns + self.route_recv_ns);
+    }
+
+    /// Folds another round's profile for the same worker id into this
+    /// one (numeric fields summed, timeline and samples appended).
+    pub(crate) fn absorb(&mut self, other: WorkerProfile) {
+        self.states += other.states;
+        self.items += other.items;
+        self.busy_ns += other.busy_ns;
+        self.idle_ns += other.idle_ns;
+        self.route_send_ns += other.route_send_ns;
+        self.route_recv_ns += other.route_recv_ns;
+        self.route_send += other.route_send;
+        self.route_recv += other.route_recv;
+        self.local_msgs += other.local_msgs;
+        self.queue_full_spins += other.queue_full_spins;
+        self.duplicate_expansions += other.duplicate_expansions;
+        for span in other.timeline.spans() {
+            self.timeline.push(*span);
+        }
+        for sample in other.inbox_depth {
+            if self.inbox_depth.len() < FLIGHT_BUFFER_CAP {
+                self.inbox_depth.push(sample);
+            }
+        }
+        self.seal();
+    }
+
+    /// Fraction of this worker's successors it owned itself.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn owner_local_ratio(&self) -> f64 {
+        let routed = self.local_msgs + self.route_send;
+        if routed == 0 {
+            return 1.0;
+        }
+        self.local_msgs as f64 / routed as f64
     }
 }
 
-/// Per-stripe memo statistics, summed over all workers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StripeProfile {
-    /// Probes answered by a sufficient memo entry.
-    pub hits: u64,
-    /// Probes that missed (entry absent or budget too small).
-    pub misses: u64,
-    /// Lock acquisitions (probe or merge) that had to wait for a peer.
-    pub contended: u64,
-}
-
 /// A complete flight-recorder profile of one exploration, serializable
-/// as the stable `analyzer-profile/v1` JSON document.
+/// as the stable `analyzer-profile/v2` JSON document.
 #[derive(Clone, Debug)]
 pub struct ExploreProfile {
     /// Target name (empty when the caller explored raw roots).
@@ -142,35 +173,42 @@ pub struct ExploreProfile {
     pub por: bool,
     /// Whether symmetry reduction was on.
     pub symmetry: bool,
-    /// States expanded (over-counts shared states, like the report).
+    /// States expanded in Phase A, summed over workers and rounds. With
+    /// a single round this equals `unique_states` — each state is
+    /// expanded exactly once by its owner.
     pub states: u64,
-    /// Distinct memo entries — the deduplicated state count.
+    /// Distinct states in the final round's owner memos (the serial
+    /// explorer reports its memo size here).
     pub unique_states: u64,
-    /// Expansions whose memo slot was already occupied at write time:
-    /// duplicated work. With `threads = 1` this counts only
-    /// budget-growth re-walks; the parallel surplus over that baseline
-    /// is cross-worker duplication.
+    /// Zero for the ownership explorer by construction; the serial
+    /// explorer counts budget-growth re-walks.
     pub duplicate_expansions: u64,
-    /// Donation points: states whose menu was split into pool items.
-    pub donations_offered: u64,
-    /// Work items pushed to the pool at donation points.
-    pub donations_accepted: u64,
-    /// End-to-end wall clock (Phase A + Phase B), nanoseconds.
+    /// Successor messages routed across shard boundaries.
+    pub route_send: u64,
+    /// Successor messages received across shard boundaries.
+    pub route_recv: u64,
+    /// Successors kept on their generating worker's own shard.
+    pub local_msgs: u64,
+    /// Total back-pressure spins on full rings.
+    pub queue_full_spins: u64,
+    /// Phase A rounds (1 + POR proviso fixpoint re-rounds).
+    pub rounds: u64,
+    /// The run hit a depth cut and fell back to the serial explorer.
+    pub fallback: bool,
+    /// End-to-end wall clock (all phases), nanoseconds.
     pub wall_ns: u64,
-    /// Phase A (parallel code discovery) wall clock.
+    /// Phase A (parallel ownership walk, all rounds) wall clock.
     pub phase_a_ns: u64,
+    /// Serial replay over the logged key-graph, wall clock.
+    pub replay_ns: u64,
     /// Phase B (serial witness re-derivation) wall clock.
     pub phase_b_ns: u64,
-    /// The cross-worker distribution of contended stripe-lock waits.
-    pub lock_wait_hist: Histogram,
     /// One entry per worker.
     pub workers: Vec<WorkerProfile>,
-    /// One entry per memo stripe (empty for the serial explorer).
-    pub stripes: Vec<StripeProfile>,
 }
 
 impl ExploreProfile {
-    /// Serializes the profile as the `analyzer-profile/v1` document.
+    /// Serializes the profile as the `analyzer-profile/v2` document.
     ///
     /// Field order is fixed, so the output is a deterministic function
     /// of the profile (asserted byte-for-byte by
@@ -179,7 +217,7 @@ impl ExploreProfile {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "analyzer-profile/v1");
+        w.field_str("schema", "analyzer-profile/v2");
         w.field_str("target", &self.target);
         w.field_u64("n", self.n as u64);
         w.field_u64("s", self.s);
@@ -193,21 +231,20 @@ impl ExploreProfile {
         w.field_u64("states", self.states);
         w.field_u64("unique_states", self.unique_states);
         w.field_u64("duplicate_expansions", self.duplicate_expansions);
-        w.key("donations");
+        w.key("routing");
         w.begin_object();
-        w.field_u64("offered", self.donations_offered);
-        w.field_u64("accepted", self.donations_accepted);
+        w.field_u64("send", self.route_send);
+        w.field_u64("recv", self.route_recv);
+        w.field_u64("local", self.local_msgs);
+        w.field_u64("queue_full_spins", self.queue_full_spins);
+        w.field_f64("owner_local_ratio", self.owner_local_ratio());
+        w.field_u64("rounds", self.rounds);
+        w.field_bool("fallback", self.fallback);
         w.end_object();
         w.field_u64("wall_ns", self.wall_ns);
         w.field_u64("phase_a_ns", self.phase_a_ns);
+        w.field_u64("replay_ns", self.replay_ns);
         w.field_u64("phase_b_ns", self.phase_b_ns);
-        w.key("stripe_lock_wait");
-        w.begin_object();
-        w.field_u64("count", self.lock_wait_hist.count());
-        w.field_f64("total_ns", self.lock_wait_hist.sum());
-        w.field_f64("p95_ns", self.lock_wait_hist.quantile(0.95).unwrap_or(0.0));
-        w.field_f64("max_ns", self.lock_wait_hist.max().unwrap_or(0.0));
-        w.end_object();
         w.key("workers");
         w.begin_array();
         for (id, worker) in self.workers.iter().enumerate() {
@@ -220,13 +257,15 @@ impl ExploreProfile {
             w.key("time_ns");
             w.begin_object();
             w.field_u64("expand", worker.expand_ns);
-            w.field_u64("memo_probe", worker.memo_probe_ns);
-            w.field_u64("memo_insert", worker.memo_insert_ns);
-            w.field_u64("stripe_lock_wait", worker.stripe_lock_wait_ns);
-            w.field_u64("donation", worker.donation_ns);
+            w.field_u64("route_send", worker.route_send_ns);
+            w.field_u64("route_recv", worker.route_recv_ns);
             w.field_u64("idle", worker.idle_ns);
             w.end_object();
-            w.field_u64("stripe_lock_waits", worker.stripe_lock_waits);
+            w.field_u64("route_send", worker.route_send);
+            w.field_u64("route_recv", worker.route_recv);
+            w.field_u64("local_msgs", worker.local_msgs);
+            w.field_u64("queue_full_spins", worker.queue_full_spins);
+            w.field_f64("owner_local_ratio", worker.owner_local_ratio());
             w.field_u64("duplicate_expansions", worker.duplicate_expansions);
             w.key("timeline");
             w.begin_array();
@@ -235,30 +274,20 @@ impl ExploreProfile {
                 w.field_str("name", span.name);
                 w.field_u64("start_ns", span.start_ns);
                 w.field_u64("end_ns", span.end_ns);
-                w.field_u64("depth", span.detail);
+                w.field_u64("round", span.detail);
                 w.end_object();
             }
             w.end_array();
             w.field_u64("timeline_dropped", worker.timeline.dropped());
-            w.key("pool_depth");
+            w.key("inbox_depth");
             w.begin_array();
-            for &(t_ns, depth) in &worker.pool_depth {
+            for &(t_ns, depth) in &worker.inbox_depth {
                 w.begin_array();
                 w.value_u64(t_ns);
                 w.value_u64(depth);
                 w.end_array();
             }
             w.end_array();
-            w.end_object();
-        }
-        w.end_array();
-        w.key("stripes");
-        w.begin_array();
-        for stripe in &self.stripes {
-            w.begin_object();
-            w.field_u64("hits", stripe.hits);
-            w.field_u64("misses", stripe.misses);
-            w.field_u64("contended", stripe.contended);
             w.end_object();
         }
         w.end_array();
@@ -292,14 +321,28 @@ impl ExploreProfile {
         worker.busy_ns as f64 / self.phase_a_ns as f64
     }
 
+    /// Fraction of all successors that never crossed a shard boundary.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn owner_local_ratio(&self) -> f64 {
+        let routed = self.local_msgs + self.route_send;
+        if routed == 0 {
+            return 1.0;
+        }
+        self.local_msgs as f64 / routed as f64
+    }
+
     /// A one-paragraph accounting summary (used by `bench_analyzer
-    /// --profile` and handy in tests): total busy vs idle vs lock-wait
-    /// time and the duplicated-work fraction.
+    /// --profile` and handy in tests): busy vs idle vs routing time and
+    /// the shard-locality ratio.
     #[allow(clippy::cast_precision_loss)]
     pub fn summary(&self) -> String {
         let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
         let idle: u64 = self.workers.iter().map(|w| w.idle_ns).sum();
-        let wait: u64 = self.workers.iter().map(|w| w.stripe_lock_wait_ns).sum();
+        let route: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.route_send_ns + w.route_recv_ns)
+            .sum();
         let dup_pct = if self.states == 0 {
             0.0
         } else {
@@ -307,15 +350,18 @@ impl ExploreProfile {
         };
         format!(
             "threads={} states={} unique={} dup={} ({dup_pct:.1}%) \
-             busy_ms={:.1} idle_ms={:.1} lock_wait_ms={:.1} \
-             phase_a_ms={:.1} phase_b_ms={:.1}",
+             busy_ms={:.1} idle_ms={:.1} route_ms={:.1} local={:.2} \
+             rounds={} fallback={} phase_a_ms={:.1} phase_b_ms={:.1}",
             self.threads,
             self.states,
             self.unique_states,
             self.duplicate_expansions,
             busy as f64 / 1e6,
             idle as f64 / 1e6,
-            wait as f64 / 1e6,
+            route as f64 / 1e6,
+            self.owner_local_ratio(),
+            self.rounds,
+            self.fallback,
             self.phase_a_ns as f64 / 1e6,
             self.phase_b_ns as f64 / 1e6,
         )
@@ -333,55 +379,48 @@ mod tests {
     pub(crate) fn synthetic() -> ExploreProfile {
         let mut timeline = WorkerTimeline::with_capacity(4);
         timeline.push(TimelineSpan {
-            name: "item",
+            name: "work",
             start_ns: 1000,
             end_ns: 51000,
             detail: 0,
         });
         timeline.push(TimelineSpan {
-            name: "item",
+            name: "work",
             start_ns: 60000,
             end_ns: 80000,
-            detail: 5,
+            detail: 1,
         });
-        let mut lock_wait_hist = Histogram::new();
-        lock_wait_hist.record(200.0);
-        lock_wait_hist.record(800.0);
         let worker0 = WorkerProfile {
             states: 900,
-            items: 2,
+            items: 1100,
             busy_ns: 70000,
             idle_ns: 10000,
-            expand_ns: 60000,
-            memo_probe_ns: 6000,
-            memo_insert_ns: 3000,
-            stripe_lock_wait_ns: 1000,
-            stripe_lock_waits: 2,
-            donation_ns: 1000,
-            duplicate_expansions: 40,
+            expand_ns: 61000,
+            route_send_ns: 6000,
+            route_recv_ns: 3000,
+            route_send: 500,
+            route_recv: 400,
+            local_msgs: 700,
+            queue_full_spins: 3,
+            duplicate_expansions: 0,
             timeline,
-            pool_depth: vec![(1000, 3), (60000, 1)],
+            inbox_depth: vec![(1000, 3), (60000, 1)],
         };
         let worker1 = WorkerProfile {
             states: 100,
-            items: 1,
+            items: 420,
             busy_ns: 20000,
             idle_ns: 60000,
             expand_ns: 20000,
-            memo_probe_ns: 0,
-            memo_insert_ns: 0,
-            stripe_lock_wait_ns: 0,
-            stripe_lock_waits: 0,
-            donation_ns: 0,
-            duplicate_expansions: 10,
+            route_send_ns: 0,
+            route_recv_ns: 0,
+            route_send: 100,
+            route_recv: 200,
+            local_msgs: 100,
+            queue_full_spins: 0,
+            duplicate_expansions: 0,
             timeline: WorkerTimeline::with_capacity(4),
-            pool_depth: vec![(2000, 2)],
-        };
-        let mut stripes = vec![StripeProfile::default(); 4];
-        stripes[1] = StripeProfile {
-            hits: 50,
-            misses: 950,
-            contended: 2,
+            inbox_depth: vec![(2000, 2)],
         };
         ExploreProfile {
             target: "PeriodicMp".to_owned(),
@@ -392,16 +431,19 @@ mod tests {
             por: false,
             symmetry: false,
             states: 1000,
-            unique_states: 950,
-            duplicate_expansions: 50,
-            donations_offered: 3,
-            donations_accepted: 4,
+            unique_states: 1000,
+            duplicate_expansions: 0,
+            route_send: 600,
+            route_recv: 600,
+            local_msgs: 800,
+            queue_full_spins: 3,
+            rounds: 2,
+            fallback: false,
             wall_ns: 100000,
             phase_a_ns: 80000,
-            phase_b_ns: 20000,
-            lock_wait_hist,
+            replay_ns: 5000,
+            phase_b_ns: 15000,
             workers: vec![worker0, worker1],
-            stripes,
         }
     }
 
@@ -412,9 +454,18 @@ mod tests {
         let v = json::parse(&doc).unwrap();
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("analyzer-profile/v1")
+            Some("analyzer-profile/v2")
         );
         assert_eq!(v.get("threads").and_then(json::JsonValue::as_u64), Some(2));
+        let routing = v.get("routing").unwrap();
+        assert_eq!(
+            routing.get("send").and_then(json::JsonValue::as_u64),
+            Some(600)
+        );
+        assert_eq!(
+            routing.get("rounds").and_then(json::JsonValue::as_u64),
+            Some(2)
+        );
         let workers = v
             .get("workers")
             .and_then(json::JsonValue::as_array)
@@ -423,20 +474,15 @@ mod tests {
         assert_eq!(
             workers[0]
                 .get("time_ns")
-                .and_then(|t| t.get("stripe_lock_wait"))
+                .and_then(|t| t.get("route_send"))
                 .and_then(json::JsonValue::as_u64),
-            Some(1000)
+            Some(6000)
         );
-        let stripes = v
-            .get("stripes")
-            .and_then(json::JsonValue::as_array)
-            .unwrap();
-        assert_eq!(stripes.len(), 4);
         assert_eq!(
-            stripes[1]
-                .get("contended")
+            workers[0]
+                .get("queue_full_spins")
                 .and_then(json::JsonValue::as_u64),
-            Some(2)
+            Some(3)
         );
     }
 
@@ -464,21 +510,48 @@ mod tests {
             .unwrap();
         assert!((util0 - 0.875).abs() < 1e-9, "{util0}");
         let summary = profile.summary();
-        assert!(summary.contains("dup=50 (5.0%)"), "{summary}");
+        assert!(summary.contains("dup=0 (0.0%)"), "{summary}");
         assert!(summary.contains("threads=2"), "{summary}");
+        assert!(summary.contains("rounds=2"), "{summary}");
+    }
+
+    #[test]
+    fn owner_local_ratio_splits_local_from_routed() {
+        let profile = synthetic();
+        // 800 local of 1400 generated successors.
+        assert!((profile.owner_local_ratio() - 800.0 / 1400.0).abs() < 1e-9);
+        let lone = WorkerProfile::new();
+        assert!((lone.owner_local_ratio() - 1.0).abs() < 1e-9, "no traffic");
     }
 
     #[test]
     fn sealing_fills_the_residual_expand_slot() {
         let mut worker = WorkerProfile::new();
         worker.busy_ns = 100;
-        worker.memo_probe_ns = 20;
-        worker.memo_insert_ns = 10;
-        worker.donation_ns = 5;
+        worker.route_send_ns = 20;
+        worker.route_recv_ns = 10;
         worker.seal();
-        assert_eq!(worker.expand_ns, 65);
+        assert_eq!(worker.expand_ns, 70);
         worker.busy_ns = 10;
         worker.seal();
         assert_eq!(worker.expand_ns, 0, "residual saturates at zero");
+    }
+
+    #[test]
+    fn absorb_sums_rounds_per_worker() {
+        let mut first = WorkerProfile::new();
+        first.states = 10;
+        first.busy_ns = 100;
+        first.route_send = 5;
+        let mut second = WorkerProfile::new();
+        second.states = 7;
+        second.busy_ns = 50;
+        second.route_send = 2;
+        second.inbox_depth.push((123, 4));
+        first.absorb(second);
+        assert_eq!(first.states, 17);
+        assert_eq!(first.busy_ns, 150);
+        assert_eq!(first.route_send, 7);
+        assert_eq!(first.inbox_depth, vec![(123, 4)]);
     }
 }

@@ -1,20 +1,27 @@
-//! Differential harness: the parallel explorer must be *bit-identical*
-//! to the serial one.
+//! Differential harness: the ownership-partitioned parallel explorer
+//! must be *bit-identical* to the serial one.
 //!
 //! `reduction_diff.rs` only demands code-set equality across reductions,
 //! because a reduction may legitimately find a violation along a
 //! different representative interleaving. The thread count is held to a
-//! stricter standard: the parallel explorer re-derives its witnesses
-//! through the serial DFS (see `parallel.rs` Phase B), so not just the
-//! codes but the *witness roots, paths, messages, their order* and the
-//! truncation flag must match the serial run exactly, at every thread
-//! count, under every reduction combination.
+//! stricter standard: the parallel explorer replays the serial DFS over
+//! the ownership walk's logged key-graph and re-derives its witnesses
+//! through the serial DFS (see `parallel.rs`), so not just the codes but
+//! the *witness roots, paths, messages, their order*, the truncation
+//! flag, the `states` count and the reduction stats must match the
+//! serial run exactly, at every thread count, under every reduction
+//! combination. In particular `states(threads=N) == states(threads=1)`
+//! is the guarantee that killed the donation-era inflation (325k → 346k
+//! at 8 threads).
 
 use proptest::prelude::*;
 use session_analyzer::explore::{explore_with_opts, Exploration};
+use session_analyzer::machine::{GapMode, SmAlgo, SmMachine};
 use session_analyzer::{scoped_target_space, ExploreOpts, TARGET_NAMES};
+use session_smm::RelayProcess;
+use session_types::{Dur, Time, VarId};
 
-const THREAD_COUNTS: [usize; 2] = [2, 8];
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
 /// Every reduce= combination, serial; the thread sweep is layered on top.
 const REDUCTIONS: [(&str, ExploreOpts); 4] = [
@@ -68,13 +75,40 @@ fn findings(exploration: &Exploration) -> Vec<(String, usize, Vec<usize>, String
         .collect()
 }
 
+/// Asserts that `parallel` is the same exploration as `serial`, field by
+/// field: findings, truncation, and — the ownership explorer's headline
+/// invariant — the `states` count and reduction stats.
+#[track_caller]
+fn assert_identical(serial: &Exploration, parallel: &Exploration, context: &str) {
+    assert_eq!(
+        findings(parallel),
+        findings(serial),
+        "{context}: findings diverged"
+    );
+    assert_eq!(
+        parallel.truncated, serial.truncated,
+        "{context}: truncation diverged"
+    );
+    assert_eq!(
+        parallel.states, serial.states,
+        "{context}: states(threads=N) != states(threads=1)"
+    );
+    assert_eq!(
+        parallel.depth_hits, serial.depth_hits,
+        "{context}: depth_hits diverged"
+    );
+    assert_eq!(
+        parallel.stats, serial.stats,
+        "{context}: reduction stats diverged"
+    );
+}
+
 /// Explores `name` at `(n, s, depth)` serially and at every thread count,
-/// asserting identical findings and truncation everywhere.
+/// asserting an identical exploration everywhere.
 fn assert_thread_invariant(name: &str, n: usize, s: u64, depth: usize) {
     let space = scoped_target_space(name, n, s).expect("registered target");
     for (label, serial_opts) in REDUCTIONS {
         let serial = explore_with_opts(&space.roots, n, s, depth, serial_opts);
-        let expected = findings(&serial);
         for threads in THREAD_COUNTS {
             let parallel = explore_with_opts(
                 &space.roots,
@@ -86,14 +120,10 @@ fn assert_thread_invariant(name: &str, n: usize, s: u64, depth: usize) {
                     ..serial_opts
                 },
             );
-            assert_eq!(
-                findings(&parallel),
-                expected,
-                "{name} n={n} s={s} depth={depth} reduce={label}: findings diverged at threads={threads}"
-            );
-            assert_eq!(
-                parallel.truncated, serial.truncated,
-                "{name} n={n} s={s} depth={depth} reduce={label}: truncation diverged at threads={threads}"
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("{name} n={n} s={s} depth={depth} reduce={label} threads={threads}"),
             );
         }
     }
@@ -109,8 +139,60 @@ fn representative_targets_are_thread_invariant_at_small_scope() {
     }
 }
 
+/// The session-guarantee (`SA001`) and stale-evidence (`SA003`) registry
+/// witnesses at their default-ish scopes: thread invariance must hold on
+/// the actual finding-bearing spaces, not just tiny slices of them.
+#[test]
+fn witness_targets_are_thread_invariant() {
+    assert_thread_invariant("NaivePeriodicSm", 2, 2, 24);
+    assert_thread_invariant("NaiveSemiSyncSm", 2, 2, 20);
+    assert_thread_invariant("NaiveSporadicMp", 2, 2, 16);
+}
+
+/// A relay hosted as the only "port": relays never idle, so the machine
+/// can never quiesce, and its normalized state repeats after one cycle —
+/// the admissible lasso `SA005` names. Lassos are the cross-owner case
+/// the replay pass exists for (on-path detection is path-dependent), so
+/// the witness must survive every thread count bit for bit.
+#[test]
+fn sa005_lasso_is_thread_invariant() {
+    let algos = vec![SmAlgo::Relay(RelayProcess::new(vec![VarId::new(0)]))];
+    let roots = [session_analyzer::explore::AnyMachine::Sm(SmMachine::new(
+        algos,
+        1,
+        1,
+        1,
+        GapMode::PerStep(vec![Dur::from_int(1)]),
+        vec![Time::ZERO + Dur::from_int(1)],
+    ))];
+    for (label, serial_opts) in REDUCTIONS {
+        let serial = explore_with_opts(&roots, 1, 1, 12, serial_opts);
+        assert!(
+            findings(&serial).iter().any(|(code, ..)| code == "SA005"),
+            "fixture must produce the lasso"
+        );
+        for threads in THREAD_COUNTS {
+            let parallel = explore_with_opts(
+                &roots,
+                1,
+                1,
+                12,
+                ExploreOpts {
+                    threads,
+                    ..serial_opts
+                },
+            );
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("relay lasso reduce={label} threads={threads}"),
+            );
+        }
+    }
+}
+
 /// One deeper exhaustive run (full default depth) on a target whose
-/// space is large enough for real work sharing to happen.
+/// space is large enough for real routing to happen.
 #[test]
 fn periodic_mp_is_thread_invariant_at_full_depth() {
     let name = "PeriodicMp";
@@ -129,12 +211,11 @@ fn periodic_mp_is_thread_invariant_at_full_depth() {
                     ..serial_opts
                 },
             );
-            assert_eq!(
-                findings(&parallel),
-                findings(&serial),
-                "PeriodicMp reduce={label} threads={threads}"
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("PeriodicMp reduce={label} threads={threads}"),
             );
-            assert_eq!(parallel.truncated, serial.truncated);
         }
     }
 }
@@ -142,9 +223,11 @@ fn periodic_mp_is_thread_invariant_at_full_depth() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Random small scopes over every registered target: findings and
-    /// truncation must be identical for threads in {1, 2, 8} under every
-    /// reduce= combination.
+    /// Random small scopes over every registered target: the whole
+    /// exploration must be identical for threads in {1, 2, 4, 8} under
+    /// every reduce= combination — including when the random depth
+    /// truncates the space and the parallel path falls back to the
+    /// serial explorer.
     #[test]
     fn random_small_scopes_are_thread_invariant(
         target_idx in 0usize..TARGET_NAMES.len(),
@@ -172,6 +255,13 @@ proptest! {
                     name, n, s, depth, label, threads
                 );
                 prop_assert_eq!(parallel.truncated, serial.truncated);
+                prop_assert_eq!(
+                    parallel.states,
+                    serial.states,
+                    "states at n={} s={} depth={} reduce={} threads={}",
+                    n, s, depth, label, threads
+                );
+                prop_assert_eq!(parallel.stats, serial.stats);
             }
         }
     }

@@ -20,8 +20,8 @@ use session_analyzer::{
 };
 use session_obs::NullRecorder;
 
-/// Targets cheap enough to explore exhaustively four times in a debug
-/// build (everything except the two sporadic MP spaces).
+/// Targets cheap enough to explore exhaustively a dozen times in a
+/// debug build (everything except the two sporadic MP spaces).
 const FAST_TARGETS: [&str; 11] = [
     "SyncSm",
     "PeriodicSm",
@@ -39,67 +39,44 @@ const FAST_TARGETS: [&str; 11] = [
 const SLOW_TARGETS: [&str; 2] = ["SporadicMp", "NaiveSporadicMp"];
 
 /// The reduction combinations under test, paired with a label for
-/// failure messages. Each reduction runs serially and again on the
-/// work-sharing parallel explorer (threads=4), which must preserve
-/// verdicts exactly like the reductions themselves.
-const COMBOS: [(&str, ExploreOpts); 7] = [
-    (
-        "por",
-        ExploreOpts {
-            por: true,
-            symmetry: false,
-            threads: 1,
-        },
-    ),
-    (
-        "symmetry",
-        ExploreOpts {
-            por: false,
-            symmetry: true,
-            threads: 1,
-        },
-    ),
-    (
-        "por+symmetry",
-        ExploreOpts {
-            por: true,
-            symmetry: true,
-            threads: 1,
-        },
-    ),
-    (
-        "threads=4",
-        ExploreOpts {
-            por: false,
-            symmetry: false,
-            threads: 4,
-        },
-    ),
-    (
-        "por@threads=4",
-        ExploreOpts {
-            por: true,
-            symmetry: false,
-            threads: 4,
-        },
-    ),
-    (
-        "symmetry@threads=4",
-        ExploreOpts {
-            por: false,
-            symmetry: true,
-            threads: 4,
-        },
-    ),
-    (
-        "por+symmetry@threads=4",
-        ExploreOpts {
-            por: true,
-            symmetry: true,
-            threads: 4,
-        },
-    ),
-];
+/// failure messages: every reduction serially, then every reduction
+/// again on the hash-partitioned ownership explorer at 2 and 8 threads
+/// — the thread count must preserve verdicts exactly like the
+/// reductions themselves, whichever reduction it is layered over.
+fn combos() -> Vec<(String, ExploreOpts)> {
+    const REDUCTIONS: [(&str, bool, bool); 4] = [
+        ("none", false, false),
+        ("por", true, false),
+        ("symmetry", false, true),
+        ("por+symmetry", true, true),
+    ];
+    let mut combos = Vec::new();
+    for (label, por, symmetry) in REDUCTIONS {
+        if por || symmetry {
+            combos.push((
+                label.to_owned(),
+                ExploreOpts {
+                    por,
+                    symmetry,
+                    threads: 1,
+                },
+            ));
+        }
+    }
+    for threads in [2, 8] {
+        for (label, por, symmetry) in REDUCTIONS {
+            combos.push((
+                format!("{label}@threads={threads}"),
+                ExploreOpts {
+                    por,
+                    symmetry,
+                    threads,
+                },
+            ));
+        }
+    }
+    combos
+}
 
 /// The verdict as a sorted multiset-collapsed list of `(target, code)`
 /// pairs. Reductions may discover a violation along a different
@@ -130,7 +107,7 @@ fn assert_equivalent(name: &str) -> (u64, u64) {
         "{name}: unreduced counterexample failed its feasibility self-check"
     );
     let mut reduced_states = baseline.targets[0].states;
-    for (label, opts) in COMBOS {
+    for (label, opts) in combos() {
         let report = analyze_target_with(name, opts, &mut NullRecorder).expect("same registry");
         assert_eq!(
             verdict(&report),
@@ -212,7 +189,7 @@ proptest! {
         let name = TARGET_NAMES[target_idx];
         let space = scoped_target_space(name, n, s).expect("registered target");
         let full = explore_with_opts(&space.roots, n, s, depth, ExploreOpts::default());
-        for (label, opts) in COMBOS {
+        for (label, opts) in combos() {
             let reduced = explore_with_opts(&space.roots, n, s, depth, opts);
             let mut full_codes: Vec<&str> =
                 full.violations.iter().map(|v| v.code.code()).collect();

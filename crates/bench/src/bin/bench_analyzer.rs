@@ -1,37 +1,44 @@
 //! Analyzer throughput benchmark: explore the paper's periodic
 //! message-passing target at the headline scope (n = 3, s = 3) across a
 //! thread sweep and report states/second, the parallel speedup over the
-//! serial explorer, and the findings multiset — which must be identical
-//! at every thread count (the parallel explorer re-derives its witnesses
-//! through the serial DFS, see `session-analyzer`'s `parallel` module).
+//! serial explorer, the findings multiset and the states count — both of
+//! which must be identical at every thread count (the ownership explorer
+//! replays the serial DFS over its logged key-graph, see
+//! `session-analyzer`'s `partition` module).
 //!
 //! ```text
 //! cargo run --release -p session-bench --bin bench_analyzer
 //! cargo run --release -p session-bench --bin bench_analyzer -- --json
 //! cargo run --release -p session-bench --bin bench_analyzer -- --json out.json
 //! cargo run --release -p session-bench --bin bench_analyzer -- --profile --json
+//! cargo run --release -p session-bench --bin bench_analyzer -- --large
 //! ```
 //!
-//! Report schema: `session-bench/analyzer/v1` — per row the reduction
-//! label, thread count, distinct states visited, wall-clock seconds,
-//! states/second, speedup over the threads=1 row of the same reduction,
-//! the sorted lint-code multiset, and the truncation flag. The top-level
-//! `host_threads` / `skewed` pair records whether the host could actually
-//! run the sweep in parallel: when `host_threads` is below the largest
-//! requested thread count the speedup rows measure oversubscription, not
-//! scaling, the report says `SKEWED` loudly, and the non-fatal
-//! `REGRESSION` check is skipped (DESIGN.md §15).
+//! Report schema: `session-bench/analyzer/v2` — per row the reduction
+//! label, scope, thread count, states visited, wall-clock seconds,
+//! states/second, speedup over the threads=1 row of the same sweep, the
+//! sorted lint-code multiset, and the truncation flag. The top-level
+//! `host_threads` / `skewed` pair records whether the host could
+//! actually run the sweep in parallel: when `host_threads` is below the
+//! largest requested thread count the speedup rows measure
+//! oversubscription, not scaling, the report says `SKEWED` loudly, and
+//! the speedup gate is skipped (DESIGN.md §15).
 //!
 //! `--profile` reruns each row with the flight recorder on (DESIGN.md
-//! §15) and embeds the utilization/contention summary — worker busy
-//! fraction, duplicate expansions, memo-stripe lock waits, donation
-//! counts, phase split — per row in both the markdown and the JSON.
+//! §15) and embeds the utilization/routing summary — worker busy
+//! fraction, route/local message split, queue-full spins, owner-local
+//! ratio, fixpoint rounds, phase split — per row in both the markdown
+//! and the JSON. `--large` adds an opt-in n = 4, s = 4 sweep (reduced;
+//! the unreduced space at that scope is not bench-tractable).
 //!
-//! Exit status: `0` on success, `1` when the findings diverge across
-//! thread counts (a correctness failure). A speedup below the CI target
-//! is **not** a failure here — single-core hosts legitimately measure
-//! ≈1×; the threshold is asserted by CI on its own hardware from the
-//! recorded JSON.
+//! Exit status: `0` on success, `1` on any fatal gate:
+//!
+//! * findings/truncation diverging across thread counts,
+//! * `states(threads=N) != states(threads=1)` anywhere,
+//! * the ownership walk falling back to serial on the headline scope,
+//! * 8-thread speedup below 2.0x on a host with >= 8 hardware threads
+//!   (`skewed=false`). Skewed hosts legitimately measure ≈1× and only
+//!   report; CI asserts the curve on its own hardware from the JSON.
 
 use std::time::Instant;
 
@@ -42,19 +49,29 @@ use session_obs::json::JsonWriter;
 use session_obs::NullRecorder;
 
 /// The version tag written into every analyzer-bench report.
-const SCHEMA: &str = "session-bench/analyzer/v1";
+const SCHEMA: &str = "session-bench/analyzer/v2";
 
 /// The headline target and scope of the speedup acceptance criterion.
 const TARGET: &str = "PeriodicMp";
 const N: usize = 3;
 const S: u64 = 3;
 
+/// The opt-in `--large` scope (reduced only: the unreduced n = 4 space
+/// is not bench-tractable).
+const LARGE_N: usize = 4;
+const LARGE_S: u64 = 4;
+
 /// The thread sweep. `1` is the serial baseline every speedup is
 /// relative to.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// The fatal 8-thread speedup floor on non-skewed hosts.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
 struct BenchRow {
     reduce: &'static str,
+    n: usize,
+    s: u64,
     threads: usize,
     states: u64,
     wall_secs: f64,
@@ -65,19 +82,26 @@ struct BenchRow {
     flight: Option<FlightSummary>,
 }
 
-/// The utilization/contention digest `--profile` embeds per row,
-/// condensed from the full [`ExploreProfile`].
+/// The utilization/routing digest `--profile` embeds per row, condensed
+/// from the full [`ExploreProfile`].
 struct FlightSummary {
     /// Busy ÷ (busy + idle) summed over workers, in `[0, 1]`.
     utilization: f64,
     duplicate_expansions: u64,
-    /// Duplicates as a percentage of all expansions.
-    dup_pct: f64,
-    stripe_lock_waits: u64,
-    lock_wait_ms: f64,
-    donations_offered: u64,
-    donations_accepted: u64,
+    route_send: u64,
+    route_recv: u64,
+    local_msgs: u64,
+    queue_full_spins: u64,
+    /// Successors the expanding worker already owned, as a fraction of
+    /// all routed-or-local successors.
+    owner_local_ratio: f64,
+    /// POR proviso fixpoint rounds (1 on acyclic spaces).
+    rounds: u64,
+    /// Whether the ownership walk cut and fell back to the serial
+    /// explorer (fatal on the headline scope).
+    fallback: bool,
     phase_a_ms: f64,
+    replay_ms: f64,
     phase_b_ms: f64,
 }
 
@@ -85,20 +109,18 @@ impl FlightSummary {
     fn of(profile: &ExploreProfile) -> FlightSummary {
         let busy: u64 = profile.workers.iter().map(|w| w.busy_ns).sum();
         let idle: u64 = profile.workers.iter().map(|w| w.idle_ns).sum();
-        let wait: u64 = profile.workers.iter().map(|w| w.stripe_lock_wait_ns).sum();
         FlightSummary {
             utilization: busy as f64 / ((busy + idle) as f64).max(1.0),
             duplicate_expansions: profile.duplicate_expansions,
-            dup_pct: if profile.states == 0 {
-                0.0
-            } else {
-                100.0 * profile.duplicate_expansions as f64 / profile.states as f64
-            },
-            stripe_lock_waits: profile.workers.iter().map(|w| w.stripe_lock_waits).sum(),
-            lock_wait_ms: wait as f64 / 1e6,
-            donations_offered: profile.donations_offered,
-            donations_accepted: profile.donations_accepted,
+            route_send: profile.route_send,
+            route_recv: profile.route_recv,
+            local_msgs: profile.local_msgs,
+            queue_full_spins: profile.queue_full_spins,
+            owner_local_ratio: profile.owner_local_ratio(),
+            rounds: profile.rounds,
+            fallback: profile.fallback,
             phase_a_ms: profile.phase_a_ns as f64 / 1e6,
+            replay_ms: profile.replay_ns as f64 / 1e6,
             phase_b_ms: profile.phase_b_ns as f64 / 1e6,
         }
     }
@@ -108,22 +130,25 @@ impl FlightSummary {
 /// flight recorder rides along and the row carries its digest; the timed
 /// exploration itself still runs with the recorder off, so the headline
 /// states/second is never polluted by instrumentation.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     space: &session_analyzer::TargetSpace,
     reduce: &'static str,
+    n: usize,
+    s: u64,
     base: ExploreOpts,
     threads: usize,
     profile: bool,
 ) -> BenchRow {
     let opts = ExploreOpts { threads, ..base };
     let start = Instant::now();
-    let exploration = explore_with_opts(&space.roots, N, S, space.scope.max_depth, opts);
+    let exploration = explore_with_opts(&space.roots, n, s, space.scope.max_depth, opts);
     let wall_secs = start.elapsed().as_secs_f64();
     let flight = profile.then(|| {
         let (_, profile) = explore_flight(
             &space.roots,
-            N,
-            S,
+            n,
+            s,
             space.scope.max_depth,
             opts,
             &mut NullRecorder,
@@ -139,6 +164,8 @@ fn measure(
     findings.sort();
     BenchRow {
         reduce,
+        n,
+        s,
         threads,
         states: exploration.states,
         wall_secs,
@@ -150,16 +177,18 @@ fn measure(
     }
 }
 
-/// Runs the thread sweep for one reduction setting.
+/// Runs the thread sweep for one reduction setting at one scope.
 fn sweep(
     space: &session_analyzer::TargetSpace,
     reduce: &'static str,
+    n: usize,
+    s: u64,
     base: ExploreOpts,
     profile: bool,
 ) -> Vec<BenchRow> {
     let mut rows: Vec<BenchRow> = THREADS
         .iter()
-        .map(|&threads| measure(space, reduce, base, threads, profile))
+        .map(|&threads| measure(space, reduce, n, s, base, threads, profile))
         .collect();
     let baseline = rows[0].states_per_sec;
     for row in &mut rows {
@@ -183,6 +212,8 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize, skewed: boo
     for row in rows {
         w.begin_object();
         w.field_str("reduce", row.reduce);
+        w.field_u64("n", row.n as u64);
+        w.field_u64("s", row.s);
         w.field_u64("threads", row.threads as u64);
         w.field_u64("states", row.states);
         w.field_f64("wall_secs", row.wall_secs);
@@ -200,12 +231,15 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize, skewed: boo
             w.begin_object();
             w.field_f64("utilization", flight.utilization);
             w.field_u64("duplicate_expansions", flight.duplicate_expansions);
-            w.field_f64("dup_pct", flight.dup_pct);
-            w.field_u64("stripe_lock_waits", flight.stripe_lock_waits);
-            w.field_f64("lock_wait_ms", flight.lock_wait_ms);
-            w.field_u64("donations_offered", flight.donations_offered);
-            w.field_u64("donations_accepted", flight.donations_accepted);
+            w.field_u64("route_send", flight.route_send);
+            w.field_u64("route_recv", flight.route_recv);
+            w.field_u64("local_msgs", flight.local_msgs);
+            w.field_u64("queue_full_spins", flight.queue_full_spins);
+            w.field_f64("owner_local_ratio", flight.owner_local_ratio);
+            w.field_u64("rounds", flight.rounds);
+            w.field_bool("fallback", flight.fallback);
             w.field_f64("phase_a_ms", flight.phase_a_ms);
+            w.field_f64("replay_ms", flight.replay_ms);
             w.field_f64("phase_b_ms", flight.phase_b_ms);
             w.end_object();
         }
@@ -219,6 +253,7 @@ fn to_json(rows: &[BenchRow], max_depth: usize, host_threads: usize, skewed: boo
 fn main() {
     let json_path = json_flag(std::env::args().skip(1), "BENCH_analyzer.json");
     let profile = std::env::args().skip(1).any(|arg| arg == "--profile");
+    let large = std::env::args().skip(1).any(|arg| arg == "--large");
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let sweep_top = *THREADS.last().expect("sweep is non-empty");
     let skewed = host_threads < sweep_top;
@@ -228,24 +263,40 @@ fn main() {
         space.scope.max_depth
     );
     println!(
-        "Work-stealing parallel exploration vs the serial explorer; the\n\
-         findings multiset must be identical on every row. Host reports\n\
-         {host_threads} hardware thread(s) — speedups above 1 need more\n\
-         than one.\n"
+        "Hash-partitioned ownership exploration vs the serial explorer;\n\
+         the findings multiset and the states count must be identical on\n\
+         every row. Host reports {host_threads} hardware thread(s) —\n\
+         speedups above 1 need more than one.\n"
     );
-    println!("| reduce | threads | states | wall | states/s | speedup | findings | truncated |");
-    println!("|---|---:|---:|---:|---:|---:|---|---|");
+    println!(
+        "| reduce | n | s | threads | states | wall | states/s | speedup | findings | truncated |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---|---|");
     let mut rows = Vec::new();
     for (reduce, base) in [
         ("none", ExploreOpts::default()),
         ("all", ExploreOpts::reduced()),
     ] {
-        rows.extend(sweep(&space, reduce, base, profile));
+        rows.extend(sweep(&space, reduce, N, S, base, profile));
+    }
+    if large {
+        let large_space =
+            scoped_target_space(TARGET, LARGE_N, LARGE_S).expect("PeriodicMp is registered");
+        rows.extend(sweep(
+            &large_space,
+            "all",
+            LARGE_N,
+            LARGE_S,
+            ExploreOpts::reduced(),
+            profile,
+        ));
     }
     for row in &rows {
         println!(
-            "| {} | {} | {} | {:.2} s | {:.0} | {:.2}x | {} | {} |",
+            "| {} | {} | {} | {} | {} | {:.2} s | {:.0} | {:.2}x | {} | {} |",
             row.reduce,
+            row.n,
+            row.s,
             row.threads,
             row.states,
             row.wall_secs,
@@ -258,61 +309,128 @@ fn main() {
     if profile {
         println!("\n## flight recorder (--profile)\n");
         println!(
-            "| reduce | threads | util | dup | stripe waits | lock wait | donated items (points) | phase A | phase B |"
+            "| reduce | n | threads | util | dup | routed (local) | spins | local ratio | rounds | fallback | phase A | replay | phase B |"
         );
-        println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|---|---:|---:|---:|");
         for row in &rows {
             let f = row.flight.as_ref().expect("--profile fills every row");
             println!(
-                "| {} | {} | {:.0}% | {} ({:.1}%) | {} | {:.1} ms | {} ({}) | {:.1} ms | {:.1} ms |",
+                "| {} | {} | {} | {:.0}% | {} | {} ({}) | {} | {:.2} | {} | {} | {:.1} ms | {:.1} ms | {:.1} ms |",
                 row.reduce,
+                row.n,
                 row.threads,
                 100.0 * f.utilization,
                 f.duplicate_expansions,
-                f.dup_pct,
-                f.stripe_lock_waits,
-                f.lock_wait_ms,
-                f.donations_accepted,
-                f.donations_offered,
+                f.route_send,
+                f.local_msgs,
+                f.queue_full_spins,
+                f.owner_local_ratio,
+                f.rounds,
+                f.fallback,
                 f.phase_a_ms,
+                f.replay_ms,
                 f.phase_b_ms,
             );
+        }
+    }
+    let mut fatal = false;
+    // Correctness gates: neither the verdict nor the states count may
+    // depend on the thread count — `states(threads=N) ==
+    // states(threads=1)` is the ownership explorer's headline invariant.
+    let labels: Vec<(&str, usize)> = {
+        let mut seen = Vec::new();
+        for row in &rows {
+            if !seen.contains(&(row.reduce, row.n)) {
+                seen.push((row.reduce, row.n));
+            }
+        }
+        seen
+    };
+    for (reduce, n) in labels {
+        let group: Vec<&BenchRow> = rows
+            .iter()
+            .filter(|r| r.reduce == reduce && r.n == n)
+            .collect();
+        for row in &group[1..] {
+            if row.findings != group[0].findings || row.truncated != group[0].truncated {
+                eprintln!(
+                    "FINDINGS DIVERGED: reduce={reduce} n={n} threads={} reported {:?}, serial {:?}",
+                    row.threads, row.findings, group[0].findings
+                );
+                fatal = true;
+            }
+            if row.states != group[0].states {
+                eprintln!(
+                    "STATES DIVERGED: reduce={reduce} n={n} threads={} visited {} states, serial {}",
+                    row.threads, row.states, group[0].states
+                );
+                fatal = true;
+            }
+        }
+    }
+    // Ownership gate: the headline scope fits its depth budget, so the
+    // walk must never cut to the serial fallback there. `--profile` rows
+    // carry the flag already; otherwise probe the top-thread rows once.
+    let fallbacks: Vec<(&'static str, bool)> = if profile {
+        rows.iter()
+            .filter(|r| r.threads == sweep_top && r.n == N)
+            .map(|r| {
+                (
+                    r.reduce,
+                    r.flight.as_ref().expect("--profile fills every row").fallback,
+                )
+            })
+            .collect()
+    } else {
+        [("none", ExploreOpts::default()), ("all", ExploreOpts::reduced())]
+            .into_iter()
+            .map(|(reduce, base)| {
+                let (_, prof) = explore_flight(
+                    &space.roots,
+                    N,
+                    S,
+                    space.scope.max_depth,
+                    ExploreOpts {
+                        threads: sweep_top,
+                        ..base
+                    },
+                    &mut NullRecorder,
+                    &FlightOpts::profiled(),
+                );
+                let prof = prof.expect("FlightOpts::profiled() always yields a profile");
+                (reduce, prof.fallback)
+            })
+            .collect()
+    };
+    for (reduce, fell_back) in fallbacks {
+        if fell_back {
+            eprintln!(
+                "FALLBACK: reduce={reduce} at {sweep_top} threads cut to the serial explorer \
+                 on the headline scope — the ownership walk must cover it"
+            );
+            fatal = true;
         }
     }
     if skewed {
         // A 1-core runner oversubscribing an 8-thread sweep measures
         // context-switch overhead, not scaling; say so loudly and keep
-        // the debt marker quiet rather than crying wolf.
+        // the speedup gate quiet rather than crying wolf.
         println!(
             "\nSKEWED: host reports {host_threads} hardware thread(s) but the sweep requests \
              up to {sweep_top}; speedup rows measure oversubscription, not scaling, and the \
-             REGRESSION check is skipped (DESIGN.md §15)."
+             speedup gate is skipped (DESIGN.md §15)."
         );
     } else {
-        // Open-item-1 debt marker: loud but non-fatal, so the speedup gap
-        // stays visible in every telemetry artifact without failing hosts
-        // that legitimately measure ≈1× (single-core runners).
-        for row in rows.iter().filter(|r| r.threads == sweep_top) {
-            if row.speedup < 1.0 {
-                println!(
-                    "REGRESSION: reduce={} speedup at {} threads is {:.2}x < 1.00x — the \
-                     parallel explorer is still slower than serial here (ROADMAP open item 1)",
-                    row.reduce, row.threads, row.speedup
-                );
-            }
-        }
-    }
-    // Correctness gate: the verdict must not depend on the thread count.
-    let mut diverged = false;
-    for (reduce, _) in [("none", ()), ("all", ())] {
-        let serial: Vec<&BenchRow> = rows.iter().filter(|r| r.reduce == reduce).collect();
-        for row in &serial[1..] {
-            if row.findings != serial[0].findings || row.truncated != serial[0].truncated {
+        // Fatal on capable hosts: the ownership explorer exists to scale,
+        // and a sub-2x curve at 8 threads means it does not.
+        for row in rows.iter().filter(|r| r.threads == sweep_top && r.n == N) {
+            if row.speedup < SPEEDUP_FLOOR {
                 eprintln!(
-                    "FINDINGS DIVERGED: reduce={reduce} threads={} reported {:?}, serial {:?}",
-                    row.threads, row.findings, serial[0].findings
+                    "SPEEDUP GATE: reduce={} speedup at {} threads is {:.2}x < {:.2}x on a \
+                     {host_threads}-thread host",
+                    row.reduce, row.threads, row.speedup, SPEEDUP_FLOOR
                 );
-                diverged = true;
+                fatal = true;
             }
         }
     }
@@ -326,7 +444,7 @@ fn main() {
         }
         println!("\nwrote {}", path.display());
     }
-    if diverged {
+    if fatal {
         std::process::exit(1);
     }
 }

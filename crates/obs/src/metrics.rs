@@ -51,15 +51,16 @@ pub const METRIC_NAMES: &[&str] = &[
     "explore.pruned_choices",
     "explore.frontier_depth",
     "explore.duplicate_expansions",
-    "explore.donations_offered",
-    "explore.donations_accepted",
-    "explore.stripe_lock_waits",
-    "explore.stripe_lock_wait_ns",
+    "explore.route_send",
+    "explore.route_recv",
+    "explore.local_msgs",
+    "explore.queue_full_spins",
+    "explore.owner_local_ratio",
+    "explore.rounds",
     "explore.expand_ns",
-    "explore.memo_probe_ns",
-    "explore.memo_insert_ns",
     "explore.idle_ns",
     "explore.phase_a_ms",
+    "explore.replay_ms",
     "explore.phase_b_ms",
     "zones.zone_states",
     "zones.explicit_states",
@@ -218,16 +219,16 @@ pub type MetricHandle = usize;
 /// use session_obs::{InMemoryRecorder, Recorder};
 ///
 /// let mut reg = MetricsRegistry::new();
-/// let dup = reg.register_counter("explore.duplicate_expansions");
-/// let wait = reg.register_histogram("explore.stripe_lock_wait_ns");
-/// reg.counter(dup).add(3);
-/// reg.histogram(wait).record(250);
+/// let sent = reg.register_counter("explore.route_send");
+/// let idle = reg.register_histogram("explore.idle_ns");
+/// reg.counter(sent).add(3);
+/// reg.histogram(idle).record(250);
 /// let mut rec = InMemoryRecorder::new();
 /// reg.emit(&mut rec);
 /// let snap = rec.snapshot();
-/// assert_eq!(snap.counter("explore.duplicate_expansions"), 3);
+/// assert_eq!(snap.counter("explore.route_send"), 3);
 /// assert_eq!(
-///     snap.histogram("explore.stripe_lock_wait_ns").unwrap().count(),
+///     snap.histogram("explore.idle_ns").unwrap().count(),
 ///     1
 /// );
 /// ```
@@ -469,7 +470,7 @@ mod tests {
     fn registry_counts_across_threads_and_emits() {
         let mut reg = MetricsRegistry::new();
         let dup = reg.register_counter("explore.duplicate_expansions");
-        let wait = reg.register_histogram("explore.stripe_lock_wait_ns");
+        let wait = reg.register_histogram("explore.idle_ns");
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let reg = &reg;
@@ -487,18 +488,13 @@ mod tests {
         reg.emit(&mut rec);
         let snap = rec.snapshot();
         assert_eq!(snap.counter("explore.duplicate_expansions"), 400);
-        assert_eq!(
-            snap.histogram("explore.stripe_lock_wait_ns")
-                .unwrap()
-                .count(),
-            400
-        );
+        assert_eq!(snap.histogram("explore.idle_ns").unwrap().count(), 400);
     }
 
     #[test]
     fn registry_emit_skips_untouched_metrics() {
         let mut reg = MetricsRegistry::new();
-        reg.register_counter("explore.donations_offered");
+        reg.register_counter("explore.queue_full_spins");
         reg.register_histogram("explore.idle_ns");
         let mut rec = InMemoryRecorder::new();
         reg.emit(&mut rec);

@@ -324,7 +324,7 @@ fn analyze_cli_findings_are_flight_recorder_invariant() {
         let doc = std::fs::read_to_string(&profile_path)
             .expect("profile= writes the analyzer-profile document");
         assert!(
-            doc.contains("\"schema\":\"analyzer-profile/v1\""),
+            doc.contains("\"schema\":\"analyzer-profile/v2\""),
             "{target}: {doc}"
         );
         assert!(doc.contains(&format!("\"target\":\"{target}\"")), "{doc}");

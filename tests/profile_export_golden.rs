@@ -1,5 +1,5 @@
 //! Golden-file tests for the flight-recorder exporters: the
-//! `analyzer-profile/v1` JSON and the per-worker Perfetto trace of a
+//! `analyzer-profile/v2` JSON and the per-worker Perfetto trace of a
 //! fully hand-specified profile must be byte-stable across runs (and
 //! across refactors — regenerate the files deliberately, never
 //! silently). Timing fields come from the synthetic profile, not a real
@@ -11,64 +11,57 @@
 //! UPDATE_GOLDEN=1 cargo test --test profile_export_golden
 //! ```
 
-use session_analyzer::{ExploreProfile, StripeProfile, WorkerProfile};
-use session_obs::{Histogram, TimelineSpan, WorkerTimeline};
+use session_analyzer::{ExploreProfile, WorkerProfile};
+use session_obs::{TimelineSpan, WorkerTimeline};
 
-/// A fully hand-specified profile: two workers with different time
-/// splits, one contended stripe, a truncated-free timeline — every
-/// serializer branch except timeline overflow.
+/// A fully hand-specified profile: two workers with different time and
+/// routing splits, a second fixpoint round, a truncation-free timeline —
+/// every serializer branch except timeline overflow.
 fn synthetic() -> ExploreProfile {
     let mut timeline = WorkerTimeline::with_capacity(4);
     timeline.push(TimelineSpan {
-        name: "item",
+        name: "work",
         start_ns: 1000,
         end_ns: 51000,
         detail: 0,
     });
     timeline.push(TimelineSpan {
-        name: "item",
+        name: "work",
         start_ns: 60000,
         end_ns: 80000,
-        detail: 5,
+        detail: 1,
     });
-    let mut lock_wait_hist = Histogram::new();
-    lock_wait_hist.record(200.0);
-    lock_wait_hist.record(800.0);
     let worker0 = WorkerProfile {
         states: 900,
-        items: 2,
+        items: 1100,
         busy_ns: 70000,
         idle_ns: 10000,
-        expand_ns: 60000,
-        memo_probe_ns: 6000,
-        memo_insert_ns: 3000,
-        stripe_lock_wait_ns: 1000,
-        stripe_lock_waits: 2,
-        donation_ns: 1000,
-        duplicate_expansions: 40,
+        expand_ns: 61000,
+        route_send_ns: 6000,
+        route_recv_ns: 3000,
+        route_send: 500,
+        route_recv: 400,
+        local_msgs: 700,
+        queue_full_spins: 3,
+        duplicate_expansions: 0,
         timeline,
-        pool_depth: vec![(1000, 3), (60000, 1)],
+        inbox_depth: vec![(1000, 3), (60000, 1)],
     };
     let worker1 = WorkerProfile {
         states: 100,
-        items: 1,
+        items: 420,
         busy_ns: 20000,
         idle_ns: 60000,
         expand_ns: 20000,
-        memo_probe_ns: 0,
-        memo_insert_ns: 0,
-        stripe_lock_wait_ns: 0,
-        stripe_lock_waits: 0,
-        donation_ns: 0,
-        duplicate_expansions: 10,
+        route_send_ns: 0,
+        route_recv_ns: 0,
+        route_send: 100,
+        route_recv: 200,
+        local_msgs: 100,
+        queue_full_spins: 0,
+        duplicate_expansions: 0,
         timeline: WorkerTimeline::with_capacity(4),
-        pool_depth: vec![(2000, 2)],
-    };
-    let mut stripes = vec![StripeProfile::default(); 4];
-    stripes[1] = StripeProfile {
-        hits: 50,
-        misses: 950,
-        contended: 2,
+        inbox_depth: vec![(2000, 2)],
     };
     ExploreProfile {
         target: "PeriodicMp".to_owned(),
@@ -79,16 +72,19 @@ fn synthetic() -> ExploreProfile {
         por: false,
         symmetry: false,
         states: 1000,
-        unique_states: 950,
-        duplicate_expansions: 50,
-        donations_offered: 3,
-        donations_accepted: 4,
+        unique_states: 1000,
+        duplicate_expansions: 0,
+        route_send: 600,
+        route_recv: 600,
+        local_msgs: 800,
+        queue_full_spins: 3,
+        rounds: 2,
+        fallback: false,
         wall_ns: 100000,
         phase_a_ns: 80000,
-        phase_b_ns: 20000,
-        lock_wait_hist,
+        replay_ns: 5000,
+        phase_b_ns: 15000,
         workers: vec![worker0, worker1],
-        stripes,
     }
 }
 
@@ -115,13 +111,13 @@ fn check_golden(name: &str, actual: &str) {
 
 #[test]
 fn profile_json_is_byte_stable() {
-    check_golden("analyzer_profile_v1.json", &synthetic().to_json());
+    check_golden("analyzer_profile_v2.json", &synthetic().to_json());
 }
 
 #[test]
 fn profile_perfetto_is_byte_stable() {
     check_golden(
-        "analyzer_profile_v1.perfetto.json",
+        "analyzer_profile_v2.perfetto.json",
         &synthetic().to_perfetto(),
     );
 }
